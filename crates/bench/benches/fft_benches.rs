@@ -1,0 +1,113 @@
+//! Criterion benchmarks for the FFT substrate: plan execution across the
+//! strategy space (power-of-two, mixed-radix, Bluestein), real-packed vs
+//! complex transforms, and batched throughput at FFTMatvec's sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fftmatvec_fft::{BatchedFft, BatchedRealFft, FftPlan, RealFftPlan};
+use fftmatvec_numeric::{Complex, SplitMix64, C64};
+use std::hint::black_box;
+
+fn signal(n: usize, seed: u64) -> Vec<C64> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n).map(|_| Complex::new(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0))).collect()
+}
+
+fn bench_plan_strategies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft_plan");
+    g.sample_size(30);
+    // 2048: pure radix-4/2; 2000: mixed radix (FFTMatvec's 2*N_t);
+    // 2039: prime, Bluestein.
+    for n in [2048usize, 2000, 2039] {
+        let plan = FftPlan::<f64>::new(n);
+        let x = signal(n, n as u64);
+        let mut out = vec![Complex::zero(); n];
+        let mut scratch = vec![Complex::zero(); plan.scratch_len()];
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("forward", n), &n, |b, _| {
+            b.iter(|| plan.forward(black_box(&x), &mut out, &mut scratch));
+        });
+    }
+    g.finish();
+}
+
+fn bench_real_vs_complex(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft_real_vs_complex");
+    g.sample_size(30);
+    let n = 2000usize;
+    let mut rng = SplitMix64::new(3);
+    let xr: Vec<f64> = (0..n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+    let xc: Vec<C64> = xr.iter().map(|&v| Complex::from_real(v)).collect();
+
+    let rplan = RealFftPlan::<f64>::new(n);
+    let mut rspec = vec![Complex::zero(); rplan.spectrum_len()];
+    let mut rscratch = vec![Complex::zero(); rplan.scratch_len()];
+    g.bench_function("packed_r2c_2000", |b| {
+        b.iter(|| rplan.forward(black_box(&xr), &mut rspec, &mut rscratch));
+    });
+
+    let cplan = FftPlan::<f64>::new(n);
+    let mut cout = vec![Complex::zero(); n];
+    let mut cscratch = vec![Complex::zero(); cplan.scratch_len()];
+    g.bench_function("full_complex_2000", |b| {
+        b.iter(|| cplan.forward(black_box(&xc), &mut cout, &mut cscratch));
+    });
+    g.finish();
+}
+
+fn bench_batched(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft_batched");
+    g.sample_size(15);
+    // Phase-2 shape scaled down: batch real FFTs of length 2*N_t.
+    let n = 2000usize;
+    for batch in [8usize, 64, 256] {
+        let bf = BatchedRealFft::<f64>::new(n);
+        let mut rng = SplitMix64::new(4);
+        let data: Vec<f64> = (0..n * batch).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let mut spec = vec![Complex::zero(); batch * bf.spectrum_len()];
+        g.throughput(Throughput::Elements((n * batch) as u64));
+        g.bench_with_input(BenchmarkId::new("r2c", batch), &batch, |b, _| {
+            b.iter(|| bf.forward_batch(black_box(&data), &mut spec));
+        });
+    }
+    // Complex batched for comparison.
+    let bfc = BatchedFft::<f64>::new(n);
+    let data = signal(n * 64, 5);
+    let mut out = vec![Complex::zero(); data.len()];
+    g.bench_function("c2c_batch64", |b| {
+        b.iter(|| {
+            bfc.process_batch(black_box(&data), &mut out, fftmatvec_fft::FftDirection::Forward)
+        });
+    });
+    g.finish();
+}
+
+fn bench_f32_vs_f64(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft_precision");
+    g.sample_size(30);
+    let n = 2000usize;
+    let plan64 = RealFftPlan::<f64>::new(n);
+    let plan32 = RealFftPlan::<f32>::new(n);
+    let mut rng = SplitMix64::new(6);
+    let x64: Vec<f64> = (0..n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+    let x32: Vec<f32> = x64.iter().map(|&v| v as f32).collect();
+    let mut s64 = vec![Complex::<f64>::zero(); plan64.spectrum_len()];
+    let mut w64 = vec![Complex::<f64>::zero(); plan64.scratch_len()];
+    let mut s32 = vec![Complex::<f32>::zero(); plan32.spectrum_len()];
+    let mut w32 = vec![Complex::<f32>::zero(); plan32.scratch_len()];
+    g.bench_function("r2c_f64_2000", |b| {
+        b.iter(|| plan64.forward(black_box(&x64), &mut s64, &mut w64))
+    });
+    g.bench_function("r2c_f32_2000", |b| {
+        b.iter(|| plan32.forward(black_box(&x32), &mut s32, &mut w32))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_plan_strategies,
+    bench_real_vs_complex,
+    bench_batched,
+    bench_f32_vs_f64
+);
+criterion_main!(benches);

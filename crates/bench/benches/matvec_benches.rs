@@ -1,0 +1,66 @@
+//! Criterion benchmarks for the full FFTMatvec pipeline: FFT vs direct
+//! matvec crossover in N_t, forward vs adjoint, and double vs mixed
+//! precision CPU wall clock.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fftmatvec_bench::{make_operator, stuffed_vector};
+use fftmatvec_core::{DirectMatvec, FftMatvec, PrecisionConfig};
+use std::hint::black_box;
+
+fn bench_fft_vs_direct_crossover(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matvec_crossover");
+    g.sample_size(10);
+    // Fixed spatial shape, growing N_t: direct is O(N_t^2), FFT is
+    // O(N_t log N_t) — the crossover motivates the whole algorithm.
+    let (nd, nm) = (8usize, 128usize);
+    for nt in [16usize, 64, 256] {
+        let op = make_operator(nd, nm, nt, nt as u64);
+        let m = stuffed_vector(nm * nt, 1);
+        let mv = FftMatvec::new(op, PrecisionConfig::all_double());
+        g.throughput(Throughput::Elements((nd * nm * nt) as u64));
+        g.bench_with_input(BenchmarkId::new("fft", nt), &nt, |b, _| {
+            b.iter(|| mv.apply_forward(black_box(&m)));
+        });
+        let direct = DirectMatvec::new(mv.operator());
+        g.bench_with_input(BenchmarkId::new("direct", nt), &nt, |b, _| {
+            b.iter(|| direct.apply_forward(black_box(&m)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_forward_vs_adjoint(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matvec_directions");
+    g.sample_size(10);
+    let (nd, nm, nt) = (16usize, 512usize, 128usize);
+    let op = make_operator(nd, nm, nt, 7);
+    let mv = FftMatvec::new(op, PrecisionConfig::all_double());
+    let m = stuffed_vector(nm * nt, 2);
+    let d = stuffed_vector(nd * nt, 3);
+    g.bench_function("forward", |b| b.iter(|| mv.apply_forward(black_box(&m))));
+    g.bench_function("adjoint", |b| b.iter(|| mv.apply_adjoint(black_box(&d))));
+    g.finish();
+}
+
+fn bench_precision_configs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matvec_precision");
+    g.sample_size(10);
+    let (nd, nm, nt) = (16usize, 512usize, 128usize);
+    let m = stuffed_vector(nm * nt, 4);
+    for cfg in ["ddddd", "dssdd", "sssss"] {
+        let op = make_operator(nd, nm, nt, 9);
+        let mv = FftMatvec::new(op, cfg.parse().unwrap());
+        g.bench_with_input(BenchmarkId::new("config", cfg), &cfg, |b, _| {
+            b.iter(|| mv.apply_forward(black_box(&m)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fft_vs_direct_crossover,
+    bench_forward_vs_adjoint,
+    bench_precision_configs
+);
+criterion_main!(benches);

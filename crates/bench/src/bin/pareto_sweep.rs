@@ -1,0 +1,112 @@
+//! The 32-configuration Pareto sweep (Section 4.2.1).
+//!
+//! For every five-phase precision configuration: simulated matvec time at
+//! the paper shape on the selected device, and measured relative error
+//! (real arithmetic at a memory-scaled shape, mantissa-stuffed inputs).
+//! Prints the full table, marks the Pareto front, and selects the optimal
+//! configuration for the requested tolerance — the paper's `dssdd`
+//! analysis.
+//!
+//! Run: `cargo run --release -p fftmatvec-bench --bin pareto_sweep`
+//! Flags: `-dev mi250x|mi300x|mi355x`, `-tol <float>`,
+//!        `-nm -nd -nt` (timing shape), `-enm -end -ent` (error shape),
+//!        `-raw` (machine-readable CSV, like the artifact's flag)
+
+use fftmatvec_bench::{make_operator, measure_errors, rule, Args};
+use fftmatvec_core::pareto::{optimal_for_tolerance, pareto_front, ParetoPoint};
+use fftmatvec_core::timing::{simulate_phases, MatvecDims};
+use fftmatvec_core::PrecisionConfig;
+use fftmatvec_gpu::DeviceSpec;
+
+fn main() {
+    let args = Args::from_env();
+    let dev = match args.get("dev", "mi300x".to_string()).as_str() {
+        "mi250x" => DeviceSpec::mi250x_gcd(),
+        "mi355x" => DeviceSpec::mi355x(),
+        _ => DeviceSpec::mi300x(),
+    };
+    let tol: f64 = args.get("tol", 1e-7);
+    let dims = MatvecDims::new(
+        args.get("nd", 100usize),
+        args.get("nm", 5000usize),
+        args.get("nt", 1000usize),
+    );
+    let (end, enm, ent) = (
+        args.get("end", 60usize),
+        args.get("enm", 1500usize),
+        args.get("ent", 400usize),
+    );
+    let raw = args.has("raw");
+
+    let configs = PrecisionConfig::all_configs();
+    let errors = measure_errors(make_operator(end, enm, ent, 42), &configs, 7);
+    let points: Vec<ParetoPoint> = configs
+        .iter()
+        .zip(&errors)
+        .map(|(&config, &rel_error)| ParetoPoint {
+            config,
+            time: simulate_phases(dims, config, false, &dev).total(),
+            rel_error,
+        })
+        .collect();
+    let baseline = points
+        .iter()
+        .find(|p| p.config.is_all_double())
+        .expect("ddddd present")
+        .time;
+    let front = pareto_front(&points);
+    let on_front = |p: &ParetoPoint| front.iter().any(|f| f.config == p.config);
+
+    if raw {
+        println!("config,time_s,speedup,rel_error,pareto");
+        for p in &points {
+            println!(
+                "{},{:.6e},{:.4},{:.6e},{}",
+                p.config,
+                p.time,
+                baseline / p.time,
+                p.rel_error,
+                u8::from(on_front(p))
+            );
+        }
+    } else {
+        println!("Pareto sweep — {} (simulated), 32 precision configurations", dev.name);
+        println!(
+            "timing shape N_m={} N_d={} N_t={}; error shape N_m={enm} N_d={end} N_t={ent}",
+            dims.nm, dims.nd, dims.nt
+        );
+        println!();
+        let header = format!(
+            "{:>7} | {:>10} | {:>8} | {:>11} | {:>6}",
+            "config", "time ms", "speedup", "rel error", "front"
+        );
+        println!("{header}");
+        rule(header.len());
+        let mut sorted = points.clone();
+        sorted.sort_by(|a, b| a.time.total_cmp(&b.time));
+        for p in &sorted {
+            println!(
+                "{:>7} | {:>10.3} | {:>7.2}x | {:>11.3e} | {:>6}",
+                p.config.to_string(),
+                p.time * 1e3,
+                baseline / p.time,
+                p.rel_error,
+                if on_front(p) { "*" } else { "" }
+            );
+        }
+        println!();
+    }
+
+    match optimal_for_tolerance(&points, tol) {
+        Some(best) => {
+            println!(
+                "optimal config for tolerance {tol:.1e}: {} ({:.2}x speedup, rel error {:.2e})",
+                best.config,
+                baseline / best.time,
+                best.rel_error
+            );
+            println!("paper reference: dssdd (FFT of m + SBGEMV in single) at tolerance 1e-7");
+        }
+        None => println!("no configuration meets tolerance {tol:.1e}"),
+    }
+}

@@ -1,0 +1,124 @@
+//! Shared harness utilities for the figure-regeneration binaries.
+//!
+//! Every binary follows the same contract: *timings* come from the GPU
+//! cost model evaluated at the paper's problem shape; *errors* come from
+//! real mixed-precision arithmetic, run at a memory-scaled shape with the
+//! same structure (mantissa-stuffed inputs, identical grid shapes). Each
+//! binary prints the rows/series of its figure plus the paper's reference
+//! values for side-by-side comparison.
+
+use fftmatvec_core::{BlockToeplitzOperator, FftMatvec, PrecisionConfig};
+use fftmatvec_numeric::vecmath::rel_l2_error;
+use fftmatvec_numeric::SplitMix64;
+
+/// Tiny `-flag value` CLI parser (mirrors the artifact's `-nm 5000 -nd 100
+/// -Nt 1000 -prec dssdd` interface).
+pub struct Args {
+    raw: Vec<String>,
+}
+
+impl Args {
+    pub fn from_env() -> Self {
+        Args { raw: std::env::args().skip(1).collect() }
+    }
+
+    /// Value of `-name <v>`, parsed, or the default.
+    pub fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        let flag = format!("-{name}");
+        self.raw
+            .iter()
+            .position(|a| a.eq_ignore_ascii_case(&flag))
+            .and_then(|i| self.raw.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Is `-name` present (boolean flag)?
+    pub fn has(&self, name: &str) -> bool {
+        let flag = format!("-{name}");
+        self.raw.iter().any(|a| a.eq_ignore_ascii_case(&flag))
+    }
+}
+
+/// Build a random block-Toeplitz operator. Entries are *positive*
+/// uniforms, matching the artifact's initialization path
+/// (`curandGenerateUniformDouble` produces values in (0, 1]); positive
+/// data means the frequency-domain reductions have no sign cancellation,
+/// which is a precondition for the ≲1e-7 mixed-precision errors the paper
+/// reports at `N_m = 5000`.
+pub fn make_operator(nd: usize, nm: usize, nt: usize, seed: u64) -> BlockToeplitzOperator {
+    let mut rng = SplitMix64::new(seed);
+    let mut col = vec![0.0; nt * nd * nm];
+    rng.fill_uniform(&mut col, 0.0, 1.0);
+    BlockToeplitzOperator::from_first_block_column(nd, nm, nt, &col)
+        .expect("valid operator dims")
+}
+
+/// A mantissa-stuffed positive input vector (the §4.2.1 generator applied
+/// to cuRAND-style (0,1] uniforms, so single-precision phases provably
+/// incur error without introducing sign cancellation the paper's
+/// workloads don't have).
+pub fn stuffed_vector(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = SplitMix64::new(seed);
+    let mut v = vec![0.0; n];
+    rng.fill_uniform_stuffed(&mut v, 0.0, 1.0);
+    v
+}
+
+/// Measured relative errors of many configurations against the all-double
+/// baseline, reusing one operator (forward matvec).
+pub fn measure_errors(
+    op: BlockToeplitzOperator,
+    configs: &[PrecisionConfig],
+    seed: u64,
+) -> Vec<f64> {
+    let m = stuffed_vector(op.nm() * op.nt(), seed);
+    let mut mv = FftMatvec::new(op, PrecisionConfig::all_double());
+    let baseline = mv.apply_forward(&m);
+    configs
+        .iter()
+        .map(|&cfg| {
+            mv.set_config(cfg);
+            rel_l2_error(&mv.apply_forward(&m), &baseline)
+        })
+        .collect()
+}
+
+/// Format seconds as milliseconds with three decimals.
+pub fn ms(t: f64) -> String {
+    format!("{:.3}", t * 1e3)
+}
+
+/// Print a horizontal rule sized to a header line.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operator_builder() {
+        let op = make_operator(3, 5, 4, 1);
+        assert_eq!((op.nd(), op.nm(), op.nt()), (3, 5, 4));
+    }
+
+    #[test]
+    fn stuffed_vectors_lose_bits_in_f32() {
+        let v = stuffed_vector(100, 2);
+        assert!(v.iter().all(|&x| (x as f32 as f64 - x).abs() > 0.0));
+    }
+
+    #[test]
+    fn error_measurement_baseline_is_zero() {
+        let op = make_operator(2, 6, 8, 3);
+        let errs = measure_errors(op, &[PrecisionConfig::all_double()], 4);
+        assert_eq!(errs[0], 0.0);
+    }
+
+    #[test]
+    fn ms_formatting() {
+        assert_eq!(ms(0.00125), "1.250");
+    }
+}

@@ -1,0 +1,139 @@
+//! Collectives with *real* data movement.
+//!
+//! The distributed matvec's numerics must be faithful: the paper's error
+//! bound has a `c₅·ε₅·log2(p_c)` term from the phase-5 reduction, which
+//! only appears if the reduction really happens in floating point, in the
+//! configured precision, with a tree-shaped summation order. These
+//! functions operate on per-rank buffers held in one process.
+
+use fftmatvec_numeric::Real;
+
+/// Pairwise-tree sum of per-rank vectors (all the same length). The
+/// summation tree has depth `⌈log2(p)⌉`, matching both an MPI/RCCL tree
+/// reduction and the error model's `log2(p)` factor.
+pub fn tree_reduce_sum<T: Real>(inputs: &[Vec<T>]) -> Vec<T> {
+    assert!(!inputs.is_empty(), "reduce over empty rank set");
+    let len = inputs[0].len();
+    for (i, v) in inputs.iter().enumerate() {
+        assert_eq!(v.len(), len, "rank {i} buffer length mismatch");
+    }
+    reduce_range(inputs, 0, inputs.len(), len)
+}
+
+fn reduce_range<T: Real>(inputs: &[Vec<T>], lo: usize, hi: usize, len: usize) -> Vec<T> {
+    match hi - lo {
+        1 => inputs[lo].clone(),
+        2 => {
+            let mut out = inputs[lo].clone();
+            for (o, &b) in out.iter_mut().zip(&inputs[lo + 1]) {
+                *o += b;
+            }
+            out
+        }
+        n => {
+            // Split at the largest power of two below n, the shape a
+            // recursive-halving reduction takes.
+            let half = (n / 2).next_power_of_two().min(n - 1);
+            let mut left = reduce_range(inputs, lo, lo + half, len);
+            let right = reduce_range(inputs, lo + half, hi, len);
+            for (o, &b) in left.iter_mut().zip(&right) {
+                *o += b;
+            }
+            left
+        }
+    }
+}
+
+/// Broadcast: clone the root buffer to every rank slot.
+pub fn broadcast<T: Clone>(root: &[T], ranks: usize) -> Vec<Vec<T>> {
+    (0..ranks).map(|_| root.to_vec()).collect()
+}
+
+/// Allgather: concatenate per-rank contributions in rank order.
+pub fn allgather<T: Clone>(parts: &[Vec<T>]) -> Vec<T> {
+    let total: usize = parts.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    for p in parts {
+        out.extend_from_slice(p);
+    }
+    out
+}
+
+/// Scatter: split `data` into `parts` contiguous chunks (leading chunks
+/// take the remainder), inverse of [`allgather`] for equal splits.
+pub fn scatter<T: Clone>(data: &[T], parts: usize) -> Vec<Vec<T>> {
+    use crate::grid::ProcessGrid;
+    (0..parts)
+        .map(|i| data[ProcessGrid::chunk_range(data.len(), parts, i)].to_vec())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_reduce_matches_serial_sum_exactly_for_integers() {
+        // Integer-valued floats: any summation order is exact.
+        let inputs: Vec<Vec<f64>> =
+            (0..7).map(|r| vec![r as f64, 2.0 * r as f64]).collect();
+        let out = tree_reduce_sum(&inputs);
+        assert_eq!(out, vec![21.0, 42.0]);
+    }
+
+    #[test]
+    fn tree_reduce_single_rank_is_identity() {
+        let inputs = vec![vec![1.5f32, -2.5]];
+        assert_eq!(tree_reduce_sum(&inputs), vec![1.5, -2.5]);
+    }
+
+    #[test]
+    fn tree_reduce_error_grows_like_log_p() {
+        // Summing p copies of values that don't cancel: the tree error
+        // should stay within ~log2(p)·ε relative, far below a sequential
+        // worst case of p·ε.
+        let p = 1024;
+        let inputs: Vec<Vec<f32>> = (0..p)
+            .map(|r| vec![1.0 + (r as f32) * 1.1920929e-7])
+            .collect();
+        let out = tree_reduce_sum(&inputs);
+        let exact: f64 = inputs.iter().map(|v| v[0] as f64).sum();
+        let rel = ((out[0] as f64 - exact) / exact).abs();
+        let log_bound = (p as f64).log2() * f32::EPSILON as f64;
+        assert!(rel < log_bound, "rel {rel} vs log-bound {log_bound}");
+    }
+
+    #[test]
+    fn tree_reduce_non_power_of_two() {
+        for p in [3usize, 5, 6, 7, 100, 1001] {
+            let inputs: Vec<Vec<f64>> = (0..p).map(|_| vec![1.0]).collect();
+            let out = tree_reduce_sum(&inputs);
+            assert_eq!(out[0], p as f64, "p={p}");
+        }
+    }
+
+    #[test]
+    fn scatter_allgather_roundtrip() {
+        let data: Vec<f64> = (0..103).map(|i| i as f64).collect();
+        for parts in [1usize, 2, 7, 16, 103] {
+            let pieces = scatter(&data, parts);
+            assert_eq!(pieces.len(), parts);
+            assert_eq!(allgather(&pieces), data, "parts={parts}");
+        }
+    }
+
+    #[test]
+    fn broadcast_replicates() {
+        let root = vec![1.0f64, 2.0];
+        let all = broadcast(&root, 5);
+        assert_eq!(all.len(), 5);
+        assert!(all.iter().all(|v| *v == root));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_rejected() {
+        let inputs = vec![vec![1.0f64], vec![1.0, 2.0]];
+        tree_reduce_sum(&inputs);
+    }
+}

@@ -1,0 +1,198 @@
+//! The α–β communication cost model.
+//!
+//! Calibrated to the environment the paper reports (Section 4.2.2):
+//! Frontier nodes with eight GCDs sharing ~100 GB/s of NIC bandwidth,
+//! RCCL collectives whose effective per-step latency grows as a job spans
+//! more of the machine (rendezvous + multi-rack routing), and messages of
+//! 0.8–40 MB that end up *latency-bound* — which is why the paper finds
+//! that communicating in lower precision buys little time but still costs
+//! accuracy.
+
+use crate::grid::ProcessGrid;
+
+/// Network/collective cost model.
+#[derive(Clone, Debug)]
+pub struct NetworkModel {
+    /// Per-step software latency for intra-node collectives (s).
+    pub alpha_intra: f64,
+    /// Per-step software latency for inter-node collectives (s).
+    pub alpha_inter: f64,
+    /// Intra-node (Infinity Fabric) bandwidth per GPU pair (bytes/s).
+    pub intra_bw: f64,
+    /// NIC bandwidth per node (bytes/s), shared by all GPUs on the node.
+    pub nic_bw_per_node: f64,
+    /// GPUs (GCDs) per node.
+    pub gpus_per_node: usize,
+    /// Node count at which span-dependent latency has doubled; models
+    /// multi-rack software/routing overhead growth.
+    pub latency_growth_nodes: f64,
+}
+
+impl NetworkModel {
+    /// OLCF Frontier, per the paper's Section 4.2.2 configuration.
+    /// `intra_bw` is the *effective* per-GPU Infinity Fabric bandwidth
+    /// when all eight GCDs of a node communicate concurrently (each GCD
+    /// pair shares ~50 GB/s links).
+    pub fn frontier() -> Self {
+        NetworkModel {
+            alpha_intra: 3.0e-5,
+            alpha_inter: 2.5e-4,
+            intra_bw: 5.0e10,
+            nic_bw_per_node: 1.0e11,
+            gpus_per_node: 8,
+            latency_growth_nodes: 64.0,
+        }
+    }
+
+    /// Effective point-to-point bandwidth for one rank when `span` ranks
+    /// communicate together.
+    fn link_bw(&self, span: usize) -> f64 {
+        if span <= self.gpus_per_node {
+            self.intra_bw
+        } else {
+            self.nic_bw_per_node / self.gpus_per_node as f64
+        }
+    }
+
+    /// Per-step latency for a communicator of `span` ranks. Inter-node
+    /// latency grows quadratically with the node span — the multi-rack
+    /// routing/rendezvous overhead that makes the paper's 4,096-GPU matvec
+    /// communication-dominated (~0.1 s) despite ms-scale compute.
+    fn alpha(&self, span: usize) -> f64 {
+        if span <= self.gpus_per_node {
+            self.alpha_intra
+        } else {
+            let nodes = (span as f64 / self.gpus_per_node as f64).ceil();
+            let g = nodes / self.latency_growth_nodes;
+            self.alpha_inter * (1.0 + g * g)
+        }
+    }
+
+    /// One tree/ring step moving `bytes` within a `span`-rank communicator.
+    pub fn step_time(&self, span: usize, bytes: f64) -> f64 {
+        self.alpha(span) + bytes / self.link_bw(span)
+    }
+
+    /// Tree reduction of a `bytes`-sized vector over `p` ranks.
+    pub fn reduce_time(&self, bytes: f64, p: usize) -> f64 {
+        if p <= 1 {
+            return 0.0;
+        }
+        let steps = (p as f64).log2().ceil();
+        steps * self.step_time(p, bytes)
+    }
+
+    /// Tree broadcast of `bytes` to `p` ranks.
+    pub fn broadcast_time(&self, bytes: f64, p: usize) -> f64 {
+        // Same tree shape as the reduction.
+        self.reduce_time(bytes, p)
+    }
+
+    /// Ring allgather where each of `p` ranks contributes `bytes_per_rank`.
+    pub fn allgather_time(&self, bytes_per_rank: f64, p: usize) -> f64 {
+        if p <= 1 {
+            return 0.0;
+        }
+        (p - 1) as f64 * self.step_time(p, bytes_per_rank)
+    }
+
+    /// Ring allreduce of a `bytes`-sized vector over `p` ranks
+    /// (reduce-scatter + allgather).
+    pub fn allreduce_time(&self, bytes: f64, p: usize) -> f64 {
+        if p <= 1 {
+            return 0.0;
+        }
+        2.0 * (p - 1) as f64 * self.step_time(p, bytes / p as f64)
+    }
+
+    /// Modeled F-matvec communication for a grid: phase 1 allgathers the
+    /// column-partitioned input within each column (`p_r` ranks), phase 5
+    /// tree-reduces the partial output across each row (`p_c` ranks).
+    ///
+    /// `m_col_bytes`: one column's full input slice; `d_row_bytes`: one
+    /// row's output slice.
+    pub fn forward_matvec_comm(
+        &self,
+        grid: &ProcessGrid,
+        m_col_bytes: f64,
+        d_row_bytes: f64,
+    ) -> f64 {
+        let gather = self.allgather_time(m_col_bytes / grid.rows as f64, grid.rows);
+        let reduce = self.reduce_time(d_row_bytes, grid.cols);
+        gather + reduce
+    }
+
+    /// Modeled F*-matvec communication: phase 1 broadcasts the row-
+    /// partitioned data vector across each row, phase 5 reduces the
+    /// partial parameter vector within each column.
+    pub fn adjoint_matvec_comm(
+        &self,
+        grid: &ProcessGrid,
+        m_col_bytes: f64,
+        d_row_bytes: f64,
+    ) -> f64 {
+        let bcast = self.broadcast_time(d_row_bytes, grid.cols);
+        let reduce = self.reduce_time(m_col_bytes, grid.rows);
+        bcast + reduce
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_communicators_are_free() {
+        let net = NetworkModel::frontier();
+        assert_eq!(net.reduce_time(1e6, 1), 0.0);
+        assert_eq!(net.allgather_time(1e6, 1), 0.0);
+        assert_eq!(net.allreduce_time(1e6, 1), 0.0);
+    }
+
+    #[test]
+    fn intra_node_is_cheaper() {
+        let net = NetworkModel::frontier();
+        let small = net.reduce_time(1e6, 8); // one node
+        let big = net.reduce_time(1e6, 16); // two nodes
+        assert!(small < big / 2.0, "intra {small} vs inter {big}");
+    }
+
+    #[test]
+    fn latency_grows_with_span() {
+        let net = NetworkModel::frontier();
+        // Same byte count, same step count would make these equal without
+        // span-dependent latency.
+        let t512 = net.reduce_time(8e5, 512);
+        let t4096 = net.reduce_time(8e5, 4096);
+        assert!(t4096 > 2.0 * t512, "t512={t512} t4096={t4096}");
+    }
+
+    #[test]
+    fn paper_messages_are_latency_bound() {
+        // Section 4.2.2: 0.8 MB messages at 100 GB/s NIC are latency-bound
+        // ⇒ halving the bytes (single-precision comm) buys <25%.
+        let net = NetworkModel::frontier();
+        let full = net.reduce_time(8e5, 512);
+        let half = net.reduce_time(4e5, 512);
+        assert!(half > 0.75 * full, "full={full} half={half}");
+    }
+
+    #[test]
+    fn forward_comm_with_one_row_has_no_gather() {
+        let net = NetworkModel::frontier();
+        let g1 = ProcessGrid::new(1, 512);
+        let t = net.forward_matvec_comm(&g1, 4e7, 8e5);
+        assert!((t - net.reduce_time(8e5, 512)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frontier_scale_is_order_hundred_ms_at_4096() {
+        // The paper: ~0.11 s per matvec at 4,096 GPUs, dominated by
+        // communication. Check the model lands in that regime (tens of
+        // ms to ~0.3 s) for the 1×4096 grid the partitioner improves on.
+        let net = NetworkModel::frontier();
+        let flat = ProcessGrid::new(1, 4096);
+        let t = net.forward_matvec_comm(&flat, 6.4e8, 8e5);
+        assert!(t > 2e-2 && t < 0.5, "t={t}");
+    }
+}

@@ -1,0 +1,145 @@
+//! The 2-D process grid of the FFTMatvec algorithm.
+//!
+//! FFTMatvec runs on a `p_r × p_c` grid: rows partition the sensors
+//! (`N_d`), columns partition the spatial parameters (`N_m`). Ranks are
+//! numbered column-major (row index fastest), matching the convention
+//! that a column of ranks is co-located on a node — the layout the
+//! partitioner's cost model assumes.
+
+/// A `rows × cols` process grid.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProcessGrid {
+    /// `p_r` — rows (sensor partitions).
+    pub rows: usize,
+    /// `p_c` — columns (parameter partitions).
+    pub cols: usize,
+}
+
+impl ProcessGrid {
+    /// Build a grid; both dimensions must be nonzero.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "process grid dims must be nonzero");
+        ProcessGrid { rows, cols }
+    }
+
+    /// A single-process "grid".
+    pub fn single() -> Self {
+        ProcessGrid { rows: 1, cols: 1 }
+    }
+
+    /// Total number of ranks `p = p_r · p_c`.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Rank of grid position `(row, col)` (column-major).
+    #[inline]
+    pub fn rank_of(&self, row: usize, col: usize) -> usize {
+        debug_assert!(row < self.rows && col < self.cols);
+        col * self.rows + row
+    }
+
+    /// Grid position of `rank`.
+    #[inline]
+    pub fn coords_of(&self, rank: usize) -> (usize, usize) {
+        debug_assert!(rank < self.size());
+        (rank % self.rows, rank / self.rows)
+    }
+
+    /// Ranks in grid row `row` (one per column) — the communicator the
+    /// F-matvec phase-5 reduction runs over.
+    pub fn row_ranks(&self, row: usize) -> Vec<usize> {
+        (0..self.cols).map(|c| self.rank_of(row, c)).collect()
+    }
+
+    /// Ranks in grid column `col` (one per row) — the communicator the
+    /// F-matvec phase-1 gather runs over.
+    pub fn col_ranks(&self, col: usize) -> Vec<usize> {
+        (0..self.rows).map(|r| self.rank_of(r, col)).collect()
+    }
+
+    /// Split `total` items over `parts` owners: owner `i` gets
+    /// `chunk_range(total, parts, i)`. Remainders go to the leading
+    /// owners, matching the `⌈·⌉` in the paper's `n_m = ⌈N_m/p_c⌉`.
+    pub fn chunk_range(total: usize, parts: usize, idx: usize) -> core::ops::Range<usize> {
+        assert!(idx < parts);
+        let base = total / parts;
+        let rem = total % parts;
+        let start = idx * base + idx.min(rem);
+        let len = base + usize::from(idx < rem);
+        start..start + len
+    }
+
+    /// The local row (sensor) index range of grid row `row` for `nd`
+    /// global sensors.
+    pub fn sensor_range(&self, nd: usize, row: usize) -> core::ops::Range<usize> {
+        Self::chunk_range(nd, self.rows, row)
+    }
+
+    /// The local column (parameter) index range of grid column `col` for
+    /// `nm` global parameters.
+    pub fn param_range(&self, nm: usize, col: usize) -> core::ops::Range<usize> {
+        Self::chunk_range(nm, self.cols, col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_coord_roundtrip() {
+        let g = ProcessGrid::new(4, 6);
+        assert_eq!(g.size(), 24);
+        for rank in 0..g.size() {
+            let (r, c) = g.coords_of(rank);
+            assert_eq!(g.rank_of(r, c), rank);
+        }
+    }
+
+    #[test]
+    fn column_major_means_columns_are_contiguous() {
+        let g = ProcessGrid::new(8, 4);
+        // A column of ranks is a consecutive block (co-located on a node).
+        assert_eq!(g.col_ranks(0), (0..8).collect::<Vec<_>>());
+        assert_eq!(g.col_ranks(2), (16..24).collect::<Vec<_>>());
+        // A row strides across nodes.
+        assert_eq!(g.row_ranks(3), vec![3, 11, 19, 27]);
+    }
+
+    #[test]
+    fn chunking_covers_everything_once() {
+        for (total, parts) in [(100, 16), (7, 3), (5, 5), (5, 8)] {
+            let mut seen = vec![0usize; total];
+            for i in 0..parts {
+                for j in ProcessGrid::chunk_range(total, parts, i) {
+                    seen[j] += 1;
+                }
+            }
+            assert!(seen.iter().all(|&s| s == 1), "({total},{parts})");
+        }
+    }
+
+    #[test]
+    fn chunk_sizes_match_ceiling_convention() {
+        // n_m = ⌈N_m/p_c⌉ on the leading owners.
+        let r = ProcessGrid::chunk_range(100, 16, 0);
+        assert_eq!(r.len(), 7); // ⌈100/16⌉ = 7
+        let r = ProcessGrid::chunk_range(100, 16, 15);
+        assert_eq!(r.len(), 6);
+    }
+
+    #[test]
+    fn sensor_and_param_ranges() {
+        let g = ProcessGrid::new(16, 256);
+        assert_eq!(g.sensor_range(100, 0).len(), 7);
+        assert_eq!(g.param_range(5000 * 4096, 0).len(), 80_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_dims_rejected() {
+        let _ = ProcessGrid::new(0, 4);
+    }
+}

@@ -1,0 +1,29 @@
+//! # fftmatvec-comm — the multi-GPU communication substrate
+//!
+//! Stands in for NCCL/RCCL on Frontier's Slingshot network. Two concerns
+//! are kept strictly separate:
+//!
+//! * **Data movement is real.** Every simulated rank owns real buffers;
+//!   [`collectives`] actually reduces/broadcasts/gathers them, in the
+//!   precision the mixed-precision configuration dictates and in a
+//!   deterministic pairwise-tree order — so the `log2(p)` reduction-error
+//!   term of the paper's Eq. (6) arises from genuine floating-point
+//!   arithmetic, not from a model.
+//! * **Time is modeled.** [`cost::NetworkModel`] is an α–β model with
+//!   node-level NIC sharing (Frontier: 8 GCDs share ~100 GB/s of NIC) and
+//!   span-dependent software latency, calibrated to the paper's
+//!   observations (latency-bound 0.8–40 MB messages; ~0.11 s per matvec at
+//!   4,096 GPUs).
+//!
+//! [`partition`] implements communication-aware partitioning (Section 3.7
+//! of the algorithm paper \[44\]): choosing the process-grid shape
+//! `p_r × p_c` that minimizes modeled per-matvec communication.
+
+pub mod collectives;
+pub mod cost;
+pub mod grid;
+pub mod partition;
+
+pub use cost::NetworkModel;
+pub use grid::ProcessGrid;
+pub use partition::{choose_grid, PartitionStrategy};

@@ -1,0 +1,116 @@
+//! Property-based tests for the communication substrate: grid indexing
+//! bijections, chunk coverage, collective correctness on arbitrary data,
+//! and monotonicity of the cost model.
+
+use fftmatvec_comm::collectives::{allgather, broadcast, scatter, tree_reduce_sum};
+use fftmatvec_comm::partition::{choose_grid, PartitionProblem, PartitionStrategy};
+use fftmatvec_comm::{NetworkModel, ProcessGrid};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// rank_of/coords_of are mutually inverse bijections.
+    #[test]
+    fn grid_rank_bijection(rows in 1usize..16, cols in 1usize..16) {
+        let g = ProcessGrid::new(rows, cols);
+        let mut seen = vec![false; g.size()];
+        for r in 0..rows {
+            for c in 0..cols {
+                let rank = g.rank_of(r, c);
+                prop_assert!(!seen[rank], "rank {} assigned twice", rank);
+                seen[rank] = true;
+                prop_assert_eq!(g.coords_of(rank), (r, c));
+            }
+        }
+    }
+
+    /// Chunk ranges partition [0, total) exactly, with sizes differing by
+    /// at most one and leading owners taking the remainder.
+    #[test]
+    fn chunking_partitions(total in 0usize..500, parts in 1usize..32) {
+        let mut covered = 0usize;
+        let mut prev_len = usize::MAX;
+        for i in 0..parts {
+            let r = ProcessGrid::chunk_range(total, parts, i);
+            prop_assert_eq!(r.start, covered, "gap or overlap at part {}", i);
+            covered = r.end;
+            prop_assert!(r.len() <= prev_len, "sizes must be non-increasing");
+            prop_assert!(prev_len - r.len() <= 1 || prev_len == usize::MAX);
+            prev_len = r.len();
+        }
+        prop_assert_eq!(covered, total);
+    }
+
+    /// Tree reduction equals the exact sum for integer-valued data of any
+    /// rank count, and scatter/allgather round-trip.
+    #[test]
+    fn collectives_roundtrip(
+        ranks in 1usize..40,
+        len in 0usize..24,
+        parts in 1usize..12,
+        seed in 0i32..1000,
+    ) {
+        let inputs: Vec<Vec<f64>> = (0..ranks)
+            .map(|r| (0..len).map(|i| ((seed as usize + r * 7 + i) % 13) as f64).collect())
+            .collect();
+        let reduced = tree_reduce_sum(&inputs);
+        for i in 0..len {
+            let want: f64 = inputs.iter().map(|v| v[i]).sum();
+            prop_assert_eq!(reduced[i], want);
+        }
+        let data: Vec<f64> = (0..len).map(|i| i as f64).collect();
+        prop_assert_eq!(allgather(&scatter(&data, parts)), data);
+        let b = broadcast(&reduced, ranks);
+        prop_assert!(b.iter().all(|v| *v == reduced));
+    }
+
+    /// Cost model monotonicity: more bytes and more ranks never get
+    /// cheaper.
+    #[test]
+    fn cost_monotone(bytes in 1.0e3f64..1e9, p in 2usize..4096) {
+        let net = NetworkModel::frontier();
+        prop_assert!(net.reduce_time(bytes, p) <= net.reduce_time(bytes * 2.0, p));
+        prop_assert!(net.reduce_time(bytes, p) <= net.reduce_time(bytes, p * 2) * 1.0000001);
+        prop_assert!(net.allgather_time(bytes, p) <= net.allgather_time(bytes, p + 1));
+        prop_assert!(net.broadcast_time(bytes, p) > 0.0);
+        prop_assert!(net.allreduce_time(bytes, p).is_finite());
+    }
+
+    /// The partitioner always returns a grid of exactly p ranks with rows
+    /// bounded by the sensor count, and never does worse than the flat
+    /// grid under its own cost model.
+    #[test]
+    fn partitioner_soundness(
+        p_exp in 0u32..12,
+        nd in 1usize..128,
+        nm_per in 64usize..8192,
+    ) {
+        let p = 1usize << p_exp;
+        let net = NetworkModel::frontier();
+        let prob = PartitionProblem { nd, nm: nm_per * p, nt: 256, elem_bytes: 8 };
+        let g = choose_grid(PartitionStrategy::CostModel, p, &prob, &net);
+        prop_assert_eq!(g.size(), p);
+        prop_assert!(g.rows == 1 || g.rows <= nd);
+        let flat = ProcessGrid::new(1, p);
+        let t_flat = fftmatvec_comm::partition::grid_comm_time(&net, &flat, &prob);
+        let t_best = fftmatvec_comm::partition::grid_comm_time(&net, &g, &prob);
+        prop_assert!(t_best <= t_flat * 1.0000001);
+    }
+
+    /// Row/column communicator listings are consistent with coords.
+    #[test]
+    fn row_col_ranks(rows in 1usize..10, cols in 1usize..10) {
+        let g = ProcessGrid::new(rows, cols);
+        for r in 0..rows {
+            for &rank in &g.row_ranks(r) {
+                prop_assert_eq!(g.coords_of(rank).0, r);
+            }
+        }
+        for c in 0..cols {
+            for &rank in &g.col_ranks(c) {
+                prop_assert_eq!(g.coords_of(rank).1, c);
+            }
+        }
+    }
+}

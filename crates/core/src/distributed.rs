@@ -1,0 +1,366 @@
+//! The distributed FFTMatvec over a 2-D process grid.
+//!
+//! Grid rows partition the sensors, columns partition the parameters
+//! (Section 2.4): rank `(r, c)` owns the local operator block with
+//! `n_d = ⌈N_d/p_r⌉` sensors and `n_m = ⌈N_m/p_c⌉` parameters. Per-rank
+//! arithmetic is real (each simulated rank runs the full mixed-precision
+//! pipeline on its slice); the inter-rank collectives move real data in
+//! the configured precision via `fftmatvec-comm`, and wall time is modeled
+//! as `max(rank compute) + comm model`.
+//!
+//! F matvec: the input is column-partitioned, so with `p_r = 1` phase 1
+//! needs no communication; with `p_r > 1` each column allgathers its
+//! slice. Phase 5 tree-reduces partial outputs across each grid row. The
+//! F* matvec mirrors this (broadcast across rows, reduce down columns).
+
+use rayon::prelude::*;
+
+use fftmatvec_comm::collectives::tree_reduce_sum;
+use fftmatvec_comm::{NetworkModel, ProcessGrid};
+use fftmatvec_gpu::{DeviceSpec, Phase, PhaseTimes};
+use fftmatvec_numeric::Precision;
+
+use crate::operator::BlockToeplitzOperator;
+use crate::pipeline::FftMatvec;
+use crate::precision::{MatvecPhase, PrecisionConfig};
+use crate::timing::{simulate_phases, MatvecDims};
+
+/// FFTMatvec partitioned over a process grid, all ranks in-process.
+pub struct DistributedFftMatvec {
+    grid: ProcessGrid,
+    nd: usize,
+    nm: usize,
+    nt: usize,
+    /// Per-rank pipelines, indexed by grid rank (column-major).
+    ranks: Vec<FftMatvec>,
+}
+
+impl DistributedFftMatvec {
+    /// Partition a global operator (given by its first block column, in
+    /// the same `[t][i][k]` layout as
+    /// [`BlockToeplitzOperator::from_first_block_column`]) over `grid`.
+    pub fn from_global(
+        nd: usize,
+        nm: usize,
+        nt: usize,
+        col: &[f64],
+        grid: ProcessGrid,
+        cfg: PrecisionConfig,
+    ) -> Result<Self, String> {
+        if col.len() != nt * nd * nm {
+            return Err(format!(
+                "global first block column has {} entries, expected {}",
+                col.len(),
+                nt * nd * nm
+            ));
+        }
+        if grid.rows > nd {
+            return Err(format!("grid rows {} exceed sensor count {}", grid.rows, nd));
+        }
+        if grid.cols > nm {
+            return Err(format!("grid cols {} exceed parameter count {}", grid.cols, nm));
+        }
+        let mut ranks = Vec::with_capacity(grid.size());
+        for rank in 0..grid.size() {
+            let (r, c) = grid.coords_of(rank);
+            let ri = grid.sensor_range(nd, r);
+            let ci = grid.param_range(nm, c);
+            let (ndl, nml) = (ri.len(), ci.len());
+            let mut local = vec![0.0; nt * ndl * nml];
+            for t in 0..nt {
+                for (ii, i) in ri.clone().enumerate() {
+                    let src = &col[(t * nd + i) * nm + ci.start..(t * nd + i) * nm + ci.end];
+                    local[(t * ndl + ii) * nml..(t * ndl + ii) * nml + nml]
+                        .copy_from_slice(src);
+                }
+            }
+            let op = BlockToeplitzOperator::from_first_block_column(ndl, nml, nt, &local)?;
+            ranks.push(FftMatvec::new(op, cfg));
+        }
+        Ok(DistributedFftMatvec { grid, nd, nm, nt, ranks })
+    }
+
+    /// The process grid.
+    pub fn grid(&self) -> ProcessGrid {
+        self.grid
+    }
+
+    /// Global dimensions `(N_d, N_m, N_t)`.
+    pub fn dims(&self) -> (usize, usize, usize) {
+        (self.nd, self.nm, self.nt)
+    }
+
+    /// Change every rank's precision configuration.
+    pub fn set_config(&mut self, cfg: PrecisionConfig) {
+        for r in &mut self.ranks {
+            r.set_config(cfg);
+        }
+    }
+
+    /// Current configuration.
+    pub fn config(&self) -> PrecisionConfig {
+        self.ranks[0].config()
+    }
+
+    /// `d = F·m` with global TOSI vectors.
+    pub fn apply_forward(&self, m: &[f64]) -> Vec<f64> {
+        assert_eq!(m.len(), self.nm * self.nt, "distributed forward input length");
+        // Scatter: column c's slice, replicated down its rows (the
+        // phase-1 broadcast/allgather).
+        let partials: Vec<Vec<f64>> = (0..self.grid.size())
+            .into_par_iter()
+            .map(|rank| {
+                let (_, c) = self.grid.coords_of(rank);
+                let ci = self.grid.param_range(self.nm, c);
+                let mut mc = vec![0.0; ci.len() * self.nt];
+                for t in 0..self.nt {
+                    mc[t * ci.len()..(t + 1) * ci.len()]
+                        .copy_from_slice(&m[t * self.nm + ci.start..t * self.nm + ci.end]);
+                }
+                self.ranks[rank].apply_forward(&mc)
+            })
+            .collect();
+
+        // Phase 5: tree-reduce each grid row's partials across columns in
+        // the phase-5 precision, then place into the global output.
+        let p5 = self.config().phase(MatvecPhase::Unpad);
+        let mut d = vec![0.0; self.nd * self.nt];
+        for r in 0..self.grid.rows {
+            let row_parts: Vec<&Vec<f64>> =
+                self.grid.row_ranks(r).iter().map(|&rk| &partials[rk]).collect();
+            let reduced = reduce_in_precision(&row_parts, p5);
+            let ri = self.grid.sensor_range(self.nd, r);
+            let ndl = ri.len();
+            for t in 0..self.nt {
+                for (ii, i) in ri.clone().enumerate() {
+                    d[t * self.nd + i] = reduced[t * ndl + ii];
+                }
+            }
+        }
+        d
+    }
+
+    /// `m = F*·d` with global TOSI vectors.
+    pub fn apply_adjoint(&self, d: &[f64]) -> Vec<f64> {
+        assert_eq!(d.len(), self.nd * self.nt, "distributed adjoint input length");
+        let partials: Vec<Vec<f64>> = (0..self.grid.size())
+            .into_par_iter()
+            .map(|rank| {
+                let (r, _) = self.grid.coords_of(rank);
+                let ri = self.grid.sensor_range(self.nd, r);
+                let mut dr = vec![0.0; ri.len() * self.nt];
+                for t in 0..self.nt {
+                    dr[t * ri.len()..(t + 1) * ri.len()]
+                        .copy_from_slice(&d[t * self.nd + ri.start..t * self.nd + ri.end]);
+                }
+                self.ranks[rank].apply_adjoint(&dr)
+            })
+            .collect();
+
+        let p5 = self.config().phase(MatvecPhase::Unpad);
+        let mut mv = vec![0.0; self.nm * self.nt];
+        for c in 0..self.grid.cols {
+            let col_parts: Vec<&Vec<f64>> =
+                self.grid.col_ranks(c).iter().map(|&rk| &partials[rk]).collect();
+            let reduced = reduce_in_precision(&col_parts, p5);
+            let ci = self.grid.param_range(self.nm, c);
+            let nml = ci.len();
+            for t in 0..self.nt {
+                for (kk, k) in ci.clone().enumerate() {
+                    mv[t * self.nm + k] = reduced[t * nml + kk];
+                }
+            }
+        }
+        mv
+    }
+
+    /// Modeled matvec time on `dev` ranks under `net`: slowest rank's
+    /// compute plus the grid's communication.
+    pub fn simulate(&self, dev: &DeviceSpec, net: &NetworkModel, adjoint: bool) -> PhaseTimes {
+        // Rank (0,0) owns the ⌈·⌉ chunk sizes — the slowest rank.
+        let ndl = self.grid.sensor_range(self.nd, 0).len();
+        let nml = self.grid.param_range(self.nm, 0).len();
+        let cfg = self.config();
+        let mut t = simulate_phases(MatvecDims::new(ndl, nml, self.nt), cfg, adjoint, dev);
+
+        let p1 = cfg.phase(MatvecPhase::Pad);
+        let p5 = cfg.phase(MatvecPhase::Unpad);
+        let m_col_bytes = (nml * self.nt * p1.real_bytes()) as f64;
+        let d_row_bytes = (ndl * self.nt * p5.real_bytes()) as f64;
+        let comm = if adjoint {
+            net.adjoint_matvec_comm(&self.grid, m_col_bytes, d_row_bytes)
+        } else {
+            net.forward_matvec_comm(&self.grid, m_col_bytes, d_row_bytes)
+        };
+        t.add(Phase::Comm, comm);
+        t
+    }
+}
+
+/// Tree-reduce partial vectors in the given precision, returning double.
+/// In single precision the inputs are rounded first (the cast fused into
+/// the communication buffers), summed pairwise as f32, and widened back —
+/// exactly the arithmetic a single-precision RCCL reduction performs.
+fn reduce_in_precision(parts: &[&Vec<f64>], p: Precision) -> Vec<f64> {
+    match p {
+        Precision::Double => {
+            let owned: Vec<Vec<f64>> = parts.iter().map(|v| (*v).clone()).collect();
+            tree_reduce_sum(&owned)
+        }
+        Precision::Single => {
+            let owned: Vec<Vec<f32>> = parts
+                .iter()
+                .map(|v| v.iter().map(|&x| x as f32).collect())
+                .collect();
+            tree_reduce_sum(&owned).into_iter().map(|x| x as f64).collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fftmatvec_numeric::vecmath::rel_l2_error;
+    use fftmatvec_numeric::SplitMix64;
+
+    fn global_col(nd: usize, nm: usize, nt: usize, seed: u64) -> Vec<f64> {
+        let mut rng = SplitMix64::new(seed);
+        let mut col = vec![0.0; nt * nd * nm];
+        rng.fill_uniform(&mut col, -1.0, 1.0);
+        col
+    }
+
+    fn single_rank_reference(
+        nd: usize,
+        nm: usize,
+        nt: usize,
+        col: &[f64],
+        m: &[f64],
+        adjoint: bool,
+    ) -> Vec<f64> {
+        let op = BlockToeplitzOperator::from_first_block_column(nd, nm, nt, col).unwrap();
+        let mv = FftMatvec::new(op, PrecisionConfig::all_double());
+        if adjoint {
+            mv.apply_adjoint(m)
+        } else {
+            mv.apply_forward(m)
+        }
+    }
+
+    #[test]
+    fn distributed_forward_matches_single_rank() {
+        let (nd, nm, nt) = (4usize, 12usize, 6usize);
+        let col = global_col(nd, nm, nt, 1);
+        let mut rng = SplitMix64::new(2);
+        let mut m = vec![0.0; nm * nt];
+        rng.fill_uniform(&mut m, -1.0, 1.0);
+        let want = single_rank_reference(nd, nm, nt, &col, &m, false);
+        for grid in [
+            ProcessGrid::new(1, 1),
+            ProcessGrid::new(1, 4),
+            ProcessGrid::new(2, 2),
+            ProcessGrid::new(4, 3),
+            ProcessGrid::new(2, 5), // non-dividing column count
+        ] {
+            let dist = DistributedFftMatvec::from_global(
+                nd,
+                nm,
+                nt,
+                &col,
+                grid,
+                PrecisionConfig::all_double(),
+            )
+            .unwrap();
+            let got = dist.apply_forward(&m);
+            let err = rel_l2_error(&got, &want);
+            assert!(err < 1e-12, "grid {}x{}: err {err}", grid.rows, grid.cols);
+        }
+    }
+
+    #[test]
+    fn distributed_adjoint_matches_single_rank() {
+        let (nd, nm, nt) = (4usize, 10usize, 5usize);
+        let col = global_col(nd, nm, nt, 3);
+        let mut rng = SplitMix64::new(4);
+        let mut d = vec![0.0; nd * nt];
+        rng.fill_uniform(&mut d, -1.0, 1.0);
+        let want = single_rank_reference(nd, nm, nt, &col, &d, true);
+        for grid in [ProcessGrid::new(1, 5), ProcessGrid::new(2, 2), ProcessGrid::new(4, 2)] {
+            let dist = DistributedFftMatvec::from_global(
+                nd,
+                nm,
+                nt,
+                &col,
+                grid,
+                PrecisionConfig::all_double(),
+            )
+            .unwrap();
+            let got = dist.apply_adjoint(&d);
+            let err = rel_l2_error(&got, &want);
+            assert!(err < 1e-12, "grid {}x{}: err {err}", grid.rows, grid.cols);
+        }
+    }
+
+    #[test]
+    fn single_precision_reduction_adds_error() {
+        // dssdd vs dssds: lowering the reduction precision must increase
+        // the error on a multi-column grid (the Figure-4 tradeoff).
+        let (nd, nm, nt) = (2usize, 16usize, 8usize);
+        let col = global_col(nd, nm, nt, 5);
+        let mut rng = SplitMix64::new(6);
+        let mut m = vec![0.0; nm * nt];
+        rng.fill_uniform_stuffed(&mut m, -1.0, 1.0);
+        let baseline = single_rank_reference(nd, nm, nt, &col, &m, false);
+        let grid = ProcessGrid::new(1, 8);
+        let mut dist = DistributedFftMatvec::from_global(
+            nd,
+            nm,
+            nt,
+            &col,
+            grid,
+            "dssdd".parse().unwrap(),
+        )
+        .unwrap();
+        let err_dd = rel_l2_error(&dist.apply_forward(&m), &baseline);
+        dist.set_config("dssds".parse().unwrap());
+        let err_ds = rel_l2_error(&dist.apply_forward(&m), &baseline);
+        assert!(err_ds > err_dd, "single reduction should cost accuracy: {err_ds} vs {err_dd}");
+        assert!(err_ds < 1e-4);
+    }
+
+    #[test]
+    fn simulate_includes_comm_only_for_multirank() {
+        let (nd, nm, nt) = (4usize, 8usize, 4usize);
+        let col = global_col(nd, nm, nt, 7);
+        let net = NetworkModel::frontier();
+        let dev = DeviceSpec::mi250x_gcd();
+        let single = DistributedFftMatvec::from_global(
+            nd, nm, nt, &col, ProcessGrid::single(), PrecisionConfig::all_double(),
+        )
+        .unwrap();
+        assert_eq!(single.simulate(&dev, &net, false).get(Phase::Comm), 0.0);
+        let multi = DistributedFftMatvec::from_global(
+            nd, nm, nt, &col, ProcessGrid::new(2, 4), PrecisionConfig::all_double(),
+        )
+        .unwrap();
+        assert!(multi.simulate(&dev, &net, false).get(Phase::Comm) > 0.0);
+    }
+
+    #[test]
+    fn grid_validation() {
+        let (nd, nm, nt) = (2usize, 4usize, 3usize);
+        let col = global_col(nd, nm, nt, 8);
+        assert!(DistributedFftMatvec::from_global(
+            nd, nm, nt, &col, ProcessGrid::new(3, 1), PrecisionConfig::all_double()
+        )
+        .is_err());
+        assert!(DistributedFftMatvec::from_global(
+            nd, nm, nt, &col, ProcessGrid::new(1, 5), PrecisionConfig::all_double()
+        )
+        .is_err());
+        assert!(DistributedFftMatvec::from_global(
+            nd, nm, nt, &col[1..], ProcessGrid::single(), PrecisionConfig::all_double()
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,241 @@
+//! Fused memory-operation kernels: pad, unpad, and the TOSI↔SOTI
+//! reorderings, each with precision casts folded in.
+//!
+//! FFTMatvec's vectors live in two layouts: *time-outer/space-inner*
+//! (TOSI — the block convention `[t][series]` of the math) and
+//! *space-outer/time-inner* (SOTI — `[series][t]`, what the batched FFT
+//! wants). The paper treats these reorderings as pure memory operations,
+//! fuses any precision casts into them, and runs them in the lowest
+//! precision of the adjacent compute phases (Section 3.2). Each function
+//! here is one such fused kernel.
+
+use fftmatvec_numeric::{Complex, ComplexBuffer, Precision, Real, RealBuffer};
+
+/// Phase 1: TOSI input → SOTI zero-padded, cast to `p`.
+///
+/// `m[t·n_series + s]` for `t < nt` → `out[s·2nt + t]`; entries
+/// `t ∈ [nt, 2nt)` are the circulant-embedding zeros.
+pub fn pad_input(m: &[f64], n_series: usize, nt: usize, p: Precision) -> RealBuffer {
+    assert_eq!(m.len(), n_series * nt, "pad_input length mismatch");
+    fn inner<T: Real>(m: &[f64], n_series: usize, nt: usize) -> Vec<T> {
+        let n2 = 2 * nt;
+        let mut out = vec![T::ZERO; n_series * n2];
+        for t in 0..nt {
+            let row = &m[t * n_series..(t + 1) * n_series];
+            for (s, &v) in row.iter().enumerate() {
+                out[s * n2 + t] = T::from_f64(v);
+            }
+        }
+        out
+    }
+    match p {
+        Precision::Single => RealBuffer::F32(inner::<f32>(m, n_series, nt)),
+        Precision::Double => RealBuffer::F64(inner::<f64>(m, n_series, nt)),
+    }
+}
+
+/// Phase 2→3 reorder: per-series spectra `[series][freq]` → per-frequency
+/// batch vectors `[freq][series]`, cast to `p`.
+pub fn spectrum_to_batch(
+    spec: &ComplexBuffer,
+    n_series: usize,
+    nfreq: usize,
+    p: Precision,
+) -> ComplexBuffer {
+    assert_eq!(spec.len(), n_series * nfreq, "spectrum_to_batch length mismatch");
+    fn inner<Tin: Real, Tout: Real>(
+        spec: &[Complex<Tin>],
+        n_series: usize,
+        nfreq: usize,
+    ) -> Vec<Complex<Tout>> {
+        let mut out = vec![Complex::zero(); n_series * nfreq];
+        for s in 0..n_series {
+            let series = &spec[s * nfreq..(s + 1) * nfreq];
+            for (f, &v) in series.iter().enumerate() {
+                out[f * n_series + s] = v.cast();
+            }
+        }
+        out
+    }
+    match (spec, p) {
+        (ComplexBuffer::C32(v), Precision::Single) => {
+            ComplexBuffer::C32(inner::<f32, f32>(v, n_series, nfreq))
+        }
+        (ComplexBuffer::C32(v), Precision::Double) => {
+            ComplexBuffer::C64(inner::<f32, f64>(v, n_series, nfreq))
+        }
+        (ComplexBuffer::C64(v), Precision::Single) => {
+            ComplexBuffer::C32(inner::<f64, f32>(v, n_series, nfreq))
+        }
+        (ComplexBuffer::C64(v), Precision::Double) => {
+            ComplexBuffer::C64(inner::<f64, f64>(v, n_series, nfreq))
+        }
+    }
+}
+
+/// Phase 3→4 reorder: per-frequency batch `[freq][series]` → per-series
+/// spectra `[series][freq]`, cast to `p`.
+pub fn batch_to_spectrum(
+    batch: &ComplexBuffer,
+    n_series: usize,
+    nfreq: usize,
+    p: Precision,
+) -> ComplexBuffer {
+    assert_eq!(batch.len(), n_series * nfreq, "batch_to_spectrum length mismatch");
+    fn inner<Tin: Real, Tout: Real>(
+        batch: &[Complex<Tin>],
+        n_series: usize,
+        nfreq: usize,
+    ) -> Vec<Complex<Tout>> {
+        let mut out = vec![Complex::zero(); n_series * nfreq];
+        for f in 0..nfreq {
+            let row = &batch[f * n_series..(f + 1) * n_series];
+            for (s, &v) in row.iter().enumerate() {
+                out[s * nfreq + f] = v.cast();
+            }
+        }
+        out
+    }
+    match (batch, p) {
+        (ComplexBuffer::C32(v), Precision::Single) => {
+            ComplexBuffer::C32(inner::<f32, f32>(v, n_series, nfreq))
+        }
+        (ComplexBuffer::C32(v), Precision::Double) => {
+            ComplexBuffer::C64(inner::<f32, f64>(v, n_series, nfreq))
+        }
+        (ComplexBuffer::C64(v), Precision::Single) => {
+            ComplexBuffer::C32(inner::<f64, f32>(v, n_series, nfreq))
+        }
+        (ComplexBuffer::C64(v), Precision::Double) => {
+            ComplexBuffer::C64(inner::<f64, f64>(v, n_series, nfreq))
+        }
+    }
+}
+
+/// Phase 5: SOTI padded time signals → TOSI unpadded output, routed
+/// through precision `p` (the phase-5 memory-op precision) before the
+/// final double-precision output — this round-trip is exactly where a
+/// single-precision phase 5 loses bits.
+pub fn unpad_output(time: &RealBuffer, n_series: usize, nt: usize, p: Precision) -> Vec<f64> {
+    let n2 = 2 * nt;
+    assert_eq!(time.len(), n_series * n2, "unpad_output length mismatch");
+    let mut out = vec![0.0f64; n_series * nt];
+    match (time, p) {
+        (RealBuffer::F32(v), _) => {
+            // Already single: route is exact regardless of p.
+            for s in 0..n_series {
+                for t in 0..nt {
+                    out[t * n_series + s] = v[s * n2 + t] as f64;
+                }
+            }
+        }
+        (RealBuffer::F64(v), Precision::Double) => {
+            for s in 0..n_series {
+                for t in 0..nt {
+                    out[t * n_series + s] = v[s * n2 + t];
+                }
+            }
+        }
+        (RealBuffer::F64(v), Precision::Single) => {
+            for s in 0..n_series {
+                for t in 0..nt {
+                    out[t * n_series + s] = v[s * n2 + t] as f32 as f64;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Cast a real SOTI buffer to a target precision (the fused cast between
+/// phases 1 and 2 when their precisions differ). No-op when equal.
+pub fn cast_real(buf: RealBuffer, p: Precision) -> RealBuffer {
+    buf.cast(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fftmatvec_numeric::rng::mantissa_stuff;
+    use fftmatvec_numeric::SplitMix64;
+
+    #[test]
+    fn pad_layout_and_zeros() {
+        // 2 series, 3 timesteps: m[t][s] = 10·t + s.
+        let m: Vec<f64> = (0..6).map(|i| (i / 2 * 10 + i % 2) as f64).collect();
+        let b = pad_input(&m, 2, 3, Precision::Double);
+        let v = b.as_f64().unwrap();
+        assert_eq!(v.len(), 12);
+        // Series 0: [0,10,20,0,0,0]; series 1: [1,11,21,0,0,0].
+        assert_eq!(&v[0..6], &[0.0, 10.0, 20.0, 0.0, 0.0, 0.0]);
+        assert_eq!(&v[6..12], &[1.0, 11.0, 21.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn pad_in_single_rounds() {
+        let x = mantissa_stuff(0.3);
+        let b = pad_input(&[x], 1, 1, Precision::Single);
+        assert_eq!(b.precision(), Precision::Single);
+        assert_ne!(b.get(0), x, "single pad must round a stuffed double");
+        let b = pad_input(&[x], 1, 1, Precision::Double);
+        assert_eq!(b.get(0), x);
+    }
+
+    #[test]
+    fn reorders_are_mutually_inverse() {
+        let (ns, nf) = (5, 7);
+        let mut rng = SplitMix64::new(1);
+        let data: Vec<fftmatvec_numeric::C64> = (0..ns * nf)
+            .map(|_| fftmatvec_numeric::C64::new(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)))
+            .collect();
+        let spec = ComplexBuffer::C64(data.clone());
+        let batch = spectrum_to_batch(&spec, ns, nf, Precision::Double);
+        let back = batch_to_spectrum(&batch, ns, nf, Precision::Double);
+        assert_eq!(back.to_c64_vec(), data);
+    }
+
+    #[test]
+    fn reorder_transposes_indices() {
+        // spec[s][f] = s + 10f ⇒ batch[f][s] must equal the same value.
+        let (ns, nf) = (3, 4);
+        let data: Vec<fftmatvec_numeric::C64> = (0..ns)
+            .flat_map(|s| (0..nf).map(move |f| fftmatvec_numeric::C64::new((s + 10 * f) as f64, 0.0)))
+            .collect();
+        let batch = spectrum_to_batch(&ComplexBuffer::C64(data), ns, nf, Precision::Double);
+        for f in 0..nf {
+            for s in 0..ns {
+                assert_eq!(batch.get(f * ns + s).re, (s + 10 * f) as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn reorder_casts() {
+        let spec = ComplexBuffer::C64(vec![fftmatvec_numeric::C64::new(mantissa_stuff(1.0), 0.0)]);
+        let single = spectrum_to_batch(&spec, 1, 1, Precision::Single);
+        assert_eq!(single.precision(), Precision::Single);
+        assert_ne!(single.get(0).re, spec.get(0).re);
+        let double = spectrum_to_batch(&spec, 1, 1, Precision::Double);
+        assert_eq!(double.get(0), spec.get(0));
+    }
+
+    #[test]
+    fn unpad_drops_padding_and_transposes() {
+        // 2 series of length 2·2: series s has values [s0, s1, pad, pad].
+        let time = RealBuffer::F64(vec![1.0, 2.0, 9.0, 9.0, 3.0, 4.0, 9.0, 9.0]);
+        let out = unpad_output(&time, 2, 2, Precision::Double);
+        // TOSI: t0 = [1,3], t1 = [2,4].
+        assert_eq!(out, vec![1.0, 3.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn unpad_single_route_loses_bits() {
+        let x = mantissa_stuff(0.7);
+        let time = RealBuffer::F64(vec![x, 0.0]);
+        let exact = unpad_output(&time, 1, 1, Precision::Double);
+        assert_eq!(exact[0], x);
+        let lossy = unpad_output(&time, 1, 1, Precision::Single);
+        assert_ne!(lossy[0], x);
+        assert!((lossy[0] - x).abs() / x.abs() < 1e-6);
+    }
+}

@@ -1,0 +1,43 @@
+//! # fftmatvec-core — the FFTMatvec algorithm
+//!
+//! The paper's primary contribution: FFT-based matrix-vector products with
+//! block lower-triangular Toeplitz matrices, with a dynamic mixed-precision
+//! framework over the five computational phases (Section 2.4):
+//!
+//! 1. broadcast + zero-pad the input vector,
+//! 2. batched (real-to-complex) FFT,
+//! 3. block-diagonal matvec in Fourier space — a strided batched GEMV over
+//!    `N_t + 1` frequency matrices of size `N_d × N_m`,
+//! 4. batched (complex-to-real) inverse FFT,
+//! 5. unpad + reduce.
+//!
+//! Each phase computes in single or double precision per a runtime
+//! [`PrecisionConfig`] (32 combinations); casts are fused into the adjacent
+//! memory operations, and memory operations run in the lowest precision of
+//! their neighbouring phases (Section 3.2). The adjoint matvec `F*` uses
+//! the conjugate-transpose GEMV with input/output roles switched.
+//!
+//! Numerical results are real CPU arithmetic; simulated GPU timings come
+//! from `fftmatvec-gpu` profiles built by [`timing`]. [`distributed`] runs
+//! the algorithm over a 2-D process grid with real per-rank data and the
+//! `fftmatvec-comm` cost model. [`error_analysis`] implements the paper's
+//! first-order bound (Eq. 6); [`pareto`] the Pareto-front configuration
+//! selection.
+
+pub mod direct;
+pub mod distributed;
+pub mod error_analysis;
+pub mod layout;
+pub mod operator;
+pub mod pareto;
+pub mod pipeline;
+pub mod precision;
+pub mod timing;
+
+pub use direct::DirectMatvec;
+pub use distributed::DistributedFftMatvec;
+pub use error_analysis::ErrorBound;
+pub use operator::BlockToeplitzOperator;
+pub use pareto::{pareto_front, ParetoPoint};
+pub use pipeline::FftMatvec;
+pub use precision::{MatvecPhase, PrecisionConfig};

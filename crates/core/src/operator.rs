@@ -1,0 +1,259 @@
+//! Block lower-triangular Toeplitz operators and their frequency-domain
+//! setup.
+//!
+//! Only the first block column of `F` is stored (Section 2.4): `N_t`
+//! blocks `F_{j1} ∈ R^{N_d × N_m}`. Setup embeds `F` in a block-circulant
+//! matrix by zero-padding the block column to length `2·N_t` and takes a
+//! batched real-to-complex FFT along the block index, yielding `N_t + 1`
+//! complex frequency matrices `F̂_k` stored column-major, ready for the
+//! strided batched GEMV. Setup always runs in double precision (it is a
+//! one-time cost, Section 3.2); a single-precision copy of `F̂` is
+//! materialized lazily for configurations that compute phase 3 in FP32.
+
+use fftmatvec_fft::BatchedRealFft;
+use fftmatvec_numeric::{Complex, C32, C64};
+
+/// A block lower-triangular Toeplitz operator in FFT-ready form.
+pub struct BlockToeplitzOperator {
+    nd: usize,
+    nm: usize,
+    nt: usize,
+    /// `F̂` in double precision: `nfreq` column-major `nd × nm` matrices,
+    /// packed contiguously (`stride_a = nd·nm`).
+    fhat: Vec<C64>,
+    /// Lazily cached single-precision copy of `F̂`.
+    fhat32: std::sync::OnceLock<Vec<C32>>,
+    /// The first block column, kept for the direct (oracle) matvec:
+    /// layout `col[(t·nd + i)·nm + k] = F_{t+1,1}[i,k]`.
+    first_col: Vec<f64>,
+}
+
+impl BlockToeplitzOperator {
+    /// Build from the first block column.
+    ///
+    /// `col` has length `nt·nd·nm`, laid out `[t][sensor i][param k]`
+    /// (row-major blocks): `col[(t·nd + i)·nm + k] = F_{t+1,1}[i,k]`.
+    pub fn from_first_block_column(
+        nd: usize,
+        nm: usize,
+        nt: usize,
+        col: &[f64],
+    ) -> Result<Self, String> {
+        if nd == 0 || nm == 0 || nt == 0 {
+            return Err("operator dimensions must be nonzero".into());
+        }
+        if col.len() != nt * nd * nm {
+            return Err(format!(
+                "first block column has {} entries, expected nt*nd*nm = {}",
+                col.len(),
+                nt * nd * nm
+            ));
+        }
+
+        // Gather each (i,k) time series contiguously, zero-padded to 2·nt,
+        // and FFT the whole nd·nm batch (the double-precision setup FFT of
+        // Section 3.2.1, error bounded by c_F·ε_d·log2(2·N_t)).
+        let n2 = 2 * nt;
+        let nfreq = nt + 1;
+        let series_count = nd * nm;
+        let mut padded = vec![0.0f64; series_count * n2];
+        for t in 0..nt {
+            for i in 0..nd {
+                for k in 0..nm {
+                    padded[(i * nm + k) * n2 + t] = col[(t * nd + i) * nm + k];
+                }
+            }
+        }
+        let fft = BatchedRealFft::<f64>::new(n2);
+        let mut spectra = vec![Complex::zero(); series_count * nfreq];
+        fft.forward_batch(&padded, &mut spectra);
+        drop(padded);
+
+        // Transpose to SBGEMV layout: per frequency, column-major nd × nm.
+        // fhat[f·nd·nm + k·nd + i] = spectra[(i·nm + k)·nfreq + f].
+        let mut fhat = vec![Complex::zero(); nfreq * nd * nm];
+        for i in 0..nd {
+            for k in 0..nm {
+                let src = &spectra[(i * nm + k) * nfreq..(i * nm + k + 1) * nfreq];
+                for (f, &v) in src.iter().enumerate() {
+                    fhat[f * nd * nm + k * nd + i] = v;
+                }
+            }
+        }
+
+        Ok(BlockToeplitzOperator {
+            nd,
+            nm,
+            nt,
+            fhat,
+            fhat32: std::sync::OnceLock::new(),
+            first_col: col.to_vec(),
+        })
+    }
+
+    /// Number of sensors (block rows).
+    #[inline]
+    pub fn nd(&self) -> usize {
+        self.nd
+    }
+
+    /// Number of spatial parameters (block columns).
+    #[inline]
+    pub fn nm(&self) -> usize {
+        self.nm
+    }
+
+    /// Number of time blocks.
+    #[inline]
+    pub fn nt(&self) -> usize {
+        self.nt
+    }
+
+    /// Frequency count `N_t + 1` (the SBGEMV batch size).
+    #[inline]
+    pub fn nfreq(&self) -> usize {
+        self.nt + 1
+    }
+
+    /// The double-precision frequency matrices.
+    #[inline]
+    pub fn fhat(&self) -> &[C64] {
+        &self.fhat
+    }
+
+    /// The single-precision frequency matrices (materialized on first
+    /// use — the one-time cast for FP32 phase-3 configurations).
+    pub fn fhat32(&self) -> &[C32] {
+        self.fhat32.get_or_init(|| self.fhat.iter().map(|z| z.cast()).collect())
+    }
+
+    /// The stored first block column (`[t][i][k]` layout).
+    #[inline]
+    pub fn first_col(&self) -> &[f64] {
+        &self.first_col
+    }
+
+    /// One block of the first column, as a dense row-major `nd × nm` view.
+    pub fn block(&self, t: usize) -> &[f64] {
+        assert!(t < self.nt);
+        &self.first_col[t * self.nd * self.nm..(t + 1) * self.nd * self.nm]
+    }
+
+    /// Materialize the full dense `F` (`(nd·nt) × (nm·nt)` row-major).
+    /// Test/oracle use only — quadratic in `nt`.
+    pub fn dense(&self) -> Vec<f64> {
+        let rows = self.nd * self.nt;
+        let cols = self.nm * self.nt;
+        let mut out = vec![0.0; rows * cols];
+        for bi in 0..self.nt {
+            for bj in 0..=bi {
+                let blk = self.block(bi - bj);
+                for i in 0..self.nd {
+                    for k in 0..self.nm {
+                        out[(bi * self.nd + i) * cols + bj * self.nm + k] =
+                            blk[i * self.nm + k];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Bytes of the double-precision `F̂` (the resident matrix data the
+    /// bandwidth model streams in phase 3).
+    pub fn fhat_bytes(&self) -> usize {
+        self.fhat.len() * core::mem::size_of::<C64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fftmatvec_numeric::SplitMix64;
+
+    fn random_operator(nd: usize, nm: usize, nt: usize, seed: u64) -> BlockToeplitzOperator {
+        let mut rng = SplitMix64::new(seed);
+        let mut col = vec![0.0; nt * nd * nm];
+        rng.fill_uniform(&mut col, -1.0, 1.0);
+        BlockToeplitzOperator::from_first_block_column(nd, nm, nt, &col).unwrap()
+    }
+
+    #[test]
+    fn dimensions_and_freq_count() {
+        let op = random_operator(3, 5, 8, 1);
+        assert_eq!(op.nd(), 3);
+        assert_eq!(op.nm(), 5);
+        assert_eq!(op.nt(), 8);
+        assert_eq!(op.nfreq(), 9);
+        assert_eq!(op.fhat().len(), 9 * 15);
+        assert_eq!(op.fhat_bytes(), 9 * 15 * 16);
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        assert!(BlockToeplitzOperator::from_first_block_column(0, 5, 8, &[]).is_err());
+        assert!(BlockToeplitzOperator::from_first_block_column(3, 5, 8, &[0.0; 7]).is_err());
+    }
+
+    #[test]
+    fn dc_frequency_is_block_sum() {
+        // F̂_0 = Σ_t F_{t,1} (the DC bin of the padded column FFT).
+        let op = random_operator(2, 3, 4, 2);
+        let mut sum = vec![0.0; 2 * 3];
+        for t in 0..4 {
+            for (s, &v) in sum.iter_mut().zip(op.block(t)) {
+                *s += v;
+            }
+        }
+        for i in 0..2 {
+            for k in 0..3 {
+                let z = op.fhat()[k * 2 + i]; // freq 0, column-major
+                assert!((z.re - sum[i * 3 + k]).abs() < 1e-12);
+                assert!(z.im.abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn dense_is_block_lower_triangular_toeplitz() {
+        let op = random_operator(2, 3, 3, 3);
+        let dense = op.dense();
+        let (nd, nm, nt) = (2, 3, 3);
+        let cols = nm * nt;
+        // Upper block triangle is zero.
+        for bi in 0..nt {
+            for bj in bi + 1..nt {
+                for i in 0..nd {
+                    for k in 0..nm {
+                        assert_eq!(dense[(bi * nd + i) * cols + bj * nm + k], 0.0);
+                    }
+                }
+            }
+        }
+        // Toeplitz: block (bi,bj) equals block (bi-bj, 0).
+        for bi in 0..nt {
+            for bj in 0..=bi {
+                let blk = op.block(bi - bj);
+                for i in 0..nd {
+                    for k in 0..nm {
+                        assert_eq!(
+                            dense[(bi * nd + i) * cols + bj * nm + k],
+                            blk[i * nm + k]
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fhat32_is_the_rounded_fhat() {
+        let op = random_operator(2, 2, 4, 4);
+        let f32s = op.fhat32();
+        assert_eq!(f32s.len(), op.fhat().len());
+        for (a, b) in f32s.iter().zip(op.fhat()) {
+            assert_eq!(a.re, b.re as f32);
+            assert_eq!(a.im, b.im as f32);
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Pareto-front analysis of mixed-precision configurations
+//! (Section 3.2, applied in Section 4.2).
+//!
+//! Every configuration is a point in (time, relative error) space; the
+//! Pareto front is the set of non-dominated points. For a given error
+//! tolerance — set from sensor precision and noise level in the inverse-
+//! problem context — the optimal configuration is the fastest point on or
+//! under the tolerance.
+
+use crate::precision::PrecisionConfig;
+
+/// One measured configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ParetoPoint {
+    /// The five-phase precision assignment.
+    pub config: PrecisionConfig,
+    /// Matvec time (seconds — simulated GPU or measured wall clock).
+    pub time: f64,
+    /// Relative ℓ2 error versus the all-double baseline.
+    pub rel_error: f64,
+}
+
+impl ParetoPoint {
+    /// Does `self` dominate `other` (no worse in both, better in one)?
+    pub fn dominates(&self, other: &ParetoPoint) -> bool {
+        (self.time <= other.time && self.rel_error <= other.rel_error)
+            && (self.time < other.time || self.rel_error < other.rel_error)
+    }
+}
+
+/// Extract the Pareto front (minimizing both time and error), sorted by
+/// increasing time. Among equal (time, error) pairs the first occurrence
+/// is kept.
+pub fn pareto_front(points: &[ParetoPoint]) -> Vec<ParetoPoint> {
+    let mut sorted: Vec<ParetoPoint> = points.to_vec();
+    sorted.sort_by(|a, b| {
+        a.time
+            .total_cmp(&b.time)
+            .then(a.rel_error.total_cmp(&b.rel_error))
+    });
+    let mut front: Vec<ParetoPoint> = Vec::new();
+    let mut best_err = f64::INFINITY;
+    for p in sorted {
+        if p.rel_error < best_err {
+            best_err = p.rel_error;
+            front.push(p);
+        }
+    }
+    // Sorted by time ascending; errors strictly decreasing along the front.
+    front
+}
+
+/// The fastest configuration whose error is at or below `tolerance`
+/// (the paper's selection rule with tolerance 1e-7).
+///
+/// Configurations within 1% of the best time are treated as tied — a
+/// memory phase in single precision saves almost nothing when the
+/// adjacent compute phase already runs in single (its cast happens either
+/// way). Ties break toward the *fewest* single-precision phases, then the
+/// lower error: the most conservative configuration at the same speed,
+/// which is how the paper's front ends up at `dssdd` rather than `sssdd`.
+pub fn optimal_for_tolerance(points: &[ParetoPoint], tolerance: f64) -> Option<ParetoPoint> {
+    let admissible: Vec<&ParetoPoint> =
+        points.iter().filter(|p| p.rel_error <= tolerance).collect();
+    let best_time = admissible
+        .iter()
+        .map(|p| p.time)
+        .min_by(f64::total_cmp)?;
+    admissible
+        .into_iter()
+        .filter(|p| p.time <= best_time * 1.01)
+        .min_by(|a, b| {
+            a.config
+                .single_count()
+                .cmp(&b.config.single_count())
+                .then(a.rel_error.total_cmp(&b.rel_error))
+                .then(a.time.total_cmp(&b.time))
+        })
+        .copied()
+}
+
+/// Speedup of each point against a baseline time.
+pub fn speedup(baseline_time: f64, p: &ParetoPoint) -> f64 {
+    baseline_time / p.time
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(cfg: &str, time: f64, err: f64) -> ParetoPoint {
+        ParetoPoint { config: cfg.parse().unwrap(), time, rel_error: err }
+    }
+
+    #[test]
+    fn domination() {
+        let a = pt("ddddd", 1.0, 0.0);
+        let b = pt("sdddd", 1.0, 1e-7);
+        let c = pt("dssdd", 0.5, 1e-8);
+        assert!(a.dominates(&b));
+        assert!(!b.dominates(&a));
+        assert!(c.dominates(&b));
+        assert!(!a.dominates(&a), "a point never dominates itself");
+    }
+
+    #[test]
+    fn front_extraction() {
+        let points = vec![
+            pt("ddddd", 1.00, 0.0),
+            pt("dssdd", 0.55, 5e-8),
+            pt("sssss", 0.45, 3e-6),
+            pt("sdddd", 1.00, 1e-7), // dominated by ddddd
+            pt("ddsdd", 0.60, 5e-8), // dominated by dssdd
+        ];
+        let front = pareto_front(&points);
+        let names: Vec<String> = front.iter().map(|p| p.config.to_string()).collect();
+        assert_eq!(names, vec!["sssss", "dssdd", "ddddd"]);
+        // Errors strictly decrease along increasing time.
+        for w in front.windows(2) {
+            assert!(w[0].time <= w[1].time);
+            assert!(w[0].rel_error > w[1].rel_error);
+        }
+    }
+
+    #[test]
+    fn tolerance_selection_matches_paper_logic() {
+        let points = vec![
+            pt("ddddd", 1.00, 0.0),
+            pt("dssdd", 0.55, 5e-8),
+            pt("sssss", 0.45, 3e-6),
+        ];
+        // Tolerance 1e-7: all-single is too lossy, dssdd is the fastest
+        // admissible — the paper's conclusion.
+        let best = optimal_for_tolerance(&points, 1e-7).unwrap();
+        assert_eq!(best.config.to_string(), "dssdd");
+        // Loose tolerance admits all-single.
+        let loose = optimal_for_tolerance(&points, 1e-5).unwrap();
+        assert_eq!(loose.config.to_string(), "sssss");
+        // Impossible tolerance: only exact baseline qualifies.
+        let exact = optimal_for_tolerance(&points, 0.0).unwrap();
+        assert_eq!(exact.config.to_string(), "ddddd");
+    }
+
+    #[test]
+    fn empty_tolerance_set() {
+        let points = vec![pt("sssss", 0.4, 1e-3)];
+        assert!(optimal_for_tolerance(&points, 1e-9).is_none());
+    }
+
+    #[test]
+    fn speedup_helper() {
+        let p = pt("dssdd", 0.5, 1e-8);
+        assert!((speedup(1.0, &p) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn front_of_empty_and_singleton() {
+        assert!(pareto_front(&[]).is_empty());
+        let single = vec![pt("ddddd", 1.0, 0.0)];
+        assert_eq!(pareto_front(&single).len(), 1);
+    }
+}

@@ -1,0 +1,375 @@
+//! The five-phase FFTMatvec pipeline with dynamic mixed precision.
+//!
+//! Both matvec directions share the same pipeline skeleton:
+//!
+//! ```text
+//! F :  d = Unpad( IFFT( F̂ ·  FFT(Pad(m)) ) )      (NoTrans GEMV)
+//! F*:  m = Unpad( IFFT( F̂ᴴ · FFT(Pad(d)) ) )      (ConjTrans GEMV)
+//! ```
+//!
+//! The working precision is tracked through the phases: each phase
+//! computes in its configured precision, casts are fused into the
+//! adjacent memory operations ([`crate::layout`]), and the input/output
+//! vectors are always double (Section 3.2 — downstream inverse-problem
+//! computations need FP64 endpoints).
+
+use fftmatvec_blas::{sbgemv, BatchGeometry, GemvOp};
+use fftmatvec_fft::BatchedRealFft;
+use fftmatvec_numeric::{Complex, ComplexBuffer, RealBuffer};
+use rayon::prelude::*;
+
+use crate::layout;
+use crate::operator::BlockToeplitzOperator;
+use crate::precision::{MatvecPhase, PrecisionConfig};
+
+/// A configured FFTMatvec ready to apply `F` and `F*`.
+pub struct FftMatvec {
+    op: BlockToeplitzOperator,
+    cfg: PrecisionConfig,
+    fft64: BatchedRealFft<f64>,
+    fft32: BatchedRealFft<f32>,
+}
+
+impl FftMatvec {
+    /// Wrap an operator with a precision configuration. FFT plans for both
+    /// precisions are built once here (the setup phase).
+    pub fn new(op: BlockToeplitzOperator, cfg: PrecisionConfig) -> Self {
+        let n2 = 2 * op.nt();
+        FftMatvec { op, cfg, fft64: BatchedRealFft::new(n2), fft32: BatchedRealFft::new(n2) }
+    }
+
+    /// The wrapped operator.
+    pub fn operator(&self) -> &BlockToeplitzOperator {
+        &self.op
+    }
+
+    /// Current precision configuration.
+    pub fn config(&self) -> PrecisionConfig {
+        self.cfg
+    }
+
+    /// Swap the precision configuration at runtime (the paper's dynamic
+    /// reconfiguration — no operator rebuild needed).
+    pub fn set_config(&mut self, cfg: PrecisionConfig) {
+        self.cfg = cfg;
+    }
+
+    /// Recover the operator.
+    pub fn into_operator(self) -> BlockToeplitzOperator {
+        self.op
+    }
+
+    /// Apply `d = F·m`. `m.len() == nm·nt`; returns `nd·nt`.
+    pub fn apply_forward(&self, m: &[f64]) -> Vec<f64> {
+        assert_eq!(m.len(), self.op.nm() * self.op.nt(), "forward input length");
+        self.apply(m, GemvOp::NoTrans)
+    }
+
+    /// Apply `m = F*·d`. `d.len() == nd·nt`; returns `nm·nt`.
+    pub fn apply_adjoint(&self, d: &[f64]) -> Vec<f64> {
+        assert_eq!(d.len(), self.op.nd() * self.op.nt(), "adjoint input length");
+        self.apply(d, GemvOp::ConjTrans)
+    }
+
+    /// Apply `F` to many independent vectors, overlapping the matvecs
+    /// across the thread pool — the paper's §4.2.2 pattern for assembling
+    /// dense data-space operators, where "the matvec calls can be
+    /// overlapped with the host routines that generate input vectors and
+    /// save output vectors".
+    pub fn apply_forward_many(&self, inputs: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        inputs.par_iter().map(|m| self.apply_forward(m)).collect()
+    }
+
+    /// Apply `F*` to many independent vectors (see
+    /// [`FftMatvec::apply_forward_many`]).
+    pub fn apply_adjoint_many(&self, inputs: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        inputs.par_iter().map(|d| self.apply_adjoint(d)).collect()
+    }
+
+    fn apply(&self, input: &[f64], gemv_op: GemvOp) -> Vec<f64> {
+        let (nd, nm, nt, nfreq) = (self.op.nd(), self.op.nm(), self.op.nt(), self.op.nfreq());
+        // Series counts on each side of the GEMV.
+        let (n_in, n_out) = match gemv_op {
+            GemvOp::NoTrans => (nm, nd),
+            _ => (nd, nm),
+        };
+
+        // Phase 1 — broadcast + zero-pad (TOSI → SOTI), in cfg[Pad].
+        let p_pad = self.cfg.phase(MatvecPhase::Pad);
+        let padded = layout::pad_input(input, n_in, nt, p_pad);
+
+        // Phase 2 — batched R2C FFT in cfg[Fft]; the cast (if any) is
+        // fused with the pad output.
+        let p_fft = self.cfg.phase(MatvecPhase::Fft);
+        let padded = layout::cast_real(padded, p_fft);
+        let spectrum = match &padded {
+            RealBuffer::F32(v) => {
+                let mut spec = vec![Complex::<f32>::zero(); n_in * nfreq];
+                self.fft32.forward_batch(v, &mut spec);
+                ComplexBuffer::C32(spec)
+            }
+            RealBuffer::F64(v) => {
+                let mut spec = vec![Complex::<f64>::zero(); n_in * nfreq];
+                self.fft64.forward_batch(v, &mut spec);
+                ComplexBuffer::C64(spec)
+            }
+        };
+        drop(padded);
+
+        // Phase 3 — SOTI→TOSI reorder (fused cast), then the strided
+        // batched GEMV in cfg[Sbgemv], then TOSI→SOTI back in the lowest
+        // precision of phases 3 and 4.
+        let p_gemv = self.cfg.phase(MatvecPhase::Sbgemv);
+        let xhat = layout::spectrum_to_batch(&spectrum, n_in, nfreq, p_gemv);
+        drop(spectrum);
+        let g = BatchGeometry::packed(nd, nm, gemv_op, nfreq);
+        let yhat = match &xhat {
+            ComplexBuffer::C32(x) => {
+                let mut y = vec![Complex::<f32>::zero(); n_out * nfreq];
+                sbgemv(gemv_op, Complex::one(), self.op.fhat32(), x, Complex::zero(), &mut y, &g);
+                ComplexBuffer::C32(y)
+            }
+            ComplexBuffer::C64(x) => {
+                let mut y = vec![Complex::<f64>::zero(); n_out * nfreq];
+                sbgemv(gemv_op, Complex::one(), self.op.fhat(), x, Complex::zero(), &mut y, &g);
+                ComplexBuffer::C64(y)
+            }
+        };
+        drop(xhat);
+
+        // Phase 4 — batched C2R inverse FFT in cfg[Ifft].
+        let p_ifft = self.cfg.phase(MatvecPhase::Ifft);
+        let dspec = layout::batch_to_spectrum(&yhat, n_out, nfreq, p_ifft);
+        drop(yhat);
+        let time = match &dspec {
+            ComplexBuffer::C32(s) => {
+                let mut t = vec![0.0f32; n_out * 2 * nt];
+                self.fft32.inverse_batch(s, &mut t);
+                RealBuffer::F32(t)
+            }
+            ComplexBuffer::C64(s) => {
+                let mut t = vec![0.0f64; n_out * 2 * nt];
+                self.fft64.inverse_batch(s, &mut t);
+                RealBuffer::F64(t)
+            }
+        };
+        drop(dspec);
+
+        // Phase 5 — unpad + reduce (SOTI → TOSI) through cfg[Unpad];
+        // output is always double.
+        let p_unpad = self.cfg.phase(MatvecPhase::Unpad);
+        layout::unpad_output(&time, n_out, nt, p_unpad)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::precision::PrecisionConfig;
+    use fftmatvec_numeric::vecmath::rel_l2_error;
+    use fftmatvec_numeric::SplitMix64;
+
+    fn random_operator(nd: usize, nm: usize, nt: usize, seed: u64) -> BlockToeplitzOperator {
+        let mut rng = SplitMix64::new(seed);
+        let mut col = vec![0.0; nt * nd * nm];
+        rng.fill_uniform(&mut col, -1.0, 1.0);
+        BlockToeplitzOperator::from_first_block_column(nd, nm, nt, &col).unwrap()
+    }
+
+    fn dense_forward(op: &BlockToeplitzOperator, m: &[f64]) -> Vec<f64> {
+        let dense = op.dense();
+        let rows = op.nd() * op.nt();
+        let cols = op.nm() * op.nt();
+        (0..rows)
+            .map(|i| (0..cols).map(|j| dense[i * cols + j] * m[j]).sum())
+            .collect()
+    }
+
+    fn dense_adjoint(op: &BlockToeplitzOperator, d: &[f64]) -> Vec<f64> {
+        let dense = op.dense();
+        let rows = op.nd() * op.nt();
+        let cols = op.nm() * op.nt();
+        (0..cols)
+            .map(|j| (0..rows).map(|i| dense[i * cols + j] * d[i]).sum())
+            .collect()
+    }
+
+    #[test]
+    fn forward_matches_dense_oracle_double() {
+        for (nd, nm, nt) in [(2usize, 5usize, 4usize), (3, 7, 8), (1, 1, 16), (4, 4, 5)] {
+            let op = random_operator(nd, nm, nt, (nd * 100 + nm * 10 + nt) as u64);
+            let mut rng = SplitMix64::new(99);
+            let mut m = vec![0.0; nm * nt];
+            rng.fill_uniform(&mut m, -1.0, 1.0);
+            let want = dense_forward(&op, &m);
+            let mv = FftMatvec::new(op, PrecisionConfig::all_double());
+            let got = mv.apply_forward(&m);
+            let err = rel_l2_error(&got, &want);
+            assert!(err < 1e-13, "({nd},{nm},{nt}): err {err}");
+        }
+    }
+
+    #[test]
+    fn adjoint_matches_dense_oracle_double() {
+        for (nd, nm, nt) in [(2usize, 5usize, 4usize), (3, 7, 8), (2, 2, 10)] {
+            let op = random_operator(nd, nm, nt, (nd + nm + nt) as u64);
+            let mut rng = SplitMix64::new(7);
+            let mut d = vec![0.0; nd * nt];
+            rng.fill_uniform(&mut d, -1.0, 1.0);
+            let want = dense_adjoint(&op, &d);
+            let mv = FftMatvec::new(op, PrecisionConfig::all_double());
+            let got = mv.apply_adjoint(&d);
+            let err = rel_l2_error(&got, &want);
+            assert!(err < 1e-13, "({nd},{nm},{nt}): err {err}");
+        }
+    }
+
+    #[test]
+    fn adjoint_consistency_dot_product() {
+        // ⟨F m, d⟩ == ⟨m, F* d⟩ for every precision configuration: the
+        // adjoint property must hold structurally, not just in double.
+        let op = random_operator(3, 6, 5, 42);
+        let mut rng = SplitMix64::new(3);
+        let mut m = vec![0.0; 6 * 5];
+        let mut d = vec![0.0; 3 * 5];
+        rng.fill_uniform(&mut m, -1.0, 1.0);
+        rng.fill_uniform(&mut d, -1.0, 1.0);
+        let mut mv = FftMatvec::new(op, PrecisionConfig::all_double());
+        for cfg in PrecisionConfig::all_configs() {
+            mv.set_config(cfg);
+            let fm = mv.apply_forward(&m);
+            let fsd = mv.apply_adjoint(&d);
+            let lhs: f64 = fm.iter().zip(&d).map(|(a, b)| a * b).sum();
+            let rhs: f64 = m.iter().zip(&fsd).map(|(a, b)| a * b).sum();
+            let tol = if cfg.is_all_double() { 1e-12 } else { 1e-4 };
+            assert!(
+                (lhs - rhs).abs() <= tol * lhs.abs().max(rhs.abs()).max(1.0),
+                "{cfg}: {lhs} vs {rhs}"
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_precision_error_ordering() {
+        let op = random_operator(4, 10, 8, 11);
+        let mut rng = SplitMix64::new(5);
+        let mut m = vec![0.0; 10 * 8];
+        // Mantissa-stuffed inputs, as in the paper's Pareto methodology.
+        rng.fill_uniform_stuffed(&mut m, -1.0, 1.0);
+
+        let mut mv = FftMatvec::new(op, PrecisionConfig::all_double());
+        let baseline = mv.apply_forward(&m);
+
+        mv.set_config(PrecisionConfig::all_single());
+        let all_single = mv.apply_forward(&m);
+        let err_s = rel_l2_error(&all_single, &baseline);
+
+        mv.set_config(PrecisionConfig::optimal_forward());
+        let opt = mv.apply_forward(&m);
+        let err_opt = rel_l2_error(&opt, &baseline);
+
+        // All-single is least accurate; the optimal config sits between
+        // baseline (0) and all-single; both are in the FP32 regime.
+        assert!(err_s > 0.0 && err_s < 1e-4, "err_s={err_s}");
+        assert!(err_opt > 0.0 && err_opt <= err_s * 1.5, "err_opt={err_opt} err_s={err_s}");
+        assert!(err_opt < 1e-5, "err_opt={err_opt}");
+    }
+
+    #[test]
+    fn single_pad_alone_incurs_error_on_stuffed_input() {
+        // The paper's §4.2.1 point: with mantissa-stuffed inputs, even a
+        // single-precision *broadcast/pad* (a pure memory op) shows error.
+        let op = random_operator(2, 4, 4, 13);
+        let mut rng = SplitMix64::new(8);
+        let mut m = vec![0.0; 4 * 4];
+        rng.fill_uniform_stuffed(&mut m, -1.0, 1.0);
+        let mut mv = FftMatvec::new(op, PrecisionConfig::all_double());
+        let baseline = mv.apply_forward(&m);
+        mv.set_config("sdddd".parse().unwrap());
+        let padded_single = mv.apply_forward(&m);
+        let err = rel_l2_error(&padded_single, &baseline);
+        assert!(err > 1e-9, "stuffed input must make single pad lossy: {err}");
+        assert!(err < 1e-5);
+    }
+
+    #[test]
+    fn config_swap_without_rebuild() {
+        let op = random_operator(2, 3, 4, 17);
+        let mut rng = SplitMix64::new(2);
+        let mut m = vec![0.0; 3 * 4];
+        rng.fill_uniform(&mut m, -1.0, 1.0);
+        let mut mv = FftMatvec::new(op, PrecisionConfig::all_double());
+        let a = mv.apply_forward(&m);
+        mv.set_config("sssss".parse().unwrap());
+        let _b = mv.apply_forward(&m);
+        mv.set_config(PrecisionConfig::all_double());
+        let c = mv.apply_forward(&m);
+        assert_eq!(a, c, "double-precision results must be reproducible");
+    }
+
+    #[test]
+    fn zero_input_maps_to_zero() {
+        let op = random_operator(2, 3, 4, 19);
+        let mv = FftMatvec::new(op, PrecisionConfig::optimal_forward());
+        let d = mv.apply_forward(&vec![0.0; 3 * 4]);
+        assert!(d.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn causality_impulse_response() {
+        // An impulse at time block t0 must produce zero output before t0
+        // (block lower-triangular = causal LTI).
+        let (nd, nm, nt) = (2usize, 3usize, 6usize);
+        let op = random_operator(nd, nm, nt, 23);
+        let mv = FftMatvec::new(op, PrecisionConfig::all_double());
+        let t0 = 3;
+        let mut m = vec![0.0; nm * nt];
+        m[t0 * nm + 1] = 1.0;
+        let d = mv.apply_forward(&m);
+        for t in 0..t0 {
+            for i in 0..nd {
+                assert!(
+                    d[t * nd + i].abs() < 1e-12,
+                    "non-causal output at t={t}: {}",
+                    d[t * nd + i]
+                );
+            }
+        }
+        // And the response at t0 is the first block's column 1.
+        for i in 0..nd {
+            let want = mv.operator().block(0)[i * nm + 1];
+            assert!((d[t0 * nd + i] - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "forward input length")]
+    fn wrong_input_length_panics() {
+        let op = random_operator(2, 3, 4, 29);
+        let mv = FftMatvec::new(op, PrecisionConfig::all_double());
+        let _ = mv.apply_forward(&[0.0; 5]);
+    }
+
+    #[test]
+    fn many_matches_individual_applies() {
+        let op = random_operator(3, 6, 8, 31);
+        let mv = FftMatvec::new(op, PrecisionConfig::optimal_forward());
+        let mut rng = SplitMix64::new(9);
+        let inputs: Vec<Vec<f64>> = (0..5)
+            .map(|_| {
+                let mut m = vec![0.0; 6 * 8];
+                rng.fill_uniform(&mut m, -1.0, 1.0);
+                m
+            })
+            .collect();
+        let batched = mv.apply_forward_many(&inputs);
+        for (m, got) in inputs.iter().zip(&batched) {
+            assert_eq!(got, &mv.apply_forward(m), "overlap must not change results");
+        }
+        let ds: Vec<Vec<f64>> = batched;
+        let adj = mv.apply_adjoint_many(&ds);
+        for (d, got) in ds.iter().zip(&adj) {
+            assert_eq!(got, &mv.apply_adjoint(d));
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Five-phase precision configurations (Section 3.2).
+//!
+//! The artifact sets these with `-prec xxxxx` where each `x` is `d` or `s`,
+//! ordered by phase: pad, FFT, SBGEMV, IFFT, unpad. `dssdd` — the measured
+//! optimum for the F matvec at tolerance 1e-7 — computes the FFT of the
+//! parameter vector and the SBGEMV in single precision and everything else
+//! in double.
+
+use core::fmt;
+use core::str::FromStr;
+
+use fftmatvec_numeric::Precision;
+
+/// The five configurable phases, in pipeline order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MatvecPhase {
+    Pad = 0,
+    Fft = 1,
+    Sbgemv = 2,
+    Ifft = 3,
+    Unpad = 4,
+}
+
+impl MatvecPhase {
+    /// All five phases in order.
+    pub const ALL: [MatvecPhase; 5] = [
+        MatvecPhase::Pad,
+        MatvecPhase::Fft,
+        MatvecPhase::Sbgemv,
+        MatvecPhase::Ifft,
+        MatvecPhase::Unpad,
+    ];
+}
+
+/// A full five-phase precision assignment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PrecisionConfig {
+    phases: [Precision; 5],
+}
+
+impl PrecisionConfig {
+    /// All phases double — the baseline configuration.
+    pub fn all_double() -> Self {
+        PrecisionConfig { phases: [Precision::Double; 5] }
+    }
+
+    /// All phases single — the fastest (and least accurate) configuration.
+    pub fn all_single() -> Self {
+        PrecisionConfig { phases: [Precision::Single; 5] }
+    }
+
+    /// `dssdd` — the paper's measured-optimal F-matvec configuration for a
+    /// 1e-7 relative error tolerance (Section 4.2.1).
+    pub fn optimal_forward() -> Self {
+        "dssdd".parse().expect("static config string")
+    }
+
+    /// `ddssd` — the corresponding F*-matvec optimum: SBGEMV and the IFFT
+    /// of the output vector `m` in single precision.
+    pub fn optimal_adjoint() -> Self {
+        "ddssd".parse().expect("static config string")
+    }
+
+    /// `dssds` — the ≥512-GPU optimum from Figure 4 (the phase-5
+    /// reduction also dropped to single once communication dominates).
+    pub fn optimal_forward_at_scale() -> Self {
+        "dssds".parse().expect("static config string")
+    }
+
+    /// Build from explicit phase precisions.
+    pub fn from_phases(phases: [Precision; 5]) -> Self {
+        PrecisionConfig { phases }
+    }
+
+    /// Precision of one phase.
+    #[inline]
+    pub fn phase(&self, p: MatvecPhase) -> Precision {
+        self.phases[p as usize]
+    }
+
+    /// Replace one phase's precision.
+    pub fn with_phase(mut self, p: MatvecPhase, prec: Precision) -> Self {
+        self.phases[p as usize] = prec;
+        self
+    }
+
+    /// All 32 configurations, in lexicographic `ddddd`→`sssss` order of
+    /// the config string with `d < s`.
+    pub fn all_configs() -> Vec<PrecisionConfig> {
+        (0..32u32)
+            .map(|bits| {
+                let mut phases = [Precision::Double; 5];
+                for (i, ph) in phases.iter_mut().enumerate() {
+                    if bits & (1 << (4 - i)) != 0 {
+                        *ph = Precision::Single;
+                    }
+                }
+                PrecisionConfig { phases }
+            })
+            .collect()
+    }
+
+    /// Number of phases computed in single precision.
+    pub fn single_count(&self) -> usize {
+        self.phases.iter().filter(|&&p| p == Precision::Single).count()
+    }
+
+    /// True if every phase is double (the error-free baseline).
+    pub fn is_all_double(&self) -> bool {
+        self.single_count() == 0
+    }
+
+    /// The precision a *memory operation between* two phases runs in: the
+    /// lowest among the adjacent compute precisions (Section 3.2).
+    pub fn boundary(&self, a: MatvecPhase, b: MatvecPhase) -> Precision {
+        self.phase(a).min(self.phase(b))
+    }
+}
+
+impl FromStr for PrecisionConfig {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let chars: Vec<char> = s.chars().collect();
+        if chars.len() != 5 {
+            return Err(format!("precision config must have 5 characters, got {:?}", s));
+        }
+        let mut phases = [Precision::Double; 5];
+        for (i, &c) in chars.iter().enumerate() {
+            phases[i] = Precision::from_code(c)
+                .ok_or_else(|| format!("invalid precision code {c:?} in {s:?}"))?;
+        }
+        Ok(PrecisionConfig { phases })
+    }
+}
+
+impl fmt::Display for PrecisionConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for p in &self.phases {
+            write!(f, "{}", p.code())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_format_roundtrip() {
+        for s in ["ddddd", "sssss", "dssdd", "dssds", "ddssd"] {
+            let cfg: PrecisionConfig = s.parse().unwrap();
+            assert_eq!(cfg.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_bad_strings() {
+        assert!("dsd".parse::<PrecisionConfig>().is_err());
+        assert!("dddddd".parse::<PrecisionConfig>().is_err());
+        assert!("dxddd".parse::<PrecisionConfig>().is_err());
+    }
+
+    #[test]
+    fn optimal_config_phases() {
+        let cfg = PrecisionConfig::optimal_forward();
+        assert_eq!(cfg.phase(MatvecPhase::Pad), Precision::Double);
+        assert_eq!(cfg.phase(MatvecPhase::Fft), Precision::Single);
+        assert_eq!(cfg.phase(MatvecPhase::Sbgemv), Precision::Single);
+        assert_eq!(cfg.phase(MatvecPhase::Ifft), Precision::Double);
+        assert_eq!(cfg.phase(MatvecPhase::Unpad), Precision::Double);
+        assert_eq!(cfg.single_count(), 2);
+    }
+
+    #[test]
+    fn thirty_two_distinct_configs() {
+        let all = PrecisionConfig::all_configs();
+        assert_eq!(all.len(), 32);
+        let strings: std::collections::HashSet<String> =
+            all.iter().map(|c| c.to_string()).collect();
+        assert_eq!(strings.len(), 32);
+        assert!(strings.contains("ddddd"));
+        assert!(strings.contains("sssss"));
+        assert!(all[0].is_all_double());
+    }
+
+    #[test]
+    fn boundary_precision_is_the_min() {
+        let cfg: PrecisionConfig = "dsdsd".parse().unwrap();
+        assert_eq!(cfg.boundary(MatvecPhase::Pad, MatvecPhase::Fft), Precision::Single);
+        assert_eq!(cfg.boundary(MatvecPhase::Sbgemv, MatvecPhase::Ifft), Precision::Single);
+        let dd: PrecisionConfig = "ddddd".parse().unwrap();
+        assert_eq!(dd.boundary(MatvecPhase::Fft, MatvecPhase::Sbgemv), Precision::Double);
+    }
+
+    #[test]
+    fn with_phase_replaces_single_slot() {
+        let cfg = PrecisionConfig::all_double().with_phase(MatvecPhase::Sbgemv, Precision::Single);
+        assert_eq!(cfg.to_string(), "ddsdd");
+    }
+}

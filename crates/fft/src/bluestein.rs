@@ -1,0 +1,180 @@
+//! Bluestein's chirp-z algorithm for lengths with large prime factors.
+//!
+//! Rewrites an arbitrary-length DFT as a circular convolution of length
+//! `m` (the next power of two ≥ `2n−1`), which the mixed-radix machinery
+//! handles natively:
+//!
+//! `X[k] = chirp[k] · Σ_j (x[j]·chirp[j]) · conj(chirp[k−j])`,
+//! with `chirp[j] = e^{-πi j²/n}`.
+//!
+//! The inverse transform reuses the same tables through the conjugation
+//! identity `idft(x) = conj(dft(conj(x)))/n`.
+
+use fftmatvec_numeric::{Complex, Real};
+
+use crate::plan::{FftDirection, FftPlan};
+
+/// Precomputed Bluestein transform of length `n`.
+pub struct BluesteinPlan<T: Real> {
+    n: usize,
+    m: usize,
+    /// Power-of-two inner plan of length `m`.
+    inner: FftPlan<T>,
+    /// `chirp[j] = e^{-πi j²/n}`, `j in 0..n`.
+    chirp: Vec<Complex<T>>,
+    /// Forward FFT (length `m`) of the wrapped conjugate chirp.
+    b_fft: Vec<Complex<T>>,
+}
+
+impl<T: Real> BluesteinPlan<T> {
+    /// Build the plan. `n ≥ 2` (smaller sizes never reach Bluestein).
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "BluesteinPlan requires n >= 2");
+        let m = (2 * n - 1).next_power_of_two();
+        let inner = FftPlan::<T>::new(m);
+        debug_assert_eq!(inner.scratch_len(), 0, "inner plan must be mixed-radix");
+
+        // chirp[j] = e^{-πi (j² mod 2n) / n}; reducing j² mod 2n keeps the
+        // angle small, avoiding cancellation for large j.
+        let chirp: Vec<Complex<T>> = (0..n)
+            .map(|j| {
+                let j2 = ((j as u128 * j as u128) % (2 * n as u128)) as f64;
+                Complex::<f64>::expi(-std::f64::consts::PI * j2 / n as f64).cast()
+            })
+            .collect();
+
+        // b[j] = conj(chirp[|j|]) wrapped circularly into length m.
+        let mut b = vec![Complex::<T>::zero(); m];
+        for j in 0..n {
+            let c = chirp[j].conj();
+            b[j] = c;
+            if j != 0 {
+                b[m - j] = c;
+            }
+        }
+        let b_fft = inner.forward_vec(&b);
+
+        BluesteinPlan { n, m, inner, chirp, b_fft }
+    }
+
+    /// Scratch requirement: two length-`m` work buffers.
+    pub fn scratch_len(&self) -> usize {
+        2 * self.m
+    }
+
+    /// Transform `input` (length `n`) into `output` (length `n`).
+    pub fn process(
+        &self,
+        input: &[Complex<T>],
+        output: &mut [Complex<T>],
+        scratch: &mut [Complex<T>],
+        dir: FftDirection,
+    ) {
+        assert_eq!(input.len(), self.n);
+        assert_eq!(output.len(), self.n);
+        assert!(scratch.len() >= self.scratch_len());
+        let (a, rest) = scratch.split_at_mut(self.m);
+        let work = &mut rest[..self.m];
+        let inverse = dir == FftDirection::Inverse;
+
+        // a[j] = x[j]·chirp[j]; for the inverse, conjugate the input here
+        // (first half of the conj identity).
+        for j in 0..self.n {
+            let x = if inverse { input[j].conj() } else { input[j] };
+            a[j] = x * self.chirp[j];
+        }
+        for v in a[self.n..].iter_mut() {
+            *v = Complex::zero();
+        }
+
+        // Circular convolution with b via the inner power-of-two plan.
+        self.inner.forward(a, work, &mut []);
+        for (w, &bf) in work.iter_mut().zip(&self.b_fft) {
+            *w = *w * bf;
+        }
+        self.inner.inverse(work, a, &mut []);
+
+        // X[k] = c[k]·chirp[k]; finish the conj identity and 1/n scaling
+        // for the inverse.
+        if inverse {
+            let scale = T::from_usize(self.n).recip();
+            for k in 0..self.n {
+                output[k] = (a[k] * self.chirp[k]).conj().scale(scale);
+            }
+        } else {
+            for k in 0..self.n {
+                output[k] = a[k] * self.chirp[k];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft::naive_dft;
+    use fftmatvec_numeric::SplitMix64;
+
+    type C = Complex<f64>;
+
+    fn random_signal(n: usize, seed: u64) -> Vec<C> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n).map(|_| C::new(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0))).collect()
+    }
+
+    fn run(plan: &BluesteinPlan<f64>, x: &[C], dir: FftDirection) -> Vec<C> {
+        let mut out = vec![C::zero(); x.len()];
+        let mut scratch = vec![C::zero(); plan.scratch_len()];
+        plan.process(x, &mut out, &mut scratch, dir);
+        out
+    }
+
+    #[test]
+    fn forward_matches_naive_for_various_primes() {
+        for n in [2usize, 3, 5, 7, 11, 13, 17, 67, 101, 257] {
+            let plan = BluesteinPlan::<f64>::new(n);
+            let x = random_signal(n, n as u64);
+            let fast = run(&plan, &x, FftDirection::Forward);
+            let mut slow = vec![C::zero(); n];
+            naive_dft(&x, &mut slow, FftDirection::Forward);
+            let err =
+                fast.iter().zip(&slow).map(|(a, b)| (*a - *b).abs()).fold(0.0, f64::max);
+            assert!(err < 1e-9, "n={n} err={err}");
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        for n in [5usize, 67, 199] {
+            let plan = BluesteinPlan::<f64>::new(n);
+            let x = random_signal(n, 3 * n as u64);
+            let freq = run(&plan, &x, FftDirection::Forward);
+            let back = run(&plan, &freq, FftDirection::Inverse);
+            let err =
+                back.iter().zip(&x).map(|(a, b)| (*a - *b).abs()).fold(0.0, f64::max);
+            assert!(err < 1e-10, "n={n} err={err}");
+        }
+    }
+
+    #[test]
+    fn composite_with_large_prime_factor() {
+        // 2·67 exceeds MAX_RADIX in one factor; the top-level plan uses
+        // Bluestein for the full length.
+        let n = 134;
+        let plan = FftPlan::<f64>::new(n);
+        assert!(plan.is_bluestein());
+        let x = random_signal(n, 1);
+        let mut slow = vec![C::zero(); n];
+        naive_dft(&x, &mut slow, FftDirection::Forward);
+        let fast = plan.forward_vec(&x);
+        let err = fast.iter().zip(&slow).map(|(a, b)| (*a - *b).abs()).fold(0.0, f64::max);
+        assert!(err < 1e-9);
+    }
+
+    #[test]
+    fn inner_length_is_power_of_two_and_big_enough() {
+        let plan = BluesteinPlan::<f64>::new(100);
+        assert!(plan.m.is_power_of_two());
+        assert!(plan.m >= 199);
+    }
+}

@@ -1,0 +1,117 @@
+//! Naive O(n²) discrete Fourier transform.
+//!
+//! This is the correctness oracle for the fast algorithms: slow, but each
+//! output bin is a directly summed inner product with no recursion to get
+//! wrong. Tests compare every [`crate::FftPlan`] size against it.
+
+use fftmatvec_numeric::{Complex, Real};
+
+use crate::plan::FftDirection;
+
+/// Out-of-place naive DFT. `output.len()` must equal `input.len()`.
+///
+/// Forward: `X[k] = Σ_j x[j]·e^{-2πijk/n}` (unscaled).
+/// Inverse: `x[j] = (1/n)·Σ_k X[k]·e^{+2πijk/n}`.
+pub fn naive_dft<T: Real>(
+    input: &[Complex<T>],
+    output: &mut [Complex<T>],
+    dir: FftDirection,
+) {
+    let n = input.len();
+    assert_eq!(output.len(), n, "naive_dft output length mismatch");
+    if n == 0 {
+        return;
+    }
+    let sign = match dir {
+        FftDirection::Forward => -T::ONE,
+        FftDirection::Inverse => T::ONE,
+    };
+    let step = sign * T::TWO * T::PI / T::from_usize(n);
+    for (k, out) in output.iter_mut().enumerate() {
+        let mut acc = Complex::zero();
+        for (j, &x) in input.iter().enumerate() {
+            // Index reduced mod n to keep the angle argument small.
+            let idx = (j * k) % n;
+            let w = Complex::expi(step * T::from_usize(idx));
+            acc = x.mul_add(w, acc);
+        }
+        *out = acc;
+    }
+    if dir == FftDirection::Inverse {
+        let scale = T::from_usize(n).recip();
+        for out in output.iter_mut() {
+            *out = out.scale(scale);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type C = Complex<f64>;
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let n = 8;
+        let mut x = vec![C::zero(); n];
+        x[0] = C::one();
+        let mut out = vec![C::zero(); n];
+        naive_dft(&x, &mut out, FftDirection::Forward);
+        for v in &out {
+            assert!((v.re - 1.0).abs() < 1e-14 && v.im.abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn constant_concentrates_at_dc() {
+        let n = 6;
+        let x = vec![C::one(); n];
+        let mut out = vec![C::zero(); n];
+        naive_dft(&x, &mut out, FftDirection::Forward);
+        assert!((out[0].re - n as f64).abs() < 1e-12);
+        for v in &out[1..] {
+            assert!(v.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let n = 12;
+        let x: Vec<C> = (0..n)
+            .map(|j| C::new((j as f64).sin(), (j as f64 * 0.7).cos()))
+            .collect();
+        let mut freq = vec![C::zero(); n];
+        let mut back = vec![C::zero(); n];
+        naive_dft(&x, &mut freq, FftDirection::Forward);
+        naive_dft(&freq, &mut back, FftDirection::Inverse);
+        for (a, b) in x.iter().zip(&back) {
+            assert!((*a - *b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_tone_lands_in_single_bin() {
+        let n = 16;
+        let k0 = 3usize;
+        let x: Vec<C> = (0..n)
+            .map(|j| C::expi(2.0 * std::f64::consts::PI * (j * k0) as f64 / n as f64))
+            .collect();
+        let mut out = vec![C::zero(); n];
+        naive_dft(&x, &mut out, FftDirection::Forward);
+        for (k, v) in out.iter().enumerate() {
+            if k == k0 {
+                assert!((v.re - n as f64).abs() < 1e-10);
+            } else {
+                assert!(v.abs() < 1e-10, "leakage at bin {k}: {}", v.abs());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input_is_noop() {
+        let x: Vec<C> = vec![];
+        let mut out: Vec<C> = vec![];
+        naive_dft(&x, &mut out, FftDirection::Forward);
+    }
+}

@@ -1,0 +1,61 @@
+//! # fftmatvec-fft — plan-based FFT substrate
+//!
+//! The FFTMatvec algorithm needs batched 1-D FFTs of length `2·N_t` where
+//! `N_t` is an application-chosen number of timesteps (e.g. 1000, so the
+//! transform length 2000 = 2⁴·5³ is *not* a power of two). The paper uses
+//! cuFFT/hipFFT; this crate is the from-scratch replacement:
+//!
+//! * [`FftPlan`] — mixed-radix decimation-in-time Cooley–Tukey for sizes
+//!   whose prime factors are ≤ 61, with hand-tuned radix-2/4 butterflies
+//!   and table-driven odd radices; Bluestein's chirp-z algorithm for
+//!   anything with a larger prime factor. Twiddles are precomputed at plan
+//!   time (the "setup phase" of the paper, always done in double precision
+//!   by the caller).
+//! * [`RealFftPlan`] — real-to-complex forward / complex-to-real inverse
+//!   transforms using the packed half-length complex trick. For an even
+//!   length `n` the forward transform returns `n/2 + 1` complex bins —
+//!   exactly why the paper's frequency-domain SBGEMV batch count is
+//!   `N_t + 1` (Section 2.4).
+//! * [`batch`] — contiguous batched execution parallelized with rayon,
+//!   standing in for `cufftPlanMany`/`hipfftPlanMany`.
+//! * [`dft`] — a naive O(n²) reference DFT used by tests and by the
+//!   Bluestein implementation's own validation.
+//!
+//! Conventions: forward transform uses `e^{-2πi jk/n}` and is unscaled;
+//! the inverse uses `e^{+2πi jk/n}` and scales by `1/n`, so
+//! `inverse(forward(x)) == x` up to roundoff. Everything is generic over
+//! [`fftmatvec_numeric::Real`] (f32/f64) so the mixed-precision pipeline
+//! can run each phase in its configured precision.
+
+pub mod batch;
+pub mod bluestein;
+pub mod dft;
+pub mod plan;
+pub mod real;
+
+pub use batch::{BatchedFft, BatchedRealFft};
+pub use plan::{FftDirection, FftPlan};
+pub use real::RealFftPlan;
+
+/// Theoretical FFT relative error growth factor `log2(n)` used by the
+/// paper's error bound (Eq. 6, after [Van Loan 1992]).
+pub fn fft_error_growth(n: usize) -> f64 {
+    if n <= 1 {
+        1.0
+    } else {
+        (n as f64).log2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_growth_monotone() {
+        assert_eq!(fft_error_growth(1), 1.0);
+        assert_eq!(fft_error_growth(2), 1.0);
+        assert!(fft_error_growth(2048) > fft_error_growth(1024));
+        assert!((fft_error_growth(1 << 10) - 10.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,478 @@
+//! Mixed-radix FFT plans.
+//!
+//! A [`FftPlan`] is built once per transform length (the paper's setup
+//! phase) and then applied to many vectors (the matvec phases). Plan
+//! construction factorizes `n`, precomputes per-level twiddle tables in
+//! `f64` (rounded into the plan's precision `T`), and selects a strategy:
+//!
+//! * `MixedRadix` — decimation-in-time Cooley–Tukey over the factor list.
+//!   Radix 2 and 4 butterflies are hand-coded; odd radices up to
+//!   [`MAX_RADIX`] use a table-driven r-point DFT.
+//! * `Bluestein` — chirp-z fallback for lengths with a prime factor larger
+//!   than [`MAX_RADIX`] (delegates to [`crate::bluestein`]).
+//!
+//! Execution is out-of-place and allocation-free: callers supply a scratch
+//! slice of [`FftPlan::scratch_len`] elements, which lets the batched
+//! driver keep one scratch per rayon worker.
+
+use fftmatvec_numeric::{Complex, Real};
+
+use crate::bluestein::BluesteinPlan;
+
+/// Transform direction. Forward is `e^{-2πijk/n}` unscaled; inverse is
+/// `e^{+2πijk/n}` scaled by `1/n`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FftDirection {
+    Forward,
+    Inverse,
+}
+
+impl FftDirection {
+    /// The opposite direction.
+    pub fn flip(self) -> Self {
+        match self {
+            FftDirection::Forward => FftDirection::Inverse,
+            FftDirection::Inverse => FftDirection::Forward,
+        }
+    }
+}
+
+/// Largest prime handled by the mixed-radix path; larger primes switch the
+/// whole transform to Bluestein. 61 comfortably covers every FFT size the
+/// FFTMatvec workloads produce (2·N_t with N_t round numbers).
+pub const MAX_RADIX: usize = 61;
+
+/// One recursion level of the mixed-radix decomposition.
+struct Level<T: Real> {
+    /// Sub-transform size at this level.
+    n: usize,
+    /// Radix split off at this level.
+    radix: usize,
+    /// `n / radix`.
+    m: usize,
+    /// `twiddles[j] = e^{-2πij/n}` for `j in 0..n`.
+    twiddles: Vec<Complex<T>>,
+    /// `radix_roots[x] = e^{-2πix/r}` for `x in 0..r` (generic butterfly).
+    radix_roots: Vec<Complex<T>>,
+}
+
+enum Strategy<T: Real> {
+    /// n ≤ 1: copy.
+    Tiny,
+    MixedRadix(Vec<Level<T>>),
+    Bluestein(Box<BluesteinPlan<T>>),
+}
+
+/// A reusable FFT plan for a fixed length `n` and element precision `T`.
+pub struct FftPlan<T: Real> {
+    n: usize,
+    strategy: Strategy<T>,
+}
+
+/// Factorize `n` into the radix schedule: factors of 4 first (the cheapest
+/// butterfly), then 2, then odd primes ascending. Returns `None` if a
+/// prime factor exceeds [`MAX_RADIX`].
+fn factorize(mut n: usize) -> Option<Vec<usize>> {
+    let mut factors = Vec::new();
+    while n % 4 == 0 {
+        factors.push(4);
+        n /= 4;
+    }
+    if n % 2 == 0 {
+        factors.push(2);
+        n /= 2;
+    }
+    let mut p = 3usize;
+    while p * p <= n {
+        while n % p == 0 {
+            if p > MAX_RADIX {
+                return None;
+            }
+            factors.push(p);
+            n /= p;
+        }
+        p += 2;
+    }
+    if n > 1 {
+        if n > MAX_RADIX {
+            return None;
+        }
+        factors.push(n);
+    }
+    Some(factors)
+}
+
+/// Twiddle table `e^{-2πij/n}`, computed in f64 and rounded to `T` so that
+/// f32 plans do not accumulate argument-reduction error.
+fn twiddle_table<T: Real>(n: usize) -> Vec<Complex<T>> {
+    let step = -2.0 * std::f64::consts::PI / n as f64;
+    (0..n).map(|j| Complex::<f64>::expi(step * j as f64).cast()).collect()
+}
+
+impl<T: Real> FftPlan<T> {
+    /// Build a plan for length `n`. `n = 0` is rejected.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "FftPlan length must be nonzero");
+        if n == 1 {
+            return FftPlan { n, strategy: Strategy::Tiny };
+        }
+        match factorize(n) {
+            Some(factors) => {
+                let mut levels = Vec::with_capacity(factors.len());
+                let mut cur = n;
+                for &r in &factors {
+                    levels.push(Level {
+                        n: cur,
+                        radix: r,
+                        m: cur / r,
+                        twiddles: twiddle_table::<T>(cur),
+                        radix_roots: twiddle_table::<T>(r),
+                    });
+                    cur /= r;
+                }
+                debug_assert_eq!(cur, 1);
+                FftPlan { n, strategy: Strategy::MixedRadix(levels) }
+            }
+            None => FftPlan {
+                n,
+                strategy: Strategy::Bluestein(Box::new(BluesteinPlan::new(n))),
+            },
+        }
+    }
+
+    /// Transform length.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Required scratch length for [`FftPlan::process`].
+    pub fn scratch_len(&self) -> usize {
+        match &self.strategy {
+            Strategy::Tiny | Strategy::MixedRadix(_) => 0,
+            Strategy::Bluestein(b) => b.scratch_len(),
+        }
+    }
+
+    /// Out-of-place transform. `input.len() == output.len() == n`;
+    /// `scratch.len() >= self.scratch_len()`.
+    pub fn process(
+        &self,
+        input: &[Complex<T>],
+        output: &mut [Complex<T>],
+        scratch: &mut [Complex<T>],
+        dir: FftDirection,
+    ) {
+        assert_eq!(input.len(), self.n, "FftPlan input length mismatch");
+        assert_eq!(output.len(), self.n, "FftPlan output length mismatch");
+        assert!(
+            scratch.len() >= self.scratch_len(),
+            "FftPlan scratch too small: {} < {}",
+            scratch.len(),
+            self.scratch_len()
+        );
+        match &self.strategy {
+            Strategy::Tiny => output[0] = input[0],
+            Strategy::MixedRadix(levels) => {
+                rec_fft(levels, 0, input, 0, 1, output, dir);
+                if dir == FftDirection::Inverse {
+                    let scale = T::from_usize(self.n).recip();
+                    for v in output.iter_mut() {
+                        *v = v.scale(scale);
+                    }
+                }
+            }
+            Strategy::Bluestein(b) => b.process(input, output, scratch, dir),
+        }
+    }
+
+    /// Forward transform into `output`.
+    pub fn forward(
+        &self,
+        input: &[Complex<T>],
+        output: &mut [Complex<T>],
+        scratch: &mut [Complex<T>],
+    ) {
+        self.process(input, output, scratch, FftDirection::Forward);
+    }
+
+    /// Inverse transform (scaled by `1/n`) into `output`.
+    pub fn inverse(
+        &self,
+        input: &[Complex<T>],
+        output: &mut [Complex<T>],
+        scratch: &mut [Complex<T>],
+    ) {
+        self.process(input, output, scratch, FftDirection::Inverse);
+    }
+
+    /// Allocating convenience wrapper around [`FftPlan::forward`].
+    pub fn forward_vec(&self, input: &[Complex<T>]) -> Vec<Complex<T>> {
+        let mut out = vec![Complex::zero(); self.n];
+        let mut scratch = vec![Complex::zero(); self.scratch_len()];
+        self.forward(input, &mut out, &mut scratch);
+        out
+    }
+
+    /// Allocating convenience wrapper around [`FftPlan::inverse`].
+    pub fn inverse_vec(&self, input: &[Complex<T>]) -> Vec<Complex<T>> {
+        let mut out = vec![Complex::zero(); self.n];
+        let mut scratch = vec![Complex::zero(); self.scratch_len()];
+        self.inverse(input, &mut out, &mut scratch);
+        out
+    }
+
+    /// True if this plan fell back to the Bluestein strategy.
+    pub fn is_bluestein(&self) -> bool {
+        matches!(self.strategy, Strategy::Bluestein(_))
+    }
+}
+
+/// Recursive decimation-in-time step.
+///
+/// `input[offset + j*stride]` for `j in 0..levels[lvl].n` is transformed
+/// into `out` (contiguous). Sub-FFTs land in `out[q*m..][..m]`, then the
+/// per-`u` combine gathers `{out[q*m+u]}`, twiddles, and scatters the
+/// radix-point DFT back to `{out[u+v*m]}` — the same index set, so the
+/// combine is in-place within `out` using a small stack buffer.
+fn rec_fft<T: Real>(
+    levels: &[Level<T>],
+    lvl: usize,
+    input: &[Complex<T>],
+    offset: usize,
+    stride: usize,
+    out: &mut [Complex<T>],
+    dir: FftDirection,
+) {
+    if lvl == levels.len() {
+        out[0] = input[offset];
+        return;
+    }
+    let level = &levels[lvl];
+    let r = level.radix;
+    let m = level.m;
+    debug_assert_eq!(out.len(), level.n);
+
+    for q in 0..r {
+        rec_fft(
+            levels,
+            lvl + 1,
+            input,
+            offset + q * stride,
+            stride * r,
+            &mut out[q * m..(q + 1) * m],
+            dir,
+        );
+    }
+
+    let inverse = dir == FftDirection::Inverse;
+    let mut t = [Complex::<T>::zero(); MAX_RADIX + 1];
+    for u in 0..m {
+        // Gather + twiddle.
+        for q in 0..r {
+            let mut w = level.twiddles[q * u];
+            if inverse {
+                w = w.conj();
+            }
+            t[q] = out[q * m + u] * w;
+        }
+        // Radix-point DFT across the gathered values.
+        match r {
+            2 => {
+                out[u] = t[0] + t[1];
+                out[u + m] = t[0] - t[1];
+            }
+            4 => {
+                let e = t[0] + t[2];
+                let f = t[0] - t[2];
+                let g = t[1] + t[3];
+                let h = t[1] - t[3];
+                // ±i·h depending on direction.
+                let ih = if inverse {
+                    Complex::new(-h.im, h.re)
+                } else {
+                    Complex::new(h.im, -h.re)
+                };
+                out[u] = e + g;
+                out[u + m] = f + ih;
+                out[u + 2 * m] = e - g;
+                out[u + 3 * m] = f - ih;
+            }
+            _ => {
+                for v in 0..r {
+                    let mut acc = t[0];
+                    for q in 1..r {
+                        let mut w = level.radix_roots[(q * v) % r];
+                        if inverse {
+                            w = w.conj();
+                        }
+                        acc = t[q].mul_add(w, acc);
+                    }
+                    out[u + v * m] = acc;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft::naive_dft;
+    use fftmatvec_numeric::SplitMix64;
+
+    type C = Complex<f64>;
+
+    fn random_signal(n: usize, seed: u64) -> Vec<C> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n).map(|_| C::new(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0))).collect()
+    }
+
+    fn max_err(a: &[C], b: &[C]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (*x - *y).abs()).fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn factorization() {
+        assert_eq!(factorize(1), Some(vec![]));
+        assert_eq!(factorize(8), Some(vec![4, 2]));
+        assert_eq!(factorize(16), Some(vec![4, 4]));
+        assert_eq!(factorize(2000), Some(vec![4, 4, 5, 5, 5]));
+        assert_eq!(factorize(15), Some(vec![3, 5]));
+        assert_eq!(factorize(49), Some(vec![7, 7]));
+        assert_eq!(factorize(61), Some(vec![61]));
+        assert_eq!(factorize(67), None); // prime > MAX_RADIX
+        assert_eq!(factorize(2 * 67), None);
+    }
+
+    #[test]
+    fn matches_naive_dft_all_small_sizes() {
+        for n in 1..=40usize {
+            let x = random_signal(n, n as u64);
+            let plan = FftPlan::<f64>::new(n);
+            let fast = plan.forward_vec(&x);
+            let mut slow = vec![C::zero(); n];
+            naive_dft(&x, &mut slow, FftDirection::Forward);
+            let err = max_err(&fast, &slow);
+            assert!(err < 1e-10 * (n as f64), "n={n} err={err}");
+        }
+    }
+
+    #[test]
+    fn matches_naive_dft_inverse_small_sizes() {
+        for n in [1usize, 2, 3, 6, 8, 12, 20, 30] {
+            let x = random_signal(n, 100 + n as u64);
+            let plan = FftPlan::<f64>::new(n);
+            let fast = plan.inverse_vec(&x);
+            let mut slow = vec![C::zero(); n];
+            naive_dft(&x, &mut slow, FftDirection::Inverse);
+            assert!(max_err(&fast, &slow) < 1e-11, "n={n}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_paper_sizes() {
+        // 2·N_t for N_t ∈ {1000, 512, 100, 250}: the sizes FFTMatvec uses.
+        for n in [2000usize, 1024, 200, 500, 2048] {
+            let x = random_signal(n, n as u64);
+            let plan = FftPlan::<f64>::new(n);
+            let freq = plan.forward_vec(&x);
+            let back = plan.inverse_vec(&freq);
+            assert!(max_err(&back, &x) < 1e-12, "n={n}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_prime_sizes_use_bluestein() {
+        for n in [67usize, 97, 101, 127, 251] {
+            let plan = FftPlan::<f64>::new(n);
+            assert!(plan.is_bluestein(), "n={n} should be Bluestein");
+            let x = random_signal(n, n as u64);
+            let freq = plan.forward_vec(&x);
+            let back = plan.inverse_vec(&freq);
+            assert!(max_err(&back, &x) < 1e-11, "n={n}");
+        }
+    }
+
+    #[test]
+    fn bluestein_matches_naive() {
+        let n = 67;
+        let x = random_signal(n, 7);
+        let plan = FftPlan::<f64>::new(n);
+        let fast = plan.forward_vec(&x);
+        let mut slow = vec![C::zero(); n];
+        naive_dft(&x, &mut slow, FftDirection::Forward);
+        assert!(max_err(&fast, &slow) < 1e-10);
+    }
+
+    #[test]
+    fn parseval() {
+        let n = 240;
+        let x = random_signal(n, 5);
+        let plan = FftPlan::<f64>::new(n);
+        let freq = plan.forward_vec(&x);
+        let tx: f64 = x.iter().map(|v| v.norm_sqr()).sum();
+        let tf: f64 = freq.iter().map(|v| v.norm_sqr()).sum();
+        assert!((tf - n as f64 * tx).abs() < 1e-8 * tf, "Parseval violated");
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 60;
+        let x = random_signal(n, 1);
+        let y = random_signal(n, 2);
+        let plan = FftPlan::<f64>::new(n);
+        let a = C::new(1.5, -0.5);
+        let mixed: Vec<C> = x.iter().zip(&y).map(|(&xi, &yi)| a * xi + yi).collect();
+        let fx = plan.forward_vec(&x);
+        let fy = plan.forward_vec(&y);
+        let fmixed = plan.forward_vec(&mixed);
+        let expect: Vec<C> = fx.iter().zip(&fy).map(|(&xi, &yi)| a * xi + yi).collect();
+        assert!(max_err(&fmixed, &expect) < 1e-11);
+    }
+
+    #[test]
+    fn f32_plan_roundtrip() {
+        let n = 2000;
+        let mut rng = SplitMix64::new(9);
+        let x: Vec<Complex<f32>> = (0..n)
+            .map(|_| Complex::new(rng.uniform(-1.0, 1.0) as f32, rng.uniform(-1.0, 1.0) as f32))
+            .collect();
+        let plan = FftPlan::<f32>::new(n);
+        let freq = plan.forward_vec(&x);
+        let back = plan.inverse_vec(&freq);
+        let err = x
+            .iter()
+            .zip(&back)
+            .map(|(a, b)| (*a - *b).abs())
+            .fold(0.0f32, f32::max);
+        // Single-precision roundtrip error ~ eps·log2(n).
+        assert!(err < 1e-5, "err={err}");
+    }
+
+    #[test]
+    fn direction_flip() {
+        assert_eq!(FftDirection::Forward.flip(), FftDirection::Inverse);
+        assert_eq!(FftDirection::Inverse.flip(), FftDirection::Forward);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_length_rejected() {
+        let _ = FftPlan::<f64>::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrong_input_length_rejected() {
+        let plan = FftPlan::<f64>::new(8);
+        let x = vec![C::zero(); 4];
+        let mut out = vec![C::zero(); 8];
+        plan.forward(&x, &mut out, &mut []);
+    }
+}

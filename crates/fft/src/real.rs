@@ -1,0 +1,264 @@
+//! Real-to-complex and complex-to-real transforms.
+//!
+//! FFTMatvec's time-domain vectors are real; using the packed half-length
+//! trick halves both FFT work and — crucially for the paper's analysis —
+//! the frequency-domain batch count: a real signal of length `n = 2·N_t`
+//! has `n/2 + 1 = N_t + 1` independent complex bins, which is exactly the
+//! SBGEMV batch size quoted in Section 2.4.
+//!
+//! Conventions match [`crate::FftPlan`]: forward unscaled, inverse scaled
+//! so `inverse(forward(x)) == x`.
+
+use fftmatvec_numeric::{Complex, Real};
+
+use crate::plan::FftPlan;
+
+/// Plan for transforms of real signals of even length `n`.
+pub struct RealFftPlan<T: Real> {
+    n: usize,
+    half: FftPlan<T>,
+    /// `w[k] = e^{-2πik/n}` for `k in 0..n/2` (unpack twiddles).
+    twiddles: Vec<Complex<T>>,
+}
+
+impl<T: Real> RealFftPlan<T> {
+    /// Build a plan. `n` must be even and ≥ 2 (FFTMatvec always transforms
+    /// padded signals of length `2·N_t`).
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2 && n % 2 == 0, "RealFftPlan requires even n >= 2, got {n}");
+        let h = n / 2;
+        let step = -2.0 * std::f64::consts::PI / n as f64;
+        let twiddles =
+            (0..h).map(|k| Complex::<f64>::expi(step * k as f64).cast()).collect();
+        RealFftPlan { n, half: FftPlan::new(h), twiddles }
+    }
+
+    /// Real signal length `n`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Number of complex bins produced by the forward transform: `n/2 + 1`.
+    #[inline]
+    pub fn spectrum_len(&self) -> usize {
+        self.n / 2 + 1
+    }
+
+    /// Scratch requirement (complex elements) for both directions.
+    pub fn scratch_len(&self) -> usize {
+        self.n + self.half.scratch_len()
+    }
+
+    /// Forward R2C: `input.len() == n`, `output.len() == n/2 + 1`.
+    pub fn forward(
+        &self,
+        input: &[T],
+        output: &mut [Complex<T>],
+        scratch: &mut [Complex<T>],
+    ) {
+        let h = self.n / 2;
+        assert_eq!(input.len(), self.n, "RealFftPlan forward input length");
+        assert_eq!(output.len(), h + 1, "RealFftPlan forward output length");
+        assert!(scratch.len() >= self.scratch_len(), "RealFftPlan scratch too small");
+        let (z, inner_scratch) = scratch.split_at_mut(h);
+
+        // Pack pairs of reals into complex: z[j] = x[2j] + i·x[2j+1].
+        for (j, zj) in z.iter_mut().enumerate() {
+            *zj = Complex::new(input[2 * j], input[2 * j + 1]);
+        }
+        // Z = FFT_h(z), landing in output[0..h].
+        self.half.forward(z, &mut output[..h], inner_scratch);
+
+        // Unpack: split Z into the spectra of even/odd samples and stitch.
+        let half = T::from_f64(0.5);
+        let z0 = output[0];
+        output[0] = Complex::from_real(z0.re + z0.im);
+        output[h] = Complex::from_real(z0.re - z0.im);
+        let mut k = 1;
+        while 2 * k < h {
+            let zk = output[k];
+            let zc = output[h - k].conj();
+            let ze = (zk + zc).scale(half);
+            // zo = (zk − zc)/(2i) = −i·(zk − zc)/2
+            let d = (zk - zc).scale(half);
+            let zo = Complex::new(d.im, -d.re);
+            let t = self.twiddles[k] * zo;
+            output[k] = ze + t;
+            output[h - k] = (ze - t).conj();
+            k += 1;
+        }
+        if h % 2 == 0 && h >= 2 {
+            // Self-paired bin: X[h/2] = conj(Z[h/2]).
+            output[h / 2] = output[h / 2].conj();
+        }
+    }
+
+    /// Inverse C2R: `spectrum.len() == n/2 + 1`, `output.len() == n`.
+    /// Includes the `1/n` scaling so it inverts [`RealFftPlan::forward`].
+    pub fn inverse(
+        &self,
+        spectrum: &[Complex<T>],
+        output: &mut [T],
+        scratch: &mut [Complex<T>],
+    ) {
+        let h = self.n / 2;
+        assert_eq!(spectrum.len(), h + 1, "RealFftPlan inverse spectrum length");
+        assert_eq!(output.len(), self.n, "RealFftPlan inverse output length");
+        assert!(scratch.len() >= self.scratch_len(), "RealFftPlan scratch too small");
+        let (z, inner_scratch) = scratch.split_at_mut(h);
+
+        // Repack the spectrum into Z (the FFT of the packed signal).
+        let half = T::from_f64(0.5);
+        z[0] = Complex::new(
+            (spectrum[0].re + spectrum[h].re) * half,
+            (spectrum[0].re - spectrum[h].re) * half,
+        );
+        let mut k = 1;
+        while 2 * k < h {
+            let xk = spectrum[k];
+            let xc = spectrum[h - k].conj();
+            let ze = (xk + xc).scale(half);
+            let t = (xk - xc).scale(half);
+            // zo = conj(w^k)·t
+            let zo = self.twiddles[k].conj() * t;
+            // Z[k] = ze + i·zo ; Z[h−k] = conj(ze) + i·conj(zo)
+            z[k] = Complex::new(ze.re - zo.im, ze.im + zo.re);
+            let zec = ze.conj();
+            let zoc = zo.conj();
+            z[h - k] = Complex::new(zec.re - zoc.im, zec.im + zoc.re);
+            k += 1;
+        }
+        if h % 2 == 0 && h >= 2 {
+            z[h / 2] = spectrum[h / 2].conj();
+        }
+
+        // z = IFFT_h(Z) (scaled 1/h); the even/odd stitching above already
+        // accounts for the remaining factor of two, so unpacking the
+        // interleaved reals completes the exact inverse.
+        let (time, inner_scratch) = inner_scratch.split_at_mut(h);
+        self.half.inverse(z, time, inner_scratch);
+        for (j, t) in time.iter().enumerate() {
+            output[2 * j] = t.re;
+            output[2 * j + 1] = t.im;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft::naive_dft;
+    use crate::plan::FftDirection;
+    use fftmatvec_numeric::SplitMix64;
+
+    type C = Complex<f64>;
+
+    fn random_real(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n).map(|_| rng.uniform(-1.0, 1.0)).collect()
+    }
+
+    /// Reference: complex DFT of the real signal, truncated to n/2+1 bins.
+    fn reference_spectrum(x: &[f64]) -> Vec<C> {
+        let n = x.len();
+        let cx: Vec<C> = x.iter().map(|&v| C::from_real(v)).collect();
+        let mut full = vec![C::zero(); n];
+        naive_dft(&cx, &mut full, FftDirection::Forward);
+        full[..n / 2 + 1].to_vec()
+    }
+
+    fn forward(plan: &RealFftPlan<f64>, x: &[f64]) -> Vec<C> {
+        let mut out = vec![C::zero(); plan.spectrum_len()];
+        let mut scratch = vec![C::zero(); plan.scratch_len()];
+        plan.forward(x, &mut out, &mut scratch);
+        out
+    }
+
+    fn inverse(plan: &RealFftPlan<f64>, s: &[C]) -> Vec<f64> {
+        let mut out = vec![0.0; plan.len()];
+        let mut scratch = vec![C::zero(); plan.scratch_len()];
+        plan.inverse(s, &mut out, &mut scratch);
+        out
+    }
+
+    #[test]
+    fn forward_matches_complex_dft() {
+        for n in [2usize, 4, 6, 8, 10, 16, 20, 30, 64, 100, 200] {
+            let x = random_real(n, n as u64);
+            let plan = RealFftPlan::<f64>::new(n);
+            let fast = forward(&plan, &x);
+            let slow = reference_spectrum(&x);
+            let err = fast
+                .iter()
+                .zip(&slow)
+                .map(|(a, b)| (*a - *b).abs())
+                .fold(0.0, f64::max);
+            assert!(err < 1e-9, "n={n} err={err}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_exact_lengths() {
+        for n in [2usize, 4, 8, 50, 128, 2000] {
+            let x = random_real(n, 7 * n as u64 + 1);
+            let plan = RealFftPlan::<f64>::new(n);
+            let spec = forward(&plan, &x);
+            let back = inverse(&plan, &spec);
+            let err = back
+                .iter()
+                .zip(&x)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max);
+            assert!(err < 1e-12, "n={n} err={err}");
+        }
+    }
+
+    #[test]
+    fn dc_and_nyquist_are_real() {
+        let n = 32;
+        let x = random_real(n, 3);
+        let plan = RealFftPlan::<f64>::new(n);
+        let spec = forward(&plan, &x);
+        assert_eq!(spec[0].im, 0.0);
+        assert_eq!(spec[n / 2].im, 0.0);
+        let sum: f64 = x.iter().sum();
+        assert!((spec[0].re - sum).abs() < 1e-12);
+        let alt: f64 = x.iter().enumerate().map(|(j, &v)| if j % 2 == 0 { v } else { -v }).sum();
+        assert!((spec[n / 2].re - alt).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spectrum_len_is_nt_plus_one() {
+        // n = 2·N_t ⇒ N_t + 1 bins, the paper's SBGEMV batch count.
+        let nt = 1000;
+        let plan = RealFftPlan::<f64>::new(2 * nt);
+        assert_eq!(plan.spectrum_len(), nt + 1);
+    }
+
+    #[test]
+    fn f32_roundtrip() {
+        let n = 2000usize;
+        let mut rng = SplitMix64::new(11);
+        let x: Vec<f32> = (0..n).map(|_| rng.uniform(-1.0, 1.0) as f32).collect();
+        let plan = RealFftPlan::<f32>::new(n);
+        let mut spec = vec![Complex::<f32>::zero(); plan.spectrum_len()];
+        let mut scratch = vec![Complex::<f32>::zero(); plan.scratch_len()];
+        plan.forward(&x, &mut spec, &mut scratch);
+        let mut back = vec![0.0f32; n];
+        plan.inverse(&spec, &mut back, &mut scratch);
+        let err = back.iter().zip(&x).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
+        assert!(err < 1e-5, "err={err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_length_rejected() {
+        let _ = RealFftPlan::<f64>::new(9);
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests for the FFT substrate.
+//!
+//! These check the analytic invariants the paper's error analysis relies
+//! on (Section 3.2.1, citing Van Loan): roundtrip accuracy scaling like
+//! `ε·log2(n)`, Parseval's identity, linearity, the shift theorem, and
+//! agreement between the real-packed and complex paths.
+
+use fftmatvec_fft::dft::naive_dft;
+use fftmatvec_fft::{BatchedFft, FftDirection, FftPlan, RealFftPlan};
+use fftmatvec_numeric::{Complex, SplitMix64};
+use proptest::prelude::*;
+
+type C = Complex<f64>;
+
+fn signal(n: usize, seed: u64) -> Vec<C> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n).map(|_| C::new(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0))).collect()
+}
+
+fn rel_err(a: &[C], b: &[C]) -> f64 {
+    let num: f64 = a.iter().zip(b).map(|(x, y)| (*x - *y).norm_sqr()).sum();
+    let den: f64 = b.iter().map(|y| y.norm_sqr()).sum();
+    if den == 0.0 {
+        num.sqrt()
+    } else {
+        (num / den).sqrt()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// inverse(forward(x)) == x within c·ε·log2(n) for arbitrary lengths,
+    /// including Bluestein fallbacks.
+    #[test]
+    fn roundtrip_error_bounded(n in 1usize..600, seed in 0u64..u64::MAX) {
+        let x = signal(n, seed);
+        let plan = FftPlan::<f64>::new(n);
+        let back = plan.inverse_vec(&plan.forward_vec(&x));
+        let bound = 64.0 * f64::EPSILON * ((n.max(2)) as f64).log2();
+        prop_assert!(rel_err(&back, &x) < bound,
+            "n={} err={} bound={}", n, rel_err(&back, &x), bound);
+    }
+
+    /// Parseval: ‖X‖² == n·‖x‖².
+    #[test]
+    fn parseval_holds(n in 1usize..400, seed in 0u64..u64::MAX) {
+        let x = signal(n, seed);
+        let plan = FftPlan::<f64>::new(n);
+        let freq = plan.forward_vec(&x);
+        let tx: f64 = x.iter().map(|v| v.norm_sqr()).sum();
+        let tf: f64 = freq.iter().map(|v| v.norm_sqr()).sum();
+        prop_assert!((tf - (n as f64) * tx).abs() <= 1e-10 * (1.0 + tf),
+            "n={} tf={} n*tx={}", n, tf, (n as f64) * tx);
+    }
+
+    /// FFT(a·x + y) == a·FFT(x) + FFT(y).
+    #[test]
+    fn linearity(n in 2usize..200, seed in 0u64..u64::MAX, are in -2.0f64..2.0, aim in -2.0f64..2.0) {
+        let x = signal(n, seed);
+        let y = signal(n, seed ^ 0xDEAD_BEEF);
+        let a = C::new(are, aim);
+        let plan = FftPlan::<f64>::new(n);
+        let mixed: Vec<C> = x.iter().zip(&y).map(|(&xi, &yi)| a * xi + yi).collect();
+        let lhs = plan.forward_vec(&mixed);
+        let fx = plan.forward_vec(&x);
+        let fy = plan.forward_vec(&y);
+        let rhs: Vec<C> = fx.iter().zip(&fy).map(|(&xi, &yi)| a * xi + yi).collect();
+        prop_assert!(rel_err(&lhs, &rhs) < 1e-11);
+    }
+
+    /// Circular shift in time multiplies the spectrum by a phase ramp.
+    #[test]
+    fn shift_theorem(n in 2usize..150, shift in 0usize..150, seed in 0u64..u64::MAX) {
+        let shift = shift % n;
+        let x = signal(n, seed);
+        let shifted: Vec<C> = (0..n).map(|j| x[(j + n - shift) % n]).collect();
+        let plan = FftPlan::<f64>::new(n);
+        let fx = plan.forward_vec(&x);
+        let fs = plan.forward_vec(&shifted);
+        let expect: Vec<C> = fx.iter().enumerate().map(|(k, &v)| {
+            let theta = -2.0 * std::f64::consts::PI * (k * shift % n) as f64 / n as f64;
+            v * C::expi(theta)
+        }).collect();
+        prop_assert!(rel_err(&fs, &expect) < 1e-10);
+    }
+
+    /// The fast plans agree with the O(n²) DFT on every size.
+    #[test]
+    fn agrees_with_naive(n in 1usize..128, seed in 0u64..u64::MAX) {
+        let x = signal(n, seed);
+        let plan = FftPlan::<f64>::new(n);
+        let fast = plan.forward_vec(&x);
+        let mut slow = vec![C::zero(); n];
+        naive_dft(&x, &mut slow, FftDirection::Forward);
+        prop_assert!(rel_err(&fast, &slow) < 1e-10);
+    }
+
+    /// Real packed transform equals the complex transform of the
+    /// real-embedded signal (first n/2+1 bins) and the remaining bins obey
+    /// Hermitian symmetry.
+    #[test]
+    fn real_transform_consistency(half in 1usize..200, seed in 0u64..u64::MAX) {
+        let n = 2 * half;
+        let mut rng = SplitMix64::new(seed);
+        let x: Vec<f64> = (0..n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let rplan = RealFftPlan::<f64>::new(n);
+        let mut spec = vec![C::zero(); rplan.spectrum_len()];
+        let mut scratch = vec![C::zero(); rplan.scratch_len()];
+        rplan.forward(&x, &mut spec, &mut scratch);
+
+        let cx: Vec<C> = x.iter().map(|&v| C::from_real(v)).collect();
+        let cplan = FftPlan::<f64>::new(n);
+        let full = cplan.forward_vec(&cx);
+        prop_assert!(rel_err(&spec, &full[..half + 1]) < 1e-11);
+        // Hermitian symmetry of the implied upper half.
+        for k in 1..half {
+            let err = (full[n - k] - full[k].conj()).abs();
+            prop_assert!(err < 1e-9 * (1.0 + full[k].abs()));
+        }
+    }
+
+    /// Batched processing is exactly per-item processing.
+    #[test]
+    fn batch_consistency(n in 1usize..64, batch in 1usize..8, seed in 0u64..u64::MAX) {
+        let data = signal(n * batch, seed);
+        let bf = BatchedFft::<f64>::new(n);
+        let got = bf.forward_batch_vec(&data);
+        for b in 0..batch {
+            let single = bf.plan().forward_vec(&data[b * n..(b + 1) * n]);
+            prop_assert!(rel_err(&got[b * n..(b + 1) * n], &single) < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! The linear-Gaussian Bayesian inverse problem (Section 2.2–2.3).
+//!
+//! With Gaussian prior `m ∼ N(m_pr, σ_pr²·I)` and noise
+//! `ν ∼ N(0, σ_n²·I)`, the MAP point solves (Eq. 4)
+//!
+//! ```text
+//! (F*·σ_n⁻²·F + σ_pr⁻²·I)·m_map = F*·σ_n⁻²·d_obs + σ_pr⁻²·m_pr
+//! ```
+//!
+//! The Hessian `H = F*Γ_n⁻¹F + Γ_pr⁻¹` is applied matrix-free through
+//! FFTMatvec actions and the system is solved by conjugate gradients —
+//! the exact consumer workload the paper accelerates. A matvec counter
+//! tracks how many `F`/`F*` actions a solve consumed (Remark 1's
+//! motivation for making each one faster).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use fftmatvec_core::FftMatvec;
+use fftmatvec_numeric::SplitMix64;
+
+/// A linear-Gaussian inverse problem wrapping an FFTMatvec p2o map.
+pub struct BayesianProblem {
+    matvec: FftMatvec,
+    /// Observation noise standard deviation σ_n.
+    pub noise_std: f64,
+    /// Prior standard deviation σ_pr.
+    pub prior_std: f64,
+    matvec_count: AtomicUsize,
+}
+
+/// Result of a MAP solve.
+#[derive(Clone, Debug)]
+pub struct MapSolution {
+    /// The MAP point (length `nm·nt`).
+    pub m_map: Vec<f64>,
+    /// CG iterations used.
+    pub iterations: usize,
+    /// Final relative residual.
+    pub residual: f64,
+}
+
+impl BayesianProblem {
+    pub fn new(matvec: FftMatvec, noise_std: f64, prior_std: f64) -> Self {
+        assert!(noise_std > 0.0 && prior_std > 0.0);
+        BayesianProblem { matvec, noise_std, prior_std, matvec_count: AtomicUsize::new(0) }
+    }
+
+    /// The wrapped matvec.
+    pub fn matvec(&self) -> &FftMatvec {
+        &self.matvec
+    }
+
+    /// Total `F`/`F*` actions performed so far.
+    pub fn matvec_count(&self) -> usize {
+        self.matvec_count.load(Ordering::Relaxed)
+    }
+
+    /// Apply `F`, counting the action.
+    pub fn forward(&self, m: &[f64]) -> Vec<f64> {
+        self.matvec_count.fetch_add(1, Ordering::Relaxed);
+        self.matvec.apply_forward(m)
+    }
+
+    /// Apply `F*`, counting the action.
+    pub fn adjoint(&self, d: &[f64]) -> Vec<f64> {
+        self.matvec_count.fetch_add(1, Ordering::Relaxed);
+        self.matvec.apply_adjoint(d)
+    }
+
+    /// The Hessian action `H·v = F*·σ_n⁻²·F·v + σ_pr⁻²·v`.
+    pub fn hessian_action(&self, v: &[f64]) -> Vec<f64> {
+        let fv = self.forward(v);
+        let mut h = self.adjoint(&fv);
+        let wn = self.noise_std.powi(-2);
+        let wp = self.prior_std.powi(-2);
+        for (hi, &vi) in h.iter_mut().zip(v) {
+            *hi = wn * *hi + wp * vi;
+        }
+        h
+    }
+
+    /// Synthesize observations `d = F·m_true + ν` with seeded noise.
+    pub fn synthesize_data(&self, m_true: &[f64], seed: u64) -> Vec<f64> {
+        let mut d = self.forward(m_true);
+        let mut rng = SplitMix64::new(seed);
+        for x in d.iter_mut() {
+            *x += self.noise_std * rng.normal();
+        }
+        d
+    }
+
+    /// Solve for the MAP point by CG on the Hessian system (zero prior
+    /// mean). Stops at relative residual `tol` or `max_iter`.
+    pub fn solve_map(&self, d_obs: &[f64], tol: f64, max_iter: usize) -> MapSolution {
+        let wn = self.noise_std.powi(-2);
+        let mut rhs = self.adjoint(d_obs);
+        for x in rhs.iter_mut() {
+            *x *= wn;
+        }
+        let n = rhs.len();
+        let rhs_norm = rhs.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if rhs_norm == 0.0 {
+            return MapSolution { m_map: vec![0.0; n], iterations: 0, residual: 0.0 };
+        }
+
+        let mut x = vec![0.0; n];
+        let mut r = rhs.clone();
+        let mut p = r.clone();
+        let mut rr: f64 = r.iter().map(|v| v * v).sum();
+        let mut iterations = 0;
+        for _ in 0..max_iter {
+            let hp = self.hessian_action(&p);
+            let php: f64 = p.iter().zip(&hp).map(|(a, b)| a * b).sum();
+            let alpha = rr / php;
+            for i in 0..n {
+                x[i] += alpha * p[i];
+                r[i] -= alpha * hp[i];
+            }
+            iterations += 1;
+            let rr_new: f64 = r.iter().map(|v| v * v).sum();
+            if rr_new.sqrt() <= tol * rhs_norm {
+                rr = rr_new;
+                break;
+            }
+            let beta = rr_new / rr;
+            for i in 0..n {
+                p[i] = r[i] + beta * p[i];
+            }
+            rr = rr_new;
+        }
+        MapSolution { m_map: x, iterations, residual: rr.sqrt() / rhs_norm }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::p2o::P2oMap;
+    use crate::system::HeatEquation1D;
+    use fftmatvec_core::PrecisionConfig;
+
+    fn problem(noise: f64, prior: f64) -> BayesianProblem {
+        let sys = HeatEquation1D::new(20, 0.02, 0.3);
+        let p2o = P2oMap::assemble(&sys, &[4, 10, 16], 12).unwrap();
+        let mv = FftMatvec::new(p2o.operator, PrecisionConfig::all_double());
+        BayesianProblem::new(mv, noise, prior)
+    }
+
+    #[test]
+    fn hessian_is_symmetric_positive_definite() {
+        let prob = problem(0.1, 1.0);
+        let n = 20 * 12;
+        let mut rng = SplitMix64::new(1);
+        let mut u = vec![0.0; n];
+        let mut v = vec![0.0; n];
+        rng.fill_uniform(&mut u, -1.0, 1.0);
+        rng.fill_uniform(&mut v, -1.0, 1.0);
+        let hu = prob.hessian_action(&u);
+        let hv = prob.hessian_action(&v);
+        let uhv: f64 = u.iter().zip(&hv).map(|(a, b)| a * b).sum();
+        let vhu: f64 = v.iter().zip(&hu).map(|(a, b)| a * b).sum();
+        assert!((uhv - vhu).abs() < 1e-9 * uhv.abs().max(1.0), "symmetry");
+        let uhu: f64 = u.iter().zip(&hu).map(|(a, b)| a * b).sum();
+        assert!(uhu > 0.0, "positive definiteness");
+    }
+
+    #[test]
+    fn map_solve_converges_and_fits_data() {
+        let prob = problem(1e-3, 10.0);
+        let n = 20 * 12;
+        // Smooth truth: a bump mid-domain, constant in time.
+        let mut m_true = vec![0.0; n];
+        for t in 0..12 {
+            for i in 0..20 {
+                let x = (i as f64 + 1.0) / 21.0;
+                m_true[t * 20 + i] = (-(x - 0.5) * (x - 0.5) / 0.02).exp();
+            }
+        }
+        let d_obs = prob.synthesize_data(&m_true, 7);
+        let sol = prob.solve_map(&d_obs, 1e-8, 400);
+        assert!(sol.residual < 1e-8, "CG residual {}", sol.residual);
+        // The MAP point must explain the data much better than the prior
+        // mean (zero).
+        let fit = prob.forward(&sol.m_map);
+        let misfit: f64 = fit.iter().zip(&d_obs).map(|(a, b)| (a - b) * (a - b)).sum();
+        let null_misfit: f64 = d_obs.iter().map(|b| b * b).sum();
+        assert!(misfit < 0.05 * null_misfit, "misfit {misfit} vs {null_misfit}");
+    }
+
+    #[test]
+    fn huge_noise_shrinks_map_to_prior_mean() {
+        let prob = problem(1e6, 1.0);
+        let d_obs = vec![1.0; 3 * 12];
+        let sol = prob.solve_map(&d_obs, 1e-10, 200);
+        let norm: f64 = sol.m_map.iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!(norm < 1e-4, "MAP should collapse to zero, norm {norm}");
+    }
+
+    #[test]
+    fn matvec_counter_tracks_work() {
+        let prob = problem(0.1, 1.0);
+        assert_eq!(prob.matvec_count(), 0);
+        let d_obs = vec![0.5; 3 * 12];
+        let sol = prob.solve_map(&d_obs, 1e-6, 50);
+        // rhs adjoint + 2 per CG iteration.
+        assert_eq!(prob.matvec_count(), 1 + 2 * sol.iterations);
+    }
+
+    #[test]
+    fn zero_data_gives_zero_map() {
+        let prob = problem(0.1, 1.0);
+        let sol = prob.solve_map(&vec![0.0; 3 * 12], 1e-10, 100);
+        assert_eq!(sol.iterations, 0);
+        assert!(sol.m_map.iter().all(|&x| x == 0.0));
+    }
+}

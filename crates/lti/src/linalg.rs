@@ -1,0 +1,134 @@
+//! Small dense linear algebra for the data-space computations.
+//!
+//! The outer-loop problems assemble dense *data-space* matrices (size
+//! `|S|·N_t`, small by construction since `N_d ≪ N_m`) and need Cholesky
+//! factorizations and log-determinants for the expected-information-gain
+//! objective.
+
+/// Cholesky factorization `A = L·Lᵀ` of a symmetric positive-definite
+/// matrix (row-major `n × n`). Returns the lower factor, or `None` if a
+/// pivot drops below `tol`.
+pub fn cholesky(a: &[f64], n: usize, tol: f64) -> Option<Vec<f64>> {
+    assert_eq!(a.len(), n * n);
+    let mut l = vec![0.0; n * n];
+    for j in 0..n {
+        let mut diag = a[j * n + j];
+        for k in 0..j {
+            diag -= l[j * n + k] * l[j * n + k];
+        }
+        if diag <= tol {
+            return None;
+        }
+        let dsqrt = diag.sqrt();
+        l[j * n + j] = dsqrt;
+        for i in j + 1..n {
+            let mut v = a[i * n + j];
+            for k in 0..j {
+                v -= l[i * n + k] * l[j * n + k];
+            }
+            l[i * n + j] = v / dsqrt;
+        }
+    }
+    Some(l)
+}
+
+/// `log det(A)` for SPD `A` via Cholesky.
+pub fn logdet_spd(a: &[f64], n: usize) -> Option<f64> {
+    let l = cholesky(a, n, 0.0)?;
+    Some(2.0 * (0..n).map(|i| l[i * n + i].ln()).sum::<f64>())
+}
+
+/// Solve `A·x = b` for SPD `A` via Cholesky (forward + back substitution).
+pub fn solve_spd(a: &[f64], b: &[f64], n: usize) -> Option<Vec<f64>> {
+    let l = cholesky(a, n, 0.0)?;
+    // L·y = b
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut v = b[i];
+        for k in 0..i {
+            v -= l[i * n + k] * y[k];
+        }
+        y[i] = v / l[i * n + i];
+    }
+    // Lᵀ·x = y
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut v = y[i];
+        for k in i + 1..n {
+            v -= l[k * n + i] * x[k];
+        }
+        x[i] = v / l[i * n + i];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fftmatvec_numeric::SplitMix64;
+
+    fn random_spd(n: usize, seed: u64) -> Vec<f64> {
+        // A = MᵀM + n·I.
+        let mut rng = SplitMix64::new(seed);
+        let m: Vec<f64> = (0..n * n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let mut acc = if i == j { n as f64 } else { 0.0 };
+                for k in 0..n {
+                    acc += m[k * n + i] * m[k * n + j];
+                }
+                a[i * n + j] = acc;
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let n = 9;
+        let a = random_spd(n, 1);
+        let l = cholesky(&a, n, 0.0).unwrap();
+        for i in 0..n {
+            for j in 0..n {
+                let mut v = 0.0;
+                for k in 0..n {
+                    v += l[i * n + k] * l[j * n + k];
+                }
+                assert!((v - a[i * n + j]).abs() < 1e-10, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn logdet_of_diagonal() {
+        let n = 4;
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            a[i * n + i] = (i + 1) as f64;
+        }
+        let want = (1.0f64 * 2.0 * 3.0 * 4.0).ln();
+        assert!((logdet_spd(&a, n).unwrap() - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_matches_matvec() {
+        let n = 7;
+        let a = random_spd(n, 3);
+        let mut rng = SplitMix64::new(4);
+        let x: Vec<f64> = (0..n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let b: Vec<f64> = (0..n)
+            .map(|i| (0..n).map(|j| a[i * n + j] * x[j]).sum())
+            .collect();
+        let got = solve_spd(&a, &b, n).unwrap();
+        for (g, w) in got.iter().zip(&x) {
+            assert!((g - w).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn indefinite_matrix_rejected() {
+        let a = vec![1.0, 2.0, 2.0, 1.0]; // eigenvalues 3, −1
+        assert!(cholesky(&a, 2, 0.0).is_none());
+    }
+}

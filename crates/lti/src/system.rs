@@ -1,0 +1,221 @@
+//! Linear time-invariant PDE systems (Section 2.1).
+//!
+//! `∂u/∂t = A·u + m` on a 1-D periodic-free domain with homogeneous
+//! Dirichlet boundaries, observed through a sensor selection operator `B`.
+//! Implicit Euler gives the one-step propagator `S = (I − Δt·A)⁻¹` applied
+//! as `u^{k} = S·(u^{k−1} + Δt·m^{k})`; time-invariance of `S` is exactly
+//! what makes the discrete p2o map block-Toeplitz.
+
+use crate::tridiag::Tridiag;
+
+/// A time-invariant linear system with a tridiagonal generator.
+pub trait LtiSystem {
+    /// Spatial dimension (number of grid points / parameters).
+    fn nx(&self) -> usize;
+    /// Timestep.
+    fn dt(&self) -> f64;
+    /// The implicit-Euler system matrix `I − Δt·A`.
+    fn stepper(&self) -> &Tridiag;
+    /// The transposed stepper (for adjoint recursions).
+    fn stepper_t(&self) -> &Tridiag;
+
+    /// March `nt` steps from `u0 = 0` with source blocks
+    /// `m[(k−1)·nx ..][..nx]` (TOSI layout), recording the full state
+    /// trajectory: returns `nt·nx` values, `u^k` at `[(k−1)·nx..]`.
+    fn forward_trajectory(&self, m: &[f64], nt: usize) -> Vec<f64> {
+        let nx = self.nx();
+        assert_eq!(m.len(), nx * nt, "source trajectory length");
+        let mut traj = vec![0.0; nx * nt];
+        let mut u = vec![0.0; nx];
+        let mut rhs = vec![0.0; nx];
+        let mut work = vec![0.0; 2 * nx];
+        for k in 0..nt {
+            let mk = &m[k * nx..(k + 1) * nx];
+            for i in 0..nx {
+                rhs[i] = u[i] + self.dt() * mk[i];
+            }
+            self.stepper().solve_into(&rhs, &mut u, &mut work);
+            traj[k * nx..(k + 1) * nx].copy_from_slice(&u);
+        }
+        traj
+    }
+
+    /// One adjoint step `w ← Sᵀ·w` (used by the p2o assembly).
+    fn adjoint_step(&self, w: &mut Vec<f64>) {
+        let out = self.stepper_t().solve(w);
+        *w = out;
+    }
+}
+
+/// 1-D heat equation `u_t = κ·u_xx + m` on `(0, 1)`, homogeneous
+/// Dirichlet, uniform grid of `nx` interior points.
+pub struct HeatEquation1D {
+    nx: usize,
+    dt: f64,
+    kappa: f64,
+    stepper: Tridiag,
+    stepper_t: Tridiag,
+}
+
+impl HeatEquation1D {
+    pub fn new(nx: usize, dt: f64, kappa: f64) -> Self {
+        assert!(nx >= 2 && dt > 0.0 && kappa > 0.0);
+        let h = 1.0 / (nx + 1) as f64;
+        let r = kappa * dt / (h * h);
+        // I − Δt·κ·L with L the standard 3-point Laplacian.
+        let diag = vec![1.0 + 2.0 * r; nx];
+        let off = vec![-r; nx - 1];
+        let stepper = Tridiag::new(off.clone(), diag, off);
+        let stepper_t = stepper.transpose();
+        HeatEquation1D { nx, dt, kappa, stepper, stepper_t }
+    }
+
+    /// Diffusivity κ.
+    pub fn kappa(&self) -> f64 {
+        self.kappa
+    }
+
+    /// Grid spacing.
+    pub fn h(&self) -> f64 {
+        1.0 / (self.nx + 1) as f64
+    }
+}
+
+impl LtiSystem for HeatEquation1D {
+    fn nx(&self) -> usize {
+        self.nx
+    }
+    fn dt(&self) -> f64 {
+        self.dt
+    }
+    fn stepper(&self) -> &Tridiag {
+        &self.stepper
+    }
+    fn stepper_t(&self) -> &Tridiag {
+        &self.stepper_t
+    }
+}
+
+/// 1-D advection–diffusion `u_t = κ·u_xx − v·u_x + m`, upwind advection
+/// (for `v > 0`), homogeneous Dirichlet.
+pub struct AdvectionDiffusion1D {
+    nx: usize,
+    dt: f64,
+    stepper: Tridiag,
+    stepper_t: Tridiag,
+}
+
+impl AdvectionDiffusion1D {
+    pub fn new(nx: usize, dt: f64, kappa: f64, velocity: f64) -> Self {
+        assert!(nx >= 2 && dt > 0.0 && kappa > 0.0 && velocity >= 0.0);
+        let h = 1.0 / (nx + 1) as f64;
+        let r = kappa * dt / (h * h);
+        let c = velocity * dt / h;
+        // Upwind: −v·u_x ≈ −v·(u_i − u_{i−1})/h.
+        let diag = vec![1.0 + 2.0 * r + c; nx];
+        let lower = vec![-r - c; nx - 1];
+        let upper = vec![-r; nx - 1];
+        let stepper = Tridiag::new(lower, diag, upper);
+        let stepper_t = stepper.transpose();
+        AdvectionDiffusion1D { nx, dt, stepper, stepper_t }
+    }
+}
+
+impl LtiSystem for AdvectionDiffusion1D {
+    fn nx(&self) -> usize {
+        self.nx
+    }
+    fn dt(&self) -> f64 {
+        self.dt
+    }
+    fn stepper(&self) -> &Tridiag {
+        &self.stepper
+    }
+    fn stepper_t(&self) -> &Tridiag {
+        &self.stepper_t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fftmatvec_numeric::SplitMix64;
+
+    #[test]
+    fn heat_decays_without_forcing_after_impulse() {
+        let sys = HeatEquation1D::new(32, 0.01, 0.1);
+        let nt = 20;
+        let mut m = vec![0.0; 32 * nt];
+        m[16] = 1.0; // impulse at t=1, mid-domain
+        let traj = sys.forward_trajectory(&m, nt);
+        let energy = |k: usize| -> f64 {
+            traj[k * 32..(k + 1) * 32].iter().map(|u| u * u).sum()
+        };
+        for k in 1..nt {
+            assert!(energy(k) <= energy(k - 1) * (1.0 + 1e-12), "energy grew at {k}");
+        }
+        assert!(energy(nt - 1) < energy(0));
+    }
+
+    #[test]
+    fn heat_smooths_and_stays_positive() {
+        let sys = HeatEquation1D::new(16, 0.05, 0.2);
+        let mut m = vec![0.0; 16 * 5];
+        m[8] = 1.0;
+        let traj = sys.forward_trajectory(&m, 5);
+        // Implicit Euler heat: positivity preserved from a positive source.
+        assert!(traj.iter().all(|&u| u >= -1e-14));
+        // Mass spreads: more than one point nonzero at the final step.
+        let last = &traj[16 * 4..];
+        let nonzero = last.iter().filter(|&&u| u > 1e-10).count();
+        assert!(nonzero > 3);
+    }
+
+    #[test]
+    fn advection_pushes_mass_downstream() {
+        let sys = AdvectionDiffusion1D::new(40, 0.02, 1e-3, 1.0);
+        let nt = 15;
+        let mut m = vec![0.0; 40 * nt];
+        m[10] = 1.0; // impulse at x-index 10, t=1
+        let traj = sys.forward_trajectory(&m, nt);
+        let centroid = |k: usize| -> f64 {
+            let u = &traj[k * 40..(k + 1) * 40];
+            let mass: f64 = u.iter().sum();
+            u.iter().enumerate().map(|(i, v)| i as f64 * v).sum::<f64>() / mass.max(1e-30)
+        };
+        assert!(centroid(nt - 1) > centroid(0) + 2.0, "centroid should advect right");
+    }
+
+    #[test]
+    fn forward_is_linear() {
+        let sys = HeatEquation1D::new(12, 0.02, 0.3);
+        let nt = 8;
+        let mut rng = SplitMix64::new(1);
+        let mut m1 = vec![0.0; 12 * nt];
+        let mut m2 = vec![0.0; 12 * nt];
+        rng.fill_uniform(&mut m1, -1.0, 1.0);
+        rng.fill_uniform(&mut m2, -1.0, 1.0);
+        let sum: Vec<f64> = m1.iter().zip(&m2).map(|(a, b)| 2.0 * a + b).collect();
+        let t1 = sys.forward_trajectory(&m1, nt);
+        let t2 = sys.forward_trajectory(&m2, nt);
+        let ts = sys.forward_trajectory(&sum, nt);
+        for i in 0..ts.len() {
+            assert!((ts[i] - (2.0 * t1[i] + t2[i])).abs() < 1e-11);
+        }
+    }
+
+    #[test]
+    fn adjoint_step_is_transpose_of_forward_step() {
+        let sys = HeatEquation1D::new(10, 0.01, 0.5);
+        let mut rng = SplitMix64::new(2);
+        let a: Vec<f64> = (0..10).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let b: Vec<f64> = (0..10).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        // ⟨S a, b⟩ == ⟨a, Sᵀ b⟩.
+        let sa = sys.stepper().solve(&a);
+        let mut stb = b.clone();
+        sys.adjoint_step(&mut stb);
+        let lhs: f64 = sa.iter().zip(&b).map(|(x, y)| x * y).sum();
+        let rhs: f64 = a.iter().zip(&stb).map(|(x, y)| x * y).sum();
+        assert!((lhs - rhs).abs() < 1e-12 * lhs.abs().max(1.0));
+    }
+}

@@ -1,0 +1,220 @@
+//! 2-D heat equation by ADI (alternating-direction implicit) splitting.
+//!
+//! The paper's application problems are PDEs on 2-D/3-D domains (tsunami
+//! source inversion over a seafloor region); this module provides a 2-D
+//! LTI system whose p2o maps exercise FFTMatvec with realistic spatial
+//! parameter counts (`N_m = nx·ny`). Each implicit-Euler step splits into
+//! an x-sweep and a y-sweep of tridiagonal solves (Douglas–Rachford ADI):
+//!
+//! ```text
+//! (I − Δt·κ·Lx)·u* = u + Δt·m ;  (I − Δt·κ·Ly)·u⁺ = u*
+//! ```
+//!
+//! The stepper stays time-invariant, so the p2o map is still block
+//! lower-triangular Toeplitz; the adjoint is the reversed-order transpose
+//! sweep (tested via the inner-product identity).
+
+use crate::system::LtiSystem;
+use crate::tridiag::Tridiag;
+
+/// Heat equation on the unit square, `nx × ny` interior points,
+/// homogeneous Dirichlet boundaries.
+pub struct HeatEquation2D {
+    nx: usize,
+    ny: usize,
+    dt: f64,
+    /// x-direction sweep matrix `I − Δt·κ·Lx` (size nx).
+    step_x: Tridiag,
+    /// y-direction sweep matrix (size ny).
+    step_y: Tridiag,
+    step_x_t: Tridiag,
+    step_y_t: Tridiag,
+}
+
+impl HeatEquation2D {
+    pub fn new(nx: usize, ny: usize, dt: f64, kappa: f64) -> Self {
+        assert!(nx >= 2 && ny >= 2 && dt > 0.0 && kappa > 0.0);
+        let mk = |n: usize| -> Tridiag {
+            let h = 1.0 / (n + 1) as f64;
+            let r = kappa * dt / (h * h);
+            Tridiag::new(vec![-r; n - 1], vec![1.0 + 2.0 * r; n], vec![-r; n - 1])
+        };
+        let step_x = mk(nx);
+        let step_y = mk(ny);
+        let step_x_t = step_x.transpose();
+        let step_y_t = step_y.transpose();
+        HeatEquation2D { nx, ny, dt, step_x, step_y, step_x_t, step_y_t }
+    }
+
+    /// Grid index of point `(ix, iy)` in the flattened state (row-major
+    /// in y: `iy·nx + ix`).
+    pub fn index(&self, ix: usize, iy: usize) -> usize {
+        debug_assert!(ix < self.nx && iy < self.ny);
+        iy * self.nx + ix
+    }
+
+    /// One forward ADI step applied in place: x-sweep rows, then y-sweep
+    /// columns.
+    fn adi_step(&self, u: &mut [f64]) {
+        let (nx, ny) = (self.nx, self.ny);
+        let mut work = vec![0.0; 2 * nx.max(ny)];
+        let mut line = vec![0.0; nx.max(ny)];
+        // x sweep: each grid row is a contiguous slice.
+        for iy in 0..ny {
+            let row = &mut u[iy * nx..(iy + 1) * nx];
+            line[..nx].copy_from_slice(row);
+            self.step_x.solve_into(&line[..nx], row, &mut work);
+        }
+        // y sweep: strided columns.
+        let mut col = vec![0.0; ny];
+        for ix in 0..nx {
+            for iy in 0..ny {
+                col[iy] = u[iy * nx + ix];
+            }
+            self.step_y.solve_into(&col, &mut line[..ny], &mut work);
+            for iy in 0..ny {
+                u[iy * nx + ix] = line[iy];
+            }
+        }
+    }
+
+    /// One adjoint ADI step: the transpose of [`Self::adi_step`] —
+    /// transposed y-sweep first, then transposed x-sweep.
+    fn adi_step_t(&self, w: &mut [f64]) {
+        let (nx, ny) = (self.nx, self.ny);
+        let mut work = vec![0.0; 2 * nx.max(ny)];
+        let mut line = vec![0.0; nx.max(ny)];
+        let mut col = vec![0.0; ny];
+        for ix in 0..nx {
+            for iy in 0..ny {
+                col[iy] = w[iy * nx + ix];
+            }
+            self.step_y_t.solve_into(&col, &mut line[..ny], &mut work);
+            for iy in 0..ny {
+                w[iy * nx + ix] = line[iy];
+            }
+        }
+        for iy in 0..ny {
+            let row = &mut w[iy * nx..(iy + 1) * nx];
+            line[..nx].copy_from_slice(row);
+            self.step_x_t.solve_into(&line[..nx], row, &mut work);
+        }
+    }
+}
+
+impl LtiSystem for HeatEquation2D {
+    fn nx(&self) -> usize {
+        self.nx * self.ny
+    }
+    fn dt(&self) -> f64 {
+        self.dt
+    }
+    // The 1-D trait exposes the stepper matrices for diagnostics; for the
+    // ADI system the x-sweep factor stands in (the composition is applied
+    // through the overridden trajectory/adjoint methods below).
+    fn stepper(&self) -> &Tridiag {
+        &self.step_x
+    }
+    fn stepper_t(&self) -> &Tridiag {
+        &self.step_x_t
+    }
+
+    fn forward_trajectory(&self, m: &[f64], nt: usize) -> Vec<f64> {
+        let n = self.nx();
+        assert_eq!(m.len(), n * nt, "source trajectory length");
+        let mut traj = vec![0.0; n * nt];
+        let mut u = vec![0.0; n];
+        for k in 0..nt {
+            for (ui, &mi) in u.iter_mut().zip(&m[k * n..(k + 1) * n]) {
+                *ui += self.dt * mi;
+            }
+            self.adi_step(&mut u);
+            traj[k * n..(k + 1) * n].copy_from_slice(&u);
+        }
+        traj
+    }
+
+    fn adjoint_step(&self, w: &mut Vec<f64>) {
+        self.adi_step_t(w);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::p2o::P2oMap;
+    use fftmatvec_core::{FftMatvec, PrecisionConfig};
+    use fftmatvec_numeric::vecmath::rel_l2_error;
+    use fftmatvec_numeric::SplitMix64;
+
+    #[test]
+    fn heat2d_diffuses_and_decays() {
+        let sys = HeatEquation2D::new(12, 10, 0.01, 0.1);
+        let nt = 12;
+        let n = sys.nx();
+        let mut m = vec![0.0; n * nt];
+        m[sys.index(6, 5)] = 1.0; // impulse at t=1, centre
+        let traj = sys.forward_trajectory(&m, nt);
+        let energy =
+            |k: usize| -> f64 { traj[k * n..(k + 1) * n].iter().map(|u| u * u).sum() };
+        for k in 1..nt {
+            assert!(energy(k) <= energy(k - 1) * (1.0 + 1e-12));
+        }
+        // Mass spreads in both directions.
+        let last = &traj[(nt - 1) * n..];
+        assert!(last[sys.index(3, 5)] > 0.0);
+        assert!(last[sys.index(6, 2)] > 0.0);
+    }
+
+    #[test]
+    fn adi_step_adjoint_identity() {
+        let sys = HeatEquation2D::new(7, 9, 0.02, 0.3);
+        let n = sys.nx();
+        let mut rng = SplitMix64::new(1);
+        let a: Vec<f64> = (0..n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let b: Vec<f64> = (0..n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let mut sa = a.clone();
+        sys.adi_step(&mut sa);
+        let mut stb = b.clone();
+        sys.adi_step_t(&mut stb);
+        let lhs: f64 = sa.iter().zip(&b).map(|(x, y)| x * y).sum();
+        let rhs: f64 = a.iter().zip(&stb).map(|(x, y)| x * y).sum();
+        assert!((lhs - rhs).abs() < 1e-12 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn p2o_2d_matches_brute_force_pde() {
+        let sys = HeatEquation2D::new(8, 6, 0.02, 0.25);
+        let nt = 8;
+        let n = sys.nx();
+        let sensors = [sys.index(2, 2), sys.index(6, 3), sys.index(4, 5)];
+        let p2o = P2oMap::assemble(&sys, &sensors, nt).unwrap();
+        let mut rng = SplitMix64::new(2);
+        let mut m = vec![0.0; n * nt];
+        rng.fill_uniform(&mut m, -1.0, 1.0);
+
+        let traj = sys.forward_trajectory(&m, nt);
+        let mut want = vec![0.0; sensors.len() * nt];
+        for k in 0..nt {
+            for (i, &s) in sensors.iter().enumerate() {
+                want[k * sensors.len() + i] = traj[k * n + s];
+            }
+        }
+        let mv = FftMatvec::new(p2o.operator, PrecisionConfig::all_double());
+        let got = mv.apply_forward(&m);
+        assert!(rel_l2_error(&got, &want) < 1e-11);
+    }
+
+    #[test]
+    fn anisotropic_grid_shapes_work() {
+        // nx != ny exercises the strided y-sweep indexing.
+        for (nx, ny) in [(2usize, 9usize), (9, 2), (5, 5)] {
+            let sys = HeatEquation2D::new(nx, ny, 0.05, 0.2);
+            let n = sys.nx();
+            let m = vec![1.0; n * 3];
+            let traj = sys.forward_trajectory(&m, 3);
+            assert_eq!(traj.len(), 3 * n);
+            assert!(traj.iter().all(|u| u.is_finite() && *u >= 0.0));
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Tridiagonal systems and the Thomas algorithm.
+//!
+//! The implicit-Euler step of the 1-D systems solves `(I − Δt·A)u = rhs`
+//! with `A` tridiagonal; one O(n) Thomas solve per timestep (and its
+//! transpose for the adjoint recursion).
+
+/// A tridiagonal matrix stored by diagonals: `lower[i] = M[i+1][i]`,
+/// `diag[i] = M[i][i]`, `upper[i] = M[i][i+1]`.
+#[derive(Clone, Debug)]
+pub struct Tridiag {
+    pub lower: Vec<f64>,
+    pub diag: Vec<f64>,
+    pub upper: Vec<f64>,
+}
+
+impl Tridiag {
+    /// Build from diagonals; `lower`/`upper` must have `n − 1` entries.
+    pub fn new(lower: Vec<f64>, diag: Vec<f64>, upper: Vec<f64>) -> Self {
+        let n = diag.len();
+        assert!(n > 0, "empty tridiagonal system");
+        assert_eq!(lower.len(), n - 1, "lower diagonal length");
+        assert_eq!(upper.len(), n - 1, "upper diagonal length");
+        Tridiag { lower, diag, upper }
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.diag.len()
+    }
+
+    /// Dense `y = M·x`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        let n = self.n();
+        assert_eq!(x.len(), n);
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut acc = self.diag[i] * x[i];
+            if i > 0 {
+                acc += self.lower[i - 1] * x[i - 1];
+            }
+            if i + 1 < n {
+                acc += self.upper[i] * x[i + 1];
+            }
+            y[i] = acc;
+        }
+        y
+    }
+
+    /// The transposed matrix (lower and upper swapped).
+    pub fn transpose(&self) -> Tridiag {
+        Tridiag {
+            lower: self.upper.clone(),
+            diag: self.diag.clone(),
+            upper: self.lower.clone(),
+        }
+    }
+
+    /// Solve `M·x = rhs` by the Thomas algorithm (no pivoting; valid for
+    /// the diagonally dominant matrices the implicit discretizations
+    /// produce). `work` must hold `2n` scratch values.
+    pub fn solve_into(&self, rhs: &[f64], x: &mut [f64], work: &mut [f64]) {
+        let n = self.n();
+        assert_eq!(rhs.len(), n);
+        assert_eq!(x.len(), n);
+        assert!(work.len() >= 2 * n, "Thomas scratch too small");
+        let (cp, dp) = work.split_at_mut(n);
+        // Forward sweep.
+        let mut beta = self.diag[0];
+        assert!(beta != 0.0, "zero pivot in Thomas solve");
+        cp[0] = if n > 1 { self.upper[0] / beta } else { 0.0 };
+        dp[0] = rhs[0] / beta;
+        for i in 1..n {
+            beta = self.diag[i] - self.lower[i - 1] * cp[i - 1];
+            assert!(beta != 0.0, "zero pivot in Thomas solve at row {i}");
+            cp[i] = if i + 1 < n { self.upper[i] / beta } else { 0.0 };
+            dp[i] = (rhs[i] - self.lower[i - 1] * dp[i - 1]) / beta;
+        }
+        // Back substitution.
+        x[n - 1] = dp[n - 1];
+        for i in (0..n - 1).rev() {
+            x[i] = dp[i] - cp[i] * x[i + 1];
+        }
+    }
+
+    /// Allocating convenience wrapper.
+    pub fn solve(&self, rhs: &[f64]) -> Vec<f64> {
+        let n = self.n();
+        let mut x = vec![0.0; n];
+        let mut work = vec![0.0; 2 * n];
+        self.solve_into(rhs, &mut x, &mut work);
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fftmatvec_numeric::SplitMix64;
+
+    fn random_dd_tridiag(n: usize, seed: u64) -> Tridiag {
+        // Diagonally dominant ⇒ Thomas is stable without pivoting.
+        let mut rng = SplitMix64::new(seed);
+        let lower: Vec<f64> = (0..n - 1).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let upper: Vec<f64> = (0..n - 1).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let diag: Vec<f64> = (0..n).map(|_| 4.0 + rng.uniform(0.0, 1.0)).collect();
+        Tridiag::new(lower, diag, upper)
+    }
+
+    #[test]
+    fn solve_inverts_matvec() {
+        for n in [1usize, 2, 3, 10, 97] {
+            let m = random_dd_tridiag(n.max(1), n as u64);
+            let mut rng = SplitMix64::new(100 + n as u64);
+            let x: Vec<f64> = (0..n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+            let b = m.matvec(&x);
+            let got = m.solve(&b);
+            for (g, w) in got.iter().zip(&x) {
+                assert!((g - w).abs() < 1e-11, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_solve_is_adjoint() {
+        // ⟨M⁻¹b, w⟩ == ⟨b, M⁻ᵀw⟩.
+        let n = 17;
+        let m = random_dd_tridiag(n, 5);
+        let mut rng = SplitMix64::new(6);
+        let b: Vec<f64> = (0..n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let w: Vec<f64> = (0..n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let x = m.solve(&b);
+        let y = m.transpose().solve(&w);
+        let lhs: f64 = x.iter().zip(&w).map(|(a, b)| a * b).sum();
+        let rhs: f64 = b.iter().zip(&y).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-11 * lhs.abs().max(1.0));
+    }
+
+    #[test]
+    fn identity_solves_trivially() {
+        let m = Tridiag::new(vec![0.0; 3], vec![1.0; 4], vec![0.0; 3]);
+        let b = vec![1.0, -2.0, 3.0, 0.5];
+        assert_eq!(m.solve(&b), b);
+    }
+
+    #[test]
+    #[should_panic(expected = "lower diagonal length")]
+    fn bad_diagonal_lengths_rejected() {
+        let _ = Tridiag::new(vec![0.0; 3], vec![1.0; 3], vec![0.0; 2]);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests for the LTI/Bayesian layer: discretization
+//! invariants (stability, linearity, adjointness) and the p2o map's
+//! agreement with brute-force PDE solves across random shapes.
+
+use fftmatvec_core::{FftMatvec, PrecisionConfig};
+use fftmatvec_lti::{HeatEquation1D, HeatEquation2D, LtiSystem, P2oMap};
+use fftmatvec_numeric::vecmath::rel_l2_error;
+use fftmatvec_numeric::SplitMix64;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Implicit Euler heat is unconditionally stable: any source
+    /// switched off after the first step decays monotonically in energy.
+    #[test]
+    fn heat1d_unconditional_stability(
+        nx in 4usize..40,
+        nt in 3usize..20,
+        dt in 0.001f64..0.5,
+        kappa in 0.01f64..2.0,
+        seed in 0u64..u64::MAX,
+    ) {
+        let sys = HeatEquation1D::new(nx, dt, kappa);
+        let mut rng = SplitMix64::new(seed);
+        let mut m = vec![0.0; nx * nt];
+        for v in m[..nx].iter_mut() {
+            *v = rng.uniform(-1.0, 1.0);
+        }
+        let traj = sys.forward_trajectory(&m, nt);
+        let energy = |k: usize| -> f64 {
+            traj[k * nx..(k + 1) * nx].iter().map(|u| u * u).sum()
+        };
+        for k in 1..nt {
+            prop_assert!(energy(k) <= energy(k - 1) * (1.0 + 1e-12), "t={k}");
+        }
+    }
+
+    /// One adjoint step is exactly the transpose of one forward step,
+    /// 1-D and 2-D.
+    #[test]
+    fn step_adjointness(
+        nx in 2usize..16,
+        ny in 2usize..12,
+        dt in 0.005f64..0.2,
+        kappa in 0.05f64..1.0,
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut rng = SplitMix64::new(seed);
+        // 1-D.
+        let sys1 = HeatEquation1D::new(nx, dt, kappa);
+        let a: Vec<f64> = (0..nx).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let b: Vec<f64> = (0..nx).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let sa = sys1.stepper().solve(&a);
+        let mut stb = b.clone();
+        sys1.adjoint_step(&mut stb);
+        let lhs: f64 = sa.iter().zip(&b).map(|(x, y)| x * y).sum();
+        let rhs: f64 = a.iter().zip(&stb).map(|(x, y)| x * y).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-10 * lhs.abs().max(1.0));
+
+        // 2-D (through the trait's trajectory/adjoint pair at nt = 1).
+        let sys2 = HeatEquation2D::new(nx, ny, dt, kappa);
+        let n = sys2.nx();
+        let ma: Vec<f64> = (0..n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let db: Vec<f64> = (0..n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        // Forward one step with source ma: u = S(dt*ma).
+        let u = sys2.forward_trajectory(&ma, 1);
+        let mut w = db.clone();
+        sys2.adjoint_step(&mut w);
+        // <S dt a, b> == <dt a, S^T b>
+        let lhs2: f64 = u.iter().zip(&db).map(|(x, y)| x * y).sum();
+        let rhs2: f64 = ma.iter().zip(&w).map(|(x, y)| dt * x * y).sum();
+        prop_assert!((lhs2 - rhs2).abs() < 1e-9 * lhs2.abs().max(1.0), "{lhs2} vs {rhs2}");
+    }
+
+    /// The assembled p2o operator applied through the FFT pipeline equals
+    /// observing the brute-force trajectory, for random sensor subsets.
+    #[test]
+    fn p2o_consistency(
+        nx in 4usize..24,
+        nt in 2usize..14,
+        n_sensors in 1usize..4,
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut rng = SplitMix64::new(seed);
+        let sys = HeatEquation1D::new(nx, 0.02, 0.3);
+        let mut sensors: Vec<usize> =
+            (0..n_sensors).map(|_| rng.next_usize(nx)).collect();
+        sensors.sort_unstable();
+        sensors.dedup();
+        let p2o = P2oMap::assemble(&sys, &sensors, nt).unwrap();
+        let mut m = vec![0.0; nx * nt];
+        rng.fill_uniform(&mut m, -1.0, 1.0);
+        let traj = sys.forward_trajectory(&m, nt);
+        let nd = sensors.len();
+        let mut want = vec![0.0; nd * nt];
+        for k in 0..nt {
+            for (i, &s) in sensors.iter().enumerate() {
+                want[k * nd + i] = traj[k * nx + s];
+            }
+        }
+        let mv = FftMatvec::new(p2o.operator, PrecisionConfig::all_double());
+        prop_assert!(rel_l2_error(&mv.apply_forward(&m), &want) < 1e-10);
+    }
+
+    /// Positivity: a nonnegative source yields a nonnegative heat state
+    /// (M-matrix property of the implicit stepper).
+    #[test]
+    fn heat_positivity(
+        nx in 3usize..30,
+        nt in 1usize..12,
+        seed in 0u64..u64::MAX,
+    ) {
+        let sys = HeatEquation1D::new(nx, 0.05, 0.4);
+        let mut rng = SplitMix64::new(seed);
+        let mut m = vec![0.0; nx * nt];
+        rng.fill_uniform(&mut m, 0.0, 1.0);
+        let traj = sys.forward_trajectory(&m, nt);
+        prop_assert!(traj.iter().all(|&u| u >= -1e-13));
+    }
+}

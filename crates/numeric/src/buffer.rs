@@ -1,0 +1,316 @@
+//! Dynamically typed vectors holding data in either precision.
+//!
+//! The mixed-precision pipeline (Section 3.2) tracks a *current working
+//! precision* through the five matvec phases; a phase whose configured
+//! compute precision differs from the working precision triggers a cast.
+//! [`RealBuffer`] and [`ComplexBuffer`] are the storage behind that: a
+//! vector tagged with its precision, plus the cast kernels. Byte counts for
+//! the bandwidth model are exposed so fused cast+memory phases can be
+//! costed correctly.
+
+use crate::complex::Complex;
+use crate::precision::Precision;
+
+/// A real vector stored in one of the two precisions.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RealBuffer {
+    F32(Vec<f32>),
+    F64(Vec<f64>),
+}
+
+impl RealBuffer {
+    /// Zero-filled buffer of length `n` in precision `p`.
+    pub fn zeros(p: Precision, n: usize) -> Self {
+        match p {
+            Precision::Single => RealBuffer::F32(vec![0.0; n]),
+            Precision::Double => RealBuffer::F64(vec![0.0; n]),
+        }
+    }
+
+    /// Build from `f64` data, rounding if `p` is single.
+    pub fn from_f64(p: Precision, data: &[f64]) -> Self {
+        match p {
+            Precision::Single => RealBuffer::F32(data.iter().map(|&x| x as f32).collect()),
+            Precision::Double => RealBuffer::F64(data.to_vec()),
+        }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            RealBuffer::F32(v) => v.len(),
+            RealBuffer::F64(v) => v.len(),
+        }
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    #[inline]
+    pub fn precision(&self) -> Precision {
+        match self {
+            RealBuffer::F32(_) => Precision::Single,
+            RealBuffer::F64(_) => Precision::Double,
+        }
+    }
+
+    /// Total payload size in bytes (for the bandwidth model).
+    #[inline]
+    pub fn bytes(&self) -> usize {
+        self.len() * self.precision().real_bytes()
+    }
+
+    /// Element as `f64` (test/diagnostic path, not a hot loop).
+    #[inline]
+    pub fn get(&self, i: usize) -> f64 {
+        match self {
+            RealBuffer::F32(v) => v[i] as f64,
+            RealBuffer::F64(v) => v[i],
+        }
+    }
+
+    /// Widen/copy out to an `f64` vector (reference-precision view).
+    pub fn to_f64_vec(&self) -> Vec<f64> {
+        match self {
+            RealBuffer::F32(v) => v.iter().map(|&x| x as f64).collect(),
+            RealBuffer::F64(v) => v.clone(),
+        }
+    }
+
+    /// The cast kernel: convert to precision `p`. A same-precision cast is
+    /// a no-op returning `self` unchanged (the pipeline's fusion logic
+    /// never emits those, but the API keeps it total).
+    pub fn cast(self, p: Precision) -> Self {
+        match (self, p) {
+            (RealBuffer::F32(v), Precision::Double) => {
+                RealBuffer::F64(v.into_iter().map(|x| x as f64).collect())
+            }
+            (RealBuffer::F64(v), Precision::Single) => {
+                RealBuffer::F32(v.into_iter().map(|x| x as f32).collect())
+            }
+            (b, _) => b,
+        }
+    }
+
+    pub fn as_f32(&self) -> Option<&[f32]> {
+        match self {
+            RealBuffer::F32(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<&[f64]> {
+        match self {
+            RealBuffer::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_f32_mut(&mut self) -> Option<&mut [f32]> {
+        match self {
+            RealBuffer::F32(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64_mut(&mut self) -> Option<&mut [f64]> {
+        match self {
+            RealBuffer::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Elementwise accumulate `self += other`, in `self`'s precision.
+    /// Used by the phase-5 reduction when summing partial outputs.
+    pub fn accumulate(&mut self, other: &RealBuffer) {
+        assert_eq!(self.len(), other.len(), "accumulate length mismatch");
+        match self {
+            RealBuffer::F32(v) => {
+                for (i, x) in v.iter_mut().enumerate() {
+                    *x += other.get(i) as f32;
+                }
+            }
+            RealBuffer::F64(v) => {
+                for (i, x) in v.iter_mut().enumerate() {
+                    *x += other.get(i);
+                }
+            }
+        }
+    }
+}
+
+/// A complex vector stored in one of the two precisions.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ComplexBuffer {
+    C32(Vec<Complex<f32>>),
+    C64(Vec<Complex<f64>>),
+}
+
+impl ComplexBuffer {
+    pub fn zeros(p: Precision, n: usize) -> Self {
+        match p {
+            Precision::Single => ComplexBuffer::C32(vec![Complex::zero(); n]),
+            Precision::Double => ComplexBuffer::C64(vec![Complex::zero(); n]),
+        }
+    }
+
+    pub fn from_c64(p: Precision, data: &[Complex<f64>]) -> Self {
+        match p {
+            Precision::Single => {
+                ComplexBuffer::C32(data.iter().map(|z| z.cast()).collect())
+            }
+            Precision::Double => ComplexBuffer::C64(data.to_vec()),
+        }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            ComplexBuffer::C32(v) => v.len(),
+            ComplexBuffer::C64(v) => v.len(),
+        }
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    #[inline]
+    pub fn precision(&self) -> Precision {
+        match self {
+            ComplexBuffer::C32(_) => Precision::Single,
+            ComplexBuffer::C64(_) => Precision::Double,
+        }
+    }
+
+    #[inline]
+    pub fn bytes(&self) -> usize {
+        self.len() * self.precision().complex_bytes()
+    }
+
+    #[inline]
+    pub fn get(&self, i: usize) -> Complex<f64> {
+        match self {
+            ComplexBuffer::C32(v) => v[i].cast(),
+            ComplexBuffer::C64(v) => v[i],
+        }
+    }
+
+    pub fn to_c64_vec(&self) -> Vec<Complex<f64>> {
+        match self {
+            ComplexBuffer::C32(v) => v.iter().map(|z| z.cast()).collect(),
+            ComplexBuffer::C64(v) => v.clone(),
+        }
+    }
+
+    pub fn cast(self, p: Precision) -> Self {
+        match (self, p) {
+            (ComplexBuffer::C32(v), Precision::Double) => {
+                ComplexBuffer::C64(v.into_iter().map(|z| z.cast()).collect())
+            }
+            (ComplexBuffer::C64(v), Precision::Single) => {
+                ComplexBuffer::C32(v.into_iter().map(|z| z.cast()).collect())
+            }
+            (b, _) => b,
+        }
+    }
+
+    pub fn as_c32(&self) -> Option<&[Complex<f32>]> {
+        match self {
+            ComplexBuffer::C32(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_c64(&self) -> Option<&[Complex<f64>]> {
+        match self {
+            ComplexBuffer::C64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_c32_mut(&mut self) -> Option<&mut [Complex<f32>]> {
+        match self {
+            ComplexBuffer::C32(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_c64_mut(&mut self) -> Option<&mut [Complex<f64>]> {
+        match self {
+            ComplexBuffer::C64(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_zeros_and_len() {
+        let b = RealBuffer::zeros(Precision::Single, 7);
+        assert_eq!(b.len(), 7);
+        assert_eq!(b.precision(), Precision::Single);
+        assert_eq!(b.bytes(), 28);
+        assert!(!b.is_empty());
+        assert_eq!(b.get(3), 0.0);
+    }
+
+    #[test]
+    fn real_cast_loses_then_keeps_bits() {
+        // A double that is not representable in single.
+        let x = 1.0 + 2f64.powi(-40);
+        let b = RealBuffer::from_f64(Precision::Double, &[x]);
+        let narrowed = b.clone().cast(Precision::Single);
+        assert_ne!(narrowed.get(0), x);
+        // Widening back does not recover the bits.
+        let widened = narrowed.cast(Precision::Double);
+        assert_eq!(widened.get(0), 1.0);
+        // Same-precision cast is identity.
+        assert_eq!(b.clone().cast(Precision::Double), b);
+    }
+
+    #[test]
+    fn real_accumulate_mixed_precision() {
+        let mut acc = RealBuffer::from_f64(Precision::Double, &[1.0, 2.0]);
+        let other = RealBuffer::from_f64(Precision::Single, &[0.5, 0.25]);
+        acc.accumulate(&other);
+        assert_eq!(acc.to_f64_vec(), vec![1.5, 2.25]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn accumulate_length_mismatch_panics() {
+        let mut acc = RealBuffer::zeros(Precision::Double, 2);
+        let other = RealBuffer::zeros(Precision::Double, 3);
+        acc.accumulate(&other);
+    }
+
+    #[test]
+    fn complex_roundtrip() {
+        let data = vec![Complex::new(1.5, -2.5), Complex::new(0.0, 1.0)];
+        let b = ComplexBuffer::from_c64(Precision::Double, &data);
+        assert_eq!(b.to_c64_vec(), data);
+        assert_eq!(b.bytes(), 32);
+        let s = b.cast(Precision::Single);
+        assert_eq!(s.precision(), Precision::Single);
+        assert_eq!(s.bytes(), 16);
+        // These values are exactly representable in f32.
+        assert_eq!(s.to_c64_vec(), data);
+    }
+
+    #[test]
+    fn accessors_match_variant() {
+        let b = ComplexBuffer::zeros(Precision::Single, 4);
+        assert!(b.as_c32().is_some());
+        assert!(b.as_c64().is_none());
+        let mut b = b.cast(Precision::Double);
+        assert!(b.as_c64_mut().is_some());
+        assert!(b.as_c32_mut().is_none());
+    }
+}

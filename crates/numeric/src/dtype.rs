@@ -1,0 +1,149 @@
+//! Runtime datatype tags for the four BLAS element types.
+//!
+//! Figure 1 of the paper benchmarks the SBGEMV kernels for the rocBLAS
+//! quartet — real single (`s`), real double (`d`), complex single (`c`),
+//! complex double (`z`). [`DType`] carries the per-type facts the GPU cost
+//! model needs: element size and how many elements fit in one 16-byte
+//! vectorized load (`float4`/`double2`, Section 3.1.1).
+
+use core::fmt;
+
+use crate::precision::Precision;
+
+/// The four rocBLAS element datatypes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DType {
+    /// `float` — rocBLAS `s`.
+    RealF32,
+    /// `double` — rocBLAS `d`.
+    RealF64,
+    /// `hipFloatComplex` — rocBLAS `c`.
+    ComplexF32,
+    /// `hipDoubleComplex` — rocBLAS `z`.
+    ComplexF64,
+}
+
+impl DType {
+    /// Size of one element in bytes.
+    #[inline]
+    pub fn bytes(self) -> usize {
+        match self {
+            DType::RealF32 => 4,
+            DType::RealF64 => 8,
+            DType::ComplexF32 => 8,
+            DType::ComplexF64 => 16,
+        }
+    }
+
+    /// Elements per 16-byte vectorized load — the paper: "In a single
+    /// instruction, a maximum of 16 bytes can be read or written by a
+    /// thread" (Section 3.1.1).
+    #[inline]
+    pub fn vector_lanes(self) -> usize {
+        16 / self.bytes()
+    }
+
+    /// Is this a complex type (frequency-domain data)?
+    #[inline]
+    pub fn is_complex(self) -> bool {
+        matches!(self, DType::ComplexF32 | DType::ComplexF64)
+    }
+
+    /// The underlying real precision.
+    #[inline]
+    pub fn precision(self) -> Precision {
+        match self {
+            DType::RealF32 | DType::ComplexF32 => Precision::Single,
+            DType::RealF64 | DType::ComplexF64 => Precision::Double,
+        }
+    }
+
+    /// Flops per multiply-accumulate on one element pair
+    /// (complex MAC = 4 mul + 4 add = 8 flops; real MAC = 2).
+    #[inline]
+    pub fn flops_per_mac(self) -> usize {
+        if self.is_complex() {
+            8
+        } else {
+            2
+        }
+    }
+
+    /// The complex counterpart with the same precision.
+    #[inline]
+    pub fn to_complex(self) -> DType {
+        match self.precision() {
+            Precision::Single => DType::ComplexF32,
+            Precision::Double => DType::ComplexF64,
+        }
+    }
+
+    /// The real counterpart with the same precision.
+    #[inline]
+    pub fn to_real(self) -> DType {
+        match self.precision() {
+            Precision::Single => DType::RealF32,
+            Precision::Double => DType::RealF64,
+        }
+    }
+
+    /// rocBLAS function-prefix letter (`s`/`d`/`c`/`z`).
+    #[inline]
+    pub fn blas_prefix(self) -> char {
+        match self {
+            DType::RealF32 => 's',
+            DType::RealF64 => 'd',
+            DType::ComplexF32 => 'c',
+            DType::ComplexF64 => 'z',
+        }
+    }
+
+    /// All four datatypes in Figure-1 order.
+    pub const ALL: [DType; 4] =
+        [DType::RealF32, DType::RealF64, DType::ComplexF32, DType::ComplexF64];
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DType::RealF32 => "Real Single",
+            DType::RealF64 => "Real Double",
+            DType::ComplexF32 => "Complex Single",
+            DType::ComplexF64 => "Complex Double",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_and_lanes() {
+        assert_eq!(DType::RealF32.bytes(), 4);
+        assert_eq!(DType::RealF32.vector_lanes(), 4); // float4
+        assert_eq!(DType::RealF64.vector_lanes(), 2); // double2
+        assert_eq!(DType::ComplexF32.vector_lanes(), 2);
+        assert_eq!(DType::ComplexF64.vector_lanes(), 1);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(DType::RealF32.to_complex(), DType::ComplexF32);
+        assert_eq!(DType::ComplexF64.to_real(), DType::RealF64);
+        assert_eq!(DType::ComplexF64.precision(), Precision::Double);
+    }
+
+    #[test]
+    fn blas_prefixes() {
+        let codes: Vec<char> = DType::ALL.iter().map(|d| d.blas_prefix()).collect();
+        assert_eq!(codes, vec!['s', 'd', 'c', 'z']);
+    }
+
+    #[test]
+    fn flop_counts() {
+        assert_eq!(DType::RealF64.flops_per_mac(), 2);
+        assert_eq!(DType::ComplexF32.flops_per_mac(), 8);
+    }
+}

@@ -1,0 +1,40 @@
+//! Foundational numerics for the `fftmatvec` workspace.
+//!
+//! This crate provides the scalar abstractions everything else is built on:
+//!
+//! * [`Real`] — a trait abstracting over `f32`/`f64` so that the FFT, BLAS,
+//!   and pipeline kernels are written once and instantiated per precision,
+//!   mirroring the templated kernels of the paper's CUDA/HIP source.
+//! * [`Complex`] — a `#[repr(C)]` complex number generic over [`Real`].
+//! * [`Scalar`] — unifies real and complex element types for the BLAS
+//!   kernels (rocBLAS exposes `s`/`d`/`c`/`z` variants; we expose one
+//!   generic kernel over `Scalar`).
+//! * [`Precision`] / [`DType`] — runtime tags for the dynamic
+//!   mixed-precision framework (Section 3.2 of the paper).
+//! * [`RealBuffer`] / [`ComplexBuffer`] — dynamically typed vectors that
+//!   hold data in either precision and implement the *cast kernels* that
+//!   the mixed-precision pipeline fuses with neighbouring memory ops.
+//! * [`rng`] — deterministic RNG, including the paper's mantissa-stuffing
+//!   trick (Section 4.2.1) that guarantees double→single casts lose bits.
+
+pub mod buffer;
+pub mod complex;
+pub mod dtype;
+pub mod precision;
+pub mod real;
+pub mod rng;
+pub mod scalar;
+pub mod vecmath;
+
+pub use buffer::{ComplexBuffer, RealBuffer};
+pub use complex::Complex;
+pub use dtype::DType;
+pub use precision::Precision;
+pub use real::Real;
+pub use rng::SplitMix64;
+pub use scalar::Scalar;
+
+/// Complex number over `f32` (the `c` datatype in BLAS naming).
+pub type C32 = Complex<f32>;
+/// Complex number over `f64` (the `z` datatype in BLAS naming).
+pub type C64 = Complex<f64>;

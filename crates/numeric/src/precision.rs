@@ -1,0 +1,130 @@
+//! Runtime precision tags for the dynamic mixed-precision framework.
+//!
+//! The paper's framework (Section 3.2) assigns each of the five matvec
+//! phases a compute precision chosen at runtime from {single, double} via a
+//! configuration string such as `dssdd`. [`Precision`] is that per-phase
+//! tag; parsing/formatting of whole five-phase strings lives in
+//! `fftmatvec-core::precision`.
+
+use core::fmt;
+
+/// One of the two compute precisions used by the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Precision {
+    /// IEEE-754 binary32 (FP32), ε ≈ 1.19e-7.
+    Single,
+    /// IEEE-754 binary64 (FP64), ε ≈ 2.22e-16.
+    Double,
+}
+
+impl Precision {
+    /// Machine epsilon of this precision, as an `f64`.
+    #[inline]
+    pub fn epsilon(self) -> f64 {
+        match self {
+            Precision::Single => f32::EPSILON as f64,
+            Precision::Double => f64::EPSILON,
+        }
+    }
+
+    /// Bytes per *real* element in this precision.
+    #[inline]
+    pub fn real_bytes(self) -> usize {
+        match self {
+            Precision::Single => 4,
+            Precision::Double => 8,
+        }
+    }
+
+    /// Bytes per *complex* element in this precision.
+    #[inline]
+    pub fn complex_bytes(self) -> usize {
+        2 * self.real_bytes()
+    }
+
+    /// The single-character code used by the artifact's `-prec` flag.
+    #[inline]
+    pub fn code(self) -> char {
+        match self {
+            Precision::Single => 's',
+            Precision::Double => 'd',
+        }
+    }
+
+    /// Parse the artifact's single-character code (`s` or `d`).
+    pub fn from_code(c: char) -> Option<Self> {
+        match c.to_ascii_lowercase() {
+            's' => Some(Precision::Single),
+            'd' => Some(Precision::Double),
+            _ => None,
+        }
+    }
+
+    /// The lower of two precisions. The paper performs memory operations
+    /// "in the lowest possible precision among the compute precisions of
+    /// adjacent phases" (Section 3.2); this is that lattice meet.
+    #[inline]
+    pub fn min(self, other: Self) -> Self {
+        if self == Precision::Single || other == Precision::Single {
+            Precision::Single
+        } else {
+            Precision::Double
+        }
+    }
+
+    /// The higher of two precisions.
+    #[inline]
+    pub fn max(self, other: Self) -> Self {
+        if self == Precision::Double || other == Precision::Double {
+            Precision::Double
+        } else {
+            Precision::Single
+        }
+    }
+
+    /// Both precisions, lowest first.
+    pub const ALL: [Precision; 2] = [Precision::Single, Precision::Double];
+}
+
+impl fmt::Display for Precision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Precision::Single => write!(f, "single"),
+            Precision::Double => write!(f, "double"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_roundtrip() {
+        for p in Precision::ALL {
+            assert_eq!(Precision::from_code(p.code()), Some(p));
+        }
+        assert_eq!(Precision::from_code('S'), Some(Precision::Single));
+        assert_eq!(Precision::from_code('x'), None);
+    }
+
+    #[test]
+    fn lattice_ops() {
+        use Precision::*;
+        assert_eq!(Single.min(Double), Single);
+        assert_eq!(Double.min(Double), Double);
+        assert_eq!(Single.max(Double), Double);
+        assert_eq!(Single.max(Single), Single);
+    }
+
+    #[test]
+    fn byte_sizes() {
+        assert_eq!(Precision::Single.real_bytes(), 4);
+        assert_eq!(Precision::Double.complex_bytes(), 16);
+    }
+
+    #[test]
+    fn epsilons() {
+        assert!(Precision::Single.epsilon() > Precision::Double.epsilon());
+    }
+}

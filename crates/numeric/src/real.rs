@@ -1,0 +1,202 @@
+//! The [`Real`] trait: a minimal floating-point abstraction over `f32`/`f64`.
+//!
+//! The paper's kernels are templated over the compute datatype; here the
+//! same single-source property is obtained with a trait. Only operations the
+//! workspace actually needs are included, so the trait stays small and every
+//! method maps to one hardware instruction or libm call.
+
+use core::fmt::{Debug, Display};
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use crate::precision::Precision;
+
+/// Abstraction over the two IEEE-754 binary formats used by the paper
+/// (FP32 and FP64). Half precision is deliberately excluded, matching the
+/// paper's observation that complex half-precision FFT/BLAS support is too
+/// sparse to be practical (Section 3.2).
+pub trait Real:
+    Copy
+    + Clone
+    + Send
+    + Sync
+    + PartialOrd
+    + PartialEq
+    + Default
+    + Debug
+    + Display
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// The constant 2.
+    const TWO: Self;
+    /// Machine epsilon (unit roundoff × 2) of this format.
+    const EPSILON: Self;
+    /// π in this format.
+    const PI: Self;
+    /// Runtime tag for this format.
+    const PRECISION: Precision;
+    /// Size of one element in bytes (4 or 8).
+    const BYTES: usize;
+
+    /// Lossy conversion from `f64` (the workspace's reference precision).
+    fn from_f64(x: f64) -> Self;
+    /// Widening (f64) or identity conversion to `f64`.
+    fn to_f64(self) -> f64;
+    /// Conversion from a count; exact for the sizes used here.
+    #[inline]
+    fn from_usize(n: usize) -> Self {
+        Self::from_f64(n as f64)
+    }
+
+    fn abs(self) -> Self;
+    fn sqrt(self) -> Self;
+    fn ln(self) -> Self;
+    fn exp(self) -> Self;
+    fn sin(self) -> Self;
+    fn cos(self) -> Self;
+    /// Simultaneous sine and cosine (twiddle-factor generation).
+    fn sin_cos(self) -> (Self, Self);
+    /// Fused multiply-add: `self * a + b` with a single rounding.
+    fn mul_add(self, a: Self, b: Self) -> Self;
+    fn maximum(self, other: Self) -> Self;
+    fn minimum(self, other: Self) -> Self;
+    fn recip(self) -> Self;
+    fn is_finite(self) -> bool;
+}
+
+macro_rules! impl_real {
+    ($t:ty, $prec:expr, $bytes:expr) => {
+        impl Real for $t {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+            const TWO: Self = 2.0;
+            const EPSILON: Self = <$t>::EPSILON;
+            const PI: Self = core::f64::consts::PI as $t;
+            const PRECISION: Precision = $prec;
+            const BYTES: usize = $bytes;
+
+            #[inline(always)]
+            fn from_f64(x: f64) -> Self {
+                x as $t
+            }
+            #[inline(always)]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            #[inline(always)]
+            fn abs(self) -> Self {
+                <$t>::abs(self)
+            }
+            #[inline(always)]
+            fn sqrt(self) -> Self {
+                <$t>::sqrt(self)
+            }
+            #[inline(always)]
+            fn ln(self) -> Self {
+                <$t>::ln(self)
+            }
+            #[inline(always)]
+            fn exp(self) -> Self {
+                <$t>::exp(self)
+            }
+            #[inline(always)]
+            fn sin(self) -> Self {
+                <$t>::sin(self)
+            }
+            #[inline(always)]
+            fn cos(self) -> Self {
+                <$t>::cos(self)
+            }
+            #[inline(always)]
+            fn sin_cos(self) -> (Self, Self) {
+                <$t>::sin_cos(self)
+            }
+            #[inline(always)]
+            fn mul_add(self, a: Self, b: Self) -> Self {
+                <$t>::mul_add(self, a, b)
+            }
+            #[inline(always)]
+            fn maximum(self, other: Self) -> Self {
+                <$t>::max(self, other)
+            }
+            #[inline(always)]
+            fn minimum(self, other: Self) -> Self {
+                <$t>::min(self, other)
+            }
+            #[inline(always)]
+            fn recip(self) -> Self {
+                <$t>::recip(self)
+            }
+            #[inline(always)]
+            fn is_finite(self) -> bool {
+                <$t>::is_finite(self)
+            }
+        }
+    };
+}
+
+impl_real!(f32, Precision::Single, 4);
+impl_real!(f64, Precision::Double, 8);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generic_smoke<T: Real>() {
+        assert_eq!(T::ZERO + T::ONE, T::ONE);
+        assert_eq!(T::ONE + T::ONE, T::TWO);
+        let x = T::from_f64(2.0);
+        assert!((x.sqrt().to_f64() - core::f64::consts::SQRT_2).abs() < 1e-6);
+        let (s, c) = T::PI.sin_cos();
+        assert!(s.abs().to_f64() < 1e-6);
+        assert!((c.to_f64() + 1.0).abs() < 1e-6);
+        assert!(T::EPSILON > T::ZERO);
+        assert!(x.is_finite());
+        assert_eq!(x.maximum(T::ONE), x);
+        assert_eq!(x.minimum(T::ONE), T::ONE);
+    }
+
+    #[test]
+    fn f32_smoke() {
+        generic_smoke::<f32>();
+        assert_eq!(f32::PRECISION, Precision::Single);
+        assert_eq!(f32::BYTES, 4);
+    }
+
+    #[test]
+    fn f64_smoke() {
+        generic_smoke::<f64>();
+        assert_eq!(f64::PRECISION, Precision::Double);
+        assert_eq!(f64::BYTES, 8);
+    }
+
+    #[test]
+    fn mul_add_is_fused() {
+        // FMA keeps the low-order product bits that a separate mul+add loses.
+        let a = 1.0f64 + 1e-8;
+        let fused = a.mul_add(a, -1.0);
+        let unfused = a * a - 1.0;
+        // Both approximate 2e-8, fused must be at least as accurate.
+        let exact = 2e-8 + 1e-16;
+        assert!((fused - exact).abs() <= (unfused - exact).abs());
+    }
+
+    #[test]
+    fn epsilon_ordering_matches_paper() {
+        // eps_s ≈ 1e-7, eps_d ≈ 1e-16 (Section 3.2.1 notation).
+        assert!(f32::EPSILON as f64 > 1e-8 && (f32::EPSILON as f64) < 1e-6);
+        assert!(f64::EPSILON > 1e-17 && f64::EPSILON < 1e-15);
+    }
+}

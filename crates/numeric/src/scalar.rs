@@ -1,0 +1,203 @@
+//! The [`Scalar`] trait: one generic element type for the BLAS kernels.
+//!
+//! rocBLAS ships four copies of every GEMV (`s`/`d`/`c`/`z`); the paper's
+//! optimized kernel likewise instantiates per datatype with a templated
+//! host-side dispatcher. [`Scalar`] gives us the same single-source kernels:
+//! it is implemented by `f32`, `f64`, `Complex<f32>`, `Complex<f64>`.
+
+use core::fmt::Debug;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
+
+use crate::complex::Complex;
+use crate::dtype::DType;
+use crate::real::Real;
+
+/// Element type of a BLAS vector/matrix: real or complex, f32 or f64.
+pub trait Scalar:
+    Copy
+    + Clone
+    + Send
+    + Sync
+    + Debug
+    + Default
+    + PartialEq
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + Sum
+    + 'static
+{
+    /// The underlying real type.
+    type Real: Real;
+
+    /// Runtime datatype tag (drives the GPU cost model).
+    const DTYPE: DType;
+
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Complex conjugate (identity for real types). The kernels use this to
+    /// implement the `ConjTrans` operation of the adjoint matvec.
+    fn conj(self) -> Self;
+    /// Fused multiply-add `self * a + b`.
+    fn mul_add(self, a: Self, b: Self) -> Self;
+    /// Squared absolute value, as the real type.
+    fn abs_sqr(self) -> Self::Real;
+    /// Embed a real scalar.
+    fn from_real(r: Self::Real) -> Self;
+    /// Lossy conversion from an `f64` pair (imaginary ignored for reals).
+    fn from_f64_parts(re: f64, im: f64) -> Self;
+    /// Widen to an `f64` pair (imaginary zero for reals).
+    fn to_f64_parts(self) -> (f64, f64);
+    /// Scale by a real factor.
+    fn scale(self, k: Self::Real) -> Self;
+}
+
+impl<T: Real> Scalar for T
+where
+    T: Sum,
+{
+    type Real = T;
+    const DTYPE: DType = match T::PRECISION {
+        crate::precision::Precision::Single => DType::RealF32,
+        crate::precision::Precision::Double => DType::RealF64,
+    };
+
+    #[inline(always)]
+    fn zero() -> Self {
+        T::ZERO
+    }
+    #[inline(always)]
+    fn one() -> Self {
+        T::ONE
+    }
+    #[inline(always)]
+    fn conj(self) -> Self {
+        self
+    }
+    #[inline(always)]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        Real::mul_add(self, a, b)
+    }
+    #[inline(always)]
+    fn abs_sqr(self) -> T {
+        self * self
+    }
+    #[inline(always)]
+    fn from_real(r: T) -> Self {
+        r
+    }
+    #[inline(always)]
+    fn from_f64_parts(re: f64, _im: f64) -> Self {
+        T::from_f64(re)
+    }
+    #[inline(always)]
+    fn to_f64_parts(self) -> (f64, f64) {
+        (self.to_f64(), 0.0)
+    }
+    #[inline(always)]
+    fn scale(self, k: T) -> Self {
+        self * k
+    }
+}
+
+impl<T: Real> Scalar for Complex<T> {
+    type Real = T;
+    const DTYPE: DType = match T::PRECISION {
+        crate::precision::Precision::Single => DType::ComplexF32,
+        crate::precision::Precision::Double => DType::ComplexF64,
+    };
+
+    #[inline(always)]
+    fn zero() -> Self {
+        Complex::zero()
+    }
+    #[inline(always)]
+    fn one() -> Self {
+        Complex::one()
+    }
+    #[inline(always)]
+    fn conj(self) -> Self {
+        Complex::conj(self)
+    }
+    #[inline(always)]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        Complex::mul_add(self, a, b)
+    }
+    #[inline(always)]
+    fn abs_sqr(self) -> T {
+        self.norm_sqr()
+    }
+    #[inline(always)]
+    fn from_real(r: T) -> Self {
+        Complex::from_real(r)
+    }
+    #[inline(always)]
+    fn from_f64_parts(re: f64, im: f64) -> Self {
+        Complex::new(T::from_f64(re), T::from_f64(im))
+    }
+    #[inline(always)]
+    fn to_f64_parts(self) -> (f64, f64) {
+        (self.re.to_f64(), self.im.to_f64())
+    }
+    #[inline(always)]
+    fn scale(self, k: T) -> Self {
+        Complex::scale(self, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generic_dot<S: Scalar>(a: &[S], b: &[S]) -> S {
+        a.iter().zip(b).fold(S::zero(), |acc, (&x, &y)| x.mul_add(y, acc))
+    }
+
+    #[test]
+    fn dtype_tags() {
+        assert_eq!(<f32 as Scalar>::DTYPE, DType::RealF32);
+        assert_eq!(<f64 as Scalar>::DTYPE, DType::RealF64);
+        assert_eq!(<Complex<f32> as Scalar>::DTYPE, DType::ComplexF32);
+        assert_eq!(<Complex<f64> as Scalar>::DTYPE, DType::ComplexF64);
+    }
+
+    #[test]
+    fn real_conj_is_identity() {
+        assert_eq!(Scalar::conj(3.0f64), 3.0);
+    }
+
+    #[test]
+    fn generic_kernel_works_for_all_four_types() {
+        let ar = [1.0f32, 2.0, 3.0];
+        assert_eq!(generic_dot(&ar, &ar), 14.0);
+        let ad = [1.0f64, 2.0, 3.0];
+        assert_eq!(generic_dot(&ad, &ad), 14.0);
+        let ac = [Complex::<f64>::new(0.0, 1.0); 2];
+        let d = generic_dot(&ac, &ac);
+        assert!((d.re + 2.0).abs() < 1e-15 && d.im.abs() < 1e-15);
+        let acs = [Complex::<f32>::new(1.0, 0.0); 4];
+        assert_eq!(generic_dot(&acs, &acs).re, 4.0);
+    }
+
+    #[test]
+    fn f64_parts_roundtrip() {
+        let z = Complex::<f64>::new(1.25, -2.5);
+        let (re, im) = z.to_f64_parts();
+        assert_eq!(Complex::<f64>::from_f64_parts(re, im), z);
+        let (re, im) = Scalar::to_f64_parts(7.5f64);
+        assert_eq!(im, 0.0);
+        assert_eq!(<f64 as Scalar>::from_f64_parts(re, im), 7.5);
+    }
+
+    #[test]
+    fn abs_sqr() {
+        assert_eq!(Scalar::abs_sqr(-3.0f64), 9.0);
+        assert_eq!(Complex::<f64>::new(3.0, 4.0).abs_sqr(), 25.0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for the numeric foundations: complex field
+//! behavior, precision-cast semantics, buffer invariants, and the
+//! mantissa-stuffing contract.
+
+use fftmatvec_numeric::rng::mantissa_stuff;
+use fftmatvec_numeric::{Complex, ComplexBuffer, Precision, RealBuffer, C64};
+use proptest::prelude::*;
+
+fn finite() -> impl Strategy<Value = f64> {
+    prop::num::f64::NORMAL.prop_filter("bounded", |x| x.abs() < 1e100 && x.abs() > 1e-100)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Complex multiplication is commutative/associative to roundoff and
+    /// conjugation is an involution distributing over products.
+    #[test]
+    fn complex_algebra(ar in -1e3f64..1e3, ai in -1e3f64..1e3,
+                       br in -1e3f64..1e3, bi in -1e3f64..1e3) {
+        let a = C64::new(ar, ai);
+        let b = C64::new(br, bi);
+        let ab = a * b;
+        let ba = b * a;
+        prop_assert!((ab - ba).abs() <= 1e-12 * (1.0 + ab.abs()));
+        prop_assert_eq!(a.conj().conj(), a);
+        let lhs = (a * b).conj();
+        let rhs = a.conj() * b.conj();
+        prop_assert!((lhs - rhs).abs() <= 1e-12 * (1.0 + lhs.abs()));
+        // |ab| = |a||b| within roundoff.
+        prop_assert!((ab.abs() - a.abs() * b.abs()).abs() <= 1e-9 * (1.0 + ab.abs()));
+    }
+
+    /// expi lands on the unit circle and respects angle addition.
+    #[test]
+    fn expi_group_law(t1 in -10.0f64..10.0, t2 in -10.0f64..10.0) {
+        let w1 = C64::expi(t1);
+        let w2 = C64::expi(t2);
+        prop_assert!((w1.abs() - 1.0).abs() < 1e-12);
+        let prod = w1 * w2;
+        let direct = C64::expi(t1 + t2);
+        prop_assert!((prod - direct).abs() < 1e-12);
+    }
+
+    /// Widening casts are exact; narrowing then widening is idempotent.
+    #[test]
+    fn precision_cast_semantics(x in finite()) {
+        let buf = RealBuffer::from_f64(Precision::Double, &[x]);
+        let narrowed = buf.clone().cast(Precision::Single);
+        let rewidened = narrowed.clone().cast(Precision::Double);
+        // f32 round-trip is a projection: applying it twice == once.
+        let twice = rewidened.clone().cast(Precision::Single).cast(Precision::Double);
+        prop_assert_eq!(rewidened.get(0), twice.get(0));
+        // Widening an f32 value is exact.
+        prop_assert_eq!(narrowed.get(0) as f32, rewidened.get(0) as f32);
+    }
+
+    /// Mantissa stuffing always defeats the f32 round-trip with a bounded,
+    /// near-worst-case relative perturbation, and is idempotent.
+    #[test]
+    fn stuffing_contract(x in -1e6f64..1e6) {
+        prop_assume!(x != 0.0 && x.abs() > 1e-30);
+        let s = mantissa_stuff(x);
+        // Stuffing changes x only in the low mantissa (tiny relative move).
+        prop_assert!(((s - x) / x).abs() < 1e-7);
+        // The cast must lose ~0.5 ULP23.
+        let rel = ((s as f32 as f64 - s) / s).abs();
+        prop_assert!(rel > 1e-8, "survived: {s}");
+        prop_assert!(rel < 1.2e-7, "too lossy: {s}");
+        // Idempotent.
+        prop_assert_eq!(mantissa_stuff(s), s);
+    }
+
+    /// Buffer accumulate over many precisions equals scalar summation.
+    #[test]
+    fn buffer_accumulate(values in prop::collection::vec(-1e3f64..1e3, 1..20)) {
+        let n = values.len();
+        let mut acc = RealBuffer::zeros(Precision::Double, n);
+        let parts: Vec<RealBuffer> = values
+            .iter()
+            .map(|&v| RealBuffer::from_f64(Precision::Double, &vec![v; n]))
+            .collect();
+        for p in &parts {
+            acc.accumulate(p);
+        }
+        let want: f64 = values.iter().sum();
+        for i in 0..n {
+            prop_assert!((acc.get(i) - want).abs() < 1e-9 * (1.0 + want.abs()));
+        }
+    }
+
+    /// Complex buffers preserve length/precision invariants under cast.
+    #[test]
+    fn complex_buffer_invariants(len in 0usize..64, re in -10.0f64..10.0) {
+        let data: Vec<C64> = (0..len).map(|i| Complex::new(re, i as f64)).collect();
+        let b = ComplexBuffer::from_c64(Precision::Double, &data);
+        prop_assert_eq!(b.len(), len);
+        prop_assert_eq!(b.bytes(), len * 16);
+        let s = b.clone().cast(Precision::Single);
+        prop_assert_eq!(s.len(), len);
+        prop_assert_eq!(s.bytes(), len * 8);
+        prop_assert_eq!(s.precision(), Precision::Single);
+        // Casting back preserves the f32-representable content.
+        let back = s.cast(Precision::Double);
+        for i in 0..len {
+            prop_assert_eq!(back.get(i).re as f32, data[i].re as f32);
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Translation reports — the summary `hipify-perl` prints per file,
+//! aggregated per CUDA library so a port can be audited at a glance
+//! (which subsystems the application leans on, and where the unsupported
+//! surface lives).
+
+use std::collections::BTreeMap;
+
+use crate::hipify::{hipify_source, HipifyResult};
+
+/// Per-library rewrite statistics for one source file.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TranslationReport {
+    /// Rewrites grouped by originating library ("cuda", "cublas", …).
+    pub by_library: BTreeMap<String, usize>,
+    /// Total rewrites (identifier + include + launch).
+    pub total: usize,
+    /// Unsupported API names (after fallbacks, if the pipeline applied
+    /// them; raw translation otherwise).
+    pub unsupported: Vec<String>,
+}
+
+/// Classify a CUDA identifier by library prefix.
+pub fn library_of(ident: &str) -> &'static str {
+    const TABLE: &[(&str, &str)] = &[
+        ("make_cu", "cuda"),
+        ("cublas", "cublas"),
+        ("CUBLAS_", "cublas"),
+        ("cufft", "cufft"),
+        ("CUFFT_", "cufft"),
+        ("curand", "curand"),
+        ("CURAND_", "curand"),
+        ("cutensor", "cutensor"),
+        ("CUTENSOR_", "cutensor"),
+        ("nccl", "nccl"),
+        ("cuda", "cuda"),
+        ("cu", "cuda"),
+    ];
+    for (prefix, lib) in TABLE {
+        if ident.starts_with(prefix) {
+            return lib;
+        }
+    }
+    "other"
+}
+
+/// Produce a per-library report by re-scanning the source against the
+/// translation result.
+pub fn report_for(src: &str) -> TranslationReport {
+    let result: HipifyResult = hipify_source(src);
+    let mut by_library: BTreeMap<String, usize> = BTreeMap::new();
+
+    // Count identifier-level rewrites by diffing tokens: every mapped
+    // CUDA identifier in the input contributes to its library bucket.
+    let map: std::collections::HashMap<&str, &str> =
+        crate::hipify::API_MAPPINGS.iter().copied().collect();
+    let mut chars = src.char_indices().peekable();
+    while let Some((start, c)) = chars.next() {
+        if c.is_ascii_alphabetic() || c == '_' {
+            let mut end = start + c.len_utf8();
+            while let Some(&(i, d)) = chars.peek() {
+                if d.is_ascii_alphanumeric() || d == '_' {
+                    end = i + d.len_utf8();
+                    chars.next();
+                } else {
+                    break;
+                }
+            }
+            let ident = &src[start..end];
+            if map.contains_key(ident) {
+                *by_library.entry(library_of(ident).to_string()).or_default() += 1;
+            }
+        }
+    }
+    // Include and launch rewrites are infrastructure-level.
+    let ident_total: usize = by_library.values().sum();
+    if result.replacements > ident_total {
+        by_library.insert("build".to_string(), result.replacements - ident_total);
+    }
+
+    TranslationReport {
+        by_library,
+        total: result.replacements,
+        unsupported: result.unsupported.into_iter().map(|u| u.name).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels_cuda;
+
+    #[test]
+    fn library_classification() {
+        assert_eq!(library_of("cudaMalloc"), "cuda");
+        assert_eq!(library_of("cublasZgemvStridedBatched"), "cublas");
+        assert_eq!(library_of("cufftExecD2Z"), "cufft");
+        assert_eq!(library_of("CUFFT_D2Z"), "cufft");
+        assert_eq!(library_of("cutensorPermutation"), "cutensor");
+        assert_eq!(library_of("ncclAllReduce"), "nccl");
+        assert_eq!(library_of("rocblas_dgemv"), "other");
+    }
+
+    #[test]
+    fn sbgemv_host_is_cublas_heavy() {
+        let r = report_for(kernels_cuda::SBGEMV_HOST);
+        assert!(r.by_library.get("cublas").copied().unwrap_or(0) >= 6, "{:?}", r.by_library);
+        // The complex-datatype plumbing classifies under the runtime.
+        assert!(r.by_library.get("cuda").copied().unwrap_or(0) >= 10, "{:?}", r.by_library);
+        assert!(r.unsupported.is_empty());
+        assert!(r.total > 0);
+    }
+
+    #[test]
+    fn fft_host_is_cufft_heavy() {
+        let r = report_for(kernels_cuda::FFT_HOST);
+        assert!(r.by_library.get("cufft").copied().unwrap_or(0) >= 8, "{:?}", r.by_library);
+    }
+
+    #[test]
+    fn permute_reports_unsupported_cutensor() {
+        let r = report_for(kernels_cuda::COMPLEX_PERMUTE);
+        assert_eq!(r.unsupported, vec!["cutensorPermutation".to_string()]);
+    }
+
+    #[test]
+    fn totals_are_consistent() {
+        for (_, src) in kernels_cuda::ALL_SOURCES {
+            let r = report_for(src);
+            let sum: usize = r.by_library.values().sum();
+            assert_eq!(sum, r.total, "per-library counts must add up");
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests for the hipify translator: idempotence, identifier
+//! boundary discipline, and launch-syntax rewriting over generated
+//! sources.
+
+use fftmatvec_portability::hipify::API_MAPPINGS;
+use fftmatvec_portability::hipify_source;
+use proptest::prelude::*;
+
+/// Strategy: a random CUDA-ish source assembled from mapped API calls,
+/// unrelated identifiers, and kernel launches.
+fn cuda_source() -> impl Strategy<Value = String> {
+    let mapped = prop::sample::select(
+        API_MAPPINGS.iter().map(|(c, _)| c.to_string()).collect::<Vec<_>>(),
+    );
+    let ident = "[a-z][a-z0-9_]{0,8}".prop_map(|s| s);
+    let stmt = prop_oneof![
+        mapped.clone().prop_map(|api| format!("{api}(arg0, arg1);")),
+        ident.clone().prop_map(|id| format!("int {id} = 0;")),
+        (ident.clone(), 1usize..64, 1usize..512)
+            .prop_map(|(k, g, b)| format!("k_{k}<<<{g}, {b}>>>(p, n);")),
+        mapped.prop_map(|api| format!("// comment mentioning {api}")),
+    ];
+    prop::collection::vec(stmt, 0..20).prop_map(|v| v.join("\n"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// hipify(hipify(x)) == hipify(x): translation is a projection.
+    #[test]
+    fn idempotent(src in cuda_source()) {
+        let once = hipify_source(&src);
+        let twice = hipify_source(&once.source);
+        prop_assert_eq!(&once.source, &twice.source);
+        prop_assert_eq!(twice.replacements, 0, "second pass must be a no-op");
+    }
+
+    /// After translation no mapped CUDA identifier survives as a whole
+    /// token, and every launch triple-chevron is gone.
+    #[test]
+    fn no_mapped_tokens_survive(src in cuda_source()) {
+        let out = hipify_source(&src).source;
+        prop_assert!(!out.contains("<<<"), "launch syntax survived");
+        for (cuda, _) in API_MAPPINGS {
+            // Check whole-token survival (allow substrings inside longer
+            // identifiers like my_cudaMalloc_wrapper).
+            let mut start = 0;
+            while let Some(pos) = out[start..].find(cuda) {
+                let abs = start + pos;
+                let before_ok = abs == 0
+                    || !out.as_bytes()[abs - 1].is_ascii_alphanumeric()
+                        && out.as_bytes()[abs - 1] != b'_';
+                let end = abs + cuda.len();
+                let after_ok = end >= out.len()
+                    || !out.as_bytes()[end].is_ascii_alphanumeric()
+                        && out.as_bytes()[end] != b'_';
+                prop_assert!(!(before_ok && after_ok),
+                    "mapped token {cuda} survived at {abs}");
+                start = end;
+            }
+        }
+    }
+
+    /// Translation preserves everything that is not CUDA: a source with
+    /// no CUDA tokens is returned byte-identical.
+    #[test]
+    fn non_cuda_sources_untouched(
+        idents in prop::collection::vec("[a-z][a-z0-9_]{0,10}", 0..16),
+    ) {
+        let src = idents
+            .iter()
+            .map(|id| format!("double {id} = 1.0;"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let r = hipify_source(&src);
+        prop_assert_eq!(r.source, src);
+        prop_assert_eq!(r.replacements, 0);
+        prop_assert!(r.unsupported.is_empty());
+    }
+
+    /// Launch rewrites preserve the argument list and kernel name.
+    #[test]
+    fn launch_rewrite_structure(
+        g in 1usize..1024,
+        b in 1usize..1024,
+        name in "[a-z][a-z0-9_]{0,12}",
+        args in prop::collection::vec("[a-z][a-z0-9]{0,6}", 1..5),
+    ) {
+        let arglist = args.join(", ");
+        let src = format!("{name}<<<{g}, {b}>>>({arglist});");
+        let out = hipify_source(&src).source;
+        let want = format!("hipLaunchKernelGGL({name}, {g}, {b}, 0, 0, {arglist});");
+        prop_assert_eq!(out, want);
+    }
+}

@@ -1,0 +1,110 @@
+//! Multi-channel signal processing with block-Toeplitz matvecs — one of
+//! the paper's "broad applicability" domains (Section 5: multi-channel
+//! signal processing and VARMA models in econometrics).
+//!
+//! A bank of N_d microphones records N_m sources through causal FIR room
+//! responses: the mixing operator is exactly block lower-triangular
+//! Toeplitz. Forward = multi-channel convolution via FFTMatvec; the
+//! adjoint (matched filtering / correlation) drives a Landweber
+//! deconvolution loop that recovers the dominant source activity.
+//!
+//! Run: `cargo run --release --example multichannel_deconvolution`
+
+use fftmatvec::core::{DirectMatvec, FftMatvec, PrecisionConfig};
+use fftmatvec::numeric::vecmath::rel_l2_error;
+use fftmatvec::numeric::SplitMix64;
+
+fn main() {
+    // 6 microphones, 4 sources, 256 time samples; FIR responses with
+    // exponentially decaying echoes. More microphones than sources keeps
+    // the deconvolution overdetermined (unique recovery).
+    let (nd, nm, nt) = (6usize, 4usize, 256usize);
+    let mut rng = SplitMix64::new(99);
+    let mut col = vec![0.0; nt * nd * nm];
+    for t in 0..nt {
+        let decay = (-(t as f64) / 24.0).exp();
+        for i in 0..nd {
+            for k in 0..nm {
+                // Each (mic, source) pair has its own sparse echo pattern.
+                let gate = ((i * 7 + k * 13 + t) % 17 == 0) as usize as f64;
+                col[(t * nd + i) * nm + k] = decay * gate * rng.uniform(0.5, 1.0);
+            }
+        }
+    }
+    let op = fftmatvec::core::BlockToeplitzOperator::from_first_block_column(nd, nm, nt, &col)
+        .unwrap();
+
+    // Source signals: bursts on two channels, silence elsewhere.
+    let mut sources = vec![0.0; nm * nt];
+    for t in 20..40 {
+        sources[t * nm + 1] = ((t - 20) as f64 / 4.0).sin().abs();
+    }
+    for t in 120..150 {
+        sources[t * nm + 3] = 1.0;
+    }
+
+    let mv = FftMatvec::new(op, PrecisionConfig::all_double());
+    let mics = mv.apply_forward(&sources);
+    let mics_direct = DirectMatvec::new(mv.operator()).apply_forward(&sources);
+    println!(
+        "multi-channel convolution: FFT vs direct rel error {:.2e}",
+        rel_l2_error(&mics, &mics_direct)
+    );
+
+    // Deconvolution by CG on the regularized normal equations:
+    // (F*F + λI)·m = F*·d — every iteration is one forward plus one
+    // adjoint FFTMatvec action (matched filtering).
+    let lambda = 1e-8;
+    let n = nm * nt;
+    let normal_op = |v: &[f64]| -> Vec<f64> {
+        let mut h = mv.apply_adjoint(&mv.apply_forward(v));
+        for (hi, &vi) in h.iter_mut().zip(v) {
+            *hi += lambda * vi;
+        }
+        h
+    };
+    let rhs = mv.apply_adjoint(&mics);
+    let mut est = vec![0.0; n];
+    let mut r = rhs.clone();
+    let mut p = r.clone();
+    let mut rr: f64 = r.iter().map(|v| v * v).sum();
+    let rhs_norm = rr.sqrt();
+    let mut iters = 0;
+    for _ in 0..400 {
+        let hp = normal_op(&p);
+        let alpha = rr / p.iter().zip(&hp).map(|(a, b)| a * b).sum::<f64>();
+        for i in 0..n {
+            est[i] += alpha * p[i];
+            r[i] -= alpha * hp[i];
+        }
+        iters += 1;
+        let rr_new: f64 = r.iter().map(|v| v * v).sum();
+        if rr_new.sqrt() < 1e-10 * rhs_norm {
+            break;
+        }
+        let beta = rr_new / rr;
+        for i in 0..n {
+            p[i] = r[i] + beta * p[i];
+        }
+        rr = rr_new;
+    }
+    let recovery = rel_l2_error(&est, &sources);
+    println!("CG deconvolution after {iters} iterations: source rel error {recovery:.3}");
+
+    // Channel-activity detection: energy per source channel.
+    let energy = |sig: &[f64], k: usize| -> f64 {
+        (0..nt).map(|t| sig[t * nm + k] * sig[t * nm + k]).sum()
+    };
+    let mut ranked: Vec<(usize, f64)> =
+        (0..nm).map(|k| (k, energy(&est, k))).collect();
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+    println!(
+        "most active recovered channels: {:?} (truth: channels 1 and 3)",
+        &ranked[..2].iter().map(|(k, _)| *k).collect::<Vec<_>>()
+    );
+    assert!(
+        ranked[..2].iter().all(|(k, _)| *k == 1 || *k == 3),
+        "deconvolution missed the active channels"
+    );
+    assert!(recovery < 0.05, "overdetermined recovery should be near-exact: {recovery}");
+}

@@ -1,0 +1,65 @@
+//! Optimal sensor placement — the "outer-loop" workload of Remark 1.
+//!
+//! Choosing sensor locations by expected information gain requires
+//! re-assembling the dense data-space operator for every candidate
+//! configuration — `O(N_d·N_t)` FFTMatvec actions each — which is where
+//! mixed-precision matvec speedups multiply into real time savings. This
+//! example runs the greedy EIG placement for a heat-equation source
+//! problem in double and in mixed precision and compares decisions and
+//! matvec counts.
+//!
+//! Run: `cargo run --release --example sensor_placement`
+
+use fftmatvec::core::PrecisionConfig;
+use fftmatvec::lti::oed::greedy_sensor_placement;
+use fftmatvec::lti::{HeatEquation1D, SensorCandidate};
+
+fn main() {
+    let nx = 48usize;
+    let nt = 24usize;
+    let sys = HeatEquation1D::new(nx, 0.02, 0.25);
+
+    // Candidate rack positions along the domain.
+    let candidates: Vec<SensorCandidate> = [4usize, 12, 20, 24, 28, 36, 44]
+        .iter()
+        .map(|&index| SensorCandidate { index })
+        .collect();
+    let budget = 3;
+    let (noise_std, prior_std) = (0.05, 1.0);
+
+    println!(
+        "greedy EIG placement: {} candidates, budget {budget}, heat equation nx={nx} nt={nt}",
+        candidates.len()
+    );
+    println!();
+
+    for (label, cfg) in [
+        ("double (ddddd)", PrecisionConfig::all_double()),
+        ("mixed  (dssdd)", PrecisionConfig::optimal_forward()),
+    ] {
+        let t0 = std::time::Instant::now();
+        let result = greedy_sensor_placement(
+            &sys,
+            &candidates,
+            budget,
+            nt,
+            noise_std,
+            prior_std,
+            cfg,
+        )
+        .expect("placement");
+        let wall = t0.elapsed();
+        println!("{label}:");
+        println!("  chosen sensors (grid indices): {:?}", result.chosen);
+        for (k, g) in result.gains.iter().enumerate() {
+            println!("  EIG after {} sensor(s): {:.4} nats", k + 1, g);
+        }
+        println!("  FFTMatvec actions consumed: {}", result.matvecs);
+        println!("  wall time: {wall:.1?}");
+        println!();
+    }
+
+    println!("Remark 1 in practice: each EIG evaluation costs 2*|S|*N_t matvecs,");
+    println!("and the greedy loop multiplies that by candidates x budget — any");
+    println!("per-matvec speedup scales the whole outer loop.");
+}

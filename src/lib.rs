@@ -1,0 +1,48 @@
+//! # fftmatvec — umbrella crate
+//!
+//! A from-scratch Rust reproduction of *"Mixed-Precision Performance
+//! Portability of FFT-Based GPU-Accelerated Algorithms for Block-Triangular
+//! Toeplitz Matrices"* (Venkat, Świrydowicz, Wolfe, Ghattas — SC Workshops
+//! '25).
+//!
+//! This crate re-exports the whole workspace so applications can depend on
+//! a single crate:
+//!
+//! * [`numeric`] — scalars, complex numbers, dynamic-precision buffers.
+//! * [`fft`] — plan-based mixed-radix FFT with real transforms and batching.
+//! * [`gpu`] — simulated AMD Instinct devices and the kernel cost model.
+//! * [`blas`] — strided batched GEMV kernels (baseline + optimized).
+//! * [`comm`] — 2-D process grids, collectives, and the comm cost model.
+//! * [`core`] — the FFTMatvec pipeline, mixed-precision framework, error
+//!   analysis, Pareto front, and the distributed matvec.
+//! * [`lti`] — linear autonomous dynamical systems and Bayesian inversion.
+//! * [`portability`] — the hipify-on-the-fly translation pipeline.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fftmatvec::core::{BlockToeplitzOperator, FftMatvec, PrecisionConfig};
+//! use fftmatvec::numeric::SplitMix64;
+//!
+//! // A small block-triangular Toeplitz operator: Nt=8 blocks of 3x16.
+//! let (nd, nm, nt) = (3, 16, 8);
+//! let mut rng = SplitMix64::new(1);
+//! let mut col = vec![0.0; nt * nd * nm];
+//! rng.fill_uniform(&mut col, -1.0, 1.0);
+//! let op = BlockToeplitzOperator::from_first_block_column(nd, nm, nt, &col).unwrap();
+//!
+//! // Apply F in full double precision.
+//! let mut mv = FftMatvec::new(op, PrecisionConfig::all_double());
+//! let m = vec![1.0; nm * nt];
+//! let d = mv.apply_forward(&m);
+//! assert_eq!(d.len(), nd * nt);
+//! ```
+
+pub use fftmatvec_blas as blas;
+pub use fftmatvec_comm as comm;
+pub use fftmatvec_core as core;
+pub use fftmatvec_fft as fft;
+pub use fftmatvec_gpu as gpu;
+pub use fftmatvec_lti as lti;
+pub use fftmatvec_numeric as numeric;
+pub use fftmatvec_portability as portability;
