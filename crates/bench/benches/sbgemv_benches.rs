@@ -8,9 +8,7 @@ use fftmatvec_numeric::{Complex, Scalar, SplitMix64, C64};
 use std::hint::black_box;
 
 fn fill<S: Scalar>(rng: &mut SplitMix64, len: usize) -> Vec<S> {
-    (0..len)
-        .map(|_| S::from_f64_parts(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)))
-        .collect()
+    (0..len).map(|_| S::from_f64_parts(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0))).collect()
 }
 
 fn bench_kernels_short_wide(c: &mut Criterion) {
@@ -29,7 +27,16 @@ fn bench_kernels_short_wide(c: &mut Criterion) {
     for kernel in [KernelChoice::Reference, KernelChoice::Optimized] {
         g.bench_with_input(BenchmarkId::new("kernel", kernel.to_string()), &kernel, |b, &k| {
             b.iter(|| {
-                sbgemv_with(k, op, Complex::one(), black_box(&a), &x, Complex::zero(), &mut y, &geom)
+                sbgemv_with(
+                    k,
+                    op,
+                    Complex::one(),
+                    black_box(&a),
+                    &x,
+                    Complex::zero(),
+                    &mut y,
+                    &geom,
+                )
             });
         });
     }

@@ -39,8 +39,8 @@ fn main() {
     )
     .unwrap();
     let baseline = single.apply_forward(&m);
-    let op = fftmatvec_core::BlockToeplitzOperator::from_first_block_column(nd, nm, nt, &col)
-        .unwrap();
+    let op =
+        fftmatvec_core::BlockToeplitzOperator::from_first_block_column(nd, nm, nt, &col).unwrap();
     let kappa = condition_estimate(&op, 4);
 
     println!("Error bound (Eq. 6) vs measured relative error — F matvec");
@@ -69,12 +69,8 @@ fn main() {
         let cfg: PrecisionConfig = cfg_str.parse().unwrap();
         let dist = DistributedFftMatvec::from_global(nd, nm, nt, &col, grid, cfg).unwrap();
         let measured = rel_l2_error(&dist.apply_forward(&m), &baseline);
-        let params = BoundParams {
-            nt,
-            n_local: nm.div_ceil(grid.cols),
-            reduce_ranks: grid.cols,
-            kappa,
-        };
+        let params =
+            BoundParams { nt, n_local: nm.div_ceil(grid.cols), reduce_ranks: grid.cols, kappa };
         let bound = error_bound(cfg, &params).total;
         let ratio = if measured > 0.0 { bound / measured } else { f64::INFINITY };
         println!(

@@ -93,11 +93,7 @@ fn main() {
         ((nt as f64 / scale) as usize).max(1),
     );
     let op = make_operator(vnd, vnm, vnt, 769);
-    let m = if args.has("rand") {
-        stuffed_vector(vnm * vnt, 7)
-    } else {
-        vec![1.0; vnm * vnt]
-    };
+    let m = if args.has("rand") { stuffed_vector(vnm * vnt, 7) } else { vec![1.0; vnm * vnt] };
     let mut mv = FftMatvec::new(op, PrecisionConfig::all_double());
     let baseline = mv.apply_forward(&m);
     mv.set_config(cfg);
@@ -144,6 +140,8 @@ fn main() {
         100.0 * adj.fraction(Phase::Sbgemv)
     );
     println!();
-    println!("relative error vs ddddd (real arithmetic{}): {rel_err:.3e}",
-        if args.has("rand") { ", mantissa-stuffed inputs" } else { "" });
+    println!(
+        "relative error vs ddddd (real arithmetic{}): {rel_err:.3e}",
+        if args.has("rand") { ", mantissa-stuffed inputs" } else { "" }
+    );
 }

@@ -88,10 +88,7 @@ fn kernels_agree<S: Scalar>(op: GemvOp) -> f64 {
 fn main() {
     let dev = DeviceSpec::mi300x();
     let batch = 100usize;
-    println!(
-        "Figure 1 — (Conjugate) Transpose SBGEMV Performance: {} (simulated)",
-        dev.name
-    );
+    println!("Figure 1 — (Conjugate) Transpose SBGEMV Performance: {} (simulated)", dev.name);
     println!(
         "batch_count = {batch}; bandwidth = modeled achieved GB/s (% of {:.1} TB/s peak)",
         dev.peak_bw / 1e12

@@ -52,6 +52,8 @@ fn main() {
     }
     println!();
     println!("paper reference: SBGEMV ≈ 92% of runtime; totals track peak BW 1.6 → 5.3 → 8 TB/s");
-    println!("                 (MI355X only reaches ~35% of peak on SBGEMV — CDNA4 kernels untuned —");
+    println!(
+        "                 (MI355X only reaches ~35% of peak on SBGEMV — CDNA4 kernels untuned —"
+    );
     println!("                  so it lands near MI300X instead of ~1.5x ahead)");
 }

@@ -73,8 +73,12 @@ fn main() {
     );
     let op = make_operator(end, enm, ent, 42);
     let errs = measure_errors(op, &[cfg_m, PrecisionConfig::all_single()], 7);
-    println!("  {}  -> {:.3e}   (tolerance 1e-7: {})", cfg_m, errs[0],
-        if errs[0] <= 1e-7 { "PASS" } else { "FAIL" });
+    println!(
+        "  {}  -> {:.3e}   (tolerance 1e-7: {})",
+        cfg_m,
+        errs[0],
+        if errs[0] <= 1e-7 { "PASS" } else { "FAIL" }
+    );
     println!("  sssss  -> {:.3e}   (off the Pareto front at 1e-7)", errs[1]);
     assert!(errs[0] <= 1e-7, "optimal config exceeded the paper's tolerance");
     assert!(errs[1] > errs[0], "all-single must be less accurate");

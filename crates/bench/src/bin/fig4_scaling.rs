@@ -14,8 +14,8 @@
 //! Flags: `-maxp <int>` (default 4096), `-escale <int>` (default 8)
 
 use fftmatvec_bench::{rule, stuffed_vector, Args};
-use fftmatvec_comm::{choose_grid, NetworkModel, PartitionStrategy, ProcessGrid};
 use fftmatvec_comm::partition::PartitionProblem;
+use fftmatvec_comm::{choose_grid, NetworkModel, PartitionStrategy, ProcessGrid};
 use fftmatvec_core::timing::{simulate_phases, MatvecDims};
 use fftmatvec_core::{DistributedFftMatvec, PrecisionConfig};
 use fftmatvec_gpu::{DeviceSpec, Phase};
@@ -39,11 +39,7 @@ fn modeled_total(
     use fftmatvec_core::MatvecPhase;
     let p1 = cfg.phase(MatvecPhase::Pad).real_bytes();
     let p5 = cfg.phase(MatvecPhase::Unpad).real_bytes();
-    let comm = net.forward_matvec_comm(
-        grid,
-        (nml * nt * p1) as f64,
-        (ndl * nt * p5) as f64,
-    );
+    let comm = net.forward_matvec_comm(grid, (nml * nt * p1) as f64, (ndl * nt * p5) as f64);
     t.add(Phase::Comm, comm);
     t.total()
 }
@@ -83,7 +79,9 @@ fn main() {
 
     println!("Figure 4 — Mixed-Precision Matvec Weak Scaling on simulated Frontier");
     println!("global: N_m = 5000*p, N_d = 100, N_t = 1000 (timing model at full scale)");
-    println!("error measurement: real distributed arithmetic at N_m = {escale}*p, N_d = 16, N_t = 32");
+    println!(
+        "error measurement: real distributed arithmetic at N_m = {escale}*p, N_d = 16, N_t = 32"
+    );
     println!();
     let header = format!(
         "{:>6} | {:>9} | {:>7} | {:>11} | {:>11} | {:>8} | {:>10}",

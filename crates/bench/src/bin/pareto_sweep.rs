@@ -31,11 +31,8 @@ fn main() {
         args.get("nm", 5000usize),
         args.get("nt", 1000usize),
     );
-    let (end, enm, ent) = (
-        args.get("end", 60usize),
-        args.get("enm", 1500usize),
-        args.get("ent", 400usize),
-    );
+    let (end, enm, ent) =
+        (args.get("end", 60usize), args.get("enm", 1500usize), args.get("ent", 400usize));
     let raw = args.has("raw");
 
     let configs = PrecisionConfig::all_configs();
@@ -49,11 +46,7 @@ fn main() {
             rel_error,
         })
         .collect();
-    let baseline = points
-        .iter()
-        .find(|p| p.config.is_all_double())
-        .expect("ddddd present")
-        .time;
+    let baseline = points.iter().find(|p| p.config.is_all_double()).expect("ddddd present").time;
     let front = pareto_front(&points);
     let on_front = |p: &ParetoPoint| front.iter().any(|f| f.config == p.config);
 

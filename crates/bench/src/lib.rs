@@ -50,8 +50,7 @@ pub fn make_operator(nd: usize, nm: usize, nt: usize, seed: u64) -> BlockToeplit
     let mut rng = SplitMix64::new(seed);
     let mut col = vec![0.0; nt * nd * nm];
     rng.fill_uniform(&mut col, 0.0, 1.0);
-    BlockToeplitzOperator::from_first_block_column(nd, nm, nt, &col)
-        .expect("valid operator dims")
+    BlockToeplitzOperator::from_first_block_column(nd, nm, nt, &col).expect("valid operator dims")
 }
 
 /// A mantissa-stuffed positive input vector (the §4.2.1 generator applied

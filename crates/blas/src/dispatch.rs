@@ -7,8 +7,8 @@
 //! [`kernel_profile`] produces the [`KernelProfile`] whose modeled
 //! achieved bandwidth regenerates Figure 1.
 
-use fftmatvec_numeric::{DType, Scalar};
 use fftmatvec_gpu::{KernelClass, KernelProfile};
+use fftmatvec_numeric::{DType, Scalar};
 
 use crate::kernels::run_kernel;
 use crate::types::{BatchGeometry, GemvOp, KernelChoice};
@@ -160,14 +160,12 @@ mod tests {
     fn figure1_shape_optimized_beats_baseline_on_skewed() {
         let dev = DeviceSpec::mi300x();
         for dtype in DType::ALL {
-            let base = kernel_profile(KernelChoice::Reference, GemvOp::Trans, dtype, 128, 4096, 100);
+            let base =
+                kernel_profile(KernelChoice::Reference, GemvOp::Trans, dtype, 128, 4096, 100);
             let opt = kernel_profile(KernelChoice::Optimized, GemvOp::Trans, dtype, 128, 4096, 100);
             let bw_base = base.achieved_bandwidth(&dev) / dev.peak_bw;
             let bw_opt = opt.achieved_bandwidth(&dev) / dev.peak_bw;
-            assert!(
-                bw_opt > 1.5 * bw_base,
-                "{dtype}: opt {bw_opt:.3} vs base {bw_base:.3}"
-            );
+            assert!(bw_opt > 1.5 * bw_base, "{dtype}: opt {bw_opt:.3} vs base {bw_base:.3}");
         }
     }
 
@@ -204,18 +202,30 @@ mod tests {
         let mut y_ref = vec![Complex::zero(); batch * n];
         let used = sbgemv(op, Complex::one(), &a, &x, Complex::zero(), &mut y_auto, &g);
         assert_eq!(used, KernelChoice::Optimized);
-        sbgemv_with(KernelChoice::Reference, op, Complex::one(), &a, &x, Complex::zero(), &mut y_ref, &g);
-        let err: f64 = y_auto
-            .iter()
-            .zip(&y_ref)
-            .map(|(a, b)| (*a - *b).abs())
-            .fold(0.0, f64::max);
+        sbgemv_with(
+            KernelChoice::Reference,
+            op,
+            Complex::one(),
+            &a,
+            &x,
+            Complex::zero(),
+            &mut y_ref,
+            &g,
+        );
+        let err: f64 = y_auto.iter().zip(&y_ref).map(|(a, b)| (*a - *b).abs()).fold(0.0, f64::max);
         assert!(err < 1e-12, "kernels disagree: {err}");
     }
 
     #[test]
     fn profile_bytes_account_matrix_and_vectors() {
-        let p = kernel_profile(KernelChoice::Reference, GemvOp::Trans, DType::ComplexF64, 100, 5000, 1001);
+        let p = kernel_profile(
+            KernelChoice::Reference,
+            GemvOp::Trans,
+            DType::ComplexF64,
+            100,
+            5000,
+            1001,
+        );
         let expect_matrix = (100 * 5000 * 1001) as f64 * 16.0;
         assert!(p.bytes_read > expect_matrix);
         assert!(p.bytes_read < expect_matrix * 1.01);

@@ -27,6 +27,7 @@
 //! same error class as the GPU tree reductions.
 
 use fftmatvec_numeric::Scalar;
+#[cfg(feature = "parallel")]
 use rayon::prelude::*;
 
 use crate::types::{BatchGeometry, GemvOp, KernelChoice};
@@ -34,12 +35,7 @@ use crate::OPT_TILE_COLS;
 
 /// Split `y` into one mutable slice per batch item (disjoint by
 /// construction since `stride_y ≥ output_len`, enforced by `validate`).
-fn batch_outputs<'a, S>(
-    y: &'a mut [S],
-    stride: usize,
-    out_len: usize,
-    batch: usize,
-) -> Vec<&'a mut [S]> {
+fn batch_outputs<S>(y: &mut [S], stride: usize, out_len: usize, batch: usize) -> Vec<&mut [S]> {
     let mut slices = Vec::with_capacity(batch);
     let mut rest = y;
     for b in 0..batch {
@@ -52,6 +48,7 @@ fn batch_outputs<'a, S>(
 }
 
 /// Serial-vs-parallel threshold in scalar MACs.
+#[cfg_attr(not(feature = "parallel"), allow(dead_code))]
 const PAR_THRESHOLD: usize = 1 << 15;
 
 /// Run one of the kernels over the whole batch.
@@ -67,7 +64,8 @@ pub fn run_kernel<S: Scalar>(
 ) {
     g.validate(op, a.len(), x.len(), y.len());
     let out_len = op.output_len(g.m, g.n);
-    let outs = batch_outputs(y, g.stride_y, out_len, g.batch);
+    let mut outs = batch_outputs(y, g.stride_y, out_len, g.batch);
+    #[cfg(feature = "parallel")]
     let work = g.batch * g.m * g.n;
     let body = |(b, yb): (usize, &mut &mut [S])| {
         let ab = &a[b * g.stride_a..];
@@ -77,13 +75,12 @@ pub fn run_kernel<S: Scalar>(
             KernelChoice::Optimized => optimized_gemv(op, alpha, ab, g.lda, xb, beta, yb, g.m, g.n),
         }
     };
-    if work <= PAR_THRESHOLD {
-        let mut outs = outs;
-        outs.iter_mut().enumerate().for_each(body);
-    } else {
-        let mut outs = outs;
+    #[cfg(feature = "parallel")]
+    if work > PAR_THRESHOLD {
         outs.par_iter_mut().enumerate().for_each(body);
+        return;
     }
+    outs.iter_mut().enumerate().for_each(body);
 }
 
 /// rocBLAS-style GEMV on one matrix (column-major, leading dim `lda`).
@@ -145,8 +142,7 @@ fn pairwise_dot<S: Scalar>(col: &[S], x: &[S], conj: bool) -> S {
         acc
     } else {
         let mid = col.len() / 2;
-        pairwise_dot(&col[..mid], &x[..mid], conj)
-            + pairwise_dot(&col[mid..], &x[mid..], conj)
+        pairwise_dot(&col[..mid], &x[..mid], conj) + pairwise_dot(&col[mid..], &x[mid..], conj)
     }
 }
 
@@ -202,7 +198,8 @@ pub fn optimized_gemv<S: Scalar>(
     let conj = op == GemvOp::ConjTrans;
     let beta_zero = beta == S::zero();
     // Gridblocks tile the columns; each block computes a chunk of outputs.
-    for (tile_idx, y_tile) in y.chunks_mut(OPT_TILE_COLS).enumerate().take(n.div_ceil(OPT_TILE_COLS))
+    for (tile_idx, y_tile) in
+        y.chunks_mut(OPT_TILE_COLS).enumerate().take(n.div_ceil(OPT_TILE_COLS))
     {
         let j0 = tile_idx * OPT_TILE_COLS;
         for (dj, yj) in y_tile.iter_mut().enumerate() {
@@ -241,17 +238,17 @@ mod tests {
             match op {
                 GemvOp::NoTrans => {
                     for j in 0..n {
-                        acc = acc + a[k + j * lda] * x[j];
+                        acc += a[k + j * lda] * x[j];
                     }
                 }
                 GemvOp::Trans => {
                     for i in 0..m {
-                        acc = acc + a[i + k * lda] * x[i];
+                        acc += a[i + k * lda] * x[i];
                     }
                 }
                 GemvOp::ConjTrans => {
                     for i in 0..m {
-                        acc = acc + a[i + k * lda].conj() * x[i];
+                        acc += a[i + k * lda].conj() * x[i];
                     }
                 }
             }
@@ -390,8 +387,26 @@ mod tests {
         let g = BatchGeometry::packed(m, n, GemvOp::Trans, 1);
         let mut yt = vec![Complex::zero(); n];
         let mut yh = vec![Complex::zero(); n];
-        run_kernel(KernelChoice::Reference, GemvOp::Trans, Complex::one(), &a, &x, Complex::zero(), &mut yt, &g);
-        run_kernel(KernelChoice::Reference, GemvOp::ConjTrans, Complex::one(), &a, &x, Complex::zero(), &mut yh, &g);
+        run_kernel(
+            KernelChoice::Reference,
+            GemvOp::Trans,
+            Complex::one(),
+            &a,
+            &x,
+            Complex::zero(),
+            &mut yt,
+            &g,
+        );
+        run_kernel(
+            KernelChoice::Reference,
+            GemvOp::ConjTrans,
+            Complex::one(),
+            &a,
+            &x,
+            Complex::zero(),
+            &mut yh,
+            &g,
+        );
         assert!(rel_err(&yt, &yh) > 1e-3, "conjugation should change the result");
     }
 

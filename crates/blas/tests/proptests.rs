@@ -15,9 +15,7 @@ fn op_from(i: u8) -> GemvOp {
 }
 
 fn fill<S: Scalar>(rng: &mut SplitMix64, len: usize) -> Vec<S> {
-    (0..len)
-        .map(|_| S::from_f64_parts(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)))
-        .collect()
+    (0..len).map(|_| S::from_f64_parts(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0))).collect()
 }
 
 fn naive_gemv<S: Scalar>(
@@ -36,17 +34,17 @@ fn naive_gemv<S: Scalar>(
         match op {
             GemvOp::NoTrans => {
                 for j in 0..n {
-                    acc = acc + a[k + j * lda] * x[j];
+                    acc += a[k + j * lda] * x[j];
                 }
             }
             GemvOp::Trans => {
                 for i in 0..m {
-                    acc = acc + a[i + k * lda] * x[i];
+                    acc += a[i + k * lda] * x[i];
                 }
             }
             GemvOp::ConjTrans => {
                 for i in 0..m {
-                    acc = acc + a[i + k * lda].conj() * x[i];
+                    acc += a[i + k * lda].conj() * x[i];
                 }
             }
         }

@@ -17,10 +17,10 @@ pub fn tree_reduce_sum<T: Real>(inputs: &[Vec<T>]) -> Vec<T> {
     for (i, v) in inputs.iter().enumerate() {
         assert_eq!(v.len(), len, "rank {i} buffer length mismatch");
     }
-    reduce_range(inputs, 0, inputs.len(), len)
+    reduce_range(inputs, 0, inputs.len())
 }
 
-fn reduce_range<T: Real>(inputs: &[Vec<T>], lo: usize, hi: usize, len: usize) -> Vec<T> {
+fn reduce_range<T: Real>(inputs: &[Vec<T>], lo: usize, hi: usize) -> Vec<T> {
     match hi - lo {
         1 => inputs[lo].clone(),
         2 => {
@@ -34,8 +34,8 @@ fn reduce_range<T: Real>(inputs: &[Vec<T>], lo: usize, hi: usize, len: usize) ->
             // Split at the largest power of two below n, the shape a
             // recursive-halving reduction takes.
             let half = (n / 2).next_power_of_two().min(n - 1);
-            let mut left = reduce_range(inputs, lo, lo + half, len);
-            let right = reduce_range(inputs, lo + half, hi, len);
+            let mut left = reduce_range(inputs, lo, lo + half);
+            let right = reduce_range(inputs, lo + half, hi);
             for (o, &b) in left.iter_mut().zip(&right) {
                 *o += b;
             }
@@ -63,9 +63,7 @@ pub fn allgather<T: Clone>(parts: &[Vec<T>]) -> Vec<T> {
 /// take the remainder), inverse of [`allgather`] for equal splits.
 pub fn scatter<T: Clone>(data: &[T], parts: usize) -> Vec<Vec<T>> {
     use crate::grid::ProcessGrid;
-    (0..parts)
-        .map(|i| data[ProcessGrid::chunk_range(data.len(), parts, i)].to_vec())
-        .collect()
+    (0..parts).map(|i| data[ProcessGrid::chunk_range(data.len(), parts, i)].to_vec()).collect()
 }
 
 #[cfg(test)]
@@ -75,8 +73,7 @@ mod tests {
     #[test]
     fn tree_reduce_matches_serial_sum_exactly_for_integers() {
         // Integer-valued floats: any summation order is exact.
-        let inputs: Vec<Vec<f64>> =
-            (0..7).map(|r| vec![r as f64, 2.0 * r as f64]).collect();
+        let inputs: Vec<Vec<f64>> = (0..7).map(|r| vec![r as f64, 2.0 * r as f64]).collect();
         let out = tree_reduce_sum(&inputs);
         assert_eq!(out, vec![21.0, 42.0]);
     }
@@ -93,9 +90,7 @@ mod tests {
         // should stay within ~log2(p)·ε relative, far below a sequential
         // worst case of p·ε.
         let p = 1024;
-        let inputs: Vec<Vec<f32>> = (0..p)
-            .map(|r| vec![1.0 + (r as f32) * 1.1920929e-7])
-            .collect();
+        let inputs: Vec<Vec<f32>> = (0..p).map(|r| vec![1.0 + (r as f32) * 1.1920929e-7]).collect();
         let out = tree_reduce_sum(&inputs);
         let exact: f64 = inputs.iter().map(|v| v[0] as f64).sum();
         let rel = ((out[0] as f64 - exact) / exact).abs();

@@ -119,14 +119,9 @@ mod tests {
     #[test]
     fn frontier_calibrated_matches_paper_shapes() {
         let net = NetworkModel::frontier();
-        for (p, want_rows) in [
-            (8usize, 1usize),
-            (64, 1),
-            (512, 1),
-            (1024, 8),
-            (2048, 8),
-            (4096, 16),
-        ] {
+        for (p, want_rows) in
+            [(8usize, 1usize), (64, 1), (512, 1), (1024, 8), (2048, 8), (4096, 16)]
+        {
             let g = choose_grid(PartitionStrategy::FrontierCalibrated, p, &paper_problem(p), &net);
             assert_eq!(g.rows, want_rows, "p={p}");
             assert_eq!(g.size(), p);

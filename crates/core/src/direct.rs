@@ -6,6 +6,7 @@
 //! `O(N_t·log N_t·(N_d+N_m) + N_t·N_d·N_m)`. Used as the correctness
 //! oracle at any size and as the baseline in the crossover benches.
 
+#[cfg(feature = "parallel")]
 use rayon::prelude::*;
 
 use crate::operator::BlockToeplitzOperator;
@@ -25,7 +26,7 @@ impl<'a> DirectMatvec<'a> {
         let (nd, nm, nt) = (self.op.nd(), self.op.nm(), self.op.nt());
         assert_eq!(m.len(), nm * nt, "direct forward input length");
         let mut d = vec![0.0f64; nd * nt];
-        d.par_chunks_mut(nd).enumerate().for_each(|(ti, dt)| {
+        let body = |(ti, dt): (usize, &mut [f64])| {
             for tj in 0..=ti {
                 let blk = self.op.block(ti - tj);
                 let mj = &m[tj * nm..(tj + 1) * nm];
@@ -38,7 +39,11 @@ impl<'a> DirectMatvec<'a> {
                     *di += acc;
                 }
             }
-        });
+        };
+        #[cfg(feature = "parallel")]
+        d.par_chunks_mut(nd).enumerate().for_each(body);
+        #[cfg(not(feature = "parallel"))]
+        d.chunks_mut(nd).enumerate().for_each(body);
         d
     }
 
@@ -47,7 +52,7 @@ impl<'a> DirectMatvec<'a> {
         let (nd, nm, nt) = (self.op.nd(), self.op.nm(), self.op.nt());
         assert_eq!(d.len(), nd * nt, "direct adjoint input length");
         let mut m = vec![0.0f64; nm * nt];
-        m.par_chunks_mut(nm).enumerate().for_each(|(tj, mt)| {
+        let body = |(tj, mt): (usize, &mut [f64])| {
             for ti in tj..nt {
                 let blk = self.op.block(ti - tj);
                 let di = &d[ti * nd..(ti + 1) * nd];
@@ -59,7 +64,11 @@ impl<'a> DirectMatvec<'a> {
                     }
                 }
             }
-        });
+        };
+        #[cfg(feature = "parallel")]
+        m.par_chunks_mut(nm).enumerate().for_each(body);
+        #[cfg(not(feature = "parallel"))]
+        m.chunks_mut(nm).enumerate().for_each(body);
         m
     }
 

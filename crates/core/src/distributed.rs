@@ -13,6 +13,7 @@
 //! slice. Phase 5 tree-reduces partial outputs across each grid row. The
 //! F* matvec mirrors this (broadcast across rows, reduce down columns).
 
+#[cfg(feature = "parallel")]
 use rayon::prelude::*;
 
 use fftmatvec_comm::collectives::tree_reduce_sum;
@@ -70,8 +71,7 @@ impl DistributedFftMatvec {
             for t in 0..nt {
                 for (ii, i) in ri.clone().enumerate() {
                     let src = &col[(t * nd + i) * nm + ci.start..(t * nd + i) * nm + ci.end];
-                    local[(t * ndl + ii) * nml..(t * ndl + ii) * nml + nml]
-                        .copy_from_slice(src);
+                    local[(t * ndl + ii) * nml..(t * ndl + ii) * nml + nml].copy_from_slice(src);
                 }
             }
             let op = BlockToeplitzOperator::from_first_block_column(ndl, nml, nt, &local)?;
@@ -107,19 +107,20 @@ impl DistributedFftMatvec {
         assert_eq!(m.len(), self.nm * self.nt, "distributed forward input length");
         // Scatter: column c's slice, replicated down its rows (the
         // phase-1 broadcast/allgather).
-        let partials: Vec<Vec<f64>> = (0..self.grid.size())
-            .into_par_iter()
-            .map(|rank| {
-                let (_, c) = self.grid.coords_of(rank);
-                let ci = self.grid.param_range(self.nm, c);
-                let mut mc = vec![0.0; ci.len() * self.nt];
-                for t in 0..self.nt {
-                    mc[t * ci.len()..(t + 1) * ci.len()]
-                        .copy_from_slice(&m[t * self.nm + ci.start..t * self.nm + ci.end]);
-                }
-                self.ranks[rank].apply_forward(&mc)
-            })
-            .collect();
+        let per_rank = |rank: usize| {
+            let (_, c) = self.grid.coords_of(rank);
+            let ci = self.grid.param_range(self.nm, c);
+            let mut mc = vec![0.0; ci.len() * self.nt];
+            for t in 0..self.nt {
+                mc[t * ci.len()..(t + 1) * ci.len()]
+                    .copy_from_slice(&m[t * self.nm + ci.start..t * self.nm + ci.end]);
+            }
+            self.ranks[rank].apply_forward(&mc)
+        };
+        #[cfg(feature = "parallel")]
+        let partials: Vec<Vec<f64>> = (0..self.grid.size()).into_par_iter().map(per_rank).collect();
+        #[cfg(not(feature = "parallel"))]
+        let partials: Vec<Vec<f64>> = (0..self.grid.size()).map(per_rank).collect();
 
         // Phase 5: tree-reduce each grid row's partials across columns in
         // the phase-5 precision, then place into the global output.
@@ -143,19 +144,20 @@ impl DistributedFftMatvec {
     /// `m = F*·d` with global TOSI vectors.
     pub fn apply_adjoint(&self, d: &[f64]) -> Vec<f64> {
         assert_eq!(d.len(), self.nd * self.nt, "distributed adjoint input length");
-        let partials: Vec<Vec<f64>> = (0..self.grid.size())
-            .into_par_iter()
-            .map(|rank| {
-                let (r, _) = self.grid.coords_of(rank);
-                let ri = self.grid.sensor_range(self.nd, r);
-                let mut dr = vec![0.0; ri.len() * self.nt];
-                for t in 0..self.nt {
-                    dr[t * ri.len()..(t + 1) * ri.len()]
-                        .copy_from_slice(&d[t * self.nd + ri.start..t * self.nd + ri.end]);
-                }
-                self.ranks[rank].apply_adjoint(&dr)
-            })
-            .collect();
+        let per_rank = |rank: usize| {
+            let (r, _) = self.grid.coords_of(rank);
+            let ri = self.grid.sensor_range(self.nd, r);
+            let mut dr = vec![0.0; ri.len() * self.nt];
+            for t in 0..self.nt {
+                dr[t * ri.len()..(t + 1) * ri.len()]
+                    .copy_from_slice(&d[t * self.nd + ri.start..t * self.nd + ri.end]);
+            }
+            self.ranks[rank].apply_adjoint(&dr)
+        };
+        #[cfg(feature = "parallel")]
+        let partials: Vec<Vec<f64>> = (0..self.grid.size()).into_par_iter().map(per_rank).collect();
+        #[cfg(not(feature = "parallel"))]
+        let partials: Vec<Vec<f64>> = (0..self.grid.size()).map(per_rank).collect();
 
         let p5 = self.config().phase(MatvecPhase::Unpad);
         let mut mv = vec![0.0; self.nm * self.nt];
@@ -208,10 +210,8 @@ fn reduce_in_precision(parts: &[&Vec<f64>], p: Precision) -> Vec<f64> {
             tree_reduce_sum(&owned)
         }
         Precision::Single => {
-            let owned: Vec<Vec<f32>> = parts
-                .iter()
-                .map(|v| v.iter().map(|&x| x as f32).collect())
-                .collect();
+            let owned: Vec<Vec<f32>> =
+                parts.iter().map(|v| v.iter().map(|&x| x as f32).collect()).collect();
             tree_reduce_sum(&owned).into_iter().map(|x| x as f64).collect()
         }
     }
@@ -312,15 +312,9 @@ mod tests {
         rng.fill_uniform_stuffed(&mut m, -1.0, 1.0);
         let baseline = single_rank_reference(nd, nm, nt, &col, &m, false);
         let grid = ProcessGrid::new(1, 8);
-        let mut dist = DistributedFftMatvec::from_global(
-            nd,
-            nm,
-            nt,
-            &col,
-            grid,
-            "dssdd".parse().unwrap(),
-        )
-        .unwrap();
+        let mut dist =
+            DistributedFftMatvec::from_global(nd, nm, nt, &col, grid, "dssdd".parse().unwrap())
+                .unwrap();
         let err_dd = rel_l2_error(&dist.apply_forward(&m), &baseline);
         dist.set_config("dssds".parse().unwrap());
         let err_ds = rel_l2_error(&dist.apply_forward(&m), &baseline);
@@ -335,12 +329,22 @@ mod tests {
         let net = NetworkModel::frontier();
         let dev = DeviceSpec::mi250x_gcd();
         let single = DistributedFftMatvec::from_global(
-            nd, nm, nt, &col, ProcessGrid::single(), PrecisionConfig::all_double(),
+            nd,
+            nm,
+            nt,
+            &col,
+            ProcessGrid::single(),
+            PrecisionConfig::all_double(),
         )
         .unwrap();
         assert_eq!(single.simulate(&dev, &net, false).get(Phase::Comm), 0.0);
         let multi = DistributedFftMatvec::from_global(
-            nd, nm, nt, &col, ProcessGrid::new(2, 4), PrecisionConfig::all_double(),
+            nd,
+            nm,
+            nt,
+            &col,
+            ProcessGrid::new(2, 4),
+            PrecisionConfig::all_double(),
         )
         .unwrap();
         assert!(multi.simulate(&dev, &net, false).get(Phase::Comm) > 0.0);
@@ -351,15 +355,30 @@ mod tests {
         let (nd, nm, nt) = (2usize, 4usize, 3usize);
         let col = global_col(nd, nm, nt, 8);
         assert!(DistributedFftMatvec::from_global(
-            nd, nm, nt, &col, ProcessGrid::new(3, 1), PrecisionConfig::all_double()
+            nd,
+            nm,
+            nt,
+            &col,
+            ProcessGrid::new(3, 1),
+            PrecisionConfig::all_double()
         )
         .is_err());
         assert!(DistributedFftMatvec::from_global(
-            nd, nm, nt, &col, ProcessGrid::new(1, 5), PrecisionConfig::all_double()
+            nd,
+            nm,
+            nt,
+            &col,
+            ProcessGrid::new(1, 5),
+            PrecisionConfig::all_double()
         )
         .is_err());
         assert!(DistributedFftMatvec::from_global(
-            nd, nm, nt, &col[1..], ProcessGrid::single(), PrecisionConfig::all_double()
+            nd,
+            nm,
+            nt,
+            &col[1..],
+            ProcessGrid::single(),
+            PrecisionConfig::all_double()
         )
         .is_err());
     }

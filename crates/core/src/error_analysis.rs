@@ -51,11 +51,8 @@ pub fn error_bound(cfg: PrecisionConfig, p: &BoundParams) -> ErrorBound {
     let log_nt = (p.nt.max(2) as f64).log2();
     let log_pc = if p.reduce_ranks > 1 { (p.reduce_ranks as f64).log2() } else { 0.0 };
 
-    let pad = if cfg.phase(MatvecPhase::Pad) == Precision::Double {
-        0.0
-    } else {
-        e(MatvecPhase::Pad)
-    };
+    let pad =
+        if cfg.phase(MatvecPhase::Pad) == Precision::Double { 0.0 } else { e(MatvecPhase::Pad) };
     let transforms =
         (Precision::Double.epsilon() + e(MatvecPhase::Fft) + e(MatvecPhase::Ifft)) * log_nt;
     let gemv = e(MatvecPhase::Sbgemv) * p.n_local as f64;

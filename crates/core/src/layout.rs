@@ -199,7 +199,9 @@ mod tests {
         // spec[s][f] = s + 10f ⇒ batch[f][s] must equal the same value.
         let (ns, nf) = (3, 4);
         let data: Vec<fftmatvec_numeric::C64> = (0..ns)
-            .flat_map(|s| (0..nf).map(move |f| fftmatvec_numeric::C64::new((s + 10 * f) as f64, 0.0)))
+            .flat_map(|s| {
+                (0..nf).map(move |f| fftmatvec_numeric::C64::new((s + 10 * f) as f64, 0.0))
+            })
             .collect();
         let batch = spectrum_to_batch(&ComplexBuffer::C64(data), ns, nf, Precision::Double);
         for f in 0..nf {

@@ -150,8 +150,7 @@ impl BlockToeplitzOperator {
                 let blk = self.block(bi - bj);
                 for i in 0..self.nd {
                     for k in 0..self.nm {
-                        out[(bi * self.nd + i) * cols + bj * self.nm + k] =
-                            blk[i * self.nm + k];
+                        out[(bi * self.nd + i) * cols + bj * self.nm + k] = blk[i * self.nm + k];
                     }
                 }
             }
@@ -199,7 +198,7 @@ mod tests {
     fn dc_frequency_is_block_sum() {
         // F̂_0 = Σ_t F_{t,1} (the DC bin of the padded column FFT).
         let op = random_operator(2, 3, 4, 2);
-        let mut sum = vec![0.0; 2 * 3];
+        let mut sum = [0.0; 2 * 3];
         for t in 0..4 {
             for (s, &v) in sum.iter_mut().zip(op.block(t)) {
                 *s += v;
@@ -236,10 +235,7 @@ mod tests {
                 let blk = op.block(bi - bj);
                 for i in 0..nd {
                     for k in 0..nm {
-                        assert_eq!(
-                            dense[(bi * nd + i) * cols + bj * nm + k],
-                            blk[i * nm + k]
-                        );
+                        assert_eq!(dense[(bi * nd + i) * cols + bj * nm + k], blk[i * nm + k]);
                     }
                 }
             }

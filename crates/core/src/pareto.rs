@@ -33,11 +33,7 @@ impl ParetoPoint {
 /// is kept.
 pub fn pareto_front(points: &[ParetoPoint]) -> Vec<ParetoPoint> {
     let mut sorted: Vec<ParetoPoint> = points.to_vec();
-    sorted.sort_by(|a, b| {
-        a.time
-            .total_cmp(&b.time)
-            .then(a.rel_error.total_cmp(&b.rel_error))
-    });
+    sorted.sort_by(|a, b| a.time.total_cmp(&b.time).then(a.rel_error.total_cmp(&b.rel_error)));
     let mut front: Vec<ParetoPoint> = Vec::new();
     let mut best_err = f64::INFINITY;
     for p in sorted {
@@ -62,10 +58,7 @@ pub fn pareto_front(points: &[ParetoPoint]) -> Vec<ParetoPoint> {
 pub fn optimal_for_tolerance(points: &[ParetoPoint], tolerance: f64) -> Option<ParetoPoint> {
     let admissible: Vec<&ParetoPoint> =
         points.iter().filter(|p| p.rel_error <= tolerance).collect();
-    let best_time = admissible
-        .iter()
-        .map(|p| p.time)
-        .min_by(f64::total_cmp)?;
+    let best_time = admissible.iter().map(|p| p.time).min_by(f64::total_cmp)?;
     admissible
         .into_iter()
         .filter(|p| p.time <= best_time * 1.01)
@@ -124,11 +117,7 @@ mod tests {
 
     #[test]
     fn tolerance_selection_matches_paper_logic() {
-        let points = vec![
-            pt("ddddd", 1.00, 0.0),
-            pt("dssdd", 0.55, 5e-8),
-            pt("sssss", 0.45, 3e-6),
-        ];
+        let points = vec![pt("ddddd", 1.00, 0.0), pt("dssdd", 0.55, 5e-8), pt("sssss", 0.45, 3e-6)];
         // Tolerance 1e-7: all-single is too lossy, dssdd is the fastest
         // admissible — the paper's conclusion.
         let best = optimal_for_tolerance(&points, 1e-7).unwrap();

@@ -16,6 +16,7 @@
 use fftmatvec_blas::{sbgemv, BatchGeometry, GemvOp};
 use fftmatvec_fft::BatchedRealFft;
 use fftmatvec_numeric::{Complex, ComplexBuffer, RealBuffer};
+#[cfg(feature = "parallel")]
 use rayon::prelude::*;
 
 use crate::layout;
@@ -77,13 +78,21 @@ impl FftMatvec {
     /// overlapped with the host routines that generate input vectors and
     /// save output vectors".
     pub fn apply_forward_many(&self, inputs: &[Vec<f64>]) -> Vec<Vec<f64>> {
-        inputs.par_iter().map(|m| self.apply_forward(m)).collect()
+        #[cfg(feature = "parallel")]
+        let out = inputs.par_iter().map(|m| self.apply_forward(m)).collect();
+        #[cfg(not(feature = "parallel"))]
+        let out = inputs.iter().map(|m| self.apply_forward(m)).collect();
+        out
     }
 
     /// Apply `F*` to many independent vectors (see
     /// [`FftMatvec::apply_forward_many`]).
     pub fn apply_adjoint_many(&self, inputs: &[Vec<f64>]) -> Vec<Vec<f64>> {
-        inputs.par_iter().map(|d| self.apply_adjoint(d)).collect()
+        #[cfg(feature = "parallel")]
+        let out = inputs.par_iter().map(|d| self.apply_adjoint(d)).collect();
+        #[cfg(not(feature = "parallel"))]
+        let out = inputs.iter().map(|d| self.apply_adjoint(d)).collect();
+        out
     }
 
     fn apply(&self, input: &[f64], gemv_op: GemvOp) -> Vec<f64> {
@@ -180,18 +189,14 @@ mod tests {
         let dense = op.dense();
         let rows = op.nd() * op.nt();
         let cols = op.nm() * op.nt();
-        (0..rows)
-            .map(|i| (0..cols).map(|j| dense[i * cols + j] * m[j]).sum())
-            .collect()
+        (0..rows).map(|i| (0..cols).map(|j| dense[i * cols + j] * m[j]).sum()).collect()
     }
 
     fn dense_adjoint(op: &BlockToeplitzOperator, d: &[f64]) -> Vec<f64> {
         let dense = op.dense();
         let rows = op.nd() * op.nt();
         let cols = op.nm() * op.nt();
-        (0..cols)
-            .map(|j| (0..rows).map(|i| dense[i * cols + j] * d[i]).sum())
-            .collect()
+        (0..cols).map(|j| (0..rows).map(|i| dense[i * cols + j] * d[i]).sum()).collect()
     }
 
     #[test]
@@ -311,7 +316,7 @@ mod tests {
     fn zero_input_maps_to_zero() {
         let op = random_operator(2, 3, 4, 19);
         let mv = FftMatvec::new(op, PrecisionConfig::optimal_forward());
-        let d = mv.apply_forward(&vec![0.0; 3 * 4]);
+        let d = mv.apply_forward(&[0.0; 3 * 4]);
         assert!(d.iter().all(|&x| x == 0.0));
     }
 

@@ -48,12 +48,7 @@ impl MatvecDims {
 /// data (shared-memory GPU FFTs of a few thousand points take ~2).
 const FFT_PASSES: f64 = 2.0;
 
-fn fft_profile(
-    name: &'static str,
-    n_series: usize,
-    nt: usize,
-    p: Precision,
-) -> KernelProfile {
+fn fft_profile(name: &'static str, n_series: usize, nt: usize, p: Precision) -> KernelProfile {
     let real_in = (n_series * 2 * nt * p.real_bytes()) as f64;
     let complex_out = (n_series * (nt + 1) * p.complex_bytes()) as f64;
     let n2 = 2 * nt;
@@ -117,8 +112,7 @@ pub fn simulate_phases(
         (n_in * nfreq * p3.complex_bytes()) as f64,
     );
     let kernel = select_kernel(gemv_op, dims.nd, dims.nm);
-    let gemv =
-        kernel_profile(kernel, gemv_op, dtype_for(true, p3), dims.nd, dims.nm, nfreq);
+    let gemv = kernel_profile(kernel, gemv_op, dtype_for(true, p3), dims.nd, dims.nm, nfreq);
     let b34 = p3.min(p4);
     let reorder_out = KernelProfile::streaming(
         "tosi2soti",
@@ -158,11 +152,7 @@ mod tests {
         for dev in DeviceSpec::paper_lineup() {
             let t = simulate_phases(dims, PrecisionConfig::all_double(), false, &dev);
             let frac = t.fraction(Phase::Sbgemv);
-            assert!(
-                (0.80..0.99).contains(&frac),
-                "{}: SBGEMV fraction {frac:.3}",
-                dev.name
-            );
+            assert!((0.80..0.99).contains(&frac), "{}: SBGEMV fraction {frac:.3}", dev.name);
         }
     }
 

@@ -7,6 +7,7 @@
 //! idiom.
 
 use fftmatvec_numeric::{Complex, Real};
+#[cfg(feature = "parallel")]
 use rayon::prelude::*;
 
 use crate::plan::{FftDirection, FftPlan};
@@ -14,6 +15,7 @@ use crate::real::RealFftPlan;
 
 /// Work below this many complex elements stays serial; smaller batches
 /// are dominated by thread-pool dispatch.
+#[cfg(feature = "parallel")]
 const PAR_THRESHOLD: usize = 1 << 14;
 
 /// Batched complex transforms sharing one [`FftPlan`].
@@ -53,19 +55,17 @@ impl<T: Real> BatchedFft<T> {
         assert_eq!(input.len(), output.len(), "batched FFT in/out length mismatch");
         assert_eq!(input.len() % n, 0, "batched FFT length not a multiple of n");
         let scratch_len = self.plan.scratch_len();
-        if input.len() <= PAR_THRESHOLD {
-            let mut scratch = vec![Complex::zero(); scratch_len];
-            for (i, o) in input.chunks_exact(n).zip(output.chunks_exact_mut(n)) {
-                self.plan.process(i, o, &mut scratch, dir);
-            }
-        } else {
-            input
-                .par_chunks_exact(n)
-                .zip(output.par_chunks_exact_mut(n))
-                .for_each_init(
-                    || vec![Complex::zero(); scratch_len],
-                    |scratch, (i, o)| self.plan.process(i, o, scratch, dir),
-                );
+        #[cfg(feature = "parallel")]
+        if input.len() > PAR_THRESHOLD {
+            input.par_chunks_exact(n).zip(output.par_chunks_exact_mut(n)).for_each_init(
+                || vec![Complex::zero(); scratch_len],
+                |scratch, (i, o)| self.plan.process(i, o, scratch, dir),
+            );
+            return;
+        }
+        let mut scratch = vec![Complex::zero(); scratch_len];
+        for (i, o) in input.chunks_exact(n).zip(output.chunks_exact_mut(n)) {
+            self.plan.process(i, o, &mut scratch, dir);
         }
     }
 
@@ -122,19 +122,17 @@ impl<T: Real> BatchedRealFft<T> {
         let batch = input.len() / n;
         assert_eq!(output.len(), batch * s, "batched R2C output length mismatch");
         let scratch_len = self.plan.scratch_len();
-        if input.len() <= PAR_THRESHOLD {
-            let mut scratch = vec![Complex::zero(); scratch_len];
-            for (i, o) in input.chunks_exact(n).zip(output.chunks_exact_mut(s)) {
-                self.plan.forward(i, o, &mut scratch);
-            }
-        } else {
-            input
-                .par_chunks_exact(n)
-                .zip(output.par_chunks_exact_mut(s))
-                .for_each_init(
-                    || vec![Complex::zero(); scratch_len],
-                    |scratch, (i, o)| self.plan.forward(i, o, scratch),
-                );
+        #[cfg(feature = "parallel")]
+        if input.len() > PAR_THRESHOLD {
+            input.par_chunks_exact(n).zip(output.par_chunks_exact_mut(s)).for_each_init(
+                || vec![Complex::zero(); scratch_len],
+                |scratch, (i, o)| self.plan.forward(i, o, scratch),
+            );
+            return;
+        }
+        let mut scratch = vec![Complex::zero(); scratch_len];
+        for (i, o) in input.chunks_exact(n).zip(output.chunks_exact_mut(s)) {
+            self.plan.forward(i, o, &mut scratch);
         }
     }
 
@@ -147,19 +145,17 @@ impl<T: Real> BatchedRealFft<T> {
         let batch = spectrum.len() / s;
         assert_eq!(output.len(), batch * n, "batched C2R output length mismatch");
         let scratch_len = self.plan.scratch_len();
-        if output.len() <= PAR_THRESHOLD {
-            let mut scratch = vec![Complex::zero(); scratch_len];
-            for (i, o) in spectrum.chunks_exact(s).zip(output.chunks_exact_mut(n)) {
-                self.plan.inverse(i, o, &mut scratch);
-            }
-        } else {
-            spectrum
-                .par_chunks_exact(s)
-                .zip(output.par_chunks_exact_mut(n))
-                .for_each_init(
-                    || vec![Complex::zero(); scratch_len],
-                    |scratch, (i, o)| self.plan.inverse(i, o, scratch),
-                );
+        #[cfg(feature = "parallel")]
+        if output.len() > PAR_THRESHOLD {
+            spectrum.par_chunks_exact(s).zip(output.par_chunks_exact_mut(n)).for_each_init(
+                || vec![Complex::zero(); scratch_len],
+                |scratch, (i, o)| self.plan.inverse(i, o, scratch),
+            );
+            return;
+        }
+        let mut scratch = vec![Complex::zero(); scratch_len];
+        for (i, o) in spectrum.chunks_exact(s).zip(output.chunks_exact_mut(n)) {
+            self.plan.inverse(i, o, &mut scratch);
         }
     }
 }

@@ -90,7 +90,7 @@ impl<T: Real> BluesteinPlan<T> {
         // Circular convolution with b via the inner power-of-two plan.
         self.inner.forward(a, work, &mut []);
         for (w, &bf) in work.iter_mut().zip(&self.b_fft) {
-            *w = *w * bf;
+            *w *= bf;
         }
         self.inner.inverse(work, a, &mut []);
 
@@ -137,8 +137,7 @@ mod tests {
             let fast = run(&plan, &x, FftDirection::Forward);
             let mut slow = vec![C::zero(); n];
             naive_dft(&x, &mut slow, FftDirection::Forward);
-            let err =
-                fast.iter().zip(&slow).map(|(a, b)| (*a - *b).abs()).fold(0.0, f64::max);
+            let err = fast.iter().zip(&slow).map(|(a, b)| (*a - *b).abs()).fold(0.0, f64::max);
             assert!(err < 1e-9, "n={n} err={err}");
         }
     }
@@ -150,8 +149,7 @@ mod tests {
             let x = random_signal(n, 3 * n as u64);
             let freq = run(&plan, &x, FftDirection::Forward);
             let back = run(&plan, &freq, FftDirection::Inverse);
-            let err =
-                back.iter().zip(&x).map(|(a, b)| (*a - *b).abs()).fold(0.0, f64::max);
+            let err = back.iter().zip(&x).map(|(a, b)| (*a - *b).abs()).fold(0.0, f64::max);
             assert!(err < 1e-10, "n={n} err={err}");
         }
     }

@@ -12,11 +12,7 @@ use crate::plan::FftDirection;
 ///
 /// Forward: `X[k] = Σ_j x[j]·e^{-2πijk/n}` (unscaled).
 /// Inverse: `x[j] = (1/n)·Σ_k X[k]·e^{+2πijk/n}`.
-pub fn naive_dft<T: Real>(
-    input: &[Complex<T>],
-    output: &mut [Complex<T>],
-    dir: FftDirection,
-) {
+pub fn naive_dft<T: Real>(input: &[Complex<T>], output: &mut [Complex<T>], dir: FftDirection) {
     let n = input.len();
     assert_eq!(output.len(), n, "naive_dft output length mismatch");
     if n == 0 {
@@ -78,9 +74,7 @@ mod tests {
     #[test]
     fn roundtrip() {
         let n = 12;
-        let x: Vec<C> = (0..n)
-            .map(|j| C::new((j as f64).sin(), (j as f64 * 0.7).cos()))
-            .collect();
+        let x: Vec<C> = (0..n).map(|j| C::new((j as f64).sin(), (j as f64 * 0.7).cos())).collect();
         let mut freq = vec![C::zero(); n];
         let mut back = vec![C::zero(); n];
         naive_dft(&x, &mut freq, FftDirection::Forward);

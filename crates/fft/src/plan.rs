@@ -133,10 +133,7 @@ impl<T: Real> FftPlan<T> {
                 debug_assert_eq!(cur, 1);
                 FftPlan { n, strategy: Strategy::MixedRadix(levels) }
             }
-            None => FftPlan {
-                n,
-                strategy: Strategy::Bluestein(Box::new(BluesteinPlan::new(n))),
-            },
+            None => FftPlan { n, strategy: Strategy::Bluestein(Box::new(BluesteinPlan::new(n))) },
         }
     }
 
@@ -293,11 +290,8 @@ fn rec_fft<T: Real>(
                 let g = t[1] + t[3];
                 let h = t[1] - t[3];
                 // ±i·h depending on direction.
-                let ih = if inverse {
-                    Complex::new(-h.im, h.re)
-                } else {
-                    Complex::new(h.im, -h.re)
-                };
+                let ih =
+                    if inverse { Complex::new(-h.im, h.re) } else { Complex::new(h.im, -h.re) };
                 out[u] = e + g;
                 out[u + m] = f + ih;
                 out[u + 2 * m] = e - g;
@@ -446,11 +440,7 @@ mod tests {
         let plan = FftPlan::<f32>::new(n);
         let freq = plan.forward_vec(&x);
         let back = plan.inverse_vec(&freq);
-        let err = x
-            .iter()
-            .zip(&back)
-            .map(|(a, b)| (*a - *b).abs())
-            .fold(0.0f32, f32::max);
+        let err = x.iter().zip(&back).map(|(a, b)| (*a - *b).abs()).fold(0.0f32, f32::max);
         // Single-precision roundtrip error ~ eps·log2(n).
         assert!(err < 1e-5, "err={err}");
     }

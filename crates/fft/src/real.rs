@@ -28,8 +28,7 @@ impl<T: Real> RealFftPlan<T> {
         assert!(n >= 2 && n % 2 == 0, "RealFftPlan requires even n >= 2, got {n}");
         let h = n / 2;
         let step = -2.0 * std::f64::consts::PI / n as f64;
-        let twiddles =
-            (0..h).map(|k| Complex::<f64>::expi(step * k as f64).cast()).collect();
+        let twiddles = (0..h).map(|k| Complex::<f64>::expi(step * k as f64).cast()).collect();
         RealFftPlan { n, half: FftPlan::new(h), twiddles }
     }
 
@@ -56,12 +55,7 @@ impl<T: Real> RealFftPlan<T> {
     }
 
     /// Forward R2C: `input.len() == n`, `output.len() == n/2 + 1`.
-    pub fn forward(
-        &self,
-        input: &[T],
-        output: &mut [Complex<T>],
-        scratch: &mut [Complex<T>],
-    ) {
+    pub fn forward(&self, input: &[T], output: &mut [Complex<T>], scratch: &mut [Complex<T>]) {
         let h = self.n / 2;
         assert_eq!(input.len(), self.n, "RealFftPlan forward input length");
         assert_eq!(output.len(), h + 1, "RealFftPlan forward output length");
@@ -101,12 +95,7 @@ impl<T: Real> RealFftPlan<T> {
 
     /// Inverse C2R: `spectrum.len() == n/2 + 1`, `output.len() == n`.
     /// Includes the `1/n` scaling so it inverts [`RealFftPlan::forward`].
-    pub fn inverse(
-        &self,
-        spectrum: &[Complex<T>],
-        output: &mut [T],
-        scratch: &mut [Complex<T>],
-    ) {
+    pub fn inverse(&self, spectrum: &[Complex<T>], output: &mut [T], scratch: &mut [Complex<T>]) {
         let h = self.n / 2;
         assert_eq!(spectrum.len(), h + 1, "RealFftPlan inverse spectrum length");
         assert_eq!(output.len(), self.n, "RealFftPlan inverse output length");
@@ -194,11 +183,7 @@ mod tests {
             let plan = RealFftPlan::<f64>::new(n);
             let fast = forward(&plan, &x);
             let slow = reference_spectrum(&x);
-            let err = fast
-                .iter()
-                .zip(&slow)
-                .map(|(a, b)| (*a - *b).abs())
-                .fold(0.0, f64::max);
+            let err = fast.iter().zip(&slow).map(|(a, b)| (*a - *b).abs()).fold(0.0, f64::max);
             assert!(err < 1e-9, "n={n} err={err}");
         }
     }
@@ -210,11 +195,7 @@ mod tests {
             let plan = RealFftPlan::<f64>::new(n);
             let spec = forward(&plan, &x);
             let back = inverse(&plan, &spec);
-            let err = back
-                .iter()
-                .zip(&x)
-                .map(|(a, b)| (a - b).abs())
-                .fold(0.0, f64::max);
+            let err = back.iter().zip(&x).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
             assert!(err < 1e-12, "n={n} err={err}");
         }
     }

@@ -74,7 +74,12 @@ pub struct KernelProfile {
 
 impl KernelProfile {
     /// A streaming (memcpy-like) kernel moving `bytes_read + bytes_written`.
-    pub fn streaming(name: &'static str, dtype: DType, bytes_read: f64, bytes_written: f64) -> Self {
+    pub fn streaming(
+        name: &'static str,
+        dtype: DType,
+        bytes_read: f64,
+        bytes_written: f64,
+    ) -> Self {
         KernelProfile {
             name,
             class: KernelClass::Streaming,
@@ -90,13 +95,7 @@ impl KernelProfile {
 
     /// A batched-FFT launch: `passes` sweeps over `io_bytes` of data plus
     /// `5·n·log2(n)` flops per transform.
-    pub fn fft(
-        name: &'static str,
-        dtype: DType,
-        n: usize,
-        batch: usize,
-        passes: f64,
-    ) -> Self {
+    pub fn fft(name: &'static str, dtype: DType, n: usize, batch: usize, passes: f64) -> Self {
         let io_bytes = (n * batch * dtype.bytes()) as f64;
         let flops = 5.0 * (n as f64) * (n.max(2) as f64).log2() * batch as f64;
         KernelProfile {
@@ -136,7 +135,7 @@ impl KernelProfile {
         // Occupancy: one gridblock per CU saturates a bandwidth-bound
         // kernel (each block keeps its CU's load queues busy).
         let full = dev.cu_count as f64;
-        let occ = (self.gridblocks / full).min(1.0).max(0.25);
+        let occ = (self.gridblocks / full).clamp(0.25, 1.0);
         if let Some(e) = self.efficiency_override {
             let detune = (cap / REFERENCE_CAP).min(1.0);
             return (e * detune * occ).clamp(0.01, 1.0);

@@ -117,9 +117,7 @@ mod tests {
         let a = random_spd(n, 3);
         let mut rng = SplitMix64::new(4);
         let x: Vec<f64> = (0..n).map(|_| rng.uniform(-1.0, 1.0)).collect();
-        let b: Vec<f64> = (0..n)
-            .map(|i| (0..n).map(|j| a[i * n + j] * x[j]).sum())
-            .collect();
+        let b: Vec<f64> = (0..n).map(|i| (0..n).map(|j| a[i * n + j] * x[j]).sum()).collect();
         let got = solve_spd(&a, &b, n).unwrap();
         for (g, w) in got.iter().zip(&x) {
             assert!((g - w).abs() < 1e-9);

@@ -98,10 +98,7 @@ pub fn greedy_sensor_placement<S: LtiSystem>(
     cfg: PrecisionConfig,
 ) -> Result<PlacementResult, String> {
     if budget == 0 || budget > candidates.len() {
-        return Err(format!(
-            "budget {budget} out of range for {} candidates",
-            candidates.len()
-        ));
+        return Err(format!("budget {budget} out of range for {} candidates", candidates.len()));
     }
     let mut chosen: Vec<usize> = Vec::with_capacity(budget);
     let mut gains = Vec::with_capacity(budget);
@@ -158,15 +155,9 @@ mod tests {
         // The Remark-1 accounting: assembling the data-space operator
         // takes N_d·N_t forward + N_d·N_t adjoint actions.
         let s = sys();
-        let (_, used) = expected_information_gain(
-            &s,
-            &[4, 10],
-            6,
-            0.05,
-            1.0,
-            PrecisionConfig::all_double(),
-        )
-        .unwrap();
+        let (_, used) =
+            expected_information_gain(&s, &[4, 10], 6, 0.05, 1.0, PrecisionConfig::all_double())
+                .unwrap();
         assert_eq!(used, 2 * 2 * 6);
     }
 
@@ -201,16 +192,9 @@ mod tests {
         let c = cands(&[2, 8, 13]);
         let gold = greedy_sensor_placement(&s, &c, 2, 6, 0.05, 1.0, PrecisionConfig::all_double())
             .unwrap();
-        let fast = greedy_sensor_placement(
-            &s,
-            &c,
-            2,
-            6,
-            0.05,
-            1.0,
-            PrecisionConfig::optimal_forward(),
-        )
-        .unwrap();
+        let fast =
+            greedy_sensor_placement(&s, &c, 2, 6, 0.05, 1.0, PrecisionConfig::optimal_forward())
+                .unwrap();
         assert_eq!(gold.chosen, fast.chosen);
         for (a, b) in gold.gains.iter().zip(&fast.gains) {
             assert!((a - b).abs() < 1e-3 * a.abs().max(1.0), "{a} vs {b}");
@@ -221,9 +205,11 @@ mod tests {
     fn budget_validation() {
         let s = sys();
         let c = cands(&[1, 2]);
-        assert!(greedy_sensor_placement(&s, &c, 0, 4, 0.1, 1.0, PrecisionConfig::all_double())
-            .is_err());
-        assert!(greedy_sensor_placement(&s, &c, 3, 4, 0.1, 1.0, PrecisionConfig::all_double())
-            .is_err());
+        assert!(
+            greedy_sensor_placement(&s, &c, 0, 4, 0.1, 1.0, PrecisionConfig::all_double()).is_err()
+        );
+        assert!(
+            greedy_sensor_placement(&s, &c, 3, 4, 0.1, 1.0, PrecisionConfig::all_double()).is_err()
+        );
     }
 }

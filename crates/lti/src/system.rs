@@ -148,9 +148,7 @@ mod tests {
         let mut m = vec![0.0; 32 * nt];
         m[16] = 1.0; // impulse at t=1, mid-domain
         let traj = sys.forward_trajectory(&m, nt);
-        let energy = |k: usize| -> f64 {
-            traj[k * 32..(k + 1) * 32].iter().map(|u| u * u).sum()
-        };
+        let energy = |k: usize| -> f64 { traj[k * 32..(k + 1) * 32].iter().map(|u| u * u).sum() };
         for k in 1..nt {
             assert!(energy(k) <= energy(k - 1) * (1.0 + 1e-12), "energy grew at {k}");
         }

@@ -155,8 +155,7 @@ mod tests {
         let mut m = vec![0.0; n * nt];
         m[sys.index(6, 5)] = 1.0; // impulse at t=1, centre
         let traj = sys.forward_trajectory(&m, nt);
-        let energy =
-            |k: usize| -> f64 { traj[k * n..(k + 1) * n].iter().map(|u| u * u).sum() };
+        let energy = |k: usize| -> f64 { traj[k * n..(k + 1) * n].iter().map(|u| u * u).sum() };
         for k in 1..nt {
             assert!(energy(k) <= energy(k - 1) * (1.0 + 1e-12));
         }

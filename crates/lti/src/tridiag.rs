@@ -48,11 +48,7 @@ impl Tridiag {
 
     /// The transposed matrix (lower and upper swapped).
     pub fn transpose(&self) -> Tridiag {
-        Tridiag {
-            lower: self.upper.clone(),
-            diag: self.diag.clone(),
-            upper: self.lower.clone(),
-        }
+        Tridiag { lower: self.upper.clone(), diag: self.diag.clone(), upper: self.lower.clone() }
     }
 
     /// Solve `M·x = rhs` by the Thomas algorithm (no pivoting; valid for

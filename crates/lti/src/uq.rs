@@ -114,12 +114,7 @@ impl LowRankHessian {
         }
         evals.clear();
 
-        LowRankHessian {
-            eigenvalues,
-            eigenvectors,
-            n,
-            matvecs: prob.matvec_count() - before,
-        }
+        LowRankHessian { eigenvalues, eigenvectors, n, matvecs: prob.matvec_count() - before }
     }
 
     /// Expected information gain `½·Σ log(1+λ_i)` from the retained pairs.
@@ -142,8 +137,7 @@ impl LowRankHessian {
     /// Variance reduction factor over the whole domain: mean posterior /
     /// prior variance (1 = data uninformative, →0 = fully informed).
     pub fn mean_variance_reduction(&self, prior_std: f64) -> f64 {
-        let total: f64 =
-            (0..self.n).map(|j| self.posterior_variance(prior_std, j)).sum();
+        let total: f64 = (0..self.n).map(|j| self.posterior_variance(prior_std, j)).sum();
         total / (self.n as f64 * prior_std * prior_std)
     }
 }
@@ -184,8 +178,7 @@ fn orthonormalize(basis: &mut [Vec<f64>]) {
             // through the projection passes above before acceptance).
             attempts += 1;
             assert!(attempts < 16, "cannot complete orthonormal basis");
-            let mut rng =
-                SplitMix64::new(0x5EED ^ ((i as u64) << 8) ^ attempts as u64);
+            let mut rng = SplitMix64::new(0x5EED ^ ((i as u64) << 8) ^ attempts as u64);
             for x in basis[i].iter_mut() {
                 *x = rng.normal() / (n as f64).sqrt();
             }

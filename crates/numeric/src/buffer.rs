@@ -158,9 +158,7 @@ impl ComplexBuffer {
 
     pub fn from_c64(p: Precision, data: &[Complex<f64>]) -> Self {
         match p {
-            Precision::Single => {
-                ComplexBuffer::C32(data.iter().map(|z| z.cast()).collect())
-            }
+            Precision::Single => ComplexBuffer::C32(data.iter().map(|z| z.cast()).collect()),
             Precision::Double => ComplexBuffer::C64(data.to_vec()),
         }
     }

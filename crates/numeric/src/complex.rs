@@ -147,6 +147,8 @@ impl<T: Real> Mul for Complex<T> {
 
 impl<T: Real> Div for Complex<T> {
     type Output = Self;
+    // Multiply-by-reciprocal is the intended complex division algorithm.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     #[inline(always)]
     fn div(self, rhs: Self) -> Self {
         self * rhs.recip()
@@ -274,8 +276,7 @@ mod tests {
         assert_eq!(core::mem::size_of::<Complex<f32>>(), 8);
         assert_eq!(core::mem::size_of::<Complex<f64>>(), 16);
         let v = [C::new(1.0, 2.0), C::new(3.0, 4.0)];
-        let flat: &[f64] =
-            unsafe { core::slice::from_raw_parts(v.as_ptr() as *const f64, 4) };
+        let flat: &[f64] = unsafe { core::slice::from_raw_parts(v.as_ptr() as *const f64, 4) };
         assert_eq!(flat, &[1.0, 2.0, 3.0, 4.0]);
     }
 }

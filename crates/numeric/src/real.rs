@@ -196,7 +196,8 @@ mod tests {
     #[test]
     fn epsilon_ordering_matches_paper() {
         // eps_s ≈ 1e-7, eps_d ≈ 1e-16 (Section 3.2.1 notation).
-        assert!(f32::EPSILON as f64 > 1e-8 && (f32::EPSILON as f64) < 1e-6);
-        assert!(f64::EPSILON > 1e-17 && f64::EPSILON < 1e-15);
+        let (eps_s, eps_d) = (f32::EPSILON as f64, f64::EPSILON);
+        assert!(eps_s > 1e-8 && eps_s < 1e-6);
+        assert!(eps_d > 1e-17 && eps_d < 1e-15);
     }
 }

@@ -147,7 +147,8 @@ pub const INCLUDE_MAPPINGS: &[(&str, &str)] = &[
 /// CUDA namespace prefixes: an identifier starting with one of these that
 /// has no mapping is reported as unsupported. (Plain `cu`/NCCL symbols are
 /// excluded: NCCL is source-compatible with RCCL.)
-const CUDA_PREFIXES: &[&str] = &["cuda", "cublas", "cufft", "curand", "cutensor", "CUFFT_", "CUBLAS_", "CURAND_", "CUTENSOR_"];
+const CUDA_PREFIXES: &[&str] =
+    &["cuda", "cublas", "cufft", "curand", "cutensor", "CUFFT_", "CUBLAS_", "CURAND_", "CUTENSOR_"];
 
 fn is_ident_char(c: char) -> bool {
     c.is_ascii_alphanumeric() || c == '_'
@@ -224,8 +225,7 @@ fn rewrite_kernel_launches(src: &str) -> (String, usize) {
     while let Some(pos) = rest.find("<<<") {
         let before = &rest[..pos];
         // The kernel name is the identifier ending `before`.
-        let name_start =
-            before.rfind(|c: char| !is_ident_char(c)).map(|p| p + 1).unwrap_or(0);
+        let name_start = before.rfind(|c: char| !is_ident_char(c)).map(|p| p + 1).unwrap_or(0);
         let prefix = &before[..name_start];
         let kernel_name = &before[name_start..];
         let body = &rest[pos + 3..];
@@ -344,20 +344,14 @@ mod tests {
     fn kernel_launch_rewritten() {
         let src = "pad_kernel<<<grid, block>>>(dst, src, n);";
         let r = hipify_source(src);
-        assert_eq!(
-            r.source,
-            "hipLaunchKernelGGL(pad_kernel, grid, block, 0, 0, dst, src, n);"
-        );
+        assert_eq!(r.source, "hipLaunchKernelGGL(pad_kernel, grid, block, 0, 0, dst, src, n);");
     }
 
     #[test]
     fn kernel_launch_with_shmem_and_stream() {
         let src = "k<<<dim3(gx,gy), 256, shmem, stream>>>(a, b);";
         let r = hipify_source(src);
-        assert_eq!(
-            r.source,
-            "hipLaunchKernelGGL(k, dim3(gx,gy), 256, shmem, stream, a, b);"
-        );
+        assert_eq!(r.source, "hipLaunchKernelGGL(k, dim3(gx,gy), 256, shmem, stream, a, b);");
     }
 
     #[test]

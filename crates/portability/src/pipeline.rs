@@ -98,11 +98,7 @@ impl Default for HipifyPipeline {
 impl HipifyPipeline {
     /// Empty pipeline.
     pub fn new() -> Self {
-        HipifyPipeline {
-            sources: HashMap::new(),
-            fallbacks: HashMap::new(),
-            cache: HashMap::new(),
-        }
+        HipifyPipeline { sources: HashMap::new(), fallbacks: HashMap::new(), cache: HashMap::new() }
     }
 
     /// The FFTMatvec application tree: all maintained CUDA sources plus
@@ -219,7 +215,11 @@ mod tests {
         assert_eq!(arts.len(), 6);
         for a in &arts {
             assert_eq!(a.replacements, 0, "{}", a.name);
-            assert!(a.source.contains("cuda") || a.source.contains("cublas") || a.source.contains("nccl"));
+            assert!(
+                a.source.contains("cuda")
+                    || a.source.contains("cublas")
+                    || a.source.contains("nccl")
+            );
         }
     }
 

@@ -9,9 +9,8 @@ use proptest::prelude::*;
 /// Strategy: a random CUDA-ish source assembled from mapped API calls,
 /// unrelated identifiers, and kernel launches.
 fn cuda_source() -> impl Strategy<Value = String> {
-    let mapped = prop::sample::select(
-        API_MAPPINGS.iter().map(|(c, _)| c.to_string()).collect::<Vec<_>>(),
-    );
+    let mapped =
+        prop::sample::select(API_MAPPINGS.iter().map(|(c, _)| c.to_string()).collect::<Vec<_>>());
     let ident = "[a-z][a-z0-9_]{0,8}".prop_map(|s| s);
     let stmt = prop_oneof![
         mapped.clone().prop_map(|api| format!("{api}(arg0, arg1);")),

@@ -44,10 +44,7 @@ fn main() {
         kernels_cuda::COMPLEX_PERMUTE_FALLBACK,
     );
     let fixed = bare.build_one("complex_permute.cu", Backend::Hip).unwrap();
-    println!(
-        "with fallback: builds, custom kernel spliced ({} rewrites)",
-        fixed.replacements
-    );
+    println!("with fallback: builds, custom kernel spliced ({} rewrites)", fixed.replacements);
     println!();
 
     // Editing a CUDA source re-triggers hipification of just that unit.

@@ -31,8 +31,8 @@ fn main() {
             }
         }
     }
-    let op = fftmatvec::core::BlockToeplitzOperator::from_first_block_column(nd, nm, nt, &col)
-        .unwrap();
+    let op =
+        fftmatvec::core::BlockToeplitzOperator::from_first_block_column(nd, nm, nt, &col).unwrap();
 
     // Source signals: bursts on two channels, silence elsewhere.
     let mut sources = vec![0.0; nm * nt];
@@ -92,11 +92,9 @@ fn main() {
     println!("CG deconvolution after {iters} iterations: source rel error {recovery:.3}");
 
     // Channel-activity detection: energy per source channel.
-    let energy = |sig: &[f64], k: usize| -> f64 {
-        (0..nt).map(|t| sig[t * nm + k] * sig[t * nm + k]).sum()
-    };
-    let mut ranked: Vec<(usize, f64)> =
-        (0..nm).map(|k| (k, energy(&est, k))).collect();
+    let energy =
+        |sig: &[f64], k: usize| -> f64 { (0..nt).map(|t| sig[t * nm + k] * sig[t * nm + k]).sum() };
+    let mut ranked: Vec<(usize, f64)> = (0..nm).map(|k| (k, energy(&est, k))).collect();
     ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
     println!(
         "most active recovered channels: {:?} (truth: channels 1 and 3)",

@@ -39,10 +39,12 @@ fn main() {
         let time = simulate_phases(timing_dims, cfg, false, &dev).total();
         points.push(ParetoPoint { config: cfg, time, rel_error });
     }
-    let baseline_time =
-        points.iter().find(|p| p.config.is_all_double()).unwrap().time;
+    let baseline_time = points.iter().find(|p| p.config.is_all_double()).unwrap().time;
 
-    println!("Pareto front on {} (32 configs; time modeled at N_m=5000/N_d=100/N_t=1000,", dev.name);
+    println!(
+        "Pareto front on {} (32 configs; time modeled at N_m=5000/N_d=100/N_t=1000,",
+        dev.name
+    );
     println!("errors measured at N_m={nm}/N_d={nd}/N_t={nt}):");
     println!();
     for p in pareto_front(&points) {

@@ -47,10 +47,7 @@ fn main() {
             .collect::<Vec<_>>()
     );
     println!("expected information gain: {:.3} nats", lr.expected_information_gain());
-    println!(
-        "mean posterior/prior variance ratio: {:.3}",
-        lr.mean_variance_reduction(prior_std)
-    );
+    println!("mean posterior/prior variance ratio: {:.3}", lr.mean_variance_reduction(prior_std));
     println!();
 
     // Pointwise posterior std-dev map at t = 0: an ASCII heat map of how
@@ -79,8 +76,7 @@ fn main() {
     // Sanity: the best-constrained location must be near the sensor line.
     let best = (0..n)
         .min_by(|&a, &b| {
-            lr.posterior_variance(prior_std, a)
-                .total_cmp(&lr.posterior_variance(prior_std, b))
+            lr.posterior_variance(prior_std, a).total_cmp(&lr.posterior_variance(prior_std, b))
         })
         .unwrap();
     let (bx, by) = (best % nx, best / nx);

@@ -52,8 +52,5 @@ fn main() {
     // And the fastest/least accurate end of the spectrum.
     mv.set_config(PrecisionConfig::all_single());
     let d_single = mv.apply_forward(&m);
-    println!(
-        "all-single (sssss) relative error vs double:   {:.2e}",
-        rel_l2_error(&d_single, &d)
-    );
+    println!("all-single (sssss) relative error vs double:   {:.2e}", rel_l2_error(&d_single, &d));
 }

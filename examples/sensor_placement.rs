@@ -20,10 +20,8 @@ fn main() {
     let sys = HeatEquation1D::new(nx, 0.02, 0.25);
 
     // Candidate rack positions along the domain.
-    let candidates: Vec<SensorCandidate> = [4usize, 12, 20, 24, 28, 36, 44]
-        .iter()
-        .map(|&index| SensorCandidate { index })
-        .collect();
+    let candidates: Vec<SensorCandidate> =
+        [4usize, 12, 20, 24, 28, 36, 44].iter().map(|&index| SensorCandidate { index }).collect();
     let budget = 3;
     let (noise_std, prior_std) = (0.05, 1.0);
 
@@ -38,16 +36,9 @@ fn main() {
         ("mixed  (dssdd)", PrecisionConfig::optimal_forward()),
     ] {
         let t0 = std::time::Instant::now();
-        let result = greedy_sensor_placement(
-            &sys,
-            &candidates,
-            budget,
-            nt,
-            noise_std,
-            prior_std,
-            cfg,
-        )
-        .expect("placement");
+        let result =
+            greedy_sensor_placement(&sys, &candidates, budget, nt, noise_std, prior_std, cfg)
+                .expect("placement");
         let wall = t0.elapsed();
         println!("{label}:");
         println!("  chosen sensors (grid indices): {:?}", result.chosen);

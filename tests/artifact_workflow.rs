@@ -54,10 +54,7 @@ fn thirty_two_config_sweep_selects_dssdd_at_1e7() {
     // SBGEMV/FFT gain (almost) nothing — the paper's "off the front"
     // observation. Compare sdddd to the baseline.
     let base_t = points.iter().find(|p| p.config.is_all_double()).unwrap().time;
-    let sd = points
-        .iter()
-        .find(|p| p.config.to_string() == "sdddd")
-        .unwrap();
+    let sd = points.iter().find(|p| p.config.to_string() == "sdddd").unwrap();
     assert!(base_t / sd.time < 1.05, "pad-only speedup should be negligible");
 }
 

@@ -33,9 +33,8 @@ fn fft_direct_and_dense_all_agree() {
 
     let rows = nd * nt;
     let cols = nm * nt;
-    let want: Vec<f64> = (0..rows)
-        .map(|i| (0..cols).map(|j| dense[i * cols + j] * m[j]).sum())
-        .collect();
+    let want: Vec<f64> =
+        (0..rows).map(|i| (0..cols).map(|j| dense[i * cols + j] * m[j]).sum()).collect();
 
     let direct = DirectMatvec::new(&op).apply_forward(&m);
     assert!(rel_l2_error(&direct, &want) < 1e-13, "direct vs dense");
@@ -56,19 +55,12 @@ fn distributed_equals_single_rank_for_every_config_on_a_grid() {
 
     for cfg_str in ["ddddd", "dssdd", "dssds", "sssss"] {
         let cfg: PrecisionConfig = cfg_str.parse().unwrap();
-        let single = DistributedFftMatvec::from_global(
-            nd,
-            nm,
-            nt,
-            &col,
-            ProcessGrid::single(),
-            cfg,
-        )
-        .unwrap();
-        let reference = single.apply_forward(&m);
-        let dist =
-            DistributedFftMatvec::from_global(nd, nm, nt, &col, ProcessGrid::new(2, 3), cfg)
+        let single =
+            DistributedFftMatvec::from_global(nd, nm, nt, &col, ProcessGrid::single(), cfg)
                 .unwrap();
+        let reference = single.apply_forward(&m);
+        let dist = DistributedFftMatvec::from_global(nd, nm, nt, &col, ProcessGrid::new(2, 3), cfg)
+            .unwrap();
         let got = dist.apply_forward(&m);
         // Partitioned execution reorders the floating-point reductions, so
         // results agree to the precision of the configuration, not bitwise.

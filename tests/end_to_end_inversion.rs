@@ -89,14 +89,24 @@ fn distributed_hessian_matches_single_rank() {
     let (nd, nm, nt) = (4usize, 24usize, 16usize);
     let col = p2o.operator.first_col().to_vec();
 
-    let single =
-        DistributedFftMatvec::from_global(nd, nm, nt, &col, ProcessGrid::single(),
-            PrecisionConfig::all_double())
-        .unwrap();
-    let dist =
-        DistributedFftMatvec::from_global(nd, nm, nt, &col, ProcessGrid::new(2, 4),
-            PrecisionConfig::all_double())
-        .unwrap();
+    let single = DistributedFftMatvec::from_global(
+        nd,
+        nm,
+        nt,
+        &col,
+        ProcessGrid::single(),
+        PrecisionConfig::all_double(),
+    )
+    .unwrap();
+    let dist = DistributedFftMatvec::from_global(
+        nd,
+        nm,
+        nt,
+        &col,
+        ProcessGrid::new(2, 4),
+        PrecisionConfig::all_double(),
+    )
+    .unwrap();
 
     let v: Vec<f64> = (0..nm * nt).map(|i| ((i * 37 % 101) as f64) / 101.0 - 0.5).collect();
     let h_single = single.apply_adjoint(&single.apply_forward(&v));

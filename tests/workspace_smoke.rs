@@ -1,0 +1,109 @@
+//! Workspace smoke test: one tiny end-to-end matvec per precision
+//! configuration, checked against the direct (non-FFT) reference and the
+//! paper's first-order error bound (Eq. 6).
+//!
+//! This is the fastest whole-stack sanity check in the tree: if the crate
+//! DAG wires up, the pipeline runs, and the mixed-precision error model
+//! orders configurations the way Section 3.2.1 predicts, this passes in
+//! milliseconds.
+
+use fftmatvec::core::error_analysis::{condition_estimate, error_bound, BoundParams};
+use fftmatvec::core::{BlockToeplitzOperator, DirectMatvec, FftMatvec, PrecisionConfig};
+use fftmatvec::numeric::vecmath::rel_l2_error;
+use fftmatvec::numeric::SplitMix64;
+
+const ND: usize = 3;
+const NM: usize = 24;
+const NT: usize = 12;
+
+/// Paper-style workload: positive uniform operator entries and a
+/// mantissa-stuffed input vector, so every single-precision phase
+/// provably loses bits (Section 4.2.1).
+fn make_operator() -> BlockToeplitzOperator {
+    let mut rng = SplitMix64::new(0xBEEF);
+    let mut col = vec![0.0; NT * ND * NM];
+    rng.fill_uniform(&mut col, 0.0, 1.0);
+    BlockToeplitzOperator::from_first_block_column(ND, NM, NT, &col).unwrap()
+}
+
+fn stuffed_input() -> Vec<f64> {
+    let mut rng = SplitMix64::new(0xF00D);
+    let mut m = vec![0.0; NM * NT];
+    rng.fill_uniform_stuffed(&mut m, 0.0, 1.0);
+    m
+}
+
+fn forward_error(cfg: PrecisionConfig, reference: &[f64], m: &[f64]) -> f64 {
+    let mv = FftMatvec::new(make_operator(), cfg);
+    let d = mv.apply_forward(m);
+    assert_eq!(d.len(), ND * NT, "forward output length for {cfg:?}");
+    assert!(d.iter().all(|v| v.is_finite()), "non-finite output for {cfg:?}");
+    rel_l2_error(&d, reference)
+}
+
+#[test]
+fn matvec_per_precision_config_and_eq6_ordering() {
+    let op = make_operator();
+    let m = stuffed_input();
+    let reference = DirectMatvec::new(&op).apply_forward(&m);
+
+    let all_double = PrecisionConfig::all_double();
+    let all_single = PrecisionConfig::all_single();
+    let mixed = PrecisionConfig::optimal_forward(); // dssdd
+
+    let err_double = forward_error(all_double, &reference, &m);
+    let err_single = forward_error(all_single, &reference, &m);
+    let err_mixed = forward_error(mixed, &reference, &m);
+
+    // Observed ordering from Eq. 6: double ≪ {mixed, single}, and the
+    // mixed optimum must not be meaningfully worse than all-single (both
+    // are dominated by the single-precision SBGEMV term ε₃·n_m).
+    assert!(
+        err_double < err_mixed,
+        "all-double ({err_double:.3e}) should beat mixed ({err_mixed:.3e})"
+    );
+    assert!(
+        err_double * 100.0 < err_single,
+        "single ({err_single:.3e}) must lose ≫ bits vs double ({err_double:.3e})"
+    );
+    assert!(
+        err_mixed <= err_single * 4.0,
+        "mixed ({err_mixed:.3e}) should track all-single ({err_single:.3e})"
+    );
+
+    // Eq. 6 evaluated per configuration: the bound itself must order the
+    // configurations, and every observed error must sit below its bound.
+    let params =
+        BoundParams { nt: NT, n_local: NM, reduce_ranks: 1, kappa: condition_estimate(&op, 1) };
+    let bound_double = error_bound(all_double, &params).total;
+    let bound_single = error_bound(all_single, &params).total;
+    let bound_mixed = error_bound(mixed, &params).total;
+
+    assert!(
+        bound_double < bound_mixed && bound_mixed < bound_single,
+        "Eq. 6 must order the bounds: {bound_double:.3e} < {bound_mixed:.3e} < {bound_single:.3e}"
+    );
+    for (name, err, bound) in [
+        ("all_double", err_double, bound_double),
+        ("all_single", err_single, bound_single),
+        ("mixed dssdd", err_mixed, bound_mixed),
+    ] {
+        assert!(err <= bound, "{name}: observed {err:.3e} exceeds Eq. 6 bound {bound:.3e}");
+    }
+}
+
+#[test]
+fn adjoint_runs_in_every_precision_family() {
+    let d = stuffed_input()[..ND * NT].to_vec();
+
+    for cfg in [
+        PrecisionConfig::all_double(),
+        PrecisionConfig::all_single(),
+        PrecisionConfig::optimal_adjoint(), // ddssd
+    ] {
+        let mv = FftMatvec::new(make_operator(), cfg);
+        let out = mv.apply_adjoint(&d);
+        assert_eq!(out.len(), NM * NT, "adjoint output length for {cfg:?}");
+        assert!(out.iter().all(|v| v.is_finite()), "non-finite adjoint for {cfg:?}");
+    }
+}

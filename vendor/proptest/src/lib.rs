@@ -1,0 +1,773 @@
+//! Offline stand-in for the subset of the [`proptest`] API this workspace
+//! uses.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors
+//! this shim as a path dependency named `proptest`. It keeps the public
+//! surface the test suites consume — the [`proptest!`] macro with
+//! `#![proptest_config(..)]`, `prop_assert!`/`prop_assert_eq!`/
+//! `prop_assert_ne!`/`prop_assume!`, [`Strategy`] with `prop_map`/
+//! `prop_filter`, range and tuple strategies, regex-literal string
+//! strategies, `prop::collection::vec`, `prop::sample::select`,
+//! `prop::num::f64::NORMAL`, and [`prop_oneof!`] — implemented over a
+//! deterministic SplitMix64 generator.
+//!
+//! Differences from the real crate: no shrinking (a failing case reports
+//! the generated inputs verbatim), no persistence files, and a fixed
+//! per-test seed (override with `PROPTEST_SEED=<u64>`), which makes runs
+//! reproducible in CI by default.
+//!
+//! [`proptest`]: https://docs.rs/proptest
+
+pub mod test_runner {
+    /// Per-test configuration; only the knobs the workspace touches.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases each test must pass.
+        pub cases: u32,
+        /// Upper bound on `prop_assume!` rejections before the run aborts
+        /// as under-constrained. (`prop_filter` has its own fixed retry
+        /// cap of 1000 consecutive draws, independent of this knob.)
+        pub max_global_rejects: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases, ..Default::default() }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256, max_global_rejects: 65_536 }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// An assertion failed; the test as a whole fails.
+        Fail(String),
+        /// `prop_assume!` rejected the inputs; the case is re-drawn.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Deterministic SplitMix64 stream seeded per test (name-hashed), so
+    /// failures reproduce across runs and machines.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn deterministic(test_name: &str) -> Self {
+            let mut seed: u64 = std::env::var("PROPTEST_SEED")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0x5EED_F00D_CAFE_D00D);
+            for b in test_name.bytes() {
+                seed = seed.wrapping_mul(0x100_0000_01B3).wrapping_add(b as u64);
+            }
+            TestRng { state: seed }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, 1)` with 53 random mantissa bits.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform in `[0, bound)`; `bound == 0` yields 0.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            if bound == 0 {
+                0
+            } else {
+                self.next_u64() % bound
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::rc::Rc;
+
+    /// Value generator. Unlike the real crate there is no value tree or
+    /// shrinking: `generate` draws one value per case.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_filter<F>(self, whence: impl Into<String>, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter { inner: self, whence: whence.into(), f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+    }
+
+    /// Type-erased, cheaply clonable strategy (used by [`prop_oneof!`]).
+    ///
+    /// [`prop_oneof!`]: crate::prop_oneof
+    pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate(rng)
+        }
+    }
+
+    /// `prop_map` adapter.
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// `prop_filter` adapter: redraws until the predicate accepts (bounded).
+    #[derive(Clone)]
+    pub struct Filter<S, F> {
+        inner: S,
+        whence: String,
+        f: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1_000 {
+                let v = self.inner.generate(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter({:?}) rejected 1000 consecutive draws", self.whence);
+        }
+    }
+
+    /// Strategy producing one fixed value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between type-erased alternatives ([`prop_oneof!`]).
+    ///
+    /// [`prop_oneof!`]: crate::prop_oneof
+    #[derive(Clone)]
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u128).wrapping_sub(self.start as u128);
+                    let draw = ((rng.next_u64() as u128) % span) as $t;
+                    self.start.wrapping_add(draw)
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as u128).wrapping_sub(lo as u128).wrapping_add(1);
+                    let draw = ((rng.next_u64() as u128) % span) as $t;
+                    lo.wrapping_add(draw)
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! signed_range_strategy {
+        ($($t:ty => $u:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let draw = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + draw as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128 + 1) as u128;
+                    let draw = (rng.next_u64() as u128) % span;
+                    (lo as i128 + draw as i128) as $t
+                }
+            }
+        )*};
+    }
+    signed_range_strategy!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let u = rng.next_f64() as $t;
+                    let v = self.start + u * (self.end - self.start);
+                    // Rounding in the cast/FMA above can land exactly on
+                    // the excluded upper bound; fall back to the (always
+                    // in-range) start rather than violate the contract.
+                    if v < self.end {
+                        v
+                    } else {
+                        self.start
+                    }
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    let u = rng.next_f64() as $t;
+                    lo + u * (hi - lo)
+                }
+            }
+        )*};
+    }
+    float_range_strategy!(f32, f64);
+
+    /// String-literal strategies: the pattern is interpreted as the small
+    /// regex dialect the suites use — literals, `[a-z0-9_]` classes (with
+    /// ranges), and `{n}` / `{n,m}` / `?` / `*` / `+` quantifiers.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            generate_from_pattern(self, rng)
+        }
+    }
+
+    fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            // One atom: a character class or a literal char.
+            let atom: Vec<char> = if chars[i] == '[' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed [ in pattern {pattern:?}"));
+                let class = expand_class(&chars[i + 1..i + close]);
+                i += close + 1;
+                class
+            } else {
+                let c = if chars[i] == '\\' {
+                    i += 1;
+                    *chars
+                        .get(i)
+                        .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"))
+                } else {
+                    chars[i]
+                };
+                i += 1;
+                vec![c]
+            };
+
+            // Optional quantifier.
+            let (min, max) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern:?}"));
+                let body: String = chars[i + 1..i + close].iter().collect();
+                i += close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => {
+                        (lo.trim().parse::<usize>().unwrap(), hi.trim().parse::<usize>().unwrap())
+                    }
+                    None => {
+                        let n = body.trim().parse::<usize>().unwrap();
+                        (n, n)
+                    }
+                }
+            } else if i < chars.len() && (chars[i] == '?' || chars[i] == '*' || chars[i] == '+') {
+                let q = chars[i];
+                i += 1;
+                match q {
+                    '?' => (0, 1),
+                    '*' => (0, 8),
+                    _ => (1, 8),
+                }
+            } else {
+                (1, 1)
+            };
+
+            let count = min + rng.below((max - min + 1) as u64) as usize;
+            for _ in 0..count {
+                let k = rng.below(atom.len() as u64) as usize;
+                out.push(atom[k]);
+            }
+        }
+        out
+    }
+
+    fn expand_class(body: &[char]) -> Vec<char> {
+        let mut set = Vec::new();
+        let mut i = 0;
+        while i < body.len() {
+            if i + 2 < body.len() && body[i + 1] == '-' {
+                let (lo, hi) = (body[i] as u32, body[i + 2] as u32);
+                for c in lo..=hi {
+                    set.push(char::from_u32(c).unwrap());
+                }
+                i += 3;
+            } else {
+                set.push(body[i]);
+                i += 1;
+            }
+        }
+        assert!(!set.is_empty(), "empty character class");
+        set
+    }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+}
+
+/// The `prop::` namespace (`prop::collection`, `prop::sample`, `prop::num`).
+pub mod prop {
+    pub mod collection {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+
+        /// Length specification for [`vec`]: an exact `usize`, `lo..hi`,
+        /// or `lo..=hi`.
+        #[derive(Debug, Clone, Copy)]
+        pub struct SizeRange {
+            min: usize,
+            max_inclusive: usize,
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                SizeRange { min: n, max_inclusive: n }
+            }
+        }
+        impl From<std::ops::Range<usize>> for SizeRange {
+            fn from(r: std::ops::Range<usize>) -> Self {
+                assert!(r.start < r.end, "empty size range");
+                SizeRange { min: r.start, max_inclusive: r.end - 1 }
+            }
+        }
+        impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+            fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+                SizeRange { min: *r.start(), max_inclusive: *r.end() }
+            }
+        }
+
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S: Clone> Clone for VecStrategy<S> {
+            fn clone(&self) -> Self {
+                VecStrategy { element: self.element.clone(), size: self.size }
+            }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let span = self.size.max_inclusive - self.size.min + 1;
+                let len = self.size.min + rng.below(span as u64) as usize;
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// `prop::collection::vec(element, size)`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy { element, size: size.into() }
+        }
+    }
+
+    pub mod sample {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+
+        /// Uniform choice from a fixed set (`prop::sample::select`).
+        #[derive(Debug, Clone)]
+        pub struct Select<T: Clone> {
+            options: Vec<T>,
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+            fn generate(&self, rng: &mut TestRng) -> T {
+                let i = rng.below(self.options.len() as u64) as usize;
+                self.options[i].clone()
+            }
+        }
+
+        pub fn select<T: Clone>(options: impl Into<Vec<T>>) -> Select<T> {
+            let options = options.into();
+            assert!(!options.is_empty(), "select from empty set");
+            Select { options }
+        }
+    }
+
+    pub mod num {
+        pub mod f64 {
+            use crate::strategy::Strategy;
+            use crate::test_runner::TestRng;
+
+            /// Strategy for normal (non-zero, non-subnormal, finite) f64
+            /// values of either sign, log-uniform over the exponent range.
+            #[derive(Debug, Clone, Copy)]
+            pub struct NormalStrategy;
+
+            /// `prop::num::f64::NORMAL`.
+            pub const NORMAL: NormalStrategy = NormalStrategy;
+
+            impl Strategy for NormalStrategy {
+                type Value = f64;
+                fn generate(&self, rng: &mut TestRng) -> f64 {
+                    let sign = if rng.next_u64() & 1 == 0 { 1.0 } else { -1.0 };
+                    let exp = rng.below(2045) as i32 - 1022; // [-1022, 1022]
+                    let mantissa = 1.0 + rng.next_f64(); // [1, 2)
+                    sign * mantissa * (exp as f64).exp2()
+                }
+            }
+        }
+    }
+}
+
+/// Everything a test file needs via `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        // `match` instead of `if !cond` keeps clippy's negated-comparison
+        // lints quiet inside test bodies.
+        match $cond {
+            true => {}
+            false => {
+                return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                    format!("assertion failed: {} at {}:{}", stringify!($cond), file!(), line!()),
+                ));
+            }
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        match $cond {
+            true => {}
+            false => {
+                return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                    format!("{} at {}:{}", format!($($fmt)*), file!(), line!()),
+                ));
+            }
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::fail(format!(
+                            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}` at {}:{}",
+                            __l, __r, file!(), line!()
+                        )),
+                    );
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::fail(format!(
+                            "{}: `{:?}` != `{:?}` at {}:{}",
+                            format!($($fmt)*), __l, __r, file!(), line!()
+                        )),
+                    );
+                }
+            }
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if *__l == *__r {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!(
+                            "assertion failed: `left != right` (both `{:?}`) at {}:{}",
+                            __l,
+                            file!(),
+                            line!()
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        match $cond {
+            true => {}
+            false => {
+                return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                    stringify!($cond),
+                ));
+            }
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// The test-definition macro. Each `fn name(pat in strategy, ..) { body }`
+/// becomes a `#[test]` that draws `config.cases` accepted inputs and runs
+/// the body, which may early-return via the `prop_*` assertion macros.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strategy:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $config;
+            let mut __rng = $crate::test_runner::TestRng::deterministic(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            let mut __accepted: u32 = 0;
+            let mut __rejected: u32 = 0;
+            while __accepted < __config.cases {
+                let __values = ($($crate::strategy::Strategy::generate(&($strategy), &mut __rng),)*);
+                let __desc = format!("{:?}", &__values);
+                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        #[allow(unused_parens, irrefutable_let_patterns)]
+                        let ($($pat,)*) = __values;
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                match __outcome {
+                    ::std::result::Result::Ok(()) => __accepted += 1,
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                        __rejected += 1;
+                        if __rejected > __config.max_global_rejects {
+                            panic!(
+                                "proptest {}: too many prop_assume! rejections ({})",
+                                stringify!($name), __rejected
+                            );
+                        }
+                    }
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(__msg)) => {
+                        panic!(
+                            "proptest {} failed after {} passing case(s)\n  {}\n  inputs: {}",
+                            stringify!($name), __accepted, __msg, __desc
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items!(($config) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_are_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::deterministic("ranges");
+        for _ in 0..1_000 {
+            let x = Strategy::generate(&(-3.0f64..7.0), &mut rng);
+            assert!((-3.0..7.0).contains(&x));
+            let n = Strategy::generate(&(1usize..9), &mut rng);
+            assert!((1..9).contains(&n));
+            let s = Strategy::generate(&(0u64..u64::MAX), &mut rng);
+            let _ = s;
+        }
+    }
+
+    #[test]
+    fn regex_patterns_generate_identifiers() {
+        let mut rng = crate::test_runner::TestRng::deterministic("regex");
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-z][a-z0-9_]{0,8}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 9);
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn oneof_select_vec_compose() {
+        let mut rng = crate::test_runner::TestRng::deterministic("compose");
+        let strat = prop::collection::vec(
+            prop_oneof![
+                prop::sample::select(vec!["a".to_string(), "b".to_string()]),
+                "[x-z]{2}".prop_map(|s| s),
+            ],
+            1..5,
+        );
+        for _ in 0..100 {
+            let v = Strategy::generate(&strat, &mut rng);
+            assert!(!v.is_empty() && v.len() < 5);
+            for s in v {
+                assert!(s == "a" || s == "b" || s.chars().all(|c| ('x'..='z').contains(&c)));
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_roundtrip(x in -10.0f64..10.0, n in 0usize..16) {
+            prop_assume!(n != 3);
+            prop_assert!(x.abs() <= 10.0);
+            prop_assert_eq!(n, n, "identity must hold for {}", n);
+            prop_assert_ne!(n, 3);
+        }
+    }
+}

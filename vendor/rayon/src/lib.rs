@@ -1,0 +1,165 @@
+//! Sequential, dependency-free stand-in for the subset of [`rayon`]'s API
+//! this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors this shim as a path dependency named `rayon`. Every `par_*`
+//! adapter simply returns the corresponding standard-library iterator, so
+//! call sites type-check and run with identical semantics, just without
+//! work-stealing parallelism. Swapping in the real `rayon` is a one-line
+//! change in the root `Cargo.toml` (`[workspace.dependencies]`) and
+//! requires no source edits.
+//!
+//! [`rayon`]: https://docs.rs/rayon
+
+pub mod iter {
+    /// Mirror of `rayon::iter::ParallelIterator`, satisfied by every
+    /// standard iterator so generic bounds written against rayon compile
+    /// unchanged.
+    pub trait ParallelIterator: Iterator {
+        /// Sequential `for_each_init`: one `init()` value reused across
+        /// the whole iteration (rayon builds one per work-stealing split).
+        fn for_each_init<T, INIT, F>(self, init: INIT, op: F)
+        where
+            Self: Sized,
+            INIT: Fn() -> T,
+            F: Fn(&mut T, Self::Item),
+        {
+            let mut state = init();
+            for item in self {
+                op(&mut state, item);
+            }
+        }
+    }
+    impl<I: Iterator> ParallelIterator for I {}
+
+    /// Mirror of `rayon::iter::IntoParallelIterator`; `into_par_iter`
+    /// degrades to `into_iter`.
+    pub trait IntoParallelIterator {
+        type Iter: Iterator<Item = Self::Item>;
+        type Item;
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Iter = I::IntoIter;
+        type Item = I::Item;
+        fn into_par_iter(self) -> I::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    /// Mirror of `rayon::iter::IntoParallelRefIterator` (`par_iter`).
+    pub trait IntoParallelRefIterator<'data> {
+        type Iter: Iterator<Item = Self::Item>;
+        type Item: 'data;
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, I: 'data + ?Sized> IntoParallelRefIterator<'data> for I
+    where
+        &'data I: IntoIterator,
+    {
+        type Iter = <&'data I as IntoIterator>::IntoIter;
+        type Item = <&'data I as IntoIterator>::Item;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// Mirror of `rayon::iter::IntoParallelRefMutIterator` (`par_iter_mut`).
+    pub trait IntoParallelRefMutIterator<'data> {
+        type Iter: Iterator<Item = Self::Item>;
+        type Item: 'data;
+        fn par_iter_mut(&'data mut self) -> Self::Iter;
+    }
+
+    impl<'data, I: 'data + ?Sized> IntoParallelRefMutIterator<'data> for I
+    where
+        &'data mut I: IntoIterator,
+    {
+        type Iter = <&'data mut I as IntoIterator>::IntoIter;
+        type Item = <&'data mut I as IntoIterator>::Item;
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}
+
+pub mod slice {
+    /// Mirror of `rayon::slice::ParallelSlice`.
+    pub trait ParallelSlice<T> {
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+        fn par_chunks_exact(&self, chunk_size: usize) -> std::slice::ChunksExact<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk_size)
+        }
+        fn par_chunks_exact(&self, chunk_size: usize) -> std::slice::ChunksExact<'_, T> {
+            self.chunks_exact(chunk_size)
+        }
+    }
+
+    /// Mirror of `rayon::slice::ParallelSliceMut`.
+    pub trait ParallelSliceMut<T> {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+        fn par_chunks_exact_mut(&mut self, chunk_size: usize) -> std::slice::ChunksExactMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+        fn par_chunks_exact_mut(&mut self, chunk_size: usize) -> std::slice::ChunksExactMut<'_, T> {
+            self.chunks_exact_mut(chunk_size)
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::iter::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelIterator,
+    };
+    pub use crate::slice::{ParallelSlice, ParallelSliceMut};
+}
+
+/// Sequential `rayon::join`: runs both closures on the current thread.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (oper_a(), oper_b())
+}
+
+/// Reports the hardware parallelism the real rayon pool would use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn adapters_match_std() {
+        let v = vec![1i32, 2, 3, 4];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+
+        let mut out = vec![0i32; 4];
+        out.par_iter_mut().enumerate().for_each(|(i, o)| *o = i as i32);
+        assert_eq!(out, vec![0, 1, 2, 3]);
+
+        let chunks: Vec<&[i32]> = v.par_chunks_exact(2).collect();
+        assert_eq!(chunks, vec![&[1, 2][..], &[3, 4][..]]);
+
+        let sum: i32 = (0..10).into_par_iter().sum();
+        assert_eq!(sum, 45);
+
+        let (a, b) = crate::join(|| 1, || 2);
+        assert_eq!((a, b), (1, 2));
+        assert!(crate::current_num_threads() >= 1);
+    }
+}
