@@ -3,7 +3,7 @@
 //! complex transforms, and batched throughput at FFTMatvec's sizes.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use fftmatvec_fft::{BatchedFft, BatchedRealFft, FftPlan, RealFftPlan};
+use fftmatvec_fft::{BatchedFft, BatchedRealFft, FftPlan, RealFftPlan, RecursiveFftPlan};
 use fftmatvec_numeric::{Complex, SplitMix64, C64};
 use std::hint::black_box;
 
@@ -25,6 +25,30 @@ fn bench_plan_strategies(c: &mut Criterion) {
         g.throughput(Throughput::Elements(n as u64));
         g.bench_with_input(BenchmarkId::new("forward", n), &n, |b, _| {
             b.iter(|| plan.forward(black_box(&x), &mut out, &mut scratch));
+        });
+    }
+    g.finish();
+}
+
+fn bench_engines(c: &mut Criterion) {
+    // The iterative Stockham engine against the seed recursive baseline —
+    // the same comparison bench_fft emits as BENCH_fft.json, here in the
+    // criterion harness for interactive runs.
+    let mut g = c.benchmark_group("fft_engine");
+    g.sample_size(20);
+    for n in [1024usize, 2000, 2048] {
+        let x = signal(n, n as u64);
+        let mut out = vec![Complex::zero(); n];
+        let plan = FftPlan::<f64>::new(n);
+        let mut scratch = vec![Complex::zero(); plan.scratch_len()];
+        g.bench_with_input(BenchmarkId::new("iterative", n), &n, |b, _| {
+            b.iter(|| plan.forward(black_box(&x), &mut out, &mut scratch));
+        });
+        let seed_plan = RecursiveFftPlan::<f64>::new(n);
+        g.bench_with_input(BenchmarkId::new("recursive", n), &n, |b, _| {
+            b.iter(|| {
+                seed_plan.process(black_box(&x), &mut out, fftmatvec_fft::FftDirection::Forward)
+            });
         });
     }
     g.finish();
@@ -106,6 +130,7 @@ fn bench_f32_vs_f64(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_plan_strategies,
+    bench_engines,
     bench_real_vs_complex,
     bench_batched,
     bench_f32_vs_f64

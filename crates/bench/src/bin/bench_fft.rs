@@ -1,0 +1,187 @@
+//! FFT engine benchmark with machine-readable output — the data source
+//! for `BENCH_fft.json` and the committed `bench/baseline.json` the CI
+//! `bench-smoke` job gates on.
+//!
+//! Times a single out-of-place complex transform (the unit of work both
+//! engines share) at the paper's sizes — `2·N_t` for
+//! `N_t ∈ {100, 250, 512, 1000}` plus the power-of-two neighbours — in
+//! both precisions, through:
+//!
+//! * `iterative` — the Stockham engine behind [`fftmatvec_fft::FftPlan`]
+//!   (plan pulled from the process-wide cache, exactly like the pipeline
+//!   call sites);
+//! * `recursive` — the seed's recursive engine
+//!   ([`fftmatvec_fft::RecursiveFftPlan`]), kept as the baseline the
+//!   speedup is measured against.
+//!
+//! Run: `cargo run --release -p fftmatvec-bench --bin bench_fft`
+//! Flags:
+//! * `-quick` — short samples (the CI smoke mode)
+//! * `-out <path>` — write the JSON document (default `BENCH_fft.json`)
+//! * `-check <path>` — compare against a baseline document; exits
+//!   non-zero on any iterative entry regressing past the tolerance
+//! * `-tol <x>` — regression budget for `-check` (default 1.25 = +25%)
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use fftmatvec_bench::benchjson::{self, BenchResult};
+use fftmatvec_bench::Args;
+use fftmatvec_fft::{cache, FftDirection, RecursiveFftPlan};
+use fftmatvec_numeric::{Complex, Real, SplitMix64};
+
+/// Paper transform sizes (`2·N_t`) plus power-of-two neighbours; all are
+/// mixed-radix-friendly so both engines can run them.
+const SIZES: [usize; 6] = [200, 500, 1024, 2000, 2048, 4096];
+
+/// Minimum nanoseconds per call of `f` over `samples` batches, after
+/// calibrating the batch size so one batch takes at least `sample_ms`.
+/// The minimum is the right statistic for a CPU microbenchmark gate:
+/// scheduler noise only ever adds time, so min-of-N converges to the
+/// true cost much faster than the median — which keeps the CI regression
+/// check stable on shared runners.
+/// Grow the batch size until one batch of `f` takes at least `sample_ms`.
+fn calibrate<F: FnMut()>(f: &mut F, sample_ms: f64) -> u64 {
+    let mut iters = 1u64;
+    loop {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let elapsed_ms = t.elapsed().as_secs_f64() * 1e3;
+        if elapsed_ms >= sample_ms || iters >= 1 << 22 {
+            return iters;
+        }
+        let grow = (sample_ms / elapsed_ms.max(1e-6)).ceil() as u64;
+        iters = iters.saturating_mul(grow.clamp(2, 16));
+    }
+}
+
+/// One timed batch, in nanoseconds per call.
+fn time_batch<F: FnMut()>(f: &mut F, iters: u64) -> f64 {
+    let t = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    t.elapsed().as_secs_f64() * 1e9 / iters as f64
+}
+
+/// Minimum ns/call for two routines, with their sample batches
+/// *interleaved* so both minima come from the same time windows — the
+/// regression gate compares the iterative/recursive ratio, and
+/// interleaving cancels machine-state drift (frequency scaling,
+/// background load) that sequential measurement would bake into it. The
+/// minimum is the right statistic for a CPU microbenchmark: scheduler
+/// noise only ever adds time, so min-of-N converges to the true cost
+/// much faster than the median.
+fn time_pair_ns<A: FnMut(), B: FnMut()>(
+    mut a: A,
+    mut b: B,
+    samples: usize,
+    sample_ms: f64,
+) -> (f64, f64) {
+    let ia = calibrate(&mut a, sample_ms);
+    let ib = calibrate(&mut b, sample_ms);
+    let (mut best_a, mut best_b) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..samples.max(3) {
+        best_a = best_a.min(time_batch(&mut a, ia));
+        best_b = best_b.min(time_batch(&mut b, ib));
+    }
+    (best_a, best_b)
+}
+
+/// Measure both engines at size `n` in precision `T`.
+fn measure_size<T: Real>(n: usize, samples: usize, sample_ms: f64, out: &mut Vec<BenchResult>) {
+    let precision = if T::BYTES == 4 { "f32" } else { "f64" };
+    let mut rng = SplitMix64::new(n as u64);
+    let x: Vec<Complex<T>> = (0..n)
+        .map(|_| {
+            Complex::new(T::from_f64(rng.uniform(-1.0, 1.0)), T::from_f64(rng.uniform(-1.0, 1.0)))
+        })
+        .collect();
+    let mut y = vec![Complex::<T>::zero(); n];
+    let mut y2 = vec![Complex::<T>::zero(); n];
+
+    let plan = cache::complex_plan::<T>(n);
+    let mut scratch = vec![Complex::<T>::zero(); plan.scratch_len()];
+    let seed_plan = RecursiveFftPlan::<T>::new(n);
+    let (iterative, recursive) = time_pair_ns(
+        || plan.process(black_box(&x), &mut y, &mut scratch, FftDirection::Forward),
+        || seed_plan.process(black_box(&x), &mut y2, FftDirection::Forward),
+        samples,
+        sample_ms,
+    );
+    for (engine, ns) in [("iterative", iterative), ("recursive", recursive)] {
+        out.push(BenchResult {
+            size: n,
+            precision: precision.into(),
+            engine: engine.into(),
+            ns_per_transform: ns,
+        });
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    let quick = args.has("quick");
+    let out_path: String = args.get("out", "BENCH_fft.json".to_string());
+    let check_path: String = args.get("check", String::new());
+    let tol: f64 = args.get("tol", 1.25);
+    let (samples, sample_ms) = if quick { (7, 10.0) } else { (15, 20.0) };
+    let mode = if quick { "quick" } else { "full" };
+
+    let mut results = Vec::new();
+    for &n in &SIZES {
+        measure_size::<f64>(n, samples, sample_ms, &mut results);
+        measure_size::<f32>(n, samples, sample_ms, &mut results);
+    }
+
+    // Human-readable view: engine comparison with speedups.
+    println!("FFT engine benchmark ({mode} mode) — ns per forward transform");
+    let header = format!(
+        "{:>6} | {:>5} | {:>12} | {:>12} | {:>8}",
+        "size", "prec", "iterative", "recursive", "speedup"
+    );
+    println!("{header}");
+    fftmatvec_bench::rule(header.len());
+    for &n in &SIZES {
+        for prec in ["f64", "f32"] {
+            let get = |engine: &str| {
+                results
+                    .iter()
+                    .find(|r| r.size == n && r.precision == prec && r.engine == engine)
+                    .map(|r| r.ns_per_transform)
+                    .unwrap_or(f64::NAN)
+            };
+            let (it, rec) = (get("iterative"), get("recursive"));
+            println!("{:>6} | {:>5} | {:>12.0} | {:>12.0} | {:>7.2}x", n, prec, it, rec, rec / it);
+        }
+    }
+
+    let doc = benchjson::format_document(mode, &results);
+    std::fs::write(&out_path, &doc).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    println!("\nwrote {out_path} ({} results)", results.len());
+
+    if !check_path.is_empty() {
+        let baseline_text = std::fs::read_to_string(&check_path)
+            .unwrap_or_else(|e| panic!("reading baseline {check_path}: {e}"));
+        let baseline = benchjson::parse_document(&baseline_text);
+        assert!(!baseline.is_empty(), "baseline {check_path} contains no results");
+        let gated = benchjson::gated_count(&baseline);
+        assert!(
+            gated > 0,
+            "baseline {check_path} gates nothing (no iterative+recursive pairs) — \
+             regenerate it with this binary"
+        );
+        let failures = benchjson::regressions(&results, &baseline, tol);
+        if failures.is_empty() {
+            println!("regression check vs {check_path}: OK ({gated} gated entries)");
+        } else {
+            eprintln!("regression check vs {check_path} FAILED:");
+            for f in &failures {
+                eprintln!("  {f}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

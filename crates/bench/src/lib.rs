@@ -88,6 +88,135 @@ pub fn ms(t: f64) -> String {
     format!("{:.3}", t * 1e3)
 }
 
+/// Machine-readable benchmark records: the `BENCH_fft.json` /
+/// `bench/baseline.json` format the CI `bench-smoke` job produces and
+/// gates on.
+///
+/// The format is deliberately line-oriented JSON — one result object per
+/// line — so it round-trips through this module's dependency-free parser
+/// (the build environment has no serde) while staying valid JSON for any
+/// downstream tooling.
+pub mod benchjson {
+    /// One measured data point.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct BenchResult {
+        /// Transform length.
+        pub size: usize,
+        /// `"f32"` or `"f64"`.
+        pub precision: String,
+        /// `"iterative"` (the Stockham engine) or `"recursive"` (the seed
+        /// baseline).
+        pub engine: String,
+        /// Best-case (min-of-samples) wall-clock nanoseconds per
+        /// transform; see `bench_fft::time_ns` for why min is the stable
+        /// statistic here.
+        pub ns_per_transform: f64,
+    }
+
+    /// Render the full document. `mode` records how the numbers were taken
+    /// (`"quick"` for the CI smoke job, `"full"` for committed baselines).
+    pub fn format_document(mode: &str, results: &[BenchResult]) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": 1,\n");
+        out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+        out.push_str("  \"unit\": \"ns_per_transform\",\n");
+        out.push_str("  \"results\": [\n");
+        for (i, r) in results.iter().enumerate() {
+            let sep = if i + 1 == results.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"size\": {}, \"precision\": \"{}\", \"engine\": \"{}\", \"ns_per_transform\": {:.1}}}{}\n",
+                r.size, r.precision, r.engine, r.ns_per_transform, sep
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Extract the value following `"key":` on `line`, up to `,` or `}`.
+    fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+        let tag = format!("\"{key}\":");
+        let start = line.find(&tag)? + tag.len();
+        let rest = &line[start..];
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(rest[..end].trim().trim_matches('"'))
+    }
+
+    /// Parse every result line of a document produced by
+    /// [`format_document`]. Lines without a `"size"` field are skipped, so
+    /// the surrounding envelope needs no real JSON parser.
+    pub fn parse_document(text: &str) -> Vec<BenchResult> {
+        text.lines()
+            .filter_map(|line| {
+                Some(BenchResult {
+                    size: field(line, "size")?.parse().ok()?,
+                    precision: field(line, "precision")?.to_string(),
+                    engine: field(line, "engine")?.to_string(),
+                    ns_per_transform: field(line, "ns_per_transform")?.parse().ok()?,
+                })
+            })
+            .collect()
+    }
+
+    /// Normalized cost of the iterative engine at `(size, precision)`:
+    /// iterative ns divided by recursive ns *from the same document*.
+    /// Because both engines are measured in one session, machine speed and
+    /// load cancel, making the number comparable across hosts — a CI
+    /// runner can be gated against a baseline committed from a laptop.
+    fn normalized_cost(doc: &[BenchResult], size: usize, precision: &str) -> Option<f64> {
+        let get = |engine: &str| {
+            doc.iter()
+                .find(|r| r.size == size && r.precision == precision && r.engine == engine)
+                .map(|r| r.ns_per_transform)
+        };
+        Some(get("iterative")? / get("recursive")?)
+    }
+
+    /// Number of baseline entries the gate can actually enforce: iterative
+    /// rows whose recursive reference is also present. A baseline that
+    /// gates nothing is a broken baseline — callers should fail on 0, not
+    /// report success.
+    pub fn gated_count(baseline: &[BenchResult]) -> usize {
+        baseline
+            .iter()
+            .filter(|b| b.engine == "iterative")
+            .filter(|b| normalized_cost(baseline, b.size, &b.precision).is_some())
+            .count()
+    }
+
+    /// Compare `current` against `baseline`: for every `(size, precision)`
+    /// the baseline covers, the iterative engine's recursive-normalized
+    /// cost must be within `tol` of the baseline's (e.g. `1.25` = fail on
+    /// a >25% relative regression). Returns human-readable failure lines;
+    /// empty = pass. Baseline iterative rows without a recursive reference
+    /// cannot be normalized and are not gated — check [`gated_count`] to
+    /// detect a baseline that silently gates nothing.
+    pub fn regressions(current: &[BenchResult], baseline: &[BenchResult], tol: f64) -> Vec<String> {
+        let mut failures = Vec::new();
+        for b in baseline.iter().filter(|b| b.engine == "iterative") {
+            let Some(base_cost) = normalized_cost(baseline, b.size, &b.precision) else {
+                continue; // baseline lacks the recursive reference: ungated
+            };
+            let Some(cur_cost) = normalized_cost(current, b.size, &b.precision) else {
+                failures.push(format!(
+                    "missing result pair for size={} precision={}",
+                    b.size, b.precision
+                ));
+                continue;
+            };
+            let ratio = cur_cost / base_cost;
+            if ratio > tol {
+                failures.push(format!(
+                    "size={} precision={}: iterative/recursive = {:.3} vs baseline {:.3} \
+                     ({:.2}x > {:.2}x budget)",
+                    b.size, b.precision, cur_cost, base_cost, ratio, tol
+                ));
+            }
+        }
+        failures
+    }
+}
+
 /// Print a horizontal rule sized to a header line.
 pub fn rule(width: usize) {
     println!("{}", "-".repeat(width));
@@ -119,5 +248,69 @@ mod tests {
     #[test]
     fn ms_formatting() {
         assert_eq!(ms(0.00125), "1.250");
+    }
+
+    #[test]
+    fn benchjson_roundtrip() {
+        use crate::benchjson::*;
+        let results = vec![
+            BenchResult {
+                size: 1024,
+                precision: "f64".into(),
+                engine: "iterative".into(),
+                ns_per_transform: 1234.5,
+            },
+            BenchResult {
+                size: 2048,
+                precision: "f32".into(),
+                engine: "recursive".into(),
+                ns_per_transform: 99.0,
+            },
+        ];
+        let doc = format_document("quick", &results);
+        assert!(doc.contains("\"mode\": \"quick\""));
+        let parsed = parse_document(&doc);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].size, 1024);
+        assert_eq!(parsed[0].engine, "iterative");
+        assert_eq!(parsed[1].precision, "f32");
+        assert!((parsed[0].ns_per_transform - 1234.5).abs() < 0.11);
+    }
+
+    #[test]
+    fn benchjson_regression_gate() {
+        use crate::benchjson::*;
+        let pair = |it: f64, rec: f64| {
+            vec![
+                BenchResult {
+                    size: 1024,
+                    precision: "f64".into(),
+                    engine: "iterative".into(),
+                    ns_per_transform: it,
+                },
+                BenchResult {
+                    size: 1024,
+                    precision: "f64".into(),
+                    engine: "recursive".into(),
+                    ns_per_transform: rec,
+                },
+            ]
+        };
+        // Baseline: iterative is 2x faster than recursive (cost 0.5).
+        let base = pair(1000.0, 2000.0);
+        // A uniformly slower machine (both engines 3x slower) still passes:
+        // the normalized cost is unchanged.
+        assert!(regressions(&pair(3000.0, 6000.0), &base, 1.25).is_empty());
+        // 20% relative slowdown of the iterative engine passes...
+        assert!(regressions(&pair(1200.0, 2000.0), &base, 1.25).is_empty());
+        // ...30% fails, even though the machine could be fast overall.
+        assert_eq!(regressions(&pair(650.0, 1000.0), &base, 1.25).len(), 1);
+        // Missing entries fail.
+        assert_eq!(regressions(&[], &base, 1.25).len(), 1);
+        // A baseline without the recursive reference is ungated — and
+        // gated_count exposes that so callers can refuse to run with it.
+        assert!(regressions(&[], &base[..1], 1.25).is_empty());
+        assert_eq!(gated_count(&base), 1);
+        assert_eq!(gated_count(&base[..1]), 0, "iterative-only baseline gates nothing");
     }
 }

@@ -351,6 +351,28 @@ mod tests {
     }
 
     #[test]
+    fn ranks_share_one_cached_fft_plan() {
+        // Every simulated rank runs the same transform length 2·N_t; the
+        // plan cache must hand all of them the same plan object instead of
+        // rebuilding twiddle tables per rank (the seed behaviour).
+        let (nd, nm, nt) = (4usize, 8usize, 6usize);
+        let col = global_col(nd, nm, nt, 9);
+        let dist = DistributedFftMatvec::from_global(
+            nd,
+            nm,
+            nt,
+            &col,
+            ProcessGrid::new(2, 4),
+            PrecisionConfig::all_double(),
+        )
+        .unwrap();
+        let first = dist.ranks[0].fft64_plan_handle();
+        for rank in &dist.ranks[1..] {
+            assert!(std::sync::Arc::ptr_eq(first, rank.fft64_plan_handle()));
+        }
+    }
+
+    #[test]
     fn grid_validation() {
         let (nd, nm, nt) = (2usize, 4usize, 3usize);
         let col = global_col(nd, nm, nt, 8);

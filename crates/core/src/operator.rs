@@ -52,7 +52,9 @@ impl BlockToeplitzOperator {
 
         // Gather each (i,k) time series contiguously, zero-padded to 2·nt,
         // and FFT the whole nd·nm batch (the double-precision setup FFT of
-        // Section 3.2.1, error bounded by c_F·ε_d·log2(2·N_t)).
+        // Section 3.2.1, error bounded by c_F·ε_d·log2(2·N_t)). The
+        // batched driver pulls its plan from the process-wide cache, so
+        // this setup pass and the per-matvec pipeline share twiddles.
         let n2 = 2 * nt;
         let nfreq = nt + 1;
         let series_count = nd * nm;

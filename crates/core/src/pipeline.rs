@@ -32,11 +32,21 @@ pub struct FftMatvec {
 }
 
 impl FftMatvec {
-    /// Wrap an operator with a precision configuration. FFT plans for both
-    /// precisions are built once here (the setup phase).
+    /// Wrap an operator with a precision configuration. The batched FFT
+    /// drivers for both precisions resolve through the process-wide plan
+    /// cache (`fftmatvec_fft::cache`), so every `FftMatvec` of the same
+    /// `N_t` — including the per-rank pipelines of the distributed matvec
+    /// — shares one set of twiddle tables per precision.
     pub fn new(op: BlockToeplitzOperator, cfg: PrecisionConfig) -> Self {
         let n2 = 2 * op.nt();
         FftMatvec { op, cfg, fft64: BatchedRealFft::new(n2), fft32: BatchedRealFft::new(n2) }
+    }
+
+    /// The shared double-precision FFT plan handle. Handles for the same
+    /// `N_t` compare pointer-equal across pipelines — useful for asserting
+    /// (and testing) that plan construction is amortized.
+    pub fn fft64_plan_handle(&self) -> &fftmatvec_fft::RealPlanHandle<f64> {
+        self.fft64.plan_handle()
     }
 
     /// The wrapped operator.
@@ -310,6 +320,18 @@ mod tests {
         mv.set_config(PrecisionConfig::all_double());
         let c = mv.apply_forward(&m);
         assert_eq!(a, c, "double-precision results must be reproducible");
+    }
+
+    #[test]
+    fn pipelines_share_cached_fft_plans() {
+        // Two operators with the same N_t must not rebuild twiddle tables:
+        // both pipelines hold the same cached plan object.
+        let a = FftMatvec::new(random_operator(2, 3, 6, 50), PrecisionConfig::all_double());
+        let b = FftMatvec::new(random_operator(4, 5, 6, 51), PrecisionConfig::all_single());
+        assert!(
+            std::sync::Arc::ptr_eq(a.fft64_plan_handle(), b.fft64_plan_handle()),
+            "same N_t must share one cached FFT plan"
+        );
     }
 
     #[test]

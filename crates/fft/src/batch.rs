@@ -1,31 +1,38 @@
 //! Batched FFT execution — the stand-in for `cufftPlanMany`.
 //!
 //! FFTMatvec's phase 2 transforms `N_m` independent time series at once
-//! (phase 4: `N_d` series). The batched drivers here run each series
-//! through a shared plan, parallelized across rayon workers with one
-//! scratch allocation per worker, matching the guide's "workhorse buffer"
-//! idiom.
+//! (phase 4: `N_d` series). The batched drivers here run every series
+//! through one cached plan (see [`crate::cache`]) and draw per-worker
+//! scratch from a shared [`ScratchArena`] instead of allocating per call.
+//! With the `parallel` feature the batch dimension is split across rayon
+//! workers; each worker checks out one arena buffer for its whole share
+//! of the batch.
 
 use fftmatvec_numeric::{Complex, Real};
 #[cfg(feature = "parallel")]
 use rayon::prelude::*;
 
+use crate::cache::{self, PlanHandle, RealPlanHandle};
 use crate::plan::{FftDirection, FftPlan};
 use crate::real::RealFftPlan;
+use crate::scratch::ScratchArena;
 
 /// Work below this many complex elements stays serial; smaller batches
 /// are dominated by thread-pool dispatch.
 #[cfg(feature = "parallel")]
 const PAR_THRESHOLD: usize = 1 << 14;
 
-/// Batched complex transforms sharing one [`FftPlan`].
+/// Batched complex transforms sharing one cached [`FftPlan`].
 pub struct BatchedFft<T: Real> {
-    plan: FftPlan<T>,
+    plan: PlanHandle<T>,
+    arena: ScratchArena<T>,
 }
 
 impl<T: Real> BatchedFft<T> {
     pub fn new(n: usize) -> Self {
-        BatchedFft { plan: FftPlan::new(n) }
+        let plan = cache::complex_plan::<T>(n);
+        let arena = ScratchArena::new(plan.scratch_len());
+        BatchedFft { plan, arena }
     }
 
     /// Transform length per batch item.
@@ -37,8 +44,13 @@ impl<T: Real> BatchedFft<T> {
         false
     }
 
-    /// Access the underlying plan.
+    /// Access the underlying shared plan.
     pub fn plan(&self) -> &FftPlan<T> {
+        &self.plan
+    }
+
+    /// The cache handle itself — clone it to share the plan elsewhere.
+    pub fn plan_handle(&self) -> &PlanHandle<T> {
         &self.plan
     }
 
@@ -54,18 +66,37 @@ impl<T: Real> BatchedFft<T> {
         let n = self.plan.len();
         assert_eq!(input.len(), output.len(), "batched FFT in/out length mismatch");
         assert_eq!(input.len() % n, 0, "batched FFT length not a multiple of n");
-        let scratch_len = self.plan.scratch_len();
         #[cfg(feature = "parallel")]
         if input.len() > PAR_THRESHOLD {
             input.par_chunks_exact(n).zip(output.par_chunks_exact_mut(n)).for_each_init(
-                || vec![Complex::zero(); scratch_len],
-                |scratch, (i, o)| self.plan.process(i, o, scratch, dir),
+                || self.arena.checkout(),
+                |scratch, (i, o)| self.plan.process(i, o, scratch.as_mut_slice(), dir),
             );
             return;
         }
-        let mut scratch = vec![Complex::zero(); scratch_len];
+        let mut scratch = self.arena.checkout();
         for (i, o) in input.chunks_exact(n).zip(output.chunks_exact_mut(n)) {
-            self.plan.process(i, o, &mut scratch, dir);
+            self.plan.process(i, o, scratch.as_mut_slice(), dir);
+        }
+    }
+
+    /// In-place batched transform: each `data[b*n..][..n]` chunk is
+    /// transformed in its own storage — the hot path when the caller owns
+    /// the buffer and has no use for the untransformed data.
+    pub fn process_batch_inplace(&self, data: &mut [Complex<T>], dir: FftDirection) {
+        let n = self.plan.len();
+        assert_eq!(data.len() % n, 0, "batched FFT length not a multiple of n");
+        #[cfg(feature = "parallel")]
+        if data.len() > PAR_THRESHOLD {
+            data.par_chunks_exact_mut(n).for_each_init(
+                || self.arena.checkout(),
+                |scratch, chunk| self.plan.process_inplace(chunk, scratch.as_mut_slice(), dir),
+            );
+            return;
+        }
+        let mut scratch = self.arena.checkout();
+        for chunk in data.chunks_exact_mut(n) {
+            self.plan.process_inplace(chunk, scratch.as_mut_slice(), dir);
         }
     }
 
@@ -84,14 +115,17 @@ impl<T: Real> BatchedFft<T> {
     }
 }
 
-/// Batched real transforms sharing one [`RealFftPlan`].
+/// Batched real transforms sharing one cached [`RealFftPlan`].
 pub struct BatchedRealFft<T: Real> {
-    plan: RealFftPlan<T>,
+    plan: RealPlanHandle<T>,
+    arena: ScratchArena<T>,
 }
 
 impl<T: Real> BatchedRealFft<T> {
     pub fn new(n: usize) -> Self {
-        BatchedRealFft { plan: RealFftPlan::new(n) }
+        let plan = cache::real_plan::<T>(n);
+        let arena = ScratchArena::new(plan.scratch_len());
+        BatchedRealFft { plan, arena }
     }
 
     /// Real signal length per batch item.
@@ -108,8 +142,13 @@ impl<T: Real> BatchedRealFft<T> {
         self.plan.spectrum_len()
     }
 
-    /// Access the underlying plan.
+    /// Access the underlying shared plan.
     pub fn plan(&self) -> &RealFftPlan<T> {
+        &self.plan
+    }
+
+    /// The cache handle itself — clone it to share the plan elsewhere.
+    pub fn plan_handle(&self) -> &RealPlanHandle<T> {
         &self.plan
     }
 
@@ -121,18 +160,17 @@ impl<T: Real> BatchedRealFft<T> {
         assert_eq!(input.len() % n, 0, "batched R2C input not a multiple of n");
         let batch = input.len() / n;
         assert_eq!(output.len(), batch * s, "batched R2C output length mismatch");
-        let scratch_len = self.plan.scratch_len();
         #[cfg(feature = "parallel")]
         if input.len() > PAR_THRESHOLD {
             input.par_chunks_exact(n).zip(output.par_chunks_exact_mut(s)).for_each_init(
-                || vec![Complex::zero(); scratch_len],
-                |scratch, (i, o)| self.plan.forward(i, o, scratch),
+                || self.arena.checkout(),
+                |scratch, (i, o)| self.plan.forward(i, o, scratch.as_mut_slice()),
             );
             return;
         }
-        let mut scratch = vec![Complex::zero(); scratch_len];
+        let mut scratch = self.arena.checkout();
         for (i, o) in input.chunks_exact(n).zip(output.chunks_exact_mut(s)) {
-            self.plan.forward(i, o, &mut scratch);
+            self.plan.forward(i, o, scratch.as_mut_slice());
         }
     }
 
@@ -144,18 +182,17 @@ impl<T: Real> BatchedRealFft<T> {
         assert_eq!(spectrum.len() % s, 0, "batched C2R spectrum not a multiple of bins");
         let batch = spectrum.len() / s;
         assert_eq!(output.len(), batch * n, "batched C2R output length mismatch");
-        let scratch_len = self.plan.scratch_len();
         #[cfg(feature = "parallel")]
         if output.len() > PAR_THRESHOLD {
             spectrum.par_chunks_exact(s).zip(output.par_chunks_exact_mut(n)).for_each_init(
-                || vec![Complex::zero(); scratch_len],
-                |scratch, (i, o)| self.plan.inverse(i, o, scratch),
+                || self.arena.checkout(),
+                |scratch, (i, o)| self.plan.inverse(i, o, scratch.as_mut_slice()),
             );
             return;
         }
-        let mut scratch = vec![Complex::zero(); scratch_len];
+        let mut scratch = self.arena.checkout();
         for (i, o) in spectrum.chunks_exact(s).zip(output.chunks_exact_mut(n)) {
-            self.plan.inverse(i, o, &mut scratch);
+            self.plan.inverse(i, o, scratch.as_mut_slice());
         }
     }
 }
@@ -183,6 +220,41 @@ mod tests {
                 assert!((*g - *s).abs() < 1e-13);
             }
         }
+    }
+
+    #[test]
+    fn inplace_batch_matches_out_of_place() {
+        for (n, batch) in [(64usize, 9usize), (256, 128), (67, 5)] {
+            let mut rng = SplitMix64::new(7);
+            let data: Vec<C> = (0..n * batch)
+                .map(|_| C::new(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)))
+                .collect();
+            let bf = BatchedFft::<f64>::new(n);
+            let want = bf.forward_batch_vec(&data);
+            let mut buf = data.clone();
+            bf.process_batch_inplace(&mut buf, FftDirection::Forward);
+            let err = buf.iter().zip(&want).map(|(a, b)| (*a - *b).abs()).fold(0.0, f64::max);
+            assert!(err < 1e-13, "n={n} batch={batch} err={err}");
+        }
+    }
+
+    #[test]
+    fn batched_drivers_share_cached_plans() {
+        let a = BatchedFft::<f64>::new(192);
+        let b = BatchedFft::<f64>::new(192);
+        assert!(std::sync::Arc::ptr_eq(&a.plan, &b.plan), "plan cache must dedupe");
+    }
+
+    #[test]
+    fn scratch_arena_recycles_across_batches() {
+        let n = 128;
+        let bf = BatchedFft::<f64>::new(n);
+        let data = vec![C::one(); n * 4];
+        let _ = bf.forward_batch_vec(&data);
+        let pooled_after_first = bf.arena.pooled();
+        assert!(pooled_after_first >= 1, "scratch must return to the arena");
+        let _ = bf.forward_batch_vec(&data);
+        assert_eq!(bf.arena.pooled(), pooled_after_first, "second batch reuses pooled scratch");
     }
 
     #[test]

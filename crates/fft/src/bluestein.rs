@@ -1,25 +1,31 @@
 //! Bluestein's chirp-z algorithm for lengths with large prime factors.
 //!
 //! Rewrites an arbitrary-length DFT as a circular convolution of length
-//! `m` (the next power of two ≥ `2n−1`), which the mixed-radix machinery
+//! `m` (the next power of two ≥ `2n−1`), which the iterative engine
 //! handles natively:
 //!
 //! `X[k] = chirp[k] · Σ_j (x[j]·chirp[j]) · conj(chirp[k−j])`,
 //! with `chirp[j] = e^{-πi j²/n}`.
+//!
+//! The inner power-of-two plan is shared through [`crate::cache`] (many
+//! Bluestein lengths round up to the same `m`), and the convolution runs
+//! the inner transforms in place: the chirped signal buffer and its
+//! ping-pong partner are the whole scratch footprint, `2·m` elements.
 //!
 //! The inverse transform reuses the same tables through the conjugation
 //! identity `idft(x) = conj(dft(conj(x)))/n`.
 
 use fftmatvec_numeric::{Complex, Real};
 
-use crate::plan::{FftDirection, FftPlan};
+use crate::cache::{self, PlanHandle};
+use crate::plan::FftDirection;
 
 /// Precomputed Bluestein transform of length `n`.
 pub struct BluesteinPlan<T: Real> {
     n: usize,
-    m: usize,
-    /// Power-of-two inner plan of length `m`.
-    inner: FftPlan<T>,
+    pub(crate) m: usize,
+    /// Shared power-of-two inner plan of length `m`.
+    inner: PlanHandle<T>,
     /// `chirp[j] = e^{-πi j²/n}`, `j in 0..n`.
     chirp: Vec<Complex<T>>,
     /// Forward FFT (length `m`) of the wrapped conjugate chirp.
@@ -31,8 +37,7 @@ impl<T: Real> BluesteinPlan<T> {
     pub fn new(n: usize) -> Self {
         assert!(n >= 2, "BluesteinPlan requires n >= 2");
         let m = (2 * n - 1).next_power_of_two();
-        let inner = FftPlan::<T>::new(m);
-        debug_assert_eq!(inner.scratch_len(), 0, "inner plan must be mixed-radix");
+        let inner = cache::complex_plan::<T>(m);
 
         // chirp[j] = e^{-πi (j² mod 2n) / n}; reducing j² mod 2n keeps the
         // angle small, avoiding cancellation for large j.
@@ -57,9 +62,47 @@ impl<T: Real> BluesteinPlan<T> {
         BluesteinPlan { n, m, inner, chirp, b_fft }
     }
 
-    /// Scratch requirement: two length-`m` work buffers.
+    /// Scratch requirement: the length-`m` chirped signal and its
+    /// ping-pong partner.
     pub fn scratch_len(&self) -> usize {
         2 * self.m
+    }
+
+    /// Chirp-and-pad the input into `a` (length `m`); for the inverse,
+    /// conjugate here (first half of the conj identity).
+    fn load(&self, input: &[Complex<T>], a: &mut [Complex<T>], inverse: bool) {
+        for j in 0..self.n {
+            let x = if inverse { input[j].conj() } else { input[j] };
+            a[j] = x * self.chirp[j];
+        }
+        for v in a[self.n..].iter_mut() {
+            *v = Complex::zero();
+        }
+    }
+
+    /// Circular convolution with the chirp kernel, in place in `a` with
+    /// `work` as the inner ping-pong partner.
+    fn convolve(&self, a: &mut [Complex<T>], work: &mut [Complex<T>]) {
+        self.inner.process_inplace(a, work, FftDirection::Forward);
+        for (v, &bf) in a.iter_mut().zip(&self.b_fft) {
+            *v *= bf;
+        }
+        self.inner.process_inplace(a, work, FftDirection::Inverse);
+    }
+
+    /// Final chirp: `X[k] = c[k]·chirp[k]`, finishing the conj identity and
+    /// `1/n` scaling for the inverse.
+    fn store(&self, a: &[Complex<T>], output: &mut [Complex<T>], inverse: bool) {
+        if inverse {
+            let scale = T::from_usize(self.n).recip();
+            for k in 0..self.n {
+                output[k] = (a[k] * self.chirp[k]).conj().scale(scale);
+            }
+        } else {
+            for k in 0..self.n {
+                output[k] = a[k] * self.chirp[k];
+            }
+        }
     }
 
     /// Transform `input` (length `n`) into `output` (length `n`).
@@ -76,36 +119,28 @@ impl<T: Real> BluesteinPlan<T> {
         let (a, rest) = scratch.split_at_mut(self.m);
         let work = &mut rest[..self.m];
         let inverse = dir == FftDirection::Inverse;
+        self.load(input, a, inverse);
+        self.convolve(a, work);
+        self.store(a, output, inverse);
+    }
 
-        // a[j] = x[j]·chirp[j]; for the inverse, conjugate the input here
-        // (first half of the conj identity).
-        for j in 0..self.n {
-            let x = if inverse { input[j].conj() } else { input[j] };
-            a[j] = x * self.chirp[j];
-        }
-        for v in a[self.n..].iter_mut() {
-            *v = Complex::zero();
-        }
-
-        // Circular convolution with b via the inner power-of-two plan.
-        self.inner.forward(a, work, &mut []);
-        for (w, &bf) in work.iter_mut().zip(&self.b_fft) {
-            *w *= bf;
-        }
-        self.inner.inverse(work, a, &mut []);
-
-        // X[k] = c[k]·chirp[k]; finish the conj identity and 1/n scaling
-        // for the inverse.
-        if inverse {
-            let scale = T::from_usize(self.n).recip();
-            for k in 0..self.n {
-                output[k] = (a[k] * self.chirp[k]).conj().scale(scale);
-            }
-        } else {
-            for k in 0..self.n {
-                output[k] = a[k] * self.chirp[k];
-            }
-        }
+    /// In-place transform of `buf` (length `n`). `buf` is only read during
+    /// the initial chirp and only written during the final one, so no extra
+    /// copy is needed.
+    pub fn process_inplace(
+        &self,
+        buf: &mut [Complex<T>],
+        scratch: &mut [Complex<T>],
+        dir: FftDirection,
+    ) {
+        assert_eq!(buf.len(), self.n);
+        assert!(scratch.len() >= self.scratch_len());
+        let (a, rest) = scratch.split_at_mut(self.m);
+        let work = &mut rest[..self.m];
+        let inverse = dir == FftDirection::Inverse;
+        self.load(buf, a, inverse);
+        self.convolve(a, work);
+        self.store(a, buf, inverse);
     }
 }
 
@@ -113,6 +148,7 @@ impl<T: Real> BluesteinPlan<T> {
 mod tests {
     use super::*;
     use crate::dft::naive_dft;
+    use crate::plan::FftPlan;
     use fftmatvec_numeric::SplitMix64;
 
     type C = Complex<f64>;
@@ -155,6 +191,21 @@ mod tests {
     }
 
     #[test]
+    fn inplace_matches_out_of_place() {
+        let n = 101;
+        let plan = BluesteinPlan::<f64>::new(n);
+        let x = random_signal(n, 4);
+        let mut scratch = vec![C::zero(); plan.scratch_len()];
+        for dir in [FftDirection::Forward, FftDirection::Inverse] {
+            let want = run(&plan, &x, dir);
+            let mut buf = x.clone();
+            plan.process_inplace(&mut buf, &mut scratch, dir);
+            let err = buf.iter().zip(&want).map(|(a, b)| (*a - *b).abs()).fold(0.0, f64::max);
+            assert!(err < 1e-13, "{dir:?} err={err}");
+        }
+    }
+
+    #[test]
     fn composite_with_large_prime_factor() {
         // 2·67 exceeds MAX_RADIX in one factor; the top-level plan uses
         // Bluestein for the full length.
@@ -174,5 +225,15 @@ mod tests {
         let plan = BluesteinPlan::<f64>::new(100);
         assert!(plan.m.is_power_of_two());
         assert!(plan.m >= 199);
+    }
+
+    #[test]
+    fn inner_plans_are_shared_across_bluestein_lengths() {
+        // 67 and 101 both round up to m = 256; the cache must hand both
+        // Bluestein plans the same inner plan object.
+        let a = BluesteinPlan::<f64>::new(67);
+        let b = BluesteinPlan::<f64>::new(101);
+        assert_eq!(a.m, b.m);
+        assert!(std::sync::Arc::ptr_eq(&a.inner, &b.inner));
     }
 }

@@ -1,0 +1,135 @@
+//! Process-wide FFT plan cache.
+//!
+//! Plan construction is the expensive part of an FFT (factorization plus
+//! `O(n)` twiddle tables per stage), and the FFTMatvec call sites — the
+//! mixed-precision pipeline, the operator setup, every simulated rank of
+//! the distributed matvec, and the batched drivers — all keep asking for
+//! the same handful of lengths (`2·N_t` and its half). The cache maps
+//! `(n, precision, kind)` to one shared, immutable plan behind an
+//! [`Arc`] handle, standing in for cuFFT's plan reuse across thousands of
+//! matvecs.
+//!
+//! Plans serve both transform directions from one twiddle table (the
+//! inverse conjugates on the fly), so direction is not part of the key.
+//! Lookups are double-checked: a miss builds the plan *outside* the lock
+//! (plan construction may itself consult the cache — Bluestein plans need
+//! a power-of-two inner plan, real plans need the half-length complex
+//! plan) and the insert keeps whichever plan won the race, so two lookups
+//! for the same key always return the same shared plan.
+
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use fftmatvec_numeric::Real;
+
+use crate::plan::FftPlan;
+use crate::real::RealFftPlan;
+
+/// Cheap shared handle to a cached complex plan.
+pub type PlanHandle<T> = Arc<FftPlan<T>>;
+
+/// Cheap shared handle to a cached real-transform plan.
+pub type RealPlanHandle<T> = Arc<RealFftPlan<T>>;
+
+/// Which plan family a cache entry belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum Kind {
+    Complex,
+    Real,
+}
+
+/// Cache key: transform length, element precision (via `TypeId`, since
+/// `T: Real` is `'static`), and plan family.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct Key {
+    n: usize,
+    precision: TypeId,
+    kind: Kind,
+}
+
+type Shared = Arc<dyn Any + Send + Sync>;
+
+fn cache() -> &'static Mutex<HashMap<Key, Shared>> {
+    static CACHE: OnceLock<Mutex<HashMap<Key, Shared>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Double-checked lookup: build on miss without holding the lock, keep the
+/// first inserted plan on a race.
+fn lookup<P: Send + Sync + 'static>(key: Key, build: impl FnOnce() -> P) -> Arc<P> {
+    if let Some(hit) = cache().lock().unwrap().get(&key) {
+        return Arc::clone(hit).downcast::<P>().expect("plan cache type confusion");
+    }
+    let built: Shared = Arc::new(build());
+    let entry = Arc::clone(cache().lock().unwrap().entry(key).or_insert(built));
+    entry.downcast::<P>().expect("plan cache type confusion")
+}
+
+/// Shared complex plan for length `n` in precision `T`.
+pub fn complex_plan<T: Real>(n: usize) -> PlanHandle<T> {
+    lookup(Key { n, precision: TypeId::of::<T>(), kind: Kind::Complex }, || FftPlan::<T>::new(n))
+}
+
+/// Shared real-transform plan for even length `n` in precision `T`.
+pub fn real_plan<T: Real>(n: usize) -> RealPlanHandle<T> {
+    lookup(Key { n, precision: TypeId::of::<T>(), kind: Kind::Real }, || RealFftPlan::<T>::new(n))
+}
+
+/// Number of cached plans across all lengths, precisions, and kinds
+/// (diagnostic; the cache never evicts).
+pub fn len() -> usize {
+    cache().lock().unwrap().len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeated_lookups_share_one_plan() {
+        let a = complex_plan::<f64>(96);
+        let b = complex_plan::<f64>(96);
+        assert!(Arc::ptr_eq(&a, &b), "same (n, precision) must share a plan");
+        let ra = real_plan::<f64>(96);
+        let rb = real_plan::<f64>(96);
+        assert!(Arc::ptr_eq(&ra, &rb));
+    }
+
+    #[test]
+    fn precision_and_kind_are_distinct_entries() {
+        let before = len();
+        let _c64 = complex_plan::<f64>(122);
+        let _c32 = complex_plan::<f32>(122);
+        let _r64 = real_plan::<f64>(122);
+        assert!(len() >= before + 3, "f32/f64 and complex/real must not collide");
+        // The f32 plan still transforms correctly (no type confusion).
+        let x = vec![fftmatvec_numeric::Complex::<f32>::one(); 122];
+        let freq = _c32.forward_vec(&x);
+        assert!((freq[0].re - 122.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn bluestein_lookup_populates_inner_plan() {
+        // Building a Bluestein plan consults the cache for its inner
+        // power-of-two plan; both must end up cached without deadlock.
+        let n = 131; // prime > MAX_RADIX
+        let plan = complex_plan::<f64>(n);
+        assert!(plan.is_bluestein());
+        let m = (2 * n - 1usize).next_power_of_two();
+        let inner = complex_plan::<f64>(m);
+        // The inner plan the Bluestein build cached is the same object a
+        // direct lookup now returns.
+        assert_eq!(inner.len(), m);
+    }
+
+    #[test]
+    fn concurrent_lookups_converge() {
+        let handles: Vec<_> =
+            (0..8).map(|_| std::thread::spawn(|| complex_plan::<f64>(1500))).collect();
+        let plans: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for p in &plans[1..] {
+            assert!(Arc::ptr_eq(&plans[0], p), "racing lookups must converge to one plan");
+        }
+    }
+}

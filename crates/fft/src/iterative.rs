@@ -1,0 +1,316 @@
+//! Stockham-style iterative mixed-radix FFT execution.
+//!
+//! This is the execution engine behind [`crate::FftPlan`] for lengths
+//! whose prime factors are all ≤ [`crate::plan::MAX_RADIX`]. It replaces
+//! the seed's recursive decimation-in-time walk (preserved in
+//! [`crate::recursive`] as the benchmark baseline) with a flat stage
+//! schedule:
+//!
+//! * Each prime-power factor becomes one [`Stage`] with its own
+//!   precomputed twiddle table, laid out in the exact order the butterfly
+//!   consumes it — no `q·u` index arithmetic into a shared table.
+//! * Stages ping-pong between two buffers (the caller's output and a
+//!   scratch arena slice). Stockham's self-sorting property means no
+//!   bit/digit-reversal pass is ever needed, and the innermost loop runs
+//!   over a contiguous stride-1 range.
+//! * Radix 4 and radix 2 butterflies are hand-coded; any other radix
+//!   (odd primes up to `MAX_RADIX`) uses a table-driven r-point DFT.
+//!   Lengths with larger prime factors never reach this module — the plan
+//!   routes them to [`crate::bluestein`].
+//!
+//! The decimation-in-frequency stage recurrence: with `n_cur = r·m` and
+//! outer stride `s` (`n = s·n_cur`), stage output index `r·p + j` holds
+//! `z_j[p] = ω_{n_cur}^{p·j} · Σ_l src[p + m·l] · ω_r^{j·l}` for each of
+//! the `s` interleaved sub-problems, after which the schedule recurses on
+//! `n_cur ← m`, `s ← s·r`.
+
+use fftmatvec_numeric::{Complex, Real};
+
+use crate::plan::{FftDirection, MAX_RADIX};
+
+/// One butterfly pass of the iterative schedule.
+struct Stage<T: Real> {
+    /// Radix split off at this stage.
+    radix: usize,
+    /// Sub-transform count: `n_cur / radix`.
+    m: usize,
+    /// Outer stride: product of the radices of all earlier stages.
+    s: usize,
+    /// `twiddles[p·(r−1) + (j−1)] = e^{-2πi·p·j/n_cur}` for `p in 0..m`,
+    /// `j in 1..r` — one contiguous entry per butterfly output, in
+    /// consumption order (`j = 0` is always 1 and is omitted).
+    twiddles: Vec<Complex<T>>,
+    /// `radix_roots[x] = e^{-2πi·x/r}` (generic butterflies only; empty
+    /// for the hand-coded radices 2 and 4).
+    radix_roots: Vec<Complex<T>>,
+}
+
+/// Iterative in-place/out-of-place executor for a fixed length `n ≥ 2`.
+pub(crate) struct IterativeFft<T: Real> {
+    n: usize,
+    stages: Vec<Stage<T>>,
+}
+
+impl<T: Real> IterativeFft<T> {
+    /// Build the stage schedule from a factor list (as produced by
+    /// `plan::factorize`, radix-4 first). `n` must equal the product of
+    /// `factors` and be ≥ 2.
+    pub(crate) fn new(n: usize, factors: &[usize]) -> Self {
+        debug_assert!(n >= 2);
+        debug_assert_eq!(factors.iter().product::<usize>(), n);
+        let mut stages = Vec::with_capacity(factors.len());
+        let mut n_cur = n;
+        let mut s = 1usize;
+        for &r in factors {
+            let m = n_cur / r;
+            let step = -2.0 * std::f64::consts::PI / n_cur as f64;
+            let mut twiddles = Vec::with_capacity(m * (r - 1));
+            for p in 0..m {
+                for j in 1..r {
+                    twiddles.push(Complex::<f64>::expi(step * (p * j) as f64).cast());
+                }
+            }
+            let radix_roots = if r == 2 || r == 4 {
+                Vec::new()
+            } else {
+                let rstep = -2.0 * std::f64::consts::PI / r as f64;
+                (0..r).map(|x| Complex::<f64>::expi(rstep * x as f64).cast()).collect()
+            };
+            stages.push(Stage { radix: r, m, s, twiddles, radix_roots });
+            s *= r;
+            n_cur = m;
+        }
+        debug_assert_eq!(n_cur, 1);
+        IterativeFft { n, stages }
+    }
+
+    /// Number of butterfly passes.
+    #[inline]
+    pub(crate) fn stage_count(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Exact scratch requirement: single-stage schedules run through a
+    /// stack buffer, multi-stage schedules ping-pong through one length-`n`
+    /// slice.
+    #[inline]
+    pub(crate) fn scratch_len(&self) -> usize {
+        if self.stages.len() <= 1 {
+            0
+        } else {
+            self.n
+        }
+    }
+
+    /// Out-of-place transform (unscaled). The first stage reads straight
+    /// from `input`; the remaining stages ping-pong between `output` and
+    /// `scratch` so the final stage always lands in `output`.
+    pub(crate) fn process(
+        &self,
+        input: &[Complex<T>],
+        output: &mut [Complex<T>],
+        scratch: &mut [Complex<T>],
+        dir: FftDirection,
+    ) {
+        let inverse = dir == FftDirection::Inverse;
+        let k = self.stages.len();
+        if k == 1 {
+            run_stage(&self.stages[0], input, output, inverse);
+            return;
+        }
+        let scratch = &mut scratch[..self.n];
+        // After stage 0 there are k−1 ping-pong hops; parity picks the
+        // first destination so the last hop writes `output`.
+        let mut in_scratch = k % 2 == 0;
+        run_stage(&self.stages[0], input, if in_scratch { scratch } else { output }, inverse);
+        for st in &self.stages[1..] {
+            if in_scratch {
+                run_stage(st, scratch, output, inverse);
+            } else {
+                run_stage(st, output, scratch, inverse);
+            }
+            in_scratch = !in_scratch;
+        }
+        debug_assert!(!in_scratch);
+    }
+
+    /// In-place transform (unscaled): `buf` is both input and output.
+    /// Single-stage schedules stage through a stack buffer; multi-stage
+    /// schedules ping-pong `buf` ↔ `scratch`, with one copy-back pass when
+    /// the stage count is odd.
+    pub(crate) fn process_inplace(
+        &self,
+        buf: &mut [Complex<T>],
+        scratch: &mut [Complex<T>],
+        dir: FftDirection,
+    ) {
+        let inverse = dir == FftDirection::Inverse;
+        let k = self.stages.len();
+        if k == 1 {
+            // n = radix ≤ MAX_RADIX: gather to the stack, scatter back.
+            let mut t = [Complex::<T>::zero(); MAX_RADIX];
+            t[..self.n].copy_from_slice(buf);
+            run_stage(&self.stages[0], &t[..self.n], buf, inverse);
+            return;
+        }
+        let scratch = &mut scratch[..self.n];
+        let mut in_scratch = false;
+        for st in &self.stages {
+            if in_scratch {
+                run_stage(st, scratch, buf, inverse);
+            } else {
+                run_stage(st, buf, scratch, inverse);
+            }
+            in_scratch = !in_scratch;
+        }
+        if in_scratch {
+            buf.copy_from_slice(scratch);
+        }
+    }
+}
+
+/// Execute one stage, reading `src` and writing every element of `dst`.
+fn run_stage<T: Real>(st: &Stage<T>, src: &[Complex<T>], dst: &mut [Complex<T>], inverse: bool) {
+    let (r, m, s) = (st.radix, st.m, st.s);
+    match r {
+        2 => {
+            let sm = s * m;
+            for p in 0..m {
+                let mut w = st.twiddles[p];
+                if inverse {
+                    w = w.conj();
+                }
+                let i0 = s * p;
+                let o0 = 2 * s * p;
+                for q in 0..s {
+                    let a = src[i0 + q];
+                    let b = src[i0 + sm + q];
+                    dst[o0 + q] = a + b;
+                    dst[o0 + s + q] = (a - b) * w;
+                }
+            }
+        }
+        4 => {
+            let sm = s * m;
+            for p in 0..m {
+                let (mut w1, mut w2, mut w3) =
+                    (st.twiddles[3 * p], st.twiddles[3 * p + 1], st.twiddles[3 * p + 2]);
+                if inverse {
+                    w1 = w1.conj();
+                    w2 = w2.conj();
+                    w3 = w3.conj();
+                }
+                let i0 = s * p;
+                let o0 = 4 * s * p;
+                for q in 0..s {
+                    let t0 = src[i0 + q];
+                    let t1 = src[i0 + sm + q];
+                    let t2 = src[i0 + 2 * sm + q];
+                    let t3 = src[i0 + 3 * sm + q];
+                    let e = t0 + t2;
+                    let f = t0 - t2;
+                    let g = t1 + t3;
+                    let h = t1 - t3;
+                    // ∓i·h depending on direction.
+                    let ih =
+                        if inverse { Complex::new(-h.im, h.re) } else { Complex::new(h.im, -h.re) };
+                    dst[o0 + q] = e + g;
+                    dst[o0 + s + q] = (f + ih) * w1;
+                    dst[o0 + 2 * s + q] = (e - g) * w2;
+                    dst[o0 + 3 * s + q] = (f - ih) * w3;
+                }
+            }
+        }
+        _ => {
+            let mut t = [Complex::<T>::zero(); MAX_RADIX];
+            for p in 0..m {
+                let tw = &st.twiddles[p * (r - 1)..(p + 1) * (r - 1)];
+                let i0 = s * p;
+                let o0 = r * s * p;
+                for q in 0..s {
+                    for (l, tl) in t[..r].iter_mut().enumerate() {
+                        *tl = src[i0 + s * m * l + q];
+                    }
+                    let mut acc = t[0];
+                    for &tl in &t[1..r] {
+                        acc += tl;
+                    }
+                    dst[o0 + q] = acc;
+                    for j in 1..r {
+                        let mut acc = t[0];
+                        for (l, &tl) in t[..r].iter().enumerate().skip(1) {
+                            let mut wr = st.radix_roots[(j * l) % r];
+                            if inverse {
+                                wr = wr.conj();
+                            }
+                            acc = tl.mul_add(wr, acc);
+                        }
+                        let mut w = tw[j - 1];
+                        if inverse {
+                            w = w.conj();
+                        }
+                        dst[o0 + s * j + q] = acc * w;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft::naive_dft;
+    use fftmatvec_numeric::SplitMix64;
+
+    type C = Complex<f64>;
+
+    fn random_signal(n: usize, seed: u64) -> Vec<C> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n).map(|_| C::new(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0))).collect()
+    }
+
+    /// The exact factor schedule the plan would hand the engine.
+    fn factors_of(n: usize) -> Vec<usize> {
+        crate::plan::factorize(n).expect("test sizes have no Bluestein-path factors")
+    }
+
+    #[test]
+    fn stages_match_naive_dft() {
+        for n in [2usize, 3, 4, 5, 6, 8, 12, 16, 27, 30, 49, 61, 64, 100, 120] {
+            let eng = IterativeFft::<f64>::new(n, &factors_of(n));
+            let x = random_signal(n, n as u64);
+            let mut out = vec![C::zero(); n];
+            let mut scratch = vec![C::zero(); eng.scratch_len()];
+            eng.process(&x, &mut out, &mut scratch, FftDirection::Forward);
+            let mut slow = vec![C::zero(); n];
+            naive_dft(&x, &mut slow, FftDirection::Forward);
+            let err = out.iter().zip(&slow).map(|(a, b)| (*a - *b).abs()).fold(0.0, f64::max);
+            assert!(err < 1e-10 * n as f64, "n={n} err={err}");
+        }
+    }
+
+    #[test]
+    fn inplace_matches_out_of_place() {
+        for n in [2usize, 4, 5, 8, 16, 32, 60, 64, 128, 200, 2000] {
+            let eng = IterativeFft::<f64>::new(n, &factors_of(n));
+            let x = random_signal(n, 1 + n as u64);
+            let mut out = vec![C::zero(); n];
+            let mut scratch = vec![C::zero(); eng.scratch_len()];
+            eng.process(&x, &mut out, &mut scratch, FftDirection::Forward);
+            let mut buf = x.clone();
+            eng.process_inplace(&mut buf, &mut scratch, FftDirection::Forward);
+            let err = out.iter().zip(&buf).map(|(a, b)| (*a - *b).abs()).fold(0.0, f64::max);
+            assert!(err < 1e-12, "n={n} err={err}");
+        }
+    }
+
+    #[test]
+    fn scratch_len_is_zero_for_single_stage() {
+        for n in [2usize, 3, 4, 61] {
+            assert_eq!(IterativeFft::<f64>::new(n, &factors_of(n)).scratch_len(), 0, "n={n}");
+        }
+        assert_eq!(IterativeFft::<f64>::new(8, &factors_of(8)).scratch_len(), 8);
+        assert_eq!(IterativeFft::<f64>::new(2048, &factors_of(2048)).scratch_len(), 2048);
+    }
+}

@@ -5,21 +5,29 @@
 //! transform length 2000 = 2⁴·5³ is *not* a power of two). The paper uses
 //! cuFFT/hipFFT; this crate is the from-scratch replacement:
 //!
-//! * [`FftPlan`] — mixed-radix decimation-in-time Cooley–Tukey for sizes
-//!   whose prime factors are ≤ 61, with hand-tuned radix-2/4 butterflies
-//!   and table-driven odd radices; Bluestein's chirp-z algorithm for
-//!   anything with a larger prime factor. Twiddles are precomputed at plan
-//!   time (the "setup phase" of the paper, always done in double precision
-//!   by the caller).
+//! * [`FftPlan`] — Stockham-style iterative mixed-radix engine
+//!   (the private `iterative` module) for sizes whose prime factors are ≤ 61, with
+//!   hand-tuned radix-2/4 butterflies and table-driven odd radices;
+//!   Bluestein's chirp-z algorithm for anything with a larger prime
+//!   factor. Per-stage twiddles are precomputed at plan time (the "setup
+//!   phase" of the paper, always done in double precision by the caller),
+//!   and execution is available both out-of-place and in place.
+//! * [`cache`] — the process-wide plan cache: one shared plan per
+//!   `(n, precision, kind)`, behind cheap [`cache::PlanHandle`] clones, so
+//!   call sites never rebuild twiddle tables.
 //! * [`RealFftPlan`] — real-to-complex forward / complex-to-real inverse
 //!   transforms using the packed half-length complex trick. For an even
 //!   length `n` the forward transform returns `n/2 + 1` complex bins —
 //!   exactly why the paper's frequency-domain SBGEMV batch count is
 //!   `N_t + 1` (Section 2.4).
-//! * [`batch`] — contiguous batched execution parallelized with rayon,
-//!   standing in for `cufftPlanMany`/`hipfftPlanMany`.
+//! * [`batch`] — contiguous batched execution through one shared scratch
+//!   arena ([`scratch`]), parallelized across the batch dimension with
+//!   rayon, standing in for `cufftPlanMany`/`hipfftPlanMany`.
 //! * [`dft`] — a naive O(n²) reference DFT used by tests and by the
 //!   Bluestein implementation's own validation.
+//! * [`recursive`] — the seed's recursive engine, kept as a differential
+//!   test oracle and the benchmark baseline the iterative engine is gated
+//!   against in CI.
 //!
 //! Conventions: forward transform uses `e^{-2πi jk/n}` and is unscaled;
 //! the inverse uses `e^{+2πi jk/n}` and scales by `1/n`, so
@@ -29,13 +37,20 @@
 
 pub mod batch;
 pub mod bluestein;
+pub mod cache;
 pub mod dft;
+mod iterative;
 pub mod plan;
 pub mod real;
+pub mod recursive;
+pub mod scratch;
 
 pub use batch::{BatchedFft, BatchedRealFft};
+pub use cache::{PlanHandle, RealPlanHandle};
 pub use plan::{FftDirection, FftPlan};
 pub use real::RealFftPlan;
+pub use recursive::RecursiveFftPlan;
+pub use scratch::ScratchArena;
 
 /// Theoretical FFT relative error growth factor `log2(n)` used by the
 /// paper's error bound (Eq. 6, after [Van Loan 1992]).

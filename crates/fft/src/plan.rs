@@ -1,27 +1,33 @@
 //! Mixed-radix FFT plans.
 //!
 //! A [`FftPlan`] is built once per transform length (the paper's setup
-//! phase) and then applied to many vectors (the matvec phases). Plan
-//! construction factorizes `n`, precomputes per-level twiddle tables in
-//! `f64` (rounded into the plan's precision `T`), and selects a strategy:
+//! phase) and then applied to many vectors (the matvec phases) — shared
+//! plans come from [`crate::cache`], so call sites normally never build
+//! one directly. Plan construction factorizes `n`, precomputes per-stage
+//! twiddle tables in `f64` (rounded into the plan's precision `T`), and
+//! selects a strategy:
 //!
-//! * `MixedRadix` — decimation-in-time Cooley–Tukey over the factor list.
-//!   Radix 2 and 4 butterflies are hand-coded; odd radices up to
-//!   [`MAX_RADIX`] use a table-driven r-point DFT.
+//! * `Iterative` — Stockham-style iterative schedule
+//!   (`iterative` module): radix-4/radix-2 stages with hand-coded
+//!   butterflies, a table-driven generic butterfly for odd radices up to
+//!   [`MAX_RADIX`], self-sorting ping-pong execution.
 //! * `Bluestein` — chirp-z fallback for lengths with a prime factor larger
 //!   than [`MAX_RADIX`] (delegates to [`crate::bluestein`]).
 //!
-//! Execution is out-of-place and allocation-free: callers supply a scratch
-//! slice of [`FftPlan::scratch_len`] elements, which lets the batched
-//! driver keep one scratch per rayon worker.
+//! Execution is allocation-free and comes in two shapes: out-of-place
+//! ([`FftPlan::process`]) and in-place ([`FftPlan::process_inplace`]).
+//! Both take a caller-supplied scratch slice of exactly
+//! [`FftPlan::scratch_len`] elements, which lets the batched driver keep
+//! one scratch per worker in a shared arena.
 
 use fftmatvec_numeric::{Complex, Real};
 
 use crate::bluestein::BluesteinPlan;
+use crate::iterative::IterativeFft;
 
 /// Transform direction. Forward is `e^{-2πijk/n}` unscaled; inverse is
 /// `e^{+2πijk/n}` scaled by `1/n`.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum FftDirection {
     Forward,
     Inverse,
@@ -42,24 +48,10 @@ impl FftDirection {
 /// FFTMatvec workloads produce (2·N_t with N_t round numbers).
 pub const MAX_RADIX: usize = 61;
 
-/// One recursion level of the mixed-radix decomposition.
-struct Level<T: Real> {
-    /// Sub-transform size at this level.
-    n: usize,
-    /// Radix split off at this level.
-    radix: usize,
-    /// `n / radix`.
-    m: usize,
-    /// `twiddles[j] = e^{-2πij/n}` for `j in 0..n`.
-    twiddles: Vec<Complex<T>>,
-    /// `radix_roots[x] = e^{-2πix/r}` for `x in 0..r` (generic butterfly).
-    radix_roots: Vec<Complex<T>>,
-}
-
 enum Strategy<T: Real> {
     /// n ≤ 1: copy.
     Tiny,
-    MixedRadix(Vec<Level<T>>),
+    Iterative(IterativeFft<T>),
     Bluestein(Box<BluesteinPlan<T>>),
 }
 
@@ -72,7 +64,7 @@ pub struct FftPlan<T: Real> {
 /// Factorize `n` into the radix schedule: factors of 4 first (the cheapest
 /// butterfly), then 2, then odd primes ascending. Returns `None` if a
 /// prime factor exceeds [`MAX_RADIX`].
-fn factorize(mut n: usize) -> Option<Vec<usize>> {
+pub(crate) fn factorize(mut n: usize) -> Option<Vec<usize>> {
     let mut factors = Vec::new();
     while n % 4 == 0 {
         factors.push(4);
@@ -102,15 +94,9 @@ fn factorize(mut n: usize) -> Option<Vec<usize>> {
     Some(factors)
 }
 
-/// Twiddle table `e^{-2πij/n}`, computed in f64 and rounded to `T` so that
-/// f32 plans do not accumulate argument-reduction error.
-fn twiddle_table<T: Real>(n: usize) -> Vec<Complex<T>> {
-    let step = -2.0 * std::f64::consts::PI / n as f64;
-    (0..n).map(|j| Complex::<f64>::expi(step * j as f64).cast()).collect()
-}
-
 impl<T: Real> FftPlan<T> {
-    /// Build a plan for length `n`. `n = 0` is rejected.
+    /// Build a plan for length `n`. `n = 0` is rejected. Prefer
+    /// [`crate::cache::complex_plan`] for a shared, cached plan.
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "FftPlan length must be nonzero");
         if n == 1 {
@@ -118,20 +104,7 @@ impl<T: Real> FftPlan<T> {
         }
         match factorize(n) {
             Some(factors) => {
-                let mut levels = Vec::with_capacity(factors.len());
-                let mut cur = n;
-                for &r in &factors {
-                    levels.push(Level {
-                        n: cur,
-                        radix: r,
-                        m: cur / r,
-                        twiddles: twiddle_table::<T>(cur),
-                        radix_roots: twiddle_table::<T>(r),
-                    });
-                    cur /= r;
-                }
-                debug_assert_eq!(cur, 1);
-                FftPlan { n, strategy: Strategy::MixedRadix(levels) }
+                FftPlan { n, strategy: Strategy::Iterative(IterativeFft::new(n, &factors)) }
             }
             None => FftPlan { n, strategy: Strategy::Bluestein(Box::new(BluesteinPlan::new(n))) },
         }
@@ -148,10 +121,20 @@ impl<T: Real> FftPlan<T> {
         false
     }
 
-    /// Required scratch length for [`FftPlan::process`].
+    /// Exact scratch length (complex elements) for both
+    /// [`FftPlan::process`] and [`FftPlan::process_inplace`]:
+    ///
+    /// * `0` for `n = 1` and single-stage schedules (`n` a prime ≤
+    ///   [`MAX_RADIX`], 2, or 4);
+    /// * `n` for multi-stage iterative schedules (the ping-pong partner
+    ///   buffer);
+    /// * `2·m` for Bluestein lengths, where `m` is the inner power-of-two
+    ///   convolution length (covers the chirped signal and its ping-pong
+    ///   partner).
     pub fn scratch_len(&self) -> usize {
         match &self.strategy {
-            Strategy::Tiny | Strategy::MixedRadix(_) => 0,
+            Strategy::Tiny => 0,
+            Strategy::Iterative(engine) => engine.scratch_len(),
             Strategy::Bluestein(b) => b.scratch_len(),
         }
     }
@@ -175,16 +158,42 @@ impl<T: Real> FftPlan<T> {
         );
         match &self.strategy {
             Strategy::Tiny => output[0] = input[0],
-            Strategy::MixedRadix(levels) => {
-                rec_fft(levels, 0, input, 0, 1, output, dir);
+            Strategy::Iterative(engine) => {
+                engine.process(input, output, scratch, dir);
                 if dir == FftDirection::Inverse {
-                    let scale = T::from_usize(self.n).recip();
-                    for v in output.iter_mut() {
-                        *v = v.scale(scale);
-                    }
+                    scale_by_recip_n(output, self.n);
                 }
             }
             Strategy::Bluestein(b) => b.process(input, output, scratch, dir),
+        }
+    }
+
+    /// In-place transform: `buf` is both input and output
+    /// (`buf.len() == n`, `scratch.len() >= self.scratch_len()`). This is
+    /// the batched driver's hot path — no output buffer, no per-call
+    /// allocation.
+    pub fn process_inplace(
+        &self,
+        buf: &mut [Complex<T>],
+        scratch: &mut [Complex<T>],
+        dir: FftDirection,
+    ) {
+        assert_eq!(buf.len(), self.n, "FftPlan in-place buffer length mismatch");
+        assert!(
+            scratch.len() >= self.scratch_len(),
+            "FftPlan scratch too small: {} < {}",
+            scratch.len(),
+            self.scratch_len()
+        );
+        match &self.strategy {
+            Strategy::Tiny => {}
+            Strategy::Iterative(engine) => {
+                engine.process_inplace(buf, scratch, dir);
+                if dir == FftDirection::Inverse {
+                    scale_by_recip_n(buf, self.n);
+                }
+            }
+            Strategy::Bluestein(b) => b.process_inplace(buf, scratch, dir),
         }
     }
 
@@ -228,89 +237,22 @@ impl<T: Real> FftPlan<T> {
     pub fn is_bluestein(&self) -> bool {
         matches!(self.strategy, Strategy::Bluestein(_))
     }
+
+    /// Number of iterative butterfly stages (`0` for tiny and Bluestein
+    /// plans) — exposed for scratch audits and tests.
+    pub fn stage_count(&self) -> usize {
+        match &self.strategy {
+            Strategy::Iterative(engine) => engine.stage_count(),
+            _ => 0,
+        }
+    }
 }
 
-/// Recursive decimation-in-time step.
-///
-/// `input[offset + j*stride]` for `j in 0..levels[lvl].n` is transformed
-/// into `out` (contiguous). Sub-FFTs land in `out[q*m..][..m]`, then the
-/// per-`u` combine gathers `{out[q*m+u]}`, twiddles, and scatters the
-/// radix-point DFT back to `{out[u+v*m]}` — the same index set, so the
-/// combine is in-place within `out` using a small stack buffer.
-fn rec_fft<T: Real>(
-    levels: &[Level<T>],
-    lvl: usize,
-    input: &[Complex<T>],
-    offset: usize,
-    stride: usize,
-    out: &mut [Complex<T>],
-    dir: FftDirection,
-) {
-    if lvl == levels.len() {
-        out[0] = input[offset];
-        return;
-    }
-    let level = &levels[lvl];
-    let r = level.radix;
-    let m = level.m;
-    debug_assert_eq!(out.len(), level.n);
-
-    for q in 0..r {
-        rec_fft(
-            levels,
-            lvl + 1,
-            input,
-            offset + q * stride,
-            stride * r,
-            &mut out[q * m..(q + 1) * m],
-            dir,
-        );
-    }
-
-    let inverse = dir == FftDirection::Inverse;
-    let mut t = [Complex::<T>::zero(); MAX_RADIX + 1];
-    for u in 0..m {
-        // Gather + twiddle.
-        for q in 0..r {
-            let mut w = level.twiddles[q * u];
-            if inverse {
-                w = w.conj();
-            }
-            t[q] = out[q * m + u] * w;
-        }
-        // Radix-point DFT across the gathered values.
-        match r {
-            2 => {
-                out[u] = t[0] + t[1];
-                out[u + m] = t[0] - t[1];
-            }
-            4 => {
-                let e = t[0] + t[2];
-                let f = t[0] - t[2];
-                let g = t[1] + t[3];
-                let h = t[1] - t[3];
-                // ±i·h depending on direction.
-                let ih =
-                    if inverse { Complex::new(-h.im, h.re) } else { Complex::new(h.im, -h.re) };
-                out[u] = e + g;
-                out[u + m] = f + ih;
-                out[u + 2 * m] = e - g;
-                out[u + 3 * m] = f - ih;
-            }
-            _ => {
-                for v in 0..r {
-                    let mut acc = t[0];
-                    for q in 1..r {
-                        let mut w = level.radix_roots[(q * v) % r];
-                        if inverse {
-                            w = w.conj();
-                        }
-                        acc = t[q].mul_add(w, acc);
-                    }
-                    out[u + v * m] = acc;
-                }
-            }
-        }
+#[inline]
+fn scale_by_recip_n<T: Real>(buf: &mut [Complex<T>], n: usize) {
+    let scale = T::from_usize(n).recip();
+    for v in buf.iter_mut() {
+        *v = v.scale(scale);
     }
 }
 
@@ -346,7 +288,7 @@ mod tests {
 
     #[test]
     fn matches_naive_dft_all_small_sizes() {
-        for n in 1..=40usize {
+        for n in 1..=64usize {
             let x = random_signal(n, n as u64);
             let plan = FftPlan::<f64>::new(n);
             let fast = plan.forward_vec(&x);
@@ -359,7 +301,7 @@ mod tests {
 
     #[test]
     fn matches_naive_dft_inverse_small_sizes() {
-        for n in [1usize, 2, 3, 6, 8, 12, 20, 30] {
+        for n in [1usize, 2, 3, 6, 8, 12, 20, 30, 48, 64] {
             let x = random_signal(n, 100 + n as u64);
             let plan = FftPlan::<f64>::new(n);
             let fast = plan.inverse_vec(&x);
@@ -379,6 +321,41 @@ mod tests {
             let back = plan.inverse_vec(&freq);
             assert!(max_err(&back, &x) < 1e-12, "n={n}");
         }
+    }
+
+    #[test]
+    fn inplace_matches_out_of_place_all_strategies() {
+        // Iterative (single- and multi-stage), Bluestein, and tiny.
+        for n in [1usize, 2, 4, 7, 8, 61, 64, 67, 101, 200, 500, 1024, 2000] {
+            let plan = FftPlan::<f64>::new(n);
+            let x = random_signal(n, 7 * n as u64 + 3);
+            let mut scratch = vec![C::zero(); plan.scratch_len()];
+            for dir in [FftDirection::Forward, FftDirection::Inverse] {
+                let mut want = vec![C::zero(); n];
+                plan.process(&x, &mut want, &mut scratch, dir);
+                let mut buf = x.clone();
+                plan.process_inplace(&mut buf, &mut scratch, dir);
+                assert!(max_err(&buf, &want) < 1e-13, "n={n} {dir:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_len_contract_is_exact() {
+        // Tiny and single-stage schedules need no scratch at all.
+        for n in [1usize, 2, 3, 4, 5, 61] {
+            assert_eq!(FftPlan::<f64>::new(n).scratch_len(), 0, "n={n}");
+        }
+        // Multi-stage iterative schedules need exactly one partner buffer.
+        for n in [8usize, 1024, 2000, 2048] {
+            let plan = FftPlan::<f64>::new(n);
+            assert!(plan.stage_count() >= 2);
+            assert_eq!(plan.scratch_len(), n, "n={n}");
+        }
+        // Bluestein: chirped signal + ping-pong partner, both length m.
+        let plan = FftPlan::<f64>::new(67);
+        assert!(plan.is_bluestein());
+        assert_eq!(plan.scratch_len(), 2 * (2 * 67 - 1usize).next_power_of_two());
     }
 
     #[test]
@@ -431,18 +408,19 @@ mod tests {
     }
 
     #[test]
-    fn f32_plan_roundtrip() {
-        let n = 2000;
-        let mut rng = SplitMix64::new(9);
-        let x: Vec<Complex<f32>> = (0..n)
-            .map(|_| Complex::new(rng.uniform(-1.0, 1.0) as f32, rng.uniform(-1.0, 1.0) as f32))
-            .collect();
-        let plan = FftPlan::<f32>::new(n);
-        let freq = plan.forward_vec(&x);
-        let back = plan.inverse_vec(&freq);
-        let err = x.iter().zip(&back).map(|(a, b)| (*a - *b).abs()).fold(0.0f32, f32::max);
-        // Single-precision roundtrip error ~ eps·log2(n).
-        assert!(err < 1e-5, "err={err}");
+    fn f32_plan_roundtrip_paper_sizes() {
+        for n in [200usize, 500, 1024, 2000, 2048] {
+            let mut rng = SplitMix64::new(9 + n as u64);
+            let x: Vec<Complex<f32>> = (0..n)
+                .map(|_| Complex::new(rng.uniform(-1.0, 1.0) as f32, rng.uniform(-1.0, 1.0) as f32))
+                .collect();
+            let plan = FftPlan::<f32>::new(n);
+            let freq = plan.forward_vec(&x);
+            let back = plan.inverse_vec(&freq);
+            let err = x.iter().zip(&back).map(|(a, b)| (*a - *b).abs()).fold(0.0f32, f32::max);
+            // Single-precision roundtrip error ~ eps·log2(n).
+            assert!(err < 1e-5, "n={n} err={err}");
+        }
     }
 
     #[test]
@@ -463,6 +441,7 @@ mod tests {
         let plan = FftPlan::<f64>::new(8);
         let x = vec![C::zero(); 4];
         let mut out = vec![C::zero(); 8];
-        plan.forward(&x, &mut out, &mut []);
+        let mut scratch = vec![C::zero(); plan.scratch_len()];
+        plan.forward(&x, &mut out, &mut scratch);
     }
 }

@@ -6,30 +6,39 @@
 //! has `n/2 + 1 = N_t + 1` independent complex bins, which is exactly the
 //! SBGEMV batch size quoted in Section 2.4.
 //!
+//! The half-length complex plan is shared through [`crate::cache`] (so a
+//! real plan and a complex plan of length `n/2` cost one twiddle set), and
+//! both directions run it in place on the packed buffer: scratch is the
+//! packed signal plus the half plan's ping-pong partner,
+//! `n/2 + half.scratch_len()` elements — half the seed's requirement.
+//!
 //! Conventions match [`crate::FftPlan`]: forward unscaled, inverse scaled
 //! so `inverse(forward(x)) == x`.
 
 use fftmatvec_numeric::{Complex, Real};
 
-use crate::plan::FftPlan;
+use crate::cache::{self, PlanHandle};
+use crate::plan::FftDirection;
 
 /// Plan for transforms of real signals of even length `n`.
 pub struct RealFftPlan<T: Real> {
     n: usize,
-    half: FftPlan<T>,
+    /// Shared half-length complex plan.
+    half: PlanHandle<T>,
     /// `w[k] = e^{-2πik/n}` for `k in 0..n/2` (unpack twiddles).
     twiddles: Vec<Complex<T>>,
 }
 
 impl<T: Real> RealFftPlan<T> {
     /// Build a plan. `n` must be even and ≥ 2 (FFTMatvec always transforms
-    /// padded signals of length `2·N_t`).
+    /// padded signals of length `2·N_t`). Prefer [`crate::cache::real_plan`]
+    /// for a shared, cached plan.
     pub fn new(n: usize) -> Self {
         assert!(n >= 2 && n % 2 == 0, "RealFftPlan requires even n >= 2, got {n}");
         let h = n / 2;
         let step = -2.0 * std::f64::consts::PI / n as f64;
         let twiddles = (0..h).map(|k| Complex::<f64>::expi(step * k as f64).cast()).collect();
-        RealFftPlan { n, half: FftPlan::new(h), twiddles }
+        RealFftPlan { n, half: cache::complex_plan::<T>(h), twiddles }
     }
 
     /// Real signal length `n`.
@@ -49,9 +58,10 @@ impl<T: Real> RealFftPlan<T> {
         self.n / 2 + 1
     }
 
-    /// Scratch requirement (complex elements) for both directions.
+    /// Scratch requirement (complex elements) for both directions: the
+    /// packed half-length signal plus the half plan's own scratch.
     pub fn scratch_len(&self) -> usize {
-        self.n + self.half.scratch_len()
+        self.n / 2 + self.half.scratch_len()
     }
 
     /// Forward R2C: `input.len() == n`, `output.len() == n/2 + 1`.
@@ -62,22 +72,21 @@ impl<T: Real> RealFftPlan<T> {
         assert!(scratch.len() >= self.scratch_len(), "RealFftPlan scratch too small");
         let (z, inner_scratch) = scratch.split_at_mut(h);
 
-        // Pack pairs of reals into complex: z[j] = x[2j] + i·x[2j+1].
+        // Pack pairs of reals into complex: z[j] = x[2j] + i·x[2j+1],
+        // then Z = FFT_h(z) in place.
         for (j, zj) in z.iter_mut().enumerate() {
             *zj = Complex::new(input[2 * j], input[2 * j + 1]);
         }
-        // Z = FFT_h(z), landing in output[0..h].
-        self.half.forward(z, &mut output[..h], inner_scratch);
+        self.half.process_inplace(z, inner_scratch, FftDirection::Forward);
 
         // Unpack: split Z into the spectra of even/odd samples and stitch.
         let half = T::from_f64(0.5);
-        let z0 = output[0];
-        output[0] = Complex::from_real(z0.re + z0.im);
-        output[h] = Complex::from_real(z0.re - z0.im);
+        output[0] = Complex::from_real(z[0].re + z[0].im);
+        output[h] = Complex::from_real(z[0].re - z[0].im);
         let mut k = 1;
         while 2 * k < h {
-            let zk = output[k];
-            let zc = output[h - k].conj();
+            let zk = z[k];
+            let zc = z[h - k].conj();
             let ze = (zk + zc).scale(half);
             // zo = (zk − zc)/(2i) = −i·(zk − zc)/2
             let d = (zk - zc).scale(half);
@@ -89,7 +98,7 @@ impl<T: Real> RealFftPlan<T> {
         }
         if h % 2 == 0 && h >= 2 {
             // Self-paired bin: X[h/2] = conj(Z[h/2]).
-            output[h / 2] = output[h / 2].conj();
+            output[h / 2] = z[h / 2].conj();
         }
     }
 
@@ -127,12 +136,11 @@ impl<T: Real> RealFftPlan<T> {
             z[h / 2] = spectrum[h / 2].conj();
         }
 
-        // z = IFFT_h(Z) (scaled 1/h); the even/odd stitching above already
-        // accounts for the remaining factor of two, so unpacking the
-        // interleaved reals completes the exact inverse.
-        let (time, inner_scratch) = inner_scratch.split_at_mut(h);
-        self.half.inverse(z, time, inner_scratch);
-        for (j, t) in time.iter().enumerate() {
+        // z = IFFT_h(Z) in place (scaled 1/h); the even/odd stitching above
+        // already accounts for the remaining factor of two, so unpacking
+        // the interleaved reals completes the exact inverse.
+        self.half.process_inplace(z, inner_scratch, FftDirection::Inverse);
+        for (j, t) in z.iter().enumerate() {
             output[2 * j] = t.re;
             output[2 * j + 1] = t.im;
         }
@@ -143,7 +151,6 @@ impl<T: Real> RealFftPlan<T> {
 mod tests {
     use super::*;
     use crate::dft::naive_dft;
-    use crate::plan::FftDirection;
     use fftmatvec_numeric::SplitMix64;
 
     type C = Complex<f64>;
@@ -198,6 +205,16 @@ mod tests {
             let err = back.iter().zip(&x).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
             assert!(err < 1e-12, "n={n} err={err}");
         }
+    }
+
+    #[test]
+    fn scratch_is_half_plus_inner() {
+        // The in-place half transform tightened the contract from the
+        // seed's `n + inner` to `n/2 + inner`.
+        let plan = RealFftPlan::<f64>::new(2048);
+        assert_eq!(plan.scratch_len(), 1024 + 1024);
+        let tiny = RealFftPlan::<f64>::new(4); // half plan is single-stage
+        assert_eq!(tiny.scratch_len(), 2);
     }
 
     #[test]

@@ -1,0 +1,243 @@
+//! The seed's recursive mixed-radix FFT, kept as a reference baseline.
+//!
+//! This is the out-of-place decimation-in-time recursion the workspace
+//! shipped with before the iterative Stockham engine
+//! (`iterative` module) replaced it on the hot path. It is retained for
+//! two jobs:
+//!
+//! * **Differential testing** — the two engines share no execution code,
+//!   so agreement between them is strong evidence against schedule bugs.
+//! * **Benchmark trajectory** — `bench_fft` times both engines and
+//!   `bench/baseline.json` records the speedup of the iterative path over
+//!   this one (the "seed recursive path" in the CI bench gate).
+//!
+//! Only lengths whose prime factors are ≤ [`MAX_RADIX`] are supported;
+//! Bluestein-path sizes never used this code directly.
+
+use fftmatvec_numeric::{Complex, Real};
+
+use crate::plan::{factorize, FftDirection, MAX_RADIX};
+
+/// One recursion level of the mixed-radix decomposition.
+struct Level<T: Real> {
+    /// Sub-transform size at this level.
+    n: usize,
+    /// Radix split off at this level.
+    radix: usize,
+    /// `n / radix`.
+    m: usize,
+    /// `twiddles[j] = e^{-2πij/n}` for `j in 0..n`.
+    twiddles: Vec<Complex<T>>,
+    /// `radix_roots[x] = e^{-2πix/r}` for `x in 0..r` (generic butterfly).
+    radix_roots: Vec<Complex<T>>,
+}
+
+/// The seed recursive plan: build once, apply out-of-place with no scratch.
+pub struct RecursiveFftPlan<T: Real> {
+    n: usize,
+    levels: Vec<Level<T>>,
+}
+
+fn twiddle_table<T: Real>(n: usize) -> Vec<Complex<T>> {
+    let step = -2.0 * std::f64::consts::PI / n as f64;
+    (0..n).map(|j| Complex::<f64>::expi(step * j as f64).cast()).collect()
+}
+
+impl<T: Real> RecursiveFftPlan<T> {
+    /// Build a plan for length `n`. Panics if `n == 0` or `n` has a prime
+    /// factor above [`MAX_RADIX`] (this baseline has no Bluestein path).
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "RecursiveFftPlan length must be nonzero");
+        let factors = factorize(n)
+            .unwrap_or_else(|| panic!("RecursiveFftPlan: {n} has a prime factor > {MAX_RADIX}"));
+        let mut levels = Vec::with_capacity(factors.len());
+        let mut cur = n;
+        for &r in &factors {
+            levels.push(Level {
+                n: cur,
+                radix: r,
+                m: cur / r,
+                twiddles: twiddle_table::<T>(cur),
+                radix_roots: twiddle_table::<T>(r),
+            });
+            cur /= r;
+        }
+        debug_assert_eq!(cur, 1);
+        RecursiveFftPlan { n, levels }
+    }
+
+    /// Transform length.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Out-of-place transform; the recursion needs no scratch.
+    pub fn process(&self, input: &[Complex<T>], output: &mut [Complex<T>], dir: FftDirection) {
+        assert_eq!(input.len(), self.n, "RecursiveFftPlan input length mismatch");
+        assert_eq!(output.len(), self.n, "RecursiveFftPlan output length mismatch");
+        if self.levels.is_empty() {
+            output[0] = input[0];
+            return;
+        }
+        rec_fft(&self.levels, 0, input, 0, 1, output, dir);
+        if dir == FftDirection::Inverse {
+            let scale = T::from_usize(self.n).recip();
+            for v in output.iter_mut() {
+                *v = v.scale(scale);
+            }
+        }
+    }
+
+    /// Allocating forward transform.
+    pub fn forward_vec(&self, input: &[Complex<T>]) -> Vec<Complex<T>> {
+        let mut out = vec![Complex::zero(); self.n];
+        self.process(input, &mut out, FftDirection::Forward);
+        out
+    }
+
+    /// Allocating inverse transform (scaled by `1/n`).
+    pub fn inverse_vec(&self, input: &[Complex<T>]) -> Vec<Complex<T>> {
+        let mut out = vec![Complex::zero(); self.n];
+        self.process(input, &mut out, FftDirection::Inverse);
+        out
+    }
+}
+
+/// Recursive decimation-in-time step (verbatim seed algorithm).
+///
+/// `input[offset + j*stride]` for `j in 0..levels[lvl].n` is transformed
+/// into `out` (contiguous). Sub-FFTs land in `out[q*m..][..m]`, then the
+/// per-`u` combine gathers `{out[q*m+u]}`, twiddles, and scatters the
+/// radix-point DFT back to `{out[u+v*m]}` — the same index set, so the
+/// combine is in-place within `out` using a small stack buffer.
+fn rec_fft<T: Real>(
+    levels: &[Level<T>],
+    lvl: usize,
+    input: &[Complex<T>],
+    offset: usize,
+    stride: usize,
+    out: &mut [Complex<T>],
+    dir: FftDirection,
+) {
+    if lvl == levels.len() {
+        out[0] = input[offset];
+        return;
+    }
+    let level = &levels[lvl];
+    let r = level.radix;
+    let m = level.m;
+    debug_assert_eq!(out.len(), level.n);
+
+    for q in 0..r {
+        rec_fft(
+            levels,
+            lvl + 1,
+            input,
+            offset + q * stride,
+            stride * r,
+            &mut out[q * m..(q + 1) * m],
+            dir,
+        );
+    }
+
+    let inverse = dir == FftDirection::Inverse;
+    let mut t = [Complex::<T>::zero(); MAX_RADIX + 1];
+    for u in 0..m {
+        // Gather + twiddle.
+        for q in 0..r {
+            let mut w = level.twiddles[q * u];
+            if inverse {
+                w = w.conj();
+            }
+            t[q] = out[q * m + u] * w;
+        }
+        // Radix-point DFT across the gathered values.
+        match r {
+            2 => {
+                out[u] = t[0] + t[1];
+                out[u + m] = t[0] - t[1];
+            }
+            4 => {
+                let e = t[0] + t[2];
+                let f = t[0] - t[2];
+                let g = t[1] + t[3];
+                let h = t[1] - t[3];
+                // ±i·h depending on direction.
+                let ih =
+                    if inverse { Complex::new(-h.im, h.re) } else { Complex::new(h.im, -h.re) };
+                out[u] = e + g;
+                out[u + m] = f + ih;
+                out[u + 2 * m] = e - g;
+                out[u + 3 * m] = f - ih;
+            }
+            _ => {
+                for v in 0..r {
+                    let mut acc = t[0];
+                    for q in 1..r {
+                        let mut w = level.radix_roots[(q * v) % r];
+                        if inverse {
+                            w = w.conj();
+                        }
+                        acc = t[q].mul_add(w, acc);
+                    }
+                    out[u + v * m] = acc;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FftPlan;
+    use fftmatvec_numeric::SplitMix64;
+
+    type C = Complex<f64>;
+
+    fn random_signal(n: usize, seed: u64) -> Vec<C> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n).map(|_| C::new(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0))).collect()
+    }
+
+    #[test]
+    fn recursive_and_iterative_engines_agree() {
+        // Differential test: no shared execution code between the engines.
+        for n in [1usize, 2, 6, 8, 30, 64, 200, 500, 1024, 2000, 2048] {
+            let x = random_signal(n, n as u64);
+            let seed_plan = RecursiveFftPlan::<f64>::new(n);
+            let plan = FftPlan::<f64>::new(n);
+            for dir in [FftDirection::Forward, FftDirection::Inverse] {
+                let mut a = vec![C::zero(); n];
+                seed_plan.process(&x, &mut a, dir);
+                let mut b = vec![C::zero(); n];
+                let mut scratch = vec![C::zero(); plan.scratch_len()];
+                plan.process(&x, &mut b, &mut scratch, dir);
+                let err = a.iter().zip(&b).map(|(p, q)| (*p - *q).abs()).fold(0.0, f64::max);
+                assert!(err < 1e-11 * (n.max(2) as f64), "n={n} {dir:?} err={err}");
+            }
+        }
+    }
+
+    #[test]
+    fn recursive_roundtrip() {
+        let n = 2000;
+        let x = random_signal(n, 9);
+        let plan = RecursiveFftPlan::<f64>::new(n);
+        let back = plan.inverse_vec(&plan.forward_vec(&x));
+        let err = back.iter().zip(&x).map(|(a, b)| (*a - *b).abs()).fold(0.0, f64::max);
+        assert!(err < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "prime factor")]
+    fn bluestein_sizes_rejected() {
+        let _ = RecursiveFftPlan::<f64>::new(67);
+    }
+}

@@ -1,0 +1,110 @@
+//! Shared scratch arena for batched FFT execution.
+//!
+//! The batched drivers run thousands of transforms through one plan; each
+//! transform needs a scratch slice of [`crate::FftPlan::scratch_len`]
+//! elements. Instead of a fresh `vec![Complex::ZERO; …]` per call (the
+//! seed behaviour), a [`ScratchArena`] pools the buffers: a worker checks
+//! one out, runs any number of transforms through it, and the guard
+//! returns it on drop. Under rayon the pool holds at most one buffer per
+//! concurrently-running worker; sequentially it stabilizes at a single
+//! reused allocation.
+
+use std::sync::Mutex;
+
+use fftmatvec_numeric::{Complex, Real};
+
+/// Pool of equally-sized scratch buffers.
+pub struct ScratchArena<T: Real> {
+    /// Required scratch length per buffer.
+    len: usize,
+    pool: Mutex<Vec<Vec<Complex<T>>>>,
+}
+
+impl<T: Real> ScratchArena<T> {
+    /// Arena handing out buffers of exactly `len` complex elements.
+    pub fn new(len: usize) -> Self {
+        ScratchArena { len, pool: Mutex::new(Vec::new()) }
+    }
+
+    /// Buffer length this arena provisions.
+    #[inline]
+    pub fn buffer_len(&self) -> usize {
+        self.len
+    }
+
+    /// Check out a scratch buffer; it returns to the pool when the guard
+    /// drops. Contents are unspecified — FFT execution overwrites scratch
+    /// before reading it.
+    pub fn checkout(&self) -> ScratchGuard<'_, T> {
+        let mut buf = self.pool.lock().unwrap().pop().unwrap_or_default();
+        buf.resize(self.len, Complex::zero());
+        ScratchGuard { arena: self, buf }
+    }
+
+    /// Buffers currently parked in the pool (diagnostic).
+    pub fn pooled(&self) -> usize {
+        self.pool.lock().unwrap().len()
+    }
+}
+
+/// RAII handle to one pooled scratch buffer.
+pub struct ScratchGuard<'a, T: Real> {
+    arena: &'a ScratchArena<T>,
+    buf: Vec<Complex<T>>,
+}
+
+impl<T: Real> ScratchGuard<'_, T> {
+    /// The scratch slice, sized to the arena's buffer length.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [Complex<T>] {
+        &mut self.buf
+    }
+}
+
+impl<T: Real> Drop for ScratchGuard<'_, T> {
+    fn drop(&mut self) {
+        let buf = std::mem::take(&mut self.buf);
+        self.arena.pool.lock().unwrap().push(buf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkout_returns_sized_buffer_and_recycles() {
+        let arena = ScratchArena::<f64>::new(64);
+        assert_eq!(arena.pooled(), 0);
+        {
+            let mut g = arena.checkout();
+            assert_eq!(g.as_mut_slice().len(), 64);
+            g.as_mut_slice()[0] = Complex::one();
+        }
+        assert_eq!(arena.pooled(), 1, "dropped guard must return its buffer");
+        {
+            let mut g = arena.checkout();
+            assert_eq!(g.as_mut_slice().len(), 64);
+        }
+        assert_eq!(arena.pooled(), 1, "buffer is reused, not duplicated");
+    }
+
+    #[test]
+    fn concurrent_checkouts_get_distinct_buffers() {
+        let arena = ScratchArena::<f32>::new(8);
+        let mut a = arena.checkout();
+        let mut b = arena.checkout();
+        a.as_mut_slice()[0] = Complex::one();
+        assert_eq!(b.as_mut_slice()[0], Complex::zero());
+        drop(a);
+        drop(b);
+        assert_eq!(arena.pooled(), 2);
+    }
+
+    #[test]
+    fn zero_length_arena_is_free() {
+        let arena = ScratchArena::<f64>::new(0);
+        let mut g = arena.checkout();
+        assert!(g.as_mut_slice().is_empty());
+    }
+}

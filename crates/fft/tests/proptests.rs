@@ -6,11 +6,15 @@
 //! agreement between the real-packed and complex paths.
 
 use fftmatvec_fft::dft::naive_dft;
-use fftmatvec_fft::{BatchedFft, FftDirection, FftPlan, RealFftPlan};
-use fftmatvec_numeric::{Complex, SplitMix64};
+use fftmatvec_fft::{cache, BatchedFft, BatchedRealFft, FftDirection, FftPlan, RealFftPlan};
+use fftmatvec_numeric::{Complex, Real, SplitMix64};
 use proptest::prelude::*;
 
 type C = Complex<f64>;
+
+/// Mixed transform lengths: powers of two, FFTMatvec's mixed-radix sizes,
+/// odd-radix composites, and Bluestein-path primes.
+const MIXED_LENS: [usize; 12] = [1, 2, 4, 8, 30, 64, 100, 200, 67, 97, 101, 251];
 
 fn signal(n: usize, seed: u64) -> Vec<C> {
     let mut rng = SplitMix64::new(seed);
@@ -129,6 +133,129 @@ proptest! {
         for b in 0..batch {
             let single = bf.plan().forward_vec(&data[b * n..(b + 1) * n]);
             prop_assert!(rel_err(&got[b * n..(b + 1) * n], &single) < 1e-12);
+        }
+    }
+
+    /// Batched complex execution (out-of-place and in-place, both
+    /// directions) equals a sequential per-signal loop, in both precisions,
+    /// for batch sizes 1–32 and mixed lengths including Bluestein primes.
+    #[test]
+    fn batch_equals_sequential_loop_all_precisions(
+        len_idx in 0usize..MIXED_LENS.len(),
+        batch in 1usize..=32,
+        seed in 0u64..u64::MAX,
+        dir_bit in 0u8..2,
+    ) {
+        let n = MIXED_LENS[len_idx];
+        let dir = if dir_bit == 1 { FftDirection::Inverse } else { FftDirection::Forward };
+        batch_vs_loop_case::<f64>(n, batch, seed, dir, 1e-12)?;
+        batch_vs_loop_case::<f32>(n, batch, seed, dir, 2e-4)?;
+    }
+
+    /// Batched real R2C/C2R equals a sequential per-signal loop through
+    /// the shared plan, in both precisions.
+    #[test]
+    fn real_batch_equals_sequential_loop(
+        half in 1usize..80,
+        batch in 1usize..=32,
+        seed in 0u64..u64::MAX,
+    ) {
+        real_batch_vs_loop_case::<f64>(2 * half, batch, seed, 1e-12)?;
+        real_batch_vs_loop_case::<f32>(2 * half, batch, seed, 2e-4)?;
+    }
+}
+
+/// One batched-vs-sequential complex comparison in precision `T`.
+fn batch_vs_loop_case<T: Real>(
+    n: usize,
+    batch: usize,
+    seed: u64,
+    dir: FftDirection,
+    tol: f64,
+) -> Result<(), TestCaseError> {
+    let mut rng = SplitMix64::new(seed);
+    let data: Vec<Complex<T>> = (0..n * batch)
+        .map(|_| {
+            Complex::new(T::from_f64(rng.uniform(-1.0, 1.0)), T::from_f64(rng.uniform(-1.0, 1.0)))
+        })
+        .collect();
+    let bf = BatchedFft::<T>::new(n);
+
+    // Sequential per-signal loop through the same plan.
+    let mut want = vec![Complex::<T>::zero(); n * batch];
+    let mut scratch = vec![Complex::<T>::zero(); bf.plan().scratch_len()];
+    for b in 0..batch {
+        bf.plan().process(
+            &data[b * n..(b + 1) * n],
+            &mut want[b * n..(b + 1) * n],
+            &mut scratch,
+            dir,
+        );
+    }
+
+    let mut got = vec![Complex::<T>::zero(); n * batch];
+    bf.process_batch(&data, &mut got, dir);
+    let mut inplace = data.clone();
+    bf.process_batch_inplace(&mut inplace, dir);
+
+    let scale: f64 = want.iter().map(|v| v.abs().to_f64()).fold(1.0, f64::max);
+    for (g, w) in got.iter().zip(&want) {
+        prop_assert!((*g - *w).abs().to_f64() <= tol * scale, "out-of-place n={n} batch={batch}");
+    }
+    for (g, w) in inplace.iter().zip(&want) {
+        prop_assert!((*g - *w).abs().to_f64() <= tol * scale, "in-place n={n} batch={batch}");
+    }
+    Ok(())
+}
+
+/// One batched-vs-sequential real-transform comparison in precision `T`.
+fn real_batch_vs_loop_case<T: Real>(
+    n: usize,
+    batch: usize,
+    seed: u64,
+    tol: f64,
+) -> Result<(), TestCaseError> {
+    let mut rng = SplitMix64::new(seed);
+    let data: Vec<T> = (0..n * batch).map(|_| T::from_f64(rng.uniform(-1.0, 1.0))).collect();
+    let bf = BatchedRealFft::<T>::new(n);
+    let s = bf.spectrum_len();
+
+    let mut want = vec![Complex::<T>::zero(); s * batch];
+    let mut scratch = vec![Complex::<T>::zero(); bf.plan().scratch_len()];
+    for b in 0..batch {
+        bf.plan().forward(&data[b * n..(b + 1) * n], &mut want[b * s..(b + 1) * s], &mut scratch);
+    }
+    let mut got = vec![Complex::<T>::zero(); s * batch];
+    bf.forward_batch(&data, &mut got);
+    let scale: f64 = want.iter().map(|v| v.abs().to_f64()).fold(1.0, f64::max);
+    for (g, w) in got.iter().zip(&want) {
+        prop_assert!((*g - *w).abs().to_f64() <= tol * scale, "r2c n={n} batch={batch}");
+    }
+
+    // And the inverse batch round-trips through the same shared plan.
+    let mut back = vec![T::ZERO; n * batch];
+    bf.inverse_batch(&got, &mut back);
+    for (b, x) in back.iter().zip(&data) {
+        prop_assert!((*b - *x).abs().to_f64() <= tol, "c2r roundtrip n={n} batch={batch}");
+    }
+    Ok(())
+}
+
+/// Two cache lookups for the same `(n, precision)` must return the same
+/// shared plan object, across every plan family the drivers use.
+#[test]
+fn cache_lookups_share_plans() {
+    for n in [64usize, 200, 2000, 67] {
+        let a = cache::complex_plan::<f64>(n);
+        let b = cache::complex_plan::<f64>(n);
+        assert!(std::sync::Arc::ptr_eq(&a, &b), "complex f64 n={n}");
+        let a32 = cache::complex_plan::<f32>(n);
+        let b32 = cache::complex_plan::<f32>(n);
+        assert!(std::sync::Arc::ptr_eq(&a32, &b32), "complex f32 n={n}");
+        if n % 2 == 0 {
+            let ra = cache::real_plan::<f64>(n);
+            let rb = cache::real_plan::<f64>(n);
+            assert!(std::sync::Arc::ptr_eq(&ra, &rb), "real f64 n={n}");
         }
     }
 }

@@ -5,7 +5,7 @@
 //! this shim as a path dependency named `proptest`. It keeps the public
 //! surface the test suites consume — the [`proptest!`] macro with
 //! `#![proptest_config(..)]`, `prop_assert!`/`prop_assert_eq!`/
-//! `prop_assert_ne!`/`prop_assume!`, [`Strategy`] with `prop_map`/
+//! `prop_assert_ne!`/`prop_assume!`, [`strategy::Strategy`] with `prop_map`/
 //! `prop_filter`, range and tuple strategies, regex-literal string
 //! strategies, `prop::collection::vec`, `prop::sample::select`,
 //! `prop::num::f64::NORMAL`, and [`prop_oneof!`] — implemented over a
@@ -435,7 +435,7 @@ pub mod prop {
         use crate::strategy::Strategy;
         use crate::test_runner::TestRng;
 
-        /// Length specification for [`vec`]: an exact `usize`, `lo..hi`,
+        /// Length specification for [`vec()`]: an exact `usize`, `lo..hi`,
         /// or `lo..=hi`.
         #[derive(Debug, Clone, Copy)]
         pub struct SizeRange {
