@@ -5,7 +5,8 @@
 //! Times a single out-of-place complex transform (the unit of work both
 //! engines share) at the paper's sizes — `2·N_t` for
 //! `N_t ∈ {100, 250, 512, 1000}` plus the power-of-two neighbours — in
-//! both precisions, through:
+//! all four lattice precisions (`f64`, `f32`, and the software-emulated
+//! `f16`/`bf16` tiers), through:
 //!
 //! * `iterative` — the Stockham engine behind [`fftmatvec_fft::FftPlan`]
 //!   (plan pulled from the process-wide cache, exactly like the pipeline
@@ -28,7 +29,19 @@ use std::time::Instant;
 use fftmatvec_bench::benchjson::{self, BenchResult};
 use fftmatvec_bench::Args;
 use fftmatvec_fft::{cache, FftDirection, RecursiveFftPlan};
-use fftmatvec_numeric::{Complex, Real, SplitMix64};
+use fftmatvec_numeric::{bf16, f16, Complex, Precision, Real, SplitMix64};
+
+/// Row label for a precision — the regression gate keys rows on
+/// `(size, precision)`, so the label must identify the *tier*, not the
+/// byte width (f16 and bf16 share a width but not a format).
+fn precision_label(p: Precision) -> &'static str {
+    match p {
+        Precision::Half => "f16",
+        Precision::BFloat16 => "bf16",
+        Precision::Single => "f32",
+        Precision::Double => "f64",
+    }
+}
 
 /// Paper transform sizes (`2·N_t`) plus power-of-two neighbours; all are
 /// mixed-radix-friendly so both engines can run them.
@@ -92,7 +105,7 @@ fn time_pair_ns<A: FnMut(), B: FnMut()>(
 
 /// Measure both engines at size `n` in precision `T`.
 fn measure_size<T: Real>(n: usize, samples: usize, sample_ms: f64, out: &mut Vec<BenchResult>) {
-    let precision = if T::BYTES == 4 { "f32" } else { "f64" };
+    let precision = precision_label(T::PRECISION);
     let mut rng = SplitMix64::new(n as u64);
     let x: Vec<Complex<T>> = (0..n)
         .map(|_| {
@@ -134,6 +147,11 @@ fn main() {
     for &n in &SIZES {
         measure_size::<f64>(n, samples, sample_ms, &mut results);
         measure_size::<f32>(n, samples, sample_ms, &mut results);
+        // Software-emulated 16-bit tiers: slower than f32 on the CPU (the
+        // emulation converts per element) — the columns exist to key the
+        // gate and to carry through once a GPU backend makes them fast.
+        measure_size::<f16>(n, samples, sample_ms, &mut results);
+        measure_size::<bf16>(n, samples, sample_ms, &mut results);
     }
 
     // Human-readable view: engine comparison with speedups.
@@ -145,7 +163,7 @@ fn main() {
     println!("{header}");
     fftmatvec_bench::rule(header.len());
     for &n in &SIZES {
-        for prec in ["f64", "f32"] {
+        for prec in ["f64", "f32", "f16", "bf16"] {
             let get = |engine: &str| {
                 results
                     .iter()

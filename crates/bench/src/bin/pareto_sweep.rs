@@ -1,4 +1,4 @@
-//! The 32-configuration Pareto sweep (Section 4.2.1).
+//! The mixed-precision Pareto sweep (Section 4.2.1, extended).
 //!
 //! For every five-phase precision configuration: simulated matvec time at
 //! the paper shape on the selected device, and measured relative error
@@ -7,8 +7,16 @@
 //! configuration for the requested tolerance — the paper's `dssdd`
 //! analysis.
 //!
+//! `-tiers 2` (default) sweeps the paper's 2⁵ = 32 `{s,d}` space;
+//! `-tiers 4` opens the full four-tier lattice (4⁵ = 1024 configurations
+//! including the software-emulated `h`/`b` codes). The 16-bit error
+//! measurements run emulated arithmetic, so a full-lattice sweep at the
+//! default error shape takes minutes — shrink `-enm/-end/-ent` for a
+//! quick look, and keep the error shape inside the f16 dynamic range
+//! (the table flags configurations that overflow to non-finite output).
+//!
 //! Run: `cargo run --release -p fftmatvec-bench --bin pareto_sweep`
-//! Flags: `-dev mi250x|mi300x|mi355x`, `-tol <float>`,
+//! Flags: `-dev mi250x|mi300x|mi355x`, `-tol <float>`, `-tiers 2|4`,
 //!        `-nm -nd -nt` (timing shape), `-enm -end -ent` (error shape),
 //!        `-raw` (machine-readable CSV, like the artifact's flag)
 
@@ -34,8 +42,12 @@ fn main() {
     let (end, enm, ent) =
         (args.get("end", 60usize), args.get("enm", 1500usize), args.get("ent", 400usize));
     let raw = args.has("raw");
+    let tiers: usize = args.get("tiers", 2usize);
 
-    let configs = PrecisionConfig::all_configs();
+    let configs = match tiers {
+        4 => PrecisionConfig::all_configs_full(),
+        _ => PrecisionConfig::all_configs(),
+    };
     let errors = measure_errors(make_operator(end, enm, ent, 42), &configs, 7);
     let points: Vec<ParetoPoint> = configs
         .iter()
@@ -63,7 +75,12 @@ fn main() {
             );
         }
     } else {
-        println!("Pareto sweep — {} (simulated), 32 precision configurations", dev.name);
+        println!(
+            "Pareto sweep — {} (simulated), {} precision configurations ({}-tier lattice)",
+            dev.name,
+            points.len(),
+            tiers.clamp(2, 4)
+        );
         println!(
             "timing shape N_m={} N_d={} N_t={}; error shape N_m={enm} N_d={end} N_t={ent}",
             dims.nm, dims.nd, dims.nt

@@ -102,7 +102,9 @@ pub mod benchjson {
     pub struct BenchResult {
         /// Transform length.
         pub size: usize,
-        /// `"f32"` or `"f64"`.
+        /// `"f64"`, `"f32"`, `"f16"`, or `"bf16"` — the gate keys rows on
+        /// `(size, precision)`, so the two 16-bit tiers must carry
+        /// distinct labels despite sharing a byte width.
         pub precision: String,
         /// `"iterative"` (the Stockham engine) or `"recursive"` (the seed
         /// baseline).

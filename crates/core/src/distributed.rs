@@ -200,21 +200,18 @@ impl DistributedFftMatvec {
 }
 
 /// Tree-reduce partial vectors in the given precision, returning double.
-/// In single precision the inputs are rounded first (the cast fused into
-/// the communication buffers), summed pairwise as f32, and widened back —
-/// exactly the arithmetic a single-precision RCCL reduction performs.
+/// Below double precision the inputs are rounded first (the cast fused
+/// into the communication buffers), summed pairwise in the tier's storage
+/// rounding, and widened back — exactly the arithmetic a
+/// reduced-precision RCCL reduction performs. Works for all four lattice
+/// tiers, including the software-emulated 16-bit formats.
 fn reduce_in_precision(parts: &[&Vec<f64>], p: Precision) -> Vec<f64> {
-    match p {
-        Precision::Double => {
-            let owned: Vec<Vec<f64>> = parts.iter().map(|v| (*v).clone()).collect();
-            tree_reduce_sum(&owned)
-        }
-        Precision::Single => {
-            let owned: Vec<Vec<f32>> =
-                parts.iter().map(|v| v.iter().map(|&x| x as f32).collect()).collect();
-            tree_reduce_sum(&owned).into_iter().map(|x| x as f64).collect()
-        }
-    }
+    use fftmatvec_numeric::{with_real, Real};
+    with_real!(p, T => {
+        let owned: Vec<Vec<T>> =
+            parts.iter().map(|v| v.iter().map(|&x| T::from_f64(x)).collect()).collect();
+        tree_reduce_sum(&owned).into_iter().map(|x| x.to_f64()).collect()
+    })
 }
 
 #[cfg(test)]

@@ -210,6 +210,26 @@ mod tests {
     }
 
     #[test]
+    fn bound_is_ordered_across_the_four_tiers() {
+        // Per-phase ε drives Eq. 6, so uniform-tier bounds order by ε:
+        // ddddd < dssdd < sssss < hhhhh < bbbbb. Note the two 16-bit
+        // tiers order by accuracy (ε_h = 2⁻¹⁰ < ε_b = 2⁻⁷), *not* by the
+        // lattice convention.
+        let p = params(5000, 1);
+        let total = |s: &str| error_bound(s.parse().unwrap(), &p).total;
+        let (d, opt, s, h, b) =
+            (total("ddddd"), total("dssdd"), total("sssss"), total("hhhhh"), total("bbbbb"));
+        assert!(d < opt, "{d} !< {opt}");
+        assert!(opt < s, "{opt} !< {s}");
+        assert!(s < h, "{s} !< {h}");
+        assert!(h < b, "{h} !< {b}");
+        // The gemv term still dominates in the 16-bit tiers.
+        let hb = error_bound("dhhdd".parse().unwrap(), &p);
+        assert!(hb.gemv > 10.0 * (hb.pad + hb.transforms + hb.reduction));
+        assert!((hb.gemv - Precision::Half.epsilon() * 5000.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn condition_estimate_identity_like_operator() {
         // First block = I (padded), rest zero ⇒ F̂_k = I for every k ⇒ κ = 1.
         let (nd, nm, nt) = (3usize, 3usize, 4usize);

@@ -7,9 +7,11 @@
 //! wants). The paper treats these reorderings as pure memory operations,
 //! fuses any precision casts into them, and runs them in the lowest
 //! precision of the adjacent compute phases (Section 3.2). Each function
-//! here is one such fused kernel.
+//! here is one such fused kernel, dispatched over all four tiers of the
+//! extended precision lattice (`h`/`b`/`s`/`d`) via
+//! [`fftmatvec_numeric::with_real`].
 
-use fftmatvec_numeric::{Complex, ComplexBuffer, Precision, Real, RealBuffer};
+use fftmatvec_numeric::{with_real, Complex, ComplexBuffer, Precision, Real, RealBuffer};
 
 /// Phase 1: TOSI input → SOTI zero-padded, cast to `p`.
 ///
@@ -28,10 +30,26 @@ pub fn pad_input(m: &[f64], n_series: usize, nt: usize, p: Precision) -> RealBuf
         }
         out
     }
-    match p {
-        Precision::Single => RealBuffer::F32(inner::<f32>(m, n_series, nt)),
-        Precision::Double => RealBuffer::F64(inner::<f64>(m, n_series, nt)),
+    with_real!(p, T => RealBuffer::from(inner::<T>(m, n_series, nt)))
+}
+
+/// Transposing cast kernel shared by both reorder directions: every
+/// element moves `src[outer][inner] → out[inner][outer]` while rounding
+/// into the target tier (casts route through `f64`, then RTNE into the
+/// storage format — exact whenever the target is at least as wide).
+fn transpose_cast<Tin: Real, Tout: Real>(
+    src: &[Complex<Tin>],
+    outer: usize,
+    inner: usize,
+) -> Vec<Complex<Tout>> {
+    let mut out = vec![Complex::zero(); outer * inner];
+    for o in 0..outer {
+        let row = &src[o * inner..(o + 1) * inner];
+        for (i, &v) in row.iter().enumerate() {
+            out[i * outer + o] = v.cast();
+        }
     }
+    out
 }
 
 /// Phase 2→3 reorder: per-series spectra `[series][freq]` → per-frequency
@@ -43,32 +61,18 @@ pub fn spectrum_to_batch(
     p: Precision,
 ) -> ComplexBuffer {
     assert_eq!(spec.len(), n_series * nfreq, "spectrum_to_batch length mismatch");
-    fn inner<Tin: Real, Tout: Real>(
-        spec: &[Complex<Tin>],
-        n_series: usize,
-        nfreq: usize,
-    ) -> Vec<Complex<Tout>> {
-        let mut out = vec![Complex::zero(); n_series * nfreq];
-        for s in 0..n_series {
-            let series = &spec[s * nfreq..(s + 1) * nfreq];
-            for (f, &v) in series.iter().enumerate() {
-                out[f * n_series + s] = v.cast();
-            }
+    match spec {
+        ComplexBuffer::C16(v) => {
+            with_real!(p, T => ComplexBuffer::from(transpose_cast::<_, T>(v, n_series, nfreq)))
         }
-        out
-    }
-    match (spec, p) {
-        (ComplexBuffer::C32(v), Precision::Single) => {
-            ComplexBuffer::C32(inner::<f32, f32>(v, n_series, nfreq))
+        ComplexBuffer::CB16(v) => {
+            with_real!(p, T => ComplexBuffer::from(transpose_cast::<_, T>(v, n_series, nfreq)))
         }
-        (ComplexBuffer::C32(v), Precision::Double) => {
-            ComplexBuffer::C64(inner::<f32, f64>(v, n_series, nfreq))
+        ComplexBuffer::C32(v) => {
+            with_real!(p, T => ComplexBuffer::from(transpose_cast::<_, T>(v, n_series, nfreq)))
         }
-        (ComplexBuffer::C64(v), Precision::Single) => {
-            ComplexBuffer::C32(inner::<f64, f32>(v, n_series, nfreq))
-        }
-        (ComplexBuffer::C64(v), Precision::Double) => {
-            ComplexBuffer::C64(inner::<f64, f64>(v, n_series, nfreq))
+        ComplexBuffer::C64(v) => {
+            with_real!(p, T => ComplexBuffer::from(transpose_cast::<_, T>(v, n_series, nfreq)))
         }
     }
 }
@@ -82,32 +86,18 @@ pub fn batch_to_spectrum(
     p: Precision,
 ) -> ComplexBuffer {
     assert_eq!(batch.len(), n_series * nfreq, "batch_to_spectrum length mismatch");
-    fn inner<Tin: Real, Tout: Real>(
-        batch: &[Complex<Tin>],
-        n_series: usize,
-        nfreq: usize,
-    ) -> Vec<Complex<Tout>> {
-        let mut out = vec![Complex::zero(); n_series * nfreq];
-        for f in 0..nfreq {
-            let row = &batch[f * n_series..(f + 1) * n_series];
-            for (s, &v) in row.iter().enumerate() {
-                out[s * nfreq + f] = v.cast();
-            }
+    match batch {
+        ComplexBuffer::C16(v) => {
+            with_real!(p, T => ComplexBuffer::from(transpose_cast::<_, T>(v, nfreq, n_series)))
         }
-        out
-    }
-    match (batch, p) {
-        (ComplexBuffer::C32(v), Precision::Single) => {
-            ComplexBuffer::C32(inner::<f32, f32>(v, n_series, nfreq))
+        ComplexBuffer::CB16(v) => {
+            with_real!(p, T => ComplexBuffer::from(transpose_cast::<_, T>(v, nfreq, n_series)))
         }
-        (ComplexBuffer::C32(v), Precision::Double) => {
-            ComplexBuffer::C64(inner::<f32, f64>(v, n_series, nfreq))
+        ComplexBuffer::C32(v) => {
+            with_real!(p, T => ComplexBuffer::from(transpose_cast::<_, T>(v, nfreq, n_series)))
         }
-        (ComplexBuffer::C64(v), Precision::Single) => {
-            ComplexBuffer::C32(inner::<f64, f32>(v, n_series, nfreq))
-        }
-        (ComplexBuffer::C64(v), Precision::Double) => {
-            ComplexBuffer::C64(inner::<f64, f64>(v, n_series, nfreq))
+        ComplexBuffer::C64(v) => {
+            with_real!(p, T => ComplexBuffer::from(transpose_cast::<_, T>(v, nfreq, n_series)))
         }
     }
 }
@@ -115,36 +105,36 @@ pub fn batch_to_spectrum(
 /// Phase 5: SOTI padded time signals → TOSI unpadded output, routed
 /// through precision `p` (the phase-5 memory-op precision) before the
 /// final double-precision output — this round-trip is exactly where a
-/// single-precision phase 5 loses bits.
+/// narrow phase 5 loses bits. When the storage tier widens exactly into
+/// `p` (see [`Precision::widens_exactly_to`]) the route is the identity
+/// and is skipped; otherwise every element is rounded through `p`. Note
+/// the two 16-bit tiers do *not* widen into each other, so f16 data
+/// routed through BFloat16 does round — the identity shortcut is the
+/// representability relation, not the lattice meet.
 pub fn unpad_output(time: &RealBuffer, n_series: usize, nt: usize, p: Precision) -> Vec<f64> {
     let n2 = 2 * nt;
     assert_eq!(time.len(), n_series * n2, "unpad_output length mismatch");
-    let mut out = vec![0.0f64; n_series * nt];
-    match (time, p) {
-        (RealBuffer::F32(v), _) => {
-            // Already single: route is exact regardless of p.
-            for s in 0..n_series {
-                for t in 0..nt {
-                    out[t * n_series + s] = v[s * n2 + t] as f64;
-                }
+    fn inner<T: Real>(v: &[T], n_series: usize, nt: usize, route: Option<Precision>) -> Vec<f64> {
+        let n2 = 2 * nt;
+        let mut out = vec![0.0f64; n_series * nt];
+        for s in 0..n_series {
+            for t in 0..nt {
+                let x = v[s * n2 + t].to_f64();
+                out[t * n_series + s] = match route {
+                    None => x,
+                    Some(p) => p.round_f64(x),
+                };
             }
         }
-        (RealBuffer::F64(v), Precision::Double) => {
-            for s in 0..n_series {
-                for t in 0..nt {
-                    out[t * n_series + s] = v[s * n2 + t];
-                }
-            }
-        }
-        (RealBuffer::F64(v), Precision::Single) => {
-            for s in 0..n_series {
-                for t in 0..nt {
-                    out[t * n_series + s] = v[s * n2 + t] as f32 as f64;
-                }
-            }
-        }
+        out
     }
-    out
+    let route = (!time.precision().widens_exactly_to(p)).then_some(p);
+    match time {
+        RealBuffer::F16(v) => inner(v, n_series, nt, route),
+        RealBuffer::BF16(v) => inner(v, n_series, nt, route),
+        RealBuffer::F32(v) => inner(v, n_series, nt, route),
+        RealBuffer::F64(v) => inner(v, n_series, nt, route),
+    }
 }
 
 /// Cast a real SOTI buffer to a target precision (the fused cast between
@@ -179,6 +169,20 @@ mod tests {
         assert_ne!(b.get(0), x, "single pad must round a stuffed double");
         let b = pad_input(&[x], 1, 1, Precision::Double);
         assert_eq!(b.get(0), x);
+    }
+
+    #[test]
+    fn pad_in_half_tiers_rounds_harder() {
+        let x = mantissa_stuff(0.3);
+        for p in [Precision::Half, Precision::BFloat16] {
+            let b = pad_input(&[x], 1, 1, p);
+            assert_eq!(b.precision(), p);
+            let err = (b.get(0) - x).abs() / x.abs();
+            assert!(err > 0.0 && err <= p.epsilon(), "{p}: {err}");
+            // The 16-bit pad loses strictly more than the single pad.
+            let s_err = (pad_input(&[x], 1, 1, Precision::Single).get(0) - x).abs();
+            assert!((b.get(0) - x).abs() > s_err);
+        }
     }
 
     #[test]
@@ -219,6 +223,31 @@ mod tests {
         assert_ne!(single.get(0).re, spec.get(0).re);
         let double = spectrum_to_batch(&spec, 1, 1, Precision::Double);
         assert_eq!(double.get(0), spec.get(0));
+        // Down to the 16-bit tiers and exactly back up.
+        for p in [Precision::Half, Precision::BFloat16] {
+            let narrow = spectrum_to_batch(&spec, 1, 1, p);
+            assert_eq!(narrow.precision(), p);
+            assert_ne!(narrow.get(0).re, spec.get(0).re);
+            let widened = batch_to_spectrum(&narrow, 1, 1, Precision::Double);
+            assert_eq!(widened.get(0), narrow.get(0), "widening must be exact");
+        }
+    }
+
+    #[test]
+    fn reorder_roundtrip_all_tier_pairs() {
+        let (ns, nf) = (4, 5);
+        let mut rng = SplitMix64::new(9);
+        let data: Vec<fftmatvec_numeric::C64> = (0..ns * nf)
+            .map(|_| fftmatvec_numeric::C64::new(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)))
+            .collect();
+        for p in Precision::ALL {
+            // Once rounded into tier p, a p → p transpose roundtrip is
+            // exact for every tier.
+            let spec = ComplexBuffer::from_c64(p, &data);
+            let batch = spectrum_to_batch(&spec, ns, nf, p);
+            let back = batch_to_spectrum(&batch, ns, nf, p);
+            assert_eq!(back, spec, "{p}");
+        }
     }
 
     #[test]
@@ -239,5 +268,27 @@ mod tests {
         let lossy = unpad_output(&time, 1, 1, Precision::Single);
         assert_ne!(lossy[0], x);
         assert!((lossy[0] - x).abs() / x.abs() < 1e-6);
+    }
+
+    #[test]
+    fn unpad_route_is_lattice_meet() {
+        let x = mantissa_stuff(0.7);
+        // f32 storage routed through Single or Double: exact.
+        let time32 = RealBuffer::F32(vec![x as f32, 0.0]);
+        let stored = x as f32 as f64;
+        assert_eq!(unpad_output(&time32, 1, 1, Precision::Double)[0], stored);
+        assert_eq!(unpad_output(&time32, 1, 1, Precision::Single)[0], stored);
+        // ... but a Half route still rounds an f32 value.
+        let routed = unpad_output(&time32, 1, 1, Precision::Half)[0];
+        assert_ne!(routed, stored);
+        assert_eq!(routed, Precision::Half.round_f64(stored));
+        // A value already in f16 storage routes exactly through any tier
+        // except bf16 (the 16-bit tiers do not widen into each other):
+        // 1 + 2⁻⁹ is exact in f16 (ε = 2⁻¹⁰) but rounds away in bf16.
+        let h = 1.0 + 2f64.powi(-9);
+        let time16 = RealBuffer::from_f64(Precision::Half, &[h, 0.0]);
+        assert_eq!(unpad_output(&time16, 1, 1, Precision::Single)[0], h);
+        assert_eq!(unpad_output(&time16, 1, 1, Precision::Half)[0], h);
+        assert_ne!(unpad_output(&time16, 1, 1, Precision::BFloat16)[0], h);
     }
 }

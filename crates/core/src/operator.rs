@@ -11,7 +11,7 @@
 //! materialized lazily for configurations that compute phase 3 in FP32.
 
 use fftmatvec_fft::BatchedRealFft;
-use fftmatvec_numeric::{Complex, C32, C64};
+use fftmatvec_numeric::{Complex, C16, C32, C64, CB16};
 
 /// A block lower-triangular Toeplitz operator in FFT-ready form.
 pub struct BlockToeplitzOperator {
@@ -23,6 +23,10 @@ pub struct BlockToeplitzOperator {
     fhat: Vec<C64>,
     /// Lazily cached single-precision copy of `F̂`.
     fhat32: std::sync::OnceLock<Vec<C32>>,
+    /// Lazily cached binary16 copy of `F̂` (software-emulated tier).
+    fhat16: std::sync::OnceLock<Vec<C16>>,
+    /// Lazily cached bfloat16 copy of `F̂` (software-emulated tier).
+    fhatb16: std::sync::OnceLock<Vec<CB16>>,
     /// The first block column, kept for the direct (oracle) matvec:
     /// layout `col[(t·nd + i)·nm + k] = F_{t+1,1}[i,k]`.
     first_col: Vec<f64>,
@@ -89,6 +93,8 @@ impl BlockToeplitzOperator {
             nt,
             fhat,
             fhat32: std::sync::OnceLock::new(),
+            fhat16: std::sync::OnceLock::new(),
+            fhatb16: std::sync::OnceLock::new(),
             first_col: col.to_vec(),
         })
     }
@@ -127,6 +133,18 @@ impl BlockToeplitzOperator {
     /// use — the one-time cast for FP32 phase-3 configurations).
     pub fn fhat32(&self) -> &[C32] {
         self.fhat32.get_or_init(|| self.fhat.iter().map(|z| z.cast()).collect())
+    }
+
+    /// The binary16 frequency matrices (materialized on first use — the
+    /// one-time cast for FP16 phase-3 configurations; rounding routes
+    /// through `f32`, see `fftmatvec_numeric::half`).
+    pub fn fhat16(&self) -> &[C16] {
+        self.fhat16.get_or_init(|| self.fhat.iter().map(|z| z.cast()).collect())
+    }
+
+    /// The bfloat16 frequency matrices (materialized on first use).
+    pub fn fhatb16(&self) -> &[CB16] {
+        self.fhatb16.get_or_init(|| self.fhat.iter().map(|z| z.cast()).collect())
     }
 
     /// The stored first block column (`[t][i][k]` layout).
@@ -252,6 +270,22 @@ mod tests {
         for (a, b) in f32s.iter().zip(op.fhat()) {
             assert_eq!(a.re, b.re as f32);
             assert_eq!(a.im, b.im as f32);
+        }
+    }
+
+    #[test]
+    fn half_tier_fhats_are_the_rounded_fhat() {
+        use fftmatvec_numeric::{bf16, f16};
+        let op = random_operator(2, 3, 4, 5);
+        let h = op.fhat16();
+        let b = op.fhatb16();
+        assert_eq!(h.len(), op.fhat().len());
+        assert_eq!(b.len(), op.fhat().len());
+        for ((zh, zb), z) in h.iter().zip(b).zip(op.fhat()) {
+            assert_eq!(zh.re.to_bits(), f16::from_f32(z.re as f32).to_bits());
+            assert_eq!(zh.im.to_bits(), f16::from_f32(z.im as f32).to_bits());
+            assert_eq!(zb.re.to_bits(), bf16::from_f32(z.re as f32).to_bits());
+            assert_eq!(zb.im.to_bits(), bf16::from_f32(z.im as f32).to_bits());
         }
     }
 }

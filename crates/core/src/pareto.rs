@@ -50,11 +50,12 @@ pub fn pareto_front(points: &[ParetoPoint]) -> Vec<ParetoPoint> {
 /// (the paper's selection rule with tolerance 1e-7).
 ///
 /// Configurations within 1% of the best time are treated as tied — a
-/// memory phase in single precision saves almost nothing when the
-/// adjacent compute phase already runs in single (its cast happens either
-/// way). Ties break toward the *fewest* single-precision phases, then the
+/// memory phase in a narrow precision saves almost nothing when the
+/// adjacent compute phase already runs narrow (its cast happens either
+/// way). Ties break toward the *fewest* below-double phases, then the
 /// lower error: the most conservative configuration at the same speed,
-/// which is how the paper's front ends up at `dssdd` rather than `sssdd`.
+/// which is how the paper's front ends up at `dssdd` rather than `sssdd`
+/// (and, on the extended lattice, not at a gratuitous `hssdd`).
 pub fn optimal_for_tolerance(points: &[ParetoPoint], tolerance: f64) -> Option<ParetoPoint> {
     let admissible: Vec<&ParetoPoint> =
         points.iter().filter(|p| p.rel_error <= tolerance).collect();
@@ -64,8 +65,8 @@ pub fn optimal_for_tolerance(points: &[ParetoPoint], tolerance: f64) -> Option<P
         .filter(|p| p.time <= best_time * 1.01)
         .min_by(|a, b| {
             a.config
-                .single_count()
-                .cmp(&b.config.single_count())
+                .narrow_count()
+                .cmp(&b.config.narrow_count())
                 .then(a.rel_error.total_cmp(&b.rel_error))
                 .then(a.time.total_cmp(&b.time))
         })
@@ -128,6 +129,28 @@ mod tests {
         // Impossible tolerance: only exact baseline qualifies.
         let exact = optimal_for_tolerance(&points, 0.0).unwrap();
         assert_eq!(exact.config.to_string(), "ddddd");
+    }
+
+    #[test]
+    fn four_tier_front_and_selection() {
+        // Opening the lattice turns the two-point trade-off into a real
+        // frontier: each tier buys speed at an error cost.
+        let points = vec![
+            pt("ddddd", 1.00, 0.0),
+            pt("dssdd", 0.55, 5e-8),
+            pt("sssss", 0.45, 3e-6),
+            pt("hhhhh", 0.30, 2e-3),
+            pt("bbbbb", 0.28, 2e-2),
+        ];
+        let front = pareto_front(&points);
+        let names: Vec<String> = front.iter().map(|p| p.config.to_string()).collect();
+        assert_eq!(names, vec!["bbbbb", "hhhhh", "sssss", "dssdd", "ddddd"]);
+        assert_eq!(optimal_for_tolerance(&points, 1e-2).unwrap().config.to_string(), "hhhhh");
+        assert_eq!(optimal_for_tolerance(&points, 1e-1).unwrap().config.to_string(), "bbbbb");
+        // A gratuitous narrow memory phase at tied speed loses to the
+        // conservative pick (narrow_count tie-break).
+        let tied = vec![pt("dssdd", 0.55, 5e-8), pt("hssdd", 0.548, 6e-8)];
+        assert_eq!(optimal_for_tolerance(&tied, 1e-7).unwrap().config.to_string(), "dssdd");
     }
 
     #[test]

@@ -15,7 +15,7 @@
 
 use fftmatvec_blas::{sbgemv, BatchGeometry, GemvOp};
 use fftmatvec_fft::BatchedRealFft;
-use fftmatvec_numeric::{Complex, ComplexBuffer, RealBuffer};
+use fftmatvec_numeric::{bf16, f16, Complex, ComplexBuffer, Real, RealBuffer};
 #[cfg(feature = "parallel")]
 use rayon::prelude::*;
 
@@ -29,17 +29,39 @@ pub struct FftMatvec {
     cfg: PrecisionConfig,
     fft64: BatchedRealFft<f64>,
     fft32: BatchedRealFft<f32>,
+    /// 16-bit drivers are lazy (like the operator's `fhat16`/`fhatb16`):
+    /// pure s/d configurations never pay for their twiddle tables.
+    fft16: std::sync::OnceLock<BatchedRealFft<f16>>,
+    fftb16: std::sync::OnceLock<BatchedRealFft<bf16>>,
 }
 
 impl FftMatvec {
     /// Wrap an operator with a precision configuration. The batched FFT
-    /// drivers for both precisions resolve through the process-wide plan
-    /// cache (`fftmatvec_fft::cache`), so every `FftMatvec` of the same
-    /// `N_t` — including the per-rank pipelines of the distributed matvec
-    /// — shares one set of twiddle tables per precision.
+    /// drivers for all four lattice tiers resolve through the
+    /// process-wide plan cache (`fftmatvec_fft::cache`), so every
+    /// `FftMatvec` of the same `N_t` — including the per-rank pipelines
+    /// of the distributed matvec — shares one set of twiddle tables per
+    /// precision. The 16-bit drivers run the same generic engine on the
+    /// software-emulated scalars (f32 compute, 16-bit storage rounding)
+    /// and are built on first use.
     pub fn new(op: BlockToeplitzOperator, cfg: PrecisionConfig) -> Self {
         let n2 = 2 * op.nt();
-        FftMatvec { op, cfg, fft64: BatchedRealFft::new(n2), fft32: BatchedRealFft::new(n2) }
+        FftMatvec {
+            op,
+            cfg,
+            fft64: BatchedRealFft::new(n2),
+            fft32: BatchedRealFft::new(n2),
+            fft16: std::sync::OnceLock::new(),
+            fftb16: std::sync::OnceLock::new(),
+        }
+    }
+
+    fn fft16(&self) -> &BatchedRealFft<f16> {
+        self.fft16.get_or_init(|| BatchedRealFft::new(2 * self.op.nt()))
+    }
+
+    fn fftb16(&self) -> &BatchedRealFft<bf16> {
+        self.fftb16.get_or_init(|| BatchedRealFft::new(2 * self.op.nt()))
     }
 
     /// The shared double-precision FFT plan handle. Handles for the same
@@ -122,6 +144,16 @@ impl FftMatvec {
         let p_fft = self.cfg.phase(MatvecPhase::Fft);
         let padded = layout::cast_real(padded, p_fft);
         let spectrum = match &padded {
+            RealBuffer::F16(v) => {
+                let mut spec = vec![Complex::<f16>::zero(); n_in * nfreq];
+                self.fft16().forward_batch(v, &mut spec);
+                ComplexBuffer::C16(spec)
+            }
+            RealBuffer::BF16(v) => {
+                let mut spec = vec![Complex::<bf16>::zero(); n_in * nfreq];
+                self.fftb16().forward_batch(v, &mut spec);
+                ComplexBuffer::CB16(spec)
+            }
             RealBuffer::F32(v) => {
                 let mut spec = vec![Complex::<f32>::zero(); n_in * nfreq];
                 self.fft32.forward_batch(v, &mut spec);
@@ -143,6 +175,16 @@ impl FftMatvec {
         drop(spectrum);
         let g = BatchGeometry::packed(nd, nm, gemv_op, nfreq);
         let yhat = match &xhat {
+            ComplexBuffer::C16(x) => {
+                let mut y = vec![Complex::<f16>::zero(); n_out * nfreq];
+                sbgemv(gemv_op, Complex::one(), self.op.fhat16(), x, Complex::zero(), &mut y, &g);
+                ComplexBuffer::C16(y)
+            }
+            ComplexBuffer::CB16(x) => {
+                let mut y = vec![Complex::<bf16>::zero(); n_out * nfreq];
+                sbgemv(gemv_op, Complex::one(), self.op.fhatb16(), x, Complex::zero(), &mut y, &g);
+                ComplexBuffer::CB16(y)
+            }
             ComplexBuffer::C32(x) => {
                 let mut y = vec![Complex::<f32>::zero(); n_out * nfreq];
                 sbgemv(gemv_op, Complex::one(), self.op.fhat32(), x, Complex::zero(), &mut y, &g);
@@ -161,6 +203,16 @@ impl FftMatvec {
         let dspec = layout::batch_to_spectrum(&yhat, n_out, nfreq, p_ifft);
         drop(yhat);
         let time = match &dspec {
+            ComplexBuffer::C16(s) => {
+                let mut t = vec![f16::ZERO; n_out * 2 * nt];
+                self.fft16().inverse_batch(s, &mut t);
+                RealBuffer::F16(t)
+            }
+            ComplexBuffer::CB16(s) => {
+                let mut t = vec![bf16::ZERO; n_out * 2 * nt];
+                self.fftb16().inverse_batch(s, &mut t);
+                RealBuffer::BF16(t)
+            }
             ComplexBuffer::C32(s) => {
                 let mut t = vec![0.0f32; n_out * 2 * nt];
                 self.fft32.inverse_batch(s, &mut t);

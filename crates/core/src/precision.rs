@@ -1,10 +1,14 @@
 //! Five-phase precision configurations (Section 3.2).
 //!
-//! The artifact sets these with `-prec xxxxx` where each `x` is `d` or `s`,
-//! ordered by phase: pad, FFT, SBGEMV, IFFT, unpad. `dssdd` — the measured
-//! optimum for the F matvec at tolerance 1e-7 — computes the FFT of the
-//! parameter vector and the SBGEMV in single precision and everything else
-//! in double.
+//! The artifact sets these with `-prec xxxxx` where each `x` is one of
+//! `h`/`b`/`s`/`d` (half, bfloat16, single, double — the 16-bit codes are
+//! this workspace's extension over the paper's `{s, d}`), ordered by
+//! phase: pad, FFT, SBGEMV, IFFT, unpad. `dssdd` — the measured optimum
+//! for the F matvec at tolerance 1e-7 — computes the FFT of the parameter
+//! vector and the SBGEMV in single precision and everything else in
+//! double. Opening the lattice to four tiers grows the configuration
+//! space from 2⁵ = 32 ([`PrecisionConfig::all_configs`]) to 4⁵ = 1024
+//! ([`PrecisionConfig::all_configs_full`]) per matvec.
 
 use core::fmt;
 use core::str::FromStr;
@@ -84,8 +88,19 @@ impl PrecisionConfig {
         self
     }
 
-    /// All 32 configurations, in lexicographic `ddddd`→`sssss` order of
-    /// the config string with `d < s`.
+    /// All phases half — the cheapest tier of the extended lattice
+    /// (software-emulated; see `fftmatvec_numeric::half`).
+    pub fn all_half() -> Self {
+        PrecisionConfig { phases: [Precision::Half; 5] }
+    }
+
+    /// All phases bfloat16 — the least accurate tier (ε = 2⁻⁷).
+    pub fn all_bf16() -> Self {
+        PrecisionConfig { phases: [Precision::BFloat16; 5] }
+    }
+
+    /// The paper's 32 two-tier configurations, in lexicographic
+    /// `ddddd`→`sssss` order of the config string with `d < s`.
     pub fn all_configs() -> Vec<PrecisionConfig> {
         (0..32u32)
             .map(|bits| {
@@ -100,14 +115,37 @@ impl PrecisionConfig {
             .collect()
     }
 
-    /// Number of phases computed in single precision.
+    /// All 4⁵ = 1024 configurations of the extended four-tier lattice,
+    /// enumerated base-4 with the leftmost phase most significant and
+    /// digits in lattice order (`h < b < s < d`), starting from `hhhhh`.
+    pub fn all_configs_full() -> Vec<PrecisionConfig> {
+        (0..1024u32)
+            .map(|mut code| {
+                let mut phases = [Precision::Half; 5];
+                for ph in phases.iter_mut().rev() {
+                    *ph = Precision::ALL[(code % 4) as usize];
+                    code /= 4;
+                }
+                PrecisionConfig { phases }
+            })
+            .collect()
+    }
+
+    /// Number of phases computed in single precision (FP32).
     pub fn single_count(&self) -> usize {
         self.phases.iter().filter(|&&p| p == Precision::Single).count()
     }
 
+    /// Number of phases computed below double precision — the tie-break
+    /// statistic the Pareto selection uses to prefer the most
+    /// conservative configuration at equal speed.
+    pub fn narrow_count(&self) -> usize {
+        self.phases.iter().filter(|&&p| p != Precision::Double).count()
+    }
+
     /// True if every phase is double (the error-free baseline).
     pub fn is_all_double(&self) -> bool {
-        self.single_count() == 0
+        self.narrow_count() == 0
     }
 
     /// The precision a *memory operation between* two phases runs in: the
@@ -149,10 +187,24 @@ mod tests {
 
     #[test]
     fn parse_and_format_roundtrip() {
-        for s in ["ddddd", "sssss", "dssdd", "dssds", "ddssd"] {
+        for s in ["ddddd", "sssss", "dssdd", "dssds", "ddssd", "hhhhh", "bbbbb", "hbsdd", "dhbsd"] {
             let cfg: PrecisionConfig = s.parse().unwrap();
             assert_eq!(cfg.to_string(), s);
         }
+    }
+
+    #[test]
+    fn hbsdd_roundtrips_with_expected_phases() {
+        // The acceptance-criteria example: a config mixing all four tiers.
+        let cfg: PrecisionConfig = "hbsdd".parse().unwrap();
+        assert_eq!(cfg.phase(MatvecPhase::Pad), Precision::Half);
+        assert_eq!(cfg.phase(MatvecPhase::Fft), Precision::BFloat16);
+        assert_eq!(cfg.phase(MatvecPhase::Sbgemv), Precision::Single);
+        assert_eq!(cfg.phase(MatvecPhase::Ifft), Precision::Double);
+        assert_eq!(cfg.phase(MatvecPhase::Unpad), Precision::Double);
+        assert_eq!(cfg.to_string(), "hbsdd");
+        assert_eq!(cfg.narrow_count(), 3);
+        assert_eq!(cfg.single_count(), 1);
     }
 
     #[test]
@@ -160,6 +212,7 @@ mod tests {
         assert!("dsd".parse::<PrecisionConfig>().is_err());
         assert!("dddddd".parse::<PrecisionConfig>().is_err());
         assert!("dxddd".parse::<PrecisionConfig>().is_err());
+        assert!("hhhqh".parse::<PrecisionConfig>().is_err());
     }
 
     #[test]
@@ -183,6 +236,26 @@ mod tests {
         assert!(strings.contains("ddddd"));
         assert!(strings.contains("sssss"));
         assert!(all[0].is_all_double());
+    }
+
+    #[test]
+    fn full_lattice_has_1024_distinct_configs() {
+        let all = PrecisionConfig::all_configs_full();
+        assert_eq!(all.len(), 1024);
+        let strings: std::collections::HashSet<String> =
+            all.iter().map(|c| c.to_string()).collect();
+        assert_eq!(strings.len(), 1024);
+        // Exhaustive parse/format roundtrip over the whole lattice.
+        for cfg in &all {
+            assert_eq!(cfg.to_string().parse::<PrecisionConfig>().unwrap(), *cfg);
+        }
+        assert_eq!(all[0].to_string(), "hhhhh");
+        assert_eq!(all[1023].to_string(), "ddddd");
+        assert!(strings.contains("hbsdd"));
+        // The two-tier set is a subset of the full lattice.
+        for cfg in PrecisionConfig::all_configs() {
+            assert!(strings.contains(&cfg.to_string()));
+        }
     }
 
     #[test]

@@ -10,7 +10,7 @@ use fftmatvec_core::{
     BlockToeplitzOperator, DirectMatvec, DistributedFftMatvec, FftMatvec, PrecisionConfig,
 };
 use fftmatvec_numeric::vecmath::rel_l2_error;
-use fftmatvec_numeric::SplitMix64;
+use fftmatvec_numeric::{Precision, SplitMix64};
 use proptest::prelude::*;
 
 fn operator(nd: usize, nm: usize, nt: usize, seed: u64) -> BlockToeplitzOperator {
@@ -170,5 +170,105 @@ proptest! {
         let s = cfg.to_string();
         let back: PrecisionConfig = s.parse().unwrap();
         prop_assert_eq!(cfg, back);
+    }
+
+    /// Parse/format roundtrip over the full 4⁵ lattice: every one of the
+    /// 1024 `h`/`b`/`s`/`d` code strings is parseable, formats back to
+    /// itself, and maps each phase to the tier its code digit names.
+    #[test]
+    fn full_lattice_string_roundtrip(cfg_idx in 0usize..1024) {
+        let cfg = PrecisionConfig::all_configs_full()[cfg_idx];
+        let s = cfg.to_string();
+        prop_assert_eq!(s.len(), 5);
+        let back: PrecisionConfig = s.parse().unwrap();
+        prop_assert_eq!(cfg, back);
+        // Each code digit names the phase tier it parses to.
+        for (c, phase) in s.chars().zip(fftmatvec_core::MatvecPhase::ALL) {
+            prop_assert_eq!(Precision::from_code(c).unwrap(), cfg.phase(phase));
+        }
+        // Uppercase parses to the same configuration.
+        let upper: PrecisionConfig = s.to_ascii_uppercase().parse().unwrap();
+        prop_assert_eq!(cfg, upper);
+    }
+
+    /// Invalid configuration strings are rejected: wrong lengths and any
+    /// character outside the `h`/`b`/`s`/`d` code alphabet.
+    #[test]
+    fn config_string_rejection(cfg_idx in 0usize..1024, pos in 0usize..5, bad_sel in 0usize..8, len in 0usize..9) {
+        let cfg = PrecisionConfig::all_configs_full()[cfg_idx];
+        let s = cfg.to_string();
+        // Wrong length: truncations and extensions of a valid string.
+        if len != 5 {
+            let wrong: String = s.chars().cycle().take(len).collect();
+            prop_assert!(wrong.parse::<PrecisionConfig>().is_err(), "{wrong:?}");
+        }
+        // One corrupted code character.
+        let bad = ['x', 'q', 'f', '1', ' ', 'z', 'é', '-'][bad_sel];
+        let mut chars: Vec<char> = s.chars().collect();
+        chars[pos] = bad;
+        let corrupted: String = chars.into_iter().collect();
+        prop_assert!(corrupted.parse::<PrecisionConfig>().is_err(), "{corrupted:?}");
+    }
+
+    /// `layout::cast_real` roundtrips are exact whenever the intermediate
+    /// tier is wider (every value of the source tier is representable),
+    /// and the up-cast itself never changes a value.
+    #[test]
+    fn cast_real_roundtrip_exact_when_wider(
+        from_idx in 0usize..4,
+        to_idx in 0usize..4,
+        n in 1usize..64,
+        seed in 0u64..u64::MAX,
+    ) {
+        let from = Precision::ALL[from_idx];
+        let to = Precision::ALL[to_idx];
+        let mut rng = SplitMix64::new(seed);
+        let mut data = vec![0.0; n];
+        rng.fill_uniform_stuffed(&mut data, -1.0, 1.0);
+        let src = fftmatvec_numeric::RealBuffer::from_f64(from, &data);
+        let cast = fftmatvec_core::layout::cast_real(src.clone(), to);
+        prop_assert_eq!(cast.precision(), to);
+        if from.widens_exactly_to(to) {
+            // Widening is value-exact and the down-cast back is identity.
+            for i in 0..n {
+                prop_assert_eq!(cast.get(i), src.get(i), "{} → {} value", from, to);
+            }
+            let back = fftmatvec_core::layout::cast_real(cast, from);
+            prop_assert_eq!(back, src, "{} → {} → {} roundtrip", from, to, from);
+        }
+    }
+
+    /// Measured error of any *four-tier* configuration obeys the Eq.-6
+    /// bound with the same κ proxy the two-tier property uses. Shapes are
+    /// kept modest so the f16 dynamic range (max finite 65504) is never
+    /// the binding constraint.
+    #[test]
+    fn error_bound_holds_full_lattice(
+        nd in 2usize..5,
+        nm in 8usize..32,
+        nt in 4usize..16,
+        cfg_idx in 0usize..1024,
+        seed in 0u64..u64::MAX,
+    ) {
+        let op = operator(nd, nm, nt, seed);
+        let m = stuffed(nm * nt, seed ^ 5);
+        let mut mv = FftMatvec::new(op, PrecisionConfig::all_double());
+        let baseline = mv.apply_forward(&m);
+        let cfg = PrecisionConfig::all_configs_full()[cfg_idx];
+        mv.set_config(cfg);
+        let out = mv.apply_forward(&m);
+        prop_assert!(out.iter().all(|v| v.is_finite()), "{cfg}: non-finite output");
+        let err = rel_l2_error(&out, &baseline);
+        let bound = error_bound(cfg, &BoundParams {
+            nt,
+            n_local: nm,
+            reduce_ranks: 1,
+            kappa: 100.0,
+        }).total;
+        if cfg.is_all_double() {
+            prop_assert!(err < 1e-13);
+        } else {
+            prop_assert!(err <= bound, "{cfg}: err {err} > bound {bound}");
+        }
     }
 }

@@ -1,0 +1,255 @@
+//! Differential-oracle harness for the FFT engines across the full
+//! precision lattice.
+//!
+//! For every precision tier (`f16`, `bf16`, `f32`, `f64`) and a size
+//! sweep covering power-of-two, mixed-radix, and Bluestein-prime lengths,
+//! the three independent implementations must agree:
+//!
+//! * **iterative** — the Stockham engine behind [`fftmatvec_fft::FftPlan`]
+//!   (pulled from the process-wide cache, like the pipeline call sites);
+//! * **recursive** — the seed's engine, kept exactly as an oracle;
+//! * **naive** — the O(n²) [`fftmatvec_fft::dft::naive_dft`] direct sum.
+//!
+//! Agreement is measured against a *reference* spectrum: the `f64` naive
+//! DFT of the tier-rounded input. Error budgets are expressed in units of
+//! the tier's machine epsilon ε ("ulp budgets"):
+//!
+//! | path | budget (relative ℓ2) |
+//! |------|----------------------|
+//! | iterative / recursive, mixed-radix | `8·ε·(log2 n + 1)` |
+//! | iterative, Bluestein | `64·ε·(log2 m + 1)`, `m = 2^⌈log2(2n−1)⌉` |
+//! | naive in-tier | `ε·(√n·log2 n + 8)` (sequential per-bin sums) |
+//! | inverse(forward(x)) roundtrip | `2×` the engine budget |
+//!
+//! The FFT budgets follow the `O(ε·log n)` growth the paper's Eq. 6 uses
+//! for the transform phases; the naive oracle's per-bin sequential sums
+//! grow like `ε·√n` on random data, with the `log2 n` safety factor
+//! absorbing unlucky cancellation. Constants are deliberately generous —
+//! this harness gates *correctness* (the engines implement the same
+//! transform), while tightness is covered by the error-analysis tests.
+//!
+//! Both transform directions and both element shapes (complex and packed
+//! real) are exercised. Inputs are drawn in `[-0.5, 0.5]` so that even
+//! the f16 tier (max finite 65504) survives the `O(n·max|x|)` forward
+//! growth and Bluestein's chirp convolution at every size tested here.
+
+use fftmatvec_fft::dft::naive_dft;
+use fftmatvec_fft::{cache, FftDirection, RecursiveFftPlan};
+use fftmatvec_numeric::vecmath::{rel_l2_error, rel_l2_error_c};
+use fftmatvec_numeric::{bf16, f16, Complex, Real, SplitMix64};
+
+/// Power-of-two lengths.
+const POW2: [usize; 4] = [8, 64, 256, 1024];
+/// Mixed-radix lengths (factors ≤ MAX_RADIX = 61), including the paper's
+/// `2·N_t` shapes 200 and 2000-lite (500).
+const MIXED: [usize; 4] = [12, 60, 200, 500];
+/// Primes above MAX_RADIX: these take the Bluestein chirp-z path.
+const BLUESTEIN: [usize; 3] = [67, 101, 131];
+
+fn budget_engine(eps: f64, n: usize, bluestein: bool) -> f64 {
+    let (m, c) = if bluestein { ((2 * n - 1).next_power_of_two(), 64.0) } else { (n, 8.0) };
+    c * eps * ((m.max(2) as f64).log2() + 1.0)
+}
+
+fn budget_naive(eps: f64, n: usize) -> f64 {
+    let nf = n.max(2) as f64;
+    eps * (nf.sqrt() * nf.log2() + 8.0)
+}
+
+fn random_input<T: Real>(n: usize, seed: u64) -> Vec<Complex<T>> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|_| {
+            Complex::new(T::from_f64(rng.uniform(-0.5, 0.5)), T::from_f64(rng.uniform(-0.5, 0.5)))
+        })
+        .collect()
+}
+
+fn widen<T: Real>(x: &[Complex<T>]) -> Vec<Complex<f64>> {
+    x.iter().map(|z| z.cast()).collect()
+}
+
+/// Complex path: iterative == recursive == naive within the tier budget,
+/// forward and inverse, plus an inverse∘forward roundtrip.
+fn check_complex<T: Real>(n: usize, bluestein: bool, seed: u64) {
+    let eps = T::PRECISION.epsilon();
+    let tier = T::PRECISION;
+    let x = random_input::<T>(n, seed);
+    let x64 = widen(&x);
+
+    // f64 naive DFT of the tier-rounded input is the reference.
+    let mut want = vec![Complex::<f64>::zero(); n];
+    naive_dft(&x64, &mut want, FftDirection::Forward);
+
+    let plan = cache::complex_plan::<T>(n);
+    assert_eq!(plan.is_bluestein(), bluestein, "strategy selection at n={n}");
+    // The seed's recursive engine has no Bluestein path: large primes are
+    // differentially tested iterative-vs-naive only.
+    let seed_plan = (!bluestein).then(|| RecursiveFftPlan::<T>::new(n));
+
+    let iterative = plan.forward_vec(&x);
+    let recursive = seed_plan.as_ref().map(|p| p.forward_vec(&x));
+    let mut naive_t = vec![Complex::<T>::zero(); n];
+    naive_dft(&x, &mut naive_t, FftDirection::Forward);
+
+    let be = budget_engine(eps, n, bluestein);
+    let bn = budget_naive(eps, n).max(be);
+    let mut paths: Vec<(&str, &Vec<Complex<T>>, f64)> =
+        vec![("iterative", &iterative, be), ("naive", &naive_t, bn)];
+    if let Some(rec) = &recursive {
+        paths.push(("recursive", rec, be));
+    }
+    for (name, got, budget) in paths {
+        let err = rel_l2_error_c(&widen(got), &want);
+        assert!(err <= budget, "{tier} n={n} {name} forward: err {err:.3e} > budget {budget:.3e}");
+        assert!(got.iter().all(|z| z.is_finite()), "{tier} n={n} {name}: non-finite output");
+    }
+
+    // Inverse direction against the f64 naive inverse of the rounded
+    // reference spectrum (itself rounded into the tier).
+    let spec_t: Vec<Complex<T>> = want.iter().map(|z| z.cast()).collect();
+    let mut want_inv = vec![Complex::<f64>::zero(); n];
+    naive_dft(&widen(&spec_t), &mut want_inv, FftDirection::Inverse);
+    let it_inv = plan.inverse_vec(&spec_t);
+    let rec_inv = seed_plan.as_ref().map(|p| p.inverse_vec(&spec_t));
+    let mut naive_inv = vec![Complex::<T>::zero(); n];
+    naive_dft(&spec_t, &mut naive_inv, FftDirection::Inverse);
+    let mut paths: Vec<(&str, &Vec<Complex<T>>, f64)> =
+        vec![("iterative", &it_inv, be), ("naive", &naive_inv, bn)];
+    if let Some(rec) = &rec_inv {
+        paths.push(("recursive", rec, be));
+    }
+    for (name, got, budget) in paths {
+        let err = rel_l2_error_c(&widen(got), &want_inv);
+        assert!(err <= budget, "{tier} n={n} {name} inverse: err {err:.3e} > budget {budget:.3e}");
+    }
+
+    // Roundtrip: inverse(forward(x)) ≈ x through each fast engine.
+    let mut roundtrips = vec![("iterative", plan.inverse_vec(&iterative))];
+    if let (Some(p), Some(fwd)) = (&seed_plan, &recursive) {
+        roundtrips.push(("recursive", p.inverse_vec(fwd)));
+    }
+    for (name, back) in roundtrips {
+        let err = rel_l2_error_c(&widen(&back), &x64);
+        assert!(
+            err <= 2.0 * be,
+            "{tier} n={n} {name} roundtrip: err {err:.3e} > budget {:.3e}",
+            2.0 * be
+        );
+    }
+}
+
+/// Real path: packed R2C forward against the f64 naive DFT of the real
+/// signal, and the C2R inverse roundtrip. `n` must be even.
+fn check_real<T: Real>(n: usize, bluestein: bool, seed: u64) {
+    let eps = T::PRECISION.epsilon();
+    let tier = T::PRECISION;
+    let mut rng = SplitMix64::new(seed);
+    let x: Vec<T> = (0..n).map(|_| T::from_f64(rng.uniform(-0.5, 0.5))).collect();
+    let x64: Vec<Complex<f64>> = x.iter().map(|&v| Complex::new(v.to_f64(), 0.0)).collect();
+
+    let mut full = vec![Complex::<f64>::zero(); n];
+    naive_dft(&x64, &mut full, FftDirection::Forward);
+    let want: Vec<Complex<f64>> = full[..n / 2 + 1].to_vec();
+
+    let plan = cache::real_plan::<T>(n);
+    let mut scratch = vec![Complex::<T>::zero(); plan.scratch_len()];
+    let mut spectrum = vec![Complex::<T>::zero(); plan.spectrum_len()];
+    plan.forward(&x, &mut spectrum, &mut scratch);
+
+    // The packed-real transform runs the half-length complex plan, so
+    // the budget follows that plan's strategy (Bluestein for 2·prime).
+    let be = budget_engine(eps, n / 2, bluestein);
+    let err = rel_l2_error_c(&widen(&spectrum), &want);
+    assert!(err <= be, "{tier} n={n} real forward: err {err:.3e} > budget {be:.3e}");
+
+    let mut back = vec![T::ZERO; n];
+    plan.inverse(&spectrum, &mut back, &mut scratch);
+    let err = rel_l2_error(
+        &back.iter().map(|&v| v.to_f64()).collect::<Vec<_>>(),
+        &x.iter().map(|&v| v.to_f64()).collect::<Vec<_>>(),
+    );
+    assert!(err <= 2.0 * be, "{tier} n={n} real roundtrip: err {err:.3e} > {:.3e}", 2.0 * be);
+}
+
+fn sweep_complex<T: Real>() {
+    for (i, &n) in POW2.iter().chain(&MIXED).enumerate() {
+        check_complex::<T>(n, false, 0xD1F + i as u64);
+    }
+    for (i, &n) in BLUESTEIN.iter().enumerate() {
+        check_complex::<T>(n, true, 0xB1E + i as u64);
+    }
+}
+
+fn sweep_real<T: Real>() {
+    // Real plans need even n; the odd Bluestein primes are doubled, which
+    // still routes the half-length complex plan through Bluestein for
+    // 67·2 = 134 = 2·67 (half plan length 67 is a large prime).
+    for (i, &n) in POW2.iter().chain(&MIXED).enumerate() {
+        if n % 2 == 0 {
+            check_real::<T>(n, false, 0x5EA1 + i as u64);
+        }
+    }
+    for (i, &p) in BLUESTEIN.iter().enumerate() {
+        check_real::<T>(2 * p, true, 0x5EA2 + i as u64);
+    }
+}
+
+#[test]
+fn complex_oracle_f64() {
+    sweep_complex::<f64>();
+}
+
+#[test]
+fn complex_oracle_f32() {
+    sweep_complex::<f32>();
+}
+
+#[test]
+fn complex_oracle_f16() {
+    sweep_complex::<f16>();
+}
+
+#[test]
+fn complex_oracle_bf16() {
+    sweep_complex::<bf16>();
+}
+
+#[test]
+fn real_oracle_f64() {
+    sweep_real::<f64>();
+}
+
+#[test]
+fn real_oracle_f32() {
+    sweep_real::<f32>();
+}
+
+#[test]
+fn real_oracle_f16() {
+    sweep_real::<f16>();
+}
+
+#[test]
+fn real_oracle_bf16() {
+    sweep_real::<bf16>();
+}
+
+/// The measured engine error must be ordered by tier ε at a fixed size:
+/// d ≤ s ≤ h ≤ b (allowing generous slack — roundoff is stochastic).
+#[test]
+fn tier_error_ordering_at_fixed_size() {
+    fn engine_err<T: Real>(n: usize, seed: u64) -> f64 {
+        let x = random_input::<T>(n, seed);
+        let mut want = vec![Complex::<f64>::zero(); n];
+        naive_dft(&widen(&x), &mut want, FftDirection::Forward);
+        rel_l2_error_c(&widen(&cache::complex_plan::<T>(n).forward_vec(&x)), &want)
+    }
+    for n in [64usize, 200] {
+        let (ed, es) = (engine_err::<f64>(n, 7), engine_err::<f32>(n, 7));
+        let (eh, eb) = (engine_err::<f16>(n, 7), engine_err::<bf16>(n, 7));
+        assert!(ed < es, "n={n}: f64 {ed:.2e} !< f32 {es:.2e}");
+        assert!(es < eh, "n={n}: f32 {es:.2e} !< f16 {eh:.2e}");
+        assert!(eh < eb * 2.0, "n={n}: f16 {eh:.2e} !< 2·bf16 {eb:.2e}");
+    }
+}

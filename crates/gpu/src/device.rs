@@ -36,6 +36,9 @@ pub struct DeviceSpec {
     pub peak_fp64: f64,
     /// Peak FP32 vector throughput in FLOP/s.
     pub peak_fp32: f64,
+    /// Peak FP16/BF16 vector throughput in FLOP/s (the tensor/matrix-core
+    /// rates are far higher; GEMV-class kernels see the vector rate).
+    pub peak_fp16: f64,
     /// Number of compute units.
     pub cu_count: usize,
     /// Wavefront (warp) width in lanes.
@@ -50,6 +53,11 @@ pub struct DeviceSpec {
     pub sbgemv_cap_fp64: f64,
     /// Achieved-bandwidth cap for GEMV-class kernels in FP32.
     pub sbgemv_cap_fp32: f64,
+    /// Achieved-bandwidth cap for GEMV-class kernels in FP16/BF16.
+    /// Modeled below the FP32 cap: no vendor BLAS tunes half-precision
+    /// GEMV on these parts (the 16-bit tiers are software-emulated here,
+    /// pending a tensor-core backend).
+    pub sbgemv_cap_fp16: f64,
     /// Achieved-bandwidth cap for streaming kernels (pad/unpad/cast).
     pub streaming_cap: f64,
     /// Achieved-bandwidth cap for FFT kernels.
@@ -65,6 +73,7 @@ impl DeviceSpec {
             peak_bw: 1.6384e12,
             peak_fp64: 23.95e12,
             peak_fp32: 23.95e12,
+            peak_fp16: 47.9e12,
             cu_count: 110,
             wavefront: 64,
             lds_bytes: 64 * 1024,
@@ -74,6 +83,7 @@ impl DeviceSpec {
             // FP32 GEMV on CDNA2 is a little less tuned than FP64 — this
             // produces the paper's ~75% (vs MI300X's ~95%) mixed speedup.
             sbgemv_cap_fp32: 0.64,
+            sbgemv_cap_fp16: 0.55,
             streaming_cap: 0.85,
             fft_cap: 0.80,
         }
@@ -87,6 +97,7 @@ impl DeviceSpec {
             peak_bw: 5.3e12,
             peak_fp64: 81.7e12,
             peak_fp32: 163.4e12,
+            peak_fp16: 326.8e12,
             cu_count: 304,
             wavefront: 64,
             lds_bytes: 64 * 1024,
@@ -94,6 +105,7 @@ impl DeviceSpec {
             memory_bytes: 192 * (1u64 << 30),
             sbgemv_cap_fp64: 0.72,
             sbgemv_cap_fp32: 0.70,
+            sbgemv_cap_fp16: 0.60,
             streaming_cap: 0.85,
             fft_cap: 0.80,
         }
@@ -109,6 +121,7 @@ impl DeviceSpec {
             peak_bw: 8.0e12,
             peak_fp64: 78.6e12,
             peak_fp32: 157.2e12,
+            peak_fp16: 314.4e12,
             cu_count: 256,
             wavefront: 64,
             lds_bytes: 160 * 1024,
@@ -116,6 +129,7 @@ impl DeviceSpec {
             memory_bytes: 288 * (1u64 << 30),
             sbgemv_cap_fp64: 0.37,
             sbgemv_cap_fp32: 0.26,
+            sbgemv_cap_fp16: 0.20,
             streaming_cap: 0.80,
             fft_cap: 0.70,
         }
@@ -129,14 +143,18 @@ impl DeviceSpec {
     /// GEMV-class tuning cap for a compute precision.
     pub fn sbgemv_cap(&self, p: Precision) -> f64 {
         match p {
+            Precision::Half | Precision::BFloat16 => self.sbgemv_cap_fp16,
             Precision::Single => self.sbgemv_cap_fp32,
             Precision::Double => self.sbgemv_cap_fp64,
         }
     }
 
-    /// Peak FLOP/s for a compute precision.
+    /// Peak FLOP/s for a compute precision. The two 16-bit tiers share
+    /// the FP16 vector rate (bf16 multiplies feed FP32 accumulators at
+    /// the same issue width on CDNA).
     pub fn peak_flops(&self, p: Precision) -> f64 {
         match p {
+            Precision::Half | Precision::BFloat16 => self.peak_fp16,
             Precision::Single => self.peak_fp32,
             Precision::Double => self.peak_fp64,
         }
@@ -199,6 +217,13 @@ mod tests {
         let d = DeviceSpec::mi355x();
         assert_eq!(d.sbgemv_cap(Precision::Double), d.sbgemv_cap_fp64);
         assert_eq!(d.sbgemv_cap(Precision::Single), d.sbgemv_cap_fp32);
+        assert_eq!(d.sbgemv_cap(Precision::Half), d.sbgemv_cap_fp16);
+        assert_eq!(d.sbgemv_cap(Precision::BFloat16), d.sbgemv_cap_fp16);
         assert!(d.peak_flops(Precision::Single) > d.peak_flops(Precision::Double));
+        assert!(d.peak_flops(Precision::Half) >= d.peak_flops(Precision::Single));
+        // Half-GEMV is modeled as less tuned than FP32 on every device.
+        for dev in DeviceSpec::paper_lineup() {
+            assert!(dev.sbgemv_cap_fp16 < dev.sbgemv_cap_fp32, "{}", dev.name);
+        }
     }
 }

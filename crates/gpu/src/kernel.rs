@@ -168,8 +168,12 @@ impl KernelProfile {
 /// Convenience: the dtype for a (complex?, precision) pair.
 pub fn dtype_for(complex: bool, p: Precision) -> DType {
     match (complex, p) {
+        (false, Precision::Half) => DType::RealF16,
+        (false, Precision::BFloat16) => DType::RealBF16,
         (false, Precision::Single) => DType::RealF32,
         (false, Precision::Double) => DType::RealF64,
+        (true, Precision::Half) => DType::ComplexF16,
+        (true, Precision::BFloat16) => DType::ComplexBF16,
         (true, Precision::Single) => DType::ComplexF32,
         (true, Precision::Double) => DType::ComplexF64,
     }
@@ -292,5 +296,7 @@ mod tests {
     fn dtype_selector() {
         assert_eq!(dtype_for(true, Precision::Double), DType::ComplexF64);
         assert_eq!(dtype_for(false, Precision::Single), DType::RealF32);
+        assert_eq!(dtype_for(false, Precision::Half), DType::RealF16);
+        assert_eq!(dtype_for(true, Precision::BFloat16), DType::ComplexBF16);
     }
 }

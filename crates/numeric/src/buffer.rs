@@ -1,43 +1,73 @@
-//! Dynamically typed vectors holding data in either precision.
+//! Dynamically typed vectors holding data in any lattice precision.
 //!
 //! The mixed-precision pipeline (Section 3.2) tracks a *current working
 //! precision* through the five matvec phases; a phase whose configured
 //! compute precision differs from the working precision triggers a cast.
 //! [`RealBuffer`] and [`ComplexBuffer`] are the storage behind that: a
-//! vector tagged with its precision, plus the cast kernels. Byte counts for
+//! vector tagged with its precision, plus the cast kernels, covering all
+//! four tiers of the extended lattice (`h`/`b`/`s`/`d`). Byte counts for
 //! the bandwidth model are exposed so fused cast+memory phases can be
 //! costed correctly.
+//!
+//! Cast semantics: every conversion routes through the widest format
+//! (`f64` for reals, `Complex<f64>` componentwise) and then rounds RTNE
+//! into the target storage; conversions into the 16-bit tiers round
+//! through `f32` first (see [`crate::half`]). Widening casts are exact.
 
 use crate::complex::Complex;
+use crate::half::{bf16, f16};
 use crate::precision::Precision;
+use crate::real::Real;
+use crate::with_real;
 
-/// A real vector stored in one of the two precisions.
+/// A real vector stored in one of the four precisions.
 #[derive(Clone, Debug, PartialEq)]
 pub enum RealBuffer {
+    F16(Vec<f16>),
+    BF16(Vec<bf16>),
     F32(Vec<f32>),
     F64(Vec<f64>),
+}
+
+impl From<Vec<f16>> for RealBuffer {
+    fn from(v: Vec<f16>) -> Self {
+        RealBuffer::F16(v)
+    }
+}
+impl From<Vec<bf16>> for RealBuffer {
+    fn from(v: Vec<bf16>) -> Self {
+        RealBuffer::BF16(v)
+    }
+}
+impl From<Vec<f32>> for RealBuffer {
+    fn from(v: Vec<f32>) -> Self {
+        RealBuffer::F32(v)
+    }
+}
+impl From<Vec<f64>> for RealBuffer {
+    fn from(v: Vec<f64>) -> Self {
+        RealBuffer::F64(v)
+    }
 }
 
 impl RealBuffer {
     /// Zero-filled buffer of length `n` in precision `p`.
     pub fn zeros(p: Precision, n: usize) -> Self {
-        match p {
-            Precision::Single => RealBuffer::F32(vec![0.0; n]),
-            Precision::Double => RealBuffer::F64(vec![0.0; n]),
-        }
+        with_real!(p, T => RealBuffer::from(vec![T::ZERO; n]))
     }
 
-    /// Build from `f64` data, rounding if `p` is single.
+    /// Build from `f64` data, rounding if `p` is narrower.
     pub fn from_f64(p: Precision, data: &[f64]) -> Self {
-        match p {
-            Precision::Single => RealBuffer::F32(data.iter().map(|&x| x as f32).collect()),
-            Precision::Double => RealBuffer::F64(data.to_vec()),
-        }
+        with_real!(p, T => {
+            RealBuffer::from(data.iter().map(|&x| T::from_f64(x)).collect::<Vec<T>>())
+        })
     }
 
     #[inline]
     pub fn len(&self) -> usize {
         match self {
+            RealBuffer::F16(v) => v.len(),
+            RealBuffer::BF16(v) => v.len(),
             RealBuffer::F32(v) => v.len(),
             RealBuffer::F64(v) => v.len(),
         }
@@ -51,6 +81,8 @@ impl RealBuffer {
     #[inline]
     pub fn precision(&self) -> Precision {
         match self {
+            RealBuffer::F16(_) => Precision::Half,
+            RealBuffer::BF16(_) => Precision::BFloat16,
             RealBuffer::F32(_) => Precision::Single,
             RealBuffer::F64(_) => Precision::Double,
         }
@@ -66,6 +98,8 @@ impl RealBuffer {
     #[inline]
     pub fn get(&self, i: usize) -> f64 {
         match self {
+            RealBuffer::F16(v) => v[i].to_f64(),
+            RealBuffer::BF16(v) => v[i].to_f64(),
             RealBuffer::F32(v) => v[i] as f64,
             RealBuffer::F64(v) => v[i],
         }
@@ -74,23 +108,42 @@ impl RealBuffer {
     /// Widen/copy out to an `f64` vector (reference-precision view).
     pub fn to_f64_vec(&self) -> Vec<f64> {
         match self {
+            RealBuffer::F16(v) => v.iter().map(|&x| x.to_f64()).collect(),
+            RealBuffer::BF16(v) => v.iter().map(|&x| x.to_f64()).collect(),
             RealBuffer::F32(v) => v.iter().map(|&x| x as f64).collect(),
             RealBuffer::F64(v) => v.clone(),
         }
     }
 
-    /// The cast kernel: convert to precision `p`. A same-precision cast is
-    /// a no-op returning `self` unchanged (the pipeline's fusion logic
+    /// The cast kernel: convert to precision `p`. A same-precision cast
+    /// is a no-op returning `self` unchanged (the pipeline's fusion logic
     /// never emits those, but the API keeps it total).
     pub fn cast(self, p: Precision) -> Self {
-        match (self, p) {
-            (RealBuffer::F32(v), Precision::Double) => {
-                RealBuffer::F64(v.into_iter().map(|x| x as f64).collect())
-            }
-            (RealBuffer::F64(v), Precision::Single) => {
-                RealBuffer::F32(v.into_iter().map(|x| x as f32).collect())
-            }
-            (b, _) => b,
+        if self.precision() == p {
+            return self;
+        }
+        with_real!(p, T => {
+            let out: Vec<T> = match &self {
+                RealBuffer::F16(v) => v.iter().map(|&x| T::from_f64(x.to_f64())).collect(),
+                RealBuffer::BF16(v) => v.iter().map(|&x| T::from_f64(x.to_f64())).collect(),
+                RealBuffer::F32(v) => v.iter().map(|&x| T::from_f64(x as f64)).collect(),
+                RealBuffer::F64(v) => v.iter().map(|&x| T::from_f64(x)).collect(),
+            };
+            RealBuffer::from(out)
+        })
+    }
+
+    pub fn as_f16(&self) -> Option<&[f16]> {
+        match self {
+            RealBuffer::F16(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_bf16(&self) -> Option<&[bf16]> {
+        match self {
+            RealBuffer::BF16(v) => Some(v),
+            _ => None,
         }
     }
 
@@ -122,50 +175,72 @@ impl RealBuffer {
         }
     }
 
-    /// Elementwise accumulate `self += other`, in `self`'s precision.
-    /// Used by the phase-5 reduction when summing partial outputs.
+    /// Elementwise accumulate `self += other`, in `self`'s precision
+    /// (16-bit accumulators round after every add — the storage-rounding
+    /// compute model). Used by the phase-5 reduction when summing partial
+    /// outputs.
     pub fn accumulate(&mut self, other: &RealBuffer) {
         assert_eq!(self.len(), other.len(), "accumulate length mismatch");
+        fn acc<T: Real>(v: &mut [T], other: &RealBuffer) {
+            for (i, x) in v.iter_mut().enumerate() {
+                *x += T::from_f64(other.get(i));
+            }
+        }
         match self {
-            RealBuffer::F32(v) => {
-                for (i, x) in v.iter_mut().enumerate() {
-                    *x += other.get(i) as f32;
-                }
-            }
-            RealBuffer::F64(v) => {
-                for (i, x) in v.iter_mut().enumerate() {
-                    *x += other.get(i);
-                }
-            }
+            RealBuffer::F16(v) => acc(v, other),
+            RealBuffer::BF16(v) => acc(v, other),
+            RealBuffer::F32(v) => acc(v, other),
+            RealBuffer::F64(v) => acc(v, other),
         }
     }
 }
 
-/// A complex vector stored in one of the two precisions.
+/// A complex vector stored in one of the four precisions.
 #[derive(Clone, Debug, PartialEq)]
 pub enum ComplexBuffer {
+    C16(Vec<Complex<f16>>),
+    CB16(Vec<Complex<bf16>>),
     C32(Vec<Complex<f32>>),
     C64(Vec<Complex<f64>>),
 }
 
+impl From<Vec<Complex<f16>>> for ComplexBuffer {
+    fn from(v: Vec<Complex<f16>>) -> Self {
+        ComplexBuffer::C16(v)
+    }
+}
+impl From<Vec<Complex<bf16>>> for ComplexBuffer {
+    fn from(v: Vec<Complex<bf16>>) -> Self {
+        ComplexBuffer::CB16(v)
+    }
+}
+impl From<Vec<Complex<f32>>> for ComplexBuffer {
+    fn from(v: Vec<Complex<f32>>) -> Self {
+        ComplexBuffer::C32(v)
+    }
+}
+impl From<Vec<Complex<f64>>> for ComplexBuffer {
+    fn from(v: Vec<Complex<f64>>) -> Self {
+        ComplexBuffer::C64(v)
+    }
+}
+
 impl ComplexBuffer {
     pub fn zeros(p: Precision, n: usize) -> Self {
-        match p {
-            Precision::Single => ComplexBuffer::C32(vec![Complex::zero(); n]),
-            Precision::Double => ComplexBuffer::C64(vec![Complex::zero(); n]),
-        }
+        with_real!(p, T => ComplexBuffer::from(vec![Complex::<T>::zero(); n]))
     }
 
     pub fn from_c64(p: Precision, data: &[Complex<f64>]) -> Self {
-        match p {
-            Precision::Single => ComplexBuffer::C32(data.iter().map(|z| z.cast()).collect()),
-            Precision::Double => ComplexBuffer::C64(data.to_vec()),
-        }
+        with_real!(p, T => {
+            ComplexBuffer::from(data.iter().map(|z| z.cast::<T>()).collect::<Vec<_>>())
+        })
     }
 
     #[inline]
     pub fn len(&self) -> usize {
         match self {
+            ComplexBuffer::C16(v) => v.len(),
+            ComplexBuffer::CB16(v) => v.len(),
             ComplexBuffer::C32(v) => v.len(),
             ComplexBuffer::C64(v) => v.len(),
         }
@@ -179,6 +254,8 @@ impl ComplexBuffer {
     #[inline]
     pub fn precision(&self) -> Precision {
         match self {
+            ComplexBuffer::C16(_) => Precision::Half,
+            ComplexBuffer::CB16(_) => Precision::BFloat16,
             ComplexBuffer::C32(_) => Precision::Single,
             ComplexBuffer::C64(_) => Precision::Double,
         }
@@ -192,6 +269,8 @@ impl ComplexBuffer {
     #[inline]
     pub fn get(&self, i: usize) -> Complex<f64> {
         match self {
+            ComplexBuffer::C16(v) => v[i].cast(),
+            ComplexBuffer::CB16(v) => v[i].cast(),
             ComplexBuffer::C32(v) => v[i].cast(),
             ComplexBuffer::C64(v) => v[i],
         }
@@ -199,20 +278,39 @@ impl ComplexBuffer {
 
     pub fn to_c64_vec(&self) -> Vec<Complex<f64>> {
         match self {
+            ComplexBuffer::C16(v) => v.iter().map(|z| z.cast()).collect(),
+            ComplexBuffer::CB16(v) => v.iter().map(|z| z.cast()).collect(),
             ComplexBuffer::C32(v) => v.iter().map(|z| z.cast()).collect(),
             ComplexBuffer::C64(v) => v.clone(),
         }
     }
 
     pub fn cast(self, p: Precision) -> Self {
-        match (self, p) {
-            (ComplexBuffer::C32(v), Precision::Double) => {
-                ComplexBuffer::C64(v.into_iter().map(|z| z.cast()).collect())
-            }
-            (ComplexBuffer::C64(v), Precision::Single) => {
-                ComplexBuffer::C32(v.into_iter().map(|z| z.cast()).collect())
-            }
-            (b, _) => b,
+        if self.precision() == p {
+            return self;
+        }
+        with_real!(p, T => {
+            let out: Vec<Complex<T>> = match &self {
+                ComplexBuffer::C16(v) => v.iter().map(|z| z.cast()).collect(),
+                ComplexBuffer::CB16(v) => v.iter().map(|z| z.cast()).collect(),
+                ComplexBuffer::C32(v) => v.iter().map(|z| z.cast()).collect(),
+                ComplexBuffer::C64(v) => v.iter().map(|z| z.cast()).collect(),
+            };
+            ComplexBuffer::from(out)
+        })
+    }
+
+    pub fn as_c16(&self) -> Option<&[Complex<f16>]> {
+        match self {
+            ComplexBuffer::C16(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_cb16(&self) -> Option<&[Complex<bf16>]> {
+        match self {
+            ComplexBuffer::CB16(v) => Some(v),
+            _ => None,
         }
     }
 
@@ -257,6 +355,10 @@ mod tests {
         assert_eq!(b.bytes(), 28);
         assert!(!b.is_empty());
         assert_eq!(b.get(3), 0.0);
+        let h = RealBuffer::zeros(Precision::Half, 5);
+        assert_eq!(h.precision(), Precision::Half);
+        assert_eq!(h.bytes(), 10);
+        assert_eq!(h.get(0), 0.0);
     }
 
     #[test]
@@ -274,11 +376,34 @@ mod tests {
     }
 
     #[test]
+    fn half_tier_casts() {
+        // 1 + 2^-9 is representable in f16 (ε = 2^-10) but not in bf16
+        // (ε = 2^-7) — the tiers are not ordered by accuracy.
+        let x = 1.0 + 2f64.powi(-9);
+        let b = RealBuffer::from_f64(Precision::Half, &[x]);
+        assert_eq!(b.get(0), x);
+        let bb = RealBuffer::from_f64(Precision::BFloat16, &[x]);
+        assert_eq!(bb.get(0), 1.0);
+        // Widening a 16-bit tier into f32/f64 is exact.
+        let w = b.clone().cast(Precision::Single);
+        assert_eq!(w.precision(), Precision::Single);
+        assert_eq!(w.get(0), x);
+        // f16 overflows where bf16 keeps the f32 range.
+        let big = RealBuffer::from_f64(Precision::Double, &[1e6]);
+        assert!(big.clone().cast(Precision::Half).get(0).is_infinite());
+        assert!(big.cast(Precision::BFloat16).get(0).is_finite());
+    }
+
+    #[test]
     fn real_accumulate_mixed_precision() {
         let mut acc = RealBuffer::from_f64(Precision::Double, &[1.0, 2.0]);
         let other = RealBuffer::from_f64(Precision::Single, &[0.5, 0.25]);
         acc.accumulate(&other);
         assert_eq!(acc.to_f64_vec(), vec![1.5, 2.25]);
+        // A half accumulator rounds after every add.
+        let mut hacc = RealBuffer::from_f64(Precision::Half, &[1.0]);
+        hacc.accumulate(&RealBuffer::from_f64(Precision::Double, &[2f64.powi(-12)]));
+        assert_eq!(hacc.get(0), 1.0, "sub-ε increment must be swallowed");
     }
 
     #[test]
@@ -300,6 +425,12 @@ mod tests {
         assert_eq!(s.bytes(), 16);
         // These values are exactly representable in f32.
         assert_eq!(s.to_c64_vec(), data);
+        // ... and in both 16-bit tiers.
+        let h = ComplexBuffer::from_c64(Precision::Half, &data);
+        assert_eq!(h.bytes(), 8);
+        assert_eq!(h.to_c64_vec(), data);
+        let bb = ComplexBuffer::from_c64(Precision::BFloat16, &data);
+        assert_eq!(bb.to_c64_vec(), data);
     }
 
     #[test]
@@ -307,8 +438,26 @@ mod tests {
         let b = ComplexBuffer::zeros(Precision::Single, 4);
         assert!(b.as_c32().is_some());
         assert!(b.as_c64().is_none());
+        assert!(b.as_c16().is_none());
         let mut b = b.cast(Precision::Double);
         assert!(b.as_c64_mut().is_some());
         assert!(b.as_c32_mut().is_none());
+        let h = ComplexBuffer::zeros(Precision::Half, 2);
+        assert!(h.as_c16().is_some() && h.as_cb16().is_none());
+        let r = RealBuffer::zeros(Precision::BFloat16, 2);
+        assert!(r.as_bf16().is_some() && r.as_f16().is_none());
+    }
+
+    #[test]
+    fn widening_casts_are_exact_roundtrips() {
+        for p in Precision::ALL {
+            let src = RealBuffer::from_f64(p, &[0.3125, -7.75, 1.0e-2]);
+            for target in Precision::ALL {
+                if p.widens_exactly_to(target) {
+                    let roundtrip = src.clone().cast(target).cast(p);
+                    assert_eq!(roundtrip, src, "{p} → {target} → {p}");
+                }
+            }
+        }
     }
 }

@@ -10,13 +10,23 @@ use core::fmt;
 
 use crate::precision::Precision;
 
-/// The four rocBLAS element datatypes.
+/// The four rocBLAS element datatypes, plus the software-emulated 16-bit
+/// tiers (no rocBLAS counterpart exists for the complex 16-bit types —
+/// exactly the library gap the paper cites for excluding half precision).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum DType {
+    /// `half` — rocBLAS `h` (software-emulated here).
+    RealF16,
+    /// `bfloat16` — rocBLAS `b` prefix by convention (software-emulated).
+    RealBF16,
     /// `float` — rocBLAS `s`.
     RealF32,
     /// `double` — rocBLAS `d`.
     RealF64,
+    /// Interleaved complex over `half` — synthetic prefix `k`.
+    ComplexF16,
+    /// Interleaved complex over `bfloat16` — synthetic prefix `y`.
+    ComplexBF16,
     /// `hipFloatComplex` — rocBLAS `c`.
     ComplexF32,
     /// `hipDoubleComplex` — rocBLAS `z`.
@@ -28,9 +38,9 @@ impl DType {
     #[inline]
     pub fn bytes(self) -> usize {
         match self {
-            DType::RealF32 => 4,
-            DType::RealF64 => 8,
-            DType::ComplexF32 => 8,
+            DType::RealF16 | DType::RealBF16 => 2,
+            DType::RealF32 | DType::ComplexF16 | DType::ComplexBF16 => 4,
+            DType::RealF64 | DType::ComplexF32 => 8,
             DType::ComplexF64 => 16,
         }
     }
@@ -46,13 +56,18 @@ impl DType {
     /// Is this a complex type (frequency-domain data)?
     #[inline]
     pub fn is_complex(self) -> bool {
-        matches!(self, DType::ComplexF32 | DType::ComplexF64)
+        matches!(
+            self,
+            DType::ComplexF16 | DType::ComplexBF16 | DType::ComplexF32 | DType::ComplexF64
+        )
     }
 
     /// The underlying real precision.
     #[inline]
     pub fn precision(self) -> Precision {
         match self {
+            DType::RealF16 | DType::ComplexF16 => Precision::Half,
+            DType::RealBF16 | DType::ComplexBF16 => Precision::BFloat16,
             DType::RealF32 | DType::ComplexF32 => Precision::Single,
             DType::RealF64 | DType::ComplexF64 => Precision::Double,
         }
@@ -73,6 +88,8 @@ impl DType {
     #[inline]
     pub fn to_complex(self) -> DType {
         match self.precision() {
+            Precision::Half => DType::ComplexF16,
+            Precision::BFloat16 => DType::ComplexBF16,
             Precision::Single => DType::ComplexF32,
             Precision::Double => DType::ComplexF64,
         }
@@ -82,32 +99,56 @@ impl DType {
     #[inline]
     pub fn to_real(self) -> DType {
         match self.precision() {
+            Precision::Half => DType::RealF16,
+            Precision::BFloat16 => DType::RealBF16,
             Precision::Single => DType::RealF32,
             Precision::Double => DType::RealF64,
         }
     }
 
-    /// rocBLAS function-prefix letter (`s`/`d`/`c`/`z`).
+    /// rocBLAS function-prefix letter (`s`/`d`/`c`/`z`; `h`/`b`/`k`/`y`
+    /// are this workspace's extension codes for the 16-bit tiers).
     #[inline]
     pub fn blas_prefix(self) -> char {
         match self {
+            DType::RealF16 => 'h',
+            DType::RealBF16 => 'b',
             DType::RealF32 => 's',
             DType::RealF64 => 'd',
+            DType::ComplexF16 => 'k',
+            DType::ComplexBF16 => 'y',
             DType::ComplexF32 => 'c',
             DType::ComplexF64 => 'z',
         }
     }
 
-    /// All four datatypes in Figure-1 order.
+    /// The rocBLAS quartet in Figure-1 order (the set the paper's SBGEMV
+    /// benchmark covers).
     pub const ALL: [DType; 4] =
         [DType::RealF32, DType::RealF64, DType::ComplexF32, DType::ComplexF64];
+
+    /// Every datatype including the software-emulated 16-bit tiers.
+    pub const ALL_WITH_HALF: [DType; 8] = [
+        DType::RealF16,
+        DType::RealBF16,
+        DType::RealF32,
+        DType::RealF64,
+        DType::ComplexF16,
+        DType::ComplexBF16,
+        DType::ComplexF32,
+        DType::ComplexF64,
+    ];
 }
 
 impl fmt::Display for DType {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {
+            DType::RealF16 => "Real Half",
+            DType::RealBF16 => "Real BFloat16",
             DType::RealF32 => "Real Single",
             DType::RealF64 => "Real Double",
+            DType::ComplexF16 => "Complex Half",
+            DType::ComplexBF16 => "Complex BFloat16",
             DType::ComplexF32 => "Complex Single",
             DType::ComplexF64 => "Complex Double",
         };
@@ -145,5 +186,20 @@ mod tests {
     fn flop_counts() {
         assert_eq!(DType::RealF64.flops_per_mac(), 2);
         assert_eq!(DType::ComplexF32.flops_per_mac(), 8);
+    }
+
+    #[test]
+    fn half_tier_dtypes() {
+        assert_eq!(DType::RealF16.bytes(), 2);
+        assert_eq!(DType::RealF16.vector_lanes(), 8); // half8 per 16-byte load
+        assert_eq!(DType::ComplexBF16.bytes(), 4);
+        assert_eq!(DType::ComplexBF16.vector_lanes(), 4);
+        assert_eq!(DType::RealF16.to_complex(), DType::ComplexF16);
+        assert_eq!(DType::ComplexBF16.to_real(), DType::RealBF16);
+        assert_eq!(DType::ComplexF16.precision(), Precision::Half);
+        assert_eq!(DType::RealBF16.precision(), Precision::BFloat16);
+        assert!(DType::ComplexF16.is_complex() && !DType::RealBF16.is_complex());
+        let codes: Vec<char> = DType::ALL_WITH_HALF.iter().map(|d| d.blas_prefix()).collect();
+        assert_eq!(codes, vec!['h', 'b', 's', 'd', 'k', 'y', 'c', 'z']);
     }
 }

@@ -1,0 +1,524 @@
+//! Software-emulated half-precision scalars: IEEE-754 binary16 ([`struct@f16`])
+//! and bfloat16 ([`struct@bf16`]).
+//!
+//! The paper's dynamic mixed-precision framework (Section 3.2) restricts
+//! itself to {FP32, FP64} because complex half-precision FFT/BLAS library
+//! support was too sparse; tcFFT and the mixed-precision MRI FFT work
+//! show the headroom half precision leaves on the table. These types open
+//! the precision lattice to four tiers *in software*, pending a GPU
+//! tensor-core backend:
+//!
+//! * **storage** is the exact 16-bit format (`u16` bit patterns);
+//! * **arithmetic** is performed in `f32` and the result is rounded back
+//!   to the 16-bit format after every operation (round-to-nearest-even),
+//!   which is precisely the rounding model of a GPU that computes half
+//!   operands in FP32 accumulators and stores half results.
+//!
+//! The `f32 ↔ f16`/`f32 ↔ bf16` conversions are bit-exact
+//! round-to-nearest-even, including subnormals, infinities, and
+//! signed zeros (NaNs are quieted, payloads are not preserved).
+//! Conversions *from* `f64` go through `f32` first (`x as f32` is itself
+//! RTNE), so the double-rounding semantics are documented and
+//! deterministic rather than accidental.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use crate::precision::Precision;
+use crate::real::Real;
+
+/// Round an `f32` to IEEE-754 binary16 bits (round-to-nearest-even).
+pub fn f32_to_f16_bits(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let frac = bits & 0x007f_ffff;
+
+    if exp == 0xff {
+        // Infinity keeps its sign; NaN is quieted with payload dropped.
+        return if frac == 0 { sign | 0x7c00 } else { sign | 0x7e00 };
+    }
+
+    let e = exp - 127; // unbiased exponent of the f32 value
+
+    if e >= 16 {
+        // Above the f16 binade range: rounds to infinity.
+        return sign | 0x7c00;
+    }
+
+    if e >= -14 {
+        // Normal f16 range: keep 10 mantissa bits, RTNE on the 13 dropped.
+        let mant = frac >> 13;
+        let rest = frac & 0x1fff;
+        let mut h = ((((e + 15) as u32) << 10) | mant) as u16;
+        if rest > 0x1000 || (rest == 0x1000 && (mant & 1) == 1) {
+            // May carry into the exponent — that is the correct round-up
+            // to the next binade (or to infinity at the top).
+            h += 1;
+        }
+        return sign | h;
+    }
+
+    if e >= -25 {
+        // Subnormal f16: value = mant·2⁻²⁴ after shifting the full 24-bit
+        // significand right by (-e - 1) bits, RTNE on the dropped bits.
+        let full = frac | 0x0080_0000;
+        let shift = (-e - 1) as u32;
+        let mant = full >> shift;
+        let rest = full & ((1u32 << shift) - 1);
+        let halfway = 1u32 << (shift - 1);
+        let mut h = mant as u16;
+        if rest > halfway || (rest == halfway && (mant & 1) == 1) {
+            h += 1; // may round up to the smallest normal — correct
+        }
+        return sign | h;
+    }
+
+    // Below half the smallest subnormal (this also covers every f32
+    // subnormal input): rounds to signed zero.
+    sign
+}
+
+/// Widen IEEE-754 binary16 bits to an `f32` (always exact).
+pub fn f16_bits_to_f32(h: u16) -> f32 {
+    let sign = ((h & 0x8000) as u32) << 16;
+    let exp = ((h >> 10) & 0x1f) as u32;
+    let frac = (h & 0x3ff) as u32;
+    let bits = if exp == 0x1f {
+        // Inf / NaN.
+        sign | 0x7f80_0000 | (frac << 13)
+    } else if exp == 0 {
+        if frac == 0 {
+            sign // signed zero
+        } else {
+            // Subnormal: normalize into an f32 normal.
+            let mut e = -14i32;
+            let mut f = frac;
+            while f & 0x400 == 0 {
+                f <<= 1;
+                e -= 1;
+            }
+            sign | (((e + 127) as u32) << 23) | ((f & 0x3ff) << 13)
+        }
+    } else {
+        sign | ((exp + 127 - 15) << 23) | (frac << 13)
+    };
+    f32::from_bits(bits)
+}
+
+/// Round an `f32` to bfloat16 bits (round-to-nearest-even): the top 16
+/// bits of the f32 representation, rounded.
+pub fn f32_to_bf16_bits(x: f32) -> u16 {
+    let bits = x.to_bits();
+    if bits & 0x7fff_ffff > 0x7f80_0000 {
+        // NaN: quiet it, keep the sign and top payload bits.
+        return ((bits >> 16) as u16) | 0x0040;
+    }
+    let lsb = (bits >> 16) & 1;
+    ((bits + 0x7fff + lsb) >> 16) as u16
+}
+
+/// Widen bfloat16 bits to an `f32` (always exact — bf16 is the top half
+/// of the f32 format).
+pub fn bf16_bits_to_f32(b: u16) -> f32 {
+    f32::from_bits((b as u32) << 16)
+}
+
+macro_rules! define_half {
+    (
+        $(#[$doc:meta])*
+        $name:ident, $to_f32:ident, $from_f32:ident,
+        exp_mask: $exp_mask:expr,
+        zero: $zero:expr, one: $one:expr, two: $two:expr,
+        epsilon: $eps:expr, pi: $pi:expr,
+        precision: $prec:expr
+    ) => {
+        $(#[$doc])*
+        #[allow(non_camel_case_types)]
+        #[derive(Clone, Copy, Default)]
+        #[repr(transparent)]
+        pub struct $name(u16);
+
+        impl $name {
+            /// Reinterpret raw bits as this format.
+            #[inline(always)]
+            pub const fn from_bits(bits: u16) -> Self {
+                $name(bits)
+            }
+
+            /// The raw 16-bit pattern.
+            #[inline(always)]
+            pub const fn to_bits(self) -> u16 {
+                self.0
+            }
+
+            /// Round an `f32` into this format (RTNE).
+            #[inline(always)]
+            pub fn from_f32(x: f32) -> Self {
+                $name($from_f32(x))
+            }
+
+            /// Widen to `f32` (exact).
+            #[inline(always)]
+            pub fn to_f32(self) -> f32 {
+                $to_f32(self.0)
+            }
+        }
+
+        impl PartialEq for $name {
+            #[inline(always)]
+            fn eq(&self, other: &Self) -> bool {
+                // IEEE semantics: -0 == +0, NaN != NaN.
+                self.to_f32() == other.to_f32()
+            }
+        }
+
+        impl PartialOrd for $name {
+            #[inline(always)]
+            fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+                self.to_f32().partial_cmp(&other.to_f32())
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:?}", self.to_f32())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.to_f32())
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            #[inline(always)]
+            fn neg(self) -> Self {
+                $name(self.0 ^ 0x8000) // exact sign flip
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            #[inline(always)]
+            fn add(self, rhs: Self) -> Self {
+                Self::from_f32(self.to_f32() + rhs.to_f32())
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            #[inline(always)]
+            fn sub(self, rhs: Self) -> Self {
+                Self::from_f32(self.to_f32() - rhs.to_f32())
+            }
+        }
+
+        impl Mul for $name {
+            type Output = Self;
+            #[inline(always)]
+            fn mul(self, rhs: Self) -> Self {
+                Self::from_f32(self.to_f32() * rhs.to_f32())
+            }
+        }
+
+        impl Div for $name {
+            type Output = Self;
+            #[inline(always)]
+            fn div(self, rhs: Self) -> Self {
+                Self::from_f32(self.to_f32() / rhs.to_f32())
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline(always)]
+            fn add_assign(&mut self, rhs: Self) {
+                *self = *self + rhs;
+            }
+        }
+
+        impl SubAssign for $name {
+            #[inline(always)]
+            fn sub_assign(&mut self, rhs: Self) {
+                *self = *self - rhs;
+            }
+        }
+
+        impl MulAssign for $name {
+            #[inline(always)]
+            fn mul_assign(&mut self, rhs: Self) {
+                *self = *self * rhs;
+            }
+        }
+
+        impl DivAssign for $name {
+            #[inline(always)]
+            fn div_assign(&mut self, rhs: Self) {
+                *self = *self / rhs;
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                // Summed in the type itself — every partial sum rounds to
+                // 16 bits, matching the storage-rounding compute model.
+                iter.fold(Self::from_bits($zero), Add::add)
+            }
+        }
+
+        impl Real for $name {
+            const ZERO: Self = $name($zero);
+            const ONE: Self = $name($one);
+            const TWO: Self = $name($two);
+            const EPSILON: Self = $name($eps);
+            const PI: Self = $name($pi);
+            const PRECISION: Precision = $prec;
+            const BYTES: usize = 2;
+
+            #[inline(always)]
+            fn from_f64(x: f64) -> Self {
+                // Documented double-rounding route: f64 → f32 (RTNE) →
+                // 16-bit (RTNE).
+                Self::from_f32(x as f32)
+            }
+            #[inline(always)]
+            fn to_f64(self) -> f64 {
+                self.to_f32() as f64
+            }
+            #[inline(always)]
+            fn abs(self) -> Self {
+                $name(self.0 & 0x7fff) // exact sign clear
+            }
+            #[inline(always)]
+            fn sqrt(self) -> Self {
+                Self::from_f32(self.to_f32().sqrt())
+            }
+            #[inline(always)]
+            fn ln(self) -> Self {
+                Self::from_f32(self.to_f32().ln())
+            }
+            #[inline(always)]
+            fn exp(self) -> Self {
+                Self::from_f32(self.to_f32().exp())
+            }
+            #[inline(always)]
+            fn sin(self) -> Self {
+                Self::from_f32(self.to_f32().sin())
+            }
+            #[inline(always)]
+            fn cos(self) -> Self {
+                Self::from_f32(self.to_f32().cos())
+            }
+            #[inline(always)]
+            fn sin_cos(self) -> (Self, Self) {
+                let (s, c) = self.to_f32().sin_cos();
+                (Self::from_f32(s), Self::from_f32(c))
+            }
+            #[inline(always)]
+            fn mul_add(self, a: Self, b: Self) -> Self {
+                // One f32 FMA, one rounding to 16 bits — the accumulator
+                // model of half-precision tensor hardware.
+                Self::from_f32(self.to_f32().mul_add(a.to_f32(), b.to_f32()))
+            }
+            #[inline(always)]
+            fn maximum(self, other: Self) -> Self {
+                Self::from_f32(self.to_f32().max(other.to_f32()))
+            }
+            #[inline(always)]
+            fn minimum(self, other: Self) -> Self {
+                Self::from_f32(self.to_f32().min(other.to_f32()))
+            }
+            #[inline(always)]
+            fn recip(self) -> Self {
+                Self::from_f32(self.to_f32().recip())
+            }
+            #[inline(always)]
+            fn is_finite(self) -> bool {
+                self.0 & $exp_mask != $exp_mask
+            }
+        }
+    };
+}
+
+define_half!(
+    /// IEEE-754 binary16: 1 sign, 5 exponent, 10 mantissa bits.
+    /// ε = 2⁻¹⁰ ≈ 9.77e-4, max finite 65504, smallest subnormal 2⁻²⁴.
+    f16, f16_bits_to_f32, f32_to_f16_bits,
+    exp_mask: 0x7c00,
+    zero: 0x0000, one: 0x3c00, two: 0x4000,
+    epsilon: 0x1400, // 2^-10
+    pi: 0x4248,      // 3.140625
+    precision: Precision::Half
+);
+
+define_half!(
+    /// bfloat16: 1 sign, 8 exponent, 7 mantissa bits — the top half of an
+    /// `f32`. ε = 2⁻⁷ ≈ 7.81e-3 with the full f32 exponent range.
+    bf16, bf16_bits_to_f32, f32_to_bf16_bits,
+    exp_mask: 0x7f80,
+    zero: 0x0000, one: 0x3f80, two: 0x4000,
+    epsilon: 0x3c00, // 2^-7
+    pi: 0x4049,      // 3.140625
+    precision: Precision::BFloat16
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+
+    #[test]
+    fn f16_known_bit_patterns() {
+        assert_eq!(f16::from_f32(0.0).to_bits(), 0x0000);
+        assert_eq!(f16::from_f32(-0.0).to_bits(), 0x8000);
+        assert_eq!(f16::from_f32(1.0).to_bits(), 0x3c00);
+        assert_eq!(f16::from_f32(2.0).to_bits(), 0x4000);
+        assert_eq!(f16::from_f32(0.5).to_bits(), 0x3800);
+        assert_eq!(f16::from_f32(65504.0).to_bits(), 0x7bff); // max finite
+        assert_eq!(f16::from_f32(f32::INFINITY).to_bits(), 0x7c00);
+        assert_eq!(f16::from_f32(-f32::INFINITY).to_bits(), 0xfc00);
+        // Machine epsilon constant matches the format.
+        assert_eq!(f16::EPSILON.to_f32(), 2f32.powi(-10));
+        assert_eq!(bf16::EPSILON.to_f32(), 2f32.powi(-7));
+    }
+
+    #[test]
+    fn f16_overflow_and_subnormals() {
+        // 65520 is the halfway point between 65504 and the next binade:
+        // ties-to-even rounds up to infinity (0x7bff has an odd mantissa).
+        assert!(f16::from_f32(65519.0).is_finite());
+        assert!(!f16::from_f32(65520.0).is_finite());
+        assert!(!f16::from_f32(1e6).is_finite());
+        // Smallest subnormal 2^-24; half of it ties to even (zero).
+        assert_eq!(f16::from_f32(2f32.powi(-24)).to_bits(), 0x0001);
+        assert_eq!(f16::from_f32(2f32.powi(-25)).to_bits(), 0x0000);
+        assert_eq!(f16::from_f32(1.5 * 2f32.powi(-25)).to_bits(), 0x0001);
+        // f32 subnormals flush to (signed) zero in f16.
+        assert_eq!(f16::from_f32(f32::MIN_POSITIVE / 2.0).to_bits(), 0x0000);
+        assert_eq!(f16::from_f32(-f32::MIN_POSITIVE / 2.0).to_bits(), 0x8000);
+    }
+
+    #[test]
+    fn f16_round_to_nearest_even_ties() {
+        // 1 + 2^-11 is exactly halfway between 1.0 and 1 + 2^-10.
+        assert_eq!(f16::from_f32(1.0 + 2f32.powi(-11)).to_bits(), 0x3c00);
+        // 1 + 2^-10 + 2^-11 is halfway between 0x3c01 and 0x3c02 → even.
+        assert_eq!(f16::from_f32(1.0 + 2f32.powi(-10) + 2f32.powi(-11)).to_bits(), 0x3c02);
+        // Just above the tie rounds up.
+        assert_eq!(f16::from_f32(1.0 + 2f32.powi(-11) + 2f32.powi(-20)).to_bits(), 0x3c01);
+    }
+
+    #[test]
+    fn bf16_known_bit_patterns() {
+        assert_eq!(bf16::from_f32(1.0).to_bits(), 0x3f80);
+        assert_eq!(bf16::from_f32(-2.0).to_bits(), 0xc000);
+        assert_eq!(bf16::from_f32(f32::INFINITY).to_bits(), 0x7f80);
+        // π rounds down (low half 0x0fdb < 0x8000).
+        assert_eq!(bf16::from_f32(core::f32::consts::PI).to_bits(), 0x4049);
+        // RTNE tie on the 16 dropped bits.
+        assert_eq!(bf16::from_f32(f32::from_bits(0x3f80_8000)).to_bits(), 0x3f80);
+        assert_eq!(bf16::from_f32(f32::from_bits(0x3f81_8000)).to_bits(), 0x3f82);
+        assert_eq!(bf16::from_f32(f32::from_bits(0x3f80_8001)).to_bits(), 0x3f81);
+    }
+
+    #[test]
+    fn exhaustive_widen_narrow_roundtrip() {
+        // Widening then narrowing must reproduce every non-NaN pattern
+        // bit-for-bit, for both formats.
+        for bits in 0..=u16::MAX {
+            let h = f16::from_bits(bits);
+            if h.to_f32().is_nan() {
+                assert!(f16::from_f32(h.to_f32()).to_f32().is_nan());
+            } else {
+                assert_eq!(f16::from_f32(h.to_f32()).to_bits(), bits, "f16 {bits:#06x}");
+            }
+            let b = bf16::from_bits(bits);
+            if b.to_f32().is_nan() {
+                assert!(bf16::from_f32(b.to_f32()).to_f32().is_nan());
+            } else {
+                assert_eq!(bf16::from_f32(b.to_f32()).to_bits(), bits, "bf16 {bits:#06x}");
+            }
+        }
+    }
+
+    #[test]
+    fn narrowing_picks_the_nearest_representable() {
+        // RTNE property check against the neighbouring representables.
+        let mut rng = SplitMix64::new(42);
+        for _ in 0..20_000 {
+            // Positive normals: the bit pattern is monotone in the value,
+            // so ±1 on the bits walks to the adjacent representables.
+            let x = rng.uniform(1e-3, 60000.0) as f32;
+            let h = f16::from_f32(x);
+            let d = (h.to_f32() - x).abs();
+            let up = f16::from_bits(h.to_bits() + 1);
+            let down = f16::from_bits(h.to_bits() - 1);
+            if up.is_finite() {
+                assert!(d <= (up.to_f32() - x).abs(), "{x} vs {h}");
+            }
+            assert!(d <= (down.to_f32() - x).abs(), "{x} vs {h}");
+        }
+    }
+
+    #[test]
+    fn arithmetic_rounds_to_storage() {
+        // 1 + ε/2 must be swallowed in both formats (storage rounding).
+        let one16 = f16::ONE;
+        let tiny16 = f16::from_f32(2f32.powi(-12));
+        assert_eq!(one16 + tiny16, one16);
+        let one_b = bf16::ONE;
+        let tiny_b = bf16::from_f32(2f32.powi(-9));
+        assert_eq!(one_b + tiny_b, one_b);
+        // But a full ε is representable.
+        assert!(one16 + f16::EPSILON > one16);
+        assert!(one_b + bf16::EPSILON > one_b);
+    }
+
+    #[test]
+    fn real_trait_smoke() {
+        fn smoke<T: Real>() {
+            assert_eq!(T::ZERO + T::ONE, T::ONE);
+            assert_eq!(T::ONE + T::ONE, T::TWO);
+            let (s, c) = T::PI.sin_cos();
+            assert!(s.abs().to_f64() < 1e-2);
+            assert!((c.to_f64() + 1.0).abs() < 1e-2);
+            let x = T::from_f64(2.0);
+            assert!((x.sqrt().to_f64() - core::f64::consts::SQRT_2).abs() < 1e-2);
+            assert!(x.is_finite());
+            assert_eq!(x.maximum(T::ONE), x);
+            assert_eq!(x.minimum(T::ONE), T::ONE);
+            assert_eq!((-x).abs(), x);
+            assert_eq!(T::BYTES, 2);
+        }
+        smoke::<f16>();
+        smoke::<bf16>();
+        assert_eq!(f16::PRECISION, Precision::Half);
+        assert_eq!(bf16::PRECISION, Precision::BFloat16);
+    }
+
+    #[test]
+    fn ieee_comparison_semantics() {
+        assert_eq!(f16::from_f32(0.0), f16::from_f32(-0.0));
+        let nan = f16::from_f32(f32::NAN);
+        assert!(nan != nan);
+        assert!(f16::from_f32(1.0) < f16::from_f32(1.5));
+        assert_eq!(bf16::from_f32(0.0), bf16::from_f32(-0.0));
+    }
+
+    #[test]
+    fn sum_rounds_per_partial() {
+        // 256 × (1 + small) in f16: once the accumulator reaches 2^k the
+        // small parts are swallowed — sequential storage rounding.
+        let xs = vec![f16::from_f32(1.0); 300];
+        let s: f16 = xs.iter().copied().sum();
+        // 300 is not representable in f16 above 256 at unit spacing? It
+        // is (spacing at 300 is 0.25) — the sum must land exactly.
+        assert_eq!(s.to_f32(), 300.0);
+        // 32 × 4096 = 131072 exceeds the f16 range: overflows to inf.
+        let big: f16 = vec![f16::from_f32(4096.0); 32].into_iter().sum();
+        assert!(!big.is_finite());
+    }
+}

@@ -2,9 +2,11 @@
 //!
 //! This crate provides the scalar abstractions everything else is built on:
 //!
-//! * [`Real`] — a trait abstracting over `f32`/`f64` so that the FFT, BLAS,
-//!   and pipeline kernels are written once and instantiated per precision,
-//!   mirroring the templated kernels of the paper's CUDA/HIP source.
+//! * [`Real`] — a trait abstracting over `f64`/`f32` and the
+//!   software-emulated 16-bit tiers [`struct@f16`]/[`struct@bf16`] ([`half`]), so that
+//!   the FFT, BLAS, and pipeline kernels are written once and
+//!   instantiated per precision, mirroring the templated kernels of the
+//!   paper's CUDA/HIP source.
 //! * [`Complex`] — a `#[repr(C)]` complex number generic over [`Real`].
 //! * [`Scalar`] — unifies real and complex element types for the BLAS
 //!   kernels (rocBLAS exposes `s`/`d`/`c`/`z` variants; we expose one
@@ -20,6 +22,7 @@
 pub mod buffer;
 pub mod complex;
 pub mod dtype;
+pub mod half;
 pub mod precision;
 pub mod real;
 pub mod rng;
@@ -29,6 +32,7 @@ pub mod vecmath;
 pub use buffer::{ComplexBuffer, RealBuffer};
 pub use complex::Complex;
 pub use dtype::DType;
+pub use half::{bf16, f16};
 pub use precision::Precision;
 pub use real::Real;
 pub use rng::SplitMix64;
@@ -38,3 +42,7 @@ pub use scalar::Scalar;
 pub type C32 = Complex<f32>;
 /// Complex number over `f64` (the `z` datatype in BLAS naming).
 pub type C64 = Complex<f64>;
+/// Complex number over software-emulated IEEE binary16.
+pub type C16 = Complex<f16>;
+/// Complex number over software-emulated bfloat16.
+pub type CB16 = Complex<bf16>;

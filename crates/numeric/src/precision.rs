@@ -1,16 +1,38 @@
 //! Runtime precision tags for the dynamic mixed-precision framework.
 //!
 //! The paper's framework (Section 3.2) assigns each of the five matvec
-//! phases a compute precision chosen at runtime from {single, double} via a
-//! configuration string such as `dssdd`. [`Precision`] is that per-phase
-//! tag; parsing/formatting of whole five-phase strings lives in
-//! `fftmatvec-core::precision`.
+//! phases a compute precision chosen at runtime via a configuration
+//! string such as `dssdd`. The paper restricts the lattice to
+//! {single, double}; this workspace opens it to four tiers by adding the
+//! software-emulated 16-bit formats (`fftmatvec_numeric::half`):
+//!
+//! | tier | code | format | ε | bytes |
+//! |------|------|--------|---|-------|
+//! | [`Precision::Half`] | `h` | IEEE binary16 | 2⁻¹⁰ ≈ 9.8e-4 | 2 |
+//! | [`Precision::BFloat16`] | `b` | bfloat16 | 2⁻⁷ ≈ 7.8e-3 | 2 |
+//! | [`Precision::Single`] | `s` | IEEE binary32 | 2⁻²³ ≈ 1.2e-7 | 4 |
+//! | [`Precision::Double`] | `d` | IEEE binary64 | 2⁻⁵² ≈ 2.2e-16 | 8 |
+//!
+//! [`Precision`] is the per-phase tag; parsing/formatting of whole
+//! five-phase strings lives in `fftmatvec-core::precision`.
+//!
+//! The lattice order is `Half < BFloat16 < Single < Double`. The two
+//! 16-bit tiers are *incomparable in accuracy* (bf16 trades significand
+//! bits for the f32 exponent range), so their relative order is a
+//! convention; `Half` sits at the bottom so the meet of the two 2-byte
+//! tiers is deterministic. Use [`Precision::epsilon`] — not the lattice
+//! order — for error analysis: ε(Half) < ε(BFloat16).
 
 use core::fmt;
 
-/// One of the two compute precisions used by the paper.
+/// One of the four compute precisions of the extended lattice.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Precision {
+    /// IEEE-754 binary16 (FP16), ε = 2⁻¹⁰ ≈ 9.77e-4. Software-emulated
+    /// (f32 compute, 16-bit storage rounding) pending a GPU backend.
+    Half,
+    /// bfloat16 (BF16), ε = 2⁻⁷ ≈ 7.81e-3. Software-emulated.
+    BFloat16,
     /// IEEE-754 binary32 (FP32), ε ≈ 1.19e-7.
     Single,
     /// IEEE-754 binary64 (FP64), ε ≈ 2.22e-16.
@@ -22,6 +44,8 @@ impl Precision {
     #[inline]
     pub fn epsilon(self) -> f64 {
         match self {
+            Precision::Half => 2f64.powi(-10),
+            Precision::BFloat16 => 2f64.powi(-7),
             Precision::Single => f32::EPSILON as f64,
             Precision::Double => f64::EPSILON,
         }
@@ -31,6 +55,7 @@ impl Precision {
     #[inline]
     pub fn real_bytes(self) -> usize {
         match self {
+            Precision::Half | Precision::BFloat16 => 2,
             Precision::Single => 4,
             Precision::Double => 8,
         }
@@ -42,18 +67,23 @@ impl Precision {
         2 * self.real_bytes()
     }
 
-    /// The single-character code used by the artifact's `-prec` flag.
+    /// The single-character code used by the artifact's `-prec` flag
+    /// (`h`/`b` are this workspace's extension codes).
     #[inline]
     pub fn code(self) -> char {
         match self {
+            Precision::Half => 'h',
+            Precision::BFloat16 => 'b',
             Precision::Single => 's',
             Precision::Double => 'd',
         }
     }
 
-    /// Parse the artifact's single-character code (`s` or `d`).
+    /// Parse a single-character code (`h`, `b`, `s`, or `d`).
     pub fn from_code(c: char) -> Option<Self> {
         match c.to_ascii_lowercase() {
+            'h' => Some(Precision::Half),
+            'b' => Some(Precision::BFloat16),
             's' => Some(Precision::Single),
             'd' => Some(Precision::Double),
             _ => None,
@@ -65,34 +95,99 @@ impl Precision {
     /// adjacent phases" (Section 3.2); this is that lattice meet.
     #[inline]
     pub fn min(self, other: Self) -> Self {
-        if self == Precision::Single || other == Precision::Single {
-            Precision::Single
+        if self <= other {
+            self
         } else {
-            Precision::Double
+            other
         }
     }
 
-    /// The higher of two precisions.
+    /// The higher of two precisions (lattice join).
     #[inline]
     pub fn max(self, other: Self) -> Self {
-        if self == Precision::Double || other == Precision::Double {
-            Precision::Double
+        if self >= other {
+            self
         } else {
-            Precision::Single
+            other
         }
     }
 
-    /// Both precisions, lowest first.
-    pub const ALL: [Precision; 2] = [Precision::Single, Precision::Double];
+    /// Round an `f64` value through this tier's storage format and widen
+    /// it back — the "route through precision p" primitive the fused
+    /// memory-op kernels use. Identity for `Double`.
+    #[inline]
+    pub fn round_f64(self, x: f64) -> f64 {
+        match self {
+            Precision::Half => crate::half::f16::from_f32(x as f32).to_f32() as f64,
+            Precision::BFloat16 => crate::half::bf16::from_f32(x as f32).to_f32() as f64,
+            Precision::Single => x as f32 as f64,
+            Precision::Double => x,
+        }
+    }
+
+    /// Is every value of `self` exactly representable in `target`?
+    /// Up-casts along this relation are lossless, so a
+    /// `self → target → self` roundtrip is the identity. Note the two
+    /// 16-bit tiers do **not** widen into each other: bf16 → f16 loses
+    /// range, f16 → bf16 loses significand bits.
+    #[inline]
+    pub fn widens_exactly_to(self, target: Self) -> bool {
+        use Precision::*;
+        self == target || matches!((self, target), (_, Double) | (Half | BFloat16, Single))
+    }
+
+    /// All four precisions, lattice-lowest first.
+    pub const ALL: [Precision; 4] =
+        [Precision::Half, Precision::BFloat16, Precision::Single, Precision::Double];
+
+    /// The paper's original two-tier set, lowest first.
+    pub const PAPER: [Precision; 2] = [Precision::Single, Precision::Double];
 }
 
 impl fmt::Display for Precision {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            Precision::Half => write!(f, "half"),
+            Precision::BFloat16 => write!(f, "bfloat16"),
             Precision::Single => write!(f, "single"),
             Precision::Double => write!(f, "double"),
         }
     }
+}
+
+/// Dispatch a runtime [`Precision`] to a generic call: binds the concrete
+/// scalar type (`f16`/`bf16`/`f32`/`f64`) to the given type identifier
+/// and evaluates the expression once per lattice tier.
+///
+/// ```
+/// use fftmatvec_numeric::{with_real, Precision, Real};
+/// fn zeros(p: Precision, n: usize) -> Vec<f64> {
+///     with_real!(p, T => vec![T::ZERO; n].into_iter().map(|x| x.to_f64()).collect())
+/// }
+/// assert_eq!(zeros(Precision::Half, 2), vec![0.0, 0.0]);
+/// ```
+#[macro_export]
+macro_rules! with_real {
+    ($p:expr, $T:ident => $body:expr) => {
+        match $p {
+            $crate::Precision::Half => {
+                type $T = $crate::f16;
+                $body
+            }
+            $crate::Precision::BFloat16 => {
+                type $T = $crate::bf16;
+                $body
+            }
+            $crate::Precision::Single => {
+                type $T = f32;
+                $body
+            }
+            $crate::Precision::Double => {
+                type $T = f64;
+                $body
+            }
+        }
+    };
 }
 
 #[cfg(test)]
@@ -105,6 +200,8 @@ mod tests {
             assert_eq!(Precision::from_code(p.code()), Some(p));
         }
         assert_eq!(Precision::from_code('S'), Some(Precision::Single));
+        assert_eq!(Precision::from_code('H'), Some(Precision::Half));
+        assert_eq!(Precision::from_code('B'), Some(Precision::BFloat16));
         assert_eq!(Precision::from_code('x'), None);
     }
 
@@ -115,16 +212,71 @@ mod tests {
         assert_eq!(Double.min(Double), Double);
         assert_eq!(Single.max(Double), Double);
         assert_eq!(Single.max(Single), Single);
+        assert_eq!(Half.min(BFloat16), Half);
+        assert_eq!(Half.max(Single), Single);
+        assert_eq!(BFloat16.min(Double), BFloat16);
+        // Lattice order bottoms out at Half.
+        for p in Precision::ALL {
+            assert_eq!(Half.min(p), Half);
+            assert_eq!(Double.max(p), Double);
+        }
     }
 
     #[test]
     fn byte_sizes() {
+        assert_eq!(Precision::Half.real_bytes(), 2);
+        assert_eq!(Precision::BFloat16.real_bytes(), 2);
         assert_eq!(Precision::Single.real_bytes(), 4);
         assert_eq!(Precision::Double.complex_bytes(), 16);
+        assert_eq!(Precision::Half.complex_bytes(), 4);
     }
 
     #[test]
     fn epsilons() {
-        assert!(Precision::Single.epsilon() > Precision::Double.epsilon());
+        // Accuracy order: d ≪ s ≪ h < b. Note it differs from the lattice
+        // order between the 16-bit tiers.
+        assert!(Precision::Double.epsilon() < Precision::Single.epsilon());
+        assert!(Precision::Single.epsilon() < Precision::Half.epsilon());
+        assert!(Precision::Half.epsilon() < Precision::BFloat16.epsilon());
+        assert_eq!(Precision::Half.epsilon(), 0.0009765625);
+        assert_eq!(Precision::BFloat16.epsilon(), 0.0078125);
+    }
+
+    #[test]
+    fn widening_relation() {
+        use Precision::*;
+        for p in Precision::ALL {
+            assert!(p.widens_exactly_to(p));
+            assert!(p.widens_exactly_to(Double));
+        }
+        assert!(Half.widens_exactly_to(Single));
+        assert!(BFloat16.widens_exactly_to(Single));
+        assert!(!Half.widens_exactly_to(BFloat16));
+        assert!(!BFloat16.widens_exactly_to(Half));
+        assert!(!Single.widens_exactly_to(Half));
+        assert!(!Double.widens_exactly_to(Single));
+    }
+
+    #[test]
+    fn round_f64_through_tiers() {
+        let x = 1.0 + 2f64.powi(-20); // exact in f32/f64, not in 16 bits
+        assert_eq!(Precision::Double.round_f64(x), x);
+        assert_eq!(Precision::Single.round_f64(x), x);
+        assert_eq!(Precision::Half.round_f64(x), 1.0);
+        assert_eq!(Precision::BFloat16.round_f64(x), 1.0);
+        // Large magnitudes overflow the f16 range but not bf16.
+        assert!(Precision::Half.round_f64(1e6).is_infinite());
+        assert!(Precision::BFloat16.round_f64(1e6).is_finite());
+    }
+
+    #[test]
+    fn with_real_dispatch() {
+        use crate::real::Real;
+        fn eps(p: Precision) -> f64 {
+            with_real!(p, T => <T as Real>::EPSILON.to_f64())
+        }
+        for p in Precision::ALL {
+            assert_eq!(eps(p), p.epsilon(), "{p}");
+        }
     }
 }

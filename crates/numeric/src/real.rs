@@ -10,10 +10,12 @@ use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAss
 
 use crate::precision::Precision;
 
-/// Abstraction over the two IEEE-754 binary formats used by the paper
-/// (FP32 and FP64). Half precision is deliberately excluded, matching the
-/// paper's observation that complex half-precision FFT/BLAS support is too
-/// sparse to be practical (Section 3.2).
+/// Abstraction over the floating-point formats of the precision lattice:
+/// the paper's FP32/FP64 pair (Section 3.2) plus the software-emulated
+/// 16-bit tiers [`crate::half::f16`] and [`crate::half::bf16`]. The
+/// 16-bit types compute in `f32` and round every result back to 16-bit
+/// storage, so one generic kernel source serves all four tiers — the
+/// same single-source property the paper gets from templated CUDA/HIP.
 pub trait Real:
     Copy
     + Clone
@@ -47,7 +49,7 @@ pub trait Real:
     const PI: Self;
     /// Runtime tag for this format.
     const PRECISION: Precision;
-    /// Size of one element in bytes (4 or 8).
+    /// Size of one element in bytes (2, 4, or 8).
     const BYTES: usize;
 
     /// Lossy conversion from `f64` (the workspace's reference precision).

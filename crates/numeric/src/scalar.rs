@@ -64,6 +64,8 @@ where
 {
     type Real = T;
     const DTYPE: DType = match T::PRECISION {
+        crate::precision::Precision::Half => DType::RealF16,
+        crate::precision::Precision::BFloat16 => DType::RealBF16,
         crate::precision::Precision::Single => DType::RealF32,
         crate::precision::Precision::Double => DType::RealF64,
     };
@@ -109,6 +111,8 @@ where
 impl<T: Real> Scalar for Complex<T> {
     type Real = T;
     const DTYPE: DType = match T::PRECISION {
+        crate::precision::Precision::Half => DType::ComplexF16,
+        crate::precision::Precision::BFloat16 => DType::ComplexBF16,
         crate::precision::Precision::Single => DType::ComplexF32,
         crate::precision::Precision::Double => DType::ComplexF64,
     };
@@ -161,10 +165,15 @@ mod tests {
 
     #[test]
     fn dtype_tags() {
+        use crate::half::{bf16, f16};
         assert_eq!(<f32 as Scalar>::DTYPE, DType::RealF32);
         assert_eq!(<f64 as Scalar>::DTYPE, DType::RealF64);
         assert_eq!(<Complex<f32> as Scalar>::DTYPE, DType::ComplexF32);
         assert_eq!(<Complex<f64> as Scalar>::DTYPE, DType::ComplexF64);
+        assert_eq!(<f16 as Scalar>::DTYPE, DType::RealF16);
+        assert_eq!(<bf16 as Scalar>::DTYPE, DType::RealBF16);
+        assert_eq!(<Complex<f16> as Scalar>::DTYPE, DType::ComplexF16);
+        assert_eq!(<Complex<bf16> as Scalar>::DTYPE, DType::ComplexBF16);
     }
 
     #[test]

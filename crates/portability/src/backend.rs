@@ -51,6 +51,7 @@ impl BackendDispatch {
             peak_bw: 2.0e12,
             peak_fp64: 9.7e12,
             peak_fp32: 19.5e12,
+            peak_fp16: 78.0e12,
             cu_count: 108,
             wavefront: 32,
             lds_bytes: 164 * 1024,
@@ -58,6 +59,7 @@ impl BackendDispatch {
             memory_bytes: 80 * (1u64 << 30),
             sbgemv_cap_fp64: 0.72,
             sbgemv_cap_fp32: 0.70,
+            sbgemv_cap_fp16: 0.60,
             streaming_cap: 0.85,
             fft_cap: 0.80,
         };

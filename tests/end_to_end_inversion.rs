@@ -1,11 +1,15 @@
 //! End-to-end Bayesian inversion through the whole stack: PDE → p2o →
 //! FFTMatvec → Hessian actions → CG MAP — in double and mixed precision,
-//! single-rank and distributed.
+//! single-rank and distributed — plus the four-tier error-ordering check:
+//! measured matvec error is monotone in the Eq. 6 predicted bound across
+//! the precision lattice.
 
 use fftmatvec::comm::ProcessGrid;
-use fftmatvec::core::{DistributedFftMatvec, FftMatvec, PrecisionConfig};
+use fftmatvec::core::error_analysis::{error_bound, BoundParams};
+use fftmatvec::core::{BlockToeplitzOperator, DistributedFftMatvec, FftMatvec, PrecisionConfig};
 use fftmatvec::lti::{BayesianProblem, HeatEquation1D, P2oMap};
 use fftmatvec::numeric::vecmath::rel_l2_error;
+use fftmatvec::numeric::SplitMix64;
 
 fn gaussian_source(nx: usize, nt: usize, center: f64, width: f64, steps: usize) -> Vec<f64> {
     let mut m = vec![0.0; nx * nt];
@@ -78,6 +82,81 @@ fn mixed_precision_costs_more_iterations_not_accuracy() {
         fit_m < 10.0 * fit_d.max(1e-6),
         "all-single inversion lost the solution: {fit_m} vs {fit_d}"
     );
+}
+
+/// Satellite check (ISSUE 3): across the anchor configurations of the
+/// four-tier lattice — `hhhhh`, `bbbbb`, `sssss`, `ddddd` — and the
+/// paper's mixed optima `dssdd`/`ddssd`, the *measured* forward-matvec
+/// error against the all-double reference must be monotone in the Eq. 6
+/// *predicted* bound, on at least two problem sizes.
+///
+/// Predicted-bound order (per-phase ε, Section 3.2.1 extended):
+/// `ddddd < dssdd ≈ ddssd < sssss ≪ hhhhh < bbbbb` — note f16 is the
+/// *more accurate* 16-bit tier (ε = 2⁻¹⁰ vs bf16's 2⁻⁷). Monotonicity is
+/// only asserted between pairs whose bounds differ by ≥ 4× — roundoff is
+/// stochastic, so near-tied bounds (e.g. `dssdd` vs `ddssd`) may order
+/// either way in a single measurement.
+#[test]
+fn eq6_bound_orders_measured_error_across_tiers() {
+    // Shapes stay inside the f16 dynamic range: the phase-3 accumulation
+    // peaks around nm·(nt/2)²·E[F]·E[m] ≪ 65504 for both sizes.
+    for (nd, nm, nt, seed) in [(4usize, 48usize, 16usize, 11u64), (4, 64, 32, 13)] {
+        let mut rng = SplitMix64::new(seed);
+        let mut col = vec![0.0; nt * nd * nm];
+        rng.fill_uniform(&mut col, 0.0, 1.0);
+        let op = BlockToeplitzOperator::from_first_block_column(nd, nm, nt, &col).unwrap();
+        let mut m = vec![0.0; nm * nt];
+        rng.fill_uniform_stuffed(&mut m, 0.0, 1.0);
+
+        let mut mv = FftMatvec::new(op, PrecisionConfig::all_double());
+        let baseline = mv.apply_forward(&m);
+        let params = BoundParams { nt, n_local: nm, reduce_ranks: 1, kappa: 1.0 };
+
+        let mut points: Vec<(String, f64, f64)> =
+            ["ddddd", "dssdd", "ddssd", "sssss", "hhhhh", "bbbbb"]
+                .iter()
+                .map(|s| {
+                    let cfg: PrecisionConfig = s.parse().unwrap();
+                    mv.set_config(cfg);
+                    let out = mv.apply_forward(&m);
+                    assert!(
+                        out.iter().all(|v| v.is_finite()),
+                        "({nd},{nm},{nt}) {s}: non-finite output"
+                    );
+                    (s.to_string(), error_bound(cfg, &params).total, rel_l2_error(&out, &baseline))
+                })
+                .collect();
+        points.sort_by(|a, b| a.1.total_cmp(&b.1));
+
+        // Sanity on the predicted order itself.
+        let order: Vec<&str> = points.iter().map(|p| p.0.as_str()).collect();
+        assert_eq!(order[0], "ddddd");
+        assert_eq!(&order[3..], ["sssss", "hhhhh", "bbbbb"], "({nd},{nm},{nt})");
+
+        // Measured error is monotone in the bound for every pair with a
+        // ≥ 4× bound separation.
+        for i in 0..points.len() {
+            for j in i + 1..points.len() {
+                let (na, ba, ea) = (&points[i].0, points[i].1, points[i].2);
+                let (nb, bb, eb) = (&points[j].0, points[j].1, points[j].2);
+                if bb >= 4.0 * ba {
+                    assert!(
+                        ea <= eb,
+                        "({nd},{nm},{nt}): {na} (bound {ba:.2e}, err {ea:.2e}) must not \
+                         out-err {nb} (bound {bb:.2e}, err {eb:.2e})"
+                    );
+                }
+            }
+        }
+
+        // The chain the issue names, explicitly: hhhhh ≤ bbbbb measured,
+        // and both are worse than every FP32-tier configuration.
+        let err_of = |name: &str| points.iter().find(|p| p.0 == name).unwrap().2;
+        assert!(err_of("hhhhh") <= err_of("bbbbb"), "({nd},{nm},{nt})");
+        assert!(err_of("sssss") <= err_of("hhhhh"), "({nd},{nm},{nt})");
+        assert!(err_of("dssdd") <= err_of("hhhhh"), "({nd},{nm},{nt})");
+        assert!(err_of("ddssd") <= err_of("hhhhh"), "({nd},{nm},{nt})");
+    }
 }
 
 #[test]

@@ -100,10 +100,47 @@ fn adjoint_runs_in_every_precision_family() {
         PrecisionConfig::all_double(),
         PrecisionConfig::all_single(),
         PrecisionConfig::optimal_adjoint(), // ddssd
+        PrecisionConfig::all_half(),
+        PrecisionConfig::all_bf16(),
+        "hbsdd".parse().unwrap(),
     ] {
         let mv = FftMatvec::new(make_operator(), cfg);
         let out = mv.apply_adjoint(&d);
         assert_eq!(out.len(), NM * NT, "adjoint output length for {cfg:?}");
         assert!(out.iter().all(|v| v.is_finite()), "non-finite adjoint for {cfg:?}");
     }
+}
+
+/// Acceptance check (ISSUE 3): `FftMatvec` executes *every* phase-wise
+/// tier combination of the 4⁵ lattice on a smoke-size problem, with
+/// finite output and error no worse than the all-bf16 roundoff regime.
+#[test]
+fn every_tier_combination_executes() {
+    let op = make_operator();
+    let m = stuffed_input();
+    let mut mv = FftMatvec::new(op, PrecisionConfig::all_double());
+    let reference = mv.apply_forward(&m);
+
+    let configs = PrecisionConfig::all_configs_full();
+    assert_eq!(configs.len(), 1024);
+    let mut worst = (0.0f64, String::new());
+    for cfg in configs {
+        mv.set_config(cfg);
+        let d = mv.apply_forward(&m);
+        assert_eq!(d.len(), ND * NT, "output length for {cfg}");
+        assert!(d.iter().all(|v| v.is_finite()), "non-finite output for {cfg}");
+        let err = rel_l2_error(&d, &reference);
+        assert!(err < 0.2, "{cfg}: error {err:.3e} out of the roundoff regime");
+        if err > worst.0 {
+            worst = (err, cfg.to_string());
+        }
+    }
+    // The worst configuration over the lattice must involve a 16-bit
+    // phase — the FP32 regime cannot produce the largest error.
+    assert!(
+        worst.1.contains('b') || worst.1.contains('h'),
+        "worst config {} (err {:.3e}) should be a 16-bit one",
+        worst.1,
+        worst.0
+    );
 }
