@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use fftmatvec_bench::{make_operator, stuffed_vector};
-use fftmatvec_core::{DirectMatvec, FftMatvec, PrecisionConfig};
+use fftmatvec_core::{DirectMatvec, FftMatvec, LinearOperator};
 use std::hint::black_box;
 
 fn bench_fft_vs_direct_crossover(c: &mut Criterion) {
@@ -16,14 +16,14 @@ fn bench_fft_vs_direct_crossover(c: &mut Criterion) {
     for nt in [16usize, 64, 256] {
         let op = make_operator(nd, nm, nt, nt as u64);
         let m = stuffed_vector(nm * nt, 1);
-        let mv = FftMatvec::new(op, PrecisionConfig::all_double());
+        let mv = FftMatvec::builder(op).build().unwrap();
         g.throughput(Throughput::Elements((nd * nm * nt) as u64));
         g.bench_with_input(BenchmarkId::new("fft", nt), &nt, |b, _| {
-            b.iter(|| mv.apply_forward(black_box(&m)));
+            b.iter(|| mv.apply_forward(black_box(&m)).unwrap());
         });
         let direct = DirectMatvec::new(mv.operator());
         g.bench_with_input(BenchmarkId::new("direct", nt), &nt, |b, _| {
-            b.iter(|| direct.apply_forward(black_box(&m)));
+            b.iter(|| direct.apply_forward(black_box(&m)).unwrap());
         });
     }
     g.finish();
@@ -34,11 +34,11 @@ fn bench_forward_vs_adjoint(c: &mut Criterion) {
     g.sample_size(10);
     let (nd, nm, nt) = (16usize, 512usize, 128usize);
     let op = make_operator(nd, nm, nt, 7);
-    let mv = FftMatvec::new(op, PrecisionConfig::all_double());
+    let mv = FftMatvec::builder(op).build().unwrap();
     let m = stuffed_vector(nm * nt, 2);
     let d = stuffed_vector(nd * nt, 3);
-    g.bench_function("forward", |b| b.iter(|| mv.apply_forward(black_box(&m))));
-    g.bench_function("adjoint", |b| b.iter(|| mv.apply_adjoint(black_box(&d))));
+    g.bench_function("forward", |b| b.iter(|| mv.apply_forward(black_box(&m)).unwrap()));
+    g.bench_function("adjoint", |b| b.iter(|| mv.apply_adjoint(black_box(&d)).unwrap()));
     g.finish();
 }
 
@@ -49,9 +49,9 @@ fn bench_precision_configs(c: &mut Criterion) {
     let m = stuffed_vector(nm * nt, 4);
     for cfg in ["ddddd", "dssdd", "sssss"] {
         let op = make_operator(nd, nm, nt, 9);
-        let mv = FftMatvec::new(op, cfg.parse().unwrap());
+        let mv = FftMatvec::builder(op).precision(cfg.parse().unwrap()).build().unwrap();
         g.bench_with_input(BenchmarkId::new("config", cfg), &cfg, |b, _| {
-            b.iter(|| mv.apply_forward(black_box(&m)));
+            b.iter(|| mv.apply_forward(black_box(&m)).unwrap());
         });
     }
     g.finish();

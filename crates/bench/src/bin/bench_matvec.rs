@@ -1,0 +1,238 @@
+//! Matvec API benchmark with machine-readable output — the data source
+//! for `BENCH_matvec.json` and the committed `bench/baseline_matvec.json`
+//! the CI `bench-smoke` job gates on.
+//!
+//! Times one full `FftMatvec` application at three memory-scaled paper
+//! shapes, in the all-double and paper-optimal configurations, in both
+//! directions, through both API paths:
+//!
+//! * `alloc` — the allocating [`LinearOperator::apply_forward`] /
+//!   `apply_adjoint` conveniences;
+//! * `into` — the zero-allocation `apply_forward_into` /
+//!   `apply_adjoint_into` hot paths on preallocated buffers.
+//!
+//! Each (shape, config, direction) pair is measured with the two paths
+//! *interleaved* (same time windows), so their ratio — the statistic both
+//! gates run on — cancels machine-state drift. The acceptance criterion
+//! is structural: the `into` path must be no slower than the allocating
+//! path at every benchmarked key.
+//!
+//! Run: `cargo run --release -p fftmatvec-bench --bin bench_matvec`
+//! Flags:
+//! * `-quick` — short samples (the CI smoke mode)
+//! * `-out <path>` — write the JSON document (default `BENCH_matvec.json`)
+//! * `-check <path>` — compare into/alloc ratios against a baseline
+//!   document; exits non-zero past the tolerance
+//! * `-tol <x>` — regression budget for `-check` (default 1.25 = +25%)
+//! * `-ratio-tol <x>` — intra-run "into no slower than alloc" margin
+//!   (default 1.10; the two paths differ only by one output-vector
+//!   allocation, so the ratio sits at ~1.0 and the margin is pure
+//!   scheduler noise on shared CI runners)
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use fftmatvec_bench::matvecjson::{self, MatvecResult};
+use fftmatvec_bench::{make_operator, stuffed_vector, Args};
+use fftmatvec_core::{FftMatvec, LinearOperator, OpDirection, PrecisionConfig};
+
+/// Memory-scaled stand-ins for the paper's `N_d=100, N_m=5000, N_t=1000`
+/// single-GPU shape: same `N_d ≪ N_m`, `N_t ≫ 1` structure at sizes a CI
+/// runner measures in seconds (the error-shape convention every fig
+/// binary uses). Small enough that the per-apply allocation cost is a
+/// visible fraction, which is exactly what this gate watches.
+const SHAPES: [(usize, usize, usize); 3] = [(2, 64, 64), (4, 128, 128), (8, 256, 256)];
+
+/// Configurations the gate keys on: the baseline and the paper optimum.
+const CONFIGS: [&str; 2] = ["ddddd", "dssdd"];
+
+/// Grow the batch size until one batch of `f` takes at least `sample_ms`.
+fn calibrate<F: FnMut()>(f: &mut F, sample_ms: f64) -> u64 {
+    let mut iters = 1u64;
+    loop {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let elapsed_ms = t.elapsed().as_secs_f64() * 1e3;
+        if elapsed_ms >= sample_ms || iters >= 1 << 20 {
+            return iters;
+        }
+        let grow = (sample_ms / elapsed_ms.max(1e-6)).ceil() as u64;
+        iters = iters.saturating_mul(grow.clamp(2, 16));
+    }
+}
+
+/// One timed batch, in nanoseconds per call.
+fn time_batch<F: FnMut()>(f: &mut F, iters: u64) -> f64 {
+    let t = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    t.elapsed().as_secs_f64() * 1e9 / iters as f64
+}
+
+/// Interleaved min-of-samples for two routines (see `bench_fft` for why
+/// the minimum and the interleaving are the right choices for a gate).
+fn time_pair_ns<A: FnMut(), B: FnMut()>(
+    mut a: A,
+    mut b: B,
+    samples: usize,
+    sample_ms: f64,
+) -> (f64, f64) {
+    let ia = calibrate(&mut a, sample_ms);
+    let ib = calibrate(&mut b, sample_ms);
+    let (mut best_a, mut best_b) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..samples.max(3) {
+        best_a = best_a.min(time_batch(&mut a, ia));
+        best_b = best_b.min(time_batch(&mut b, ib));
+    }
+    (best_a, best_b)
+}
+
+fn measure(
+    mv: &FftMatvec,
+    shape: &str,
+    config: &str,
+    dir: OpDirection,
+    samples: usize,
+    sample_ms: f64,
+    out: &mut Vec<MatvecResult>,
+) {
+    let (in_len, out_len) = mv.shape().io_lens(dir);
+    let input = stuffed_vector(in_len, 7);
+    let mut sink = vec![0.0; out_len];
+    // Warm up once so plan/workspace setup is not measured.
+    mv.apply_into(dir, &input, &mut sink).expect("benchmark shapes are valid");
+    let direction = match dir {
+        OpDirection::Forward => "forward",
+        OpDirection::Adjoint => "adjoint",
+    };
+    let (alloc, into) = time_pair_ns(
+        || match dir {
+            OpDirection::Forward => {
+                black_box(mv.apply_forward(black_box(&input)).expect("valid shape"));
+            }
+            OpDirection::Adjoint => {
+                black_box(mv.apply_adjoint(black_box(&input)).expect("valid shape"));
+            }
+        },
+        || {
+            mv.apply_into(dir, black_box(&input), black_box(&mut sink)).expect("valid shape");
+        },
+        samples,
+        sample_ms,
+    );
+    for (path, ns) in [("alloc", alloc), ("into", into)] {
+        out.push(MatvecResult {
+            shape: shape.to_string(),
+            config: config.to_string(),
+            direction: direction.to_string(),
+            path: path.to_string(),
+            ns_per_apply: ns,
+        });
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    let quick = args.has("quick");
+    let out_path: String = args.get("out", "BENCH_matvec.json".to_string());
+    let check_path: String = args.get("check", String::new());
+    let tol: f64 = args.get("tol", 1.25);
+    let ratio_tol: f64 = args.get("ratio-tol", 1.10);
+    let (samples, sample_ms) = if quick { (7, 10.0) } else { (15, 25.0) };
+    let mode = if quick { "quick" } else { "full" };
+
+    let mut results = Vec::new();
+    for &(nd, nm, nt) in &SHAPES {
+        let shape = format!("{nd}x{nm}x{nt}");
+        for config in CONFIGS {
+            let cfg: PrecisionConfig = config.parse().expect("valid config literal");
+            let mv = FftMatvec::builder(make_operator(nd, nm, nt, nt as u64))
+                .precision(cfg)
+                .build()
+                .expect("CPU build");
+            for dir in [OpDirection::Forward, OpDirection::Adjoint] {
+                measure(&mv, &shape, config, dir, samples, sample_ms, &mut results);
+            }
+        }
+    }
+
+    // Human-readable view.
+    println!("Matvec API benchmark ({mode} mode) — ns per apply");
+    let header = format!(
+        "{:>12} | {:>6} | {:>8} | {:>12} | {:>12} | {:>10}",
+        "shape", "config", "dir", "alloc", "into", "into/alloc"
+    );
+    println!("{header}");
+    fftmatvec_bench::rule(header.len());
+    for &(nd, nm, nt) in &SHAPES {
+        let shape = format!("{nd}x{nm}x{nt}");
+        for config in CONFIGS {
+            for direction in ["forward", "adjoint"] {
+                let get = |path: &str| {
+                    results
+                        .iter()
+                        .find(|r| {
+                            r.shape == shape
+                                && r.config == config
+                                && r.direction == direction
+                                && r.path == path
+                        })
+                        .map(|r| r.ns_per_apply)
+                        .unwrap_or(f64::NAN)
+                };
+                let (a, i) = (get("alloc"), get("into"));
+                println!(
+                    "{:>12} | {:>6} | {:>8} | {:>12.0} | {:>12.0} | {:>9.3}x",
+                    shape,
+                    config,
+                    direction,
+                    a,
+                    i,
+                    i / a
+                );
+            }
+        }
+    }
+
+    let doc = matvecjson::format_document(mode, &results);
+    std::fs::write(&out_path, &doc).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    println!("\nwrote {out_path} ({} results)", results.len());
+
+    // Structural acceptance gate: into never slower than alloc.
+    let slow = matvecjson::into_slower_than_alloc(&results, ratio_tol);
+    if slow.is_empty() {
+        println!("into-vs-alloc check: OK (tolerance {ratio_tol:.2}x)");
+    } else {
+        eprintln!("into-vs-alloc check FAILED:");
+        for f in &slow {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+
+    if !check_path.is_empty() {
+        let baseline_text = std::fs::read_to_string(&check_path)
+            .unwrap_or_else(|e| panic!("reading baseline {check_path}: {e}"));
+        let baseline = matvecjson::parse_document(&baseline_text);
+        assert!(!baseline.is_empty(), "baseline {check_path} contains no results");
+        let gated = matvecjson::gated_count(&baseline);
+        assert!(
+            gated > 0,
+            "baseline {check_path} gates nothing (no into+alloc pairs) — \
+             regenerate it with this binary"
+        );
+        let failures = matvecjson::regressions(&results, &baseline, tol);
+        if failures.is_empty() {
+            println!("regression check vs {check_path}: OK ({gated} gated entries)");
+        } else {
+            eprintln!("regression check vs {check_path} FAILED:");
+            for f in &failures {
+                eprintln!("  {f}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

@@ -13,7 +13,7 @@
 use fftmatvec_bench::{rule, stuffed_vector, Args};
 use fftmatvec_comm::ProcessGrid;
 use fftmatvec_core::error_analysis::{condition_estimate, error_bound, BoundParams};
-use fftmatvec_core::{DistributedFftMatvec, PrecisionConfig};
+use fftmatvec_core::{DistributedFftMatvec, LinearOperator, PrecisionConfig};
 use fftmatvec_numeric::vecmath::rel_l2_error;
 use fftmatvec_numeric::SplitMix64;
 
@@ -38,7 +38,7 @@ fn main() {
         PrecisionConfig::all_double(),
     )
     .unwrap();
-    let baseline = single.apply_forward(&m);
+    let baseline = single.apply_forward(&m).expect("bound-study shapes");
     let op =
         fftmatvec_core::BlockToeplitzOperator::from_first_block_column(nd, nm, nt, &col).unwrap();
     let kappa = condition_estimate(&op, 4);
@@ -68,7 +68,8 @@ fn main() {
     for (cfg_str, grid) in cases {
         let cfg: PrecisionConfig = cfg_str.parse().unwrap();
         let dist = DistributedFftMatvec::from_global(nd, nm, nt, &col, grid, cfg).unwrap();
-        let measured = rel_l2_error(&dist.apply_forward(&m), &baseline);
+        let measured =
+            rel_l2_error(&dist.apply_forward(&m).expect("bound-study shapes"), &baseline);
         let params =
             BoundParams { nt, n_local: nm.div_ceil(grid.cols), reduce_ranks: grid.cols, kappa };
         let bound = error_bound(cfg, &params).total;

@@ -20,7 +20,7 @@
 
 use fftmatvec_bench::{make_operator, stuffed_vector, Args};
 use fftmatvec_core::timing::{simulate_phases, MatvecDims};
-use fftmatvec_core::{DirectMatvec, FftMatvec, PrecisionConfig};
+use fftmatvec_core::{DirectMatvec, FftMatvec, LinearOperator, PrecisionConfig};
 use fftmatvec_gpu::{DeviceSpec, Phase};
 use fftmatvec_numeric::vecmath::rel_l2_error;
 
@@ -32,13 +32,14 @@ fn self_test() -> i32 {
     let (nd, nm, nt) = (4usize, 48usize, 64usize);
     let op = make_operator(nd, nm, nt, 1);
     let m = stuffed_vector(nm * nt, 2);
-    let mv = FftMatvec::new(op, PrecisionConfig::all_double());
-    let fft = mv.apply_forward(&m);
-    let direct = DirectMatvec::new(mv.operator()).apply_forward(&m);
+    let mv = FftMatvec::builder(op).build().expect("CPU build");
+    let fft = mv.apply_forward(&m).expect("self-test shapes");
+    let direct = DirectMatvec::new(mv.operator()).apply_forward(&m).expect("self-test shapes");
     let err = rel_l2_error(&fft, &direct);
     let d = stuffed_vector(nd * nt, 3);
     let lhs: f64 = fft.iter().zip(&d).map(|(a, b)| a * b).sum();
-    let rhs: f64 = m.iter().zip(&mv.apply_adjoint(&d)).map(|(a, b)| a * b).sum();
+    let rhs: f64 =
+        m.iter().zip(&mv.apply_adjoint(&d).expect("self-test shapes")).map(|(a, b)| a * b).sum();
     let adj = (lhs - rhs).abs() / lhs.abs().max(1.0);
     println!("self-test: fft-vs-direct rel error {err:.2e}, adjoint identity {adj:.2e}");
     if err < 1e-12 && adj < 1e-12 {
@@ -94,10 +95,10 @@ fn main() {
     );
     let op = make_operator(vnd, vnm, vnt, 769);
     let m = if args.has("rand") { stuffed_vector(vnm * vnt, 7) } else { vec![1.0; vnm * vnt] };
-    let mut mv = FftMatvec::new(op, PrecisionConfig::all_double());
-    let baseline = mv.apply_forward(&m);
+    let mut mv = FftMatvec::builder(op).build().expect("CPU build");
+    let baseline = mv.apply_forward(&m).expect("verification shapes");
     mv.set_config(cfg);
-    let rel_err = rel_l2_error(&mv.apply_forward(&m), &baseline);
+    let rel_err = rel_l2_error(&mv.apply_forward(&m).expect("verification shapes"), &baseline);
 
     if raw {
         println!("nm,nd,nt,prec,device,setup_s,f_total_s,fstar_total_s,rel_error,reps");

@@ -17,7 +17,7 @@ use fftmatvec_bench::{rule, stuffed_vector, Args};
 use fftmatvec_comm::partition::PartitionProblem;
 use fftmatvec_comm::{choose_grid, NetworkModel, PartitionStrategy, ProcessGrid};
 use fftmatvec_core::timing::{simulate_phases, MatvecDims};
-use fftmatvec_core::{DistributedFftMatvec, PrecisionConfig};
+use fftmatvec_core::{DistributedFftMatvec, LinearOperator, PrecisionConfig};
 use fftmatvec_gpu::{DeviceSpec, Phase};
 use fftmatvec_numeric::vecmath::rel_l2_error;
 use fftmatvec_numeric::SplitMix64;
@@ -64,10 +64,10 @@ fn measured_error(p: usize, grid: ProcessGrid, cfg: PrecisionConfig, escale: usi
             PrecisionConfig::all_double(),
         )
         .unwrap();
-        single.apply_forward(&m)
+        single.apply_forward(&m).expect("weak-scaling shapes")
     };
     let dist = DistributedFftMatvec::from_global(nd, nm, nt, &col, grid, cfg).unwrap();
-    rel_l2_error(&dist.apply_forward(&m), &baseline)
+    rel_l2_error(&dist.apply_forward(&m).expect("weak-scaling shapes"), &baseline)
 }
 
 fn main() {

@@ -7,8 +7,8 @@
 //! binary prints the rows/series of its figure plus the paper's reference
 //! values for side-by-side comparison.
 
+use fftmatvec_core::pareto::error_sweep;
 use fftmatvec_core::{BlockToeplitzOperator, FftMatvec, PrecisionConfig};
-use fftmatvec_numeric::vecmath::rel_l2_error;
 use fftmatvec_numeric::SplitMix64;
 
 /// Tiny `-flag value` CLI parser (mirrors the artifact's `-nm 5000 -nd 100
@@ -65,22 +65,17 @@ pub fn stuffed_vector(n: usize, seed: u64) -> Vec<f64> {
 }
 
 /// Measured relative errors of many configurations against the all-double
-/// baseline, reusing one operator (forward matvec).
+/// baseline, reusing one operator (forward matvec). Thin shape-aware
+/// wrapper over [`fftmatvec_core::pareto::error_sweep`], which runs the
+/// same sweep for any `ConfigurableOperator` realization.
 pub fn measure_errors(
     op: BlockToeplitzOperator,
     configs: &[PrecisionConfig],
     seed: u64,
 ) -> Vec<f64> {
     let m = stuffed_vector(op.nm() * op.nt(), seed);
-    let mut mv = FftMatvec::new(op, PrecisionConfig::all_double());
-    let baseline = mv.apply_forward(&m);
-    configs
-        .iter()
-        .map(|&cfg| {
-            mv.set_config(cfg);
-            rel_l2_error(&mv.apply_forward(&m), &baseline)
-        })
-        .collect()
+    let mut mv = FftMatvec::builder(op).build().expect("CPU build");
+    error_sweep(&mut mv, configs, &m).expect("sweep over a well-shaped input")
 }
 
 /// Format seconds as milliseconds with three decimals.
@@ -219,6 +214,159 @@ pub mod benchjson {
     }
 }
 
+/// Machine-readable matvec benchmark records: the `BENCH_matvec.json` /
+/// `bench/baseline_matvec.json` format the CI `bench-smoke` job produces
+/// and gates on. Same line-oriented JSON convention as [`benchjson`];
+/// rows are keyed by `(shape, config, direction, path)` where `path`
+/// distinguishes the allocating `apply_forward` from the zero-allocation
+/// `apply_forward_into` — the gate's normalized statistic is the
+/// into/alloc cost ratio, which cancels machine speed.
+pub mod matvecjson {
+    /// One measured matvec data point.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct MatvecResult {
+        /// Problem shape as `"{nd}x{nm}x{nt}"`.
+        pub shape: String,
+        /// Five-phase precision configuration string (`ddddd`, `dssdd`).
+        pub config: String,
+        /// `"forward"` or `"adjoint"`.
+        pub direction: String,
+        /// `"alloc"` (`apply_forward`) or `"into"` (`apply_forward_into`
+        /// on preallocated buffers).
+        pub path: String,
+        /// Best-case (min-of-samples) wall-clock nanoseconds per apply.
+        pub ns_per_apply: f64,
+    }
+
+    /// Render the full document (`mode` = `"quick"` or `"full"`).
+    pub fn format_document(mode: &str, results: &[MatvecResult]) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": 1,\n");
+        out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+        out.push_str("  \"unit\": \"ns_per_apply\",\n");
+        out.push_str("  \"results\": [\n");
+        for (i, r) in results.iter().enumerate() {
+            let sep = if i + 1 == results.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"shape\": \"{}\", \"config\": \"{}\", \"direction\": \"{}\", \
+                 \"path\": \"{}\", \"ns_per_apply\": {:.1}}}{}\n",
+                r.shape, r.config, r.direction, r.path, r.ns_per_apply, sep
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Extract the value following `"key":` on `line`, up to `,` or `}`.
+    fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+        let tag = format!("\"{key}\":");
+        let start = line.find(&tag)? + tag.len();
+        let rest = &line[start..];
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(rest[..end].trim().trim_matches('"'))
+    }
+
+    /// Parse every result line of a document produced by
+    /// [`format_document`].
+    pub fn parse_document(text: &str) -> Vec<MatvecResult> {
+        text.lines()
+            .filter_map(|line| {
+                Some(MatvecResult {
+                    shape: field(line, "shape")?.to_string(),
+                    config: field(line, "config")?.to_string(),
+                    direction: field(line, "direction")?.to_string(),
+                    path: field(line, "path")?.to_string(),
+                    ns_per_apply: field(line, "ns_per_apply")?.parse().ok()?,
+                })
+            })
+            .collect()
+    }
+
+    fn lookup(doc: &[MatvecResult], key: &MatvecResult, path: &str) -> Option<f64> {
+        doc.iter()
+            .find(|r| {
+                r.shape == key.shape
+                    && r.config == key.config
+                    && r.direction == key.direction
+                    && r.path == path
+            })
+            .map(|r| r.ns_per_apply)
+    }
+
+    /// Normalized cost of the `into` path at `key`'s
+    /// `(shape, config, direction)`: into ns divided by alloc ns *from
+    /// the same document*, so machine speed cancels and a CI runner can
+    /// gate against a baseline from different hardware.
+    fn normalized_cost(doc: &[MatvecResult], key: &MatvecResult) -> Option<f64> {
+        Some(lookup(doc, key, "into")? / lookup(doc, key, "alloc")?)
+    }
+
+    /// Number of baseline keys the gate can enforce (into rows whose
+    /// alloc reference is present). 0 means a broken baseline.
+    pub fn gated_count(baseline: &[MatvecResult]) -> usize {
+        baseline
+            .iter()
+            .filter(|r| r.path == "into")
+            .filter(|r| normalized_cost(baseline, r).is_some())
+            .count()
+    }
+
+    /// Compare `current` against `baseline`: for every key the baseline
+    /// covers, the into/alloc cost ratio must be within `tol` of the
+    /// baseline's. Returns human-readable failure lines; empty = pass.
+    pub fn regressions(
+        current: &[MatvecResult],
+        baseline: &[MatvecResult],
+        tol: f64,
+    ) -> Vec<String> {
+        let mut failures = Vec::new();
+        for b in baseline.iter().filter(|r| r.path == "into") {
+            let Some(base_cost) = normalized_cost(baseline, b) else {
+                continue; // baseline lacks the alloc reference: ungated
+            };
+            let Some(cur_cost) = normalized_cost(current, b) else {
+                failures.push(format!(
+                    "missing result pair for shape={} config={} direction={}",
+                    b.shape, b.config, b.direction
+                ));
+                continue;
+            };
+            let ratio = cur_cost / base_cost;
+            if ratio > tol {
+                failures.push(format!(
+                    "shape={} config={} direction={}: into/alloc = {:.3} vs baseline {:.3} \
+                     ({:.2}x > {:.2}x budget)",
+                    b.shape, b.config, b.direction, cur_cost, base_cost, ratio, tol
+                ));
+            }
+        }
+        failures
+    }
+
+    /// The acceptance check itself: the `into` path must be no slower
+    /// than the allocating path at every benchmarked key, within a small
+    /// noise margin `tol` (the shipped default is `1.10` — the paths
+    /// differ only by one output-vector allocation, so the ratio sits at
+    /// ~1.0 and the margin absorbs shared-runner scheduler noise).
+    /// Returns failure lines.
+    pub fn into_slower_than_alloc(doc: &[MatvecResult], tol: f64) -> Vec<String> {
+        doc.iter()
+            .filter(|r| r.path == "into")
+            .filter_map(|r| {
+                let cost = normalized_cost(doc, r)?;
+                (cost > tol).then(|| {
+                    format!(
+                        "shape={} config={} direction={}: into path {:.3}x the alloc path \
+                         (> {:.2}x)",
+                        r.shape, r.config, r.direction, cost, tol
+                    )
+                })
+            })
+            .collect()
+    }
+}
+
 /// Print a horizontal rule sized to a header line.
 pub fn rule(width: usize) {
     println!("{}", "-".repeat(width));
@@ -277,6 +425,34 @@ mod tests {
         assert_eq!(parsed[0].engine, "iterative");
         assert_eq!(parsed[1].precision, "f32");
         assert!((parsed[0].ns_per_transform - 1234.5).abs() < 0.11);
+    }
+
+    #[test]
+    fn matvecjson_roundtrip_and_gates() {
+        use crate::matvecjson::*;
+        let row = |path: &str, ns: f64| MatvecResult {
+            shape: "4x250x100".into(),
+            config: "dssdd".into(),
+            direction: "forward".into(),
+            path: path.into(),
+            ns_per_apply: ns,
+        };
+        let doc = vec![row("alloc", 1000.0), row("into", 900.0)];
+        let text = format_document("quick", &doc);
+        assert_eq!(parse_document(&text), doc);
+        assert_eq!(gated_count(&doc), 1);
+        // into faster than alloc: both gates pass.
+        assert!(into_slower_than_alloc(&doc, 1.05).is_empty());
+        assert!(regressions(&doc, &doc, 1.25).is_empty());
+        // into slower than alloc: the acceptance check fires.
+        let bad = vec![row("alloc", 1000.0), row("into", 1200.0)];
+        assert_eq!(into_slower_than_alloc(&bad, 1.05).len(), 1);
+        // Relative regression vs baseline fires even on a faster machine.
+        let slower = vec![row("alloc", 500.0), row("into", 640.0)];
+        assert_eq!(regressions(&slower, &doc, 1.25).len(), 1);
+        // Missing pair is a failure; alloc-only baseline gates nothing.
+        assert_eq!(regressions(&[], &doc, 1.25).len(), 1);
+        assert_eq!(gated_count(&doc[..1]), 0);
     }
 
     #[test]

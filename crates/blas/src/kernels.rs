@@ -33,25 +33,16 @@ use rayon::prelude::*;
 use crate::types::{BatchGeometry, GemvOp, KernelChoice};
 use crate::OPT_TILE_COLS;
 
-/// Split `y` into one mutable slice per batch item (disjoint by
-/// construction since `stride_y ≥ output_len`, enforced by `validate`).
-fn batch_outputs<S>(y: &mut [S], stride: usize, out_len: usize, batch: usize) -> Vec<&mut [S]> {
-    let mut slices = Vec::with_capacity(batch);
-    let mut rest = y;
-    for b in 0..batch {
-        let take = if b + 1 == batch { out_len } else { stride };
-        let (head, tail) = rest.split_at_mut(take.min(rest.len()));
-        slices.push(&mut head[..out_len]);
-        rest = tail;
-    }
-    slices
-}
-
 /// Serial-vs-parallel threshold in scalar MACs.
 #[cfg_attr(not(feature = "parallel"), allow(dead_code))]
 const PAR_THRESHOLD: usize = 1 << 15;
 
 /// Run one of the kernels over the whole batch.
+///
+/// Allocation-free: batch items are visited as chunks of `y` (one chunk
+/// per `stride_y`, output written to its first `output_len` elements), so
+/// repeated calls on preallocated buffers perform no heap work — the
+/// contract the pipeline's `apply_into` paths rely on.
 pub fn run_kernel<S: Scalar>(
     kernel: KernelChoice,
     op: GemvOp,
@@ -64,10 +55,13 @@ pub fn run_kernel<S: Scalar>(
 ) {
     g.validate(op, a.len(), x.len(), y.len());
     let out_len = op.output_len(g.m, g.n);
-    let mut outs = batch_outputs(y, g.stride_y, out_len, g.batch);
+    // `stride_y ≥ out_len` is enforced by `validate`; the final chunk may
+    // be exactly `out_len` long (no trailing padding required).
+    let stride = g.stride_y.max(out_len).max(1);
     #[cfg(feature = "parallel")]
     let work = g.batch * g.m * g.n;
-    let body = |(b, yb): (usize, &mut &mut [S])| {
+    let body = |(b, chunk): (usize, &mut [S])| {
+        let yb = &mut chunk[..out_len];
         let ab = &a[b * g.stride_a..];
         let xb = &x[b * g.stride_x..b * g.stride_x + op.input_len(g.m, g.n)];
         match kernel {
@@ -77,10 +71,10 @@ pub fn run_kernel<S: Scalar>(
     };
     #[cfg(feature = "parallel")]
     if work > PAR_THRESHOLD {
-        outs.par_iter_mut().enumerate().for_each(body);
+        y.par_chunks_mut(stride).take(g.batch).enumerate().for_each(|(b, c)| body((b, c)));
         return;
     }
-    outs.iter_mut().enumerate().for_each(body);
+    y.chunks_mut(stride).take(g.batch).enumerate().for_each(|(b, c)| body((b, c)));
 }
 
 /// rocBLAS-style GEMV on one matrix (column-major, leading dim `lda`).
@@ -101,12 +95,23 @@ pub fn reference_gemv<S: Scalar>(
     match op {
         GemvOp::NoTrans => {
             // Column sweep with tree-combined partials: one gridblock
-            // covers 64 contiguous rows; per-thread column partials merge
-            // pairwise, not in one long sequential chain.
-            let partial = notrans_pairwise(a, lda, x, m, 0, n);
-            for (i, yi) in y.iter_mut().enumerate() {
-                let prior = if beta_zero { S::zero() } else { beta * *yi };
-                *yi = alpha.mul_add(partial[i], prior);
+            // covers up to [`NOTRANS_TILE_ROWS`] contiguous rows; within a
+            // gridblock, per-thread column partials merge pairwise, not in
+            // one long sequential chain. Partials live in fixed stack
+            // tiles (no heap allocation on the hot path) and every column
+            // slice touched is contiguous, so the matrix streams through
+            // cache with full line utilization even when one block
+            // overflows L2. Tiling the rows does not change any element's
+            // summation tree — the pairwise vector merge is elementwise.
+            let mut i0 = 0;
+            for dst in y.chunks_mut(NOTRANS_TILE_ROWS) {
+                let mut partial = [S::zero(); NOTRANS_TILE_ROWS];
+                notrans_pairwise_tile(a, lda, x, i0, dst.len(), 0, n, &mut partial);
+                for (yi, &pi) in dst.iter_mut().zip(&partial) {
+                    let prior = if beta_zero { S::zero() } else { beta * *yi };
+                    *yi = alpha.mul_add(pi, prior);
+                }
+                i0 += dst.len();
             }
         }
         GemvOp::Trans | GemvOp::ConjTrans => {
@@ -146,34 +151,43 @@ fn pairwise_dot<S: Scalar>(col: &[S], x: &[S], conj: bool) -> S {
     }
 }
 
-/// Pairwise-combined column sweep for the non-transpose kernel: partial
-/// `y` vectors over column ranges merge as a tree.
-fn notrans_pairwise<S: Scalar>(
+/// Row-tile height of the non-transpose column sweep — one gridblock's
+/// worth of outputs, and the size of the stack-resident partial vectors.
+const NOTRANS_TILE_ROWS: usize = 64;
+
+/// One row tile of the pairwise-combined column sweep: the column range
+/// `[j0, j1)` splits as a tree, base runs of ≤ [`PAIRWISE_BASE`] columns
+/// accumulate sequentially into `acc[..rows]` — per element, the same
+/// association the heap-allocating partial-vector merge produced, but
+/// with stack tiles and contiguous `rows`-long column reads. Recursion
+/// depth is `log₂(n/16)`, so worst-case stack use is a few KB of tiles.
+fn notrans_pairwise_tile<S: Scalar>(
     a: &[S],
     lda: usize,
     x: &[S],
-    m: usize,
+    i0: usize,
+    rows: usize,
     j0: usize,
     j1: usize,
-) -> Vec<S> {
+    acc: &mut [S; NOTRANS_TILE_ROWS],
+) {
     if j1 - j0 <= PAIRWISE_BASE {
-        let mut part = vec![S::zero(); m];
+        acc[..rows].fill(S::zero());
         for j in j0..j1 {
-            let col = &a[j * lda..j * lda + m];
+            let col = &a[j * lda + i0..j * lda + i0 + rows];
             let xj = x[j];
-            for (p, &aij) in part.iter_mut().zip(col) {
+            for (p, &aij) in acc[..rows].iter_mut().zip(col) {
                 *p = aij.mul_add(xj, *p);
             }
         }
-        part
     } else {
         let mid = j0 + (j1 - j0) / 2;
-        let mut left = notrans_pairwise(a, lda, x, m, j0, mid);
-        let right = notrans_pairwise(a, lda, x, m, mid, j1);
-        for (l, &r) in left.iter_mut().zip(&right) {
+        notrans_pairwise_tile(a, lda, x, i0, rows, j0, mid, acc);
+        let mut right = [S::zero(); NOTRANS_TILE_ROWS];
+        notrans_pairwise_tile(a, lda, x, i0, rows, mid, j1, &mut right);
+        for (l, &r) in acc[..rows].iter_mut().zip(&right[..rows]) {
             *l += r;
         }
-        left
     }
 }
 

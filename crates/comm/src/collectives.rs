@@ -20,6 +20,14 @@ pub fn tree_reduce_sum<T: Real>(inputs: &[Vec<T>]) -> Vec<T> {
     reduce_range(inputs, 0, inputs.len())
 }
 
+/// Split point shared by every tree reduction here: the largest power of
+/// two below `n` — the shape a recursive-halving reduction takes. Both
+/// the allocating and the in-place reductions use this one function, so
+/// their summation associations cannot diverge.
+fn tree_split(n: usize) -> usize {
+    (n / 2).next_power_of_two().min(n - 1)
+}
+
 fn reduce_range<T: Real>(inputs: &[Vec<T>], lo: usize, hi: usize) -> Vec<T> {
     match hi - lo {
         1 => inputs[lo].clone(),
@@ -31,9 +39,7 @@ fn reduce_range<T: Real>(inputs: &[Vec<T>], lo: usize, hi: usize) -> Vec<T> {
             out
         }
         n => {
-            // Split at the largest power of two below n, the shape a
-            // recursive-halving reduction takes.
-            let half = (n / 2).next_power_of_two().min(n - 1);
+            let half = tree_split(n);
             let mut left = reduce_range(inputs, lo, lo + half);
             let right = reduce_range(inputs, lo + half, hi);
             for (o, &b) in left.iter_mut().zip(&right) {
@@ -41,6 +47,33 @@ fn reduce_range<T: Real>(inputs: &[Vec<T>], lo: usize, hi: usize) -> Vec<T> {
             }
             left
         }
+    }
+}
+
+/// In-place variant of [`tree_reduce_sum`] over a flat buffer holding
+/// `flat.len()/len` equally sized parts back to back: afterwards,
+/// `flat[..len]` holds the reduced sum with exactly the same summation
+/// association as [`tree_reduce_sum`] (both recurse through one shared
+/// split helper). Allocates nothing — the distributed matvec's phase-5
+/// reduction runs this inside a pooled communication buffer.
+pub fn tree_reduce_sum_in_place<T: Real>(flat: &mut [T], len: usize) {
+    assert!(len > 0 && !flat.is_empty(), "reduce over empty rank set");
+    assert_eq!(flat.len() % len, 0, "flat buffer not a multiple of the part length");
+    reduce_range_in_place(flat, len, 0, flat.len() / len);
+}
+
+fn reduce_range_in_place<T: Real>(flat: &mut [T], len: usize, lo: usize, hi: usize) {
+    let n = hi - lo;
+    if n <= 1 {
+        return;
+    }
+    let half = tree_split(n);
+    reduce_range_in_place(flat, len, lo, lo + half);
+    reduce_range_in_place(flat, len, lo + half, hi);
+    // parts[lo] += parts[lo + half].
+    let (head, tail) = flat.split_at_mut((lo + half) * len);
+    for (o, &b) in head[lo * len..(lo + 1) * len].iter_mut().zip(&tail[..len]) {
+        *o += b;
     }
 }
 
@@ -82,6 +115,26 @@ mod tests {
     fn tree_reduce_single_rank_is_identity() {
         let inputs = vec![vec![1.5f32, -2.5]];
         assert_eq!(tree_reduce_sum(&inputs), vec![1.5, -2.5]);
+    }
+
+    #[test]
+    fn in_place_reduce_is_bitwise_the_allocating_reduce() {
+        // Same split helper, same association — bit-identical results on
+        // cancellation-prone data for every rank count.
+        for parts in 1..=12usize {
+            let len = 5;
+            let inputs: Vec<Vec<f64>> = (0..parts)
+                .map(|r| {
+                    (0..len)
+                        .map(|i| ((r * 31 + i * 7) as f64).sin() * 10f64.powi((r % 5) as i32 - 2))
+                        .collect()
+                })
+                .collect();
+            let want = tree_reduce_sum(&inputs);
+            let mut flat: Vec<f64> = inputs.concat();
+            tree_reduce_sum_in_place(&mut flat, len);
+            assert_eq!(&flat[..len], &want[..], "parts={parts}");
+        }
     }
 
     #[test]

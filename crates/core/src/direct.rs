@@ -5,10 +5,14 @@
 //! costing `O(N_t²·N_d·N_m)` versus the FFT path's
 //! `O(N_t·log N_t·(N_d+N_m) + N_t·N_d·N_m)`. Used as the correctness
 //! oracle at any size and as the baseline in the crossover benches.
+//!
+//! Applications go through the [`LinearOperator`] trait; the `_into`
+//! paths write straight into the caller's buffer and allocate nothing.
 
 #[cfg(feature = "parallel")]
 use rayon::prelude::*;
 
+use crate::linop::{check_apply, LinearOperator, OpDirection, OpError, OpShape};
 use crate::operator::BlockToeplitzOperator;
 
 /// Direct matvec wrapper around the same operator storage.
@@ -21,11 +25,23 @@ impl<'a> DirectMatvec<'a> {
         DirectMatvec { op }
     }
 
+    /// Flop count of the direct forward matvec (for crossover analysis).
+    pub fn flops(&self) -> f64 {
+        let (nd, nm, nt) = (self.op.nd() as f64, self.op.nm() as f64, self.op.nt() as f64);
+        nt * (nt + 1.0) / 2.0 * nd * nm * 2.0
+    }
+}
+
+impl LinearOperator for DirectMatvec<'_> {
+    fn shape(&self) -> OpShape {
+        OpShape::new(self.op.nd() * self.op.nt(), self.op.nm() * self.op.nt())
+    }
+
     /// `d = F·m` by direct block convolution.
-    pub fn apply_forward(&self, m: &[f64]) -> Vec<f64> {
-        let (nd, nm, nt) = (self.op.nd(), self.op.nm(), self.op.nt());
-        assert_eq!(m.len(), nm * nt, "direct forward input length");
-        let mut d = vec![0.0f64; nd * nt];
+    fn apply_forward_into(&self, m: &[f64], d: &mut [f64]) -> Result<(), OpError> {
+        check_apply(self.shape(), OpDirection::Forward, m, d)?;
+        let (nd, nm) = (self.op.nd(), self.op.nm());
+        d.fill(0.0);
         let body = |(ti, dt): (usize, &mut [f64])| {
             for tj in 0..=ti {
                 let blk = self.op.block(ti - tj);
@@ -44,14 +60,14 @@ impl<'a> DirectMatvec<'a> {
         d.par_chunks_mut(nd).enumerate().for_each(body);
         #[cfg(not(feature = "parallel"))]
         d.chunks_mut(nd).enumerate().for_each(body);
-        d
+        Ok(())
     }
 
     /// `m = Fᵀ·d` by direct block correlation.
-    pub fn apply_adjoint(&self, d: &[f64]) -> Vec<f64> {
+    fn apply_adjoint_into(&self, d: &[f64], m: &mut [f64]) -> Result<(), OpError> {
+        check_apply(self.shape(), OpDirection::Adjoint, d, m)?;
         let (nd, nm, nt) = (self.op.nd(), self.op.nm(), self.op.nt());
-        assert_eq!(d.len(), nd * nt, "direct adjoint input length");
-        let mut m = vec![0.0f64; nm * nt];
+        m.fill(0.0);
         let body = |(tj, mt): (usize, &mut [f64])| {
             for ti in tj..nt {
                 let blk = self.op.block(ti - tj);
@@ -69,13 +85,7 @@ impl<'a> DirectMatvec<'a> {
         m.par_chunks_mut(nm).enumerate().for_each(body);
         #[cfg(not(feature = "parallel"))]
         m.chunks_mut(nm).enumerate().for_each(body);
-        m
-    }
-
-    /// Flop count of the direct forward matvec (for crossover analysis).
-    pub fn flops(&self) -> f64 {
-        let (nd, nm, nt) = (self.op.nd() as f64, self.op.nm() as f64, self.op.nt() as f64);
-        nt * (nt + 1.0) / 2.0 * nd * nm * 2.0
+        Ok(())
     }
 }
 
@@ -83,7 +93,6 @@ impl<'a> DirectMatvec<'a> {
 mod tests {
     use super::*;
     use crate::pipeline::FftMatvec;
-    use crate::precision::PrecisionConfig;
     use fftmatvec_numeric::vecmath::rel_l2_error;
     use fftmatvec_numeric::SplitMix64;
 
@@ -100,9 +109,9 @@ mod tests {
         let mut rng = SplitMix64::new(2);
         let mut m = vec![0.0; 8 * 10];
         rng.fill_uniform(&mut m, -1.0, 1.0);
-        let direct = DirectMatvec::new(&op).apply_forward(&m);
-        let mv = FftMatvec::new(op, PrecisionConfig::all_double());
-        let fft = mv.apply_forward(&m);
+        let direct = DirectMatvec::new(&op).apply_forward(&m).unwrap();
+        let mv = FftMatvec::builder(op).build().unwrap();
+        let fft = mv.apply_forward(&m).unwrap();
         assert!(rel_l2_error(&fft, &direct) < 1e-13);
     }
 
@@ -112,9 +121,9 @@ mod tests {
         let mut rng = SplitMix64::new(4);
         let mut d = vec![0.0; 3 * 10];
         rng.fill_uniform(&mut d, -1.0, 1.0);
-        let direct = DirectMatvec::new(&op).apply_adjoint(&d);
-        let mv = FftMatvec::new(op, PrecisionConfig::all_double());
-        let fft = mv.apply_adjoint(&d);
+        let direct = DirectMatvec::new(&op).apply_adjoint(&d).unwrap();
+        let mv = FftMatvec::builder(op).build().unwrap();
+        let fft = mv.apply_adjoint(&d).unwrap();
         assert!(rel_l2_error(&fft, &direct) < 1e-13);
     }
 
@@ -127,11 +136,24 @@ mod tests {
         rng.fill_uniform(&mut m, -1.0, 1.0);
         rng.fill_uniform(&mut d, -1.0, 1.0);
         let dm = DirectMatvec::new(&op);
-        let fm = dm.apply_forward(&m);
-        let fsd = dm.apply_adjoint(&d);
+        let fm = dm.apply_forward(&m).unwrap();
+        let fsd = dm.apply_adjoint(&d).unwrap();
         let lhs: f64 = fm.iter().zip(&d).map(|(a, b)| a * b).sum();
         let rhs: f64 = m.iter().zip(&fsd).map(|(a, b)| a * b).sum();
         assert!((lhs - rhs).abs() < 1e-11 * lhs.abs().max(1.0));
+    }
+
+    #[test]
+    fn shape_and_length_errors() {
+        let op = random_operator(2, 3, 4, 9);
+        let dm = DirectMatvec::new(&op);
+        assert_eq!(dm.shape(), OpShape::new(8, 12));
+        assert!(matches!(dm.apply_forward(&[0.0; 5]), Err(OpError::InputLength { .. })));
+        let mut out = [0.0; 5];
+        assert!(matches!(
+            dm.apply_adjoint_into(&[0.0; 8], &mut out),
+            Err(OpError::OutputLength { .. })
+        ));
     }
 
     #[test]

@@ -5,26 +5,83 @@
 //! `n_d = ⌈N_d/p_r⌉` sensors and `n_m = ⌈N_m/p_c⌉` parameters. Per-rank
 //! arithmetic is real (each simulated rank runs the full mixed-precision
 //! pipeline on its slice); the inter-rank collectives move real data in
-//! the configured precision via `fftmatvec-comm`, and wall time is modeled
-//! as `max(rank compute) + comm model`.
+//! the configured precision, and wall time is modeled as
+//! `max(rank compute) + comm model`.
 //!
 //! F matvec: the input is column-partitioned, so with `p_r = 1` phase 1
 //! needs no communication; with `p_r > 1` each column allgathers its
 //! slice. Phase 5 tree-reduces partial outputs across each grid row. The
 //! F* matvec mirrors this (broadcast across rows, reduce down columns).
+//!
+//! Like the single-rank pipeline, applications go through the
+//! [`LinearOperator`] trait: the `_into` paths stage per-rank slices,
+//! partial outputs, and the reduction's rounded communication buffers in
+//! a pooled workspace, so repeated applies allocate nothing after
+//! warm-up.
 
 #[cfg(feature = "parallel")]
 use rayon::prelude::*;
 
-use fftmatvec_comm::collectives::tree_reduce_sum;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use fftmatvec_comm::collectives::tree_reduce_sum_in_place;
 use fftmatvec_comm::{NetworkModel, ProcessGrid};
 use fftmatvec_gpu::{DeviceSpec, Phase, PhaseTimes};
-use fftmatvec_numeric::Precision;
+use fftmatvec_numeric::{Precision, Real, RealBuffer};
 
+use crate::linop::{
+    check_apply, ConfigError, ConfigurableOperator, LinearOperator, OpDirection, OpError, OpShape,
+};
 use crate::operator::BlockToeplitzOperator;
 use crate::pipeline::FftMatvec;
 use crate::precision::{MatvecPhase, PrecisionConfig};
 use crate::timing::{simulate_phases, MatvecDims};
+
+/// Pooled staging buffers for one distributed apply.
+struct DistWorkspace {
+    /// Per-rank input slices (the phase-1 scatter/broadcast buffers).
+    rank_in: Vec<Vec<f64>>,
+    /// Per-rank pipeline outputs (the phase-5 reduction inputs).
+    partials: Vec<Vec<f64>>,
+    /// Flat rounded communication buffer the tree reduction runs in.
+    reduce: RealBuffer,
+}
+
+impl DistWorkspace {
+    fn empty() -> Self {
+        DistWorkspace {
+            rank_in: Vec::new(),
+            partials: Vec::new(),
+            reduce: RealBuffer::F64(Vec::new()),
+        }
+    }
+}
+
+/// RAII guard returning a [`DistWorkspace`] to its owner's pool on drop.
+struct PooledDistWorkspace<'a> {
+    owner: &'a DistributedFftMatvec,
+    ws: DistWorkspace,
+}
+
+impl std::ops::Deref for PooledDistWorkspace<'_> {
+    type Target = DistWorkspace;
+    fn deref(&self) -> &DistWorkspace {
+        &self.ws
+    }
+}
+
+impl std::ops::DerefMut for PooledDistWorkspace<'_> {
+    fn deref_mut(&mut self) -> &mut DistWorkspace {
+        &mut self.ws
+    }
+}
+
+impl Drop for PooledDistWorkspace<'_> {
+    fn drop(&mut self) {
+        let ws = std::mem::replace(&mut self.ws, DistWorkspace::empty());
+        self.owner.pool().push(ws);
+    }
+}
 
 /// FFTMatvec partitioned over a process grid, all ranks in-process.
 pub struct DistributedFftMatvec {
@@ -34,6 +91,19 @@ pub struct DistributedFftMatvec {
     nt: usize,
     /// Per-rank pipelines, indexed by grid rank (column-major).
     ranks: Vec<FftMatvec>,
+    workspace: Mutex<Vec<DistWorkspace>>,
+}
+
+impl std::fmt::Debug for DistributedFftMatvec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DistributedFftMatvec")
+            .field("grid", &(self.grid.rows, self.grid.cols))
+            .field("nd", &self.nd)
+            .field("nm", &self.nm)
+            .field("nt", &self.nt)
+            .field("config", &self.config().to_string())
+            .finish_non_exhaustive()
+    }
 }
 
 impl DistributedFftMatvec {
@@ -47,19 +117,23 @@ impl DistributedFftMatvec {
         col: &[f64],
         grid: ProcessGrid,
         cfg: PrecisionConfig,
-    ) -> Result<Self, String> {
+    ) -> Result<Self, ConfigError> {
         if col.len() != nt * nd * nm {
-            return Err(format!(
-                "global first block column has {} entries, expected {}",
-                col.len(),
-                nt * nd * nm
-            ));
+            return Err(ConfigError::ColumnLength { expected: nt * nd * nm, got: col.len() });
         }
         if grid.rows > nd {
-            return Err(format!("grid rows {} exceed sensor count {}", grid.rows, nd));
+            return Err(ConfigError::GridOversubscribed {
+                axis: "rows",
+                ranks: grid.rows,
+                extent: nd,
+            });
         }
         if grid.cols > nm {
-            return Err(format!("grid cols {} exceed parameter count {}", grid.cols, nm));
+            return Err(ConfigError::GridOversubscribed {
+                axis: "cols",
+                ranks: grid.cols,
+                extent: nm,
+            });
         }
         let mut ranks = Vec::with_capacity(grid.size());
         for rank in 0..grid.size() {
@@ -75,9 +149,9 @@ impl DistributedFftMatvec {
                 }
             }
             let op = BlockToeplitzOperator::from_first_block_column(ndl, nml, nt, &local)?;
-            ranks.push(FftMatvec::new(op, cfg));
+            ranks.push(FftMatvec::builder(op).precision(cfg).build()?);
         }
-        Ok(DistributedFftMatvec { grid, nd, nm, nt, ranks })
+        Ok(DistributedFftMatvec { grid, nd, nm, nt, ranks, workspace: Mutex::new(Vec::new()) })
     }
 
     /// The process grid.
@@ -90,7 +164,9 @@ impl DistributedFftMatvec {
         (self.nd, self.nm, self.nt)
     }
 
-    /// Change every rank's precision configuration.
+    /// Change every rank's precision configuration (each rank rebuilds
+    /// only the FFT engines whose tier actually changed, see
+    /// [`FftMatvec::set_config`]).
     pub fn set_config(&mut self, cfg: PrecisionConfig) {
         for r in &mut self.ranks {
             r.set_config(cfg);
@@ -102,78 +178,55 @@ impl DistributedFftMatvec {
         self.ranks[0].config()
     }
 
-    /// `d = F·m` with global TOSI vectors.
-    pub fn apply_forward(&self, m: &[f64]) -> Vec<f64> {
-        assert_eq!(m.len(), self.nm * self.nt, "distributed forward input length");
-        // Scatter: column c's slice, replicated down its rows (the
-        // phase-1 broadcast/allgather).
-        let per_rank = |rank: usize| {
-            let (_, c) = self.grid.coords_of(rank);
-            let ci = self.grid.param_range(self.nm, c);
-            let mut mc = vec![0.0; ci.len() * self.nt];
-            for t in 0..self.nt {
-                mc[t * ci.len()..(t + 1) * ci.len()]
-                    .copy_from_slice(&m[t * self.nm + ci.start..t * self.nm + ci.end]);
-            }
-            self.ranks[rank].apply_forward(&mc)
-        };
-        #[cfg(feature = "parallel")]
-        let partials: Vec<Vec<f64>> = (0..self.grid.size()).into_par_iter().map(per_rank).collect();
-        #[cfg(not(feature = "parallel"))]
-        let partials: Vec<Vec<f64>> = (0..self.grid.size()).map(per_rank).collect();
-
-        // Phase 5: tree-reduce each grid row's partials across columns in
-        // the phase-5 precision, then place into the global output.
-        let p5 = self.config().phase(MatvecPhase::Unpad);
-        let mut d = vec![0.0; self.nd * self.nt];
-        for r in 0..self.grid.rows {
-            let row_parts: Vec<&Vec<f64>> =
-                self.grid.row_ranks(r).iter().map(|&rk| &partials[rk]).collect();
-            let reduced = reduce_in_precision(&row_parts, p5);
-            let ri = self.grid.sensor_range(self.nd, r);
-            let ndl = ri.len();
-            for t in 0..self.nt {
-                for (ii, i) in ri.clone().enumerate() {
-                    d[t * self.nd + i] = reduced[t * ndl + ii];
-                }
-            }
-        }
-        d
+    fn pool(&self) -> MutexGuard<'_, Vec<DistWorkspace>> {
+        self.workspace.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// `m = F*·d` with global TOSI vectors.
-    pub fn apply_adjoint(&self, d: &[f64]) -> Vec<f64> {
-        assert_eq!(d.len(), self.nd * self.nt, "distributed adjoint input length");
-        let per_rank = |rank: usize| {
-            let (r, _) = self.grid.coords_of(rank);
-            let ri = self.grid.sensor_range(self.nd, r);
-            let mut dr = vec![0.0; ri.len() * self.nt];
-            for t in 0..self.nt {
-                dr[t * ri.len()..(t + 1) * ri.len()]
-                    .copy_from_slice(&d[t * self.nd + ri.start..t * self.nd + ri.end]);
-            }
-            self.ranks[rank].apply_adjoint(&dr)
-        };
-        #[cfg(feature = "parallel")]
-        let partials: Vec<Vec<f64>> = (0..self.grid.size()).into_par_iter().map(per_rank).collect();
-        #[cfg(not(feature = "parallel"))]
-        let partials: Vec<Vec<f64>> = (0..self.grid.size()).map(per_rank).collect();
+    /// Check out a pooled workspace behind an RAII guard — like the
+    /// single-rank pipeline's pool, the guard returns the buffers on drop
+    /// so every exit path (including `?` returns) preserves the
+    /// zero-allocation steady state.
+    fn checkout(&self) -> PooledDistWorkspace<'_> {
+        let mut ws = self.pool().pop().unwrap_or_else(DistWorkspace::empty);
+        let size = self.grid.size();
+        if ws.rank_in.len() != size {
+            ws.rank_in.resize_with(size, Vec::new);
+            ws.partials.resize_with(size, Vec::new);
+        }
+        PooledDistWorkspace { owner: self, ws }
+    }
 
-        let p5 = self.config().phase(MatvecPhase::Unpad);
-        let mut mv = vec![0.0; self.nm * self.nt];
-        for c in 0..self.grid.cols {
-            let col_parts: Vec<&Vec<f64>> =
-                self.grid.col_ranks(c).iter().map(|&rk| &partials[rk]).collect();
-            let reduced = reduce_in_precision(&col_parts, p5);
-            let ci = self.grid.param_range(self.nm, c);
-            let nml = ci.len();
-            for t in 0..self.nt {
-                for (kk, k) in ci.clone().enumerate() {
-                    mv[t * self.nm + k] = reduced[t * nml + kk];
+    /// Run every rank's pipeline over the staged inputs in `ws.rank_in`,
+    /// writing into `ws.partials`. Per-rank shapes are struct invariants,
+    /// so rank applies cannot fail; a failure anyway is surfaced as
+    /// [`OpError::Internal`] rather than a panic.
+    fn run_ranks(&self, dir: OpDirection, ws: &mut DistWorkspace) -> Result<(), OpError> {
+        for (rank, out) in ws.partials.iter_mut().enumerate() {
+            let (in_len, out_len) = self.ranks[rank].shape().io_lens(dir);
+            debug_assert_eq!(ws.rank_in[rank].len(), in_len);
+            // Fully overwritten by the rank apply below — no clear, so
+            // steady-state resizes are O(1).
+            out.resize(out_len, 0.0);
+        }
+        #[cfg(feature = "parallel")]
+        {
+            use std::sync::atomic::{AtomicBool, Ordering};
+            let failed = AtomicBool::new(false);
+            let rank_in = &ws.rank_in;
+            ws.partials.par_iter_mut().enumerate().for_each(|(rank, out)| {
+                if self.ranks[rank].apply_into(dir, &rank_in[rank], out).is_err() {
+                    failed.store(true, Ordering::Relaxed);
                 }
+            });
+            if failed.load(Ordering::Relaxed) {
+                return Err(OpError::Internal("distributed rank apply failed"));
             }
         }
-        mv
+        #[cfg(not(feature = "parallel"))]
+        for (rank, out) in ws.partials.iter_mut().enumerate() {
+            self.ranks[rank].apply_into(dir, &ws.rank_in[rank], out)?;
+        }
+        Ok(())
     }
 
     /// Modeled matvec time on `dev` ranks under `net`: slowest rank's
@@ -199,24 +252,183 @@ impl DistributedFftMatvec {
     }
 }
 
-/// Tree-reduce partial vectors in the given precision, returning double.
-/// Below double precision the inputs are rounded first (the cast fused
-/// into the communication buffers), summed pairwise in the tier's storage
-/// rounding, and widened back — exactly the arithmetic a
-/// reduced-precision RCCL reduction performs. Works for all four lattice
-/// tiers, including the software-emulated 16-bit formats.
-fn reduce_in_precision(parts: &[&Vec<f64>], p: Precision) -> Vec<f64> {
-    use fftmatvec_numeric::{with_real, Real};
-    with_real!(p, T => {
-        let owned: Vec<Vec<T>> =
-            parts.iter().map(|v| v.iter().map(|&x| T::from_f64(x)).collect()).collect();
-        tree_reduce_sum(&owned).into_iter().map(|x| x.to_f64()).collect()
-    })
+impl LinearOperator for DistributedFftMatvec {
+    fn shape(&self) -> OpShape {
+        OpShape::new(self.nd * self.nt, self.nm * self.nt)
+    }
+
+    /// `d = F·m` with global TOSI vectors.
+    fn apply_forward_into(&self, m: &[f64], d: &mut [f64]) -> Result<(), OpError> {
+        check_apply(self.shape(), OpDirection::Forward, m, d)?;
+        let mut guard = self.checkout();
+        // Reborrow the plain workspace so field borrows split (the guard's
+        // Deref would otherwise pin the whole struct).
+        let ws: &mut DistWorkspace = &mut guard;
+        // Scatter: column c's slice, replicated down its rows (the
+        // phase-1 broadcast/allgather).
+        for rank in 0..self.grid.size() {
+            let (_, c) = self.grid.coords_of(rank);
+            let ci = self.grid.param_range(self.nm, c);
+            let mc = &mut ws.rank_in[rank];
+            // Every element is written by the copy loop below.
+            mc.resize(ci.len() * self.nt, 0.0);
+            for t in 0..self.nt {
+                mc[t * ci.len()..(t + 1) * ci.len()]
+                    .copy_from_slice(&m[t * self.nm + ci.start..t * self.nm + ci.end]);
+            }
+        }
+        self.run_ranks(OpDirection::Forward, ws)?;
+
+        // Phase 5: tree-reduce each grid row's partials across columns in
+        // the phase-5 precision, then place into the global output.
+        let p5 = self.config().phase(MatvecPhase::Unpad);
+        for r in 0..self.grid.rows {
+            let ri = self.grid.sensor_range(self.nd, r);
+            let ndl = ri.len();
+            let len = ndl * self.nt;
+            reduce_in_precision(
+                &ws.partials,
+                |c| self.grid.rank_of(r, c),
+                self.grid.cols,
+                len,
+                p5,
+                &mut ws.reduce,
+            );
+            place_reduced(&ws.reduce, self.nt, ndl, self.nd, ri.start, d);
+        }
+        Ok(())
+    }
+
+    /// `m = F*·d` with global TOSI vectors.
+    fn apply_adjoint_into(&self, d: &[f64], m: &mut [f64]) -> Result<(), OpError> {
+        check_apply(self.shape(), OpDirection::Adjoint, d, m)?;
+        let mut guard = self.checkout();
+        let ws: &mut DistWorkspace = &mut guard;
+        for rank in 0..self.grid.size() {
+            let (r, _) = self.grid.coords_of(rank);
+            let ri = self.grid.sensor_range(self.nd, r);
+            let dr = &mut ws.rank_in[rank];
+            // Every element is written by the copy loop below.
+            dr.resize(ri.len() * self.nt, 0.0);
+            for t in 0..self.nt {
+                dr[t * ri.len()..(t + 1) * ri.len()]
+                    .copy_from_slice(&d[t * self.nd + ri.start..t * self.nd + ri.end]);
+            }
+        }
+        self.run_ranks(OpDirection::Adjoint, ws)?;
+
+        let p5 = self.config().phase(MatvecPhase::Unpad);
+        for c in 0..self.grid.cols {
+            let ci = self.grid.param_range(self.nm, c);
+            let nml = ci.len();
+            let len = nml * self.nt;
+            reduce_in_precision(
+                &ws.partials,
+                |r| self.grid.rank_of(r, c),
+                self.grid.rows,
+                len,
+                p5,
+                &mut ws.reduce,
+            );
+            place_reduced(&ws.reduce, self.nt, nml, self.nm, ci.start, m);
+        }
+        Ok(())
+    }
+}
+
+impl ConfigurableOperator for DistributedFftMatvec {
+    fn config(&self) -> PrecisionConfig {
+        DistributedFftMatvec::config(self)
+    }
+
+    fn set_config(&mut self, cfg: PrecisionConfig) {
+        DistributedFftMatvec::set_config(self, cfg);
+    }
+}
+
+/// Scatter one row/column's reduced block (`reduce[..nt·local]`, local
+/// TOSI layout `[t][local]`) into the global TOSI output: element
+/// `[t][ii]` lands at `out[t·global + offset + ii]` (the partitioned
+/// axis is a contiguous range, so `offset` is its start). Variant
+/// dispatch happens once per block, not per element.
+fn place_reduced(
+    reduce: &RealBuffer,
+    nt: usize,
+    local: usize,
+    global: usize,
+    offset: usize,
+    out: &mut [f64],
+) {
+    fn inner<T: Real>(
+        v: &[T],
+        nt: usize,
+        local: usize,
+        global: usize,
+        off: usize,
+        out: &mut [f64],
+    ) {
+        for t in 0..nt {
+            let src = &v[t * local..(t + 1) * local];
+            let dst = &mut out[t * global + off..t * global + off + local];
+            for (o, &x) in dst.iter_mut().zip(src) {
+                *o = x.to_f64();
+            }
+        }
+    }
+    match reduce {
+        RealBuffer::F16(v) => inner(v, nt, local, global, offset, out),
+        RealBuffer::BF16(v) => inner(v, nt, local, global, offset, out),
+        RealBuffer::F32(v) => inner(v, nt, local, global, offset, out),
+        RealBuffer::F64(v) => inner(v, nt, local, global, offset, out),
+    }
+}
+
+/// Tree-reduce the partial vectors of one grid row/column in precision
+/// `p`, leaving the result (as doubles) in `scratch[..len]`. Below double
+/// precision the inputs are rounded first (the cast fused into the
+/// communication buffers), summed pairwise in the tier's storage
+/// rounding — exactly the arithmetic a reduced-precision RCCL reduction
+/// performs. The summation tree is
+/// [`fftmatvec_comm::collectives::tree_reduce_sum_in_place`] — the
+/// in-place sibling of `tree_reduce_sum`, so the association matches the
+/// collective exactly while running in a flat reused buffer that
+/// allocates nothing after warm-up.
+fn reduce_in_precision(
+    partials: &[Vec<f64>],
+    rank_of: impl Fn(usize) -> usize,
+    nparts: usize,
+    len: usize,
+    p: Precision,
+    scratch: &mut RealBuffer,
+) {
+    scratch.reset_for_overwrite(p, nparts * len);
+    fn inner<T: Real>(
+        partials: &[Vec<f64>],
+        rank_of: &dyn Fn(usize) -> usize,
+        nparts: usize,
+        len: usize,
+        flat: &mut [T],
+    ) {
+        for part in 0..nparts {
+            let src = &partials[rank_of(part)];
+            for (dst, &x) in flat[part * len..(part + 1) * len].iter_mut().zip(src) {
+                *dst = T::from_f64(x);
+            }
+        }
+        tree_reduce_sum_in_place(flat, len);
+    }
+    match scratch {
+        RealBuffer::F16(v) => inner(partials, &rank_of, nparts, len, v),
+        RealBuffer::BF16(v) => inner(partials, &rank_of, nparts, len, v),
+        RealBuffer::F32(v) => inner(partials, &rank_of, nparts, len, v),
+        RealBuffer::F64(v) => inner(partials, &rank_of, nparts, len, v),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fftmatvec_comm::collectives::tree_reduce_sum;
     use fftmatvec_numeric::vecmath::rel_l2_error;
     use fftmatvec_numeric::SplitMix64;
 
@@ -236,11 +448,29 @@ mod tests {
         adjoint: bool,
     ) -> Vec<f64> {
         let op = BlockToeplitzOperator::from_first_block_column(nd, nm, nt, col).unwrap();
-        let mv = FftMatvec::new(op, PrecisionConfig::all_double());
+        let mv = FftMatvec::builder(op).build().unwrap();
         if adjoint {
-            mv.apply_adjoint(m)
+            mv.apply_adjoint(m).unwrap()
         } else {
-            mv.apply_forward(m)
+            mv.apply_forward(m).unwrap()
+        }
+    }
+
+    #[test]
+    fn in_place_tree_matches_collective_tree() {
+        // The flat reused-buffer reduction must reproduce the comm
+        // collective's association exactly, for every rank count.
+        let mut rng = SplitMix64::new(11);
+        for nparts in 1..=9usize {
+            let len = 7;
+            let parts: Vec<Vec<f64>> =
+                (0..nparts).map(|_| (0..len).map(|_| rng.uniform(-1.0, 1.0)).collect()).collect();
+            let want = tree_reduce_sum(&parts);
+            let mut scratch = RealBuffer::F64(Vec::new());
+            reduce_in_precision(&parts, |i| i, nparts, len, Precision::Double, &mut scratch);
+            for (i, &w) in want.iter().enumerate() {
+                assert_eq!(scratch.get(i), w, "nparts={nparts} i={i}");
+            }
         }
     }
 
@@ -268,7 +498,7 @@ mod tests {
                 PrecisionConfig::all_double(),
             )
             .unwrap();
-            let got = dist.apply_forward(&m);
+            let got = dist.apply_forward(&m).unwrap();
             let err = rel_l2_error(&got, &want);
             assert!(err < 1e-12, "grid {}x{}: err {err}", grid.rows, grid.cols);
         }
@@ -292,7 +522,7 @@ mod tests {
                 PrecisionConfig::all_double(),
             )
             .unwrap();
-            let got = dist.apply_adjoint(&d);
+            let got = dist.apply_adjoint(&d).unwrap();
             let err = rel_l2_error(&got, &want);
             assert!(err < 1e-12, "grid {}x{}: err {err}", grid.rows, grid.cols);
         }
@@ -312,9 +542,9 @@ mod tests {
         let mut dist =
             DistributedFftMatvec::from_global(nd, nm, nt, &col, grid, "dssdd".parse().unwrap())
                 .unwrap();
-        let err_dd = rel_l2_error(&dist.apply_forward(&m), &baseline);
+        let err_dd = rel_l2_error(&dist.apply_forward(&m).unwrap(), &baseline);
         dist.set_config("dssds".parse().unwrap());
-        let err_ds = rel_l2_error(&dist.apply_forward(&m), &baseline);
+        let err_ds = rel_l2_error(&dist.apply_forward(&m).unwrap(), &baseline);
         assert!(err_ds > err_dd, "single reduction should cost accuracy: {err_ds} vs {err_dd}");
         assert!(err_ds < 1e-4);
     }
@@ -365,40 +595,71 @@ mod tests {
         .unwrap();
         let first = dist.ranks[0].fft64_plan_handle();
         for rank in &dist.ranks[1..] {
-            assert!(std::sync::Arc::ptr_eq(first, rank.fft64_plan_handle()));
+            assert!(std::sync::Arc::ptr_eq(&first, &rank.fft64_plan_handle()));
         }
     }
 
     #[test]
-    fn grid_validation() {
+    fn grid_validation_is_typed() {
         let (nd, nm, nt) = (2usize, 4usize, 3usize);
         let col = global_col(nd, nm, nt, 8);
-        assert!(DistributedFftMatvec::from_global(
+        assert_eq!(
+            DistributedFftMatvec::from_global(
+                nd,
+                nm,
+                nt,
+                &col,
+                ProcessGrid::new(3, 1),
+                PrecisionConfig::all_double()
+            )
+            .unwrap_err(),
+            ConfigError::GridOversubscribed { axis: "rows", ranks: 3, extent: 2 }
+        );
+        assert_eq!(
+            DistributedFftMatvec::from_global(
+                nd,
+                nm,
+                nt,
+                &col,
+                ProcessGrid::new(1, 5),
+                PrecisionConfig::all_double()
+            )
+            .unwrap_err(),
+            ConfigError::GridOversubscribed { axis: "cols", ranks: 5, extent: 4 }
+        );
+        assert_eq!(
+            DistributedFftMatvec::from_global(
+                nd,
+                nm,
+                nt,
+                &col[1..],
+                ProcessGrid::single(),
+                PrecisionConfig::all_double()
+            )
+            .unwrap_err(),
+            ConfigError::ColumnLength { expected: 24, got: 23 }
+        );
+    }
+
+    #[test]
+    fn apply_length_errors_are_typed() {
+        let (nd, nm, nt) = (2usize, 4usize, 3usize);
+        let col = global_col(nd, nm, nt, 10);
+        let dist = DistributedFftMatvec::from_global(
             nd,
             nm,
             nt,
             &col,
-            ProcessGrid::new(3, 1),
-            PrecisionConfig::all_double()
+            ProcessGrid::new(2, 2),
+            PrecisionConfig::all_double(),
         )
-        .is_err());
-        assert!(DistributedFftMatvec::from_global(
-            nd,
-            nm,
-            nt,
-            &col,
-            ProcessGrid::new(1, 5),
-            PrecisionConfig::all_double()
-        )
-        .is_err());
-        assert!(DistributedFftMatvec::from_global(
-            nd,
-            nm,
-            nt,
-            &col[1..],
-            ProcessGrid::single(),
-            PrecisionConfig::all_double()
-        )
-        .is_err());
+        .unwrap();
+        assert_eq!(dist.shape(), OpShape::new(6, 12));
+        assert!(matches!(dist.apply_forward(&[0.0; 5]), Err(OpError::InputLength { .. })));
+        let mut out = [0.0; 4];
+        assert!(matches!(
+            dist.apply_adjoint_into(&[0.0; 6], &mut out),
+            Err(OpError::OutputLength { .. })
+        ));
     }
 }

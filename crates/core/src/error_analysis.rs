@@ -14,6 +14,7 @@
 
 use fftmatvec_numeric::{Complex, Precision, C64};
 
+use crate::linop::{ConfigurableOperator, OpError};
 use crate::operator::BlockToeplitzOperator;
 use crate::precision::{MatvecPhase, PrecisionConfig};
 
@@ -68,6 +69,22 @@ pub fn error_bound(cfg: PrecisionConfig, p: &BoundParams) -> ErrorBound {
     let reduction = unpad_memop + e(MatvecPhase::Unpad) * log_pc;
     let total = p.kappa * (pad + transforms + gemv + reduction);
     ErrorBound { pad, transforms, gemv, reduction, total }
+}
+
+/// Measured forward-matvec error of `cfg` against the all-double
+/// baseline, next to its Eq. 6 prediction — for **any**
+/// [`ConfigurableOperator`] realization. The bound-vs-measurement pairing
+/// the paper's §4.2.1 validation plots are built from. Delegates the
+/// measurement (and its restore-config-even-on-error discipline) to
+/// [`crate::pareto::error_sweep`] so that logic lives in one place.
+pub fn measured_vs_bound(
+    op: &mut dyn ConfigurableOperator,
+    cfg: PrecisionConfig,
+    params: &BoundParams,
+    input: &[f64],
+) -> Result<(f64, ErrorBound), OpError> {
+    let errors = crate::pareto::error_sweep(op, &[cfg], input)?;
+    Ok((errors[0], error_bound(cfg, params)))
 }
 
 /// Estimate `κ(F̂)` — the condition number of the block-diagonal frequency
@@ -227,6 +244,29 @@ mod tests {
         let hb = error_bound("dhhdd".parse().unwrap(), &p);
         assert!(hb.gemv > 10.0 * (hb.pad + hb.transforms + hb.reduction));
         assert!((hb.gemv - Precision::Half.epsilon() * 5000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measured_vs_bound_for_any_operator() {
+        use crate::pipeline::FftMatvec;
+        let (nd, nm, nt) = (2usize, 16usize, 8usize);
+        let mut rng = SplitMix64::new(17);
+        let mut col = vec![0.0; nt * nd * nm];
+        rng.fill_uniform(&mut col, 0.0, 1.0);
+        let op = BlockToeplitzOperator::from_first_block_column(nd, nm, nt, &col).unwrap();
+        let mut m = vec![0.0; nm * nt];
+        rng.fill_uniform_stuffed(&mut m, 0.0, 1.0);
+        let mut mv = FftMatvec::builder(op).build().unwrap();
+        let p = BoundParams { nt, n_local: nm, reduce_ranks: 1, kappa: 100.0 };
+        let (measured, bound) =
+            measured_vs_bound(&mut mv, "dssdd".parse().unwrap(), &p, &m).unwrap();
+        assert!(measured > 0.0, "stuffed input must measure error");
+        assert!(measured <= bound.total, "measured {measured} above bound {}", bound.total);
+        // Errors surface as values, not panics — and the operator's own
+        // configuration survives the failed sweep.
+        mv.set_config("ddssd".parse().unwrap());
+        assert!(measured_vs_bound(&mut mv, PrecisionConfig::all_double(), &p, &m[1..]).is_err());
+        assert_eq!(mv.config(), "ddssd".parse().unwrap());
     }
 
     #[test]

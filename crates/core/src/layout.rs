@@ -11,26 +11,44 @@
 //! extended precision lattice (`h`/`b`/`s`/`d`) via
 //! [`fftmatvec_numeric::with_real`].
 
-use fftmatvec_numeric::{with_real, Complex, ComplexBuffer, Precision, Real, RealBuffer};
+use fftmatvec_numeric::{Complex, ComplexBuffer, Precision, Real, RealBuffer};
 
 /// Phase 1: TOSI input → SOTI zero-padded, cast to `p`.
 ///
 /// `m[t·n_series + s]` for `t < nt` → `out[s·2nt + t]`; entries
 /// `t ∈ [nt, 2nt)` are the circulant-embedding zeros.
+///
+/// Lengths are pipeline invariants, validated at the `LinearOperator`
+/// boundary before any kernel runs; a mismatch here is a caller bug in
+/// direct kernel use and asserts.
 pub fn pad_input(m: &[f64], n_series: usize, nt: usize, p: Precision) -> RealBuffer {
+    let mut out = RealBuffer::F64(Vec::new());
+    pad_input_into(m, n_series, nt, p, &mut out);
+    out
+}
+
+/// [`pad_input`] writing into a reusable buffer: `out` is
+/// [`RealBuffer::reset`] to precision `p` (reusing its allocation when the
+/// tier matches) and filled — the zero-allocation phase-1 kernel.
+pub fn pad_input_into(m: &[f64], n_series: usize, nt: usize, p: Precision, out: &mut RealBuffer) {
     assert_eq!(m.len(), n_series * nt, "pad_input length mismatch");
-    fn inner<T: Real>(m: &[f64], n_series: usize, nt: usize) -> Vec<T> {
+    let n2 = 2 * nt;
+    out.reset(p, n_series * n2);
+    fn inner<T: Real>(m: &[f64], n_series: usize, nt: usize, out: &mut [T]) {
         let n2 = 2 * nt;
-        let mut out = vec![T::ZERO; n_series * n2];
         for t in 0..nt {
             let row = &m[t * n_series..(t + 1) * n_series];
             for (s, &v) in row.iter().enumerate() {
                 out[s * n2 + t] = T::from_f64(v);
             }
         }
-        out
     }
-    with_real!(p, T => RealBuffer::from(inner::<T>(m, n_series, nt)))
+    match out {
+        RealBuffer::F16(v) => inner(m, n_series, nt, v),
+        RealBuffer::BF16(v) => inner(m, n_series, nt, v),
+        RealBuffer::F32(v) => inner(m, n_series, nt, v),
+        RealBuffer::F64(v) => inner(m, n_series, nt, v),
+    }
 }
 
 /// Transposing cast kernel shared by both reorder directions: every
@@ -41,15 +59,37 @@ fn transpose_cast<Tin: Real, Tout: Real>(
     src: &[Complex<Tin>],
     outer: usize,
     inner: usize,
-) -> Vec<Complex<Tout>> {
-    let mut out = vec![Complex::zero(); outer * inner];
+    out: &mut [Complex<Tout>],
+) {
     for o in 0..outer {
         let row = &src[o * inner..(o + 1) * inner];
         for (i, &v) in row.iter().enumerate() {
             out[i * outer + o] = v.cast();
         }
     }
-    out
+}
+
+/// Dispatch a source/destination `ComplexBuffer` pair to the generic
+/// transpose-cast kernel — all 4×4 tier combinations, resolved once.
+fn transpose_cast_dispatch(
+    src: &ComplexBuffer,
+    outer: usize,
+    inner: usize,
+    out: &mut ComplexBuffer,
+) {
+    macro_rules! arms {
+        ($s:expr, $($var:ident),+) => {
+            match out {
+                $(ComplexBuffer::$var(o) => transpose_cast($s, outer, inner, o),)+
+            }
+        };
+    }
+    match src {
+        ComplexBuffer::C16(s) => arms!(s, C16, CB16, C32, C64),
+        ComplexBuffer::CB16(s) => arms!(s, C16, CB16, C32, C64),
+        ComplexBuffer::C32(s) => arms!(s, C16, CB16, C32, C64),
+        ComplexBuffer::C64(s) => arms!(s, C16, CB16, C32, C64),
+    }
 }
 
 /// Phase 2→3 reorder: per-series spectra `[series][freq]` → per-frequency
@@ -60,21 +100,23 @@ pub fn spectrum_to_batch(
     nfreq: usize,
     p: Precision,
 ) -> ComplexBuffer {
+    let mut out = ComplexBuffer::C64(Vec::new());
+    spectrum_to_batch_into(spec, n_series, nfreq, p, &mut out);
+    out
+}
+
+/// [`spectrum_to_batch`] writing into a reusable buffer (see
+/// [`pad_input_into`]).
+pub fn spectrum_to_batch_into(
+    spec: &ComplexBuffer,
+    n_series: usize,
+    nfreq: usize,
+    p: Precision,
+    out: &mut ComplexBuffer,
+) {
     assert_eq!(spec.len(), n_series * nfreq, "spectrum_to_batch length mismatch");
-    match spec {
-        ComplexBuffer::C16(v) => {
-            with_real!(p, T => ComplexBuffer::from(transpose_cast::<_, T>(v, n_series, nfreq)))
-        }
-        ComplexBuffer::CB16(v) => {
-            with_real!(p, T => ComplexBuffer::from(transpose_cast::<_, T>(v, n_series, nfreq)))
-        }
-        ComplexBuffer::C32(v) => {
-            with_real!(p, T => ComplexBuffer::from(transpose_cast::<_, T>(v, n_series, nfreq)))
-        }
-        ComplexBuffer::C64(v) => {
-            with_real!(p, T => ComplexBuffer::from(transpose_cast::<_, T>(v, n_series, nfreq)))
-        }
-    }
+    out.reset_for_overwrite(p, n_series * nfreq);
+    transpose_cast_dispatch(spec, n_series, nfreq, out);
 }
 
 /// Phase 3→4 reorder: per-frequency batch `[freq][series]` → per-series
@@ -85,21 +127,23 @@ pub fn batch_to_spectrum(
     nfreq: usize,
     p: Precision,
 ) -> ComplexBuffer {
+    let mut out = ComplexBuffer::C64(Vec::new());
+    batch_to_spectrum_into(batch, n_series, nfreq, p, &mut out);
+    out
+}
+
+/// [`batch_to_spectrum`] writing into a reusable buffer (see
+/// [`pad_input_into`]).
+pub fn batch_to_spectrum_into(
+    batch: &ComplexBuffer,
+    n_series: usize,
+    nfreq: usize,
+    p: Precision,
+    out: &mut ComplexBuffer,
+) {
     assert_eq!(batch.len(), n_series * nfreq, "batch_to_spectrum length mismatch");
-    match batch {
-        ComplexBuffer::C16(v) => {
-            with_real!(p, T => ComplexBuffer::from(transpose_cast::<_, T>(v, nfreq, n_series)))
-        }
-        ComplexBuffer::CB16(v) => {
-            with_real!(p, T => ComplexBuffer::from(transpose_cast::<_, T>(v, nfreq, n_series)))
-        }
-        ComplexBuffer::C32(v) => {
-            with_real!(p, T => ComplexBuffer::from(transpose_cast::<_, T>(v, nfreq, n_series)))
-        }
-        ComplexBuffer::C64(v) => {
-            with_real!(p, T => ComplexBuffer::from(transpose_cast::<_, T>(v, nfreq, n_series)))
-        }
-    }
+    out.reset_for_overwrite(p, n_series * nfreq);
+    transpose_cast_dispatch(batch, nfreq, n_series, out);
 }
 
 /// Phase 5: SOTI padded time signals → TOSI unpadded output, routed
@@ -112,11 +156,32 @@ pub fn batch_to_spectrum(
 /// routed through BFloat16 does round — the identity shortcut is the
 /// representability relation, not the lattice meet.
 pub fn unpad_output(time: &RealBuffer, n_series: usize, nt: usize, p: Precision) -> Vec<f64> {
+    let mut out = vec![0.0f64; n_series * nt];
+    unpad_output_into(time, n_series, nt, p, &mut out);
+    out
+}
+
+/// [`unpad_output`] writing into a caller buffer of length
+/// `n_series·nt` — the zero-allocation phase-5 kernel feeding the
+/// `apply_into` output slice directly.
+pub fn unpad_output_into(
+    time: &RealBuffer,
+    n_series: usize,
+    nt: usize,
+    p: Precision,
+    out: &mut [f64],
+) {
     let n2 = 2 * nt;
     assert_eq!(time.len(), n_series * n2, "unpad_output length mismatch");
-    fn inner<T: Real>(v: &[T], n_series: usize, nt: usize, route: Option<Precision>) -> Vec<f64> {
+    assert_eq!(out.len(), n_series * nt, "unpad_output output length mismatch");
+    fn inner<T: Real>(
+        v: &[T],
+        n_series: usize,
+        nt: usize,
+        route: Option<Precision>,
+        out: &mut [f64],
+    ) {
         let n2 = 2 * nt;
-        let mut out = vec![0.0f64; n_series * nt];
         for s in 0..n_series {
             for t in 0..nt {
                 let x = v[s * n2 + t].to_f64();
@@ -126,14 +191,13 @@ pub fn unpad_output(time: &RealBuffer, n_series: usize, nt: usize, p: Precision)
                 };
             }
         }
-        out
     }
     let route = (!time.precision().widens_exactly_to(p)).then_some(p);
     match time {
-        RealBuffer::F16(v) => inner(v, n_series, nt, route),
-        RealBuffer::BF16(v) => inner(v, n_series, nt, route),
-        RealBuffer::F32(v) => inner(v, n_series, nt, route),
-        RealBuffer::F64(v) => inner(v, n_series, nt, route),
+        RealBuffer::F16(v) => inner(v, n_series, nt, route, out),
+        RealBuffer::BF16(v) => inner(v, n_series, nt, route, out),
+        RealBuffer::F32(v) => inner(v, n_series, nt, route, out),
+        RealBuffer::F64(v) => inner(v, n_series, nt, route, out),
     }
 }
 
@@ -141,6 +205,34 @@ pub fn unpad_output(time: &RealBuffer, n_series: usize, nt: usize, p: Precision)
 /// phases 1 and 2 when their precisions differ). No-op when equal.
 pub fn cast_real(buf: RealBuffer, p: Precision) -> RealBuffer {
     buf.cast(p)
+}
+
+/// [`cast_real`] writing into a reusable destination buffer: `dst` is
+/// reset to precision `p` and filled with `src` rounded through `p`.
+/// Callers skip this kernel entirely when
+/// `src.precision() == p` (the pipeline borrows `src` instead).
+pub fn cast_real_into(src: &RealBuffer, p: Precision, dst: &mut RealBuffer) {
+    dst.reset_for_overwrite(p, src.len());
+    fn fill<Tin: Real, Tout: Real>(src: &[Tin], out: &mut [Tout]) {
+        for (o, &x) in out.iter_mut().zip(src) {
+            *o = Tout::from_f64(x.to_f64());
+        }
+    }
+    // Resolve both variants once; the inner loop is a monomorphized
+    // slice-to-slice cast (casts route through f64, RTNE into storage).
+    macro_rules! arms {
+        ($s:expr, $($var:ident),+) => {
+            match dst {
+                $(RealBuffer::$var(o) => fill($s, o),)+
+            }
+        };
+    }
+    match src {
+        RealBuffer::F16(s) => arms!(s, F16, BF16, F32, F64),
+        RealBuffer::BF16(s) => arms!(s, F16, BF16, F32, F64),
+        RealBuffer::F32(s) => arms!(s, F16, BF16, F32, F64),
+        RealBuffer::F64(s) => arms!(s, F16, BF16, F32, F64),
+    }
 }
 
 #[cfg(test)]

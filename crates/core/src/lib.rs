@@ -23,11 +23,24 @@
 //! `fftmatvec-comm` cost model. [`error_analysis`] implements the paper's
 //! first-order bound (Eq. 6); [`pareto`] the Pareto-front configuration
 //! selection.
+//!
+//! ## Public API
+//!
+//! All three matvec realizations — [`FftMatvec`], [`DirectMatvec`], and
+//! [`DistributedFftMatvec`] — implement the [`LinearOperator`] trait
+//! ([`linop`]): `shape()` plus zero-allocation `apply_forward_into` /
+//! `apply_adjoint_into` hot paths, with allocating `apply_forward` /
+//! `apply_adjoint` and the flat-strided batched `apply_many_into`
+//! provided on top. Construction is builder-based
+//! ([`FftMatvec::builder`]), and all construction/apply failures are
+//! typed ([`ConfigError`] / [`OpError`]) — no panics on the public
+//! paths.
 
 pub mod direct;
 pub mod distributed;
 pub mod error_analysis;
 pub mod layout;
+pub mod linop;
 pub mod operator;
 pub mod pareto;
 pub mod pipeline;
@@ -37,7 +50,8 @@ pub mod timing;
 pub use direct::DirectMatvec;
 pub use distributed::DistributedFftMatvec;
 pub use error_analysis::ErrorBound;
+pub use linop::{ConfigError, ConfigurableOperator, LinearOperator, OpDirection, OpError, OpShape};
 pub use operator::BlockToeplitzOperator;
 pub use pareto::{pareto_front, ParetoPoint};
-pub use pipeline::FftMatvec;
+pub use pipeline::{FftMatvec, FftMatvecBuilder, PipelineBackend};
 pub use precision::{MatvecPhase, PrecisionConfig};

@@ -1,0 +1,397 @@
+//! The unified linear-operator API.
+//!
+//! The paper treats the FFT matvec, the direct `O(N_t²)` matvec, and the
+//! distributed matvec as interchangeable realizations of one operator
+//! `F`/`F*` (Section 3; the predecessor work makes the same abstraction
+//! explicit for Hessian actions in Bayesian inversion). This module is
+//! that abstraction as a trait: every realization exposes
+//!
+//! * [`LinearOperator::shape`] — `F : R^cols → R^rows`,
+//! * [`LinearOperator::apply_forward_into`] /
+//!   [`LinearOperator::apply_adjoint_into`] — the zero-allocation hot
+//!   paths writing into caller buffers,
+//!
+//! and inherits allocating conveniences ([`LinearOperator::apply_forward`],
+//! [`LinearOperator::apply_adjoint`]) plus the flat-strided batched
+//! [`LinearOperator::apply_many_into`]. Downstream consumers (Bayesian
+//! inversion, OED, Pareto sweeps) are written against `&dyn
+//! LinearOperator` or `L: LinearOperator`, so every future backend — a
+//! GPU tensor-core tier, a sharded serving realization — plugs into the
+//! same call sites.
+//!
+//! All public construction and apply paths report failures through the
+//! typed [`OpError`] / [`ConfigError`] hierarchy instead of panicking.
+
+use crate::precision::PrecisionConfig;
+
+/// Shape of a linear operator: the forward map takes `cols` inputs to
+/// `rows` outputs; the adjoint map is the transpose.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OpShape {
+    /// Output length of the forward map (`N_d·N_t` for the matvecs here).
+    pub rows: usize,
+    /// Input length of the forward map (`N_m·N_t`).
+    pub cols: usize,
+}
+
+impl OpShape {
+    /// Shape of a `rows × cols` operator.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        OpShape { rows, cols }
+    }
+
+    /// `(input_len, output_len)` for an application direction.
+    #[inline]
+    pub fn io_lens(&self, dir: OpDirection) -> (usize, usize) {
+        match dir {
+            OpDirection::Forward => (self.cols, self.rows),
+            OpDirection::Adjoint => (self.rows, self.cols),
+        }
+    }
+}
+
+/// Which direction of the operator an application runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpDirection {
+    /// `d = F·m`.
+    Forward,
+    /// `m = F*·d`.
+    Adjoint,
+}
+
+impl std::fmt::Display for OpDirection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OpDirection::Forward => write!(f, "forward"),
+            OpDirection::Adjoint => write!(f, "adjoint"),
+        }
+    }
+}
+
+/// Typed error for the apply paths. Every variant is a caller-input
+/// problem reported back instead of a panic; see the crate README's
+/// "Public API" section for when each fires.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OpError {
+    /// The input slice length does not match the operator shape
+    /// (`cols` for forward, `rows` for adjoint).
+    InputLength { dir: OpDirection, expected: usize, got: usize },
+    /// The output slice length does not match the operator shape
+    /// (`rows` for forward, `cols` for adjoint).
+    OutputLength { dir: OpDirection, expected: usize, got: usize },
+    /// A batched input buffer is not a whole multiple of the per-item
+    /// input stride.
+    RaggedBatch { dir: OpDirection, got: usize, stride: usize },
+    /// A batched output buffer implies a different batch count than the
+    /// input buffer (`expected`/`got` are element counts).
+    BatchMismatch { dir: OpDirection, expected: usize, got: usize },
+    /// An internal invariant failed (unreachable by construction —
+    /// reported as an error rather than a panic so the hot paths stay
+    /// panic-free end to end).
+    Internal(&'static str),
+}
+
+impl std::fmt::Display for OpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OpError::InputLength { dir, expected, got } => {
+                write!(f, "{dir} input has {got} elements, operator expects {expected}")
+            }
+            OpError::OutputLength { dir, expected, got } => {
+                write!(f, "{dir} output has {got} elements, operator produces {expected}")
+            }
+            OpError::RaggedBatch { dir, got, stride } => {
+                write!(f, "{dir} batch of {got} elements is not a multiple of the stride {stride}")
+            }
+            OpError::BatchMismatch { dir, expected, got } => {
+                write!(f, "{dir} batch output has {got} elements, inputs imply {expected}")
+            }
+            OpError::Internal(what) => write!(f, "internal operator invariant failed: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for OpError {}
+
+impl From<OpError> for String {
+    fn from(e: OpError) -> String {
+        e.to_string()
+    }
+}
+
+/// Typed error for operator/pipeline construction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A problem dimension (`nd`, `nm`, or `nt`) is zero.
+    ZeroDimension { what: &'static str },
+    /// The first-block-column buffer has the wrong number of entries for
+    /// the declared `(nd, nm, nt)`.
+    ColumnLength { expected: usize, got: usize },
+    /// A process-grid axis has more ranks than the problem axis it
+    /// partitions has entries.
+    GridOversubscribed { axis: &'static str, ranks: usize, extent: usize },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroDimension { what } => {
+                write!(f, "operator dimension {what} must be nonzero")
+            }
+            ConfigError::ColumnLength { expected, got } => {
+                write!(f, "first block column has {got} entries, expected nt*nd*nm = {expected}")
+            }
+            ConfigError::GridOversubscribed { axis, ranks, extent } => {
+                write!(f, "grid {axis} count {ranks} exceeds the partitioned extent {extent}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl From<ConfigError> for String {
+    fn from(e: ConfigError) -> String {
+        e.to_string()
+    }
+}
+
+/// Validate one apply call's slice lengths against `shape`.
+pub(crate) fn check_apply(
+    shape: OpShape,
+    dir: OpDirection,
+    input: &[f64],
+    out: &[f64],
+) -> Result<(), OpError> {
+    let (in_len, out_len) = shape.io_lens(dir);
+    if input.len() != in_len {
+        return Err(OpError::InputLength { dir, expected: in_len, got: input.len() });
+    }
+    if out.len() != out_len {
+        return Err(OpError::OutputLength { dir, expected: out_len, got: out.len() });
+    }
+    Ok(())
+}
+
+/// Validate a flat-strided batch and return its item count.
+pub(crate) fn check_batch(
+    shape: OpShape,
+    dir: OpDirection,
+    inputs: &[f64],
+    outputs: &[f64],
+) -> Result<usize, OpError> {
+    let (in_len, out_len) = shape.io_lens(dir);
+    if in_len == 0 || out_len == 0 {
+        return Err(OpError::Internal("operator with a zero-length side"));
+    }
+    if inputs.len() % in_len != 0 {
+        return Err(OpError::RaggedBatch { dir, got: inputs.len(), stride: in_len });
+    }
+    let batch = inputs.len() / in_len;
+    if outputs.len() != batch * out_len {
+        return Err(OpError::BatchMismatch { dir, expected: batch * out_len, got: outputs.len() });
+    }
+    Ok(batch)
+}
+
+/// A realization of the block-triangular Toeplitz operator `F` (and its
+/// adjoint `F*`) acting on flat `f64` vectors.
+///
+/// Required surface: [`shape`](LinearOperator::shape) plus the two
+/// `_into` applications, which must write the full output and perform no
+/// heap allocation after warm-up. The allocating and batched methods are
+/// provided on top; implementations may override
+/// [`apply_many_into`](LinearOperator::apply_many_into) to share per-call
+/// setup (plans, workspaces) across the batch.
+pub trait LinearOperator {
+    /// Operator shape; `apply_forward` maps `cols` → `rows`.
+    fn shape(&self) -> OpShape;
+
+    /// `out = F·input`. `input.len() == shape().cols`,
+    /// `out.len() == shape().rows`.
+    fn apply_forward_into(&self, input: &[f64], out: &mut [f64]) -> Result<(), OpError>;
+
+    /// `out = F*·input`. `input.len() == shape().rows`,
+    /// `out.len() == shape().cols`.
+    fn apply_adjoint_into(&self, input: &[f64], out: &mut [f64]) -> Result<(), OpError>;
+
+    /// Dispatch an `_into` application by direction.
+    fn apply_into(&self, dir: OpDirection, input: &[f64], out: &mut [f64]) -> Result<(), OpError> {
+        match dir {
+            OpDirection::Forward => self.apply_forward_into(input, out),
+            OpDirection::Adjoint => self.apply_adjoint_into(input, out),
+        }
+    }
+
+    /// Allocating forward apply: `F·input` into a fresh vector.
+    fn apply_forward(&self, input: &[f64]) -> Result<Vec<f64>, OpError> {
+        let mut out = vec![0.0; self.shape().rows];
+        self.apply_forward_into(input, &mut out)?;
+        Ok(out)
+    }
+
+    /// Allocating adjoint apply: `F*·input` into a fresh vector.
+    fn apply_adjoint(&self, input: &[f64]) -> Result<Vec<f64>, OpError> {
+        let mut out = vec![0.0; self.shape().cols];
+        self.apply_adjoint_into(input, &mut out)?;
+        Ok(out)
+    }
+
+    /// Batched apply over **flat strided buffers**: `inputs` packs the
+    /// batch contiguously (`inputs[b·in_len..][..in_len]` is item `b`),
+    /// `outputs` likewise with the output stride — no `Vec<Vec<f64>>`
+    /// staging, no per-item clones. The default visits items in order
+    /// through the `_into` path; [`crate::FftMatvec`] overrides it so the
+    /// whole batch shares one engine/workspace checkout.
+    fn apply_many_into(
+        &self,
+        dir: OpDirection,
+        inputs: &[f64],
+        outputs: &mut [f64],
+    ) -> Result<(), OpError> {
+        let shape = self.shape();
+        let (in_len, out_len) = shape.io_lens(dir);
+        check_batch(shape, dir, inputs, outputs)?;
+        for (i, o) in inputs.chunks_exact(in_len).zip(outputs.chunks_exact_mut(out_len)) {
+            self.apply_into(dir, i, o)?;
+        }
+        Ok(())
+    }
+
+    /// [`apply_many_into`](LinearOperator::apply_many_into) in the
+    /// forward direction.
+    fn apply_forward_many_into(&self, inputs: &[f64], outputs: &mut [f64]) -> Result<(), OpError> {
+        self.apply_many_into(OpDirection::Forward, inputs, outputs)
+    }
+
+    /// [`apply_many_into`](LinearOperator::apply_many_into) in the
+    /// adjoint direction.
+    fn apply_adjoint_many_into(&self, inputs: &[f64], outputs: &mut [f64]) -> Result<(), OpError> {
+        self.apply_many_into(OpDirection::Adjoint, inputs, outputs)
+    }
+}
+
+impl<T: LinearOperator + ?Sized> LinearOperator for &T {
+    fn shape(&self) -> OpShape {
+        (**self).shape()
+    }
+    fn apply_forward_into(&self, input: &[f64], out: &mut [f64]) -> Result<(), OpError> {
+        (**self).apply_forward_into(input, out)
+    }
+    fn apply_adjoint_into(&self, input: &[f64], out: &mut [f64]) -> Result<(), OpError> {
+        (**self).apply_adjoint_into(input, out)
+    }
+    fn apply_many_into(
+        &self,
+        dir: OpDirection,
+        inputs: &[f64],
+        outputs: &mut [f64],
+    ) -> Result<(), OpError> {
+        (**self).apply_many_into(dir, inputs, outputs)
+    }
+}
+
+/// A [`LinearOperator`] whose five-phase precision configuration can be
+/// swapped at runtime without rebuilding the operator — the paper's
+/// dynamic reconfiguration. Pareto/error sweeps
+/// ([`crate::pareto::error_sweep`]) run against this trait, so they work
+/// for the single-rank pipeline and the distributed matvec alike.
+pub trait ConfigurableOperator: LinearOperator {
+    /// Current precision configuration.
+    fn config(&self) -> PrecisionConfig;
+
+    /// Swap the configuration; implementations rebuild only what the new
+    /// configuration actually needs.
+    fn set_config(&mut self, cfg: PrecisionConfig);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal in-test realization: diag(2) on length-3 vectors.
+    struct Doubler;
+
+    impl LinearOperator for Doubler {
+        fn shape(&self) -> OpShape {
+            OpShape::new(3, 3)
+        }
+        fn apply_forward_into(&self, input: &[f64], out: &mut [f64]) -> Result<(), OpError> {
+            check_apply(self.shape(), OpDirection::Forward, input, out)?;
+            for (o, &x) in out.iter_mut().zip(input) {
+                *o = 2.0 * x;
+            }
+            Ok(())
+        }
+        fn apply_adjoint_into(&self, input: &[f64], out: &mut [f64]) -> Result<(), OpError> {
+            check_apply(self.shape(), OpDirection::Adjoint, input, out)?;
+            for (o, &x) in out.iter_mut().zip(input) {
+                *o = 2.0 * x;
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn provided_methods_route_through_into() {
+        let op = Doubler;
+        assert_eq!(op.apply_forward(&[1.0, 2.0, 3.0]).unwrap(), vec![2.0, 4.0, 6.0]);
+        let mut outs = vec![0.0; 6];
+        op.apply_many_into(OpDirection::Forward, &[1.0, 0.0, 0.0, 0.0, 1.0, 0.0], &mut outs)
+            .unwrap();
+        assert_eq!(outs, vec![2.0, 0.0, 0.0, 0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn shape_errors_are_typed() {
+        let op = Doubler;
+        assert_eq!(
+            op.apply_forward(&[1.0]).unwrap_err(),
+            OpError::InputLength { dir: OpDirection::Forward, expected: 3, got: 1 }
+        );
+        let mut small = [0.0; 2];
+        assert_eq!(
+            op.apply_forward_into(&[1.0, 2.0, 3.0], &mut small).unwrap_err(),
+            OpError::OutputLength { dir: OpDirection::Forward, expected: 3, got: 2 }
+        );
+        let mut outs = [0.0; 3];
+        assert_eq!(
+            op.apply_many_into(OpDirection::Adjoint, &[0.0; 4], &mut outs).unwrap_err(),
+            OpError::RaggedBatch { dir: OpDirection::Adjoint, got: 4, stride: 3 }
+        );
+        assert_eq!(
+            op.apply_many_into(OpDirection::Forward, &[0.0; 6], &mut outs).unwrap_err(),
+            OpError::BatchMismatch { dir: OpDirection::Forward, expected: 6, got: 3 }
+        );
+    }
+
+    #[test]
+    fn errors_format_helpfully() {
+        let e = OpError::InputLength { dir: OpDirection::Forward, expected: 6, got: 5 };
+        assert!(e.to_string().contains("forward input has 5"));
+        let c = ConfigError::ColumnLength { expected: 12, got: 7 };
+        assert!(c.to_string().contains("expected nt*nd*nm = 12"));
+        let s: String = c.into();
+        assert!(s.contains('7'));
+    }
+
+    #[test]
+    fn trait_objects_and_references_work() {
+        let op = Doubler;
+        let dynop: &dyn LinearOperator = &op;
+        assert_eq!(dynop.shape(), OpShape::new(3, 3));
+        assert_eq!(dynop.apply_adjoint(&[1.0; 3]).unwrap(), vec![2.0; 3]);
+        // The blanket &T impl lets generic consumers borrow.
+        fn rows<L: LinearOperator>(l: L) -> usize {
+            l.shape().rows
+        }
+        assert_eq!(rows(&op), 3);
+    }
+
+    #[test]
+    fn io_lens_by_direction() {
+        let s = OpShape::new(2, 5);
+        assert_eq!(s.io_lens(OpDirection::Forward), (5, 2));
+        assert_eq!(s.io_lens(OpDirection::Adjoint), (2, 5));
+    }
+}

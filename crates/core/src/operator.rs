@@ -13,6 +13,8 @@
 use fftmatvec_fft::BatchedRealFft;
 use fftmatvec_numeric::{Complex, C16, C32, C64, CB16};
 
+use crate::linop::ConfigError;
+
 /// A block lower-triangular Toeplitz operator in FFT-ready form.
 pub struct BlockToeplitzOperator {
     nd: usize,
@@ -42,16 +44,14 @@ impl BlockToeplitzOperator {
         nm: usize,
         nt: usize,
         col: &[f64],
-    ) -> Result<Self, String> {
-        if nd == 0 || nm == 0 || nt == 0 {
-            return Err("operator dimensions must be nonzero".into());
+    ) -> Result<Self, ConfigError> {
+        for (extent, what) in [(nd, "nd"), (nm, "nm"), (nt, "nt")] {
+            if extent == 0 {
+                return Err(ConfigError::ZeroDimension { what });
+            }
         }
         if col.len() != nt * nd * nm {
-            return Err(format!(
-                "first block column has {} entries, expected nt*nd*nm = {}",
-                col.len(),
-                nt * nd * nm
-            ));
+            return Err(ConfigError::ColumnLength { expected: nt * nd * nm, got: col.len() });
         }
 
         // Gather each (i,k) time series contiguously, zero-padded to 2·nt,

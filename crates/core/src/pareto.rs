@@ -7,7 +7,9 @@
 //! problem context — the optimal configuration is the fastest point on or
 //! under the tolerance.
 
+use crate::linop::{ConfigurableOperator, OpError};
 use crate::precision::PrecisionConfig;
+use fftmatvec_numeric::vecmath::rel_l2_error;
 
 /// One measured configuration.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -76,6 +78,49 @@ pub fn optimal_for_tolerance(points: &[ParetoPoint], tolerance: f64) -> Option<P
 /// Speedup of each point against a baseline time.
 pub fn speedup(baseline_time: f64, p: &ParetoPoint) -> f64 {
     baseline_time / p.time
+}
+
+/// Measured relative forward-matvec errors of `configs` against the
+/// all-double baseline, reusing one operator — for **any**
+/// [`ConfigurableOperator`] realization (the single-rank pipeline, the
+/// distributed matvec, a future GPU backend). The operator's original
+/// configuration is restored afterwards, on the error paths too.
+pub fn error_sweep(
+    op: &mut dyn ConfigurableOperator,
+    configs: &[PrecisionConfig],
+    input: &[f64],
+) -> Result<Vec<f64>, OpError> {
+    let restore = op.config();
+    let run = |op: &mut dyn ConfigurableOperator| -> Result<Vec<f64>, OpError> {
+        op.set_config(PrecisionConfig::all_double());
+        let baseline = op.apply_forward(input)?;
+        let mut errors = Vec::with_capacity(configs.len());
+        for &cfg in configs {
+            op.set_config(cfg);
+            errors.push(rel_l2_error(&op.apply_forward(input)?, &baseline));
+        }
+        Ok(errors)
+    };
+    let result = run(op);
+    op.set_config(restore);
+    result
+}
+
+/// Full sweep: pair measured errors (via [`error_sweep`]) with
+/// caller-supplied per-configuration times into [`ParetoPoint`]s, ready
+/// for [`pareto_front`] / [`optimal_for_tolerance`].
+pub fn sweep_points(
+    op: &mut dyn ConfigurableOperator,
+    candidates: &[(PrecisionConfig, f64)],
+    input: &[f64],
+) -> Result<Vec<ParetoPoint>, OpError> {
+    let configs: Vec<PrecisionConfig> = candidates.iter().map(|&(c, _)| c).collect();
+    let errors = error_sweep(op, &configs, input)?;
+    Ok(candidates
+        .iter()
+        .zip(errors)
+        .map(|(&(config, time), rel_error)| ParetoPoint { config, time, rel_error })
+        .collect())
 }
 
 #[cfg(test)]
@@ -170,5 +215,38 @@ mod tests {
         assert!(pareto_front(&[]).is_empty());
         let single = vec![pt("ddddd", 1.0, 0.0)];
         assert_eq!(pareto_front(&single).len(), 1);
+    }
+
+    #[test]
+    fn sweep_runs_against_any_configurable_operator() {
+        use crate::operator::BlockToeplitzOperator;
+        use crate::pipeline::FftMatvec;
+        use fftmatvec_numeric::SplitMix64;
+
+        let (nd, nm, nt) = (2usize, 8usize, 8usize);
+        let mut rng = SplitMix64::new(21);
+        let mut col = vec![0.0; nt * nd * nm];
+        rng.fill_uniform(&mut col, 0.0, 1.0);
+        let op = BlockToeplitzOperator::from_first_block_column(nd, nm, nt, &col).unwrap();
+        let mut m = vec![0.0; nm * nt];
+        rng.fill_uniform_stuffed(&mut m, 0.0, 1.0);
+
+        let mut mv =
+            FftMatvec::builder(op).precision(PrecisionConfig::optimal_forward()).build().unwrap();
+        let candidates = [
+            (PrecisionConfig::all_double(), 1.0),
+            (PrecisionConfig::optimal_forward(), 0.55),
+            (PrecisionConfig::all_single(), 0.45),
+        ];
+        let points = sweep_points(&mut mv, &candidates, &m).unwrap();
+        assert_eq!(points.len(), 3);
+        assert_eq!(points[0].rel_error, 0.0, "all-double baseline has zero error");
+        assert!(points[1].rel_error > 0.0 && points[2].rel_error >= points[1].rel_error / 2.0);
+        // The operator's own configuration is restored.
+        assert_eq!(mv.config(), PrecisionConfig::optimal_forward());
+        // The sweep surfaces apply errors instead of panicking — and still
+        // restores the configuration on the way out.
+        assert!(error_sweep(&mut mv, &[PrecisionConfig::all_double()], &m[1..]).is_err());
+        assert_eq!(mv.config(), PrecisionConfig::optimal_forward());
     }
 }

@@ -12,63 +12,342 @@
 //! adjacent memory operations ([`crate::layout`]), and the input/output
 //! vectors are always double (Section 3.2 — downstream inverse-problem
 //! computations need FP64 endpoints).
+//!
+//! Construction goes through [`FftMatvec::builder`]; application goes
+//! through the [`LinearOperator`] trait. The `_into` paths draw every
+//! intermediate buffer from a pooled workspace (and FFT scratch from the
+//! engines' shared `ScratchArena`s), so repeated applies under a fixed
+//! configuration perform **zero heap allocations after warm-up** —
+//! verified by the counting-allocator conformance suite.
+
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
 
 use fftmatvec_blas::{sbgemv, BatchGeometry, GemvOp};
 use fftmatvec_fft::BatchedRealFft;
-use fftmatvec_numeric::{bf16, f16, Complex, ComplexBuffer, Real, RealBuffer};
+use fftmatvec_numeric::{bf16, f16, Complex, ComplexBuffer, Precision, RealBuffer};
 #[cfg(feature = "parallel")]
 use rayon::prelude::*;
 
 use crate::layout;
+use crate::linop::{
+    check_apply, check_batch, ConfigError, ConfigurableOperator, LinearOperator, OpDirection,
+    OpError, OpShape,
+};
 use crate::operator::BlockToeplitzOperator;
 use crate::precision::{MatvecPhase, PrecisionConfig};
 
-/// A configured FFTMatvec ready to apply `F` and `F*`.
-pub struct FftMatvec {
-    op: BlockToeplitzOperator,
-    cfg: PrecisionConfig,
-    fft64: BatchedRealFft<f64>,
-    fft32: BatchedRealFft<f32>,
-    /// 16-bit drivers are lazy (like the operator's `fhat16`/`fhatb16`):
-    /// pure s/d configurations never pay for their twiddle tables.
-    fft16: std::sync::OnceLock<BatchedRealFft<f16>>,
-    fftb16: std::sync::OnceLock<BatchedRealFft<bf16>>,
+/// Execution backend a built pipeline computes on. `Cpu` is the only
+/// backend that executes today; the GPU tensor-core tier the cost model
+/// already credits plugs in here as a new variant, behind the same
+/// builder and `LinearOperator` surface.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PipelineBackend {
+    /// Real CPU arithmetic (software-emulated 16-bit tiers).
+    #[default]
+    Cpu,
 }
 
-impl FftMatvec {
-    /// Wrap an operator with a precision configuration. The batched FFT
-    /// drivers for all four lattice tiers resolve through the
-    /// process-wide plan cache (`fftmatvec_fft::cache`), so every
-    /// `FftMatvec` of the same `N_t` — including the per-rank pipelines
-    /// of the distributed matvec — shares one set of twiddle tables per
-    /// precision. The 16-bit drivers run the same generic engine on the
-    /// software-emulated scalars (f32 compute, 16-bit storage rounding)
-    /// and are built on first use.
-    pub fn new(op: BlockToeplitzOperator, cfg: PrecisionConfig) -> Self {
-        let n2 = 2 * op.nt();
-        FftMatvec {
-            op,
-            cfg,
-            fft64: BatchedRealFft::new(n2),
-            fft32: BatchedRealFft::new(n2),
-            fft16: std::sync::OnceLock::new(),
-            fftb16: std::sync::OnceLock::new(),
+/// Per-tier batched real-FFT engines, built lazily and retained only for
+/// the tiers the current configuration's FFT/IFFT phases actually use.
+///
+/// A configuration switch keeps every engine whose tier is still in use
+/// (its plan handle *and* its warmed scratch arena survive) and drops
+/// only the engines whose tier left the configuration — the fix for the
+/// drop-everything reconfigure this replaces.
+struct TierEngines {
+    n2: usize,
+    h: OnceLock<BatchedRealFft<f16>>,
+    b: OnceLock<BatchedRealFft<bf16>>,
+    s: OnceLock<BatchedRealFft<f32>>,
+    d: OnceLock<BatchedRealFft<f64>>,
+}
+
+impl TierEngines {
+    fn new(n2: usize) -> Self {
+        TierEngines {
+            n2,
+            h: OnceLock::new(),
+            b: OnceLock::new(),
+            s: OnceLock::new(),
+            d: OnceLock::new(),
+        }
+    }
+
+    /// Does `cfg` run an FFT phase in tier `p`? Only phases 2 and 4 own
+    /// transform engines.
+    fn uses(cfg: PrecisionConfig, p: Precision) -> bool {
+        cfg.phase(MatvecPhase::Fft) == p || cfg.phase(MatvecPhase::Ifft) == p
+    }
+
+    /// Eagerly build the engines `cfg` needs (plans come from the
+    /// process-wide cache, so this is cheap and mostly a cache lookup).
+    fn warm(&self, cfg: PrecisionConfig) {
+        if Self::uses(cfg, Precision::Half) {
+            self.fft16();
+        }
+        if Self::uses(cfg, Precision::BFloat16) {
+            self.fftb16();
+        }
+        if Self::uses(cfg, Precision::Single) {
+            self.fft32();
+        }
+        if Self::uses(cfg, Precision::Double) {
+            self.fft64();
+        }
+    }
+
+    /// Drop engines whose tier `cfg` no longer uses; keep the rest.
+    fn retain(&mut self, cfg: PrecisionConfig) {
+        if !Self::uses(cfg, Precision::Half) {
+            self.h.take();
+        }
+        if !Self::uses(cfg, Precision::BFloat16) {
+            self.b.take();
+        }
+        if !Self::uses(cfg, Precision::Single) {
+            self.s.take();
+        }
+        if !Self::uses(cfg, Precision::Double) {
+            self.d.take();
         }
     }
 
     fn fft16(&self) -> &BatchedRealFft<f16> {
-        self.fft16.get_or_init(|| BatchedRealFft::new(2 * self.op.nt()))
+        self.h.get_or_init(|| BatchedRealFft::new(self.n2))
     }
 
     fn fftb16(&self) -> &BatchedRealFft<bf16> {
-        self.fftb16.get_or_init(|| BatchedRealFft::new(2 * self.op.nt()))
+        self.b.get_or_init(|| BatchedRealFft::new(self.n2))
     }
 
-    /// The shared double-precision FFT plan handle. Handles for the same
-    /// `N_t` compare pointer-equal across pipelines — useful for asserting
-    /// (and testing) that plan construction is amortized.
-    pub fn fft64_plan_handle(&self) -> &fftmatvec_fft::RealPlanHandle<f64> {
-        self.fft64.plan_handle()
+    fn fft32(&self) -> &BatchedRealFft<f32> {
+        self.s.get_or_init(|| BatchedRealFft::new(self.n2))
+    }
+
+    fn fft64(&self) -> &BatchedRealFft<f64> {
+        self.d.get_or_init(|| BatchedRealFft::new(self.n2))
+    }
+
+    fn scratch_pooled(&self, p: Precision) -> Option<usize> {
+        match p {
+            Precision::Half => self.h.get().map(BatchedRealFft::scratch_pooled),
+            Precision::BFloat16 => self.b.get().map(BatchedRealFft::scratch_pooled),
+            Precision::Single => self.s.get().map(BatchedRealFft::scratch_pooled),
+            Precision::Double => self.d.get().map(BatchedRealFft::scratch_pooled),
+        }
+    }
+}
+
+/// One apply's worth of intermediate buffers. Every field is reset (not
+/// reallocated) each apply as long as the tier/shape it held last time
+/// still matches — which is always the case under a fixed configuration.
+struct Workspace {
+    padded: RealBuffer,
+    casted: RealBuffer,
+    spectrum: ComplexBuffer,
+    xhat: ComplexBuffer,
+    yhat: ComplexBuffer,
+    dspec: ComplexBuffer,
+    time: RealBuffer,
+}
+
+impl Workspace {
+    /// All-empty workspace; `Vec::new()` does not allocate.
+    fn empty() -> Self {
+        Workspace {
+            padded: RealBuffer::F64(Vec::new()),
+            casted: RealBuffer::F64(Vec::new()),
+            spectrum: ComplexBuffer::C64(Vec::new()),
+            xhat: ComplexBuffer::C64(Vec::new()),
+            yhat: ComplexBuffer::C64(Vec::new()),
+            dspec: ComplexBuffer::C64(Vec::new()),
+            time: RealBuffer::F64(Vec::new()),
+        }
+    }
+}
+
+/// Pool of [`Workspace`]s, mirroring the FFT `ScratchArena`: one buffer
+/// set per concurrently running worker, a single reused set when serial.
+struct WorkspacePool {
+    reuse: bool,
+    pool: Mutex<Vec<Workspace>>,
+}
+
+impl WorkspacePool {
+    fn new(reuse: bool) -> Self {
+        WorkspacePool { reuse, pool: Mutex::new(Vec::new()) }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Vec<Workspace>> {
+        self.pool.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn checkout(&self) -> PooledWorkspace<'_> {
+        let ws = self.lock().pop().unwrap_or_else(Workspace::empty);
+        PooledWorkspace { pool: self, ws }
+    }
+
+    fn pooled(&self) -> usize {
+        self.lock().len()
+    }
+}
+
+struct PooledWorkspace<'a> {
+    pool: &'a WorkspacePool,
+    ws: Workspace,
+}
+
+impl Drop for PooledWorkspace<'_> {
+    fn drop(&mut self) {
+        if self.pool.reuse {
+            let ws = std::mem::replace(&mut self.ws, Workspace::empty());
+            self.pool.lock().push(ws);
+        }
+    }
+}
+
+/// Fluent builder for [`FftMatvec`] — the only construction path.
+///
+/// ```
+/// # use fftmatvec_core::{BlockToeplitzOperator, FftMatvec, PrecisionConfig};
+/// # let op = BlockToeplitzOperator::from_first_block_column(1, 1, 2, &[1.0, 0.5]).unwrap();
+/// let mv = FftMatvec::builder(op)
+///     .precision(PrecisionConfig::optimal_forward())
+///     .workspace_reuse(true)
+///     .build()
+///     .unwrap();
+/// # let _ = mv;
+/// ```
+pub struct FftMatvecBuilder {
+    op: BlockToeplitzOperator,
+    cfg: PrecisionConfig,
+    backend: PipelineBackend,
+    workspace_reuse: bool,
+}
+
+impl FftMatvecBuilder {
+    fn new(op: BlockToeplitzOperator) -> Self {
+        FftMatvecBuilder {
+            op,
+            cfg: PrecisionConfig::all_double(),
+            backend: PipelineBackend::default(),
+            workspace_reuse: true,
+        }
+    }
+
+    /// Five-phase precision configuration (default `ddddd`).
+    pub fn precision(mut self, cfg: PrecisionConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Execution backend (default [`PipelineBackend::Cpu`]).
+    pub fn backend(mut self, backend: PipelineBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Keep intermediate buffers pooled between applies (default `true`).
+    /// Disable to trade the steady-state allocations back for a minimal
+    /// resident footprint between calls.
+    pub fn workspace_reuse(mut self, reuse: bool) -> Self {
+        self.workspace_reuse = reuse;
+        self
+    }
+
+    /// Build the pipeline: resolves the per-tier FFT engines the
+    /// configuration needs through the process-wide plan cache and
+    /// preallocates nothing else — workspaces fill on first apply.
+    pub fn build(self) -> Result<FftMatvec, ConfigError> {
+        match self.backend {
+            PipelineBackend::Cpu => {
+                let engines = TierEngines::new(2 * self.op.nt());
+                engines.warm(self.cfg);
+                Ok(FftMatvec {
+                    op: self.op,
+                    cfg: self.cfg,
+                    backend: self.backend,
+                    engines,
+                    workspace: WorkspacePool::new(self.workspace_reuse),
+                })
+            }
+        }
+    }
+}
+
+/// Flat batches above this many `f64` elements split across the pool.
+#[cfg(feature = "parallel")]
+const MANY_PAR_THRESHOLD: usize = 1 << 12;
+
+/// A configured FFTMatvec ready to apply `F` and `F*` through the
+/// [`LinearOperator`] trait.
+pub struct FftMatvec {
+    op: BlockToeplitzOperator,
+    cfg: PrecisionConfig,
+    backend: PipelineBackend,
+    engines: TierEngines,
+    workspace: WorkspacePool,
+}
+
+impl std::fmt::Debug for FftMatvec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FftMatvec")
+            .field("nd", &self.op.nd())
+            .field("nm", &self.op.nm())
+            .field("nt", &self.op.nt())
+            .field("config", &self.cfg.to_string())
+            .field("backend", &self.backend)
+            .finish_non_exhaustive()
+    }
+}
+
+impl FftMatvec {
+    /// Start building a pipeline around `op`. The batched FFT engines for
+    /// the configured tiers resolve through the process-wide plan cache
+    /// (`fftmatvec_fft::cache`), so every `FftMatvec` of the same `N_t` —
+    /// including the per-rank pipelines of the distributed matvec —
+    /// shares one set of twiddle tables per precision.
+    pub fn builder(op: BlockToeplitzOperator) -> FftMatvecBuilder {
+        FftMatvecBuilder::new(op)
+    }
+
+    /// Legacy constructor.
+    #[deprecated(note = "use FftMatvec::builder(op).precision(cfg).build()")]
+    pub fn new(op: BlockToeplitzOperator, cfg: PrecisionConfig) -> Self {
+        match FftMatvecBuilder::new(op).precision(cfg).build() {
+            Ok(mv) => mv,
+            // `build` on the default CPU backend is infallible; keep the
+            // legacy signature without introducing a panic path.
+            Err(_) => unreachable!("CPU build is infallible"),
+        }
+    }
+
+    /// The shared double-precision FFT plan handle for this problem size.
+    /// Handles for the same `N_t` compare pointer-equal across pipelines —
+    /// useful for asserting (and testing) that plan construction is
+    /// amortized. Returns the resident engine's own handle when the
+    /// configuration has a double FFT tier (so the assertion really
+    /// exercises the engine's plan, not just two cache lookups), and
+    /// falls back to the process-wide cache otherwise.
+    pub fn fft64_plan_handle(&self) -> fftmatvec_fft::RealPlanHandle<f64> {
+        match self.engines.d.get() {
+            Some(engine) => engine.plan_handle().clone(),
+            None => fftmatvec_fft::cache::real_plan::<f64>(2 * self.op.nt()),
+        }
+    }
+
+    /// Scratch buffers pooled inside the FFT engine of tier `p`, or
+    /// `None` when no engine for that tier is resident. Diagnostic: a
+    /// surviving pool across [`FftMatvec::set_config`] proves the engine
+    /// was kept rather than rebuilt.
+    pub fn fft_scratch_pooled(&self, p: Precision) -> Option<usize> {
+        self.engines.scratch_pooled(p)
+    }
+
+    /// Workspaces currently parked in the pipeline's pool (diagnostic).
+    pub fn workspaces_pooled(&self) -> usize {
+        self.workspace.pooled()
     }
 
     /// The wrapped operator.
@@ -81,10 +360,21 @@ impl FftMatvec {
         self.cfg
     }
 
+    /// The execution backend this pipeline was built for.
+    pub fn backend(&self) -> PipelineBackend {
+        self.backend
+    }
+
     /// Swap the precision configuration at runtime (the paper's dynamic
-    /// reconfiguration — no operator rebuild needed).
+    /// reconfiguration — no operator rebuild). Only the FFT engines whose
+    /// tier actually changed are touched: engines still used by the new
+    /// configuration survive with their warmed scratch arenas, engines
+    /// whose tier left the configuration are dropped, and newly needed
+    /// tiers resolve through the plan cache.
     pub fn set_config(&mut self, cfg: PrecisionConfig) {
+        self.engines.retain(cfg);
         self.cfg = cfg;
+        self.engines.warm(cfg);
     }
 
     /// Recover the operator.
@@ -92,144 +382,197 @@ impl FftMatvec {
         self.op
     }
 
-    /// Apply `d = F·m`. `m.len() == nm·nt`; returns `nd·nt`.
-    pub fn apply_forward(&self, m: &[f64]) -> Vec<f64> {
-        assert_eq!(m.len(), self.op.nm() * self.op.nt(), "forward input length");
-        self.apply(m, GemvOp::NoTrans)
-    }
-
-    /// Apply `m = F*·d`. `d.len() == nd·nt`; returns `nm·nt`.
-    pub fn apply_adjoint(&self, d: &[f64]) -> Vec<f64> {
-        assert_eq!(d.len(), self.op.nd() * self.op.nt(), "adjoint input length");
-        self.apply(d, GemvOp::ConjTrans)
-    }
-
-    /// Apply `F` to many independent vectors, overlapping the matvecs
-    /// across the thread pool — the paper's §4.2.2 pattern for assembling
-    /// dense data-space operators, where "the matvec calls can be
-    /// overlapped with the host routines that generate input vectors and
-    /// save output vectors".
+    /// Legacy overlapped batch apply.
+    #[deprecated(note = "use LinearOperator::apply_many_into with flat strided buffers")]
     pub fn apply_forward_many(&self, inputs: &[Vec<f64>]) -> Vec<Vec<f64>> {
-        #[cfg(feature = "parallel")]
-        let out = inputs.par_iter().map(|m| self.apply_forward(m)).collect();
-        #[cfg(not(feature = "parallel"))]
-        let out = inputs.iter().map(|m| self.apply_forward(m)).collect();
-        out
+        self.legacy_many(OpDirection::Forward, inputs)
     }
 
-    /// Apply `F*` to many independent vectors (see
+    /// Legacy overlapped batch apply (see
     /// [`FftMatvec::apply_forward_many`]).
+    #[deprecated(note = "use LinearOperator::apply_many_into with flat strided buffers")]
     pub fn apply_adjoint_many(&self, inputs: &[Vec<f64>]) -> Vec<Vec<f64>> {
-        #[cfg(feature = "parallel")]
-        let out = inputs.par_iter().map(|d| self.apply_adjoint(d)).collect();
-        #[cfg(not(feature = "parallel"))]
-        let out = inputs.iter().map(|d| self.apply_adjoint(d)).collect();
-        out
+        self.legacy_many(OpDirection::Adjoint, inputs)
     }
 
-    fn apply(&self, input: &[f64], gemv_op: GemvOp) -> Vec<f64> {
+    /// Shared body of the deprecated `Vec<Vec<f64>>` shims: stage through
+    /// flat buffers and split back. Keeps the legacy panicking semantics
+    /// on shape mismatch until the shims are removed.
+    fn legacy_many(&self, dir: OpDirection, inputs: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        let (in_len, out_len) = self.shape().io_lens(dir);
+        let mut flat_in = Vec::with_capacity(inputs.len() * in_len);
+        for v in inputs {
+            assert_eq!(v.len(), in_len, "legacy apply_many input length");
+            flat_in.extend_from_slice(v);
+        }
+        let mut flat_out = vec![0.0; inputs.len() * out_len];
+        match self.apply_many_into(dir, &flat_in, &mut flat_out) {
+            Ok(()) => flat_out.chunks_exact(out_len).map(<[f64]>::to_vec).collect(),
+            Err(e) => panic!("legacy apply_many: {e}"),
+        }
+    }
+
+    /// One full five-phase pipeline pass, all intermediates drawn from
+    /// `ws`. Caller has validated `input`/`out` lengths.
+    fn run_pipeline(
+        &self,
+        input: &[f64],
+        out: &mut [f64],
+        gemv_op: GemvOp,
+        ws: &mut Workspace,
+    ) -> Result<(), OpError> {
         let (nd, nm, nt, nfreq) = (self.op.nd(), self.op.nm(), self.op.nt(), self.op.nfreq());
         // Series counts on each side of the GEMV.
         let (n_in, n_out) = match gemv_op {
             GemvOp::NoTrans => (nm, nd),
             _ => (nd, nm),
         };
+        let Workspace { padded, casted, spectrum, xhat, yhat, dspec, time } = ws;
 
         // Phase 1 — broadcast + zero-pad (TOSI → SOTI), in cfg[Pad].
         let p_pad = self.cfg.phase(MatvecPhase::Pad);
-        let padded = layout::pad_input(input, n_in, nt, p_pad);
+        layout::pad_input_into(input, n_in, nt, p_pad, padded);
 
         // Phase 2 — batched R2C FFT in cfg[Fft]; the cast (if any) is
         // fused with the pad output.
         let p_fft = self.cfg.phase(MatvecPhase::Fft);
-        let padded = layout::cast_real(padded, p_fft);
-        let spectrum = match &padded {
-            RealBuffer::F16(v) => {
-                let mut spec = vec![Complex::<f16>::zero(); n_in * nfreq];
-                self.fft16().forward_batch(v, &mut spec);
-                ComplexBuffer::C16(spec)
-            }
-            RealBuffer::BF16(v) => {
-                let mut spec = vec![Complex::<bf16>::zero(); n_in * nfreq];
-                self.fftb16().forward_batch(v, &mut spec);
-                ComplexBuffer::CB16(spec)
-            }
-            RealBuffer::F32(v) => {
-                let mut spec = vec![Complex::<f32>::zero(); n_in * nfreq];
-                self.fft32.forward_batch(v, &mut spec);
-                ComplexBuffer::C32(spec)
-            }
-            RealBuffer::F64(v) => {
-                let mut spec = vec![Complex::<f64>::zero(); n_in * nfreq];
-                self.fft64.forward_batch(v, &mut spec);
-                ComplexBuffer::C64(spec)
-            }
+        let fft_in: &RealBuffer = if p_fft == p_pad {
+            padded
+        } else {
+            layout::cast_real_into(padded, p_fft, casted);
+            casted
         };
-        drop(padded);
+        spectrum.reset_for_overwrite(p_fft, n_in * nfreq);
+        match (fft_in, &mut *spectrum) {
+            (RealBuffer::F16(v), ComplexBuffer::C16(s)) => self.engines.fft16().forward_batch(v, s),
+            (RealBuffer::BF16(v), ComplexBuffer::CB16(s)) => {
+                self.engines.fftb16().forward_batch(v, s)
+            }
+            (RealBuffer::F32(v), ComplexBuffer::C32(s)) => self.engines.fft32().forward_batch(v, s),
+            (RealBuffer::F64(v), ComplexBuffer::C64(s)) => self.engines.fft64().forward_batch(v, s),
+            _ => return Err(OpError::Internal("phase-2 tier mismatch")),
+        }
 
         // Phase 3 — SOTI→TOSI reorder (fused cast), then the strided
-        // batched GEMV in cfg[Sbgemv], then TOSI→SOTI back in the lowest
-        // precision of phases 3 and 4.
+        // batched GEMV in cfg[Sbgemv].
         let p_gemv = self.cfg.phase(MatvecPhase::Sbgemv);
-        let xhat = layout::spectrum_to_batch(&spectrum, n_in, nfreq, p_gemv);
-        drop(spectrum);
+        layout::spectrum_to_batch_into(spectrum, n_in, nfreq, p_gemv, xhat);
+        yhat.reset_for_overwrite(p_gemv, n_out * nfreq);
         let g = BatchGeometry::packed(nd, nm, gemv_op, nfreq);
-        let yhat = match &xhat {
-            ComplexBuffer::C16(x) => {
-                let mut y = vec![Complex::<f16>::zero(); n_out * nfreq];
-                sbgemv(gemv_op, Complex::one(), self.op.fhat16(), x, Complex::zero(), &mut y, &g);
-                ComplexBuffer::C16(y)
+        match (&*xhat, &mut *yhat) {
+            (ComplexBuffer::C16(x), ComplexBuffer::C16(y)) => {
+                sbgemv(gemv_op, Complex::one(), self.op.fhat16(), x, Complex::zero(), y, &g);
             }
-            ComplexBuffer::CB16(x) => {
-                let mut y = vec![Complex::<bf16>::zero(); n_out * nfreq];
-                sbgemv(gemv_op, Complex::one(), self.op.fhatb16(), x, Complex::zero(), &mut y, &g);
-                ComplexBuffer::CB16(y)
+            (ComplexBuffer::CB16(x), ComplexBuffer::CB16(y)) => {
+                sbgemv(gemv_op, Complex::one(), self.op.fhatb16(), x, Complex::zero(), y, &g);
             }
-            ComplexBuffer::C32(x) => {
-                let mut y = vec![Complex::<f32>::zero(); n_out * nfreq];
-                sbgemv(gemv_op, Complex::one(), self.op.fhat32(), x, Complex::zero(), &mut y, &g);
-                ComplexBuffer::C32(y)
+            (ComplexBuffer::C32(x), ComplexBuffer::C32(y)) => {
+                sbgemv(gemv_op, Complex::one(), self.op.fhat32(), x, Complex::zero(), y, &g);
             }
-            ComplexBuffer::C64(x) => {
-                let mut y = vec![Complex::<f64>::zero(); n_out * nfreq];
-                sbgemv(gemv_op, Complex::one(), self.op.fhat(), x, Complex::zero(), &mut y, &g);
-                ComplexBuffer::C64(y)
+            (ComplexBuffer::C64(x), ComplexBuffer::C64(y)) => {
+                sbgemv(gemv_op, Complex::one(), self.op.fhat(), x, Complex::zero(), y, &g);
             }
-        };
-        drop(xhat);
+            _ => return Err(OpError::Internal("phase-3 tier mismatch")),
+        }
 
         // Phase 4 — batched C2R inverse FFT in cfg[Ifft].
         let p_ifft = self.cfg.phase(MatvecPhase::Ifft);
-        let dspec = layout::batch_to_spectrum(&yhat, n_out, nfreq, p_ifft);
-        drop(yhat);
-        let time = match &dspec {
-            ComplexBuffer::C16(s) => {
-                let mut t = vec![f16::ZERO; n_out * 2 * nt];
-                self.fft16().inverse_batch(s, &mut t);
-                RealBuffer::F16(t)
+        layout::batch_to_spectrum_into(yhat, n_out, nfreq, p_ifft, dspec);
+        time.reset_for_overwrite(p_ifft, n_out * 2 * nt);
+        match (&*dspec, &mut *time) {
+            (ComplexBuffer::C16(s), RealBuffer::F16(t)) => self.engines.fft16().inverse_batch(s, t),
+            (ComplexBuffer::CB16(s), RealBuffer::BF16(t)) => {
+                self.engines.fftb16().inverse_batch(s, t)
             }
-            ComplexBuffer::CB16(s) => {
-                let mut t = vec![bf16::ZERO; n_out * 2 * nt];
-                self.fftb16().inverse_batch(s, &mut t);
-                RealBuffer::BF16(t)
-            }
-            ComplexBuffer::C32(s) => {
-                let mut t = vec![0.0f32; n_out * 2 * nt];
-                self.fft32.inverse_batch(s, &mut t);
-                RealBuffer::F32(t)
-            }
-            ComplexBuffer::C64(s) => {
-                let mut t = vec![0.0f64; n_out * 2 * nt];
-                self.fft64.inverse_batch(s, &mut t);
-                RealBuffer::F64(t)
-            }
-        };
-        drop(dspec);
+            (ComplexBuffer::C32(s), RealBuffer::F32(t)) => self.engines.fft32().inverse_batch(s, t),
+            (ComplexBuffer::C64(s), RealBuffer::F64(t)) => self.engines.fft64().inverse_batch(s, t),
+            _ => return Err(OpError::Internal("phase-4 tier mismatch")),
+        }
 
         // Phase 5 — unpad + reduce (SOTI → TOSI) through cfg[Unpad];
         // output is always double.
         let p_unpad = self.cfg.phase(MatvecPhase::Unpad);
-        layout::unpad_output(&time, n_out, nt, p_unpad)
+        layout::unpad_output_into(time, n_out, nt, p_unpad, out);
+        Ok(())
+    }
+
+    fn gemv_op(dir: OpDirection) -> GemvOp {
+        match dir {
+            OpDirection::Forward => GemvOp::NoTrans,
+            OpDirection::Adjoint => GemvOp::ConjTrans,
+        }
+    }
+}
+
+impl LinearOperator for FftMatvec {
+    fn shape(&self) -> OpShape {
+        OpShape::new(self.op.nd() * self.op.nt(), self.op.nm() * self.op.nt())
+    }
+
+    fn apply_forward_into(&self, input: &[f64], out: &mut [f64]) -> Result<(), OpError> {
+        check_apply(self.shape(), OpDirection::Forward, input, out)?;
+        let mut guard = self.workspace.checkout();
+        self.run_pipeline(input, out, GemvOp::NoTrans, &mut guard.ws)
+    }
+
+    fn apply_adjoint_into(&self, input: &[f64], out: &mut [f64]) -> Result<(), OpError> {
+        check_apply(self.shape(), OpDirection::Adjoint, input, out)?;
+        let mut guard = self.workspace.checkout();
+        self.run_pipeline(input, out, GemvOp::ConjTrans, &mut guard.ws)
+    }
+
+    /// Batched apply: the whole batch shares the engines resolved at
+    /// build time (one plan-cache lookup per tier, not one per column —
+    /// the fix for the per-input re-planning the old `Vec<Vec<f64>>` API
+    /// did) and one pooled workspace per worker. With the `parallel`
+    /// feature the columns overlap across the thread pool — the paper's
+    /// §4.2.2 dense-operator assembly pattern.
+    fn apply_many_into(
+        &self,
+        dir: OpDirection,
+        inputs: &[f64],
+        outputs: &mut [f64],
+    ) -> Result<(), OpError> {
+        let shape = self.shape();
+        let (in_len, out_len) = shape.io_lens(dir);
+        check_batch(shape, dir, inputs, outputs)?;
+        let gemv_op = Self::gemv_op(dir);
+        #[cfg(feature = "parallel")]
+        if inputs.len().max(outputs.len()) > MANY_PAR_THRESHOLD {
+            use std::sync::atomic::{AtomicBool, Ordering};
+            let failed = AtomicBool::new(false);
+            inputs
+                .par_chunks_exact(in_len)
+                .zip(outputs.par_chunks_exact_mut(out_len))
+                .for_each_init(
+                    || self.workspace.checkout(),
+                    |guard, (i, o)| {
+                        if self.run_pipeline(i, o, gemv_op, &mut guard.ws).is_err() {
+                            failed.store(true, Ordering::Relaxed);
+                        }
+                    },
+                );
+            return if failed.load(Ordering::Relaxed) {
+                Err(OpError::Internal("batched pipeline apply failed"))
+            } else {
+                Ok(())
+            };
+        }
+        let mut guard = self.workspace.checkout();
+        for (i, o) in inputs.chunks_exact(in_len).zip(outputs.chunks_exact_mut(out_len)) {
+            self.run_pipeline(i, o, gemv_op, &mut guard.ws)?;
+        }
+        Ok(())
+    }
+}
+
+impl ConfigurableOperator for FftMatvec {
+    fn config(&self) -> PrecisionConfig {
+        self.cfg
+    }
+
+    fn set_config(&mut self, cfg: PrecisionConfig) {
+        FftMatvec::set_config(self, cfg);
     }
 }
 
@@ -245,6 +588,10 @@ mod tests {
         let mut col = vec![0.0; nt * nd * nm];
         rng.fill_uniform(&mut col, -1.0, 1.0);
         BlockToeplitzOperator::from_first_block_column(nd, nm, nt, &col).unwrap()
+    }
+
+    fn mv(op: BlockToeplitzOperator, cfg: PrecisionConfig) -> FftMatvec {
+        FftMatvec::builder(op).precision(cfg).build().unwrap()
     }
 
     fn dense_forward(op: &BlockToeplitzOperator, m: &[f64]) -> Vec<f64> {
@@ -269,8 +616,8 @@ mod tests {
             let mut m = vec![0.0; nm * nt];
             rng.fill_uniform(&mut m, -1.0, 1.0);
             let want = dense_forward(&op, &m);
-            let mv = FftMatvec::new(op, PrecisionConfig::all_double());
-            let got = mv.apply_forward(&m);
+            let mv = mv(op, PrecisionConfig::all_double());
+            let got = mv.apply_forward(&m).unwrap();
             let err = rel_l2_error(&got, &want);
             assert!(err < 1e-13, "({nd},{nm},{nt}): err {err}");
         }
@@ -284,8 +631,8 @@ mod tests {
             let mut d = vec![0.0; nd * nt];
             rng.fill_uniform(&mut d, -1.0, 1.0);
             let want = dense_adjoint(&op, &d);
-            let mv = FftMatvec::new(op, PrecisionConfig::all_double());
-            let got = mv.apply_adjoint(&d);
+            let mv = mv(op, PrecisionConfig::all_double());
+            let got = mv.apply_adjoint(&d).unwrap();
             let err = rel_l2_error(&got, &want);
             assert!(err < 1e-13, "({nd},{nm},{nt}): err {err}");
         }
@@ -301,11 +648,11 @@ mod tests {
         let mut d = vec![0.0; 3 * 5];
         rng.fill_uniform(&mut m, -1.0, 1.0);
         rng.fill_uniform(&mut d, -1.0, 1.0);
-        let mut mv = FftMatvec::new(op, PrecisionConfig::all_double());
+        let mut mv = mv(op, PrecisionConfig::all_double());
         for cfg in PrecisionConfig::all_configs() {
             mv.set_config(cfg);
-            let fm = mv.apply_forward(&m);
-            let fsd = mv.apply_adjoint(&d);
+            let fm = mv.apply_forward(&m).unwrap();
+            let fsd = mv.apply_adjoint(&d).unwrap();
             let lhs: f64 = fm.iter().zip(&d).map(|(a, b)| a * b).sum();
             let rhs: f64 = m.iter().zip(&fsd).map(|(a, b)| a * b).sum();
             let tol = if cfg.is_all_double() { 1e-12 } else { 1e-4 };
@@ -324,15 +671,15 @@ mod tests {
         // Mantissa-stuffed inputs, as in the paper's Pareto methodology.
         rng.fill_uniform_stuffed(&mut m, -1.0, 1.0);
 
-        let mut mv = FftMatvec::new(op, PrecisionConfig::all_double());
-        let baseline = mv.apply_forward(&m);
+        let mut mv = mv(op, PrecisionConfig::all_double());
+        let baseline = mv.apply_forward(&m).unwrap();
 
         mv.set_config(PrecisionConfig::all_single());
-        let all_single = mv.apply_forward(&m);
+        let all_single = mv.apply_forward(&m).unwrap();
         let err_s = rel_l2_error(&all_single, &baseline);
 
         mv.set_config(PrecisionConfig::optimal_forward());
-        let opt = mv.apply_forward(&m);
+        let opt = mv.apply_forward(&m).unwrap();
         let err_opt = rel_l2_error(&opt, &baseline);
 
         // All-single is least accurate; the optimal config sits between
@@ -350,10 +697,10 @@ mod tests {
         let mut rng = SplitMix64::new(8);
         let mut m = vec![0.0; 4 * 4];
         rng.fill_uniform_stuffed(&mut m, -1.0, 1.0);
-        let mut mv = FftMatvec::new(op, PrecisionConfig::all_double());
-        let baseline = mv.apply_forward(&m);
+        let mut mv = mv(op, PrecisionConfig::all_double());
+        let baseline = mv.apply_forward(&m).unwrap();
         mv.set_config("sdddd".parse().unwrap());
-        let padded_single = mv.apply_forward(&m);
+        let padded_single = mv.apply_forward(&m).unwrap();
         let err = rel_l2_error(&padded_single, &baseline);
         assert!(err > 1e-9, "stuffed input must make single pad lossy: {err}");
         assert!(err < 1e-5);
@@ -365,23 +712,82 @@ mod tests {
         let mut rng = SplitMix64::new(2);
         let mut m = vec![0.0; 3 * 4];
         rng.fill_uniform(&mut m, -1.0, 1.0);
-        let mut mv = FftMatvec::new(op, PrecisionConfig::all_double());
-        let a = mv.apply_forward(&m);
+        let mut mv = mv(op, PrecisionConfig::all_double());
+        let a = mv.apply_forward(&m).unwrap();
         mv.set_config("sssss".parse().unwrap());
-        let _b = mv.apply_forward(&m);
+        let _b = mv.apply_forward(&m).unwrap();
         mv.set_config(PrecisionConfig::all_double());
-        let c = mv.apply_forward(&m);
+        let c = mv.apply_forward(&m).unwrap();
         assert_eq!(a, c, "double-precision results must be reproducible");
+    }
+
+    #[test]
+    fn set_config_rebuilds_only_changed_tiers() {
+        let op = random_operator(2, 3, 8, 71);
+        let mut mv = mv(op, PrecisionConfig::all_double());
+        let m = vec![1.0; 3 * 8];
+        let mut out = vec![0.0; 2 * 8];
+        mv.apply_forward_into(&m, &mut out).unwrap();
+        let d_pool = mv.fft_scratch_pooled(Precision::Double).expect("d engine resident");
+
+        // Changing only the GEMV tier must keep the d engine (and its
+        // warmed scratch arena) untouched.
+        mv.set_config("ddsdd".parse().unwrap());
+        assert_eq!(mv.fft_scratch_pooled(Precision::Double), Some(d_pool), "engine kept");
+        assert_eq!(mv.fft_scratch_pooled(Precision::Single), None, "no s engine needed");
+
+        // dssdd adds the single-precision FFT tier: d survives, s built.
+        mv.set_config(PrecisionConfig::optimal_forward());
+        assert_eq!(mv.fft_scratch_pooled(Precision::Double), Some(d_pool), "d engine survives");
+        assert_eq!(mv.fft_scratch_pooled(Precision::Single), Some(0), "s engine fresh");
+
+        // sssss drops the double tier entirely.
+        mv.set_config(PrecisionConfig::all_single());
+        assert_eq!(mv.fft_scratch_pooled(Precision::Double), None, "d engine dropped");
+        mv.apply_forward_into(&m, &mut out).unwrap();
+        assert!(mv.fft_scratch_pooled(Precision::Single).unwrap() >= 1);
+    }
+
+    #[test]
+    fn apply_into_bit_equals_allocating_apply() {
+        let op = random_operator(3, 6, 8, 23);
+        let mut mv = mv(op, PrecisionConfig::all_double());
+        let mut rng = SplitMix64::new(4);
+        let mut m = vec![0.0; 6 * 8];
+        rng.fill_uniform(&mut m, -1.0, 1.0);
+        for cfg in ["ddddd", "dssdd", "hbsdd"] {
+            mv.set_config(cfg.parse().unwrap());
+            let alloc = mv.apply_forward(&m).unwrap();
+            let mut into = vec![f64::NAN; 3 * 8];
+            mv.apply_forward_into(&m, &mut into).unwrap();
+            assert_eq!(alloc, into, "{cfg}: into path must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn builder_options() {
+        let op = random_operator(2, 3, 4, 31);
+        let mv = FftMatvec::builder(op)
+            .precision(PrecisionConfig::optimal_forward())
+            .backend(PipelineBackend::Cpu)
+            .workspace_reuse(false)
+            .build()
+            .unwrap();
+        assert_eq!(mv.backend(), PipelineBackend::Cpu);
+        assert_eq!(mv.config(), PrecisionConfig::optimal_forward());
+        let m = vec![1.0; 3 * 4];
+        let _ = mv.apply_forward(&m).unwrap();
+        assert_eq!(mv.workspaces_pooled(), 0, "reuse=false must not pool workspaces");
     }
 
     #[test]
     fn pipelines_share_cached_fft_plans() {
         // Two operators with the same N_t must not rebuild twiddle tables:
         // both pipelines hold the same cached plan object.
-        let a = FftMatvec::new(random_operator(2, 3, 6, 50), PrecisionConfig::all_double());
-        let b = FftMatvec::new(random_operator(4, 5, 6, 51), PrecisionConfig::all_single());
+        let a = mv(random_operator(2, 3, 6, 50), PrecisionConfig::all_double());
+        let b = mv(random_operator(4, 5, 6, 51), PrecisionConfig::all_single());
         assert!(
-            std::sync::Arc::ptr_eq(a.fft64_plan_handle(), b.fft64_plan_handle()),
+            std::sync::Arc::ptr_eq(&a.fft64_plan_handle(), &b.fft64_plan_handle()),
             "same N_t must share one cached FFT plan"
         );
     }
@@ -389,8 +795,8 @@ mod tests {
     #[test]
     fn zero_input_maps_to_zero() {
         let op = random_operator(2, 3, 4, 19);
-        let mv = FftMatvec::new(op, PrecisionConfig::optimal_forward());
-        let d = mv.apply_forward(&[0.0; 3 * 4]);
+        let mv = mv(op, PrecisionConfig::optimal_forward());
+        let d = mv.apply_forward(&[0.0; 3 * 4]).unwrap();
         assert!(d.iter().all(|&x| x == 0.0));
     }
 
@@ -400,11 +806,11 @@ mod tests {
         // (block lower-triangular = causal LTI).
         let (nd, nm, nt) = (2usize, 3usize, 6usize);
         let op = random_operator(nd, nm, nt, 23);
-        let mv = FftMatvec::new(op, PrecisionConfig::all_double());
+        let mv = mv(op, PrecisionConfig::all_double());
         let t0 = 3;
         let mut m = vec![0.0; nm * nt];
         m[t0 * nm + 1] = 1.0;
-        let d = mv.apply_forward(&m);
+        let d = mv.apply_forward(&m).unwrap();
         for t in 0..t0 {
             for i in 0..nd {
                 assert!(
@@ -422,33 +828,69 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "forward input length")]
-    fn wrong_input_length_panics() {
+    fn wrong_lengths_are_typed_errors_not_panics() {
         let op = random_operator(2, 3, 4, 29);
-        let mv = FftMatvec::new(op, PrecisionConfig::all_double());
-        let _ = mv.apply_forward(&[0.0; 5]);
+        let mv = mv(op, PrecisionConfig::all_double());
+        assert_eq!(
+            mv.apply_forward(&[0.0; 5]).unwrap_err(),
+            OpError::InputLength { dir: OpDirection::Forward, expected: 12, got: 5 }
+        );
+        let mut short = [0.0; 3];
+        assert_eq!(
+            mv.apply_adjoint_into(&[0.0; 8], &mut short).unwrap_err(),
+            OpError::OutputLength { dir: OpDirection::Adjoint, expected: 12, got: 3 }
+        );
+        let mut outs = [0.0; 8];
+        assert!(matches!(
+            mv.apply_many_into(OpDirection::Forward, &[0.0; 13], &mut outs).unwrap_err(),
+            OpError::RaggedBatch { .. }
+        ));
     }
 
     #[test]
     fn many_matches_individual_applies() {
         let op = random_operator(3, 6, 8, 31);
-        let mv = FftMatvec::new(op, PrecisionConfig::optimal_forward());
+        let mv = mv(op, PrecisionConfig::optimal_forward());
         let mut rng = SplitMix64::new(9);
-        let inputs: Vec<Vec<f64>> = (0..5)
+        let (in_len, out_len) = (6 * 8, 3 * 8);
+        let batch = 5;
+        let mut inputs = vec![0.0; batch * in_len];
+        rng.fill_uniform(&mut inputs, -1.0, 1.0);
+        let mut outputs = vec![0.0; batch * out_len];
+        mv.apply_forward_many_into(&inputs, &mut outputs).unwrap();
+        for b in 0..batch {
+            let single = mv.apply_forward(&inputs[b * in_len..(b + 1) * in_len]).unwrap();
+            assert_eq!(&outputs[b * out_len..(b + 1) * out_len], &single[..]);
+        }
+        // Round-trip the batch through the adjoint direction too.
+        let mut back = vec![0.0; batch * in_len];
+        mv.apply_adjoint_many_into(&outputs, &mut back).unwrap();
+        for b in 0..batch {
+            let single = mv.apply_adjoint(&outputs[b * out_len..(b + 1) * out_len]).unwrap();
+            assert_eq!(&back[b * in_len..(b + 1) * in_len], &single[..]);
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_new_api() {
+        let op = random_operator(2, 4, 6, 37);
+        let legacy = FftMatvec::new(op, PrecisionConfig::all_double());
+        let mut rng = SplitMix64::new(6);
+        let inputs: Vec<Vec<f64>> = (0..3)
             .map(|_| {
-                let mut m = vec![0.0; 6 * 8];
-                rng.fill_uniform(&mut m, -1.0, 1.0);
-                m
+                let mut v = vec![0.0; 4 * 6];
+                rng.fill_uniform(&mut v, -1.0, 1.0);
+                v
             })
             .collect();
-        let batched = mv.apply_forward_many(&inputs);
-        for (m, got) in inputs.iter().zip(&batched) {
-            assert_eq!(got, &mv.apply_forward(m), "overlap must not change results");
+        let outs = legacy.apply_forward_many(&inputs);
+        for (i, o) in inputs.iter().zip(&outs) {
+            assert_eq!(o, &legacy.apply_forward(i).unwrap());
         }
-        let ds: Vec<Vec<f64>> = batched;
-        let adj = mv.apply_adjoint_many(&ds);
-        for (d, got) in ds.iter().zip(&adj) {
-            assert_eq!(got, &mv.apply_adjoint(d));
+        let back = legacy.apply_adjoint_many(&outs);
+        for (d, o) in outs.iter().zip(&back) {
+            assert_eq!(o, &legacy.apply_adjoint(d).unwrap());
         }
     }
 }

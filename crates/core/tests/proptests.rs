@@ -7,7 +7,8 @@
 use fftmatvec_comm::ProcessGrid;
 use fftmatvec_core::error_analysis::{error_bound, BoundParams};
 use fftmatvec_core::{
-    BlockToeplitzOperator, DirectMatvec, DistributedFftMatvec, FftMatvec, PrecisionConfig,
+    BlockToeplitzOperator, DirectMatvec, DistributedFftMatvec, FftMatvec, LinearOperator,
+    PrecisionConfig,
 };
 use fftmatvec_numeric::vecmath::rel_l2_error;
 use fftmatvec_numeric::{Precision, SplitMix64};
@@ -40,9 +41,9 @@ proptest! {
     ) {
         let op = operator(nd, nm, nt, seed);
         let m = stuffed(nm * nt, seed ^ 1);
-        let direct = DirectMatvec::new(&op).apply_forward(&m);
-        let mv = FftMatvec::new(op, PrecisionConfig::all_double());
-        let fft = mv.apply_forward(&m);
+        let direct = DirectMatvec::new(&op).apply_forward(&m).unwrap();
+        let mv = FftMatvec::builder(op).build().unwrap();
+        let fft = mv.apply_forward(&m).unwrap();
         prop_assert!(rel_l2_error(&fft, &direct) < 1e-12);
     }
 
@@ -55,14 +56,14 @@ proptest! {
         seed in 0u64..u64::MAX,
     ) {
         let op = operator(nd, nm, nt, seed);
-        let mv = FftMatvec::new(op, PrecisionConfig::all_double());
+        let mv = FftMatvec::builder(op).build().unwrap();
         let mut rng = SplitMix64::new(seed ^ 2);
         let mut m = vec![0.0; nm * nt];
         let mut d = vec![0.0; nd * nt];
         rng.fill_uniform(&mut m, -1.0, 1.0);
         rng.fill_uniform(&mut d, -1.0, 1.0);
-        let lhs: f64 = mv.apply_forward(&m).iter().zip(&d).map(|(a, b)| a * b).sum();
-        let rhs: f64 = m.iter().zip(&mv.apply_adjoint(&d)).map(|(a, b)| a * b).sum();
+        let lhs: f64 = mv.apply_forward(&m).unwrap().iter().zip(&d).map(|(a, b)| a * b).sum();
+        let rhs: f64 = m.iter().zip(&mv.apply_adjoint(&d).unwrap()).map(|(a, b)| a * b).sum();
         prop_assert!((lhs - rhs).abs() < 1e-10 * lhs.abs().max(rhs.abs()).max(1.0));
     }
 
@@ -81,12 +82,12 @@ proptest! {
         let t0 = ((nt as f64 * t0_frac) as usize).min(nt - 1);
         let op = operator(nd, nm, nt, seed);
         let cfg = PrecisionConfig::all_configs()[cfg_idx];
-        let mv = FftMatvec::new(op, cfg);
+        let mv = FftMatvec::builder(op).precision(cfg).build().unwrap();
         let mut m = vec![0.0; nm * nt];
         for k in 0..nm {
             m[t0 * nm + k] = 1.0 + k as f64;
         }
-        let d = mv.apply_forward(&m);
+        let d = mv.apply_forward(&m).unwrap();
         for t in 0..t0 {
             for i in 0..nd {
                 // FP32 FFT leaks a tiny amount across bins; bound by the
@@ -110,11 +111,11 @@ proptest! {
     ) {
         let op = operator(nd, nm, nt, seed);
         let m = stuffed(nm * nt, seed ^ 3);
-        let mut mv = FftMatvec::new(op, PrecisionConfig::all_double());
-        let baseline = mv.apply_forward(&m);
+        let mut mv = FftMatvec::builder(op).build().unwrap();
+        let baseline = mv.apply_forward(&m).unwrap();
         let cfg = PrecisionConfig::all_configs()[cfg_idx];
         mv.set_config(cfg);
-        let err = rel_l2_error(&mv.apply_forward(&m), &baseline);
+        let err = rel_l2_error(&mv.apply_forward(&m).unwrap(), &baseline);
         let bound = error_bound(cfg, &BoundParams {
             nt,
             n_local: nm,
@@ -151,14 +152,14 @@ proptest! {
             nd, nm, nt, &col, ProcessGrid::single(), PrecisionConfig::all_double()).unwrap();
         let dist = DistributedFftMatvec::from_global(
             nd, nm, nt, &col, ProcessGrid::new(rows, cols), PrecisionConfig::all_double()).unwrap();
-        let want = single.apply_forward(&m);
-        let got = dist.apply_forward(&m);
+        let want = single.apply_forward(&m).unwrap();
+        let got = dist.apply_forward(&m).unwrap();
         prop_assert!(rel_l2_error(&got, &want) < 1e-11);
         // Adjoint too.
         let mut d = vec![0.0; nd * nt];
         rng.fill_uniform(&mut d, -1.0, 1.0);
-        let want_a = single.apply_adjoint(&d);
-        let got_a = dist.apply_adjoint(&d);
+        let want_a = single.apply_adjoint(&d).unwrap();
+        let got_a = dist.apply_adjoint(&d).unwrap();
         prop_assert!(rel_l2_error(&got_a, &want_a) < 1e-11);
     }
 
@@ -252,11 +253,11 @@ proptest! {
     ) {
         let op = operator(nd, nm, nt, seed);
         let m = stuffed(nm * nt, seed ^ 5);
-        let mut mv = FftMatvec::new(op, PrecisionConfig::all_double());
-        let baseline = mv.apply_forward(&m);
+        let mut mv = FftMatvec::builder(op).build().unwrap();
+        let baseline = mv.apply_forward(&m).unwrap();
         let cfg = PrecisionConfig::all_configs_full()[cfg_idx];
         mv.set_config(cfg);
-        let out = mv.apply_forward(&m);
+        let out = mv.apply_forward(&m).unwrap();
         prop_assert!(out.iter().all(|v| v.is_finite()), "{cfg}: non-finite output");
         let err = rel_l2_error(&out, &baseline);
         let bound = error_bound(cfg, &BoundParams {

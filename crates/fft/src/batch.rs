@@ -54,6 +54,12 @@ impl<T: Real> BatchedFft<T> {
         &self.plan
     }
 
+    /// Scratch buffers currently parked in this driver's arena
+    /// (diagnostic: observes engine identity/reuse across reconfigures).
+    pub fn scratch_pooled(&self) -> usize {
+        self.arena.pooled()
+    }
+
     /// Out-of-place batched transform. Layout is batch-major contiguous:
     /// `input[b*n..][..n]` is batch item `b`. Lengths must be equal and a
     /// multiple of `n`.
@@ -150,6 +156,12 @@ impl<T: Real> BatchedRealFft<T> {
     /// The cache handle itself — clone it to share the plan elsewhere.
     pub fn plan_handle(&self) -> &RealPlanHandle<T> {
         &self.plan
+    }
+
+    /// Scratch buffers currently parked in this driver's arena
+    /// (diagnostic: observes engine identity/reuse across reconfigures).
+    pub fn scratch_pooled(&self) -> usize {
+        self.arena.pooled()
     }
 
     /// Batched forward R2C. `input.len() = batch·n`,

@@ -19,7 +19,7 @@
 
 use std::any::{Any, TypeId};
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 
 use fftmatvec_numeric::Real;
 
@@ -50,19 +50,22 @@ struct Key {
 
 type Shared = Arc<dyn Any + Send + Sync>;
 
-fn cache() -> &'static Mutex<HashMap<Key, Shared>> {
+fn cache() -> MutexGuard<'static, HashMap<Key, Shared>> {
     static CACHE: OnceLock<Mutex<HashMap<Key, Shared>>> = OnceLock::new();
-    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+    // Poison-safe: a panic elsewhere cannot corrupt the map (entries are
+    // only ever inserted, never mutated), so recover the guard instead of
+    // propagating the panic into every later plan lookup.
+    CACHE.get_or_init(|| Mutex::new(HashMap::new())).lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Double-checked lookup: build on miss without holding the lock, keep the
 /// first inserted plan on a race.
 fn lookup<P: Send + Sync + 'static>(key: Key, build: impl FnOnce() -> P) -> Arc<P> {
-    if let Some(hit) = cache().lock().unwrap().get(&key) {
+    if let Some(hit) = cache().get(&key) {
         return Arc::clone(hit).downcast::<P>().expect("plan cache type confusion");
     }
     let built: Shared = Arc::new(build());
-    let entry = Arc::clone(cache().lock().unwrap().entry(key).or_insert(built));
+    let entry = Arc::clone(cache().entry(key).or_insert(built));
     entry.downcast::<P>().expect("plan cache type confusion")
 }
 
@@ -79,7 +82,7 @@ pub fn real_plan<T: Real>(n: usize) -> RealPlanHandle<T> {
 /// Number of cached plans across all lengths, precisions, and kinds
 /// (diagnostic; the cache never evicts).
 pub fn len() -> usize {
-    cache().lock().unwrap().len()
+    cache().len()
 }
 
 #[cfg(test)]

@@ -9,7 +9,7 @@
 //! concurrently-running worker; sequentially it stabilizes at a single
 //! reused allocation.
 
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use fftmatvec_numeric::{Complex, Real};
 
@@ -32,18 +32,25 @@ impl<T: Real> ScratchArena<T> {
         self.len
     }
 
+    /// Lock the pool, shrugging off poisoning: a panicked worker can only
+    /// have left the pool missing a buffer (re-allocated on demand), never
+    /// structurally broken — so the arena itself stays panic-free.
+    fn pool(&self) -> MutexGuard<'_, Vec<Vec<Complex<T>>>> {
+        self.pool.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Check out a scratch buffer; it returns to the pool when the guard
     /// drops. Contents are unspecified — FFT execution overwrites scratch
     /// before reading it.
     pub fn checkout(&self) -> ScratchGuard<'_, T> {
-        let mut buf = self.pool.lock().unwrap().pop().unwrap_or_default();
+        let mut buf = self.pool().pop().unwrap_or_default();
         buf.resize(self.len, Complex::zero());
         ScratchGuard { arena: self, buf }
     }
 
     /// Buffers currently parked in the pool (diagnostic).
     pub fn pooled(&self) -> usize {
-        self.pool.lock().unwrap().len()
+        self.pool().len()
     }
 }
 
@@ -64,7 +71,7 @@ impl<T: Real> ScratchGuard<'_, T> {
 impl<T: Real> Drop for ScratchGuard<'_, T> {
     fn drop(&mut self) {
         let buf = std::mem::take(&mut self.buf);
-        self.arena.pool.lock().unwrap().push(buf);
+        self.arena.pool().push(buf);
     }
 }
 

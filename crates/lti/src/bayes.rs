@@ -8,19 +8,25 @@
 //! ```
 //!
 //! The Hessian `H = F*Γ_n⁻¹F + Γ_pr⁻¹` is applied matrix-free through
-//! FFTMatvec actions and the system is solved by conjugate gradients —
-//! the exact consumer workload the paper accelerates. A matvec counter
-//! tracks how many `F`/`F*` actions a solve consumed (Remark 1's
-//! motivation for making each one faster).
+//! actions of **any** [`LinearOperator`] realization — the FFT pipeline,
+//! the direct oracle, or the distributed matvec plug in interchangeably —
+//! and the system is solved by conjugate gradients, the exact consumer
+//! workload the paper accelerates. A matvec counter tracks how many
+//! `F`/`F*` actions a solve consumed (Remark 1's motivation for making
+//! each one faster). The CG hot loop applies through preallocated
+//! buffers, so a solve performs no per-action allocations in the
+//! operator.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use fftmatvec_core::FftMatvec;
+use fftmatvec_core::{FftMatvec, LinearOperator, OpError};
 use fftmatvec_numeric::SplitMix64;
 
-/// A linear-Gaussian inverse problem wrapping an FFTMatvec p2o map.
-pub struct BayesianProblem {
-    matvec: FftMatvec,
+/// A linear-Gaussian inverse problem wrapping a p2o operator.
+///
+/// Generic over the operator realization; defaults to the FFT pipeline.
+pub struct BayesianProblem<L: LinearOperator = FftMatvec> {
+    matvec: L,
     /// Observation noise standard deviation σ_n.
     pub noise_std: f64,
     /// Prior standard deviation σ_pr.
@@ -39,14 +45,14 @@ pub struct MapSolution {
     pub residual: f64,
 }
 
-impl BayesianProblem {
-    pub fn new(matvec: FftMatvec, noise_std: f64, prior_std: f64) -> Self {
+impl<L: LinearOperator> BayesianProblem<L> {
+    pub fn new(matvec: L, noise_std: f64, prior_std: f64) -> Self {
         assert!(noise_std > 0.0 && prior_std > 0.0);
         BayesianProblem { matvec, noise_std, prior_std, matvec_count: AtomicUsize::new(0) }
     }
 
-    /// The wrapped matvec.
-    pub fn matvec(&self) -> &FftMatvec {
+    /// The wrapped operator.
+    pub fn matvec(&self) -> &L {
         &self.matvec
     }
 
@@ -56,60 +62,94 @@ impl BayesianProblem {
     }
 
     /// Apply `F`, counting the action.
-    pub fn forward(&self, m: &[f64]) -> Vec<f64> {
+    pub fn forward(&self, m: &[f64]) -> Result<Vec<f64>, OpError> {
         self.matvec_count.fetch_add(1, Ordering::Relaxed);
         self.matvec.apply_forward(m)
     }
 
     /// Apply `F*`, counting the action.
-    pub fn adjoint(&self, d: &[f64]) -> Vec<f64> {
+    pub fn adjoint(&self, d: &[f64]) -> Result<Vec<f64>, OpError> {
         self.matvec_count.fetch_add(1, Ordering::Relaxed);
         self.matvec.apply_adjoint(d)
     }
 
+    /// Apply `F` into a caller buffer, counting the action (the CG hot
+    /// path — no allocation in the operator).
+    pub fn forward_into(&self, m: &[f64], out: &mut [f64]) -> Result<(), OpError> {
+        self.matvec_count.fetch_add(1, Ordering::Relaxed);
+        self.matvec.apply_forward_into(m, out)
+    }
+
+    /// Apply `F*` into a caller buffer, counting the action.
+    pub fn adjoint_into(&self, d: &[f64], out: &mut [f64]) -> Result<(), OpError> {
+        self.matvec_count.fetch_add(1, Ordering::Relaxed);
+        self.matvec.apply_adjoint_into(d, out)
+    }
+
     /// The Hessian action `H·v = F*·σ_n⁻²·F·v + σ_pr⁻²·v`.
-    pub fn hessian_action(&self, v: &[f64]) -> Vec<f64> {
-        let fv = self.forward(v);
-        let mut h = self.adjoint(&fv);
+    pub fn hessian_action(&self, v: &[f64]) -> Result<Vec<f64>, OpError> {
+        let mut h = vec![0.0; self.matvec.shape().cols];
+        let mut fv = vec![0.0; self.matvec.shape().rows];
+        self.hessian_action_into(v, &mut h, &mut fv)?;
+        Ok(h)
+    }
+
+    /// [`BayesianProblem::hessian_action`] through caller buffers:
+    /// `scratch` holds the intermediate `F·v` (length `shape().rows`).
+    pub fn hessian_action_into(
+        &self,
+        v: &[f64],
+        h: &mut [f64],
+        scratch: &mut [f64],
+    ) -> Result<(), OpError> {
+        self.forward_into(v, scratch)?;
+        self.adjoint_into(scratch, h)?;
         let wn = self.noise_std.powi(-2);
         let wp = self.prior_std.powi(-2);
         for (hi, &vi) in h.iter_mut().zip(v) {
             *hi = wn * *hi + wp * vi;
         }
-        h
+        Ok(())
     }
 
     /// Synthesize observations `d = F·m_true + ν` with seeded noise.
-    pub fn synthesize_data(&self, m_true: &[f64], seed: u64) -> Vec<f64> {
-        let mut d = self.forward(m_true);
+    pub fn synthesize_data(&self, m_true: &[f64], seed: u64) -> Result<Vec<f64>, OpError> {
+        let mut d = self.forward(m_true)?;
         let mut rng = SplitMix64::new(seed);
         for x in d.iter_mut() {
             *x += self.noise_std * rng.normal();
         }
-        d
+        Ok(d)
     }
 
     /// Solve for the MAP point by CG on the Hessian system (zero prior
     /// mean). Stops at relative residual `tol` or `max_iter`.
-    pub fn solve_map(&self, d_obs: &[f64], tol: f64, max_iter: usize) -> MapSolution {
+    pub fn solve_map(
+        &self,
+        d_obs: &[f64],
+        tol: f64,
+        max_iter: usize,
+    ) -> Result<MapSolution, OpError> {
         let wn = self.noise_std.powi(-2);
-        let mut rhs = self.adjoint(d_obs);
+        let mut rhs = self.adjoint(d_obs)?;
         for x in rhs.iter_mut() {
             *x *= wn;
         }
         let n = rhs.len();
         let rhs_norm = rhs.iter().map(|x| x * x).sum::<f64>().sqrt();
         if rhs_norm == 0.0 {
-            return MapSolution { m_map: vec![0.0; n], iterations: 0, residual: 0.0 };
+            return Ok(MapSolution { m_map: vec![0.0; n], iterations: 0, residual: 0.0 });
         }
 
         let mut x = vec![0.0; n];
         let mut r = rhs.clone();
         let mut p = r.clone();
+        let mut hp = vec![0.0; n];
+        let mut scratch = vec![0.0; self.matvec.shape().rows];
         let mut rr: f64 = r.iter().map(|v| v * v).sum();
         let mut iterations = 0;
         for _ in 0..max_iter {
-            let hp = self.hessian_action(&p);
+            self.hessian_action_into(&p, &mut hp, &mut scratch)?;
             let php: f64 = p.iter().zip(&hp).map(|(a, b)| a * b).sum();
             let alpha = rr / php;
             for i in 0..n {
@@ -128,7 +168,7 @@ impl BayesianProblem {
             }
             rr = rr_new;
         }
-        MapSolution { m_map: x, iterations, residual: rr.sqrt() / rhs_norm }
+        Ok(MapSolution { m_map: x, iterations, residual: rr.sqrt() / rhs_norm })
     }
 }
 
@@ -137,12 +177,15 @@ mod tests {
     use super::*;
     use crate::p2o::P2oMap;
     use crate::system::HeatEquation1D;
-    use fftmatvec_core::PrecisionConfig;
+    use fftmatvec_core::{DirectMatvec, PrecisionConfig};
 
     fn problem(noise: f64, prior: f64) -> BayesianProblem {
         let sys = HeatEquation1D::new(20, 0.02, 0.3);
         let p2o = P2oMap::assemble(&sys, &[4, 10, 16], 12).unwrap();
-        let mv = FftMatvec::new(p2o.operator, PrecisionConfig::all_double());
+        let mv = FftMatvec::builder(p2o.operator)
+            .precision(PrecisionConfig::all_double())
+            .build()
+            .unwrap();
         BayesianProblem::new(mv, noise, prior)
     }
 
@@ -155,8 +198,8 @@ mod tests {
         let mut v = vec![0.0; n];
         rng.fill_uniform(&mut u, -1.0, 1.0);
         rng.fill_uniform(&mut v, -1.0, 1.0);
-        let hu = prob.hessian_action(&u);
-        let hv = prob.hessian_action(&v);
+        let hu = prob.hessian_action(&u).unwrap();
+        let hv = prob.hessian_action(&v).unwrap();
         let uhv: f64 = u.iter().zip(&hv).map(|(a, b)| a * b).sum();
         let vhu: f64 = v.iter().zip(&hu).map(|(a, b)| a * b).sum();
         assert!((uhv - vhu).abs() < 1e-9 * uhv.abs().max(1.0), "symmetry");
@@ -176,22 +219,57 @@ mod tests {
                 m_true[t * 20 + i] = (-(x - 0.5) * (x - 0.5) / 0.02).exp();
             }
         }
-        let d_obs = prob.synthesize_data(&m_true, 7);
-        let sol = prob.solve_map(&d_obs, 1e-8, 400);
+        let d_obs = prob.synthesize_data(&m_true, 7).unwrap();
+        let sol = prob.solve_map(&d_obs, 1e-8, 400).unwrap();
         assert!(sol.residual < 1e-8, "CG residual {}", sol.residual);
         // The MAP point must explain the data much better than the prior
         // mean (zero).
-        let fit = prob.forward(&sol.m_map);
+        let fit = prob.forward(&sol.m_map).unwrap();
         let misfit: f64 = fit.iter().zip(&d_obs).map(|(a, b)| (a - b) * (a - b)).sum();
         let null_misfit: f64 = d_obs.iter().map(|b| b * b).sum();
         assert!(misfit < 0.05 * null_misfit, "misfit {misfit} vs {null_misfit}");
     }
 
     #[test]
+    fn any_linear_operator_realization_plugs_in() {
+        // The same inverse problem through the direct (O(Nt²)) realization
+        // must give the same MAP point — operators are interchangeable
+        // behind the trait.
+        let sys = HeatEquation1D::new(12, 0.02, 0.3);
+        let p2o = P2oMap::assemble(&sys, &[3, 8], 8).unwrap();
+        let mut m_true = vec![0.0; 12 * 8];
+        for (i, x) in m_true.iter_mut().enumerate() {
+            *x = ((i % 12) as f64 / 12.0 - 0.5).powi(2);
+        }
+
+        let fft_prob = BayesianProblem::new(
+            FftMatvec::builder(P2oMap::assemble(&sys, &[3, 8], 8).unwrap().operator)
+                .build()
+                .unwrap(),
+            1e-2,
+            2.0,
+        );
+        let d_obs = fft_prob.synthesize_data(&m_true, 3).unwrap();
+        let sol_fft = fft_prob.solve_map(&d_obs, 1e-9, 300).unwrap();
+
+        let direct_prob = BayesianProblem::new(DirectMatvec::new(&p2o.operator), 1e-2, 2.0);
+        let sol_direct = direct_prob.solve_map(&d_obs, 1e-9, 300).unwrap();
+
+        let diff: f64 = sol_fft
+            .m_map
+            .iter()
+            .zip(&sol_direct.m_map)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        assert!(diff < 1e-7, "realizations diverged: {diff}");
+    }
+
+    #[test]
     fn huge_noise_shrinks_map_to_prior_mean() {
         let prob = problem(1e6, 1.0);
         let d_obs = vec![1.0; 3 * 12];
-        let sol = prob.solve_map(&d_obs, 1e-10, 200);
+        let sol = prob.solve_map(&d_obs, 1e-10, 200).unwrap();
         let norm: f64 = sol.m_map.iter().map(|x| x * x).sum::<f64>().sqrt();
         assert!(norm < 1e-4, "MAP should collapse to zero, norm {norm}");
     }
@@ -201,7 +279,7 @@ mod tests {
         let prob = problem(0.1, 1.0);
         assert_eq!(prob.matvec_count(), 0);
         let d_obs = vec![0.5; 3 * 12];
-        let sol = prob.solve_map(&d_obs, 1e-6, 50);
+        let sol = prob.solve_map(&d_obs, 1e-6, 50).unwrap();
         // rhs adjoint + 2 per CG iteration.
         assert_eq!(prob.matvec_count(), 1 + 2 * sol.iterations);
     }
@@ -209,8 +287,15 @@ mod tests {
     #[test]
     fn zero_data_gives_zero_map() {
         let prob = problem(0.1, 1.0);
-        let sol = prob.solve_map(&vec![0.0; 3 * 12], 1e-10, 100);
+        let sol = prob.solve_map(&vec![0.0; 3 * 12], 1e-10, 100).unwrap();
         assert_eq!(sol.iterations, 0);
         assert!(sol.m_map.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn shape_mismatch_is_an_error_not_a_panic() {
+        let prob = problem(0.1, 1.0);
+        assert!(prob.solve_map(&[1.0; 5], 1e-6, 10).is_err());
+        assert!(prob.forward(&[0.0; 3]).is_err());
     }
 }

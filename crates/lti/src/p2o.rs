@@ -66,7 +66,7 @@ impl P2oMap {
 mod tests {
     use super::*;
     use crate::system::HeatEquation1D;
-    use fftmatvec_core::{FftMatvec, PrecisionConfig};
+    use fftmatvec_core::{FftMatvec, LinearOperator};
     use fftmatvec_numeric::vecmath::rel_l2_error;
     use fftmatvec_numeric::SplitMix64;
 
@@ -103,8 +103,8 @@ mod tests {
         let mut m = vec![0.0; 24 * nt];
         rng.fill_uniform(&mut m, -1.0, 1.0);
         let want = brute_force_observations(&sys, &sensors, &m, nt);
-        let mv = FftMatvec::new(p2o.operator, PrecisionConfig::all_double());
-        let got = mv.apply_forward(&m);
+        let mv = FftMatvec::builder(p2o.operator).build().unwrap();
+        let got = mv.apply_forward(&m).unwrap();
         let err = rel_l2_error(&got, &want);
         assert!(err < 1e-11, "FFT p2o vs PDE solve: {err}");
     }

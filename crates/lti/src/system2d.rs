@@ -143,7 +143,7 @@ impl LtiSystem for HeatEquation2D {
 mod tests {
     use super::*;
     use crate::p2o::P2oMap;
-    use fftmatvec_core::{FftMatvec, PrecisionConfig};
+    use fftmatvec_core::{FftMatvec, LinearOperator};
     use fftmatvec_numeric::vecmath::rel_l2_error;
     use fftmatvec_numeric::SplitMix64;
 
@@ -199,8 +199,8 @@ mod tests {
                 want[k * sensors.len() + i] = traj[k * n + s];
             }
         }
-        let mv = FftMatvec::new(p2o.operator, PrecisionConfig::all_double());
-        let got = mv.apply_forward(&m);
+        let mv = FftMatvec::builder(p2o.operator).build().unwrap();
+        let got = mv.apply_forward(&m).unwrap();
         assert!(rel_l2_error(&got, &want) < 1e-11);
     }
 

@@ -16,6 +16,7 @@
 //! the paper's Remark 1 highlights, and its EIG cross-checks the direct
 //! log-det computation in [`crate::oed`].
 
+use fftmatvec_core::{LinearOperator, OpError};
 use fftmatvec_numeric::SplitMix64;
 
 use crate::bayes::BayesianProblem;
@@ -36,27 +37,27 @@ pub struct LowRankHessian {
 impl LowRankHessian {
     /// Randomized subspace iteration: `rank` requested pairs,
     /// `oversample` extra probe vectors, `power_iters` stabilization
-    /// passes.
-    pub fn compute(
-        prob: &BayesianProblem,
+    /// passes. Works for any [`LinearOperator`] realization behind the
+    /// problem.
+    pub fn compute<L: LinearOperator>(
+        prob: &BayesianProblem<L>,
         rank: usize,
         oversample: usize,
         power_iters: usize,
         seed: u64,
-    ) -> Self {
-        let op = prob.matvec().operator();
-        let n = op.nm() * op.nt();
+    ) -> Result<Self, OpError> {
+        let n = prob.matvec().shape().cols;
         let k = (rank + oversample).min(n);
         let scale = (prob.prior_std / prob.noise_std).powi(2);
         let before = prob.matvec_count();
 
         // H̃·v = scale · F*(F v).
-        let apply = |v: &[f64]| -> Vec<f64> {
-            let mut h = prob.adjoint(&prob.forward(v));
+        let apply = |v: &[f64]| -> Result<Vec<f64>, OpError> {
+            let mut h = prob.adjoint(&prob.forward(v)?)?;
             for x in h.iter_mut() {
                 *x *= scale;
             }
-            h
+            Ok(h)
         };
 
         // Random probe block.
@@ -73,14 +74,14 @@ impl LowRankHessian {
         // Subspace iteration: Y = H̃·Q, re-orthonormalize.
         for _ in 0..power_iters.max(1) {
             for b in basis.iter_mut() {
-                *b = apply(b);
+                *b = apply(b)?;
             }
             orthonormalize(&mut basis);
         }
 
         // Rayleigh–Ritz: T = Qᵀ·H̃·Q (k × k), then its eigenpairs via
         // Jacobi rotations (T is symmetric).
-        let hq: Vec<Vec<f64>> = basis.iter().map(|b| apply(b)).collect();
+        let hq: Vec<Vec<f64>> = basis.iter().map(|b| apply(b)).collect::<Result<_, OpError>>()?;
         let mut t = vec![0.0; k * k];
         for i in 0..k {
             for j in 0..k {
@@ -114,7 +115,7 @@ impl LowRankHessian {
         }
         evals.clear();
 
-        LowRankHessian { eigenvalues, eigenvectors, n, matvecs: prob.matvec_count() - before }
+        Ok(LowRankHessian { eigenvalues, eigenvectors, n, matvecs: prob.matvec_count() - before })
     }
 
     /// Expected information gain `½·Σ log(1+λ_i)` from the retained pairs.
@@ -298,14 +299,11 @@ mod tests {
         .unwrap();
 
         let p2o = P2oMap::assemble(&sys, &sensors, nt).unwrap();
-        let prob = BayesianProblem::new(
-            FftMatvec::new(p2o.operator, PrecisionConfig::all_double()),
-            noise,
-            prior,
-        );
+        let prob =
+            BayesianProblem::new(FftMatvec::builder(p2o.operator).build().unwrap(), noise, prior);
         // Data space has nd·nt = 12 nontrivial directions; rank 12 + a few
         // oversamples captures them all.
-        let lr = LowRankHessian::compute(&prob, 12, 6, 3, 7);
+        let lr = LowRankHessian::compute(&prob, 12, 6, 3, 7).unwrap();
         let approx = lr.expected_information_gain();
         assert!(
             (approx - exact).abs() < 0.02 * exact.abs().max(1.0),
@@ -318,12 +316,9 @@ mod tests {
     fn eigenvalues_sorted_and_nonnegative() {
         let (sys, sensors, nt, noise, prior) = small_problem();
         let p2o = P2oMap::assemble(&sys, &sensors, nt).unwrap();
-        let prob = BayesianProblem::new(
-            FftMatvec::new(p2o.operator, PrecisionConfig::all_double()),
-            noise,
-            prior,
-        );
-        let lr = LowRankHessian::compute(&prob, 8, 4, 2, 9);
+        let prob =
+            BayesianProblem::new(FftMatvec::builder(p2o.operator).build().unwrap(), noise, prior);
+        let lr = LowRankHessian::compute(&prob, 8, 4, 2, 9).unwrap();
         assert_eq!(lr.eigenvalues.len(), 8);
         for w in lr.eigenvalues.windows(2) {
             assert!(w[0] >= w[1], "not sorted: {:?}", lr.eigenvalues);
@@ -336,12 +331,9 @@ mod tests {
     fn posterior_variance_reduced_where_observed() {
         let (sys, sensors, nt, noise, prior) = small_problem();
         let p2o = P2oMap::assemble(&sys, &sensors, nt).unwrap();
-        let prob = BayesianProblem::new(
-            FftMatvec::new(p2o.operator, PrecisionConfig::all_double()),
-            noise,
-            prior,
-        );
-        let lr = LowRankHessian::compute(&prob, 10, 6, 3, 11);
+        let prob =
+            BayesianProblem::new(FftMatvec::builder(p2o.operator).build().unwrap(), noise, prior);
+        let lr = LowRankHessian::compute(&prob, 10, 6, 3, 11).unwrap();
         // Posterior variance never exceeds prior variance.
         for j in 0..lr.n {
             let v = lr.posterior_variance(prior, j);
@@ -366,20 +358,20 @@ mod tests {
         let (sys, sensors, nt, noise, prior) = small_problem();
         let p2o = P2oMap::assemble(&sys, &sensors, nt).unwrap();
         let gold = LowRankHessian::compute(
-            &BayesianProblem::new(
-                FftMatvec::new(p2o.operator, PrecisionConfig::all_double()),
-                noise,
-                prior,
-            ),
+            &BayesianProblem::new(FftMatvec::builder(p2o.operator).build().unwrap(), noise, prior),
             6,
             4,
             3,
             5,
-        );
+        )
+        .unwrap();
         let p2o2 = P2oMap::assemble(&sys, &sensors, nt).unwrap();
         let fast = LowRankHessian::compute(
             &BayesianProblem::new(
-                FftMatvec::new(p2o2.operator, PrecisionConfig::optimal_forward()),
+                FftMatvec::builder(p2o2.operator)
+                    .precision(PrecisionConfig::optimal_forward())
+                    .build()
+                    .unwrap(),
                 noise,
                 prior,
             ),
@@ -387,7 +379,8 @@ mod tests {
             4,
             3,
             5,
-        );
+        )
+        .unwrap();
         for (a, b) in gold.eigenvalues.iter().zip(&fast.eigenvalues) {
             assert!((a - b).abs() < 1e-3 * a.max(1.0), "eigenvalue drift: {a} vs {b}");
         }

@@ -2,7 +2,7 @@
 //! invariants (stability, linearity, adjointness) and the p2o map's
 //! agreement with brute-force PDE solves across random shapes.
 
-use fftmatvec_core::{FftMatvec, PrecisionConfig};
+use fftmatvec_core::{FftMatvec, LinearOperator};
 use fftmatvec_lti::{HeatEquation1D, HeatEquation2D, LtiSystem, P2oMap};
 use fftmatvec_numeric::vecmath::rel_l2_error;
 use fftmatvec_numeric::SplitMix64;
@@ -99,8 +99,8 @@ proptest! {
                 want[k * nd + i] = traj[k * nx + s];
             }
         }
-        let mv = FftMatvec::new(p2o.operator, PrecisionConfig::all_double());
-        prop_assert!(rel_l2_error(&mv.apply_forward(&m), &want) < 1e-10);
+        let mv = FftMatvec::builder(p2o.operator).build().unwrap();
+        prop_assert!(rel_l2_error(&mv.apply_forward(&m).unwrap(), &want) < 1e-10);
     }
 
     /// Positivity: a nonnegative source yields a nonnegative heat state

@@ -63,6 +63,42 @@ impl RealBuffer {
         })
     }
 
+    /// Turn `self` into a zero-filled buffer of precision `p` and length
+    /// `n`, **reusing the existing allocation** whenever the variant
+    /// already matches (the workspace-reuse primitive behind the
+    /// zero-allocation `apply_into` paths: after warm-up, a pipeline that
+    /// keeps its configuration resets the same storage every apply).
+    pub fn reset(&mut self, p: Precision, n: usize) {
+        fn fill<T: Real>(v: &mut Vec<T>, n: usize) {
+            v.clear();
+            v.resize(n, T::ZERO);
+        }
+        match (p, &mut *self) {
+            (Precision::Half, RealBuffer::F16(v)) => fill(v, n),
+            (Precision::BFloat16, RealBuffer::BF16(v)) => fill(v, n),
+            (Precision::Single, RealBuffer::F32(v)) => fill(v, n),
+            (Precision::Double, RealBuffer::F64(v)) => fill(v, n),
+            _ => *self = RealBuffer::zeros(p, n),
+        }
+    }
+
+    /// Like [`RealBuffer::reset`] but without zeroing retained contents:
+    /// element values are **unspecified** afterwards. For callers that
+    /// overwrite every element before reading — in steady state (variant
+    /// and length unchanged) this is O(1), not an O(n) memset per apply.
+    pub fn reset_for_overwrite(&mut self, p: Precision, n: usize) {
+        fn grow<T: Real>(v: &mut Vec<T>, n: usize) {
+            v.resize(n, T::ZERO);
+        }
+        match (p, &mut *self) {
+            (Precision::Half, RealBuffer::F16(v)) => grow(v, n),
+            (Precision::BFloat16, RealBuffer::BF16(v)) => grow(v, n),
+            (Precision::Single, RealBuffer::F32(v)) => grow(v, n),
+            (Precision::Double, RealBuffer::F64(v)) => grow(v, n),
+            _ => *self = RealBuffer::zeros(p, n),
+        }
+    }
+
     #[inline]
     pub fn len(&self) -> usize {
         match self {
@@ -161,6 +197,20 @@ impl RealBuffer {
         }
     }
 
+    pub fn as_f16_mut(&mut self) -> Option<&mut [f16]> {
+        match self {
+            RealBuffer::F16(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_bf16_mut(&mut self) -> Option<&mut [bf16]> {
+        match self {
+            RealBuffer::BF16(v) => Some(v),
+            _ => None,
+        }
+    }
+
     pub fn as_f32_mut(&mut self) -> Option<&mut [f32]> {
         match self {
             RealBuffer::F32(v) => Some(v),
@@ -234,6 +284,38 @@ impl ComplexBuffer {
         with_real!(p, T => {
             ComplexBuffer::from(data.iter().map(|z| z.cast::<T>()).collect::<Vec<_>>())
         })
+    }
+
+    /// Turn `self` into a zero-filled buffer of precision `p` and length
+    /// `n`, reusing the existing allocation when the variant matches (see
+    /// [`RealBuffer::reset`]).
+    pub fn reset(&mut self, p: Precision, n: usize) {
+        fn fill<T: Real>(v: &mut Vec<Complex<T>>, n: usize) {
+            v.clear();
+            v.resize(n, Complex::zero());
+        }
+        match (p, &mut *self) {
+            (Precision::Half, ComplexBuffer::C16(v)) => fill(v, n),
+            (Precision::BFloat16, ComplexBuffer::CB16(v)) => fill(v, n),
+            (Precision::Single, ComplexBuffer::C32(v)) => fill(v, n),
+            (Precision::Double, ComplexBuffer::C64(v)) => fill(v, n),
+            _ => *self = ComplexBuffer::zeros(p, n),
+        }
+    }
+
+    /// Like [`ComplexBuffer::reset`] but without zeroing retained
+    /// contents (see [`RealBuffer::reset_for_overwrite`]).
+    pub fn reset_for_overwrite(&mut self, p: Precision, n: usize) {
+        fn grow<T: Real>(v: &mut Vec<Complex<T>>, n: usize) {
+            v.resize(n, Complex::zero());
+        }
+        match (p, &mut *self) {
+            (Precision::Half, ComplexBuffer::C16(v)) => grow(v, n),
+            (Precision::BFloat16, ComplexBuffer::CB16(v)) => grow(v, n),
+            (Precision::Single, ComplexBuffer::C32(v)) => grow(v, n),
+            (Precision::Double, ComplexBuffer::C64(v)) => grow(v, n),
+            _ => *self = ComplexBuffer::zeros(p, n),
+        }
     }
 
     #[inline]
@@ -324,6 +406,20 @@ impl ComplexBuffer {
     pub fn as_c64(&self) -> Option<&[Complex<f64>]> {
         match self {
             ComplexBuffer::C64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_c16_mut(&mut self) -> Option<&mut [Complex<f16>]> {
+        match self {
+            ComplexBuffer::C16(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_cb16_mut(&mut self) -> Option<&mut [Complex<bf16>]> {
+        match self {
+            ComplexBuffer::CB16(v) => Some(v),
             _ => None,
         }
     }
@@ -446,6 +542,28 @@ mod tests {
         assert!(h.as_c16().is_some() && h.as_cb16().is_none());
         let r = RealBuffer::zeros(Precision::BFloat16, 2);
         assert!(r.as_bf16().is_some() && r.as_f16().is_none());
+    }
+
+    #[test]
+    fn reset_reuses_matching_storage() {
+        let mut b = RealBuffer::from_f64(Precision::Single, &[1.0, 2.0, 3.0, 4.0]);
+        let ptr_before = b.as_f32().unwrap().as_ptr();
+        b.reset(Precision::Single, 3);
+        assert_eq!(b.len(), 3);
+        assert!(b.to_f64_vec().iter().all(|&x| x == 0.0), "reset must zero-fill");
+        assert_eq!(b.as_f32().unwrap().as_ptr(), ptr_before, "same-variant reset keeps storage");
+        // Variant switch replaces the allocation.
+        b.reset(Precision::Half, 2);
+        assert_eq!(b.precision(), Precision::Half);
+        assert_eq!(b.len(), 2);
+        let mut c = ComplexBuffer::from_c64(Precision::Double, &[Complex::new(1.0, -1.0)]);
+        let cp = c.as_c64().unwrap().as_ptr();
+        c.reset(Precision::Double, 1);
+        assert_eq!(c.get(0), Complex::zero());
+        assert_eq!(c.as_c64().unwrap().as_ptr(), cp);
+        c.reset(Precision::BFloat16, 4);
+        assert_eq!(c.precision(), Precision::BFloat16);
+        assert_eq!(c.len(), 4);
     }
 
     #[test]

@@ -6,12 +6,12 @@
 
 use fftmatvec::comm::partition::PartitionProblem;
 use fftmatvec::comm::{choose_grid, NetworkModel, PartitionStrategy};
-use fftmatvec::core::{DistributedFftMatvec, PrecisionConfig};
+use fftmatvec::core::{DistributedFftMatvec, LinearOperator, OpError, PrecisionConfig};
 use fftmatvec::gpu::{DeviceSpec, Phase};
 use fftmatvec::numeric::vecmath::rel_l2_error;
 use fftmatvec::numeric::SplitMix64;
 
-fn main() {
+fn main() -> Result<(), OpError> {
     // A small global problem partitioned over increasingly many simulated
     // GPUs (weak scaling in N_m, like the paper).
     let (nd, nt) = (8usize, 64usize);
@@ -48,7 +48,7 @@ fn main() {
             PrecisionConfig::all_double(),
         )
         .unwrap();
-        let baseline = single.apply_forward(&m);
+        let baseline = single.apply_forward(&m)?;
 
         let dist = DistributedFftMatvec::from_global(
             nd,
@@ -59,7 +59,7 @@ fn main() {
             PrecisionConfig::optimal_forward(),
         )
         .unwrap();
-        let d = dist.apply_forward(&m);
+        let d = dist.apply_forward(&m)?;
         let err = rel_l2_error(&d, &baseline);
         let t = dist.simulate(&dev, &net, false);
         println!(
@@ -75,4 +75,5 @@ fn main() {
     println!();
     println!("per-GPU compute stays flat (weak scaling) while communication grows —");
     println!("the regime where the paper's communication-aware partitioning pays off.");
+    Ok(())
 }

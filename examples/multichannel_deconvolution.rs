@@ -10,11 +10,11 @@
 //!
 //! Run: `cargo run --release --example multichannel_deconvolution`
 
-use fftmatvec::core::{DirectMatvec, FftMatvec, PrecisionConfig};
+use fftmatvec::core::{DirectMatvec, FftMatvec, LinearOperator, OpError, PrecisionConfig};
 use fftmatvec::numeric::vecmath::rel_l2_error;
 use fftmatvec::numeric::SplitMix64;
 
-fn main() {
+fn main() -> Result<(), OpError> {
     // 6 microphones, 4 sources, 256 time samples; FIR responses with
     // exponentially decaying echoes. More microphones than sources keeps
     // the deconvolution overdetermined (unique recovery).
@@ -43,9 +43,10 @@ fn main() {
         sources[t * nm + 3] = 1.0;
     }
 
-    let mv = FftMatvec::new(op, PrecisionConfig::all_double());
-    let mics = mv.apply_forward(&sources);
-    let mics_direct = DirectMatvec::new(mv.operator()).apply_forward(&sources);
+    let mv =
+        FftMatvec::builder(op).precision(PrecisionConfig::all_double()).build().expect("CPU build");
+    let mics = mv.apply_forward(&sources)?;
+    let mics_direct = DirectMatvec::new(mv.operator()).apply_forward(&sources)?;
     println!(
         "multi-channel convolution: FFT vs direct rel error {:.2e}",
         rel_l2_error(&mics, &mics_direct)
@@ -56,14 +57,14 @@ fn main() {
     // adjoint FFTMatvec action (matched filtering).
     let lambda = 1e-8;
     let n = nm * nt;
-    let normal_op = |v: &[f64]| -> Vec<f64> {
-        let mut h = mv.apply_adjoint(&mv.apply_forward(v));
+    let normal_op = |v: &[f64]| -> Result<Vec<f64>, OpError> {
+        let mut h = mv.apply_adjoint(&mv.apply_forward(v)?)?;
         for (hi, &vi) in h.iter_mut().zip(v) {
             *hi += lambda * vi;
         }
-        h
+        Ok(h)
     };
-    let rhs = mv.apply_adjoint(&mics);
+    let rhs = mv.apply_adjoint(&mics)?;
     let mut est = vec![0.0; n];
     let mut r = rhs.clone();
     let mut p = r.clone();
@@ -71,7 +72,7 @@ fn main() {
     let rhs_norm = rr.sqrt();
     let mut iters = 0;
     for _ in 0..400 {
-        let hp = normal_op(&p);
+        let hp = normal_op(&p)?;
         let alpha = rr / p.iter().zip(&hp).map(|(a, b)| a * b).sum::<f64>();
         for i in 0..n {
             est[i] += alpha * p[i];
@@ -105,4 +106,5 @@ fn main() {
         "deconvolution missed the active channels"
     );
     assert!(recovery < 0.05, "overdetermined recovery should be near-exact: {recovery}");
+    Ok(())
 }

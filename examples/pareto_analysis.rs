@@ -8,14 +8,13 @@
 //!
 //! Run: `cargo run --release --example pareto_analysis`
 
-use fftmatvec::core::pareto::{optimal_for_tolerance, pareto_front, ParetoPoint};
+use fftmatvec::core::pareto::{optimal_for_tolerance, pareto_front, sweep_points};
 use fftmatvec::core::timing::{simulate_phases, MatvecDims};
-use fftmatvec::core::{BlockToeplitzOperator, FftMatvec, PrecisionConfig};
+use fftmatvec::core::{BlockToeplitzOperator, FftMatvec, OpError, PrecisionConfig};
 use fftmatvec::gpu::DeviceSpec;
-use fftmatvec::numeric::vecmath::rel_l2_error;
 use fftmatvec::numeric::SplitMix64;
 
-fn main() {
+fn main() -> Result<(), OpError> {
     let dev = DeviceSpec::mi300x();
     // Timing shape: the paper's single-GPU configuration. Error shape:
     // memory-scaled with the same structure.
@@ -29,16 +28,14 @@ fn main() {
     let mut m = vec![0.0; nm * nt];
     rng.fill_uniform_stuffed(&mut m, 0.0, 1.0);
 
-    let mut mv = FftMatvec::new(op, PrecisionConfig::all_double());
-    let baseline_out = mv.apply_forward(&m);
-
-    let mut points = Vec::new();
-    for cfg in PrecisionConfig::all_configs() {
-        mv.set_config(cfg);
-        let rel_error = rel_l2_error(&mv.apply_forward(&m), &baseline_out);
-        let time = simulate_phases(timing_dims, cfg, false, &dev).total();
-        points.push(ParetoPoint { config: cfg, time, rel_error });
-    }
+    let mut mv = FftMatvec::builder(op).build().expect("CPU build");
+    // The sweep itself runs through the operator-generic helper: the same
+    // call works for the distributed matvec or any future backend.
+    let candidates: Vec<_> = PrecisionConfig::all_configs()
+        .into_iter()
+        .map(|cfg| (cfg, simulate_phases(timing_dims, cfg, false, &dev).total()))
+        .collect();
+    let points = sweep_points(&mut mv, &candidates, &m)?;
     let baseline_time = points.iter().find(|p| p.config.is_all_double()).unwrap().time;
 
     println!(
@@ -72,4 +69,5 @@ fn main() {
     println!();
     println!("the application picks its tolerance from sensor precision and noise floor,");
     println!("then reads the configuration off the front (Section 3.2).");
+    Ok(())
 }

@@ -6,10 +6,10 @@
 //!
 //! Run: `cargo run -p fftmatvec --release --example posterior_uncertainty`
 
-use fftmatvec::core::{FftMatvec, PrecisionConfig};
+use fftmatvec::core::{FftMatvec, OpError, PrecisionConfig};
 use fftmatvec::lti::{BayesianProblem, HeatEquation2D, LowRankHessian, P2oMap};
 
-fn main() {
+fn main() -> Result<(), OpError> {
     // 2-D heat plate, 16x12 interior grid, sensors in a vertical line.
     let (nx, ny, nt) = (16usize, 12usize, 16usize);
     let sys = HeatEquation2D::new(nx, ny, 0.02, 0.25);
@@ -25,14 +25,17 @@ fn main() {
     let p2o = P2oMap::assemble(&sys, &sensors, nt).expect("p2o assembly");
     let (noise_std, prior_std) = (0.003, 1.0);
     let prob = BayesianProblem::new(
-        FftMatvec::new(p2o.operator, PrecisionConfig::optimal_forward()),
+        FftMatvec::builder(p2o.operator)
+            .precision(PrecisionConfig::optimal_forward())
+            .build()
+            .expect("CPU build"),
         noise_std,
         prior_std,
     );
 
     // Randomized low-rank Hessian: rank 24, 8 oversamples, 2 power iters.
     let t0 = std::time::Instant::now();
-    let lr = LowRankHessian::compute(&prob, 24, 8, 2, 2024);
+    let lr = LowRankHessian::compute(&prob, 24, 8, 2, 2024)?;
     println!(
         "low-rank Hessian: rank {}, {} matvec actions, {:.1?}",
         lr.eigenvalues.len(),
@@ -85,4 +88,5 @@ fn main() {
         (bx as i64 - 11).abs() <= 3,
         "uncertainty reduction should concentrate near the sensors"
     );
+    Ok(())
 }

@@ -4,11 +4,11 @@
 //!
 //! Run: `cargo run --release --example quickstart`
 
-use fftmatvec::core::{DirectMatvec, FftMatvec, PrecisionConfig};
+use fftmatvec::core::{DirectMatvec, FftMatvec, LinearOperator, OpError, PrecisionConfig};
 use fftmatvec::numeric::vecmath::rel_l2_error;
 use fftmatvec::numeric::SplitMix64;
 
-fn main() {
+fn main() -> Result<(), OpError> {
     // Problem shape: N_d sensors, N_m parameters, N_t timesteps. The
     // FFTMatvec regime is N_d << N_m, N_t >> 1.
     let (nd, nm, nt) = (4usize, 64usize, 128usize);
@@ -28,13 +28,14 @@ fn main() {
 
     // Apply F in full double precision and cross-check with the direct
     // block convolution.
-    let mut mv = FftMatvec::new(op, PrecisionConfig::all_double());
-    let d = mv.apply_forward(&m);
-    let d_direct = DirectMatvec::new(mv.operator()).apply_forward(&m);
+    let mut mv =
+        FftMatvec::builder(op).precision(PrecisionConfig::all_double()).build().expect("CPU build");
+    let d = mv.apply_forward(&m)?;
+    let d_direct = DirectMatvec::new(mv.operator()).apply_forward(&m)?;
     println!("FFT vs direct matvec relative error: {:.2e}", rel_l2_error(&d, &d_direct));
 
     // The adjoint satisfies <F m, d> == <m, F* d>.
-    let fs = mv.apply_adjoint(&d);
+    let fs = mv.apply_adjoint(&d)?;
     let lhs: f64 = d.iter().map(|x| x * x).sum();
     let rhs: f64 = m.iter().zip(&fs).map(|(a, b)| a * b).sum();
     println!("adjoint identity <Fm,Fm> vs <m,F*Fm>: {lhs:.6e} vs {rhs:.6e}");
@@ -42,7 +43,7 @@ fn main() {
     // Switch to the paper's optimal mixed-precision configuration at
     // runtime — no operator rebuild — and measure the error it costs.
     mv.set_config(PrecisionConfig::optimal_forward()); // dssdd
-    let d_mixed = mv.apply_forward(&m);
+    let d_mixed = mv.apply_forward(&m)?;
     println!(
         "mixed-precision ({}) relative error vs double: {:.2e}",
         mv.config(),
@@ -51,6 +52,13 @@ fn main() {
 
     // And the fastest/least accurate end of the spectrum.
     mv.set_config(PrecisionConfig::all_single());
-    let d_single = mv.apply_forward(&m);
+    let d_single = mv.apply_forward(&m)?;
     println!("all-single (sssss) relative error vs double:   {:.2e}", rel_l2_error(&d_single, &d));
+
+    // Hot-path variant: reuse one output buffer across applies — after
+    // the warm-up apply above, this performs zero heap allocations.
+    let mut d_buf = vec![0.0; nd * nt];
+    mv.apply_forward_into(&m, &mut d_buf)?;
+    println!("apply_forward_into matches apply_forward: {}", d_buf == d_single);
+    Ok(())
 }

@@ -12,11 +12,11 @@
 //!
 //! Run: `cargo run --release --example tsunami_early_warning`
 
-use fftmatvec::core::{FftMatvec, PrecisionConfig};
+use fftmatvec::core::{FftMatvec, OpError, PrecisionConfig};
 use fftmatvec::lti::{AdvectionDiffusion1D, BayesianProblem, P2oMap};
 use fftmatvec::numeric::vecmath::rel_l2_error;
 
-fn main() {
+fn main() -> Result<(), OpError> {
     // Domain: coastline coordinate in (0,1); plume advects toward the
     // sensor array with light diffusion.
     let nx = 96usize;
@@ -49,16 +49,16 @@ fn main() {
     let noise_std = 1e-3;
     let prior_std = 5.0;
     let prob_d = BayesianProblem::new(
-        FftMatvec::new(
-            P2oMap::assemble(&sys, &sensors, nt).unwrap().operator,
-            PrecisionConfig::all_double(),
-        ),
+        FftMatvec::builder(P2oMap::assemble(&sys, &sensors, nt).unwrap().operator)
+            .precision(PrecisionConfig::all_double())
+            .build()
+            .expect("CPU build"),
         noise_std,
         prior_std,
     );
-    let d_obs = prob_d.synthesize_data(&m_true, 13);
+    let d_obs = prob_d.synthesize_data(&m_true, 13)?;
     let t0 = std::time::Instant::now();
-    let sol_d = prob_d.solve_map(&d_obs, 1e-9, 600);
+    let sol_d = prob_d.solve_map(&d_obs, 1e-9, 600)?;
     let wall_d = t0.elapsed();
     println!(
         "double MAP: {} CG iters, residual {:.1e}, {} matvec actions, {:.1?}",
@@ -70,15 +70,15 @@ fn main() {
 
     // Mixed-precision inversion (the paper's dssdd optimum).
     let prob_m = BayesianProblem::new(
-        FftMatvec::new(
-            P2oMap::assemble(&sys, &sensors, nt).unwrap().operator,
-            PrecisionConfig::optimal_forward(),
-        ),
+        FftMatvec::builder(P2oMap::assemble(&sys, &sensors, nt).unwrap().operator)
+            .precision(PrecisionConfig::optimal_forward())
+            .build()
+            .expect("CPU build"),
         noise_std,
         prior_std,
     );
     let t1 = std::time::Instant::now();
-    let sol_m = prob_m.solve_map(&d_obs, 1e-9, 600);
+    let sol_m = prob_m.solve_map(&d_obs, 1e-9, 600)?;
     let wall_m = t1.elapsed();
     println!(
         "mixed  MAP: {} CG iters, residual {:.1e}, {} matvec actions, {:.1?}",
@@ -99,8 +99,8 @@ fn main() {
     // Early-warning check: both inversions must explain the data and make
     // the same call. (The MAP points can differ in the prior's null
     // directions — what matters downstream is the predicted observable.)
-    let fit_d = prob_d.forward(&sol_d.m_map);
-    let fit_m = prob_d.forward(&sol_m.m_map);
+    let fit_d = prob_d.forward(&sol_d.m_map)?;
+    let fit_m = prob_d.forward(&sol_m.m_map)?;
     let misfit_d = rel_l2_error(&fit_d, &d_obs);
     let misfit_m = rel_l2_error(&fit_m, &d_obs);
     println!("posterior data fit (relative): double {misfit_d:.2e}, mixed {misfit_m:.2e}");
@@ -114,4 +114,5 @@ fn main() {
         "mixed precision degraded the data fit: {misfit_m} vs {misfit_d}"
     );
     println!("\nmixed precision reproduced the double-precision inversion decision.");
+    Ok(())
 }

@@ -6,7 +6,7 @@
 
 use fftmatvec::core::pareto::{optimal_for_tolerance, pareto_front, ParetoPoint};
 use fftmatvec::core::timing::{simulate_phases, MatvecDims};
-use fftmatvec::core::{BlockToeplitzOperator, FftMatvec, PrecisionConfig};
+use fftmatvec::core::{BlockToeplitzOperator, FftMatvec, LinearOperator, PrecisionConfig};
 use fftmatvec::gpu::{DeviceSpec, Phase};
 use fftmatvec::numeric::vecmath::rel_l2_error;
 use fftmatvec::numeric::SplitMix64;
@@ -26,15 +26,15 @@ fn artifact_workload(nd: usize, nm: usize, nt: usize) -> (BlockToeplitzOperator,
 #[test]
 fn thirty_two_config_sweep_selects_dssdd_at_1e7() {
     let (op, m) = artifact_workload(24, 768, 128);
-    let mut mv = FftMatvec::new(op, PrecisionConfig::all_double());
-    let baseline = mv.apply_forward(&m);
+    let mut mv = FftMatvec::builder(op).build().unwrap();
+    let baseline = mv.apply_forward(&m).unwrap();
 
     let dims = MatvecDims::paper_single_gpu();
     let dev = DeviceSpec::mi250x_gcd();
     let mut points = Vec::with_capacity(32);
     for cfg in PrecisionConfig::all_configs() {
         mv.set_config(cfg);
-        let rel_error = rel_l2_error(&mv.apply_forward(&m), &baseline);
+        let rel_error = rel_l2_error(&mv.apply_forward(&m).unwrap(), &baseline);
         let time = simulate_phases(dims, cfg, false, &dev).total();
         points.push(ParetoPoint { config: cfg, time, rel_error });
     }
@@ -94,11 +94,11 @@ fn error_tolerance_is_not_met_by_all_single() {
     // The paper's tolerance argument needs sssss to be measurably worse
     // than dssdd — otherwise the Pareto analysis would be vacuous.
     let (op, m) = artifact_workload(24, 768, 128);
-    let mut mv = FftMatvec::new(op, PrecisionConfig::all_double());
-    let baseline = mv.apply_forward(&m);
+    let mut mv = FftMatvec::builder(op).build().unwrap();
+    let baseline = mv.apply_forward(&m).unwrap();
     mv.set_config(PrecisionConfig::optimal_forward());
-    let e_opt = rel_l2_error(&mv.apply_forward(&m), &baseline);
+    let e_opt = rel_l2_error(&mv.apply_forward(&m).unwrap(), &baseline);
     mv.set_config(PrecisionConfig::all_single());
-    let e_all = rel_l2_error(&mv.apply_forward(&m), &baseline);
+    let e_all = rel_l2_error(&mv.apply_forward(&m).unwrap(), &baseline);
     assert!(e_all > e_opt, "all-single must be less accurate ({e_all} vs {e_opt})");
 }

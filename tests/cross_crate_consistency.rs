@@ -7,7 +7,8 @@
 use fftmatvec::comm::{NetworkModel, ProcessGrid};
 use fftmatvec::core::timing::{simulate_phases, MatvecDims};
 use fftmatvec::core::{
-    BlockToeplitzOperator, DirectMatvec, DistributedFftMatvec, FftMatvec, PrecisionConfig,
+    BlockToeplitzOperator, DirectMatvec, DistributedFftMatvec, FftMatvec, LinearOperator,
+    PrecisionConfig,
 };
 use fftmatvec::gpu::{DeviceSpec, Phase};
 use fftmatvec::lti::{HeatEquation1D, LtiSystem, P2oMap};
@@ -36,11 +37,11 @@ fn fft_direct_and_dense_all_agree() {
     let want: Vec<f64> =
         (0..rows).map(|i| (0..cols).map(|j| dense[i * cols + j] * m[j]).sum()).collect();
 
-    let direct = DirectMatvec::new(&op).apply_forward(&m);
+    let direct = DirectMatvec::new(&op).apply_forward(&m).unwrap();
     assert!(rel_l2_error(&direct, &want) < 1e-13, "direct vs dense");
 
-    let mv = FftMatvec::new(op, PrecisionConfig::all_double());
-    let fft = mv.apply_forward(&m);
+    let mv = FftMatvec::builder(op).build().unwrap();
+    let fft = mv.apply_forward(&m).unwrap();
     assert!(rel_l2_error(&fft, &want) < 1e-12, "fft vs dense");
 }
 
@@ -58,10 +59,10 @@ fn distributed_equals_single_rank_for_every_config_on_a_grid() {
         let single =
             DistributedFftMatvec::from_global(nd, nm, nt, &col, ProcessGrid::single(), cfg)
                 .unwrap();
-        let reference = single.apply_forward(&m);
+        let reference = single.apply_forward(&m).unwrap();
         let dist = DistributedFftMatvec::from_global(nd, nm, nt, &col, ProcessGrid::new(2, 3), cfg)
             .unwrap();
-        let got = dist.apply_forward(&m);
+        let got = dist.apply_forward(&m).unwrap();
         // Partitioned execution reorders the floating-point reductions, so
         // results agree to the precision of the configuration, not bitwise.
         let tol = if cfg.is_all_double() { 1e-12 } else { 1e-5 };
@@ -79,7 +80,7 @@ fn pde_p2o_through_full_stack() {
     let sensors = [5usize, 14];
     let nt = 10;
     let p2o = P2oMap::assemble(&sys, &sensors, nt).unwrap();
-    let mv = FftMatvec::new(p2o.operator, PrecisionConfig::all_double());
+    let mv = FftMatvec::builder(p2o.operator).build().unwrap();
 
     let mut rng = SplitMix64::new(4);
     let mut m = vec![0.0; 20 * nt];
@@ -93,19 +94,19 @@ fn pde_p2o_through_full_stack() {
             want[k * 2 + i] = traj[k * 20 + s];
         }
     }
-    let got = mv.apply_forward(&m);
+    let got = mv.apply_forward(&m).unwrap();
     assert!(rel_l2_error(&got, &want) < 1e-11);
 
     // Gradient check: J(m) = ½‖F m − d‖²; ∇J = F*(F m − d).
     let mut d = vec![0.0; 2 * nt];
     rng.fill_uniform(&mut d, -1.0, 1.0);
     let resid: Vec<f64> = got.iter().zip(&d).map(|(a, b)| a - b).collect();
-    let grad = mv.apply_adjoint(&resid);
+    let grad = mv.apply_adjoint(&resid).unwrap();
     let mut dir = vec![0.0; 20 * nt];
     rng.fill_uniform(&mut dir, -1.0, 1.0);
     let eps = 1e-6;
     let j = |mm: &[f64]| -> f64 {
-        let f = mv.apply_forward(mm);
+        let f = mv.apply_forward(mm).unwrap();
         0.5 * f.iter().zip(&d).map(|(a, b)| (a - b) * (a - b)).sum::<f64>()
     };
     let m_plus: Vec<f64> = m.iter().zip(&dir).map(|(a, b)| a + eps * b).collect();

@@ -6,7 +6,9 @@
 
 use fftmatvec::comm::ProcessGrid;
 use fftmatvec::core::error_analysis::{error_bound, BoundParams};
-use fftmatvec::core::{BlockToeplitzOperator, DistributedFftMatvec, FftMatvec, PrecisionConfig};
+use fftmatvec::core::{
+    BlockToeplitzOperator, DistributedFftMatvec, FftMatvec, LinearOperator, PrecisionConfig,
+};
 use fftmatvec::lti::{BayesianProblem, HeatEquation1D, P2oMap};
 use fftmatvec::numeric::vecmath::rel_l2_error;
 use fftmatvec::numeric::SplitMix64;
@@ -25,20 +27,24 @@ fn gaussian_source(nx: usize, nt: usize, center: f64, width: f64, steps: usize) 
 fn make_problem(cfg: PrecisionConfig) -> BayesianProblem {
     let sys = HeatEquation1D::new(24, 0.02, 0.3);
     let p2o = P2oMap::assemble(&sys, &[4, 9, 14, 19], 16).unwrap();
-    BayesianProblem::new(FftMatvec::new(p2o.operator, cfg), 1e-3, 5.0)
+    BayesianProblem::new(
+        FftMatvec::builder(p2o.operator).precision(cfg).build().unwrap(),
+        1e-3,
+        5.0,
+    )
 }
 
 #[test]
 fn map_solve_recovers_observable_content() {
     let prob = make_problem(PrecisionConfig::all_double());
     let m_true = gaussian_source(24, 16, 0.5, 0.01, 6);
-    let d_obs = prob.synthesize_data(&m_true, 21);
-    let sol = prob.solve_map(&d_obs, 1e-9, 500);
+    let d_obs = prob.synthesize_data(&m_true, 21).unwrap();
+    let sol = prob.solve_map(&d_obs, 1e-9, 500).unwrap();
     assert!(sol.residual < 1e-9, "CG must converge: {}", sol.residual);
 
     // The MAP point reproduces the observations far better than the prior
     // mean does.
-    let fit = prob.forward(&sol.m_map);
+    let fit = prob.forward(&sol.m_map).unwrap();
     let misfit = rel_l2_error(&fit, &d_obs);
     assert!(misfit < 0.02, "posterior data fit {misfit}");
 }
@@ -48,15 +54,15 @@ fn mixed_precision_inversion_matches_double_decision() {
     let m_true = gaussian_source(24, 16, 0.4, 0.02, 5);
 
     let prob_d = make_problem(PrecisionConfig::all_double());
-    let d_obs = prob_d.synthesize_data(&m_true, 33);
-    let sol_d = prob_d.solve_map(&d_obs, 1e-8, 500);
+    let d_obs = prob_d.synthesize_data(&m_true, 33).unwrap();
+    let sol_d = prob_d.solve_map(&d_obs, 1e-8, 500).unwrap();
 
     let prob_m = make_problem(PrecisionConfig::optimal_forward());
-    let sol_m = prob_m.solve_map(&d_obs, 1e-8, 500);
+    let sol_m = prob_m.solve_map(&d_obs, 1e-8, 500).unwrap();
 
     // Posterior predictions agree to well under the noise level.
-    let fit_d = prob_d.forward(&sol_d.m_map);
-    let fit_m = prob_d.forward(&sol_m.m_map);
+    let fit_d = prob_d.forward(&sol_d.m_map).unwrap();
+    let fit_m = prob_d.forward(&sol_m.m_map).unwrap();
     let diff = rel_l2_error(&fit_m, &fit_d);
     assert!(diff < 1e-3, "posterior predictions diverged: {diff}");
 }
@@ -68,16 +74,16 @@ fn mixed_precision_costs_more_iterations_not_accuracy() {
     // tolerance, not the precision.
     let m_true = gaussian_source(24, 16, 0.6, 0.015, 4);
     let prob_d = make_problem(PrecisionConfig::all_double());
-    let d_obs = prob_d.synthesize_data(&m_true, 55);
-    let sol_d = prob_d.solve_map(&d_obs, 1e-8, 800);
+    let d_obs = prob_d.synthesize_data(&m_true, 55).unwrap();
+    let sol_d = prob_d.solve_map(&d_obs, 1e-8, 800).unwrap();
 
     let prob_m = make_problem(PrecisionConfig::all_single());
-    let sol_m = prob_m.solve_map(&d_obs, 1e-8, 800);
+    let sol_m = prob_m.solve_map(&d_obs, 1e-8, 800).unwrap();
     // Same convergence target reached (or iteration cap, which the looser
     // config is allowed to hit) — compare achieved data fits instead of
     // iteration counts.
-    let fit_d = rel_l2_error(&prob_d.forward(&sol_d.m_map), &d_obs);
-    let fit_m = rel_l2_error(&prob_d.forward(&sol_m.m_map), &d_obs);
+    let fit_d = rel_l2_error(&prob_d.forward(&sol_d.m_map).unwrap(), &d_obs);
+    let fit_m = rel_l2_error(&prob_d.forward(&sol_m.m_map).unwrap(), &d_obs);
     assert!(
         fit_m < 10.0 * fit_d.max(1e-6),
         "all-single inversion lost the solution: {fit_m} vs {fit_d}"
@@ -108,8 +114,8 @@ fn eq6_bound_orders_measured_error_across_tiers() {
         let mut m = vec![0.0; nm * nt];
         rng.fill_uniform_stuffed(&mut m, 0.0, 1.0);
 
-        let mut mv = FftMatvec::new(op, PrecisionConfig::all_double());
-        let baseline = mv.apply_forward(&m);
+        let mut mv = FftMatvec::builder(op).build().unwrap();
+        let baseline = mv.apply_forward(&m).unwrap();
         let params = BoundParams { nt, n_local: nm, reduce_ranks: 1, kappa: 1.0 };
 
         let mut points: Vec<(String, f64, f64)> =
@@ -118,7 +124,7 @@ fn eq6_bound_orders_measured_error_across_tiers() {
                 .map(|s| {
                     let cfg: PrecisionConfig = s.parse().unwrap();
                     mv.set_config(cfg);
-                    let out = mv.apply_forward(&m);
+                    let out = mv.apply_forward(&m).unwrap();
                     assert!(
                         out.iter().all(|v| v.is_finite()),
                         "({nd},{nm},{nt}) {s}: non-finite output"
@@ -188,7 +194,7 @@ fn distributed_hessian_matches_single_rank() {
     .unwrap();
 
     let v: Vec<f64> = (0..nm * nt).map(|i| ((i * 37 % 101) as f64) / 101.0 - 0.5).collect();
-    let h_single = single.apply_adjoint(&single.apply_forward(&v));
-    let h_dist = dist.apply_adjoint(&dist.apply_forward(&v));
+    let h_single = single.apply_adjoint(&single.apply_forward(&v).unwrap()).unwrap();
+    let h_dist = dist.apply_adjoint(&dist.apply_forward(&v).unwrap()).unwrap();
     assert!(rel_l2_error(&h_dist, &h_single) < 1e-12);
 }

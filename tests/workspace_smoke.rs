@@ -8,7 +8,9 @@
 //! milliseconds.
 
 use fftmatvec::core::error_analysis::{condition_estimate, error_bound, BoundParams};
-use fftmatvec::core::{BlockToeplitzOperator, DirectMatvec, FftMatvec, PrecisionConfig};
+use fftmatvec::core::{
+    BlockToeplitzOperator, DirectMatvec, FftMatvec, LinearOperator, PrecisionConfig,
+};
 use fftmatvec::numeric::vecmath::rel_l2_error;
 use fftmatvec::numeric::SplitMix64;
 
@@ -34,8 +36,8 @@ fn stuffed_input() -> Vec<f64> {
 }
 
 fn forward_error(cfg: PrecisionConfig, reference: &[f64], m: &[f64]) -> f64 {
-    let mv = FftMatvec::new(make_operator(), cfg);
-    let d = mv.apply_forward(m);
+    let mv = FftMatvec::builder(make_operator()).precision(cfg).build().unwrap();
+    let d = mv.apply_forward(m).unwrap();
     assert_eq!(d.len(), ND * NT, "forward output length for {cfg:?}");
     assert!(d.iter().all(|v| v.is_finite()), "non-finite output for {cfg:?}");
     rel_l2_error(&d, reference)
@@ -45,7 +47,7 @@ fn forward_error(cfg: PrecisionConfig, reference: &[f64], m: &[f64]) -> f64 {
 fn matvec_per_precision_config_and_eq6_ordering() {
     let op = make_operator();
     let m = stuffed_input();
-    let reference = DirectMatvec::new(&op).apply_forward(&m);
+    let reference = DirectMatvec::new(&op).apply_forward(&m).unwrap();
 
     let all_double = PrecisionConfig::all_double();
     let all_single = PrecisionConfig::all_single();
@@ -104,8 +106,8 @@ fn adjoint_runs_in_every_precision_family() {
         PrecisionConfig::all_bf16(),
         "hbsdd".parse().unwrap(),
     ] {
-        let mv = FftMatvec::new(make_operator(), cfg);
-        let out = mv.apply_adjoint(&d);
+        let mv = FftMatvec::builder(make_operator()).precision(cfg).build().unwrap();
+        let out = mv.apply_adjoint(&d).unwrap();
         assert_eq!(out.len(), NM * NT, "adjoint output length for {cfg:?}");
         assert!(out.iter().all(|v| v.is_finite()), "non-finite adjoint for {cfg:?}");
     }
@@ -118,15 +120,15 @@ fn adjoint_runs_in_every_precision_family() {
 fn every_tier_combination_executes() {
     let op = make_operator();
     let m = stuffed_input();
-    let mut mv = FftMatvec::new(op, PrecisionConfig::all_double());
-    let reference = mv.apply_forward(&m);
+    let mut mv = FftMatvec::builder(op).build().unwrap();
+    let reference = mv.apply_forward(&m).unwrap();
 
     let configs = PrecisionConfig::all_configs_full();
     assert_eq!(configs.len(), 1024);
     let mut worst = (0.0f64, String::new());
     for cfg in configs {
         mv.set_config(cfg);
-        let d = mv.apply_forward(&m);
+        let d = mv.apply_forward(&m).unwrap();
         assert_eq!(d.len(), ND * NT, "output length for {cfg}");
         assert!(d.iter().all(|v| v.is_finite()), "non-finite output for {cfg}");
         let err = rel_l2_error(&d, &reference);
