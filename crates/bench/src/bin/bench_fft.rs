@@ -24,9 +24,9 @@
 //! * `-tol <x>` — regression budget for `-check` (default 1.25 = +25%)
 
 use std::hint::black_box;
-use std::time::Instant;
 
 use fftmatvec_bench::benchjson::{self, BenchResult};
+use fftmatvec_bench::timing::time_pair_ns;
 use fftmatvec_bench::Args;
 use fftmatvec_fft::{cache, FftDirection, RecursiveFftPlan};
 use fftmatvec_numeric::{bf16, f16, Complex, Precision, Real, SplitMix64};
@@ -47,63 +47,9 @@ fn precision_label(p: Precision) -> &'static str {
 /// mixed-radix-friendly so both engines can run them.
 const SIZES: [usize; 6] = [200, 500, 1024, 2000, 2048, 4096];
 
-/// Minimum nanoseconds per call of `f` over `samples` batches, after
-/// calibrating the batch size so one batch takes at least `sample_ms`.
-/// The minimum is the right statistic for a CPU microbenchmark gate:
-/// scheduler noise only ever adds time, so min-of-N converges to the
-/// true cost much faster than the median — which keeps the CI regression
-/// check stable on shared runners.
-/// Grow the batch size until one batch of `f` takes at least `sample_ms`.
-fn calibrate<F: FnMut()>(f: &mut F, sample_ms: f64) -> u64 {
-    let mut iters = 1u64;
-    loop {
-        let t = Instant::now();
-        for _ in 0..iters {
-            f();
-        }
-        let elapsed_ms = t.elapsed().as_secs_f64() * 1e3;
-        if elapsed_ms >= sample_ms || iters >= 1 << 22 {
-            return iters;
-        }
-        let grow = (sample_ms / elapsed_ms.max(1e-6)).ceil() as u64;
-        iters = iters.saturating_mul(grow.clamp(2, 16));
-    }
-}
-
-/// One timed batch, in nanoseconds per call.
-fn time_batch<F: FnMut()>(f: &mut F, iters: u64) -> f64 {
-    let t = Instant::now();
-    for _ in 0..iters {
-        f();
-    }
-    t.elapsed().as_secs_f64() * 1e9 / iters as f64
-}
-
-/// Minimum ns/call for two routines, with their sample batches
-/// *interleaved* so both minima come from the same time windows — the
-/// regression gate compares the iterative/recursive ratio, and
-/// interleaving cancels machine-state drift (frequency scaling,
-/// background load) that sequential measurement would bake into it. The
-/// minimum is the right statistic for a CPU microbenchmark: scheduler
-/// noise only ever adds time, so min-of-N converges to the true cost
-/// much faster than the median.
-fn time_pair_ns<A: FnMut(), B: FnMut()>(
-    mut a: A,
-    mut b: B,
-    samples: usize,
-    sample_ms: f64,
-) -> (f64, f64) {
-    let ia = calibrate(&mut a, sample_ms);
-    let ib = calibrate(&mut b, sample_ms);
-    let (mut best_a, mut best_b) = (f64::INFINITY, f64::INFINITY);
-    for _ in 0..samples.max(3) {
-        best_a = best_a.min(time_batch(&mut a, ia));
-        best_b = best_b.min(time_batch(&mut b, ib));
-    }
-    (best_a, best_b)
-}
-
-/// Measure both engines at size `n` in precision `T`.
+/// Measure both engines at size `n` in precision `T`. The timing
+/// machinery (batch calibration, interleaved min-of-samples) lives in
+/// [`fftmatvec_bench::timing`], shared with every gate binary.
 fn measure_size<T: Real>(n: usize, samples: usize, sample_ms: f64, out: &mut Vec<BenchResult>) {
     let precision = precision_label(T::PRECISION);
     let mut rng = SplitMix64::new(n as u64);
@@ -129,6 +75,7 @@ fn measure_size<T: Real>(n: usize, samples: usize, sample_ms: f64, out: &mut Vec
             size: n,
             precision: precision.into(),
             engine: engine.into(),
+            threads: rayon::current_num_threads(),
             ns_per_transform: ns,
         });
     }
@@ -155,7 +102,10 @@ fn main() {
     }
 
     // Human-readable view: engine comparison with speedups.
-    println!("FFT engine benchmark ({mode} mode) — ns per forward transform");
+    println!(
+        "FFT engine benchmark ({mode} mode, {} pool threads) — ns per forward transform",
+        rayon::current_num_threads()
+    );
     let header = format!(
         "{:>6} | {:>5} | {:>12} | {:>12} | {:>8}",
         "size", "prec", "iterative", "recursive", "speedup"

@@ -30,9 +30,9 @@
 //!   scheduler noise on shared CI runners)
 
 use std::hint::black_box;
-use std::time::Instant;
 
 use fftmatvec_bench::matvecjson::{self, MatvecResult};
+use fftmatvec_bench::timing::time_pair_ns;
 use fftmatvec_bench::{make_operator, stuffed_vector, Args};
 use fftmatvec_core::{FftMatvec, LinearOperator, OpDirection, PrecisionConfig};
 
@@ -45,50 +45,6 @@ const SHAPES: [(usize, usize, usize); 3] = [(2, 64, 64), (4, 128, 128), (8, 256,
 
 /// Configurations the gate keys on: the baseline and the paper optimum.
 const CONFIGS: [&str; 2] = ["ddddd", "dssdd"];
-
-/// Grow the batch size until one batch of `f` takes at least `sample_ms`.
-fn calibrate<F: FnMut()>(f: &mut F, sample_ms: f64) -> u64 {
-    let mut iters = 1u64;
-    loop {
-        let t = Instant::now();
-        for _ in 0..iters {
-            f();
-        }
-        let elapsed_ms = t.elapsed().as_secs_f64() * 1e3;
-        if elapsed_ms >= sample_ms || iters >= 1 << 20 {
-            return iters;
-        }
-        let grow = (sample_ms / elapsed_ms.max(1e-6)).ceil() as u64;
-        iters = iters.saturating_mul(grow.clamp(2, 16));
-    }
-}
-
-/// One timed batch, in nanoseconds per call.
-fn time_batch<F: FnMut()>(f: &mut F, iters: u64) -> f64 {
-    let t = Instant::now();
-    for _ in 0..iters {
-        f();
-    }
-    t.elapsed().as_secs_f64() * 1e9 / iters as f64
-}
-
-/// Interleaved min-of-samples for two routines (see `bench_fft` for why
-/// the minimum and the interleaving are the right choices for a gate).
-fn time_pair_ns<A: FnMut(), B: FnMut()>(
-    mut a: A,
-    mut b: B,
-    samples: usize,
-    sample_ms: f64,
-) -> (f64, f64) {
-    let ia = calibrate(&mut a, sample_ms);
-    let ib = calibrate(&mut b, sample_ms);
-    let (mut best_a, mut best_b) = (f64::INFINITY, f64::INFINITY);
-    for _ in 0..samples.max(3) {
-        best_a = best_a.min(time_batch(&mut a, ia));
-        best_b = best_b.min(time_batch(&mut b, ib));
-    }
-    (best_a, best_b)
-}
 
 fn measure(
     mv: &FftMatvec,
@@ -129,6 +85,7 @@ fn measure(
             config: config.to_string(),
             direction: direction.to_string(),
             path: path.to_string(),
+            threads: rayon::current_num_threads(),
             ns_per_apply: ns,
         });
     }
@@ -160,7 +117,10 @@ fn main() {
     }
 
     // Human-readable view.
-    println!("Matvec API benchmark ({mode} mode) — ns per apply");
+    println!(
+        "Matvec API benchmark ({mode} mode, {} pool threads) — ns per apply",
+        rayon::current_num_threads()
+    );
     let header = format!(
         "{:>12} | {:>6} | {:>8} | {:>12} | {:>12} | {:>10}",
         "shape", "config", "dir", "alloc", "into", "into/alloc"

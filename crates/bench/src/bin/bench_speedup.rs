@@ -1,0 +1,169 @@
+//! Parallel-speedup gate: the CI check that the work-stealing pool
+//! actually buys wall-clock time on the hot paths.
+//!
+//! `RAYON_NUM_THREADS` is read once per process, so the binary re-execs
+//! *itself* as a child per thread count (`FFTMATVEC_SPEEDUP_CHILD=1`):
+//! each child times the two largest paper-shaped parallel workloads —
+//! a batched complex FFT (the phase-2/phase-4 stand-in) and a batched
+//! `apply_many_into` matvec sweep (the §4.2.2 dense-assembly pattern) —
+//! and prints ns-per-call; the parent compares the 1-thread and
+//! N-thread children and fails below the required speedup.
+//!
+//! The gate only enforces when the host has at least `-threads` hardware
+//! lanes: a 2-core runner physically cannot show 1.5× at 4 threads, so
+//! it reports SKIPPED (exit 0) with the measured numbers for the log.
+//!
+//! Run: `cargo run --release -p fftmatvec-bench --bin bench_speedup`
+//! Flags:
+//! * `-threads <n>` — pool width of the fast child (default 4)
+//! * `-min-speedup <x>` — required (1-thread ns)/(n-thread ns) on both
+//!   workloads (default 1.5, the acceptance criterion)
+//! * `-quick` — shorter samples (the CI smoke mode)
+
+use std::hint::black_box;
+
+use fftmatvec_bench::timing::min_ns;
+use fftmatvec_bench::{make_operator, respawn, stuffed_vector, Args};
+use fftmatvec_core::{FftMatvec, LinearOperator, OpDirection};
+use fftmatvec_fft::{BatchedFft, FftDirection};
+use fftmatvec_numeric::{Complex, SplitMix64};
+
+const CHILD_ENV: &str = "FFTMATVEC_SPEEDUP_CHILD";
+
+/// Largest paper batched-FFT shape: 2·N_t for N_t = 1024, across a
+/// 64-item batch (131072 complex elements — 8× the batch driver's
+/// parallel threshold).
+const FFT_N: usize = 2048;
+const FFT_BATCH: usize = 64;
+
+/// Largest `bench_matvec` shape, swept over a column batch.
+const MV_SHAPE: (usize, usize, usize) = (8, 256, 256);
+const MV_COLS: usize = 8;
+
+/// Child: measure and print. Timing uses min-of-samples (scheduler noise
+/// only adds time), same as every other gate binary.
+fn run_child(samples: usize, sample_ms: f64) {
+    // Batched FFT workload.
+    let mut rng = SplitMix64::new(9);
+    let data: Vec<Complex<f64>> = (0..FFT_N * FFT_BATCH)
+        .map(|_| Complex::new(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)))
+        .collect();
+    let bf = BatchedFft::<f64>::new(FFT_N);
+    let mut buf = data.clone();
+    let fft_ns = min_ns(
+        || bf.process_batch_inplace(black_box(&mut buf), FftDirection::Forward),
+        samples,
+        sample_ms,
+    );
+
+    // Batched matvec workload.
+    let (nd, nm, nt) = MV_SHAPE;
+    let mv = FftMatvec::builder(make_operator(nd, nm, nt, 3)).build().expect("CPU build");
+    let (in_len, out_len) = mv.shape().io_lens(OpDirection::Forward);
+    let inputs = stuffed_vector(in_len * MV_COLS, 5);
+    let mut outputs = vec![0.0; out_len * MV_COLS];
+    mv.apply_many_into(OpDirection::Forward, &inputs, &mut outputs).expect("valid shapes");
+    let mv_ns = min_ns(
+        || {
+            mv.apply_many_into(OpDirection::Forward, black_box(&inputs), black_box(&mut outputs))
+                .expect("valid shapes")
+        },
+        samples,
+        sample_ms,
+    );
+
+    println!(
+        "CHILD threads={} fft_batched_ns={fft_ns:.1} matvec_many_ns={mv_ns:.1}",
+        rayon::current_num_threads()
+    );
+}
+
+/// Parse `key=value` fields out of the child's CHILD line.
+fn child_field(stdout: &str, key: &str) -> f64 {
+    let line = stdout
+        .lines()
+        .find(|l| l.starts_with("CHILD "))
+        .unwrap_or_else(|| panic!("child printed no CHILD line:\n{stdout}"));
+    let tag = format!("{key}=");
+    line.split_whitespace()
+        .find_map(|tok| tok.strip_prefix(&tag))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("missing {key} in child line: {line}"))
+}
+
+/// One measurement round: a 1-thread child and an n-thread child,
+/// returning the per-workload speedups.
+fn measure_round(threads: usize) -> Vec<(&'static str, f64, f64, f64)> {
+    let base = respawn::child_stdout(CHILD_ENV, 1, true);
+    let fast = respawn::child_stdout(CHILD_ENV, threads, true);
+    ["fft_batched_ns", "matvec_many_ns"]
+        .into_iter()
+        .map(|key| {
+            let t1 = child_field(&base, key);
+            let tn = child_field(&fast, key);
+            (key, t1, tn, t1 / tn)
+        })
+        .collect()
+}
+
+fn main() {
+    let args = Args::from_env();
+    let quick = args.has("quick");
+    let (samples, sample_ms) = if quick { (7, 20.0) } else { (11, 40.0) };
+
+    if std::env::var(CHILD_ENV).is_ok() {
+        run_child(samples, sample_ms);
+        return;
+    }
+
+    let threads: usize = args.get("threads", 4);
+    let min_speedup: f64 = args.get("min-speedup", 1.5);
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    println!(
+        "Parallel speedup gate: {threads} threads vs 1, require >= {min_speedup:.2}x \
+         (host parallelism: {hw})"
+    );
+
+    // Shared runners (ubuntu-latest has exactly `threads` vCPUs) can see
+    // sustained noisy-neighbor contention that caps the fast child's
+    // parallelism for its whole run — which min-of-samples inside one
+    // child cannot filter. One full re-measurement round absorbs that
+    // without weakening the gate: a genuine scaling regression fails
+    // both rounds.
+    let mut failures = Vec::new();
+    for round in 0..2 {
+        failures.clear();
+        for (key, t1, tn, speedup) in measure_round(threads) {
+            println!("{key}: 1t {t1:.0} ns, {threads}t {tn:.0} ns -> {speedup:.2}x");
+            if speedup < min_speedup {
+                failures.push(format!("{key}: {speedup:.2}x < {min_speedup:.2}x"));
+            }
+        }
+        if failures.is_empty() || hw < threads {
+            // Passed — or the host will skip enforcement below, so a
+            // retry would only burn runner time.
+            break;
+        }
+        if round == 0 {
+            println!("below threshold; retrying once to rule out runner contention");
+        }
+    }
+
+    if hw < threads {
+        // The measurement still ran (and is in the log), but a host with
+        // fewer lanes than the target pool width cannot express the
+        // speedup; only multi-core runners enforce.
+        println!("speedup gate: SKIPPED (host has {hw} < {threads} hardware threads)");
+        return;
+    }
+    if failures.is_empty() {
+        println!("speedup gate: OK");
+    } else {
+        eprintln!("speedup gate FAILED (twice, so not a transient):");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+}

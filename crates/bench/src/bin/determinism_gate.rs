@@ -1,0 +1,188 @@
+//! Thread-count determinism gate: every apply/reduce output must be
+//! byte-identical at `RAYON_NUM_THREADS = 1, 2, 8`.
+//!
+//! The executor's contract (see `vendor/rayon`) is that work splits
+//! through a tree derived from the job *length* only, so neither chunk
+//! boundaries nor reduction associations can drift with the thread
+//! count. This binary enforces that end to end: `RAYON_NUM_THREADS` is
+//! read once per process, so the parent re-execs itself once per thread
+//! count (`FFTMATVEC_DETGATE_CHILD=1`); each child runs the
+//! `bench_matvec`-shaped workloads plus the batched-FFT and
+//! tree-reduction hot paths and prints an order- and bit-sensitive
+//! FNV-1a digest of every output vector; the parent fails on any
+//! difference between the children's reports.
+//!
+//! Run: `cargo run --release -p fftmatvec-bench --bin determinism_gate`
+//! Flags:
+//! * `-threads <a,b,c>` — comma-separated pool widths (default `1,2,8`)
+
+use fftmatvec_bench::digest::{f64_bits, Fnv1a};
+use fftmatvec_bench::{make_operator, respawn, stuffed_vector, Args};
+use fftmatvec_comm::collectives::tree_reduce_sum_in_place;
+use fftmatvec_core::{DirectMatvec, FftMatvec, LinearOperator, OpDirection, PrecisionConfig};
+use fftmatvec_fft::{BatchedFft, BatchedRealFft};
+use fftmatvec_numeric::{Complex, SplitMix64};
+
+const CHILD_ENV: &str = "FFTMATVEC_DETGATE_CHILD";
+
+/// One output line per workload: `DIGEST <name> <hex>`.
+fn report(name: &str, digest: u64) {
+    println!("DIGEST {name} {digest:016x}");
+}
+
+/// The `bench_matvec` shape set (largest shape exercises every parallel
+/// path) in the baseline and paper-optimal configurations.
+fn matvec_workloads() {
+    let (nd, nm, nt) = (8usize, 256usize, 256usize);
+    for config in ["ddddd", "dssdd"] {
+        let cfg: PrecisionConfig = config.parse().expect("valid config literal");
+        let mv = FftMatvec::builder(make_operator(nd, nm, nt, nt as u64))
+            .precision(cfg)
+            .build()
+            .expect("CPU build");
+        for dir in [OpDirection::Forward, OpDirection::Adjoint] {
+            let (in_len, out_len) = mv.shape().io_lens(dir);
+            let input = stuffed_vector(in_len, 7);
+            let mut out = vec![0.0; out_len];
+            mv.apply_into(dir, &input, &mut out).expect("valid shapes");
+            let d = match dir {
+                OpDirection::Forward => "forward",
+                OpDirection::Adjoint => "adjoint",
+            };
+            report(&format!("matvec_{config}_{d}"), f64_bits(&out));
+
+            // Column-batched sweep: the apply_many pool path.
+            let cols = 6;
+            let inputs = stuffed_vector(in_len * cols, 11);
+            let mut outs = vec![0.0; out_len * cols];
+            mv.apply_many_into(dir, &inputs, &mut outs).expect("valid shapes");
+            report(&format!("matvec_many_{config}_{d}"), f64_bits(&outs));
+        }
+    }
+
+    // Direct (non-FFT) matvec at a size its O(N_t²) cost tolerates.
+    let op = make_operator(4, 32, 64, 17);
+    let direct = DirectMatvec::new(&op);
+    let m = stuffed_vector(32 * 64, 13);
+    let mut d = vec![0.0; 4 * 64];
+    direct.apply_forward_into(&m, &mut d).expect("valid shapes");
+    report("direct_forward", f64_bits(&d));
+}
+
+fn fft_workloads() {
+    // Batched complex FFT above the parallel threshold.
+    let (n, batch) = (2048usize, 64usize);
+    let mut rng = SplitMix64::new(23);
+    let data: Vec<Complex<f64>> = (0..n * batch)
+        .map(|_| Complex::new(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)))
+        .collect();
+    let bf = BatchedFft::<f64>::new(n);
+    let freq = bf.forward_batch_vec(&data);
+    let mut h = Fnv1a::new();
+    for c in &freq {
+        h.write_u64(c.re.to_bits());
+        h.write_u64(c.im.to_bits());
+    }
+    report("fft_batched_forward", h.finish());
+
+    // Batched real transform (the pipeline's phase-2/4 shape).
+    let (n, batch) = (2000usize, 40usize);
+    let mut rng = SplitMix64::new(29);
+    let signal: Vec<f64> = (0..n * batch).map(|_| rng.uniform(-1.0, 1.0)).collect();
+    let rf = BatchedRealFft::<f64>::new(n);
+    let mut spec = vec![Complex::<f64>::zero(); batch * rf.spectrum_len()];
+    rf.forward_batch(&signal, &mut spec);
+    let mut back = vec![0.0; n * batch];
+    rf.inverse_batch(&spec, &mut back);
+    let mut h = Fnv1a::new();
+    for c in &spec {
+        h.write_u64(c.re.to_bits());
+        h.write_u64(c.im.to_bits());
+    }
+    h.write_f64_bits(&back);
+    report("fft_real_roundtrip", h.finish());
+}
+
+fn reduce_workload() {
+    // Distributed phase-5 reduction shape: 12 ranks × 5000 elements,
+    // magnitudes spread so association drift would flip bits.
+    let (parts, len) = (12usize, 5000usize);
+    let mut rng = SplitMix64::new(31);
+    let mut flat: Vec<f64> = Vec::with_capacity(parts * len);
+    for r in 0..parts {
+        let mag = 10f64.powi((r % 9) as i32 - 4);
+        for _ in 0..len {
+            flat.push(rng.uniform(-1.0, 1.0) * mag);
+        }
+    }
+    tree_reduce_sum_in_place(&mut flat, len);
+    report("tree_reduce_in_place", f64_bits(&flat[..len]));
+}
+
+fn run_child() {
+    println!("THREADS {}", rayon::current_num_threads());
+    matvec_workloads();
+    fft_workloads();
+    reduce_workload();
+}
+
+/// Digest lines only — the `THREADS` banner legitimately differs.
+fn digest_lines(stdout: &str) -> Vec<&str> {
+    stdout.lines().filter(|l| l.starts_with("DIGEST ")).collect()
+}
+
+fn main() {
+    if std::env::var(CHILD_ENV).is_ok() {
+        run_child();
+        return;
+    }
+
+    let args = Args::from_env();
+    let spec: String = args.get("threads", "1,2,8".to_string());
+    let counts: Vec<usize> =
+        spec.split(',').map(|t| t.trim().parse().expect("thread count list")).collect();
+    assert!(counts.len() >= 2, "need at least two thread counts to compare");
+
+    println!("Determinism gate: byte-identical outputs at RAYON_NUM_THREADS = {spec}");
+    let reports: Vec<(usize, String)> =
+        counts.iter().map(|&n| (n, respawn::child_stdout(CHILD_ENV, n, false))).collect();
+
+    let (base_n, base) = &reports[0];
+    let base_digests = digest_lines(base);
+    assert!(!base_digests.is_empty(), "child produced no digests");
+    for line in &base_digests {
+        println!("  [{base_n}t] {line}");
+    }
+
+    let mut failures = Vec::new();
+    for (n, text) in &reports[1..] {
+        let digests = digest_lines(text);
+        if digests.len() != base_digests.len() {
+            failures.push(format!(
+                "{n} threads: {} digests vs {} at {base_n} threads",
+                digests.len(),
+                base_digests.len()
+            ));
+            continue;
+        }
+        for (a, b) in base_digests.iter().zip(&digests) {
+            if a != b {
+                failures.push(format!("{base_n}t `{a}` vs {n}t `{b}`"));
+            }
+        }
+    }
+
+    if failures.is_empty() {
+        println!(
+            "determinism gate: OK ({} workloads byte-identical across {} thread counts)",
+            base_digests.len(),
+            counts.len()
+        );
+    } else {
+        eprintln!("determinism gate FAILED:");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+}

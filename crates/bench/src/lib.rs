@@ -104,9 +104,15 @@ pub mod benchjson {
         /// `"iterative"` (the Stockham engine) or `"recursive"` (the seed
         /// baseline).
         pub engine: String,
+        /// Pool width the row was measured at
+        /// (`rayon::current_num_threads()` — `RAYON_NUM_THREADS` or the
+        /// machine's parallelism). Informational for cross-host
+        /// comparison; the regression gate's normalized statistic
+        /// already cancels it.
+        pub threads: usize,
         /// Best-case (min-of-samples) wall-clock nanoseconds per
-        /// transform; see `bench_fft::time_ns` for why min is the stable
-        /// statistic here.
+        /// transform; see [`crate::timing::min_ns`] for why min is the
+        /// stable statistic here.
         pub ns_per_transform: f64,
     }
 
@@ -122,8 +128,9 @@ pub mod benchjson {
         for (i, r) in results.iter().enumerate() {
             let sep = if i + 1 == results.len() { "" } else { "," };
             out.push_str(&format!(
-                "    {{\"size\": {}, \"precision\": \"{}\", \"engine\": \"{}\", \"ns_per_transform\": {:.1}}}{}\n",
-                r.size, r.precision, r.engine, r.ns_per_transform, sep
+                "    {{\"size\": {}, \"precision\": \"{}\", \"engine\": \"{}\", \
+                 \"threads\": {}, \"ns_per_transform\": {:.1}}}{}\n",
+                r.size, r.precision, r.engine, r.threads, r.ns_per_transform, sep
             ));
         }
         out.push_str("  ]\n}\n");
@@ -149,6 +156,9 @@ pub mod benchjson {
                     size: field(line, "size")?.parse().ok()?,
                     precision: field(line, "precision")?.to_string(),
                     engine: field(line, "engine")?.to_string(),
+                    // Absent in pre-thread-column documents: those were
+                    // measured on the sequential shim, i.e. one thread.
+                    threads: field(line, "threads").and_then(|v| v.parse().ok()).unwrap_or(1),
                     ns_per_transform: field(line, "ns_per_transform")?.parse().ok()?,
                 })
             })
@@ -234,6 +244,9 @@ pub mod matvecjson {
         /// `"alloc"` (`apply_forward`) or `"into"` (`apply_forward_into`
         /// on preallocated buffers).
         pub path: String,
+        /// Pool width the row was measured at (see
+        /// `benchjson::BenchResult::threads`).
+        pub threads: usize,
         /// Best-case (min-of-samples) wall-clock nanoseconds per apply.
         pub ns_per_apply: f64,
     }
@@ -250,8 +263,8 @@ pub mod matvecjson {
             let sep = if i + 1 == results.len() { "" } else { "," };
             out.push_str(&format!(
                 "    {{\"shape\": \"{}\", \"config\": \"{}\", \"direction\": \"{}\", \
-                 \"path\": \"{}\", \"ns_per_apply\": {:.1}}}{}\n",
-                r.shape, r.config, r.direction, r.path, r.ns_per_apply, sep
+                 \"path\": \"{}\", \"threads\": {}, \"ns_per_apply\": {:.1}}}{}\n",
+                r.shape, r.config, r.direction, r.path, r.threads, r.ns_per_apply, sep
             ));
         }
         out.push_str("  ]\n}\n");
@@ -277,6 +290,9 @@ pub mod matvecjson {
                     config: field(line, "config")?.to_string(),
                     direction: field(line, "direction")?.to_string(),
                     path: field(line, "path")?.to_string(),
+                    // Absent in pre-thread-column documents (sequential
+                    // shim era): one thread.
+                    threads: field(line, "threads").and_then(|v| v.parse().ok()).unwrap_or(1),
                     ns_per_apply: field(line, "ns_per_apply")?.parse().ok()?,
                 })
             })
@@ -372,6 +388,152 @@ pub fn rule(width: usize) {
     println!("{}", "-".repeat(width));
 }
 
+/// Shared micro-benchmark timing used by every gate binary
+/// (`bench_fft`, `bench_matvec`, `bench_speedup`): batch calibration and
+/// interleaved min-of-samples measurement.
+pub mod timing {
+    use std::time::Instant;
+
+    /// Grow the batch size until one batch of `f` takes at least
+    /// `sample_ms`.
+    pub fn calibrate<F: FnMut()>(f: &mut F, sample_ms: f64) -> u64 {
+        let mut iters = 1u64;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            let elapsed_ms = t.elapsed().as_secs_f64() * 1e3;
+            if elapsed_ms >= sample_ms || iters >= 1 << 22 {
+                return iters;
+            }
+            let grow = (sample_ms / elapsed_ms.max(1e-6)).ceil() as u64;
+            iters = iters.saturating_mul(grow.clamp(2, 16));
+        }
+    }
+
+    /// One timed batch, in nanoseconds per call.
+    pub fn time_batch<F: FnMut()>(f: &mut F, iters: u64) -> f64 {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        t.elapsed().as_secs_f64() * 1e9 / iters as f64
+    }
+
+    /// Minimum ns/call over `samples` batches. The minimum is the right
+    /// statistic for a CPU microbenchmark gate: scheduler noise only ever
+    /// adds time, so min-of-N converges to the true cost much faster than
+    /// the median — which keeps CI checks stable on shared runners.
+    pub fn min_ns<F: FnMut()>(mut f: F, samples: usize, sample_ms: f64) -> f64 {
+        let iters = calibrate(&mut f, sample_ms);
+        let mut best = f64::INFINITY;
+        for _ in 0..samples.max(3) {
+            best = best.min(time_batch(&mut f, iters));
+        }
+        best
+    }
+
+    /// Minimum ns/call for two routines, with their sample batches
+    /// *interleaved* so both minima come from the same time windows —
+    /// gates compare the a/b ratio, and interleaving cancels
+    /// machine-state drift (frequency scaling, background load) that
+    /// sequential measurement would bake into it.
+    pub fn time_pair_ns<A: FnMut(), B: FnMut()>(
+        mut a: A,
+        mut b: B,
+        samples: usize,
+        sample_ms: f64,
+    ) -> (f64, f64) {
+        let ia = calibrate(&mut a, sample_ms);
+        let ib = calibrate(&mut b, sample_ms);
+        let (mut best_a, mut best_b) = (f64::INFINITY, f64::INFINITY);
+        for _ in 0..samples.max(3) {
+            best_a = best_a.min(time_batch(&mut a, ia));
+            best_b = best_b.min(time_batch(&mut b, ib));
+        }
+        (best_a, best_b)
+    }
+}
+
+/// Self-re-exec helper shared by the gate binaries whose measurements
+/// depend on `RAYON_NUM_THREADS`: the pool reads the variable once per
+/// process, so changing it means running a fresh child process of the
+/// same executable.
+pub mod respawn {
+    use std::process::Command;
+
+    /// Re-run the current executable with `child_env=1` and
+    /// `RAYON_NUM_THREADS=threads`, returning its stdout (echoed when
+    /// `echo` is set). Parent CLI args are forwarded so flags like
+    /// `-quick` reach the child. Panics with the child's stderr on a
+    /// non-zero exit.
+    pub fn child_stdout(child_env: &str, threads: usize, echo: bool) -> String {
+        let exe = std::env::current_exe().expect("own executable path");
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let out = Command::new(exe)
+            .args(&args)
+            .env(child_env, "1")
+            .env("RAYON_NUM_THREADS", threads.to_string())
+            .output()
+            .expect("spawning gate child process");
+        assert!(
+            out.status.success(),
+            "gate child at {threads} threads failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = String::from_utf8_lossy(&out.stdout).into_owned();
+        if echo {
+            print!("{text}");
+        }
+        text
+    }
+}
+
+/// Order-sensitive FNV-1a digest over f64 bit patterns — the statistic
+/// the determinism CI gate compares across `RAYON_NUM_THREADS` settings.
+/// Any single-bit difference in any element, or any reordering, changes
+/// the digest.
+pub mod digest {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// Running FNV-1a 64 hasher.
+    #[derive(Clone)]
+    pub struct Fnv1a(u64);
+
+    impl Fnv1a {
+        #[allow(clippy::new_without_default)]
+        pub fn new() -> Fnv1a {
+            Fnv1a(FNV_OFFSET)
+        }
+
+        pub fn write_u64(&mut self, x: u64) {
+            for byte in x.to_le_bytes() {
+                self.0 ^= byte as u64;
+                self.0 = self.0.wrapping_mul(FNV_PRIME);
+            }
+        }
+
+        pub fn write_f64_bits(&mut self, xs: &[f64]) {
+            for &x in xs {
+                self.write_u64(x.to_bits());
+            }
+        }
+
+        pub fn finish(&self) -> u64 {
+            self.0
+        }
+    }
+
+    /// One-shot digest of a f64 buffer's exact bits.
+    pub fn f64_bits(xs: &[f64]) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write_f64_bits(xs);
+        h.finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -401,6 +563,35 @@ mod tests {
     }
 
     #[test]
+    fn digest_is_order_and_bit_sensitive() {
+        use crate::digest;
+        let a = digest::f64_bits(&[1.0, 2.0, 3.0]);
+        assert_eq!(a, digest::f64_bits(&[1.0, 2.0, 3.0]), "digest must be deterministic");
+        assert_ne!(a, digest::f64_bits(&[1.0, 3.0, 2.0]), "order must matter");
+        // One-ulp difference must change the digest.
+        let tweaked = f64::from_bits(3.0f64.to_bits() + 1);
+        assert_ne!(a, digest::f64_bits(&[1.0, 2.0, tweaked]));
+        // Signed zero is a distinct bit pattern.
+        assert_ne!(digest::f64_bits(&[0.0]), digest::f64_bits(&[-0.0]));
+    }
+
+    #[test]
+    fn timing_measures_something_positive() {
+        use crate::timing;
+        let mut x = 0u64;
+        let ns = timing::min_ns(
+            || {
+                x = x.wrapping_add(std::hint::black_box(1));
+            },
+            3,
+            0.05,
+        );
+        assert!(ns.is_finite() && ns >= 0.0);
+        let (a, b) = timing::time_pair_ns(|| (), || (), 3, 0.05);
+        assert!(a.is_finite() && b.is_finite());
+    }
+
+    #[test]
     fn benchjson_roundtrip() {
         use crate::benchjson::*;
         let results = vec![
@@ -408,12 +599,14 @@ mod tests {
                 size: 1024,
                 precision: "f64".into(),
                 engine: "iterative".into(),
+                threads: 4,
                 ns_per_transform: 1234.5,
             },
             BenchResult {
                 size: 2048,
                 precision: "f32".into(),
                 engine: "recursive".into(),
+                threads: 4,
                 ns_per_transform: 99.0,
             },
         ];
@@ -423,8 +616,16 @@ mod tests {
         assert_eq!(parsed.len(), 2);
         assert_eq!(parsed[0].size, 1024);
         assert_eq!(parsed[0].engine, "iterative");
+        assert_eq!(parsed[0].threads, 4);
         assert_eq!(parsed[1].precision, "f32");
         assert!((parsed[0].ns_per_transform - 1234.5).abs() < 0.11);
+        // Pre-thread-column lines (sequential-shim era) parse with
+        // threads defaulting to 1.
+        let legacy = "{\"size\": 8, \"precision\": \"f64\", \"engine\": \"iterative\", \
+                      \"ns_per_transform\": 10.0}";
+        let parsed = parse_document(legacy);
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].threads, 1);
     }
 
     #[test]
@@ -435,6 +636,7 @@ mod tests {
             config: "dssdd".into(),
             direction: "forward".into(),
             path: path.into(),
+            threads: 1,
             ns_per_apply: ns,
         };
         let doc = vec![row("alloc", 1000.0), row("into", 900.0)];
@@ -464,12 +666,14 @@ mod tests {
                     size: 1024,
                     precision: "f64".into(),
                     engine: "iterative".into(),
+                    threads: 1,
                     ns_per_transform: it,
                 },
                 BenchResult {
                     size: 1024,
                     precision: "f64".into(),
                     engine: "recursive".into(),
+                    threads: 1,
                     ns_per_transform: rec,
                 },
             ]

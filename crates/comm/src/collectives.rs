@@ -8,9 +8,43 @@
 
 use fftmatvec_numeric::Real;
 
+/// Work (scalar elements under a reduction node) below which the two
+/// subtrees run sequentially; smaller nodes are dominated by pool
+/// dispatch. Deliberately a per-crate constant (the FFT batch driver and
+/// the BLAS kernels carry their own): the profitable cutoff depends on
+/// the per-element cost of each workload, so the crates are tuned
+/// independently rather than sharing one number.
+#[cfg(feature = "parallel")]
+const PAR_THRESHOLD: usize = 1 << 14;
+
+/// Run the two halves of a reduction node — in parallel (with the
+/// `parallel` feature, above [`PAR_THRESHOLD`] work) or inline. Only the
+/// *scheduling* of the subtrees changes; the combine performed by the
+/// caller after this returns is identical in every mode, so the
+/// summation association — and therefore the result bits — cannot
+/// depend on the feature set or the thread count.
+#[cfg_attr(not(feature = "parallel"), allow(unused_variables))]
+fn node_halves<RA, RB>(
+    work: usize,
+    left: impl FnOnce() -> RA + Send,
+    right: impl FnOnce() -> RB + Send,
+) -> (RA, RB)
+where
+    RA: Send,
+    RB: Send,
+{
+    #[cfg(feature = "parallel")]
+    if work > PAR_THRESHOLD {
+        return rayon::join(left, right);
+    }
+    (left(), right())
+}
+
 /// Pairwise-tree sum of per-rank vectors (all the same length). The
 /// summation tree has depth `⌈log2(p)⌉`, matching both an MPI/RCCL tree
-/// reduction and the error model's `log2(p)` factor.
+/// reduction and the error model's `log2(p)` factor. With the `parallel`
+/// feature, independent subtrees execute concurrently on the pool —
+/// same tree, same association, same bits.
 pub fn tree_reduce_sum<T: Real>(inputs: &[Vec<T>]) -> Vec<T> {
     assert!(!inputs.is_empty(), "reduce over empty rank set");
     let len = inputs[0].len();
@@ -40,8 +74,12 @@ fn reduce_range<T: Real>(inputs: &[Vec<T>], lo: usize, hi: usize) -> Vec<T> {
         }
         n => {
             let half = tree_split(n);
-            let mut left = reduce_range(inputs, lo, lo + half);
-            let right = reduce_range(inputs, lo + half, hi);
+            let len = inputs[lo].len();
+            let (mut left, right) = node_halves(
+                n * len,
+                || reduce_range(inputs, lo, lo + half),
+                || reduce_range(inputs, lo + half, hi),
+            );
             for (o, &b) in left.iter_mut().zip(&right) {
                 *o += b;
             }
@@ -59,20 +97,27 @@ fn reduce_range<T: Real>(inputs: &[Vec<T>], lo: usize, hi: usize) -> Vec<T> {
 pub fn tree_reduce_sum_in_place<T: Real>(flat: &mut [T], len: usize) {
     assert!(len > 0 && !flat.is_empty(), "reduce over empty rank set");
     assert_eq!(flat.len() % len, 0, "flat buffer not a multiple of the part length");
-    reduce_range_in_place(flat, len, 0, flat.len() / len);
+    reduce_range_in_place(flat, len, flat.len() / len);
 }
 
-fn reduce_range_in_place<T: Real>(flat: &mut [T], len: usize, lo: usize, hi: usize) {
-    let n = hi - lo;
-    if n <= 1 {
+/// Reduce the leading `parts` parts of `flat` into `flat[..len]`.
+fn reduce_range_in_place<T: Real>(flat: &mut [T], len: usize, parts: usize) {
+    if parts <= 1 {
         return;
     }
-    let half = tree_split(n);
-    reduce_range_in_place(flat, len, lo, lo + half);
-    reduce_range_in_place(flat, len, lo + half, hi);
-    // parts[lo] += parts[lo + half].
-    let (head, tail) = flat.split_at_mut((lo + half) * len);
-    for (o, &b) in head[lo * len..(lo + 1) * len].iter_mut().zip(&tail[..len]) {
+    let half = tree_split(parts);
+    // Each recursion owns exactly its sub-slice: parts `[0, half)` live
+    // in `head` and parts `[half, parts)` in `tail`, so the two
+    // subtrees operate on disjoint borrows and can run concurrently.
+    let (head, tail) = flat.split_at_mut(half * len);
+    node_halves(
+        parts * len,
+        || reduce_range_in_place(head, len, half),
+        || reduce_range_in_place(tail, len, parts - half),
+    );
+    // parts[0] += parts[half].
+    let (head, tail) = flat.split_at_mut(half * len);
+    for (o, &b) in head[..len].iter_mut().zip(&tail[..len]) {
         *o += b;
     }
 }

@@ -4,9 +4,14 @@
 //! (phase 4: `N_d` series). The batched drivers here run every series
 //! through one cached plan (see [`crate::cache`]) and draw per-worker
 //! scratch from a shared [`ScratchArena`] instead of allocating per call.
-//! With the `parallel` feature the batch dimension is split across rayon
-//! workers; each worker checks out one arena buffer for its whole share
-//! of the batch.
+//! With the `parallel` feature the batch dimension is split across the
+//! rayon pool's work chunks; `for_each_init` builds one arena checkout
+//! per executed chunk (real-rayon semantics: roughly one per
+//! participating worker, never one shared guard for the whole batch), so
+//! at most one scratch buffer per concurrently-running worker is live at
+//! a time. Chunk boundaries depend only on the batch size — not the
+//! thread count — and every transform writes a disjoint output slice, so
+//! batched results are byte-identical at any `RAYON_NUM_THREADS`.
 
 use fftmatvec_numeric::{Complex, Real};
 #[cfg(feature = "parallel")]

@@ -21,8 +21,9 @@
 //!   exactly why the paper's frequency-domain SBGEMV batch count is
 //!   `N_t + 1` (Section 2.4).
 //! * [`batch`] — contiguous batched execution through one shared scratch
-//!   arena ([`scratch`]), parallelized across the batch dimension with
-//!   rayon, standing in for `cufftPlanMany`/`hipfftPlanMany`.
+//!   arena ([`scratch`]), parallelized across the batch dimension on the
+//!   rayon work-stealing pool, standing in for
+//!   `cufftPlanMany`/`hipfftPlanMany`.
 //! * [`dft`] — a naive O(n²) reference DFT used by tests and by the
 //!   Bluestein implementation's own validation.
 //! * [`recursive`] — the seed's recursive engine, kept as a differential

@@ -5,9 +5,12 @@
 //! elements. Instead of a fresh `vec![Complex::ZERO; …]` per call (the
 //! seed behaviour), a [`ScratchArena`] pools the buffers: a worker checks
 //! one out, runs any number of transforms through it, and the guard
-//! returns it on drop. Under rayon the pool holds at most one buffer per
-//! concurrently-running worker; sequentially it stabilizes at a single
-//! reused allocation.
+//! returns it on drop. Under the rayon pool, `for_each_init` checks out
+//! one guard per executed work chunk (per-worker semantics — *not* one
+//! `init()` value reused across the whole iteration), so at most one
+//! buffer per concurrently-running worker is live at any instant and the
+//! pool's parked-buffer count stabilizes at the peak worker concurrency;
+//! sequentially it stabilizes at a single reused allocation.
 
 use std::sync::{Mutex, MutexGuard, PoisonError};
 

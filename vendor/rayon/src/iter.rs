@@ -1,0 +1,729 @@
+//! Parallel iterators over the pool — the subset of `rayon::iter` this
+//! workspace uses, rebuilt on real parallelism.
+//!
+//! Everything is *indexed*: a parallel iterator is backed by a
+//! [`Producer`] that knows its exact length and can split at any index.
+//! The bridge recursively halves the producer into at most
+//! `MAX_LEAVES` leaves via [`crate::join`], runs each leaf as a
+//! sequential loop, and combines leaf results back up the split tree.
+//!
+//! **Determinism guarantee.** The split tree is a pure function of the
+//! job *length* — never the thread count, never scheduling — so every
+//! reduction (`sum`, `collect`, the combine step of `fold_chunks`)
+//! associates identically at `RAYON_NUM_THREADS=1` and `=1024`, and
+//! leaves covering disjoint output ranges write byte-identical results
+//! regardless of which worker runs them. This is *stronger* than
+//! upstream rayon, which splits adaptively: code that relies on
+//! bit-stable floating-point reductions across thread counts must keep
+//! its associations inside items/leaves (as the BLAS pairwise kernels
+//! and `tree_reduce_sum` do) to stay deterministic after a swap to the
+//! real crate.
+
+/// Upper bound on the number of leaves a parallel call fans out to.
+/// Fixed (not thread-count-derived) so the split tree — and with it
+/// every reduction association — depends only on the length. 32 leaves
+/// give an 8-worker pool four chunks per lane of stealing slack while
+/// keeping per-leaf dispatch overhead (one queue push/pop) negligible
+/// for the coarse chunks the workspace parallelizes over.
+const MAX_LEAVES: usize = 32;
+
+fn leaf_count(len: usize) -> usize {
+    len.clamp(1, MAX_LEAVES)
+}
+
+/// An exactly-sized, splittable source of items — the engine behind
+/// every indexed parallel iterator.
+pub trait Producer: Send + Sized {
+    type Item: Send;
+    type IntoIter: Iterator<Item = Self::Item>;
+
+    /// Remaining items.
+    fn len(&self) -> usize;
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Split into `[0, index)` and `[index, len)`.
+    fn split_at(self, index: usize) -> (Self, Self);
+
+    /// Sequential iterator over a leaf's items.
+    fn into_iter(self) -> Self::IntoIter;
+}
+
+/// Deterministic proportional midpoint: leaf boundaries land on the same
+/// indices no matter how the recursion is scheduled.
+fn proportional_mid(len: usize, left_leaves: usize, leaves: usize) -> usize {
+    ((len as u128 * left_leaves as u128) / leaves as u128) as usize
+}
+
+fn drive<P, R, R2, ID, F, FIN, C>(
+    producer: P,
+    leaves: usize,
+    identity: &ID,
+    fold: &F,
+    finish: &FIN,
+    combine: &C,
+) -> R2
+where
+    P: Producer,
+    R2: Send,
+    ID: Fn() -> R + Sync,
+    F: Fn(R, P::Item) -> R + Sync,
+    FIN: Fn(R) -> R2 + Sync,
+    C: Fn(R2, R2) -> R2 + Sync,
+{
+    if leaves <= 1 || producer.len() <= 1 {
+        let mut acc = identity();
+        for item in producer.into_iter() {
+            acc = fold(acc, item);
+        }
+        // `finish` runs before the leaf returns, on the leaf's thread:
+        // per-leaf state (the fold accumulator `R`, which never crosses
+        // threads) is released *here*, not parked in a join result slot
+        // until the sibling subtree completes — this is what bounds
+        // `for_each_init` states to one per concurrently-running worker.
+        return finish(acc);
+    }
+    let left_leaves = leaves / 2;
+    let mid = proportional_mid(producer.len(), left_leaves, leaves);
+    let (left, right) = producer.split_at(mid);
+    let (ra, rb) = crate::join(
+        || drive(left, left_leaves, identity, fold, finish, combine),
+        || drive(right, leaves - left_leaves, identity, fold, finish, combine),
+    );
+    combine(ra, rb)
+}
+
+/// Run a producer through the pool with the deterministic split tree.
+pub(crate) fn bridge_fold<P, R, R2, ID, F, FIN, C>(
+    producer: P,
+    identity: ID,
+    fold: F,
+    finish: FIN,
+    combine: C,
+) -> R2
+where
+    P: Producer,
+    R2: Send,
+    ID: Fn() -> R + Sync,
+    F: Fn(R, P::Item) -> R + Sync,
+    FIN: Fn(R) -> R2 + Sync,
+    C: Fn(R2, R2) -> R2 + Sync,
+{
+    // The thread count deliberately plays no role here: single-thread
+    // mode folds through the *same* split tree (`join` simply runs both
+    // arms inline), so every combine association — and with it every
+    // `sum`/`collect`/`reduce` result — is byte-identical at any
+    // RAYON_NUM_THREADS.
+    let leaves = leaf_count(producer.len());
+    drive(producer, leaves, &identity, &fold, &finish, &combine)
+}
+
+/// Mirror of `rayon::iter::ParallelIterator` (merged with the indexed
+/// combinators this workspace uses).
+pub trait ParallelIterator: Sized + Send {
+    type Item: Send;
+
+    /// Core driver every consumer is built on: fold items within leaves
+    /// (`identity` once per executed leaf — ≤ `MAX_LEAVES`, exactly the
+    /// concurrency-visible granularity — then `fold` once per item),
+    /// *finish* each leaf's accumulator into the cross-thread result
+    /// type on the leaf's own thread, and `combine` finished results up
+    /// the deterministic split tree.
+    ///
+    /// The leaf accumulator `R` never crosses threads and is consumed by
+    /// `finish` before the leaf returns — per-leaf state (pooled scratch
+    /// guards and the like) is therefore released at leaf completion,
+    /// never parked in a join result slot while a sibling subtree runs.
+    fn drive_fold<R, R2, ID, F, FIN, C>(self, identity: ID, fold: F, finish: FIN, combine: C) -> R2
+    where
+        R2: Send,
+        ID: Fn() -> R + Sync + Send,
+        F: Fn(R, Self::Item) -> R + Sync + Send,
+        FIN: Fn(R) -> R2 + Sync + Send,
+        C: Fn(R2, R2) -> R2 + Sync + Send;
+
+    /// [`Self::drive_fold`] without a leaf-finishing step: the fold
+    /// accumulator itself travels up the combine tree.
+    fn fold_chunks<R, ID, F, C>(self, identity: ID, fold: F, combine: C) -> R
+    where
+        R: Send,
+        ID: Fn() -> R + Sync + Send,
+        F: Fn(R, Self::Item) -> R + Sync + Send,
+        C: Fn(R, R) -> R + Sync + Send,
+    {
+        self.drive_fold(identity, fold, |acc| acc, combine)
+    }
+
+    fn for_each<F>(self, op: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        self.fold_chunks(|| (), |(), item| op(item), |(), ()| ());
+    }
+
+    /// `for_each` with per-leaf state: `init()` builds one fresh value
+    /// per executed work chunk (leaf), which the chunk's items then
+    /// share sequentially and which is dropped when the chunk finishes.
+    /// At most `MAX_LEAVES` values are built per call and at most one
+    /// per concurrently-running worker is live at a time — matching real
+    /// rayon's "approximately once per thread" contract, *not* one value
+    /// for the whole iteration.
+    fn for_each_init<T, INIT, F>(self, init: INIT, op: F)
+    where
+        T: Send,
+        INIT: Fn() -> T + Sync + Send,
+        F: Fn(&mut T, Self::Item) + Sync + Send,
+    {
+        self.drive_fold(
+            || None,
+            |state: Option<T>, item| {
+                let mut state = state.unwrap_or_else(&init);
+                op(&mut state, item);
+                Some(state)
+            },
+            // Leaf finish: drop the state here, on the leaf's thread.
+            drop,
+            |(), ()| (),
+        );
+    }
+
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
+        Map { base: self, f }
+    }
+
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item> + std::iter::Sum<S> + Send,
+    {
+        self.fold_chunks(
+            || std::iter::empty::<Self::Item>().sum::<S>(),
+            |acc, item| [acc, std::iter::once(item).sum::<S>()].into_iter().sum(),
+            |a, b| [a, b].into_iter().sum(),
+        )
+    }
+
+    fn count(self) -> usize {
+        self.fold_chunks(|| 0usize, |acc, _| acc + 1, |a, b| a + b)
+    }
+
+    /// Tree reduction with the deterministic leaf/combine association.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync + Send,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync + Send,
+    {
+        self.fold_chunks(&identity, &op, &op)
+    }
+
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+}
+
+/// Mirror of `rayon::iter::FromParallelIterator` for `collect`.
+pub trait FromParallelIterator<T: Send> {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self {
+        // Leaves arrive in left-to-right tree order == sequential order.
+        iter.fold_chunks(
+            Vec::new,
+            |mut acc, item| {
+                acc.push(item);
+                acc
+            },
+            |mut a, mut b| {
+                a.append(&mut b);
+                a
+            },
+        )
+    }
+}
+
+/// Mirror of `rayon::iter::IndexedParallelIterator`: backed by a
+/// [`Producer`], which unlocks the position-aware combinators.
+pub trait IndexedParallelIterator: ParallelIterator {
+    type Producer: Producer<Item = Self::Item>;
+
+    /// Exact number of items.
+    fn len(&self) -> usize;
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn into_producer(self) -> Self::Producer;
+
+    /// Pair items positionally; the result length is the shorter input's.
+    fn zip<B>(self, other: B) -> Zip<Self, B>
+    where
+        B: IndexedParallelIterator,
+    {
+        Zip { a: self, b: other }
+    }
+
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    fn take(self, n: usize) -> Take<Self> {
+        Take { base: self, n }
+    }
+}
+
+/// Stamp the `ParallelIterator` impl for a type whose
+/// `IndexedParallelIterator` impl supplies the producer.
+macro_rules! parallel_iterator_via_producer {
+    (impl [$($generics:tt)*] ParallelIterator<Item = $item:ty> for $ty:ty where [$($bounds:tt)*]) => {
+        impl<$($generics)*> $crate::iter::ParallelIterator for $ty
+        where
+            $($bounds)*
+        {
+            type Item = $item;
+
+            fn drive_fold<R_, R2_, ID_, F_, FIN_, C_>(
+                self,
+                identity: ID_,
+                fold: F_,
+                finish: FIN_,
+                combine: C_,
+            ) -> R2_
+            where
+                R2_: Send,
+                ID_: Fn() -> R_ + Sync + Send,
+                F_: Fn(R_, Self::Item) -> R_ + Sync + Send,
+                FIN_: Fn(R_) -> R2_ + Sync + Send,
+                C_: Fn(R2_, R2_) -> R2_ + Sync + Send,
+            {
+                $crate::iter::bridge_fold(
+                    $crate::iter::IndexedParallelIterator::into_producer(self),
+                    identity,
+                    fold,
+                    finish,
+                    combine,
+                )
+            }
+        }
+    };
+}
+pub(crate) use parallel_iterator_via_producer;
+
+// ---------------------------------------------------------------------
+// Map: a consumer adapter — it rewrites the fold closure, so it composes
+// over any parallel iterator without needing its own producer.
+// ---------------------------------------------------------------------
+
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, F, R> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    F: Fn(I::Item) -> R + Sync + Send,
+    R: Send,
+{
+    type Item = R;
+
+    fn drive_fold<RA, RF, ID, F2, FIN, C>(
+        self,
+        identity: ID,
+        fold: F2,
+        finish: FIN,
+        combine: C,
+    ) -> RF
+    where
+        RF: Send,
+        ID: Fn() -> RA + Sync + Send,
+        F2: Fn(RA, Self::Item) -> RA + Sync + Send,
+        FIN: Fn(RA) -> RF + Sync + Send,
+        C: Fn(RF, RF) -> RF + Sync + Send,
+    {
+        let f = self.f;
+        self.base.drive_fold(identity, move |acc, item| fold(acc, f(item)), finish, combine)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Zip
+// ---------------------------------------------------------------------
+
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+pub struct ZipProducer<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: Producer, B: Producer> Producer for ZipProducer<A, B> {
+    type Item = (A::Item, B::Item);
+    type IntoIter = std::iter::Zip<A::IntoIter, B::IntoIter>;
+
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (al, ar) = self.a.split_at(index);
+        let (bl, br) = self.b.split_at(index);
+        (ZipProducer { a: al, b: bl }, ZipProducer { a: ar, b: br })
+    }
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.a.into_iter().zip(self.b.into_iter())
+    }
+}
+
+impl<A, B> IndexedParallelIterator for Zip<A, B>
+where
+    A: IndexedParallelIterator,
+    B: IndexedParallelIterator,
+{
+    type Producer = ZipProducer<A::Producer, B::Producer>;
+
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+
+    fn into_producer(self) -> Self::Producer {
+        let n = self.len();
+        // Truncate both sides up front so splits stay in lockstep.
+        let a = self.a.into_producer().split_at(n).0;
+        let b = self.b.into_producer().split_at(n).0;
+        ZipProducer { a, b }
+    }
+}
+
+parallel_iterator_via_producer! {
+    impl [A, B] ParallelIterator<Item = (A::Item, B::Item)> for Zip<A, B>
+    where [A: IndexedParallelIterator, B: IndexedParallelIterator,]
+}
+
+// ---------------------------------------------------------------------
+// Enumerate
+// ---------------------------------------------------------------------
+
+pub struct Enumerate<I> {
+    base: I,
+}
+
+pub struct EnumerateProducer<P> {
+    base: P,
+    offset: usize,
+}
+
+impl<P: Producer> Producer for EnumerateProducer<P> {
+    type Item = (usize, P::Item);
+    type IntoIter = std::iter::Zip<std::ops::Range<usize>, P::IntoIter>;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (
+            EnumerateProducer { base: l, offset: self.offset },
+            EnumerateProducer { base: r, offset: self.offset + index },
+        )
+    }
+
+    fn into_iter(self) -> Self::IntoIter {
+        let end = self.offset + self.base.len();
+        (self.offset..end).zip(self.base.into_iter())
+    }
+}
+
+impl<I: IndexedParallelIterator> IndexedParallelIterator for Enumerate<I> {
+    type Producer = EnumerateProducer<I::Producer>;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn into_producer(self) -> Self::Producer {
+        EnumerateProducer { base: self.base.into_producer(), offset: 0 }
+    }
+}
+
+parallel_iterator_via_producer! {
+    impl [I] ParallelIterator<Item = (usize, I::Item)> for Enumerate<I>
+    where [I: IndexedParallelIterator,]
+}
+
+// ---------------------------------------------------------------------
+// Take: truncation happens at producer construction, so the base
+// producer type is reused as-is.
+// ---------------------------------------------------------------------
+
+pub struct Take<I> {
+    base: I,
+    n: usize,
+}
+
+impl<I: IndexedParallelIterator> IndexedParallelIterator for Take<I> {
+    type Producer = I::Producer;
+
+    fn len(&self) -> usize {
+        self.base.len().min(self.n)
+    }
+
+    fn into_producer(self) -> Self::Producer {
+        let n = self.n.min(self.base.len());
+        self.base.into_producer().split_at(n).0
+    }
+}
+
+parallel_iterator_via_producer! {
+    impl [I] ParallelIterator<Item = I::Item> for Take<I>
+    where [I: IndexedParallelIterator,]
+}
+
+// ---------------------------------------------------------------------
+// Slices: par_iter / par_iter_mut
+// ---------------------------------------------------------------------
+
+pub struct ParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> Producer for ParIter<'a, T> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.slice.split_at(index);
+        (ParIter { slice: l }, ParIter { slice: r })
+    }
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.slice.iter()
+    }
+}
+
+impl<'a, T: Sync> IndexedParallelIterator for ParIter<'a, T> {
+    type Producer = Self;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn into_producer(self) -> Self {
+        self
+    }
+}
+
+parallel_iterator_via_producer! {
+    impl ['a, T] ParallelIterator<Item = &'a T> for ParIter<'a, T>
+    where [T: Sync,]
+}
+
+pub struct ParIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> Producer for ParIterMut<'a, T> {
+    type Item = &'a mut T;
+    type IntoIter = std::slice::IterMut<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.slice.split_at_mut(index);
+        (ParIterMut { slice: l }, ParIterMut { slice: r })
+    }
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.slice.iter_mut()
+    }
+}
+
+impl<'a, T: Send> IndexedParallelIterator for ParIterMut<'a, T> {
+    type Producer = Self;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn into_producer(self) -> Self {
+        self
+    }
+}
+
+parallel_iterator_via_producer! {
+    impl ['a, T] ParallelIterator<Item = &'a mut T> for ParIterMut<'a, T>
+    where [T: Send,]
+}
+
+// ---------------------------------------------------------------------
+// Ranges
+// ---------------------------------------------------------------------
+
+pub struct ParRange<T> {
+    range: std::ops::Range<T>,
+}
+
+macro_rules! par_range_impl {
+    ($($t:ty),*) => {$(
+        impl Producer for ParRange<$t> {
+            type Item = $t;
+            type IntoIter = std::ops::Range<$t>;
+
+            fn len(&self) -> usize {
+                if self.range.start >= self.range.end {
+                    0
+                } else {
+                    (self.range.end - self.range.start) as usize
+                }
+            }
+
+            fn split_at(self, index: usize) -> (Self, Self) {
+                let mid = self.range.start + index as $t;
+                (
+                    ParRange { range: self.range.start..mid },
+                    ParRange { range: mid..self.range.end },
+                )
+            }
+
+            fn into_iter(self) -> Self::IntoIter {
+                self.range
+            }
+        }
+
+        impl IndexedParallelIterator for ParRange<$t> {
+            type Producer = Self;
+
+            fn len(&self) -> usize {
+                Producer::len(self)
+            }
+
+            fn into_producer(self) -> Self {
+                self
+            }
+        }
+
+        parallel_iterator_via_producer! {
+            impl [] ParallelIterator<Item = $t> for ParRange<$t> where []
+        }
+
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Iter = ParRange<$t>;
+            type Item = $t;
+
+            fn into_par_iter(self) -> ParRange<$t> {
+                ParRange { range: self }
+            }
+        }
+    )*};
+}
+
+par_range_impl!(usize, u32, u64, i32, i64);
+
+// ---------------------------------------------------------------------
+// Entry-point traits
+// ---------------------------------------------------------------------
+
+/// Mirror of `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    type Iter: ParallelIterator<Item = Self::Item>;
+    type Item: Send;
+
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Iter = ParIter<'a, T>;
+    type Item = &'a T;
+
+    fn into_par_iter(self) -> ParIter<'a, T> {
+        ParIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Iter = ParIter<'a, T>;
+    type Item = &'a T;
+
+    fn into_par_iter(self) -> ParIter<'a, T> {
+        ParIter { slice: self }
+    }
+}
+
+impl<'a, T: Send> IntoParallelIterator for &'a mut [T] {
+    type Iter = ParIterMut<'a, T>;
+    type Item = &'a mut T;
+
+    fn into_par_iter(self) -> ParIterMut<'a, T> {
+        ParIterMut { slice: self }
+    }
+}
+
+impl<'a, T: Send> IntoParallelIterator for &'a mut Vec<T> {
+    type Iter = ParIterMut<'a, T>;
+    type Item = &'a mut T;
+
+    fn into_par_iter(self) -> ParIterMut<'a, T> {
+        ParIterMut { slice: self }
+    }
+}
+
+/// Mirror of `rayon::iter::IntoParallelRefIterator` (`par_iter`).
+pub trait IntoParallelRefIterator<'data> {
+    type Iter: ParallelIterator<Item = Self::Item>;
+    type Item: Send + 'data;
+
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, I: 'data + ?Sized> IntoParallelRefIterator<'data> for I
+where
+    &'data I: IntoParallelIterator,
+{
+    type Iter = <&'data I as IntoParallelIterator>::Iter;
+    type Item = <&'data I as IntoParallelIterator>::Item;
+
+    fn par_iter(&'data self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}
+
+/// Mirror of `rayon::iter::IntoParallelRefMutIterator` (`par_iter_mut`).
+pub trait IntoParallelRefMutIterator<'data> {
+    type Iter: ParallelIterator<Item = Self::Item>;
+    type Item: Send + 'data;
+
+    fn par_iter_mut(&'data mut self) -> Self::Iter;
+}
+
+impl<'data, I: 'data + ?Sized> IntoParallelRefMutIterator<'data> for I
+where
+    &'data mut I: IntoParallelIterator,
+{
+    type Iter = <&'data mut I as IntoParallelIterator>::Iter;
+    type Item = <&'data mut I as IntoParallelIterator>::Item;
+
+    fn par_iter_mut(&'data mut self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}

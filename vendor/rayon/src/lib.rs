@@ -1,146 +1,187 @@
-//! Sequential, dependency-free stand-in for the subset of [`rayon`]'s API
-//! this workspace uses.
+//! Multithreaded, dependency-free stand-in for the subset of [`rayon`]'s
+//! API this workspace uses.
 //!
 //! The build environment has no access to crates.io, so the workspace
-//! vendors this shim as a path dependency named `rayon`. Every `par_*`
-//! adapter simply returns the corresponding standard-library iterator, so
-//! call sites type-check and run with identical semantics, just without
-//! work-stealing parallelism. Swapping in the real `rayon` is a one-line
-//! change in the root `Cargo.toml` (`[workspace.dependencies]`) and
-//! requires no source edits.
+//! vendors this shim as a path dependency named `rayon`. Unlike the
+//! original sequential shim, this version runs parallel work on a real
+//! thread pool: a lazily-initialized global registry of workers (sized
+//! by `RAYON_NUM_THREADS`; see `registry.rs`) fed by a shared
+//! injector queue, with `join`-based recursive splitting, helping
+//! waiters, and full panic propagation. Swapping in the real `rayon` is
+//! still a one-line change in the root `Cargo.toml`
+//! (`[workspace.dependencies]`) and requires no source edits.
+//!
+//! One behavioral guarantee is *stronger* than upstream rayon's and is
+//! relied on by the workspace's determinism CI gate: every parallel
+//! operation splits its input through a tree that depends only on the
+//! input length — never on the thread count or on scheduling — so
+//! results (including `sum`/`reduce`/`collect` associations and
+//! `for_each_init` leaf boundaries) are byte-identical at every
+//! `RAYON_NUM_THREADS`. See [`crate::iter`] for the details and for
+//! what to keep in mind before swapping to the adaptive upstream
+//! splitter.
 //!
 //! [`rayon`]: https://docs.rs/rayon
 
-pub mod iter {
-    /// Mirror of `rayon::iter::ParallelIterator`, satisfied by every
-    /// standard iterator so generic bounds written against rayon compile
-    /// unchanged.
-    pub trait ParallelIterator: Iterator {
-        /// Sequential `for_each_init`: one `init()` value reused across
-        /// the whole iteration (rayon builds one per work-stealing split).
-        fn for_each_init<T, INIT, F>(self, init: INIT, op: F)
-        where
-            Self: Sized,
-            INIT: Fn() -> T,
-            F: Fn(&mut T, Self::Item),
-        {
-            let mut state = init();
-            for item in self {
-                op(&mut state, item);
-            }
-        }
-    }
-    impl<I: Iterator> ParallelIterator for I {}
+use std::any::Any;
+use std::marker::PhantomData;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
-    /// Mirror of `rayon::iter::IntoParallelIterator`; `into_par_iter`
-    /// degrades to `into_iter`.
-    pub trait IntoParallelIterator {
-        type Iter: Iterator<Item = Self::Item>;
-        type Item;
-        fn into_par_iter(self) -> Self::Iter;
-    }
+use registry::{HeapJob, Registry, StackJob};
 
-    impl<I: IntoIterator> IntoParallelIterator for I {
-        type Iter = I::IntoIter;
-        type Item = I::Item;
-        fn into_par_iter(self) -> I::IntoIter {
-            self.into_iter()
-        }
-    }
-
-    /// Mirror of `rayon::iter::IntoParallelRefIterator` (`par_iter`).
-    pub trait IntoParallelRefIterator<'data> {
-        type Iter: Iterator<Item = Self::Item>;
-        type Item: 'data;
-        fn par_iter(&'data self) -> Self::Iter;
-    }
-
-    impl<'data, I: 'data + ?Sized> IntoParallelRefIterator<'data> for I
-    where
-        &'data I: IntoIterator,
-    {
-        type Iter = <&'data I as IntoIterator>::IntoIter;
-        type Item = <&'data I as IntoIterator>::Item;
-        fn par_iter(&'data self) -> Self::Iter {
-            self.into_iter()
-        }
-    }
-
-    /// Mirror of `rayon::iter::IntoParallelRefMutIterator` (`par_iter_mut`).
-    pub trait IntoParallelRefMutIterator<'data> {
-        type Iter: Iterator<Item = Self::Item>;
-        type Item: 'data;
-        fn par_iter_mut(&'data mut self) -> Self::Iter;
-    }
-
-    impl<'data, I: 'data + ?Sized> IntoParallelRefMutIterator<'data> for I
-    where
-        &'data mut I: IntoIterator,
-    {
-        type Iter = <&'data mut I as IntoIterator>::IntoIter;
-        type Item = <&'data mut I as IntoIterator>::Item;
-        fn par_iter_mut(&'data mut self) -> Self::Iter {
-            self.into_iter()
-        }
-    }
-}
-
-pub mod slice {
-    /// Mirror of `rayon::slice::ParallelSlice`.
-    pub trait ParallelSlice<T> {
-        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
-        fn par_chunks_exact(&self, chunk_size: usize) -> std::slice::ChunksExact<'_, T>;
-    }
-
-    impl<T> ParallelSlice<T> for [T] {
-        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
-            self.chunks(chunk_size)
-        }
-        fn par_chunks_exact(&self, chunk_size: usize) -> std::slice::ChunksExact<'_, T> {
-            self.chunks_exact(chunk_size)
-        }
-    }
-
-    /// Mirror of `rayon::slice::ParallelSliceMut`.
-    pub trait ParallelSliceMut<T> {
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
-        fn par_chunks_exact_mut(&mut self, chunk_size: usize) -> std::slice::ChunksExactMut<'_, T>;
-    }
-
-    impl<T> ParallelSliceMut<T> for [T] {
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
-            self.chunks_mut(chunk_size)
-        }
-        fn par_chunks_exact_mut(&mut self, chunk_size: usize) -> std::slice::ChunksExactMut<'_, T> {
-            self.chunks_exact_mut(chunk_size)
-        }
-    }
-}
+pub mod iter;
+pub(crate) mod registry;
+pub mod slice;
 
 pub mod prelude {
     pub use crate::iter::{
-        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelIterator,
+        IndexedParallelIterator, IntoParallelIterator, IntoParallelRefIterator,
+        IntoParallelRefMutIterator, ParallelIterator,
     };
     pub use crate::slice::{ParallelSlice, ParallelSliceMut};
 }
 
-/// Sequential `rayon::join`: runs both closures on the current thread.
+/// Potentially-parallel `rayon::join`: `oper_b` is offered to the pool
+/// while the calling thread runs `oper_a`; if no worker takes it in
+/// time, the caller reclaims and runs it inline. While waiting for a
+/// stolen `oper_b`, the caller executes other queued jobs, so nested
+/// joins cannot deadlock. A panic in either closure resumes on the
+/// calling thread (after both arms have completed or been reclaimed —
+/// the pool itself is never poisoned).
 pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
 where
-    A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
 {
-    (oper_a(), oper_b())
+    let registry = Registry::global();
+    if !registry.is_parallel() {
+        // Single-thread mode: same call tree, straight-line execution.
+        return (oper_a(), oper_b());
+    }
+    let job_b = StackJob::new(oper_b);
+    // SAFETY: `job_b` outlives every path below — we either retract it
+    // from the queue (exclusive ownership back) or wait on its latch.
+    let job_ref = unsafe { job_b.as_job_ref() };
+    registry.inject(job_ref);
+
+    let result_a = panic::catch_unwind(AssertUnwindSafe(oper_a));
+
+    if registry.retract(job_ref) {
+        // No worker touched B; run it here. If A panicked, B is simply
+        // dropped unexecuted (matching rayon) and A's panic resumes.
+        match result_a {
+            Ok(ra) => (ra, job_b.run_inline()),
+            Err(payload) => panic::resume_unwind(payload),
+        }
+    } else {
+        // A worker holds B: help with other queued work until it lands.
+        registry.wait_while_helping(&|| job_b.latch.probe());
+        // SAFETY: the latch is set, so the result slot is written and
+        // no other thread will touch the job again.
+        let result_b = unsafe { job_b.take_result() };
+        match (result_a, result_b) {
+            (Ok(ra), Ok(rb)) => (ra, rb),
+            (Err(payload), _) | (Ok(_), Err(payload)) => panic::resume_unwind(payload),
+        }
+    }
 }
 
-/// Reports the hardware parallelism the real rayon pool would use.
+/// The number of threads the pool runs work on (workers plus the
+/// participating caller) — `RAYON_NUM_THREADS` if set and non-zero,
+/// otherwise the machine's available parallelism.
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    Registry::global().num_threads()
+}
+
+/// Mirror of `rayon::Scope`: spawn point for tasks that borrow from the
+/// enclosing stack frame and are guaranteed to finish before [`scope`]
+/// returns.
+pub struct Scope<'scope> {
+    /// Spawned-but-unfinished jobs, plus 1 for the scope body itself.
+    pending: AtomicUsize,
+    /// First panic from any spawned job (later ones are dropped, like
+    /// rayon).
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    marker: PhantomData<&'scope mut &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Queue `body` on the pool. It may borrow anything that outlives
+    /// the scope; the enclosing [`scope`] call does not return until
+    /// every spawn has run to completion.
+    pub fn spawn<BODY>(&self, body: BODY)
+    where
+        BODY: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        // Erase the scope lifetime: the completion count keeps `self`
+        // (which lives in `scope`'s frame) alive until the job runs.
+        let scope_ptr: *const Scope<'scope> = self;
+        let scope_ptr = scope_ptr as usize;
+        let wrapper = move || {
+            // SAFETY: `scope` waits for `pending` to reach zero before
+            // returning, so the pointee is alive for the whole call.
+            let scope: &Scope<'_> = unsafe { &*(scope_ptr as *const Scope<'_>) };
+            let result = panic::catch_unwind(AssertUnwindSafe(|| body(scope)));
+            if let Err(payload) = result {
+                let mut slot =
+                    scope.panic.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                slot.get_or_insert(payload);
+            }
+            scope.complete_one();
+        };
+        // SAFETY(lifetime erasure): the wrapper only runs once, before
+        // `scope` returns; HeapJob boxes it so the spawning frame may
+        // unwind first.
+        let job = {
+            let boxed: Box<dyn FnOnce() + Send + 'scope> = Box::new(wrapper);
+            // Extend to 'static for the type-erased queue; soundness is
+            // the completion-count argument above.
+            let boxed: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(boxed) };
+            HeapJob::into_job_ref(boxed)
+        };
+        Registry::global().inject(job);
+    }
+
+    fn complete_one(&self) {
+        self.pending.fetch_sub(1, Ordering::SeqCst);
+        // Wake the scope owner if it is parked waiting for completion.
+        // (Reuses the latch wakeup path: serialize + notify.)
+        registry::wake_all();
+    }
+}
+
+/// Mirror of `rayon::scope`: runs `op`, then blocks — helping the pool —
+/// until every task spawned on the scope has finished. Panics from the
+/// body or any spawn resume on the caller after the scope has fully
+/// drained.
+pub fn scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R + Send,
+    R: Send,
+{
+    let s = Scope { pending: AtomicUsize::new(1), panic: Mutex::new(None), marker: PhantomData };
+    let result = panic::catch_unwind(AssertUnwindSafe(|| op(&s)));
+    s.complete_one();
+    Registry::global().wait_while_helping(&|| s.pending.load(Ordering::SeqCst) == 0);
+    let spawned_panic = s.panic.lock().unwrap_or_else(std::sync::PoisonError::into_inner).take();
+    match result {
+        Err(payload) => panic::resume_unwind(payload),
+        Ok(r) => match spawned_panic {
+            Some(payload) => panic::resume_unwind(payload),
+            None => r,
+        },
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use crate::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn adapters_match_std() {
@@ -155,11 +196,148 @@ mod tests {
         let chunks: Vec<&[i32]> = v.par_chunks_exact(2).collect();
         assert_eq!(chunks, vec![&[1, 2][..], &[3, 4][..]]);
 
-        let sum: i32 = (0..10).into_par_iter().sum();
+        let sum: i32 = (0..10i32).into_par_iter().sum();
         assert_eq!(sum, 45);
 
         let (a, b) = crate::join(|| 1, || 2);
         assert_eq!((a, b), (1, 2));
         assert!(crate::current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn chunked_writes_cover_every_element() {
+        let n = 10_000;
+        let mut data = vec![0u64; n];
+        data.par_chunks_mut(17).enumerate().for_each(|(c, chunk)| {
+            for (i, x) in chunk.iter_mut().enumerate() {
+                *x = (c * 17 + i) as u64;
+            }
+        });
+        assert!(data.iter().enumerate().all(|(i, &x)| x == i as u64));
+    }
+
+    #[test]
+    fn ragged_par_chunks_keeps_tail() {
+        let v: Vec<usize> = (0..10).collect();
+        let lens: Vec<usize> = v.par_chunks(4).map(|c| c.len()).collect();
+        assert_eq!(lens, vec![4, 4, 2]);
+        let lens: Vec<usize> = v.par_chunks_exact(4).map(|c| c.len()).collect();
+        assert_eq!(lens, vec![4, 4]);
+    }
+
+    #[test]
+    fn zip_truncates_to_shorter_side() {
+        let a: Vec<usize> = (0..9).collect();
+        let mut b = vec![0usize; 7];
+        a.par_chunks_exact(3).zip(b.par_chunks_mut(3)).for_each(|(src, dst)| {
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d = *s;
+            }
+        });
+        assert_eq!(b, vec![0, 1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn for_each_init_builds_at_most_one_state_per_leaf() {
+        let inits = AtomicUsize::new(0);
+        let v: Vec<usize> = (0..1000).collect();
+        let total = AtomicUsize::new(0);
+        v.par_iter().for_each_init(
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                0usize
+            },
+            |state, &x| {
+                *state += 1;
+                total.fetch_add(x, Ordering::Relaxed);
+            },
+        );
+        let inits = inits.load(Ordering::Relaxed);
+        assert!((1..=32).contains(&inits), "one init per leaf, got {inits}");
+        assert_eq!(total.load(Ordering::Relaxed), 499_500);
+    }
+
+    #[test]
+    fn join_propagates_panics_and_pool_survives() {
+        let caught = std::panic::catch_unwind(|| {
+            crate::join(|| 1, || -> i32 { panic!("boom-b") });
+        });
+        assert!(caught.is_err());
+        let caught = std::panic::catch_unwind(|| {
+            crate::join(|| -> i32 { panic!("boom-a") }, || 2);
+        });
+        assert!(caught.is_err());
+        // The pool keeps working after both panics.
+        let sum: u64 = (0..1000u64).into_par_iter().sum();
+        assert_eq!(sum, 499_500);
+    }
+
+    #[test]
+    fn for_each_panic_propagates_without_deadlock() {
+        let v: Vec<usize> = (0..10_000).collect();
+        let caught = std::panic::catch_unwind(|| {
+            v.par_iter().for_each(|&x| {
+                if x == 7777 {
+                    panic!("item panic");
+                }
+            });
+        });
+        assert!(caught.is_err(), "panic inside for_each must reach the caller");
+        // No poisoned state: the very next parallel call works.
+        let count = v.par_iter().count();
+        assert_eq!(count, 10_000);
+    }
+
+    #[test]
+    fn scope_runs_all_spawns_before_returning() {
+        let counter = AtomicUsize::new(0);
+        crate::scope(|s| {
+            for _ in 0..64 {
+                s.spawn(|inner| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                    // Nested spawn from a spawned task.
+                    inner.spawn(|_| {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                    });
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 128);
+    }
+
+    #[test]
+    fn scope_propagates_spawn_panics() {
+        let caught = std::panic::catch_unwind(|| {
+            crate::scope(|s| {
+                s.spawn(|_| panic!("spawned panic"));
+            });
+        });
+        assert!(caught.is_err());
+        assert_eq!((0..10u32).into_par_iter().sum::<u32>(), 45);
+    }
+
+    #[test]
+    fn nested_joins_compute_correctly() {
+        fn fib(n: u64) -> u64 {
+            if n < 2 {
+                return n;
+            }
+            let (a, b) = crate::join(|| fib(n - 1), || fib(n - 2));
+            a + b
+        }
+        assert_eq!(fib(16), 987);
+    }
+
+    #[test]
+    fn reduction_association_is_repeatable() {
+        // Cancellation-prone values: any change in association changes
+        // the bits. Repeat runs must agree exactly (split tree is a pure
+        // function of length, independent of scheduling).
+        let v: Vec<f64> = (0..4096).map(|i| ((i * 37) % 1001) as f64 * 1e-3 - 0.5).collect();
+        let first: f64 = v.par_iter().map(|&x| x * 1.000000119).sum();
+        for _ in 0..20 {
+            let again: f64 = v.par_iter().map(|&x| x * 1.000000119).sum();
+            assert_eq!(first.to_bits(), again.to_bits());
+        }
     }
 }

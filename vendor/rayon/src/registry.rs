@@ -1,0 +1,335 @@
+//! The thread pool: a lazily-initialized global registry of worker
+//! threads fed by a chunked injector queue.
+//!
+//! Design notes (what this is, and is not):
+//!
+//! * **One global pool.** Workers are spawned on first use. The worker
+//!   count comes from `RAYON_NUM_THREADS` (unset or `0` → the machine's
+//!   available parallelism). A count of `1` spawns no threads at all —
+//!   every primitive degrades to straight-line sequential execution.
+//! * **Injector queue, not per-worker deques.** Fork-join work is pushed
+//!   onto one shared FIFO (`Mutex<VecDeque>` + `Condvar`). The unit of
+//!   work is a *chunk* (a [`crate::iter::Producer`] leaf or one `join`
+//!   arm), which the iterator bridge keeps coarse, so queue contention is
+//!   a handful of lock acquisitions per parallel call — not per item.
+//!   A chase-lev deque per worker would shave nanoseconds off steals this
+//!   workload never makes hot.
+//! * **Waiters help.** A thread blocked on a [`Latch`] (a `join` caller
+//!   waiting for its stolen arm, a `scope` waiting for spawns) pops and
+//!   executes other queued jobs instead of sleeping, so nested
+//!   parallelism (pipeline → batched FFT) cannot deadlock: some thread
+//!   always holds each pending chunk, every chunk terminates, and parked
+//!   threads are woken whenever a latch is set or a job is injected.
+//! * **Panics are contained.** Every stolen job runs under
+//!   `catch_unwind`; the payload is carried back to the thread that owns
+//!   the `join`/`scope` and resumed there. Workers never unwind, the
+//!   queue mutex is never held across user code, and the pool stays
+//!   usable after any panic.
+
+use std::cell::UnsafeCell;
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::Duration;
+
+/// Hard cap on the worker count, so a typo'd `RAYON_NUM_THREADS` cannot
+/// fork-bomb the host.
+const MAX_THREADS: usize = 256;
+
+/// `RAYON_NUM_THREADS`, read once per process at pool initialization.
+/// Unset, unparsable, or `0` → the machine's available parallelism.
+fn configured_threads() -> usize {
+    let hw = || std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    match std::env::var("RAYON_NUM_THREADS").ok().and_then(|v| v.trim().parse::<usize>().ok()) {
+        None | Some(0) => hw(),
+        Some(n) => n.min(MAX_THREADS),
+    }
+}
+
+/// Type-erased pointer to a job living on some owner's stack (or, for
+/// `scope` spawns, on the heap). The owner guarantees the pointee stays
+/// alive until the job's latch is set — that is the whole safety
+/// contract, identical to rayon's `JobRef`.
+#[derive(Copy, Clone)]
+pub(crate) struct JobRef {
+    data: *const (),
+    execute_fn: unsafe fn(*const ()),
+}
+
+// SAFETY: a JobRef only crosses threads together with its owner's
+// guarantee that the pointee outlives execution (enforced by latches /
+// scope completion counts), and every Job type is Sync-safe to execute
+// from another thread.
+unsafe impl Send for JobRef {}
+
+/// A unit of executable work reachable through a [`JobRef`].
+pub(crate) trait Job {
+    /// # Safety
+    /// `this` must point to a live instance that has not yet executed.
+    unsafe fn execute(this: *const Self);
+}
+
+unsafe fn execute_erased<T: Job>(data: *const ()) {
+    unsafe { T::execute(data as *const T) }
+}
+
+impl JobRef {
+    /// # Safety
+    /// Caller keeps `job` alive until its completion signal fires.
+    pub(crate) unsafe fn new<T: Job>(job: *const T) -> JobRef {
+        JobRef { data: job as *const (), execute_fn: execute_erased::<T> }
+    }
+
+    unsafe fn execute(self) {
+        unsafe { (self.execute_fn)(self.data) }
+    }
+}
+
+/// One-shot completion flag. `set` is the *last* access the executing
+/// thread makes to the job's memory; after a successful `probe` the owner
+/// may free it.
+pub(crate) struct Latch {
+    done: AtomicBool,
+}
+
+impl Latch {
+    pub(crate) fn new() -> Latch {
+        Latch { done: AtomicBool::new(false) }
+    }
+
+    #[inline]
+    pub(crate) fn probe(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+
+    /// Mark complete and wake every thread parked in
+    /// [`Registry::wait_while_helping`]. The empty critical section
+    /// serializes against a waiter's probe-under-lock, so the wakeup
+    /// cannot be missed.
+    pub(crate) fn set(&self) {
+        self.done.store(true, Ordering::Release);
+        wake_all();
+    }
+}
+
+/// Wake every parked thread after a completion-state change (latch set,
+/// scope count reaching zero). The empty critical section serializes
+/// with a waiter's check-under-lock so the wakeup cannot be missed.
+pub(crate) fn wake_all() {
+    let registry = Registry::global();
+    drop(registry.lock_queue());
+    registry.condvar.notify_all();
+}
+
+/// The global pool.
+pub(crate) struct Registry {
+    queue: Mutex<VecDeque<JobRef>>,
+    condvar: Condvar,
+    /// Logical concurrency: spawned workers + the participating caller.
+    num_threads: usize,
+}
+
+impl Registry {
+    /// The process-wide registry, spawning `num_threads - 1` workers on
+    /// first use (the thread that issues parallel work is the N-th lane:
+    /// it always executes one arm of each `join` itself and helps while
+    /// waiting, so `RAYON_NUM_THREADS=n` yields n-way concurrency).
+    pub(crate) fn global() -> &'static Registry {
+        static REGISTRY: OnceLock<&'static Registry> = OnceLock::new();
+        REGISTRY.get_or_init(|| {
+            let num_threads = configured_threads();
+            let registry: &'static Registry = Box::leak(Box::new(Registry {
+                queue: Mutex::new(VecDeque::new()),
+                condvar: Condvar::new(),
+                num_threads,
+            }));
+            for i in 1..num_threads {
+                std::thread::Builder::new()
+                    .name(format!("fftmatvec-rayon-{i}"))
+                    .spawn(move || registry.worker_loop())
+                    .expect("spawning thread-pool worker");
+            }
+            registry
+        })
+    }
+
+    pub(crate) fn num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Is there any point pushing work to the queue? False in
+    /// single-thread mode, where no worker would ever pick it up and the
+    /// primitives short-circuit to sequential execution.
+    pub(crate) fn is_parallel(&self) -> bool {
+        self.num_threads > 1
+    }
+
+    /// The queue lock is only ever held for O(queue length) pointer
+    /// shuffling — never across user code — so a panicked lock holder is
+    /// impossible and poisoning is shrugged off for robustness.
+    fn lock_queue(&self) -> MutexGuard<'_, VecDeque<JobRef>> {
+        self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Push a job and wake the parked threads. `notify_all` rather than
+    /// `notify_one`: a single token can be consumed by a helping waiter
+    /// whose own condition just completed (it returns without taking the
+    /// job), which would leave workers asleep next to a runnable job.
+    /// With the pool's single-digit worker counts the broadcast is cheap.
+    pub(crate) fn inject(&self, job: JobRef) {
+        self.lock_queue().push_back(job);
+        self.condvar.notify_all();
+    }
+
+    /// Try to pull `job` back out of the queue before any worker takes
+    /// it. `true` means the caller now owns it exclusively and must run
+    /// it inline; `false` means a worker holds it — wait on its latch.
+    /// Pointer identity is sound: the owner's stack frame is alive, so no
+    /// other live job can share the address.
+    pub(crate) fn retract(&self, job: JobRef) -> bool {
+        let mut queue = self.lock_queue();
+        // Injected at the back, consumed from the front: our own job is
+        // almost always still the backmost entry.
+        match queue.iter().rposition(|j| std::ptr::eq(j.data, job.data)) {
+            Some(pos) => {
+                queue.remove(pos);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Block until `done()` — but spend the wait executing other queued
+    /// jobs. This is what makes nested parallelism deadlock-free and what
+    /// lets the caller's thread count as a full pool lane.
+    pub(crate) fn wait_while_helping(&self, done: &dyn Fn() -> bool) {
+        loop {
+            if done() {
+                return;
+            }
+            let job = self.lock_queue().pop_front();
+            match job {
+                Some(job) => unsafe { job.execute() },
+                None => {
+                    let queue = self.lock_queue();
+                    if done() {
+                        return;
+                    }
+                    if queue.is_empty() {
+                        // Latch sets and injections both notify under the
+                        // queue lock; the timeout is belt-and-suspenders
+                        // against a lost wakeup ever wedging the pool.
+                        let _ = self.condvar.wait_timeout(queue, Duration::from_millis(1));
+                    }
+                }
+            }
+        }
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            let job = {
+                let mut queue = self.lock_queue();
+                loop {
+                    if let Some(job) = queue.pop_front() {
+                        break job;
+                    }
+                    queue = self.condvar.wait(queue).unwrap_or_else(PoisonError::into_inner);
+                }
+            };
+            // Every Job implementation catches panics internally, so the
+            // worker thread itself never unwinds and never dies.
+            unsafe { job.execute() };
+        }
+    }
+}
+
+/// A `join` arm parked on the owner's stack while potentially executing
+/// on another thread.
+pub(crate) struct StackJob<F, R> {
+    func: UnsafeCell<Option<F>>,
+    result: UnsafeCell<Option<std::thread::Result<R>>>,
+    pub(crate) latch: Latch,
+}
+
+// SAFETY: accesses to the UnsafeCells are serialized by the queue
+// protocol — exactly one thread (the retracting owner *or* the worker
+// that popped the JobRef) touches `func`, and the owner only reads
+// `result` after the latch (Release/Acquire) proves the worker finished.
+unsafe impl<F: Send, R: Send> Sync for StackJob<F, R> {}
+
+impl<F, R> StackJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    pub(crate) fn new(func: F) -> StackJob<F, R> {
+        StackJob {
+            func: UnsafeCell::new(Some(func)),
+            result: UnsafeCell::new(None),
+            latch: Latch::new(),
+        }
+    }
+
+    /// # Safety
+    /// Caller keeps `self` alive until the latch is set (or retracts the
+    /// job first).
+    pub(crate) unsafe fn as_job_ref(&self) -> JobRef {
+        unsafe { JobRef::new(self) }
+    }
+
+    /// Run on the owner's thread after a successful retract — panics
+    /// propagate straight to the caller, no boxing needed.
+    pub(crate) fn run_inline(self) -> R {
+        let func = self.func.into_inner().expect("job executed twice");
+        func()
+    }
+
+    /// # Safety
+    /// Only after `self.latch.probe()` returned true.
+    pub(crate) unsafe fn take_result(&self) -> std::thread::Result<R> {
+        unsafe { (*self.result.get()).take().expect("job result taken twice") }
+    }
+}
+
+impl<F, R> Job for StackJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    unsafe fn execute(this: *const Self) {
+        let this = unsafe { &*this };
+        let func = unsafe { (*this.func.get()).take().expect("job executed twice") };
+        let result = panic::catch_unwind(AssertUnwindSafe(func));
+        unsafe { *this.result.get() = Some(result) };
+        // Last touch of `this`: after this line the owner may return and
+        // pop the stack frame the job lives in.
+        this.latch.set();
+    }
+}
+
+/// Heap-allocated job for `scope` spawns (the spawning frame may return
+/// to the scope body before the job runs, so it cannot live on the
+/// stack; the scope's completion count keeps the *scope* alive instead).
+pub(crate) struct HeapJob<F> {
+    func: F,
+}
+
+impl<F: FnOnce() + Send> HeapJob<F> {
+    /// Box the closure and leak it as a [`JobRef`]; `execute` reclaims
+    /// the box exactly once.
+    pub(crate) fn into_job_ref(func: F) -> JobRef {
+        let boxed = Box::new(HeapJob { func });
+        unsafe { JobRef::new(Box::into_raw(boxed)) }
+    }
+}
+
+impl<F: FnOnce() + Send> Job for HeapJob<F> {
+    unsafe fn execute(this: *const Self) {
+        let boxed = unsafe { Box::from_raw(this as *mut Self) };
+        // The closure is a scope wrapper that does its own catch_unwind
+        // and completion accounting.
+        (boxed.func)();
+    }
+}

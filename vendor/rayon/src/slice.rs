@@ -1,0 +1,142 @@
+//! Parallel slice chunking — the `rayon::slice` subset the workspace
+//! uses. Chunk iterators are [`crate::iter::Producer`]s whose unit is a
+//! whole chunk, so splits always land on chunk boundaries and the
+//! trailing partial chunk (for the non-`exact` variants) stays intact.
+
+use crate::iter::{parallel_iterator_via_producer, IndexedParallelIterator, Producer};
+
+/// Mirror of `rayon::slice::ParallelSlice`.
+pub trait ParallelSlice<T: Sync> {
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T>;
+    fn par_chunks_exact(&self, chunk_size: usize) -> ParChunksExact<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+        assert!(chunk_size != 0, "chunk_size must be non-zero");
+        ParChunks { slice: self, size: chunk_size }
+    }
+
+    fn par_chunks_exact(&self, chunk_size: usize) -> ParChunksExact<'_, T> {
+        assert!(chunk_size != 0, "chunk_size must be non-zero");
+        // Trim the remainder up front: every element index the producer
+        // ever touches is then a multiple of `size`.
+        let whole = self.len() - self.len() % chunk_size;
+        ParChunksExact { slice: &self[..whole], size: chunk_size }
+    }
+}
+
+/// Mirror of `rayon::slice::ParallelSliceMut`.
+pub trait ParallelSliceMut<T: Send> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+    fn par_chunks_exact_mut(&mut self, chunk_size: usize) -> ParChunksExactMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size != 0, "chunk_size must be non-zero");
+        ParChunksMut { slice: self, size: chunk_size }
+    }
+
+    fn par_chunks_exact_mut(&mut self, chunk_size: usize) -> ParChunksExactMut<'_, T> {
+        assert!(chunk_size != 0, "chunk_size must be non-zero");
+        let whole = self.len() - self.len() % chunk_size;
+        ParChunksExactMut { slice: &mut self[..whole], size: chunk_size }
+    }
+}
+
+/// Stamp producer + iterator impls for one chunking type. `$trim` maps a
+/// chunk index to an element index for `split_at` (clamped for the
+/// ragged-tail variants).
+macro_rules! par_chunks_impl {
+    (
+        $name:ident, $bound:ident, $split:ident, $std_iter:ty, $std_ctor:ident,
+        [$($slice_ty:tt)*], $item:ty, $count:expr
+    ) => {
+        pub struct $name<'a, T> {
+            slice: $($slice_ty)*,
+            size: usize,
+        }
+
+        impl<'a, T: $bound> Producer for $name<'a, T> {
+            type Item = $item;
+            type IntoIter = $std_iter;
+
+            fn len(&self) -> usize {
+                let count: fn(usize, usize) -> usize = $count;
+                count(self.slice.len(), self.size)
+            }
+
+            fn split_at(self, index: usize) -> (Self, Self) {
+                let at = (index * self.size).min(self.slice.len());
+                let (l, r) = self.slice.$split(at);
+                (
+                    $name { slice: l, size: self.size },
+                    $name { slice: r, size: self.size },
+                )
+            }
+
+            fn into_iter(self) -> Self::IntoIter {
+                self.slice.$std_ctor(self.size)
+            }
+        }
+
+        impl<'a, T: $bound> IndexedParallelIterator for $name<'a, T> {
+            type Producer = Self;
+
+            fn len(&self) -> usize {
+                Producer::len(self)
+            }
+
+            fn into_producer(self) -> Self {
+                self
+            }
+        }
+
+        parallel_iterator_via_producer! {
+            impl ['a, T] ParallelIterator<Item = $item> for $name<'a, T>
+            where [T: $bound,]
+        }
+    };
+}
+
+par_chunks_impl!(
+    ParChunks,
+    Sync,
+    split_at,
+    std::slice::Chunks<'a, T>,
+    chunks,
+    [&'a [T]],
+    &'a [T],
+    |len, size| len.div_ceil(size)
+);
+par_chunks_impl!(
+    ParChunksExact,
+    Sync,
+    split_at,
+    std::slice::ChunksExact<'a, T>,
+    chunks_exact,
+    [&'a [T]],
+    &'a [T],
+    |len, size| len / size
+);
+par_chunks_impl!(
+    ParChunksMut,
+    Send,
+    split_at_mut,
+    std::slice::ChunksMut<'a, T>,
+    chunks_mut,
+    [&'a mut [T]],
+    &'a mut [T],
+    |len, size| len.div_ceil(size)
+);
+par_chunks_impl!(
+    ParChunksExactMut,
+    Send,
+    split_at_mut,
+    std::slice::ChunksExactMut<'a, T>,
+    chunks_exact_mut,
+    [&'a mut [T]],
+    &'a mut [T],
+    |len, size| len / size
+);

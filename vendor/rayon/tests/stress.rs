@@ -1,0 +1,178 @@
+//! Concurrency stress tests for the injector queue and pool protocol —
+//! the stable-toolchain substitute for a `-Zsanitizer=thread` leg (the
+//! workspace pins a stable compiler, and `-Zbuild-std` needs nightly).
+//!
+//! Strategy: hammer the pool from many OS threads at once so queue
+//! pushes, retracts, steals, latch waits, and panic unwinds interleave
+//! as densely as a small machine allows, and check *results* (exact
+//! counts, exact bits) rather than timing. The CI thread-count matrix
+//! runs this at `RAYON_NUM_THREADS ∈ {1, 2, 8}`, covering the
+//! sequential short-circuit, the minimal two-lane race, and heavy
+//! oversubscription on small runners.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Barrier;
+
+use rayon::prelude::*;
+
+/// Many external threads drive overlapping parallel-for work through
+/// the one global queue; every element must be visited exactly once per
+/// drive.
+#[test]
+fn concurrent_drives_from_many_threads() {
+    const DRIVERS: usize = 8;
+    const ROUNDS: usize = 25;
+    const N: usize = 10_000;
+    let barrier = Barrier::new(DRIVERS);
+    std::thread::scope(|s| {
+        for t in 0..DRIVERS {
+            let barrier = &barrier;
+            s.spawn(move || {
+                barrier.wait();
+                for round in 0..ROUNDS {
+                    let visits = AtomicUsize::new(0);
+                    let sum = AtomicUsize::new(0);
+                    (0..N).into_par_iter().for_each(|i| {
+                        visits.fetch_add(1, Ordering::Relaxed);
+                        sum.fetch_add(i, Ordering::Relaxed);
+                    });
+                    assert_eq!(visits.load(Ordering::Relaxed), N, "driver {t} round {round}");
+                    assert_eq!(sum.load(Ordering::Relaxed), N * (N - 1) / 2);
+                }
+            });
+        }
+    });
+}
+
+/// Nested fork-join (join inside join inside par_iter) across several
+/// external threads — the shape that deadlocks a pool whose waiters
+/// refuse to help.
+#[test]
+fn nested_joins_under_contention() {
+    fn tree_sum(lo: u64, hi: u64) -> u64 {
+        if hi - lo <= 64 {
+            return (lo..hi).sum();
+        }
+        let mid = lo + (hi - lo) / 2;
+        let (a, b) = rayon::join(|| tree_sum(lo, mid), || tree_sum(mid, hi));
+        a + b
+    }
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            s.spawn(|| {
+                for _ in 0..50 {
+                    let total: u64 =
+                        (0..8u64).into_par_iter().map(|k| tree_sum(k * 1000, (k + 1) * 1000)).sum();
+                    assert_eq!(total, 8000 * 7999 / 2);
+                }
+            });
+        }
+    });
+}
+
+/// Panic storm: panics racing through the queue from several threads
+/// must each reach their own caller, and the pool must keep scheduling
+/// work for everyone else throughout.
+#[test]
+fn panic_storm_does_not_poison_or_deadlock() {
+    const DRIVERS: usize = 6;
+    std::thread::scope(|s| {
+        for t in 0..DRIVERS {
+            s.spawn(move || {
+                for round in 0..30 {
+                    if (t + round) % 2 == 0 {
+                        let caught = std::panic::catch_unwind(|| {
+                            (0..5000usize).into_par_iter().for_each(|i| {
+                                if i == 2500 + t {
+                                    panic!("storm {t}/{round}");
+                                }
+                            });
+                        });
+                        assert!(caught.is_err(), "driver {t} round {round} lost its panic");
+                    } else {
+                        let sum: usize = (0..5000usize).into_par_iter().sum();
+                        assert_eq!(sum, 5000 * 4999 / 2, "pool corrupted after panics");
+                    }
+                }
+            });
+        }
+    });
+    // Everyone's gone; the pool still works from the main thread.
+    assert_eq!((0..100usize).into_par_iter().count(), 100);
+}
+
+/// Mutable chunk writes from racing drivers: disjoint-slice handout must
+/// never alias, and every element must end up written by its own chunk.
+#[test]
+fn chunked_mutation_is_exact_under_contention() {
+    std::thread::scope(|s| {
+        for t in 0..6usize {
+            s.spawn(move || {
+                for round in 0..40 {
+                    let n = 4096 + 64 * round;
+                    let chunk = 1 + (t * 13 + round) % 97;
+                    let mut data = vec![usize::MAX; n];
+                    data.par_chunks_mut(chunk).enumerate().for_each(|(c, slab)| {
+                        for (i, x) in slab.iter_mut().enumerate() {
+                            *x = c * chunk + i;
+                        }
+                    });
+                    assert!(
+                        data.iter().enumerate().all(|(i, &x)| x == i),
+                        "aliased or skipped chunk at n={n} chunk={chunk}"
+                    );
+                }
+            });
+        }
+    });
+}
+
+/// Scope spawns racing with parallel iterators; spawn counts must be
+/// exact and nested spawns must complete before the scope returns.
+#[test]
+fn scopes_under_contention() {
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            s.spawn(|| {
+                for _ in 0..30 {
+                    let count = AtomicUsize::new(0);
+                    rayon::scope(|scope| {
+                        for _ in 0..16 {
+                            scope.spawn(|inner| {
+                                count.fetch_add(1, Ordering::SeqCst);
+                                inner.spawn(|_| {
+                                    count.fetch_add(1, Ordering::SeqCst);
+                                });
+                            });
+                        }
+                    });
+                    assert_eq!(count.load(Ordering::SeqCst), 32);
+                }
+            });
+        }
+    });
+}
+
+/// Floating-point reductions keep their exact bits while the queue is
+/// saturated by other threads — scheduling noise must never reach the
+/// combine tree.
+#[test]
+fn reduction_bits_are_stable_under_load() {
+    let v: Vec<f64> = (0..20_000).map(|i| (i as f64 * 0.738_219).sin() * 1e3).collect();
+    let baseline: f64 = v.par_iter().map(|&x| x * 1.000_000_119).sum();
+    std::thread::scope(|s| {
+        // Background load.
+        for _ in 0..3 {
+            s.spawn(|| {
+                for _ in 0..60 {
+                    let _ = (0..3000usize).into_par_iter().sum::<usize>();
+                }
+            });
+        }
+        // Foreground repetitions must reproduce the bits exactly.
+        for _ in 0..60 {
+            let again: f64 = v.par_iter().map(|&x| x * 1.000_000_119).sum();
+            assert_eq!(baseline.to_bits(), again.to_bits(), "association leaked scheduling");
+        }
+    });
+}
