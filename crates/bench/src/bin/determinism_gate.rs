@@ -120,7 +120,11 @@ fn reduce_workload() {
 }
 
 fn run_child() {
-    println!("THREADS {}", rayon::current_num_threads());
+    println!(
+        "THREADS {} SIMD {}",
+        rayon::current_num_threads(),
+        fftmatvec_numeric::simd::active_level().name()
+    );
     matvec_workloads();
     fft_workloads();
     reduce_workload();
@@ -143,23 +147,37 @@ fn main() {
         spec.split(',').map(|t| t.trim().parse().expect("thread count list")).collect();
     assert!(counts.len() >= 2, "need at least two thread counts to compare");
 
-    println!("Determinism gate: byte-identical outputs at RAYON_NUM_THREADS = {spec}");
-    let reports: Vec<(usize, String)> =
-        counts.iter().map(|&n| (n, respawn::child_stdout(CHILD_ENV, n, false))).collect();
+    println!(
+        "Determinism gate: byte-identical outputs at RAYON_NUM_THREADS = {spec} \
+         and with SIMD dispatch forced portable"
+    );
+    let mut reports: Vec<(String, String)> = counts
+        .iter()
+        .map(|&n| (format!("{n}t"), respawn::child_stdout(CHILD_ENV, n, false)))
+        .collect();
 
-    let (base_n, base) = &reports[0];
+    // Lane-width leg: the runtime-dispatched vector kernels must not
+    // change a single output bit, so one more child re-runs the widest
+    // thread count with `FFTMATVEC_SIMD=portable` (children inherit the
+    // parent's environment) and its digests join the same comparison.
+    let wide = *counts.last().expect("non-empty thread count list");
+    std::env::set_var("FFTMATVEC_SIMD", "portable");
+    reports.push((format!("{wide}t-portable-simd"), respawn::child_stdout(CHILD_ENV, wide, false)));
+    std::env::remove_var("FFTMATVEC_SIMD");
+
+    let (base_label, base) = &reports[0];
     let base_digests = digest_lines(base);
     assert!(!base_digests.is_empty(), "child produced no digests");
     for line in &base_digests {
-        println!("  [{base_n}t] {line}");
+        println!("  [{base_label}] {line}");
     }
 
     let mut failures = Vec::new();
-    for (n, text) in &reports[1..] {
+    for (label, text) in &reports[1..] {
         let digests = digest_lines(text);
         if digests.len() != base_digests.len() {
             failures.push(format!(
-                "{n} threads: {} digests vs {} at {base_n} threads",
+                "{label}: {} digests vs {} at {base_label}",
                 digests.len(),
                 base_digests.len()
             ));
@@ -167,16 +185,16 @@ fn main() {
         }
         for (a, b) in base_digests.iter().zip(&digests) {
             if a != b {
-                failures.push(format!("{base_n}t `{a}` vs {n}t `{b}`"));
+                failures.push(format!("{base_label} `{a}` vs {label} `{b}`"));
             }
         }
     }
 
     if failures.is_empty() {
         println!(
-            "determinism gate: OK ({} workloads byte-identical across {} thread counts)",
+            "determinism gate: OK ({} workloads byte-identical across {} legs)",
             base_digests.len(),
-            counts.len()
+            reports.len()
         );
     } else {
         eprintln!("determinism gate FAILED:");

@@ -383,6 +383,131 @@ pub mod matvecjson {
     }
 }
 
+/// Machine-readable SIMD-vs-scalar records: the `BENCH_simd.json` /
+/// `bench/baseline_simd.json` format the CI `bench-smoke` job produces
+/// and gates on. Same line-oriented JSON convention as [`benchjson`];
+/// rows are keyed by `(kernel, precision)`. Both legs of every row are
+/// measured interleaved in one session, so the gate statistic — the
+/// portable/simd speedup — cancels machine speed like the other gates'
+/// normalized costs.
+pub mod simdjson {
+    /// One measured kernel data point.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct SimdResult {
+        /// Kernel family: `"convert_widen"`, `"convert_narrow"`,
+        /// `"fft_forward"`, or `"sbgemv_notrans"`.
+        pub kernel: String,
+        /// Element type: `"f64"`, `"f32"`, `"f16"`, or `"bf16"`.
+        pub precision: String,
+        /// The [`fftmatvec_numeric::SimdLevel`] name the vector leg ran
+        /// at (informational; the gate compares the ratio).
+        pub level: String,
+        /// Min-of-samples ns/call with dispatch forced to the portable
+        /// scalar path.
+        pub portable_ns: f64,
+        /// Min-of-samples ns/call at the detected vector level.
+        pub simd_ns: f64,
+    }
+
+    impl SimdResult {
+        /// The gate statistic: how many times faster the vector leg ran.
+        pub fn speedup(&self) -> f64 {
+            self.portable_ns / self.simd_ns
+        }
+    }
+
+    /// Render the full document (`mode` = `"quick"` or `"full"`).
+    pub fn format_document(mode: &str, results: &[SimdResult]) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": 1,\n");
+        out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+        out.push_str("  \"unit\": \"ns_per_call\",\n");
+        out.push_str("  \"results\": [\n");
+        for (i, r) in results.iter().enumerate() {
+            let sep = if i + 1 == results.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"kernel\": \"{}\", \"precision\": \"{}\", \"level\": \"{}\", \
+                 \"portable_ns\": {:.1}, \"simd_ns\": {:.1}, \"speedup\": {:.3}}}{}\n",
+                r.kernel,
+                r.precision,
+                r.level,
+                r.portable_ns,
+                r.simd_ns,
+                r.speedup(),
+                sep
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Extract the value following `"key":` on `line`, up to `,` or `}`.
+    fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+        let tag = format!("\"{key}\":");
+        let start = line.find(&tag)? + tag.len();
+        let rest = &line[start..];
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(rest[..end].trim().trim_matches('"'))
+    }
+
+    /// Parse every result line of a document produced by
+    /// [`format_document`] (the redundant `speedup` field is recomputed,
+    /// not trusted).
+    pub fn parse_document(text: &str) -> Vec<SimdResult> {
+        text.lines()
+            .filter_map(|line| {
+                Some(SimdResult {
+                    kernel: field(line, "kernel")?.to_string(),
+                    precision: field(line, "precision")?.to_string(),
+                    level: field(line, "level")?.to_string(),
+                    portable_ns: field(line, "portable_ns")?.parse().ok()?,
+                    simd_ns: field(line, "simd_ns")?.parse().ok()?,
+                })
+            })
+            .collect()
+    }
+
+    /// Number of baseline rows the gate can enforce. 0 means a broken
+    /// baseline — callers should fail on it, not report success.
+    pub fn gated_count(baseline: &[SimdResult]) -> usize {
+        baseline.len()
+    }
+
+    /// Compare `current` against `baseline`: every baseline row's speedup
+    /// must be matched within `tol` (e.g. `1.25` = the current speedup may
+    /// be at most 25% below the committed one). Missing rows fail. Returns
+    /// human-readable failure lines; empty = pass.
+    pub fn regressions(current: &[SimdResult], baseline: &[SimdResult], tol: f64) -> Vec<String> {
+        let mut failures = Vec::new();
+        for b in baseline {
+            let Some(c) =
+                current.iter().find(|c| c.kernel == b.kernel && c.precision == b.precision)
+            else {
+                failures.push(format!(
+                    "missing result for kernel={} precision={}",
+                    b.kernel, b.precision
+                ));
+                continue;
+            };
+            let ratio = b.speedup() / c.speedup();
+            if ratio > tol {
+                failures.push(format!(
+                    "kernel={} precision={}: speedup {:.2}x vs baseline {:.2}x \
+                     ({:.2}x > {:.2}x budget)",
+                    b.kernel,
+                    b.precision,
+                    c.speedup(),
+                    b.speedup(),
+                    ratio,
+                    tol
+                ));
+            }
+        }
+        failures
+    }
+}
+
 /// Print a horizontal rule sized to a header line.
 pub fn rule(width: usize) {
     println!("{}", "-".repeat(width));
@@ -655,6 +780,33 @@ mod tests {
         // Missing pair is a failure; alloc-only baseline gates nothing.
         assert_eq!(regressions(&[], &doc, 1.25).len(), 1);
         assert_eq!(gated_count(&doc[..1]), 0);
+    }
+
+    #[test]
+    fn simdjson_roundtrip_and_gate() {
+        use crate::simdjson::*;
+        let row = |kernel: &str, portable: f64, simd: f64| SimdResult {
+            kernel: kernel.into(),
+            precision: "f16".into(),
+            level: "avx2".into(),
+            portable_ns: portable,
+            simd_ns: simd,
+        };
+        let doc = vec![row("convert_widen", 4000.0, 1000.0), row("fft_forward", 3000.0, 2000.0)];
+        let text = format_document("quick", &doc);
+        assert!(text.contains("\"speedup\": 4.000"));
+        assert_eq!(parse_document(&text), doc);
+        assert_eq!(gated_count(&doc), 2);
+        // Identical run passes; a uniformly slower machine passes too
+        // (the speedup is a same-session ratio).
+        assert!(regressions(&doc, &doc, 1.25).is_empty());
+        let slower = vec![row("convert_widen", 8000.0, 2000.0), row("fft_forward", 6000.0, 4000.0)];
+        assert!(regressions(&slower, &doc, 1.25).is_empty());
+        // Losing more than the budget of the committed speedup fails.
+        let faded = vec![row("convert_widen", 4000.0, 2000.0), row("fft_forward", 3000.0, 2000.0)];
+        assert_eq!(regressions(&faded, &doc, 1.25).len(), 1);
+        // Missing rows fail.
+        assert_eq!(regressions(&doc[..1], &doc, 1.25).len(), 1);
     }
 
     #[test]

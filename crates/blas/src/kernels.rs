@@ -172,6 +172,12 @@ fn notrans_pairwise_tile<S: Scalar>(
     acc: &mut [S; NOTRANS_TILE_ROWS],
 ) {
     if j1 - j0 <= PAIRWISE_BASE {
+        // The vector kernels run the identical per-row accumulation
+        // chain (rows are independent lanes), so results are
+        // bit-identical whichever path executes.
+        if crate::simd::notrans_tile(a, lda, x, i0, rows, j0, j1, &mut acc[..]) {
+            return;
+        }
         acc[..rows].fill(S::zero());
         for j in j0..j1 {
             let col = &a[j * lda + i0..j * lda + i0 + rows];

@@ -27,6 +27,7 @@
 
 pub mod dispatch;
 pub mod kernels;
+mod simd;
 pub mod types;
 
 pub use dispatch::{kernel_profile, sbgemv, sbgemv_with, select_kernel};

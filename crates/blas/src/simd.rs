@@ -1,0 +1,321 @@
+//! Vectorized base case for the non-transpose pairwise column sweep.
+//!
+//! [`notrans_tile`] offers one base run of the row-tiled SBGEMV sweep
+//! (`crate::kernels::notrans_pairwise_tile`) to a vector kernel; `false`
+//! means the caller must run its scalar loop. The vector kernels keep
+//! one widened accumulator register per row and walk the columns
+//! sequentially — the *same per-element accumulation chain* as the
+//! scalar code (rows are independent; vectorizing across rows cannot
+//! reassociate anything), so results are bit-identical at every
+//! dispatch level. The pairwise merge above the base case stays scalar:
+//! it is elementwise and cheap, and the tree shape must not change.
+//!
+//! The transpose-side `pairwise_dot` is deliberately **not** vectorized:
+//! its base runs accumulate sequentially along the reduction dimension,
+//! and any lane split there would change the summation tree.
+//!
+//! 16-bit tiers round through storage after every fused multiply-add
+//! (inner product and outer FMA for the complex types), exactly where
+//! the emulated scalar arithmetic rounds.
+
+use fftmatvec_numeric::Scalar;
+
+/// Vectorized tile base case. Fills `acc[..rows]` with the
+/// pairwise-base accumulation of columns `[j0, j1)` over rows
+/// `[i0, i0 + rows)`. Returns `false` if no vector kernel applies.
+#[allow(unused_variables, clippy::too_many_arguments)]
+pub(crate) fn notrans_tile<S: Scalar>(
+    a: &[S],
+    lda: usize,
+    x: &[S],
+    i0: usize,
+    rows: usize,
+    j0: usize,
+    j1: usize,
+    acc: &mut [S],
+) -> bool {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        use core::any::TypeId;
+
+        use fftmatvec_numeric::simd::{active_level, SimdLevel};
+
+        fn cast<S: Scalar, U: Scalar>(v: &[S]) -> Option<&[U]> {
+            (TypeId::of::<S>() == TypeId::of::<U>()).then(|| {
+                // SAFETY: S == U was just checked; identity cast.
+                unsafe { core::slice::from_raw_parts(v.as_ptr() as *const U, v.len()) }
+            })
+        }
+        fn cast_mut<S: Scalar, U: Scalar>(v: &mut [S]) -> Option<&mut [U]> {
+            (TypeId::of::<S>() == TypeId::of::<U>()).then(|| {
+                // SAFETY: as above; the exclusive borrow transfers.
+                unsafe { core::slice::from_raw_parts_mut(v.as_mut_ptr() as *mut U, v.len()) }
+            })
+        }
+
+        macro_rules! try_tile {
+            ($(($u:ty, $min_rows:expr, $kernel:path)),+ $(,)?) => {
+                if matches!(active_level(), SimdLevel::Avx2 | SimdLevel::Avx512) {
+                    $(
+                        if rows >= $min_rows {
+                            if let (Some(a), Some(x), Some(acc)) =
+                                (cast::<S, $u>(a), cast::<S, $u>(x), cast_mut::<S, $u>(acc))
+                            {
+                                // SAFETY: the Avx2/Avx512 levels are only
+                                // reachable through `level_supported`,
+                                // which verified avx2+fma on this host.
+                                unsafe { $kernel(a, lda, x, i0, rows, j0, j1, acc) };
+                                return true;
+                            }
+                        }
+                    )+
+                }
+            };
+        }
+        try_tile!(
+            (f32, 8, x86::tile_f32),
+            (f64, 4, x86::tile_f64),
+            (fftmatvec_numeric::half::f16, 8, x86::tile_f16),
+            (fftmatvec_numeric::half::bf16, 8, x86::tile_bf16),
+            (fftmatvec_numeric::Complex<f32>, 4, x86::tile_c32),
+            (fftmatvec_numeric::Complex<f64>, 2, x86::tile_c64),
+            (fftmatvec_numeric::Complex<fftmatvec_numeric::half::f16>, 4, x86::tile_c16),
+            (fftmatvec_numeric::Complex<fftmatvec_numeric::half::bf16>, 4, x86::tile_cb16),
+        );
+    }
+    false
+}
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod x86 {
+    //! AVX2+FMA tile kernels, one per `Scalar` type. Uniform safety
+    //! contract: caller guarantees AVX2+FMA support; accesses unaligned.
+    #![allow(clippy::missing_safety_doc, clippy::too_many_arguments)]
+
+    use core::arch::x86_64::*;
+
+    use fftmatvec_numeric::half::{bf16, f16};
+    use fftmatvec_numeric::simd::x86::{
+        cmuladd_pd, cmuladd_ps, dup_im_ps, dup_re_ps, narrow8_bf16, narrow8_f16, neg_even_ps,
+        round8_bf16, round8_f16, widen8_bf16, widen8_f16,
+    };
+    use fftmatvec_numeric::{Complex, Scalar};
+
+    /// Scalar accumulation over the remainder rows `[full, rows)` — the
+    /// identical expression chain of the scalar base case.
+    #[inline(always)]
+    fn scalar_rows<S: Scalar>(
+        a: &[S],
+        lda: usize,
+        x: &[S],
+        i0: usize,
+        full: usize,
+        rows: usize,
+        j0: usize,
+        j1: usize,
+        acc: &mut [S],
+    ) {
+        for p in acc[full..rows].iter_mut() {
+            *p = S::zero();
+        }
+        for j in j0..j1 {
+            let xj = x[j];
+            for (p, &aij) in acc[full..rows].iter_mut().zip(&a[j * lda + i0 + full..]) {
+                *p = aij.mul_add(xj, *p);
+            }
+        }
+    }
+
+    /// f32 rows, 8 per register: `acc[p] = fma(a[p][j], x[j], acc[p])`.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn tile_f32(
+        a: &[f32],
+        lda: usize,
+        x: &[f32],
+        i0: usize,
+        rows: usize,
+        j0: usize,
+        j1: usize,
+        acc: &mut [f32],
+    ) {
+        let full = rows / 8 * 8;
+        let ap = a.as_ptr();
+        let mut r = 0;
+        while r < full {
+            let mut v = _mm256_setzero_ps();
+            for j in j0..j1 {
+                let col = _mm256_loadu_ps(ap.add(j * lda + i0 + r));
+                v = _mm256_fmadd_ps(col, _mm256_set1_ps(x[j]), v);
+            }
+            _mm256_storeu_ps(acc.as_mut_ptr().add(r), v);
+            r += 8;
+        }
+        scalar_rows(a, lda, x, i0, full, rows, j0, j1, acc);
+    }
+
+    /// f64 rows, 4 per register.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn tile_f64(
+        a: &[f64],
+        lda: usize,
+        x: &[f64],
+        i0: usize,
+        rows: usize,
+        j0: usize,
+        j1: usize,
+        acc: &mut [f64],
+    ) {
+        let full = rows / 4 * 4;
+        let ap = a.as_ptr();
+        let mut r = 0;
+        while r < full {
+            let mut v = _mm256_setzero_pd();
+            for j in j0..j1 {
+                let col = _mm256_loadu_pd(ap.add(j * lda + i0 + r));
+                v = _mm256_fmadd_pd(col, _mm256_set1_pd(x[j]), v);
+            }
+            _mm256_storeu_pd(acc.as_mut_ptr().add(r), v);
+            r += 4;
+        }
+        scalar_rows(a, lda, x, i0, full, rows, j0, j1, acc);
+    }
+
+    macro_rules! half_real_tile {
+        ($t:ty, $kernel:ident, $widen8:ident, $narrow8:ident, $round8:ident) => {
+            /// 16-bit rows, 8 widened per register; every FMA rounds
+            /// through storage, matching the emulated scalar `mul_add`.
+            #[target_feature(enable = "avx2,fma")]
+            pub unsafe fn $kernel(
+                a: &[$t],
+                lda: usize,
+                x: &[$t],
+                i0: usize,
+                rows: usize,
+                j0: usize,
+                j1: usize,
+                acc: &mut [$t],
+            ) {
+                let full = rows / 8 * 8;
+                let ap = a.as_ptr() as *const u16;
+                let mut r = 0;
+                while r < full {
+                    let mut v = _mm256_setzero_ps();
+                    for j in j0..j1 {
+                        let col =
+                            $widen8(_mm_loadu_si128(ap.add(j * lda + i0 + r) as *const __m128i));
+                        let xj = _mm256_set1_ps(x[j].to_f32());
+                        v = $round8(_mm256_fmadd_ps(col, xj, v));
+                    }
+                    _mm_storeu_si128(acc.as_mut_ptr().add(r) as *mut __m128i, $narrow8(v));
+                    r += 8;
+                }
+                scalar_rows(a, lda, x, i0, full, rows, j0, j1, acc);
+            }
+        };
+    }
+
+    half_real_tile!(f16, tile_f16, widen8_f16, narrow8_f16, round8_f16);
+    half_real_tile!(bf16, tile_bf16, widen8_bf16, narrow8_bf16, round8_bf16);
+
+    /// Complex<f32> rows, 4 per register, via the exact `mul_add` mix.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn tile_c32(
+        a: &[Complex<f32>],
+        lda: usize,
+        x: &[Complex<f32>],
+        i0: usize,
+        rows: usize,
+        j0: usize,
+        j1: usize,
+        acc: &mut [Complex<f32>],
+    ) {
+        let full = rows / 4 * 4;
+        let ap = a.as_ptr() as *const f32;
+        let mut r = 0;
+        while r < full {
+            let mut v = _mm256_setzero_ps();
+            for j in j0..j1 {
+                let col = _mm256_loadu_ps(ap.add(2 * (j * lda + i0 + r)));
+                let xj = x[j];
+                let x_ri = _mm256_setr_ps(xj.re, xj.im, xj.re, xj.im, xj.re, xj.im, xj.re, xj.im);
+                let x_sw = _mm256_setr_ps(xj.im, xj.re, xj.im, xj.re, xj.im, xj.re, xj.im, xj.re);
+                v = cmuladd_ps(col, x_ri, x_sw, v);
+            }
+            _mm256_storeu_ps(acc.as_mut_ptr().add(r) as *mut f32, v);
+            r += 4;
+        }
+        scalar_rows(a, lda, x, i0, full, rows, j0, j1, acc);
+    }
+
+    /// Complex<f64> rows, 2 per register.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn tile_c64(
+        a: &[Complex<f64>],
+        lda: usize,
+        x: &[Complex<f64>],
+        i0: usize,
+        rows: usize,
+        j0: usize,
+        j1: usize,
+        acc: &mut [Complex<f64>],
+    ) {
+        let full = rows / 2 * 2;
+        let ap = a.as_ptr() as *const f64;
+        let mut r = 0;
+        while r < full {
+            let mut v = _mm256_setzero_pd();
+            for j in j0..j1 {
+                let col = _mm256_loadu_pd(ap.add(2 * (j * lda + i0 + r)));
+                let xj = x[j];
+                let x_ri = _mm256_setr_pd(xj.re, xj.im, xj.re, xj.im);
+                let x_sw = _mm256_setr_pd(xj.im, xj.re, xj.im, xj.re);
+                v = cmuladd_pd(col, x_ri, x_sw, v);
+            }
+            _mm256_storeu_pd(acc.as_mut_ptr().add(r) as *mut f64, v);
+            r += 2;
+        }
+        scalar_rows(a, lda, x, i0, full, rows, j0, j1, acc);
+    }
+
+    macro_rules! half_complex_tile {
+        ($t:ty, $kernel:ident, $widen8:ident, $narrow8:ident, $round8:ident) => {
+            /// 16-bit complex rows, 4 widened per register. Both FMAs of
+            /// the complex `mul_add` round through storage, matching the
+            /// emulated scalar arithmetic.
+            #[target_feature(enable = "avx2,fma")]
+            pub unsafe fn $kernel(
+                a: &[Complex<$t>],
+                lda: usize,
+                x: &[Complex<$t>],
+                i0: usize,
+                rows: usize,
+                j0: usize,
+                j1: usize,
+                acc: &mut [Complex<$t>],
+            ) {
+                let full = rows / 4 * 4;
+                let ap = a.as_ptr() as *const u16;
+                let mut r = 0;
+                while r < full {
+                    let mut v = _mm256_setzero_ps();
+                    for j in j0..j1 {
+                        let col = $widen8(_mm_loadu_si128(
+                            ap.add(2 * (j * lda + i0 + r)) as *const __m128i
+                        ));
+                        let (re, im) = (x[j].re.to_f32(), x[j].im.to_f32());
+                        let x_ri = _mm256_setr_ps(re, im, re, im, re, im, re, im);
+                        let x_sw = _mm256_setr_ps(im, re, im, re, im, re, im, re);
+                        let inner = $round8(_mm256_fmadd_ps(neg_even_ps(dup_im_ps(col)), x_sw, v));
+                        v = $round8(_mm256_fmadd_ps(dup_re_ps(col), x_ri, inner));
+                    }
+                    _mm_storeu_si128(acc.as_mut_ptr().add(r) as *mut __m128i, $narrow8(v));
+                    r += 4;
+                }
+                scalar_rows(a, lda, x, i0, full, rows, j0, j1, acc);
+            }
+        };
+    }
+
+    half_complex_tile!(f16, tile_c16, widen8_f16, narrow8_f16, round8_f16);
+    half_complex_tile!(bf16, tile_cb16, widen8_bf16, narrow8_bf16, round8_bf16);
+}

@@ -84,8 +84,12 @@ impl<T: Real> BluesteinPlan<T> {
     /// `work` as the inner ping-pong partner.
     fn convolve(&self, a: &mut [Complex<T>], work: &mut [Complex<T>]) {
         self.inner.process_inplace(a, work, FftDirection::Forward);
-        for (v, &bf) in a.iter_mut().zip(&self.b_fft) {
-            *v *= bf;
+        // Pointwise multiply by the chirp kernel spectrum — vectorized
+        // when a SIMD kernel applies (bit-identical either way).
+        if !crate::simd::pointwise_mul_assign(a, &self.b_fft) {
+            for (v, &bf) in a.iter_mut().zip(&self.b_fft) {
+                *v *= bf;
+            }
         }
         self.inner.process_inplace(a, work, FftDirection::Inverse);
     }

@@ -170,10 +170,18 @@ impl<T: Real> IterativeFft<T> {
 }
 
 /// Execute one stage, reading `src` and writing every element of `dst`.
+///
+/// The radix-2/4 arms first offer the stage to [`crate::simd`]; the
+/// vector kernels are bit-identical to the scalar loops below (same
+/// expression tree per butterfly), so which path runs is unobservable
+/// in the output.
 fn run_stage<T: Real>(st: &Stage<T>, src: &[Complex<T>], dst: &mut [Complex<T>], inverse: bool) {
     let (r, m, s) = (st.radix, st.m, st.s);
     match r {
         2 => {
+            if crate::simd::stage_radix2(src, dst, m, s, &st.twiddles, inverse) {
+                return;
+            }
             let sm = s * m;
             for p in 0..m {
                 let mut w = st.twiddles[p];
@@ -191,6 +199,9 @@ fn run_stage<T: Real>(st: &Stage<T>, src: &[Complex<T>], dst: &mut [Complex<T>],
             }
         }
         4 => {
+            if crate::simd::stage_radix4(src, dst, m, s, &st.twiddles, inverse) {
+                return;
+            }
             let sm = s * m;
             for p in 0..m {
                 let (mut w1, mut w2, mut w3) =

@@ -45,6 +45,7 @@ pub mod plan;
 pub mod real;
 pub mod recursive;
 pub mod scratch;
+mod simd;
 
 pub use batch::{BatchedFft, BatchedRealFft};
 pub use cache::{PlanHandle, RealPlanHandle};

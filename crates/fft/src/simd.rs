@@ -1,0 +1,165 @@
+//! Vectorized butterfly and pointwise-multiply kernels for the
+//! iterative engine and Bluestein's convolution.
+//!
+//! Each entry point here tries the active SIMD level and returns `true`
+//! only when a vector kernel fully handled the call; `false` means the
+//! caller must run its scalar loop. Dispatch is by `TypeId` on the
+//! concrete [`Real`] type (the four precisions are a closed set) plus
+//! [`fftmatvec_numeric::simd::active_level`].
+//!
+//! # Bit-identity
+//!
+//! The vector kernels replicate the scalar butterflies' expression tree
+//! per element — same adds/subs, same fused multiplies, same rounding
+//! points — so lane width never changes a single output bit (the same
+//! contract as [`fftmatvec_numeric::simd`], pinned by
+//! `tests/simd_equivalence.rs`). Concretely:
+//!
+//! * `f32`/`f64` complex multiplies use the `cmul` helpers that encode
+//!   `Complex::{Mul}` exactly (one unfused product, one FMA per part).
+//! * The 16-bit tiers widen to `f32` registers and **round through
+//!   storage after every operation** (`round8_f16`/`round8_bf16`),
+//!   exactly where the emulated scalar arithmetic rounds.
+//! * Twiddle conjugation for inverse transforms happens scalar-side
+//!   before broadcasting (an exact sign flip), so forward and inverse
+//!   share one kernel body.
+//! * Remainder elements (`s` not a lane multiple) run the identical
+//!   scalar expressions inline.
+//!
+//! Only the stride-`s` inner loop is vectorized; stages with `s` below
+//! the lane count (the first stage of a schedule) stay on the scalar
+//! path, as does the table-driven odd-radix butterfly.
+
+use fftmatvec_numeric::{Complex, Real};
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod x86;
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod dispatch {
+    use core::any::TypeId;
+
+    use fftmatvec_numeric::simd::{active_level, SimdLevel};
+    use fftmatvec_numeric::{Complex, Real};
+
+    pub(super) fn avx2_active() -> bool {
+        matches!(active_level(), SimdLevel::Avx2 | SimdLevel::Avx512)
+    }
+
+    /// Reinterpret a generic complex slice as its concrete type, if `T`
+    /// *is* `U` (then the cast is the identity and trivially sound).
+    pub(super) fn cast<T: Real, U: Real>(v: &[Complex<T>]) -> Option<&[Complex<U>]> {
+        (TypeId::of::<T>() == TypeId::of::<U>()).then(|| {
+            // SAFETY: T == U was just checked; same layout, same lifetime.
+            unsafe { core::slice::from_raw_parts(v.as_ptr() as *const Complex<U>, v.len()) }
+        })
+    }
+
+    /// Mutable variant of [`cast`].
+    pub(super) fn cast_mut<T: Real, U: Real>(v: &mut [Complex<T>]) -> Option<&mut [Complex<U>]> {
+        (TypeId::of::<T>() == TypeId::of::<U>()).then(|| {
+            // SAFETY: as above; the exclusive borrow transfers.
+            unsafe { core::slice::from_raw_parts_mut(v.as_mut_ptr() as *mut Complex<U>, v.len()) }
+        })
+    }
+}
+
+/// Dispatch one stage call over the closed set of [`Real`] types. Each
+/// row names the concrete type, the minimum inner stride for the vector
+/// body to ever fill a register (2 complex `f64` or 4 complex
+/// `f32`/16-bit), and the monomorphic kernel.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+macro_rules! try_stages {
+    ($src:ident, $dst:ident, $m:ident, $s:ident, $tw:ident, $inv:ident;
+     $(($u:ty, $min_s:expr, $kernel:path)),+ $(,)?) => {
+        if dispatch::avx2_active() {
+            $(
+                if $s >= $min_s {
+                    if let (Some(src), Some(dst), Some(tw)) = (
+                        dispatch::cast::<T, $u>($src),
+                        dispatch::cast_mut::<T, $u>($dst),
+                        dispatch::cast::<T, $u>($tw),
+                    ) {
+                        // SAFETY: `avx2_active` implies
+                        // `level_supported(Avx2)`: avx2+fma verified.
+                        unsafe { $kernel(src, dst, $m, $s, tw, $inv) };
+                        return true;
+                    }
+                }
+            )+
+        }
+    };
+}
+
+/// Vectorized radix-2 stage. Returns `false` if no vector kernel applies
+/// (portable level, unsupported type, or `s` too small).
+#[allow(unused_variables)]
+pub(crate) fn stage_radix2<T: Real>(
+    src: &[Complex<T>],
+    dst: &mut [Complex<T>],
+    m: usize,
+    s: usize,
+    twiddles: &[Complex<T>],
+    inverse: bool,
+) -> bool {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    try_stages!(src, dst, m, s, twiddles, inverse;
+        (f32, 4, x86::radix2_f32),
+        (f64, 2, x86::radix2_f64),
+        (fftmatvec_numeric::half::f16, 4, x86::radix2_f16),
+        (fftmatvec_numeric::half::bf16, 4, x86::radix2_bf16),
+    );
+    false
+}
+
+/// Vectorized radix-4 stage; same contract as [`stage_radix2`].
+#[allow(unused_variables)]
+pub(crate) fn stage_radix4<T: Real>(
+    src: &[Complex<T>],
+    dst: &mut [Complex<T>],
+    m: usize,
+    s: usize,
+    twiddles: &[Complex<T>],
+    inverse: bool,
+) -> bool {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    try_stages!(src, dst, m, s, twiddles, inverse;
+        (f32, 4, x86::radix4_f32),
+        (f64, 2, x86::radix4_f64),
+        (fftmatvec_numeric::half::f16, 4, x86::radix4_f16),
+        (fftmatvec_numeric::half::bf16, 4, x86::radix4_bf16),
+    );
+    false
+}
+
+/// Vectorized pointwise complex multiply `a[i] *= b[i]` (Bluestein's
+/// frequency-domain convolution). Returns `false` if unhandled.
+#[allow(unused_variables)]
+pub(crate) fn pointwise_mul_assign<T: Real>(a: &mut [Complex<T>], b: &[Complex<T>]) -> bool {
+    assert_eq!(a.len(), b.len(), "pointwise multiply length mismatch");
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        macro_rules! try_pointwise {
+            ($(($u:ty, $kernel:path)),+ $(,)?) => {
+                if dispatch::avx2_active() {
+                    $(
+                        if let (Some(a), Some(b)) =
+                            (dispatch::cast_mut::<T, $u>(a), dispatch::cast::<T, $u>(b))
+                        {
+                            // SAFETY: as in `try_stages!`.
+                            unsafe { $kernel(a, b) };
+                            return true;
+                        }
+                    )+
+                }
+            };
+        }
+        try_pointwise!(
+            (f32, x86::pointwise_mul_f32),
+            (f64, x86::pointwise_mul_f64),
+            (fftmatvec_numeric::half::f16, x86::pointwise_mul_f16),
+            (fftmatvec_numeric::half::bf16, x86::pointwise_mul_bf16),
+        );
+    }
+    false
+}

@@ -1,0 +1,454 @@
+//! AVX2+FMA butterfly kernels. Bit-identical to the scalar stage loops
+//! in [`crate::iterative`]; see the module doc of [`super`] for the
+//! identity argument and `fftmatvec_numeric::simd::x86` for the shared
+//! complex/conversion building blocks.
+//!
+//! # Safety
+//!
+//! Uniform contract for every function: the caller must guarantee the
+//! host supports AVX2 and FMA (the dispatcher checks `level_supported`).
+//! Slices are accessed unaligned.
+#![allow(clippy::missing_safety_doc)]
+
+use core::arch::x86_64::*;
+
+use fftmatvec_numeric::half::{bf16, f16};
+use fftmatvec_numeric::simd::x86::{
+    cmul_pd, cmul_ps, dup_im_ps, dup_re_ps, narrow8_bf16, narrow8_f16, neg_even_pd, neg_even_ps,
+    neg_odd_pd, neg_odd_ps, round8_bf16, round8_f16, swap_pairs_pd, swap_pairs_ps, widen8_bf16,
+    widen8_f16,
+};
+use fftmatvec_numeric::Complex;
+
+/// Broadcast one complex twiddle into `[re, im]×4` and `[im, re]×4`.
+#[target_feature(enable = "avx2,fma")]
+unsafe fn bcast_pair_ps(w: Complex<f32>) -> (__m256, __m256) {
+    (
+        _mm256_setr_ps(w.re, w.im, w.re, w.im, w.re, w.im, w.re, w.im),
+        _mm256_setr_ps(w.im, w.re, w.im, w.re, w.im, w.re, w.im, w.re),
+    )
+}
+
+/// Broadcast one complex twiddle into `[re, im]×2` and `[im, re]×2`.
+#[target_feature(enable = "avx2,fma")]
+unsafe fn bcast_pair_pd(w: Complex<f64>) -> (__m256d, __m256d) {
+    (_mm256_setr_pd(w.re, w.im, w.re, w.im), _mm256_setr_pd(w.im, w.re, w.im, w.re))
+}
+
+// ---------------------------------------------------------------------------
+// f32 / f64 stages (native lanes, no storage rounding)
+// ---------------------------------------------------------------------------
+
+/// Radix-2 Stockham stage over `Complex<f32>`, 4 butterflies per step.
+#[target_feature(enable = "avx2,fma")]
+pub unsafe fn radix2_f32(
+    src: &[Complex<f32>],
+    dst: &mut [Complex<f32>],
+    m: usize,
+    s: usize,
+    tw: &[Complex<f32>],
+    inverse: bool,
+) {
+    let sm = s * m;
+    let sp = src.as_ptr() as *const f32;
+    let dp = dst.as_mut_ptr() as *mut f32;
+    for p in 0..m {
+        let mut w = tw[p];
+        if inverse {
+            w = w.conj();
+        }
+        let (w_ri, w_swap) = bcast_pair_ps(w);
+        let i0 = s * p;
+        let o0 = 2 * s * p;
+        let mut q = 0;
+        while q + 4 <= s {
+            let a = _mm256_loadu_ps(sp.add(2 * (i0 + q)));
+            let b = _mm256_loadu_ps(sp.add(2 * (i0 + sm + q)));
+            _mm256_storeu_ps(dp.add(2 * (o0 + q)), _mm256_add_ps(a, b));
+            let prod = cmul_ps(_mm256_sub_ps(a, b), w_ri, w_swap);
+            _mm256_storeu_ps(dp.add(2 * (o0 + s + q)), prod);
+            q += 4;
+        }
+        while q < s {
+            let a = src[i0 + q];
+            let b = src[i0 + sm + q];
+            dst[o0 + q] = a + b;
+            dst[o0 + s + q] = (a - b) * w;
+            q += 1;
+        }
+    }
+}
+
+/// Radix-2 Stockham stage over `Complex<f64>`, 2 butterflies per step.
+#[target_feature(enable = "avx2,fma")]
+pub unsafe fn radix2_f64(
+    src: &[Complex<f64>],
+    dst: &mut [Complex<f64>],
+    m: usize,
+    s: usize,
+    tw: &[Complex<f64>],
+    inverse: bool,
+) {
+    let sm = s * m;
+    let sp = src.as_ptr() as *const f64;
+    let dp = dst.as_mut_ptr() as *mut f64;
+    for p in 0..m {
+        let mut w = tw[p];
+        if inverse {
+            w = w.conj();
+        }
+        let (w_ri, w_swap) = bcast_pair_pd(w);
+        let i0 = s * p;
+        let o0 = 2 * s * p;
+        let mut q = 0;
+        while q + 2 <= s {
+            let a = _mm256_loadu_pd(sp.add(2 * (i0 + q)));
+            let b = _mm256_loadu_pd(sp.add(2 * (i0 + sm + q)));
+            _mm256_storeu_pd(dp.add(2 * (o0 + q)), _mm256_add_pd(a, b));
+            let prod = cmul_pd(_mm256_sub_pd(a, b), w_ri, w_swap);
+            _mm256_storeu_pd(dp.add(2 * (o0 + s + q)), prod);
+            q += 2;
+        }
+        while q < s {
+            let a = src[i0 + q];
+            let b = src[i0 + sm + q];
+            dst[o0 + q] = a + b;
+            dst[o0 + s + q] = (a - b) * w;
+            q += 1;
+        }
+    }
+}
+
+/// Radix-4 Stockham stage over `Complex<f32>`, 4 butterflies per step.
+#[target_feature(enable = "avx2,fma")]
+pub unsafe fn radix4_f32(
+    src: &[Complex<f32>],
+    dst: &mut [Complex<f32>],
+    m: usize,
+    s: usize,
+    tw: &[Complex<f32>],
+    inverse: bool,
+) {
+    let sm = s * m;
+    let sp = src.as_ptr() as *const f32;
+    let dp = dst.as_mut_ptr() as *mut f32;
+    for p in 0..m {
+        let (mut w1, mut w2, mut w3) = (tw[3 * p], tw[3 * p + 1], tw[3 * p + 2]);
+        if inverse {
+            w1 = w1.conj();
+            w2 = w2.conj();
+            w3 = w3.conj();
+        }
+        let (w1_ri, w1_sw) = bcast_pair_ps(w1);
+        let (w2_ri, w2_sw) = bcast_pair_ps(w2);
+        let (w3_ri, w3_sw) = bcast_pair_ps(w3);
+        let i0 = s * p;
+        let o0 = 4 * s * p;
+        let mut q = 0;
+        while q + 4 <= s {
+            let t0 = _mm256_loadu_ps(sp.add(2 * (i0 + q)));
+            let t1 = _mm256_loadu_ps(sp.add(2 * (i0 + sm + q)));
+            let t2 = _mm256_loadu_ps(sp.add(2 * (i0 + 2 * sm + q)));
+            let t3 = _mm256_loadu_ps(sp.add(2 * (i0 + 3 * sm + q)));
+            let e = _mm256_add_ps(t0, t2);
+            let f = _mm256_sub_ps(t0, t2);
+            let g = _mm256_add_ps(t1, t3);
+            let h = _mm256_sub_ps(t1, t3);
+            // ∓i·h: swap (re, im) then flip one sign — exact bit ops,
+            // matching `Complex::new(±h.im, ∓h.re)`.
+            let ih =
+                if inverse { neg_even_ps(swap_pairs_ps(h)) } else { neg_odd_ps(swap_pairs_ps(h)) };
+            _mm256_storeu_ps(dp.add(2 * (o0 + q)), _mm256_add_ps(e, g));
+            let o1 = cmul_ps(_mm256_add_ps(f, ih), w1_ri, w1_sw);
+            _mm256_storeu_ps(dp.add(2 * (o0 + s + q)), o1);
+            let o2 = cmul_ps(_mm256_sub_ps(e, g), w2_ri, w2_sw);
+            _mm256_storeu_ps(dp.add(2 * (o0 + 2 * s + q)), o2);
+            let o3 = cmul_ps(_mm256_sub_ps(f, ih), w3_ri, w3_sw);
+            _mm256_storeu_ps(dp.add(2 * (o0 + 3 * s + q)), o3);
+            q += 4;
+        }
+        while q < s {
+            radix4_scalar_tail(src, dst, i0, o0, sm, s, q, w1, w2, w3, inverse);
+            q += 1;
+        }
+    }
+}
+
+/// Radix-4 Stockham stage over `Complex<f64>`, 2 butterflies per step.
+#[target_feature(enable = "avx2,fma")]
+pub unsafe fn radix4_f64(
+    src: &[Complex<f64>],
+    dst: &mut [Complex<f64>],
+    m: usize,
+    s: usize,
+    tw: &[Complex<f64>],
+    inverse: bool,
+) {
+    let sm = s * m;
+    let sp = src.as_ptr() as *const f64;
+    let dp = dst.as_mut_ptr() as *mut f64;
+    for p in 0..m {
+        let (mut w1, mut w2, mut w3) = (tw[3 * p], tw[3 * p + 1], tw[3 * p + 2]);
+        if inverse {
+            w1 = w1.conj();
+            w2 = w2.conj();
+            w3 = w3.conj();
+        }
+        let (w1_ri, w1_sw) = bcast_pair_pd(w1);
+        let (w2_ri, w2_sw) = bcast_pair_pd(w2);
+        let (w3_ri, w3_sw) = bcast_pair_pd(w3);
+        let i0 = s * p;
+        let o0 = 4 * s * p;
+        let mut q = 0;
+        while q + 2 <= s {
+            let t0 = _mm256_loadu_pd(sp.add(2 * (i0 + q)));
+            let t1 = _mm256_loadu_pd(sp.add(2 * (i0 + sm + q)));
+            let t2 = _mm256_loadu_pd(sp.add(2 * (i0 + 2 * sm + q)));
+            let t3 = _mm256_loadu_pd(sp.add(2 * (i0 + 3 * sm + q)));
+            let e = _mm256_add_pd(t0, t2);
+            let f = _mm256_sub_pd(t0, t2);
+            let g = _mm256_add_pd(t1, t3);
+            let h = _mm256_sub_pd(t1, t3);
+            let ih =
+                if inverse { neg_even_pd(swap_pairs_pd(h)) } else { neg_odd_pd(swap_pairs_pd(h)) };
+            _mm256_storeu_pd(dp.add(2 * (o0 + q)), _mm256_add_pd(e, g));
+            let o1 = cmul_pd(_mm256_add_pd(f, ih), w1_ri, w1_sw);
+            _mm256_storeu_pd(dp.add(2 * (o0 + s + q)), o1);
+            let o2 = cmul_pd(_mm256_sub_pd(e, g), w2_ri, w2_sw);
+            _mm256_storeu_pd(dp.add(2 * (o0 + 2 * s + q)), o2);
+            let o3 = cmul_pd(_mm256_sub_pd(f, ih), w3_ri, w3_sw);
+            _mm256_storeu_pd(dp.add(2 * (o0 + 3 * s + q)), o3);
+            q += 2;
+        }
+        while q < s {
+            radix4_scalar_tail(src, dst, i0, o0, sm, s, q, w1, w2, w3, inverse);
+            q += 1;
+        }
+    }
+}
+
+/// One scalar radix-4 butterfly — the identical expression tree the
+/// vector body evaluates, for remainder elements.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn radix4_scalar_tail<T: fftmatvec_numeric::Real>(
+    src: &[Complex<T>],
+    dst: &mut [Complex<T>],
+    i0: usize,
+    o0: usize,
+    sm: usize,
+    s: usize,
+    q: usize,
+    w1: Complex<T>,
+    w2: Complex<T>,
+    w3: Complex<T>,
+    inverse: bool,
+) {
+    let t0 = src[i0 + q];
+    let t1 = src[i0 + sm + q];
+    let t2 = src[i0 + 2 * sm + q];
+    let t3 = src[i0 + 3 * sm + q];
+    let e = t0 + t2;
+    let f = t0 - t2;
+    let g = t1 + t3;
+    let h = t1 - t3;
+    let ih = if inverse { Complex::new(-h.im, h.re) } else { Complex::new(h.im, -h.re) };
+    dst[o0 + q] = e + g;
+    dst[o0 + s + q] = (f + ih) * w1;
+    dst[o0 + 2 * s + q] = (e - g) * w2;
+    dst[o0 + 3 * s + q] = (f - ih) * w3;
+}
+
+/// Pointwise `a[i] *= b[i]` over `Complex<f32>`.
+#[target_feature(enable = "avx2,fma")]
+pub unsafe fn pointwise_mul_f32(a: &mut [Complex<f32>], b: &[Complex<f32>]) {
+    let n = a.len();
+    let ap = a.as_mut_ptr() as *mut f32;
+    let bp = b.as_ptr() as *const f32;
+    let mut i = 0;
+    while i + 4 <= n {
+        let v = _mm256_loadu_ps(ap.add(2 * i));
+        let w = _mm256_loadu_ps(bp.add(2 * i));
+        _mm256_storeu_ps(ap.add(2 * i), cmul_ps(v, w, swap_pairs_ps(w)));
+        i += 4;
+    }
+    while i < n {
+        a[i] *= b[i];
+        i += 1;
+    }
+}
+
+/// Pointwise `a[i] *= b[i]` over `Complex<f64>`.
+#[target_feature(enable = "avx2,fma")]
+pub unsafe fn pointwise_mul_f64(a: &mut [Complex<f64>], b: &[Complex<f64>]) {
+    let n = a.len();
+    let ap = a.as_mut_ptr() as *mut f64;
+    let bp = b.as_ptr() as *const f64;
+    let mut i = 0;
+    while i + 2 <= n {
+        let v = _mm256_loadu_pd(ap.add(2 * i));
+        let w = _mm256_loadu_pd(bp.add(2 * i));
+        _mm256_storeu_pd(ap.add(2 * i), cmul_pd(v, w, swap_pairs_pd(w)));
+        i += 2;
+    }
+    while i < n {
+        a[i] *= b[i];
+        i += 1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 16-bit stages: widen to f32 registers, round through storage after
+// every operation — exactly where the emulated scalar arithmetic rounds.
+// ---------------------------------------------------------------------------
+
+macro_rules! half_kernels {
+    ($t:ty, $radix2:ident, $radix4:ident, $pmul:ident, $widen8:ident, $narrow8:ident,
+     $round8:ident) => {
+        /// Radix-2 stage over 4 widened 16-bit complex values per step.
+        /// Rounding points match the scalar emulated arithmetic:
+        /// `a+b` and `a−b` round once each; the twiddle multiply rounds
+        /// its inner product, then its FMA result.
+        #[target_feature(enable = "avx2,fma")]
+        pub unsafe fn $radix2(
+            src: &[Complex<$t>],
+            dst: &mut [Complex<$t>],
+            m: usize,
+            s: usize,
+            tw: &[Complex<$t>],
+            inverse: bool,
+        ) {
+            let sm = s * m;
+            let sp = src.as_ptr() as *const u16;
+            let dp = dst.as_mut_ptr() as *mut u16;
+            for p in 0..m {
+                let mut w = tw[p];
+                if inverse {
+                    w = w.conj();
+                }
+                // Widening to f32 is exact; broadcast the widened pair.
+                let (w_ri, w_swap) = bcast_pair_ps(Complex::new(w.re.to_f32(), w.im.to_f32()));
+                let i0 = s * p;
+                let o0 = 2 * s * p;
+                let mut q = 0;
+                while q + 4 <= s {
+                    let a = $widen8(_mm_loadu_si128(sp.add(2 * (i0 + q)) as *const __m128i));
+                    let b = $widen8(_mm_loadu_si128(sp.add(2 * (i0 + sm + q)) as *const __m128i));
+                    let sum = $narrow8(_mm256_add_ps(a, b));
+                    _mm_storeu_si128(dp.add(2 * (o0 + q)) as *mut __m128i, sum);
+                    let d = $round8(_mm256_sub_ps(a, b));
+                    let inner = neg_even_ps($round8(_mm256_mul_ps(dup_im_ps(d), w_swap)));
+                    let prod = $narrow8(_mm256_fmadd_ps(dup_re_ps(d), w_ri, inner));
+                    _mm_storeu_si128(dp.add(2 * (o0 + s + q)) as *mut __m128i, prod);
+                    q += 4;
+                }
+                while q < s {
+                    let a = src[i0 + q];
+                    let b = src[i0 + sm + q];
+                    dst[o0 + q] = a + b;
+                    dst[o0 + s + q] = (a - b) * w;
+                    q += 1;
+                }
+            }
+        }
+
+        /// Radix-4 stage over 4 widened 16-bit complex values per step.
+        #[target_feature(enable = "avx2,fma")]
+        pub unsafe fn $radix4(
+            src: &[Complex<$t>],
+            dst: &mut [Complex<$t>],
+            m: usize,
+            s: usize,
+            tw: &[Complex<$t>],
+            inverse: bool,
+        ) {
+            let sm = s * m;
+            let sp = src.as_ptr() as *const u16;
+            let dp = dst.as_mut_ptr() as *mut u16;
+            for p in 0..m {
+                let (mut w1, mut w2, mut w3) = (tw[3 * p], tw[3 * p + 1], tw[3 * p + 2]);
+                if inverse {
+                    w1 = w1.conj();
+                    w2 = w2.conj();
+                    w3 = w3.conj();
+                }
+                let (w1_ri, w1_sw) = bcast_pair_ps(Complex::new(w1.re.to_f32(), w1.im.to_f32()));
+                let (w2_ri, w2_sw) = bcast_pair_ps(Complex::new(w2.re.to_f32(), w2.im.to_f32()));
+                let (w3_ri, w3_sw) = bcast_pair_ps(Complex::new(w3.re.to_f32(), w3.im.to_f32()));
+                let i0 = s * p;
+                let o0 = 4 * s * p;
+                let mut q = 0;
+                while q + 4 <= s {
+                    let t0 = $widen8(_mm_loadu_si128(sp.add(2 * (i0 + q)) as *const __m128i));
+                    let t1 = $widen8(_mm_loadu_si128(sp.add(2 * (i0 + sm + q)) as *const __m128i));
+                    let t2 =
+                        $widen8(_mm_loadu_si128(sp.add(2 * (i0 + 2 * sm + q)) as *const __m128i));
+                    let t3 =
+                        $widen8(_mm_loadu_si128(sp.add(2 * (i0 + 3 * sm + q)) as *const __m128i));
+                    let e = $round8(_mm256_add_ps(t0, t2));
+                    let f = $round8(_mm256_sub_ps(t0, t2));
+                    let g = $round8(_mm256_add_ps(t1, t3));
+                    let h = $round8(_mm256_sub_ps(t1, t3));
+                    // Exact data movement + sign flip on already-rounded
+                    // values — no further rounding, as in the scalar code.
+                    let ih = if inverse {
+                        neg_even_ps(swap_pairs_ps(h))
+                    } else {
+                        neg_odd_ps(swap_pairs_ps(h))
+                    };
+                    let sum = $narrow8(_mm256_add_ps(e, g));
+                    _mm_storeu_si128(dp.add(2 * (o0 + q)) as *mut __m128i, sum);
+                    let x1 = $round8(_mm256_add_ps(f, ih));
+                    let inner1 = neg_even_ps($round8(_mm256_mul_ps(dup_im_ps(x1), w1_sw)));
+                    let o1 = $narrow8(_mm256_fmadd_ps(dup_re_ps(x1), w1_ri, inner1));
+                    _mm_storeu_si128(dp.add(2 * (o0 + s + q)) as *mut __m128i, o1);
+                    let x2 = $round8(_mm256_sub_ps(e, g));
+                    let inner2 = neg_even_ps($round8(_mm256_mul_ps(dup_im_ps(x2), w2_sw)));
+                    let o2 = $narrow8(_mm256_fmadd_ps(dup_re_ps(x2), w2_ri, inner2));
+                    _mm_storeu_si128(dp.add(2 * (o0 + 2 * s + q)) as *mut __m128i, o2);
+                    let x3 = $round8(_mm256_sub_ps(f, ih));
+                    let inner3 = neg_even_ps($round8(_mm256_mul_ps(dup_im_ps(x3), w3_sw)));
+                    let o3 = $narrow8(_mm256_fmadd_ps(dup_re_ps(x3), w3_ri, inner3));
+                    _mm_storeu_si128(dp.add(2 * (o0 + 3 * s + q)) as *mut __m128i, o3);
+                    q += 4;
+                }
+                while q < s {
+                    radix4_scalar_tail(src, dst, i0, o0, sm, s, q, w1, w2, w3, inverse);
+                    q += 1;
+                }
+            }
+        }
+
+        /// Pointwise `a[i] *= b[i]` over 16-bit complex values.
+        #[target_feature(enable = "avx2,fma")]
+        pub unsafe fn $pmul(a: &mut [Complex<$t>], b: &[Complex<$t>]) {
+            let n = a.len();
+            let ap = a.as_mut_ptr() as *mut u16;
+            let bp = b.as_ptr() as *const u16;
+            let mut i = 0;
+            while i + 4 <= n {
+                let v = $widen8(_mm_loadu_si128(ap.add(2 * i) as *const __m128i));
+                let w = $widen8(_mm_loadu_si128(bp.add(2 * i) as *const __m128i));
+                let inner = neg_even_ps($round8(_mm256_mul_ps(dup_im_ps(v), swap_pairs_ps(w))));
+                let out = $narrow8(_mm256_fmadd_ps(dup_re_ps(v), w, inner));
+                _mm_storeu_si128(ap.add(2 * i) as *mut __m128i, out);
+                i += 4;
+            }
+            while i < n {
+                a[i] *= b[i];
+                i += 1;
+            }
+        }
+    };
+}
+
+half_kernels!(f16, radix2_f16, radix4_f16, pointwise_mul_f16, widen8_f16, narrow8_f16, round8_f16);
+half_kernels!(
+    bf16,
+    radix2_bf16,
+    radix4_bf16,
+    pointwise_mul_bf16,
+    widen8_bf16,
+    narrow8_bf16,
+    round8_bf16
+);

@@ -1,0 +1,148 @@
+//! Bit-for-bit equivalence of the vectorized FFT stages against the
+//! scalar butterflies, across every dispatch level, for all four
+//! precision tiers, power-of-two / mixed-radix / Bluestein-prime
+//! lengths, forward and inverse, complex and real transforms.
+//!
+//! This is the PR's non-negotiable gate: which SIMD level executes a
+//! transform must be unobservable in the output, exactly like thread
+//! count in the PR-5 determinism matrix.
+
+use std::sync::Mutex;
+
+use fftmatvec_fft::{FftDirection, FftPlan, RealFftPlan};
+use fftmatvec_numeric::half::{bf16, f16};
+use fftmatvec_numeric::simd::{level_supported, set_active_level, SimdLevel};
+use fftmatvec_numeric::{Complex, Real, SplitMix64};
+
+/// Guards the process-global dispatch level against concurrent tests.
+static LEVEL_LOCK: Mutex<()> = Mutex::new(());
+
+fn supported_levels() -> Vec<SimdLevel> {
+    [SimdLevel::Portable, SimdLevel::Avx2, SimdLevel::Avx512, SimdLevel::Neon]
+        .into_iter()
+        .filter(|&l| level_supported(l))
+        .collect()
+}
+
+/// Lengths covering every execution strategy: tiny, pure powers of two
+/// (radix-4 + radix-2 schedules), mixed radices with odd primes, and
+/// Bluestein lengths (prime and composite-with-large-prime; the inner
+/// power-of-two convolution plus the pointwise chirp multiply).
+const SIZES: &[usize] = &[4, 8, 61, 64, 120, 250, 256, 360, 67, 134, 202];
+
+/// Widening every component to `f64` is exact and injective on bit
+/// patterns for all four tiers, so this digest *is* a bit digest.
+fn digest<T: Real>(v: &[Complex<T>]) -> Vec<(u64, u64)> {
+    v.iter().map(|z| (z.re.to_f64().to_bits(), z.im.to_f64().to_bits())).collect()
+}
+
+fn signal<T: Real>(n: usize, seed: u64) -> Vec<Complex<T>> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|_| {
+            Complex::new(T::from_f64(rng.uniform(-1.0, 1.0)), T::from_f64(rng.uniform(-1.0, 1.0)))
+        })
+        .collect()
+}
+
+/// Forward + inverse, out-of-place + in-place digests at the current
+/// dispatch level.
+fn run_complex<T: Real>(plan: &FftPlan<T>, x: &[Complex<T>]) -> Vec<Vec<(u64, u64)>> {
+    let n = x.len();
+    let mut digests = Vec::with_capacity(4);
+    let mut scratch = vec![Complex::<T>::zero(); plan.scratch_len()];
+    for dir in [FftDirection::Forward, FftDirection::Inverse] {
+        let mut out = vec![Complex::<T>::zero(); n];
+        plan.process(x, &mut out, &mut scratch, dir);
+        digests.push(digest(&out));
+        let mut buf = x.to_vec();
+        plan.process_inplace(&mut buf, &mut scratch, dir);
+        digests.push(digest(&buf));
+    }
+    digests
+}
+
+fn check_complex_tier<T: Real>() {
+    let _guard = LEVEL_LOCK.lock().unwrap();
+    let levels = supported_levels();
+    let prev = set_active_level(SimdLevel::Portable);
+    for &n in SIZES {
+        let plan = FftPlan::<T>::new(n);
+        let x = signal::<T>(n, 0xF00D + n as u64);
+        set_active_level(SimdLevel::Portable);
+        let reference = run_complex(&plan, &x);
+        for &level in &levels {
+            set_active_level(level);
+            assert_eq!(run_complex(&plan, &x), reference, "complex n={n} level={level}");
+        }
+    }
+    set_active_level(prev);
+}
+
+#[test]
+fn complex_transforms_identical_across_levels_f32() {
+    check_complex_tier::<f32>();
+}
+
+#[test]
+fn complex_transforms_identical_across_levels_f64() {
+    check_complex_tier::<f64>();
+}
+
+#[test]
+fn complex_transforms_identical_across_levels_f16() {
+    check_complex_tier::<f16>();
+}
+
+#[test]
+fn complex_transforms_identical_across_levels_bf16() {
+    check_complex_tier::<bf16>();
+}
+
+/// Real-to-complex forward and complex-to-real inverse digests.
+fn run_real<T: Real>(plan: &RealFftPlan<T>, x: &[T]) -> (Vec<(u64, u64)>, Vec<u64>) {
+    let mut spectrum = vec![Complex::<T>::zero(); plan.spectrum_len()];
+    let mut scratch = vec![Complex::<T>::zero(); plan.scratch_len()];
+    plan.forward(x, &mut spectrum, &mut scratch);
+    let mut back = vec![T::ZERO; x.len()];
+    plan.inverse(&spectrum, &mut back, &mut scratch);
+    (digest(&spectrum), back.iter().map(|v| v.to_f64().to_bits()).collect())
+}
+
+fn check_real_tier<T: Real>() {
+    let _guard = LEVEL_LOCK.lock().unwrap();
+    let levels = supported_levels();
+    let prev = set_active_level(SimdLevel::Portable);
+    for &n in &[8usize, 64, 120, 134, 256] {
+        let plan = RealFftPlan::<T>::new(n);
+        let mut rng = SplitMix64::new(0xBEEF + n as u64);
+        let x: Vec<T> = (0..n).map(|_| T::from_f64(rng.uniform(-1.0, 1.0))).collect();
+        set_active_level(SimdLevel::Portable);
+        let reference = run_real(&plan, &x);
+        for &level in &levels {
+            set_active_level(level);
+            assert_eq!(run_real(&plan, &x), reference, "real n={n} level={level}");
+        }
+    }
+    set_active_level(prev);
+}
+
+#[test]
+fn real_transforms_identical_across_levels_f32() {
+    check_real_tier::<f32>();
+}
+
+#[test]
+fn real_transforms_identical_across_levels_f64() {
+    check_real_tier::<f64>();
+}
+
+#[test]
+fn real_transforms_identical_across_levels_f16() {
+    check_real_tier::<f16>();
+}
+
+#[test]
+fn real_transforms_identical_across_levels_bf16() {
+    check_real_tier::<bf16>();
+}

@@ -9,10 +9,12 @@
 //! the bandwidth model are exposed so fused cast+memory phases can be
 //! costed correctly.
 //!
-//! Cast semantics: every conversion routes through the widest format
-//! (`f64` for reals, `Complex<f64>` componentwise) and then rounds RTNE
-//! into the target storage; conversions into the 16-bit tiers round
-//! through `f32` first (see [`crate::half`]). Widening casts are exact.
+//! Cast semantics: every conversion performs exactly one RTNE rounding
+//! from the source value into the target storage (see [`crate::half`]
+//! for the single-rounding contract of the 16-bit tiers). Widening
+//! casts are exact. The `16-bit ↔ f32` pairs run on the batched SIMD
+//! kernels in [`crate::simd`]; all pairs are bit-identical to the
+//! per-element `Real::from_f64` reference path.
 
 use crate::complex::Complex;
 use crate::half::{bf16, f16};
@@ -154,7 +156,34 @@ impl RealBuffer {
     /// The cast kernel: convert to precision `p`. A same-precision cast
     /// is a no-op returning `self` unchanged (the pipeline's fusion logic
     /// never emits those, but the API keeps it total).
+    ///
+    /// The `16-bit ↔ f32` pairs route through the batched SIMD kernels
+    /// ([`crate::simd`]); every other pair is a per-element loop through
+    /// `f64`. Both paths are bit-identical to `Real::from_f64` rounding.
     pub fn cast(self, p: Precision) -> Self {
+        match (&self, p) {
+            (RealBuffer::F16(v), Precision::Single) => {
+                let mut out = vec![0f32; v.len()];
+                crate::simd::widen_f16_to_f32(v, &mut out);
+                return RealBuffer::F32(out);
+            }
+            (RealBuffer::BF16(v), Precision::Single) => {
+                let mut out = vec![0f32; v.len()];
+                crate::simd::widen_bf16_to_f32(v, &mut out);
+                return RealBuffer::F32(out);
+            }
+            (RealBuffer::F32(v), Precision::Half) => {
+                let mut out = vec![f16::from_bits(0); v.len()];
+                crate::simd::narrow_f32_to_f16(v, &mut out);
+                return RealBuffer::F16(out);
+            }
+            (RealBuffer::F32(v), Precision::BFloat16) => {
+                let mut out = vec![bf16::from_bits(0); v.len()];
+                crate::simd::narrow_f32_to_bf16(v, &mut out);
+                return RealBuffer::BF16(out);
+            }
+            _ => {}
+        }
         if self.precision() == p {
             return self;
         }
@@ -367,7 +396,34 @@ impl ComplexBuffer {
         }
     }
 
+    /// The complex cast kernel; the `16-bit ↔ f32` pairs run the batched
+    /// SIMD conversions on the interleaved storage viewed as a flat real
+    /// slice (see [`RealBuffer::cast`]).
     pub fn cast(self, p: Precision) -> Self {
+        use crate::complex::{as_flat, as_flat_mut};
+        match (&self, p) {
+            (ComplexBuffer::C16(v), Precision::Single) => {
+                let mut out = vec![Complex::<f32>::zero(); v.len()];
+                crate::simd::widen_f16_to_f32(as_flat(v), as_flat_mut(&mut out));
+                return ComplexBuffer::C32(out);
+            }
+            (ComplexBuffer::CB16(v), Precision::Single) => {
+                let mut out = vec![Complex::<f32>::zero(); v.len()];
+                crate::simd::widen_bf16_to_f32(as_flat(v), as_flat_mut(&mut out));
+                return ComplexBuffer::C32(out);
+            }
+            (ComplexBuffer::C32(v), Precision::Half) => {
+                let mut out = vec![Complex::<f16>::zero(); v.len()];
+                crate::simd::narrow_f32_to_f16(as_flat(v), as_flat_mut(&mut out));
+                return ComplexBuffer::C16(out);
+            }
+            (ComplexBuffer::C32(v), Precision::BFloat16) => {
+                let mut out = vec![Complex::<bf16>::zero(); v.len()];
+                crate::simd::narrow_f32_to_bf16(as_flat(v), as_flat_mut(&mut out));
+                return ComplexBuffer::CB16(out);
+            }
+            _ => {}
+        }
         if self.precision() == p {
             return self;
         }
@@ -576,6 +632,47 @@ mod tests {
                     assert_eq!(roundtrip, src, "{p} → {target} → {p}");
                 }
             }
+        }
+    }
+
+    /// The SIMD-routed `16-bit ↔ f32` cast pairs must match the generic
+    /// per-element `Real::from_f64` path bit for bit (odd length so the
+    /// vector body and scalar tail are both exercised).
+    #[test]
+    fn simd_routed_casts_match_generic_path() {
+        use crate::rng::SplitMix64;
+        let mut rng = SplitMix64::new(0x5eed);
+        let xs: Vec<f32> = (0..1027).map(|_| rng.uniform(-70000.0, 70000.0) as f32).collect();
+
+        let src = RealBuffer::F32(xs.clone());
+        let h = src.clone().cast(Precision::Half);
+        let b = src.clone().cast(Precision::BFloat16);
+        for (i, &x) in xs.iter().enumerate() {
+            assert!(h.as_f16().unwrap()[i].bit_eq(f16::from_f64(x as f64)));
+            assert!(b.as_bf16().unwrap()[i].bit_eq(bf16::from_f64(x as f64)));
+        }
+        let wh = h.clone().cast(Precision::Single);
+        let wb = b.clone().cast(Precision::Single);
+        for i in 0..xs.len() {
+            assert_eq!(wh.as_f32().unwrap()[i], h.as_f16().unwrap()[i].to_f64() as f32);
+            assert_eq!(wb.as_f32().unwrap()[i], b.as_bf16().unwrap()[i].to_f64() as f32);
+        }
+
+        let zs: Vec<Complex<f32>> = xs.chunks_exact(2).map(|c| Complex::new(c[0], c[1])).collect();
+        let csrc = ComplexBuffer::C32(zs.clone());
+        let ch = csrc.clone().cast(Precision::Half);
+        let cb = csrc.clone().cast(Precision::BFloat16);
+        for (i, z) in zs.iter().enumerate() {
+            let want: Complex<f16> = z.cast();
+            let got = ch.as_c16().unwrap()[i];
+            assert!(got.re.bit_eq(want.re) && got.im.bit_eq(want.im));
+            let want: Complex<bf16> = z.cast();
+            let got = cb.as_cb16().unwrap()[i];
+            assert!(got.re.bit_eq(want.re) && got.im.bit_eq(want.im));
+        }
+        let cwh = ch.clone().cast(Precision::Single);
+        for (i, z) in ch.as_c16().unwrap().iter().enumerate() {
+            assert_eq!(cwh.as_c32().unwrap()[i], z.cast::<f32>());
         }
     }
 }

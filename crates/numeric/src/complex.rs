@@ -118,6 +118,23 @@ impl<T: Real> Complex<T> {
     }
 }
 
+/// View interleaved complex storage as a flat real slice of twice the
+/// length (the `#[repr(C)]` layout guarantee; see the layout test).
+#[inline]
+pub fn as_flat<T: Real>(v: &[Complex<T>]) -> &[T] {
+    // SAFETY: Complex<T> is #[repr(C)] { re: T, im: T } with no padding,
+    // so n complex elements are exactly 2n properly-initialized Ts.
+    unsafe { core::slice::from_raw_parts(v.as_ptr() as *const T, 2 * v.len()) }
+}
+
+/// Mutable flat real view of interleaved complex storage.
+#[inline]
+pub fn as_flat_mut<T: Real>(v: &mut [Complex<T>]) -> &mut [T] {
+    // SAFETY: as above; the borrow is exclusive and T has no invalid
+    // bit patterns that writing component-wise could produce.
+    unsafe { core::slice::from_raw_parts_mut(v.as_mut_ptr() as *mut T, 2 * v.len()) }
+}
+
 impl<T: Real> Add for Complex<T> {
     type Output = Self;
     #[inline(always)]

@@ -14,12 +14,17 @@
 //!   which is precisely the rounding model of a GPU that computes half
 //!   operands in FP32 accumulators and stores half results.
 //!
-//! The `f32 ↔ f16`/`f32 ↔ bf16` conversions are bit-exact
-//! round-to-nearest-even, including subnormals, infinities, and
-//! signed zeros (NaNs are quieted, payloads are not preserved).
-//! Conversions *from* `f64` go through `f32` first (`x as f32` is itself
-//! RTNE), so the double-rounding semantics are documented and
-//! deterministic rather than accidental.
+//! Every narrowing conversion in this module is a **single**
+//! round-to-nearest-even step from the source format, bit-exact including
+//! subnormals, infinities, and signed zeros (`f32` NaNs are quieted; the
+//! bf16 path keeps the top payload bits, the f16 path drops the payload).
+//! In particular `f64 → f16`/`f64 → bf16` round **directly** from the
+//! f64 significand ([`f64_to_f16_bits`]/[`f64_to_bf16_bits`]) — routing
+//! through `f32` first would double-round, and there are f64 values for
+//! which the two paths provably disagree (see the regression tests).
+//! Widening conversions (`f16/bf16 → f32 → f64`) are always exact, so
+//! narrowing an `f64` that was widened from an `f32` still agrees
+//! bit-for-bit with the `f32` entry points.
 
 use core::fmt;
 use core::iter::Sum;
@@ -125,10 +130,96 @@ pub fn bf16_bits_to_f32(b: u16) -> f32 {
     f32::from_bits((b as u32) << 16)
 }
 
+/// Shared core of the direct `f64 → 16-bit` narrowings: one RTNE rounding
+/// of the f64 significand into a format with `mant_bits` significand bits
+/// and minimum normal exponent `emin`. Infinities are handled here; NaNs
+/// must be filtered by the caller (the two formats quiet them differently).
+fn narrow_f64_bits(bits: u64, mant_bits: u32, emin: i32) -> u16 {
+    let sign = ((bits >> 48) & 0x8000) as u16;
+    let exp = ((bits >> 52) & 0x7ff) as i32;
+    let frac = bits & 0x000f_ffff_ffff_ffff;
+    let bias = 1 - emin; // 15 for f16, 127 for bf16
+    let inf_bits = ((2 * bias + 1) as u16) << mant_bits;
+
+    if exp == 0x7ff {
+        // Infinity (NaN was filtered by the caller).
+        return sign | inf_bits;
+    }
+
+    let e = exp - 1023; // unbiased exponent of the f64 value
+    let drop = 52 - mant_bits; // bits dropped on the normal path
+
+    if e > bias {
+        // Above the target's binade range: rounds to infinity.
+        return sign | inf_bits;
+    }
+
+    if e >= emin {
+        // Normal target range: keep `mant_bits`, RTNE on the rest. The
+        // round-up may carry into the exponent — that is the correct
+        // round to the next binade (or to infinity at the top).
+        let mant = (frac >> drop) as u16;
+        let rest = frac & ((1u64 << drop) - 1);
+        let halfway = 1u64 << (drop - 1);
+        let mut h = (((e - emin + 1) as u16) << mant_bits) | mant;
+        if rest > halfway || (rest == halfway && (mant & 1) == 1) {
+            h += 1;
+        }
+        return sign | h;
+    }
+
+    if e >= emin - mant_bits as i32 - 1 {
+        // Subnormal target: shift the full 53-bit significand down so the
+        // unit in the last place is 2^(emin - mant_bits), RTNE on the
+        // dropped bits (may round up to the smallest normal — correct).
+        let full = frac | (1u64 << 52);
+        let shift = (drop as i32 + (emin - e)) as u32; // ≤ 53
+        let mant = (full >> shift) as u16;
+        let rest = full & ((1u64 << shift) - 1);
+        let halfway = 1u64 << (shift - 1);
+        let mut h = mant;
+        if rest > halfway || (rest == halfway && (mant & 1) == 1) {
+            h += 1;
+        }
+        return sign | h;
+    }
+
+    // Below half the smallest subnormal (this also covers every f64
+    // subnormal input): rounds to signed zero.
+    sign
+}
+
+/// Round an `f64` to IEEE-754 binary16 bits with a **single** RTNE step.
+///
+/// This is *not* equivalent to `f32_to_f16_bits(x as f32)`: the two-step
+/// route rounds twice, and e.g. `1 + 2⁻¹¹ + 2⁻²⁶` lands on the f16 tie
+/// point after the f32 rounding (→ `1.0`) even though the original value
+/// is strictly above it (→ `1 + 2⁻¹⁰`).
+pub fn f64_to_f16_bits(x: f64) -> u16 {
+    let bits = x.to_bits();
+    if bits & 0x7fff_ffff_ffff_ffff > 0x7ff0_0000_0000_0000 {
+        // NaN: quieted with payload dropped, as in the f32 entry point.
+        return (((bits >> 48) & 0x8000) as u16) | 0x7e00;
+    }
+    narrow_f64_bits(bits, 10, -14)
+}
+
+/// Round an `f64` to bfloat16 bits with a **single** RTNE step (see
+/// [`f64_to_f16_bits`] for why two-step rounding through `f32` differs).
+pub fn f64_to_bf16_bits(x: f64) -> u16 {
+    let bits = x.to_bits();
+    if bits & 0x7fff_ffff_ffff_ffff > 0x7ff0_0000_0000_0000 {
+        // NaN: quiet it, keep the sign and top payload bits, as in the
+        // f32 entry point.
+        return (((bits >> 48) & 0x8000) as u16) | 0x7f80 | 0x0040 | (((bits >> 45) & 0x3f) as u16);
+    }
+    narrow_f64_bits(bits, 7, -126)
+}
+
 macro_rules! define_half {
     (
         $(#[$doc:meta])*
-        $name:ident, $to_f32:ident, $from_f32:ident,
+        $name:ident, $to_f32:ident, $from_f32:ident, $from_f64:ident,
         exp_mask: $exp_mask:expr,
         zero: $zero:expr, one: $one:expr, two: $two:expr,
         epsilon: $eps:expr, pi: $pi:expr,
@@ -164,12 +255,30 @@ macro_rules! define_half {
             pub fn to_f32(self) -> f32 {
                 $to_f32(self.0)
             }
+
+            /// Bitwise equality on the 16-bit storage pattern.
+            ///
+            /// [`PartialEq`] follows IEEE value semantics (`-0 == +0`,
+            /// `NaN != NaN`), while the determinism gates digest raw bit
+            /// patterns — the two disagree exactly on zeros and NaNs.
+            /// Use `bit_eq` when "same bits" is the contract (digest
+            /// comparisons, golden outputs, cache keys).
+            #[inline(always)]
+            pub const fn bit_eq(self, other: Self) -> bool {
+                self.0 == other.0
+            }
         }
 
+        // IEEE value semantics: `-0 == +0` even though the bit patterns
+        // differ, and `NaN != NaN` even when the bit patterns agree. Code
+        // that compares *bit digests* (the determinism gates) must use
+        // [`Self::bit_eq`]/[`Self::to_bits`] instead — value equality and
+        // bit equality intentionally disagree on zeros and NaNs, and
+        // nowhere else (kernels never produce -0.0/NaN from finite
+        // inputs, so digest comparisons stay meaningful).
         impl PartialEq for $name {
             #[inline(always)]
             fn eq(&self, other: &Self) -> bool {
-                // IEEE semantics: -0 == +0, NaN != NaN.
                 self.to_f32() == other.to_f32()
             }
         }
@@ -280,9 +389,9 @@ macro_rules! define_half {
 
             #[inline(always)]
             fn from_f64(x: f64) -> Self {
-                // Documented double-rounding route: f64 → f32 (RTNE) →
-                // 16-bit (RTNE).
-                Self::from_f32(x as f32)
+                // Single RTNE rounding direct from the f64 significand —
+                // never through f32, which would double-round.
+                $name($from_f64(x))
             }
             #[inline(always)]
             fn to_f64(self) -> f64 {
@@ -346,7 +455,7 @@ macro_rules! define_half {
 define_half!(
     /// IEEE-754 binary16: 1 sign, 5 exponent, 10 mantissa bits.
     /// ε = 2⁻¹⁰ ≈ 9.77e-4, max finite 65504, smallest subnormal 2⁻²⁴.
-    f16, f16_bits_to_f32, f32_to_f16_bits,
+    f16, f16_bits_to_f32, f32_to_f16_bits, f64_to_f16_bits,
     exp_mask: 0x7c00,
     zero: 0x0000, one: 0x3c00, two: 0x4000,
     epsilon: 0x1400, // 2^-10
@@ -357,7 +466,7 @@ define_half!(
 define_half!(
     /// bfloat16: 1 sign, 8 exponent, 7 mantissa bits — the top half of an
     /// `f32`. ε = 2⁻⁷ ≈ 7.81e-3 with the full f32 exponent range.
-    bf16, bf16_bits_to_f32, f32_to_bf16_bits,
+    bf16, bf16_bits_to_f32, f32_to_bf16_bits, f64_to_bf16_bits,
     exp_mask: 0x7f80,
     zero: 0x0000, one: 0x3f80, two: 0x4000,
     epsilon: 0x3c00, // 2^-7
@@ -506,6 +615,147 @@ mod tests {
         assert!(nan != nan);
         assert!(f16::from_f32(1.0) < f16::from_f32(1.5));
         assert_eq!(bf16::from_f32(0.0), bf16::from_f32(-0.0));
+    }
+
+    #[test]
+    fn bit_eq_vs_value_eq() {
+        // The two relations disagree exactly on zeros and NaNs.
+        let pz = f16::from_f32(0.0);
+        let nz = f16::from_f32(-0.0);
+        assert_eq!(pz, nz);
+        assert!(!pz.bit_eq(nz));
+        let nan = f16::from_f32(f32::NAN);
+        assert!(nan != nan);
+        assert!(nan.bit_eq(nan));
+        // On ordinary finite values they agree.
+        let a = bf16::from_f32(1.5);
+        assert!(a.bit_eq(bf16::from_f32(1.5)));
+        assert!(!bf16::from_f32(0.0).bit_eq(bf16::from_f32(-0.0)));
+        assert_eq!(bf16::from_f32(0.0), bf16::from_f32(-0.0));
+    }
+
+    #[test]
+    fn f64_narrowing_rounds_once() {
+        // Inputs where f64 → f32 → 16-bit provably differs from the
+        // direct conversion: the f32 step lands exactly on (or below) a
+        // 16-bit tie point that the original value sits strictly above.
+        let two_step_f16 = |x: f64| f32_to_f16_bits(x as f32);
+        let two_step_bf16 = |x: f64| f32_to_bf16_bits(x as f32);
+
+        // 1 + 2⁻¹¹ + 2⁻²⁶: f32 rounds to the f16 tie 1 + 2⁻¹¹, which then
+        // ties-to-even down to 1.0. The value is strictly above the tie.
+        let x = 1.0 + 2f64.powi(-11) + 2f64.powi(-26);
+        assert_eq!(two_step_f16(x), 0x3c00);
+        assert_eq!(f64_to_f16_bits(x), 0x3c01);
+
+        // 1 + 2⁻¹¹ + 2⁻²⁴: exactly halfway between two f32s; the f32 tie
+        // rounds to the even mantissa (down), hiding the f16 round-up.
+        let x = 1.0 + 2f64.powi(-11) + 2f64.powi(-24);
+        assert_eq!(two_step_f16(x), 0x3c00);
+        assert_eq!(f64_to_f16_bits(x), 0x3c01);
+
+        // Subnormal f16 boundary: 2⁻²⁵ + 2⁻⁶⁰ is strictly above half the
+        // smallest subnormal, but f32 rounds it onto the tie (→ 0).
+        let x = 2f64.powi(-25) + 2f64.powi(-60);
+        assert_eq!(two_step_f16(x), 0x0000);
+        assert_eq!(f64_to_f16_bits(x), 0x0001);
+
+        // bf16: 1 + 2⁻⁸ + 2⁻³⁰ sits above the bf16 tie 1 + 2⁻⁸; the f32
+        // step erases the 2⁻³⁰ and the tie rounds-to-even down.
+        let x = 1.0 + 2f64.powi(-8) + 2f64.powi(-30);
+        assert_eq!(two_step_bf16(x), 0x3f80);
+        assert_eq!(f64_to_bf16_bits(x), 0x3f81);
+
+        // Negative values mirror exactly.
+        let x = -(1.0 + 2f64.powi(-11) + 2f64.powi(-26));
+        assert_eq!(f64_to_f16_bits(x), 0xbc01);
+    }
+
+    #[test]
+    fn f64_narrowing_special_values() {
+        assert_eq!(f64_to_f16_bits(0.0), 0x0000);
+        assert_eq!(f64_to_f16_bits(-0.0), 0x8000);
+        assert_eq!(f64_to_f16_bits(f64::INFINITY), 0x7c00);
+        assert_eq!(f64_to_f16_bits(f64::NEG_INFINITY), 0xfc00);
+        assert_eq!(f64_to_f16_bits(1e300), 0x7c00); // overflow → inf
+        assert_eq!(f64_to_f16_bits(65519.0), 0x7bff); // just below the tie
+        assert_eq!(f64_to_f16_bits(65520.0), 0x7c00); // tie → inf
+        assert_eq!(f64_to_f16_bits(f64::MIN_POSITIVE), 0x0000); // underflow
+        assert!(f16::from_bits(f64_to_f16_bits(f64::NAN)).to_f32().is_nan());
+        assert_eq!(f64_to_bf16_bits(0.0), 0x0000);
+        assert_eq!(f64_to_bf16_bits(-0.0), 0x8000);
+        assert_eq!(f64_to_bf16_bits(f64::INFINITY), 0x7f80);
+        assert_eq!(f64_to_bf16_bits(1e300), 0x7f80);
+        assert_eq!(f64_to_bf16_bits(1e6), 0x4974); // finite in bf16
+        assert!(bf16::from_bits(f64_to_bf16_bits(f64::NAN)).to_f32().is_nan());
+        // bf16 subnormal boundary: smallest subnormal is 2⁻¹³³.
+        assert_eq!(f64_to_bf16_bits(2f64.powi(-133)), 0x0001);
+        assert_eq!(f64_to_bf16_bits(2f64.powi(-134)), 0x0000); // tie → even
+        assert_eq!(f64_to_bf16_bits(2f64.powi(-134) + 2f64.powi(-180)), 0x0001);
+    }
+
+    #[test]
+    fn f64_narrowing_agrees_with_f32_path_on_exact_f32s() {
+        // Widening f32 → f64 is exact, so the direct f64 narrowing must
+        // agree bit-for-bit with the f32 entry points on such inputs —
+        // this is what keeps buffer casts and `Real::from_f64` coherent.
+        for bits in 0..=u16::MAX {
+            let wf = f16_bits_to_f32(bits);
+            if !wf.is_nan() {
+                assert_eq!(f64_to_f16_bits(wf as f64), f32_to_f16_bits(wf), "f16 {bits:#06x}");
+            }
+            let wb = bf16_bits_to_f32(bits);
+            if !wb.is_nan() {
+                assert_eq!(f64_to_bf16_bits(wb as f64), f32_to_bf16_bits(wb), "bf16 {bits:#06x}");
+            }
+        }
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..200_000 {
+            let f = f32::from_bits(rng.next_u64() as u32);
+            if f.is_nan() {
+                continue;
+            }
+            assert_eq!(f64_to_f16_bits(f as f64), f32_to_f16_bits(f), "{f:e}");
+            assert_eq!(f64_to_bf16_bits(f as f64), f32_to_bf16_bits(f), "{f:e}");
+        }
+    }
+
+    #[test]
+    fn f64_narrowing_picks_the_nearest_representable() {
+        // RTNE property check against the neighbouring representables,
+        // driven directly from f64. Log-uniform positive samples cover
+        // the normal binades and the subnormal band; on positive values
+        // the 16-bit pattern is monotone, so ±1 on the bits walks to the
+        // adjacent representables.
+        let mut rng = SplitMix64::new(11);
+        for _ in 0..50_000 {
+            let x = rng.uniform(1.0, 2.0) * 2f64.powf(rng.uniform(-28.0, 17.0));
+            let h = f16::from_bits(f64_to_f16_bits(x));
+            if h.is_finite() {
+                let d = (h.to_f64() - x).abs();
+                if h.to_bits() != 0 {
+                    let down = f16::from_bits(h.to_bits() - 1);
+                    assert!(d <= (down.to_f64() - x).abs(), "{x:e} vs {h}");
+                }
+                let up = f16::from_bits(h.to_bits() + 1);
+                if up.is_finite() {
+                    assert!(d <= (up.to_f64() - x).abs(), "{x:e} vs {h}");
+                }
+            }
+            let y = rng.uniform(1.0, 2.0) * 2f64.powf(rng.uniform(-136.0, 129.0));
+            let b = bf16::from_bits(f64_to_bf16_bits(y));
+            if b.is_finite() {
+                let d = (b.to_f64() - y).abs();
+                if b.to_bits() != 0 {
+                    let down = bf16::from_bits(b.to_bits() - 1);
+                    assert!(d <= (down.to_f64() - y).abs(), "{y:e} vs {b}");
+                }
+                let up = bf16::from_bits(b.to_bits() + 1);
+                if up.is_finite() {
+                    assert!(d <= (up.to_f64() - y).abs(), "{y:e} vs {b}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub mod precision;
 pub mod real;
 pub mod rng;
 pub mod scalar;
+pub mod simd;
 pub mod vecmath;
 
 pub use buffer::{ComplexBuffer, RealBuffer};
@@ -37,6 +38,7 @@ pub use precision::Precision;
 pub use real::Real;
 pub use rng::SplitMix64;
 pub use scalar::Scalar;
+pub use simd::SimdLevel;
 
 /// Complex number over `f32` (the `c` datatype in BLAS naming).
 pub type C32 = Complex<f32>;

@@ -114,12 +114,17 @@ impl Precision {
 
     /// Round an `f64` value through this tier's storage format and widen
     /// it back — the "route through precision p" primitive the fused
-    /// memory-op kernels use. Identity for `Double`.
+    /// memory-op kernels use. Identity for `Double`. A **single** RTNE
+    /// rounding for every tier (the 16-bit paths round directly from the
+    /// f64 significand, never through f32), so this agrees bit-for-bit
+    /// with `Real::from_f64` in the matching format.
     #[inline]
     pub fn round_f64(self, x: f64) -> f64 {
         match self {
-            Precision::Half => crate::half::f16::from_f32(x as f32).to_f32() as f64,
-            Precision::BFloat16 => crate::half::bf16::from_f32(x as f32).to_f32() as f64,
+            Precision::Half => crate::half::f16_bits_to_f32(crate::half::f64_to_f16_bits(x)) as f64,
+            Precision::BFloat16 => {
+                crate::half::bf16_bits_to_f32(crate::half::f64_to_bf16_bits(x)) as f64
+            }
             Precision::Single => x as f32 as f64,
             Precision::Double => x,
         }
@@ -267,6 +272,23 @@ mod tests {
         // Large magnitudes overflow the f16 range but not bf16.
         assert!(Precision::Half.round_f64(1e6).is_infinite());
         assert!(Precision::BFloat16.round_f64(1e6).is_finite());
+    }
+
+    #[test]
+    fn round_f64_rounds_once() {
+        use crate::real::Real;
+        // A value strictly above the f16 tie 1 + 2⁻¹¹; the old two-step
+        // route (f64 → f32 → f16) collapsed it onto the tie and rounded
+        // down to 1.0. One direct rounding goes up.
+        let x = 1.0 + 2f64.powi(-11) + 2f64.powi(-26);
+        assert_eq!(Precision::Half.round_f64(x), 1.0 + 2f64.powi(-10));
+        let y = 1.0 + 2f64.powi(-8) + 2f64.powi(-30);
+        assert_eq!(Precision::BFloat16.round_f64(y), 1.0 + 2f64.powi(-7));
+        // And it agrees with `Real::from_f64` per tier.
+        for v in [x, y, 0.1, -3.7e-5, 65520.0] {
+            assert_eq!(Precision::Half.round_f64(v), crate::half::f16::from_f64(v).to_f64());
+            assert_eq!(Precision::BFloat16.round_f64(v), crate::half::bf16::from_f64(v).to_f64());
+        }
     }
 
     #[test]

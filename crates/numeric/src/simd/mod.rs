@@ -1,0 +1,275 @@
+//! Runtime-dispatched SIMD kernels behind a portable scalar fallback.
+//!
+//! The paper's speed claim for the 16-bit tiers rests on vector hardware:
+//! half the bytes moved *and* more elements per arithmetic instruction.
+//! This module is the CPU-side realization: batched `f16`/`bf16` ↔ `f32`
+//! conversion kernels here, and in-register building blocks
+//! ([`x86`]) that the FFT butterflies and the SBGEMV tile sweep build on.
+//!
+//! # Dispatch model
+//!
+//! The instruction-set level is detected **once**, on first use, and
+//! cached ([`active_level`]). Detection picks the widest supported level
+//! (AVX-512 → AVX2 → NEON → portable); the `FFTMATVEC_SIMD` environment
+//! variable overrides it (`portable`, `avx2`, `avx512`, `neon`, or
+//! `auto`). Malformed or unsupported values **panic** — a silently
+//! ignored override would run kernels at the wrong width unnoticed, the
+//! same failure mode the vendored pool guards against for
+//! `RAYON_NUM_THREADS`. Tests and benchmarks can force a level
+//! programmatically with [`set_active_level`].
+//!
+//! Two levels are currently mapped onto other implementations: `Avx512`
+//! routes to the 256-bit AVX2 kernels (the 512-bit widening is a future
+//! landing slot; detection and dispatch are already in place), and
+//! `Neon` routes to the portable kernels on every architecture (same
+//! status). Disabling the crate's `simd` feature compiles the
+//! `std::arch` paths out entirely; only `portable` remains.
+//!
+//! # Bit-identity contract
+//!
+//! Every vectorized kernel produces **bit-for-bit** the same results as
+//! its portable scalar counterpart, for every input including NaNs,
+//! infinities, signed zeros, and subnormals. This is why the conversion
+//! kernels re-implement the scalar rounding algorithms with integer SIMD
+//! instead of using F16C (`vcvtps2ph` differs from
+//! [`crate::half::f32_to_f16_bits`] on NaN payloads), and why the
+//! arithmetic kernels never reassociate reductions: lane width, like
+//! thread count, must not change results. The equivalence is pinned by
+//! exhaustive and property tests (`tests/simd_equivalence.rs`) and by
+//! the differential oracle running identically at any level.
+
+pub mod portable;
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+pub mod x86;
+
+use core::fmt;
+use core::sync::atomic::{AtomicU8, Ordering};
+
+use crate::half::{bf16, f16};
+
+/// Instruction-set level the dispatched kernels run at.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SimdLevel {
+    /// Scalar reference kernels; always available, always the fallback.
+    Portable,
+    /// 256-bit AVX2 + FMA (x86-64).
+    Avx2,
+    /// AVX-512F detected; currently executes the 256-bit AVX2 kernels.
+    Avx512,
+    /// aarch64 NEON detected; currently executes the portable kernels.
+    Neon,
+}
+
+impl SimdLevel {
+    /// Lower-case name, matching the `FFTMATVEC_SIMD` values.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdLevel::Portable => "portable",
+            SimdLevel::Avx2 => "avx2",
+            SimdLevel::Avx512 => "avx512",
+            SimdLevel::Neon => "neon",
+        }
+    }
+
+    /// Parse a `FFTMATVEC_SIMD` value (case-insensitive). `None` for
+    /// unknown strings; `auto` is handled by the caller.
+    pub fn parse(s: &str) -> Option<SimdLevel> {
+        match s.to_ascii_lowercase().as_str() {
+            "portable" | "scalar" => Some(SimdLevel::Portable),
+            "avx2" => Some(SimdLevel::Avx2),
+            "avx512" => Some(SimdLevel::Avx512),
+            "neon" => Some(SimdLevel::Neon),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for SimdLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// 0 = not yet initialized; otherwise `encode(level)`.
+static LEVEL: AtomicU8 = AtomicU8::new(0);
+
+fn encode(level: SimdLevel) -> u8 {
+    match level {
+        SimdLevel::Portable => 1,
+        SimdLevel::Avx2 => 2,
+        SimdLevel::Avx512 => 3,
+        SimdLevel::Neon => 4,
+    }
+}
+
+fn decode(v: u8) -> SimdLevel {
+    match v {
+        1 => SimdLevel::Portable,
+        2 => SimdLevel::Avx2,
+        3 => SimdLevel::Avx512,
+        4 => SimdLevel::Neon,
+        _ => unreachable!("invalid SimdLevel encoding {v}"),
+    }
+}
+
+/// Can `level` run on this host with this build configuration?
+pub fn level_supported(level: SimdLevel) -> bool {
+    match level {
+        SimdLevel::Portable => true,
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        SimdLevel::Avx2 => {
+            std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+        }
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        SimdLevel::Avx512 => {
+            level_supported(SimdLevel::Avx2) && std::arch::is_x86_feature_detected!("avx512f")
+        }
+        #[cfg(all(feature = "simd", target_arch = "aarch64"))]
+        SimdLevel::Neon => true,
+        #[allow(unreachable_patterns)]
+        _ => false,
+    }
+}
+
+/// Widest supported level on this host (ignoring any override).
+pub fn detected_level() -> SimdLevel {
+    for level in [SimdLevel::Avx512, SimdLevel::Avx2, SimdLevel::Neon] {
+        if level_supported(level) {
+            return level;
+        }
+    }
+    SimdLevel::Portable
+}
+
+fn init_level() -> SimdLevel {
+    match std::env::var("FFTMATVEC_SIMD") {
+        Ok(v) if !v.trim().is_empty() && !v.trim().eq_ignore_ascii_case("auto") => {
+            let v = v.trim();
+            let level = SimdLevel::parse(v).unwrap_or_else(|| {
+                panic!(
+                    "FFTMATVEC_SIMD={v:?} is not a valid SIMD level \
+                     (expected auto, portable, avx2, avx512, or neon)"
+                )
+            });
+            assert!(
+                level_supported(level),
+                "FFTMATVEC_SIMD={v:?}: level `{level}` is not supported on this host/build \
+                 (detected `{}`{})",
+                detected_level(),
+                if cfg!(feature = "simd") { "" } else { "; built without the `simd` feature" },
+            );
+            level
+        }
+        _ => detected_level(),
+    }
+}
+
+/// The dispatch level the kernels currently run at. Resolved once (env
+/// override, then hardware detection) and cached.
+pub fn active_level() -> SimdLevel {
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => {
+            let level = init_level();
+            LEVEL.store(encode(level), Ordering::Relaxed);
+            level
+        }
+        v => decode(v),
+    }
+}
+
+/// Force the dispatch level; returns the previous one so callers can
+/// restore it. Intended for the forced-fallback tests and the
+/// SIMD-vs-scalar benchmark gate. Panics if `level` cannot run here.
+///
+/// The level is process-global: concurrent tests that flip it must
+/// serialize (the equivalence suites share a mutex for this).
+pub fn set_active_level(level: SimdLevel) -> SimdLevel {
+    assert!(
+        level_supported(level),
+        "cannot force SIMD level `{level}`: not supported on this host/build"
+    );
+    let prev = active_level();
+    LEVEL.store(encode(level), Ordering::Relaxed);
+    prev
+}
+
+macro_rules! dispatch_conversion {
+    ($name:ident, $with:ident, $src:ty, $dst:ty, $doc:literal) => {
+        #[doc = $doc]
+        ///
+        /// Bit-for-bit identical to the per-element scalar conversion at
+        /// every dispatch level.
+        pub fn $name(src: &[$src], dst: &mut [$dst]) {
+            $with(active_level(), src, dst);
+        }
+
+        /// Same kernel at an explicit [`SimdLevel`] (equivalence tests
+        /// and the benchmark gate). Panics on length mismatch.
+        pub fn $with(level: SimdLevel, src: &[$src], dst: &mut [$dst]) {
+            assert_eq!(src.len(), dst.len(), "conversion kernel length mismatch");
+            match level {
+                #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+                SimdLevel::Avx2 | SimdLevel::Avx512 => {
+                    // SAFETY: levels above Portable are only reachable
+                    // through `level_supported`, which verified avx2+fma.
+                    unsafe { x86::$name(src, dst) }
+                }
+                _ => portable::$name(src, dst),
+            }
+        }
+    };
+}
+
+dispatch_conversion!(
+    widen_f16_to_f32,
+    widen_f16_to_f32_with,
+    f16,
+    f32,
+    "Batched exact widening `f16 → f32` over whole buffers."
+);
+dispatch_conversion!(
+    narrow_f32_to_f16,
+    narrow_f32_to_f16_with,
+    f32,
+    f16,
+    "Batched RTNE narrowing `f32 → f16` over whole buffers."
+);
+dispatch_conversion!(
+    widen_bf16_to_f32,
+    widen_bf16_to_f32_with,
+    bf16,
+    f32,
+    "Batched exact widening `bf16 → f32` over whole buffers."
+);
+dispatch_conversion!(
+    narrow_f32_to_bf16,
+    narrow_f32_to_bf16_with,
+    f32,
+    bf16,
+    "Batched RTNE narrowing `f32 → bf16` over whole buffers."
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_names_roundtrip() {
+        for level in [SimdLevel::Portable, SimdLevel::Avx2, SimdLevel::Avx512, SimdLevel::Neon] {
+            assert_eq!(SimdLevel::parse(level.name()), Some(level));
+        }
+        assert_eq!(SimdLevel::parse("scalar"), Some(SimdLevel::Portable));
+        assert_eq!(SimdLevel::parse("AVX2"), Some(SimdLevel::Avx2));
+        assert_eq!(SimdLevel::parse("sse9"), None);
+        assert_eq!(SimdLevel::parse(""), None);
+    }
+
+    #[test]
+    fn portable_is_always_supported() {
+        assert!(level_supported(SimdLevel::Portable));
+        // Whatever detection picked must itself be supported.
+        assert!(level_supported(detected_level()));
+        assert!(level_supported(active_level()));
+    }
+}

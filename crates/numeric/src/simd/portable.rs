@@ -1,0 +1,40 @@
+//! Portable scalar reference kernels: the semantics every vectorized
+//! implementation must reproduce bit-for-bit.
+//!
+//! These are plain per-element loops over the scalar conversions in
+//! [`crate::half`]; they are always compiled and serve three roles: the
+//! fallback on hosts without a vector unit, the reference side of the
+//! equivalence tests, and the baseline the SIMD benchmark gate measures
+//! speedups against.
+
+use crate::half::{
+    bf16, bf16_bits_to_f32, f16, f16_bits_to_f32, f32_to_bf16_bits, f32_to_f16_bits,
+};
+
+/// Exact widening `f16 → f32`, one element at a time.
+pub fn widen_f16_to_f32(src: &[f16], dst: &mut [f32]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = f16_bits_to_f32(s.to_bits());
+    }
+}
+
+/// RTNE narrowing `f32 → f16`, one element at a time.
+pub fn narrow_f32_to_f16(src: &[f32], dst: &mut [f16]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = f16::from_bits(f32_to_f16_bits(*s));
+    }
+}
+
+/// Exact widening `bf16 → f32`, one element at a time.
+pub fn widen_bf16_to_f32(src: &[bf16], dst: &mut [f32]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = bf16_bits_to_f32(s.to_bits());
+    }
+}
+
+/// RTNE narrowing `f32 → bf16`, one element at a time.
+pub fn narrow_f32_to_bf16(src: &[f32], dst: &mut [bf16]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = bf16::from_bits(f32_to_bf16_bits(*s));
+    }
+}

@@ -38,12 +38,29 @@ use std::time::Duration;
 const MAX_THREADS: usize = 256;
 
 /// `RAYON_NUM_THREADS`, read once per process at pool initialization.
-/// Unset, unparsable, or `0` → the machine's available parallelism.
+/// Unset, empty/whitespace, or `0` → the machine's available parallelism.
+/// Anything else that fails to parse is a configuration error and panics:
+/// a silent fallback here would run a "pinned" benchmark or determinism
+/// gate at the wrong thread count without any signal.
 fn configured_threads() -> usize {
     let hw = || std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    match std::env::var("RAYON_NUM_THREADS").ok().and_then(|v| v.trim().parse::<usize>().ok()) {
+    match parse_num_threads(std::env::var("RAYON_NUM_THREADS").ok().as_deref()) {
         None | Some(0) => hw(),
         Some(n) => n.min(MAX_THREADS),
+    }
+}
+
+/// Pure parse of a `RAYON_NUM_THREADS` value. `None`/empty/whitespace mean
+/// "unset" (CI legs export `RAYON_NUM_THREADS=""` to mean exactly that);
+/// a non-empty value must be a valid `usize` or we panic loudly.
+fn parse_num_threads(raw: Option<&str>) -> Option<usize> {
+    let trimmed = raw?.trim();
+    if trimmed.is_empty() {
+        return None;
+    }
+    match trimmed.parse::<usize>() {
+        Ok(n) => Some(n),
+        Err(e) => panic!("invalid RAYON_NUM_THREADS value {trimmed:?}: {e}"),
     }
 }
 
@@ -331,5 +348,46 @@ impl<F: FnOnce() + Send> Job for HeapJob<F> {
         // The closure is a scope wrapper that does its own catch_unwind
         // and completion accounting.
         (boxed.func)();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_num_threads;
+
+    #[test]
+    fn unset_and_blank_mean_default() {
+        assert_eq!(parse_num_threads(None), None);
+        assert_eq!(parse_num_threads(Some("")), None);
+        assert_eq!(parse_num_threads(Some("   ")), None);
+        assert_eq!(parse_num_threads(Some("\t\n")), None);
+    }
+
+    #[test]
+    fn valid_counts_parse() {
+        assert_eq!(parse_num_threads(Some("0")), Some(0));
+        assert_eq!(parse_num_threads(Some("1")), Some(1));
+        assert_eq!(parse_num_threads(Some(" 8 ")), Some(8));
+        // Values above MAX_THREADS parse fine; the clamp happens in
+        // `configured_threads`.
+        assert_eq!(parse_num_threads(Some("4096")), Some(4096));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid RAYON_NUM_THREADS")]
+    fn garbage_is_loud() {
+        parse_num_threads(Some("four"));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid RAYON_NUM_THREADS")]
+    fn negative_is_loud() {
+        parse_num_threads(Some("-2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid RAYON_NUM_THREADS")]
+    fn trailing_junk_is_loud() {
+        parse_num_threads(Some("8x"));
     }
 }
