@@ -508,6 +508,215 @@ pub mod simdjson {
     }
 }
 
+/// Machine-readable serving-load records: the `BENCH_service.json` /
+/// `bench/baseline_service.json` format the CI `bench-smoke` job
+/// produces and gates on. Same line-oriented JSON convention as
+/// [`benchjson`]; rows are keyed by `(shape, mode)` where `mode` is
+/// `"coalesced"` (the service's max-batch window) or `"batch1"`
+/// (windows forced to a single request). Both modes are measured in one
+/// session at the same offered load, so the gate statistic — the
+/// coalesced/batch1 throughput ratio — cancels machine speed like the
+/// other gates' normalized costs.
+pub mod servicejson {
+    /// One measured serving-load data point.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct ServiceResult {
+        /// Problem shape as `"{nd}x{nm}x{nt}"`.
+        pub shape: String,
+        /// `"coalesced"` or `"batch1"`.
+        pub mode: String,
+        /// The window bound the mode ran with (32 vs 1).
+        pub max_batch: usize,
+        /// Hardware lanes observed (`std::thread::available_parallelism`).
+        /// Informational: the absolute ≥1.5× saturation gate only runs on
+        /// ≥4 lanes; the baseline comparison is normalized and always on.
+        pub threads: usize,
+        /// Open-loop offered arrival rate, requests/second.
+        pub offered_rps: f64,
+        /// Completed requests divided by wall-clock from first submission
+        /// through drain, requests/second.
+        pub throughput_rps: f64,
+        /// Median end-to-end latency (queue + execute), microseconds.
+        pub p50_us: f64,
+        /// 99th-percentile end-to-end latency, microseconds.
+        pub p99_us: f64,
+        /// Mean requests per executed batch window.
+        pub mean_batch: f64,
+        /// Requests completed successfully.
+        pub completed: u64,
+        /// Requests shed by admission control.
+        pub rejected: u64,
+    }
+
+    /// Render the full document (`mode` = `"quick"` or `"full"`).
+    pub fn format_document(mode: &str, results: &[ServiceResult]) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": 1,\n");
+        out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+        out.push_str("  \"unit\": \"requests_per_second\",\n");
+        out.push_str("  \"results\": [\n");
+        for (i, r) in results.iter().enumerate() {
+            let sep = if i + 1 == results.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"shape\": \"{}\", \"mode\": \"{}\", \"max_batch\": {}, \
+                 \"threads\": {}, \"offered_rps\": {:.1}, \"throughput_rps\": {:.1}, \
+                 \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"mean_batch\": {:.2}, \
+                 \"completed\": {}, \"rejected\": {}}}{}\n",
+                r.shape,
+                r.mode,
+                r.max_batch,
+                r.threads,
+                r.offered_rps,
+                r.throughput_rps,
+                r.p50_us,
+                r.p99_us,
+                r.mean_batch,
+                r.completed,
+                r.rejected,
+                sep
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Extract the value following `"key":` on `line`, up to `,` or `}`.
+    fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+        let tag = format!("\"{key}\":");
+        let start = line.find(&tag)? + tag.len();
+        let rest = &line[start..];
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(rest[..end].trim().trim_matches('"'))
+    }
+
+    /// Parse every result line of a document produced by
+    /// [`format_document`]. Lines without a `"max_batch"` field (the
+    /// envelope, including its own `"mode"` line) are skipped.
+    pub fn parse_document(text: &str) -> Vec<ServiceResult> {
+        text.lines()
+            .filter_map(|line| {
+                Some(ServiceResult {
+                    shape: field(line, "shape")?.to_string(),
+                    mode: field(line, "mode")?.to_string(),
+                    max_batch: field(line, "max_batch")?.parse().ok()?,
+                    threads: field(line, "threads")?.parse().ok()?,
+                    offered_rps: field(line, "offered_rps")?.parse().ok()?,
+                    throughput_rps: field(line, "throughput_rps")?.parse().ok()?,
+                    p50_us: field(line, "p50_us")?.parse().ok()?,
+                    p99_us: field(line, "p99_us")?.parse().ok()?,
+                    mean_batch: field(line, "mean_batch")?.parse().ok()?,
+                    completed: field(line, "completed")?.parse().ok()?,
+                    rejected: field(line, "rejected")?.parse().ok()?,
+                })
+            })
+            .collect()
+    }
+
+    fn throughput(doc: &[ServiceResult], shape: &str, mode: &str) -> Option<f64> {
+        doc.iter()
+            .find(|r| r.shape == shape && r.mode == mode)
+            .map(|r| r.throughput_rps)
+            .filter(|&t| t > 0.0)
+    }
+
+    /// The gate statistic at `shape`: coalesced throughput divided by
+    /// batch1 throughput *from the same document* — a same-session ratio,
+    /// so machine speed cancels and a CI runner can gate against a
+    /// baseline committed from different hardware.
+    pub fn coalescing_speedup(doc: &[ServiceResult], shape: &str) -> Option<f64> {
+        Some(throughput(doc, shape, "coalesced")? / throughput(doc, shape, "batch1")?)
+    }
+
+    /// Number of baseline shapes the gate can enforce (both modes
+    /// present). 0 means a broken baseline — callers should fail on it,
+    /// not report success.
+    pub fn gated_count(baseline: &[ServiceResult]) -> usize {
+        baseline
+            .iter()
+            .filter(|r| r.mode == "coalesced")
+            .filter(|r| coalescing_speedup(baseline, &r.shape).is_some())
+            .count()
+    }
+
+    /// Compare `current` against `baseline`: for every shape the baseline
+    /// covers, the coalescing speedup must be within `tol` of the
+    /// baseline's (e.g. `1.25` = the current speedup may be at most 25%
+    /// below the committed one). Missing shapes fail. Returns
+    /// human-readable failure lines; empty = pass.
+    pub fn regressions(
+        current: &[ServiceResult],
+        baseline: &[ServiceResult],
+        tol: f64,
+    ) -> Vec<String> {
+        let mut failures = Vec::new();
+        for b in baseline.iter().filter(|r| r.mode == "coalesced") {
+            let Some(base) = coalescing_speedup(baseline, &b.shape) else {
+                continue; // baseline lacks the batch1 reference: ungated
+            };
+            let Some(cur) = coalescing_speedup(current, &b.shape) else {
+                failures.push(format!("missing result pair for shape={}", b.shape));
+                continue;
+            };
+            let ratio = base / cur;
+            if ratio > tol {
+                failures.push(format!(
+                    "shape={}: coalescing speedup {:.2}x vs baseline {:.2}x \
+                     ({:.2}x > {:.2}x budget)",
+                    b.shape, cur, base, ratio, tol
+                ));
+            }
+        }
+        failures
+    }
+
+    /// The absolute saturation gate: every shape's coalescing speedup
+    /// must reach `min_speedup` (the shipped bar is `1.5`). Only
+    /// meaningful on hosts with enough lanes that the coalesced window
+    /// can actually exploit intra-batch parallelism — callers SKIP (with
+    /// logged numbers) below 4 lanes. Returns failure lines.
+    pub fn saturation_failures(doc: &[ServiceResult], min_speedup: f64) -> Vec<String> {
+        doc.iter()
+            .filter(|r| r.mode == "coalesced")
+            .filter_map(|r| {
+                let speedup = coalescing_speedup(doc, &r.shape)?;
+                (speedup < min_speedup).then(|| {
+                    format!(
+                        "shape={}: coalescing speedup {:.2}x below the {:.2}x saturation bar",
+                        r.shape, speedup, min_speedup
+                    )
+                })
+            })
+            .collect()
+    }
+
+    /// The occupancy gate: coalesced windows must average at least
+    /// `min_frac` of their `max_batch` (the shipped bar is `0.25`) — it
+    /// proves requests genuinely coalesce rather than trickling through
+    /// one per window, and unlike the saturation gate it holds on any
+    /// host because an overloaded single lane fills windows regardless
+    /// of core count. Returns failure lines.
+    pub fn occupancy_failures(doc: &[ServiceResult], min_frac: f64) -> Vec<String> {
+        doc.iter()
+            .filter(|r| r.mode == "coalesced")
+            .filter_map(|r| {
+                let floor = r.max_batch as f64 * min_frac;
+                (r.mean_batch < floor).then(|| {
+                    format!(
+                        "shape={}: mean window occupancy {:.2} below {:.2} \
+                         ({}% of max_batch {})",
+                        r.shape,
+                        r.mean_batch,
+                        floor,
+                        (min_frac * 100.0) as u32,
+                        r.max_batch
+                    )
+                })
+            })
+            .collect()
+    }
+}
+
 /// Print a horizontal rule sized to a header line.
 pub fn rule(width: usize) {
     println!("{}", "-".repeat(width));
@@ -807,6 +1016,48 @@ mod tests {
         assert_eq!(regressions(&faded, &doc, 1.25).len(), 1);
         // Missing rows fail.
         assert_eq!(regressions(&doc[..1], &doc, 1.25).len(), 1);
+    }
+
+    #[test]
+    fn servicejson_roundtrip_and_gates() {
+        use crate::servicejson::*;
+        let row = |mode: &str, max_batch: usize, thr: f64, occ: f64| ServiceResult {
+            shape: "8x64x256".into(),
+            mode: mode.into(),
+            max_batch,
+            threads: 8,
+            offered_rps: 6000.0,
+            throughput_rps: thr,
+            p50_us: 800.0,
+            p99_us: 2500.0,
+            mean_batch: occ,
+            completed: 400,
+            rejected: 12,
+        };
+        let doc = vec![row("coalesced", 32, 5400.0, 18.0), row("batch1", 1, 2700.0, 1.0)];
+        let text = format_document("full", &doc);
+        assert!(text.contains("\"throughput_rps\": 5400.0"));
+        assert_eq!(parse_document(&text), doc);
+        assert_eq!(gated_count(&doc), 1);
+        assert!((coalescing_speedup(&doc, "8x64x256").unwrap() - 2.0).abs() < 1e-12);
+        // Same doc vs itself passes; so does a uniformly slower machine
+        // (the speedup is a same-session ratio).
+        assert!(regressions(&doc, &doc, 1.25).is_empty());
+        let slower = vec![row("coalesced", 32, 540.0, 18.0), row("batch1", 1, 270.0, 1.0)];
+        assert!(regressions(&slower, &doc, 1.25).is_empty());
+        // Losing more than the budget of the committed speedup fails.
+        let faded = vec![row("coalesced", 32, 3000.0, 18.0), row("batch1", 1, 2700.0, 1.0)];
+        assert_eq!(regressions(&faded, &doc, 1.25).len(), 1);
+        // Missing pairs fail; a one-mode baseline gates nothing.
+        assert_eq!(regressions(&[], &doc, 1.25).len(), 1);
+        assert_eq!(gated_count(&doc[..1]), 0);
+        // Absolute saturation bar: 2.0x passes 1.5, 1.1x fails.
+        assert!(saturation_failures(&doc, 1.5).is_empty());
+        assert_eq!(saturation_failures(&faded, 1.5).len(), 1);
+        // Occupancy bar: 18/32 passes 25%, 5/32 fails.
+        assert!(occupancy_failures(&doc, 0.25).is_empty());
+        let trickle = vec![row("coalesced", 32, 5400.0, 5.0), row("batch1", 1, 2700.0, 1.0)];
+        assert_eq!(occupancy_failures(&trickle, 0.25).len(), 1);
     }
 
     #[test]

@@ -53,5 +53,5 @@ pub use error_analysis::ErrorBound;
 pub use linop::{ConfigError, ConfigurableOperator, LinearOperator, OpDirection, OpError, OpShape};
 pub use operator::BlockToeplitzOperator;
 pub use pareto::{pareto_front, ParetoPoint};
-pub use pipeline::{FftMatvec, FftMatvecBuilder, PipelineBackend};
+pub use pipeline::{workspace_retention_cap, FftMatvec, FftMatvecBuilder, PipelineBackend};
 pub use precision::{MatvecPhase, PrecisionConfig};

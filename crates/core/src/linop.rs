@@ -51,7 +51,7 @@ impl OpShape {
 }
 
 /// Which direction of the operator an application runs.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum OpDirection {
     /// `d = F·m`.
     Forward,
@@ -71,7 +71,13 @@ impl std::fmt::Display for OpDirection {
 /// Typed error for the apply paths. Every variant is a caller-input
 /// problem reported back instead of a panic; see the crate README's
 /// "Public API" section for when each fires.
+///
+/// `OpError` is the middle layer of the workspace's error hierarchy
+/// (`ServiceError` → `OpError` → [`ConfigError`]): construction failures
+/// convert upward via `From<ConfigError>`, and the service crate wraps
+/// `OpError` in turn, so callers at any layer match one way.
 #[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum OpError {
     /// The input slice length does not match the operator shape
     /// (`cols` for forward, `rows` for adjoint).
@@ -89,6 +95,11 @@ pub enum OpError {
     /// reported as an error rather than a panic so the hot paths stay
     /// panic-free end to end).
     Internal(&'static str),
+    /// An operator could not be constructed. Carries the underlying
+    /// [`ConfigError`] (also reachable through
+    /// [`std::error::Error::source`]), so paths that build operators on
+    /// demand can report failures through one error type.
+    Config(ConfigError),
 }
 
 impl std::fmt::Display for OpError {
@@ -107,11 +118,25 @@ impl std::fmt::Display for OpError {
                 write!(f, "{dir} batch output has {got} elements, inputs imply {expected}")
             }
             OpError::Internal(what) => write!(f, "internal operator invariant failed: {what}"),
+            OpError::Config(e) => write!(f, "operator construction failed: {e}"),
         }
     }
 }
 
-impl std::error::Error for OpError {}
+impl std::error::Error for OpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OpError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for OpError {
+    fn from(e: ConfigError) -> OpError {
+        OpError::Config(e)
+    }
+}
 
 impl From<OpError> for String {
     fn from(e: OpError) -> String {
@@ -119,8 +144,10 @@ impl From<OpError> for String {
     }
 }
 
-/// Typed error for operator/pipeline construction.
+/// Typed error for operator/pipeline construction — the bottom layer of
+/// the error hierarchy; see [`OpError`].
 #[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum ConfigError {
     /// A problem dimension (`nd`, `nm`, or `nt`) is zero.
     ZeroDimension { what: &'static str },
@@ -271,25 +298,35 @@ pub trait LinearOperator {
     }
 }
 
-impl<T: LinearOperator + ?Sized> LinearOperator for &T {
-    fn shape(&self) -> OpShape {
-        (**self).shape()
-    }
-    fn apply_forward_into(&self, input: &[f64], out: &mut [f64]) -> Result<(), OpError> {
-        (**self).apply_forward_into(input, out)
-    }
-    fn apply_adjoint_into(&self, input: &[f64], out: &mut [f64]) -> Result<(), OpError> {
-        (**self).apply_adjoint_into(input, out)
-    }
-    fn apply_many_into(
-        &self,
-        dir: OpDirection,
-        inputs: &[f64],
-        outputs: &mut [f64],
-    ) -> Result<(), OpError> {
-        (**self).apply_many_into(dir, inputs, outputs)
-    }
+/// Forward every trait method through a pointer-like wrapper, preserving
+/// any `apply_many_into` override of the pointee. Covers `&T`, `Box<T>`,
+/// and `Arc<T>` (including `Arc<dyn LinearOperator + Send + Sync>`, the
+/// form the service registry shares across concurrent batch windows).
+macro_rules! forward_linear_operator {
+    ($($ptr:ty),*) => {$(
+        impl<T: LinearOperator + ?Sized> LinearOperator for $ptr {
+            fn shape(&self) -> OpShape {
+                (**self).shape()
+            }
+            fn apply_forward_into(&self, input: &[f64], out: &mut [f64]) -> Result<(), OpError> {
+                (**self).apply_forward_into(input, out)
+            }
+            fn apply_adjoint_into(&self, input: &[f64], out: &mut [f64]) -> Result<(), OpError> {
+                (**self).apply_adjoint_into(input, out)
+            }
+            fn apply_many_into(
+                &self,
+                dir: OpDirection,
+                inputs: &[f64],
+                outputs: &mut [f64],
+            ) -> Result<(), OpError> {
+                (**self).apply_many_into(dir, inputs, outputs)
+            }
+        }
+    )*};
 }
+
+forward_linear_operator!(&T, Box<T>, std::sync::Arc<T>);
 
 /// A [`LinearOperator`] whose five-phase precision configuration can be
 /// swapped at runtime without rebuilding the operator — the paper's
@@ -386,6 +423,26 @@ mod tests {
             l.shape().rows
         }
         assert_eq!(rows(&op), 3);
+        // Owned smart pointers implement the trait too — the service
+        // registry relies on Arc<dyn LinearOperator + Send + Sync>.
+        let boxed: Box<dyn LinearOperator> = Box::new(Doubler);
+        assert_eq!(rows(&boxed), 3);
+        let shared: std::sync::Arc<dyn LinearOperator + Send + Sync> = std::sync::Arc::new(Doubler);
+        assert_eq!(shared.apply_forward(&[1.0; 3]).unwrap(), vec![2.0; 3]);
+    }
+
+    #[test]
+    fn error_hierarchy_converts_and_chains() {
+        // ConfigError lifts into OpError, and source() walks back down.
+        let c = ConfigError::ZeroDimension { what: "nt" };
+        let o: OpError = c.clone().into();
+        assert_eq!(o, OpError::Config(c.clone()));
+        assert!(o.to_string().contains("operator construction failed"));
+        assert!(o.to_string().contains("nt"));
+        use std::error::Error;
+        let src = o.source().expect("Config wraps a source");
+        assert_eq!(src.to_string(), c.to_string());
+        assert!(OpError::Internal("x").source().is_none());
     }
 
     #[test]

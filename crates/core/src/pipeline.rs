@@ -142,7 +142,9 @@ impl TierEngines {
 /// One apply's worth of intermediate buffers. Every field is reset (not
 /// reallocated) each apply as long as the tier/shape it held last time
 /// still matches — which is always the case under a fixed configuration.
+/// The `id` is pool-unique and backs the checkout ledger below.
 struct Workspace {
+    id: u64,
     padded: RealBuffer,
     casted: RealBuffer,
     spectrum: ComplexBuffer,
@@ -154,8 +156,9 @@ struct Workspace {
 
 impl Workspace {
     /// All-empty workspace; `Vec::new()` does not allocate.
-    fn empty() -> Self {
+    fn empty(id: u64) -> Self {
         Workspace {
+            id,
             padded: RealBuffer::F64(Vec::new()),
             casted: RealBuffer::F64(Vec::new()),
             spectrum: ComplexBuffer::C64(Vec::new()),
@@ -167,42 +170,128 @@ impl Workspace {
     }
 }
 
+/// Most workspaces a pool parks between applies. A serving registry can
+/// point many concurrent batch windows at one shared `FftMatvec`; each
+/// window transiently checks out one workspace per executing worker, and
+/// without a cap the pool would permanently retain that burst-peak
+/// footprint. Sized to comfortably cover the machine's worker
+/// concurrency (the steady-state checkout count) while letting bursts
+/// free their excess.
+pub fn workspace_retention_cap() -> usize {
+    // Computed once: `available_parallelism` reads procfs/cgroup state on
+    // Linux, which allocates — and this runs on the apply hot path (every
+    // workspace return), which is contractually allocation-free.
+    static CAP: OnceLock<usize> = OnceLock::new();
+    *CAP.get_or_init(|| {
+        let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        (2 * hw).max(8)
+    })
+}
+
+/// Bookkeeping behind one [`WorkspacePool`] mutex.
+struct PoolLedger {
+    /// Workspaces parked between applies, at most
+    /// [`workspace_retention_cap`] of them.
+    parked: Vec<Workspace>,
+    /// Ids currently checked out. Small (≈ worker concurrency), so a
+    /// linear scan beats a hash set.
+    checked_out: Vec<u64>,
+    /// Next fresh workspace id.
+    next_id: u64,
+    /// High-water mark of concurrent checkouts (diagnostic).
+    peak_out: usize,
+}
+
 /// Pool of [`Workspace`]s, mirroring the FFT `ScratchArena`: one buffer
 /// set per concurrently running worker, a single reused set when serial.
+///
+/// Hardened for shared-operator serving, where one `FftMatvec` is driven
+/// by many concurrent batch windows:
+///
+/// * **Checkout ledger** — every workspace carries a pool-unique id,
+///   recorded while it is out. A guard returning a workspace the ledger
+///   does not list (the only way two batches could ever alias one
+///   workspace's buffers) is a loud panic instead of silent data
+///   corruption.
+/// * **Bounded retention** — returned workspaces are parked only up to
+///   [`workspace_retention_cap`]; the rest free their buffers, so a
+///   burst of concurrent windows cannot permanently pin its peak
+///   footprint.
 struct WorkspacePool {
     reuse: bool,
-    pool: Mutex<Vec<Workspace>>,
+    state: Mutex<PoolLedger>,
 }
 
 impl WorkspacePool {
     fn new(reuse: bool) -> Self {
-        WorkspacePool { reuse, pool: Mutex::new(Vec::new()) }
+        WorkspacePool {
+            reuse,
+            state: Mutex::new(PoolLedger {
+                parked: Vec::new(),
+                checked_out: Vec::new(),
+                next_id: 0,
+                peak_out: 0,
+            }),
+        }
     }
 
-    fn lock(&self) -> MutexGuard<'_, Vec<Workspace>> {
-        self.pool.lock().unwrap_or_else(PoisonError::into_inner)
+    fn lock(&self) -> MutexGuard<'_, PoolLedger> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     fn checkout(&self) -> PooledWorkspace<'_> {
-        let ws = self.lock().pop().unwrap_or_else(Workspace::empty);
-        PooledWorkspace { pool: self, ws }
+        let mut st = self.lock();
+        let ws = match st.parked.pop() {
+            Some(ws) => ws,
+            None => {
+                let id = st.next_id;
+                st.next_id += 1;
+                Workspace::empty(id)
+            }
+        };
+        st.checked_out.push(ws.id);
+        st.peak_out = st.peak_out.max(st.checked_out.len());
+        PooledWorkspace { pool: self, ws: Some(ws) }
     }
 
     fn pooled(&self) -> usize {
-        self.lock().len()
+        self.lock().parked.len()
+    }
+
+    fn in_flight(&self) -> usize {
+        self.lock().checked_out.len()
+    }
+
+    fn peak_in_flight(&self) -> usize {
+        self.lock().peak_out
     }
 }
 
 struct PooledWorkspace<'a> {
     pool: &'a WorkspacePool,
-    ws: Workspace,
+    /// Always `Some` until `drop` takes it back.
+    ws: Option<Workspace>,
+}
+
+impl PooledWorkspace<'_> {
+    #[inline]
+    fn ws(&mut self) -> &mut Workspace {
+        self.ws.as_mut().expect("workspace held until drop")
+    }
 }
 
 impl Drop for PooledWorkspace<'_> {
     fn drop(&mut self) {
-        if self.pool.reuse {
-            let ws = std::mem::replace(&mut self.ws, Workspace::empty());
-            self.pool.lock().push(ws);
+        let ws = self.ws.take().expect("workspace held until drop");
+        let mut st = self.pool.lock();
+        let idx = st
+            .checked_out
+            .iter()
+            .position(|&id| id == ws.id)
+            .expect("workspace returned twice or to a foreign pool: aliased checkout");
+        st.checked_out.swap_remove(idx);
+        if self.pool.reuse && st.parked.len() < workspace_retention_cap() {
+            st.parked.push(ws);
         }
     }
 }
@@ -312,17 +401,6 @@ impl FftMatvec {
         FftMatvecBuilder::new(op)
     }
 
-    /// Legacy constructor.
-    #[deprecated(note = "use FftMatvec::builder(op).precision(cfg).build()")]
-    pub fn new(op: BlockToeplitzOperator, cfg: PrecisionConfig) -> Self {
-        match FftMatvecBuilder::new(op).precision(cfg).build() {
-            Ok(mv) => mv,
-            // `build` on the default CPU backend is infallible; keep the
-            // legacy signature without introducing a panic path.
-            Err(_) => unreachable!("CPU build is infallible"),
-        }
-    }
-
     /// The shared double-precision FFT plan handle for this problem size.
     /// Handles for the same `N_t` compare pointer-equal across pipelines —
     /// useful for asserting (and testing) that plan construction is
@@ -346,8 +424,22 @@ impl FftMatvec {
     }
 
     /// Workspaces currently parked in the pipeline's pool (diagnostic).
+    /// Bounded by [`workspace_retention_cap`] however many concurrent
+    /// batch windows have driven this pipeline.
     pub fn workspaces_pooled(&self) -> usize {
         self.workspace.pooled()
+    }
+
+    /// Workspaces currently checked out of the pool (diagnostic): the
+    /// number of applies executing on this pipeline right now.
+    pub fn workspaces_in_flight(&self) -> usize {
+        self.workspace.in_flight()
+    }
+
+    /// High-water mark of concurrent workspace checkouts over this
+    /// pipeline's lifetime (diagnostic for concurrency stress tests).
+    pub fn workspaces_peak_in_flight(&self) -> usize {
+        self.workspace.peak_in_flight()
     }
 
     /// The wrapped operator.
@@ -382,36 +474,6 @@ impl FftMatvec {
         self.op
     }
 
-    /// Legacy overlapped batch apply.
-    #[deprecated(note = "use LinearOperator::apply_many_into with flat strided buffers")]
-    pub fn apply_forward_many(&self, inputs: &[Vec<f64>]) -> Vec<Vec<f64>> {
-        self.legacy_many(OpDirection::Forward, inputs)
-    }
-
-    /// Legacy overlapped batch apply (see
-    /// [`FftMatvec::apply_forward_many`]).
-    #[deprecated(note = "use LinearOperator::apply_many_into with flat strided buffers")]
-    pub fn apply_adjoint_many(&self, inputs: &[Vec<f64>]) -> Vec<Vec<f64>> {
-        self.legacy_many(OpDirection::Adjoint, inputs)
-    }
-
-    /// Shared body of the deprecated `Vec<Vec<f64>>` shims: stage through
-    /// flat buffers and split back. Keeps the legacy panicking semantics
-    /// on shape mismatch until the shims are removed.
-    fn legacy_many(&self, dir: OpDirection, inputs: &[Vec<f64>]) -> Vec<Vec<f64>> {
-        let (in_len, out_len) = self.shape().io_lens(dir);
-        let mut flat_in = Vec::with_capacity(inputs.len() * in_len);
-        for v in inputs {
-            assert_eq!(v.len(), in_len, "legacy apply_many input length");
-            flat_in.extend_from_slice(v);
-        }
-        let mut flat_out = vec![0.0; inputs.len() * out_len];
-        match self.apply_many_into(dir, &flat_in, &mut flat_out) {
-            Ok(()) => flat_out.chunks_exact(out_len).map(<[f64]>::to_vec).collect(),
-            Err(e) => panic!("legacy apply_many: {e}"),
-        }
-    }
-
     /// One full five-phase pipeline pass, all intermediates drawn from
     /// `ws`. Caller has validated `input`/`out` lengths.
     fn run_pipeline(
@@ -427,7 +489,7 @@ impl FftMatvec {
             GemvOp::NoTrans => (nm, nd),
             _ => (nd, nm),
         };
-        let Workspace { padded, casted, spectrum, xhat, yhat, dspec, time } = ws;
+        let Workspace { padded, casted, spectrum, xhat, yhat, dspec, time, .. } = ws;
 
         // Phase 1 — broadcast + zero-pad (TOSI → SOTI), in cfg[Pad].
         let p_pad = self.cfg.phase(MatvecPhase::Pad);
@@ -512,13 +574,13 @@ impl LinearOperator for FftMatvec {
     fn apply_forward_into(&self, input: &[f64], out: &mut [f64]) -> Result<(), OpError> {
         check_apply(self.shape(), OpDirection::Forward, input, out)?;
         let mut guard = self.workspace.checkout();
-        self.run_pipeline(input, out, GemvOp::NoTrans, &mut guard.ws)
+        self.run_pipeline(input, out, GemvOp::NoTrans, guard.ws())
     }
 
     fn apply_adjoint_into(&self, input: &[f64], out: &mut [f64]) -> Result<(), OpError> {
         check_apply(self.shape(), OpDirection::Adjoint, input, out)?;
         let mut guard = self.workspace.checkout();
-        self.run_pipeline(input, out, GemvOp::ConjTrans, &mut guard.ws)
+        self.run_pipeline(input, out, GemvOp::ConjTrans, guard.ws())
     }
 
     /// Batched apply: the whole batch shares the engines resolved at
@@ -547,7 +609,7 @@ impl LinearOperator for FftMatvec {
                 .for_each_init(
                     || self.workspace.checkout(),
                     |guard, (i, o)| {
-                        if self.run_pipeline(i, o, gemv_op, &mut guard.ws).is_err() {
+                        if self.run_pipeline(i, o, gemv_op, guard.ws()).is_err() {
                             failed.store(true, Ordering::Relaxed);
                         }
                     },
@@ -560,7 +622,7 @@ impl LinearOperator for FftMatvec {
         }
         let mut guard = self.workspace.checkout();
         for (i, o) in inputs.chunks_exact(in_len).zip(outputs.chunks_exact_mut(out_len)) {
-            self.run_pipeline(i, o, gemv_op, &mut guard.ws)?;
+            self.run_pipeline(i, o, gemv_op, guard.ws())?;
         }
         Ok(())
     }
@@ -872,25 +934,54 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_new_api() {
-        let op = random_operator(2, 4, 6, 37);
-        let legacy = FftMatvec::new(op, PrecisionConfig::all_double());
-        let mut rng = SplitMix64::new(6);
-        let inputs: Vec<Vec<f64>> = (0..3)
-            .map(|_| {
-                let mut v = vec![0.0; 4 * 6];
-                rng.fill_uniform(&mut v, -1.0, 1.0);
-                v
-            })
-            .collect();
-        let outs = legacy.apply_forward_many(&inputs);
-        for (i, o) in inputs.iter().zip(&outs) {
-            assert_eq!(o, &legacy.apply_forward(i).unwrap());
-        }
-        let back = legacy.apply_adjoint_many(&outs);
-        for (d, o) in outs.iter().zip(&back) {
-            assert_eq!(o, &legacy.apply_adjoint(d).unwrap());
-        }
+    fn workspace_pool_parks_at_most_the_retention_cap() {
+        let pool = WorkspacePool::new(true);
+        let cap = workspace_retention_cap();
+        // A burst of cap + 5 concurrent checkouts...
+        let guards: Vec<_> = (0..cap + 5).map(|_| pool.checkout()).collect();
+        assert_eq!(pool.in_flight(), cap + 5);
+        assert_eq!(pool.peak_in_flight(), cap + 5);
+        // ...parks only `cap` workspaces on return; the excess is freed.
+        drop(guards);
+        assert_eq!(pool.in_flight(), 0);
+        assert_eq!(pool.pooled(), cap, "retention must be bounded by the cap");
+        // Steady-state reuse still works: a fresh checkout drains the
+        // parked set instead of allocating.
+        let g = pool.checkout();
+        assert_eq!(pool.pooled(), cap - 1);
+        drop(g);
+        assert_eq!(pool.pooled(), cap);
+    }
+
+    #[test]
+    fn workspace_checkouts_never_alias() {
+        // Concurrent guards must hold workspaces with distinct ids — the
+        // ledger tracks exactly the outstanding set.
+        let pool = WorkspacePool::new(true);
+        let mut a = pool.checkout();
+        let mut b = pool.checkout();
+        assert_ne!(a.ws().id, b.ws().id, "two live guards must never share a workspace");
+        let (ia, ib) = (a.ws().id, b.ws().id);
+        drop(a);
+        drop(b);
+        // Reuse hands back the same workspaces, still distinct.
+        let mut c = pool.checkout();
+        let mut d = pool.checkout();
+        assert_ne!(c.ws().id, d.ws().id);
+        assert!([ia, ib].contains(&c.ws().id));
+        assert!([ia, ib].contains(&d.ws().id));
+    }
+
+    #[test]
+    fn pipeline_tracks_in_flight_workspaces() {
+        let op = random_operator(2, 3, 8, 83);
+        let mv = mv(op, PrecisionConfig::all_double());
+        assert_eq!(mv.workspaces_in_flight(), 0);
+        let m = vec![1.0; 3 * 8];
+        let mut out = vec![0.0; 2 * 8];
+        mv.apply_forward_into(&m, &mut out).unwrap();
+        assert_eq!(mv.workspaces_in_flight(), 0, "guard returned after the apply");
+        assert!(mv.workspaces_peak_in_flight() >= 1);
+        assert!(mv.workspaces_pooled() <= workspace_retention_cap());
     }
 }

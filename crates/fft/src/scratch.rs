@@ -12,11 +12,31 @@
 //! pool's parked-buffer count stabilizes at the peak worker concurrency;
 //! sequentially it stabilizes at a single reused allocation.
 
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
 
 use fftmatvec_numeric::{Complex, Real};
 
-/// Pool of equally-sized scratch buffers.
+/// Most scratch buffers an arena parks between checkouts. Shared-operator
+/// serving can drive one plan (and its arena) from many concurrent batch
+/// windows at once; each window transiently checks out one buffer per
+/// worker, and without a cap the arena would permanently retain that
+/// burst-peak footprint. Sized to cover the machine's worker concurrency
+/// with headroom while letting bursts free their excess.
+pub fn scratch_retention_cap() -> usize {
+    // Computed once: `available_parallelism` reads procfs/cgroup state on
+    // Linux, which allocates — and this runs on the transform hot path
+    // (every scratch return), which must stay allocation-free.
+    static CAP: OnceLock<usize> = OnceLock::new();
+    *CAP.get_or_init(|| {
+        let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        (2 * hw).max(8)
+    })
+}
+
+/// Pool of equally-sized scratch buffers. Concurrent checkouts always
+/// receive distinct buffers (each checkout pops a parked buffer or
+/// allocates a fresh one — nothing is ever handed out twice), and
+/// returned buffers are parked only up to [`scratch_retention_cap`].
 pub struct ScratchArena<T: Real> {
     /// Required scratch length per buffer.
     len: usize,
@@ -74,7 +94,10 @@ impl<T: Real> ScratchGuard<'_, T> {
 impl<T: Real> Drop for ScratchGuard<'_, T> {
     fn drop(&mut self) {
         let buf = std::mem::take(&mut self.buf);
-        self.arena.pool().push(buf);
+        let mut pool = self.arena.pool();
+        if pool.len() < scratch_retention_cap() {
+            pool.push(buf);
+        }
     }
 }
 
@@ -116,5 +139,14 @@ mod tests {
         let arena = ScratchArena::<f64>::new(0);
         let mut g = arena.checkout();
         assert!(g.as_mut_slice().is_empty());
+    }
+
+    #[test]
+    fn retention_is_bounded_after_a_burst() {
+        let arena = ScratchArena::<f64>::new(4);
+        let cap = scratch_retention_cap();
+        let guards: Vec<_> = (0..cap + 5).map(|_| arena.checkout()).collect();
+        drop(guards);
+        assert_eq!(arena.pooled(), cap, "a checkout burst must not pin its peak footprint");
     }
 }

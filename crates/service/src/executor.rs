@@ -1,0 +1,144 @@
+//! Minimal hand-rolled futures executor.
+//!
+//! The offline build environment has no tokio; following the
+//! vendored-shim pattern, the service exposes standard
+//! [`std::future::Future`]s (so callers can migrate to a real runtime
+//! with no API change) and drives them here with a thread-parking
+//! waker. The "reactor" half — timers for batch windows and deadlines —
+//! lives in the service's batcher loop ([`crate::Service`]), which
+//! completes futures and calls their wakers; this module only needs to
+//! park until woken.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+use std::thread::Thread;
+
+/// Waker that unparks the thread running [`block_on`].
+struct ThreadWaker(Thread);
+
+impl Wake for ThreadWaker {
+    fn wake(self: Arc<Self>) {
+        self.0.unpark();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.0.unpark();
+    }
+}
+
+/// Drive `fut` to completion on the calling thread, parking between
+/// polls. Spurious unparks only cost an extra poll; lost wakeups cannot
+/// happen because `park` consumes a token `unpark` sets even when the
+/// thread is not yet parked.
+pub fn block_on<F: Future>(fut: F) -> F::Output {
+    let mut fut = std::pin::pin!(fut);
+    let waker = Waker::from(Arc::new(ThreadWaker(std::thread::current())));
+    let mut cx = Context::from_waker(&waker);
+    loop {
+        match fut.as_mut().poll(&mut cx) {
+            Poll::Ready(out) => return out,
+            Poll::Pending => std::thread::park(),
+        }
+    }
+}
+
+/// Future combinator awaiting a whole wave of futures, yielding their
+/// outputs in submission order. The service's coalescing means a wave of
+/// [`crate::Ticket`]s typically completes together (one batch), so
+/// polling them as a group is the natural way to collect a burst.
+pub struct JoinAll<F: Future + Unpin> {
+    pending: Vec<Option<F>>,
+    outputs: Vec<Option<F::Output>>,
+}
+
+// The futures are `Unpin` and the outputs are plain moved-out values the
+// combinator never pins, so `JoinAll` has no address-sensitive state.
+impl<F: Future + Unpin> Unpin for JoinAll<F> {}
+
+impl<F: Future + Unpin> Future for JoinAll<F> {
+    type Output = Vec<F::Output>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        let mut all_done = true;
+        for (slot, out) in this.pending.iter_mut().zip(this.outputs.iter_mut()) {
+            if let Some(fut) = slot {
+                match Pin::new(fut).poll(cx) {
+                    Poll::Ready(v) => {
+                        *out = Some(v);
+                        *slot = None;
+                    }
+                    Poll::Pending => all_done = false,
+                }
+            }
+        }
+        if all_done {
+            Poll::Ready(this.outputs.iter_mut().map(|o| o.take().expect("all done")).collect())
+        } else {
+            Poll::Pending
+        }
+    }
+}
+
+/// Await every future in `futs`; outputs come back in input order.
+pub fn join_all<F: Future + Unpin>(futs: Vec<F>) -> JoinAll<F> {
+    let outputs = futs.iter().map(|_| None).collect();
+    JoinAll { pending: futs.into_iter().map(Some).collect(), outputs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_on_ready_future() {
+        assert_eq!(block_on(async { 41 + 1 }), 42);
+    }
+
+    #[test]
+    fn block_on_future_completed_from_another_thread() {
+        // A one-shot future completed by a helper thread after a delay:
+        // block_on must park and be woken by the waker, not spin-fail.
+        use std::sync::Mutex;
+        struct Shared {
+            value: Option<u32>,
+            waker: Option<Waker>,
+        }
+        struct OneShot(Arc<Mutex<Shared>>);
+        impl Future for OneShot {
+            type Output = u32;
+            fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<u32> {
+                let mut st = self.0.lock().unwrap();
+                match st.value.take() {
+                    Some(v) => Poll::Ready(v),
+                    None => {
+                        st.waker = Some(cx.waker().clone());
+                        Poll::Pending
+                    }
+                }
+            }
+        }
+        let shared = Arc::new(Mutex::new(Shared { value: None, waker: None }));
+        let producer = Arc::clone(&shared);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            let mut st = producer.lock().unwrap();
+            st.value = Some(7);
+            if let Some(w) = st.waker.take() {
+                w.wake();
+            }
+        });
+        assert_eq!(block_on(OneShot(shared)), 7);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn join_all_preserves_order() {
+        let futs: Vec<_> = (0..5).map(|i| Box::pin(async move { i * i })).collect();
+        assert_eq!(block_on(join_all(futs)), vec![0, 1, 4, 9, 16]);
+        let empty: Vec<std::pin::Pin<Box<dyn Future<Output = u8>>>> = Vec::new();
+        assert_eq!(block_on(join_all(empty)), Vec::<u8>::new());
+    }
+}

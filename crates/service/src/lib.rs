@@ -1,0 +1,62 @@
+//! Operator-as-a-service front-end for the FFT matvec pipeline.
+//!
+//! The compute layers answer "how fast is one (batched) matvec"; this
+//! crate answers "how do many independent callers share the warm
+//! operator". Three pieces:
+//!
+//! * [`OperatorRegistry`] — keeps builder-constructed operators (and
+//!   their warmed FFT plans + pooled workspaces) alive under stable
+//!   string ids.
+//! * [`Service`] — an async request queue that coalesces concurrent
+//!   single-vector submissions into flat-strided
+//!   [`fftmatvec_core::LinearOperator::apply_many_into`] batches under a
+//!   max-batch / max-delay policy, with per-request deadlines and
+//!   bounded-queue admission control. Rejections are typed
+//!   ([`ServiceError`]), wrapping the compute layers' `OpError` /
+//!   `ConfigError` hierarchy.
+//! * [`executor`] — a minimal hand-rolled futures executor
+//!   ([`block_on`], [`join_all`]) so [`Ticket`]s are ordinary
+//!   `std::future::Future`s without an async-runtime dependency; any
+//!   external runtime can drive them instead.
+//!
+//! ```
+//! use fftmatvec_core::{BlockToeplitzOperator, FftMatvec, OpDirection};
+//! use fftmatvec_service::{block_on, join_all, OperatorRegistry, Service, ServiceConfig};
+//! use std::sync::Arc;
+//!
+//! let (nd, nm, nt) = (2, 3, 16);
+//! let col: Vec<f64> = (0..nt * nd * nm).map(|i| (i % 5) as f64 - 2.0).collect();
+//! let registry = Arc::new(OperatorRegistry::new());
+//! registry
+//!     .register_fft(
+//!         "demo",
+//!         FftMatvec::builder(
+//!             BlockToeplitzOperator::from_first_block_column(nd, nm, nt, &col).unwrap(),
+//!         ),
+//!     )
+//!     .unwrap();
+//!
+//! let service = Service::new(registry, ServiceConfig::default());
+//! let tickets: Vec<_> = (0..4)
+//!     .map(|b| {
+//!         service
+//!             .submit("demo", OpDirection::Forward, vec![b as f64; nm * nt])
+//!             .unwrap()
+//!     })
+//!     .collect();
+//! for out in block_on(join_all(tickets)) {
+//!     assert_eq!(out.unwrap().len(), nd * nt);
+//! }
+//! ```
+
+mod error;
+pub mod executor;
+mod registry;
+mod service;
+mod ticket;
+
+pub use error::ServiceError;
+pub use executor::{block_on, join_all};
+pub use registry::OperatorRegistry;
+pub use service::{Service, ServiceConfig, ServiceStats};
+pub use ticket::{Response, Ticket};

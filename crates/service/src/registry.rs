@@ -1,0 +1,154 @@
+//! Persistent operator registry.
+//!
+//! Building an [`FftMatvec`] is the expensive step — FFT plans are
+//! created and warmed per precision tier, and the workspace pool
+//! amortizes across applications. The registry keeps built operators
+//! alive under stable string ids so every request against the same id
+//! reuses the warm plans and pooled workspaces instead of paying
+//! construction again. Registered operators are shared as
+//! `Arc<dyn LinearOperator + Send + Sync>`, so concurrent batch windows
+//! apply the same instance safely (the pipeline's checkout ledger
+//! guarantees windows never alias a workspace).
+
+use std::collections::HashMap;
+use std::sync::{Arc, PoisonError, RwLock};
+
+use fftmatvec_core::{FftMatvecBuilder, LinearOperator, OpShape};
+
+use crate::error::ServiceError;
+
+/// One registered operator: the shared instance plus cached metadata the
+/// admission path reads without touching the operator itself.
+pub(crate) struct RegisteredOp {
+    pub(crate) name: String,
+    pub(crate) op: Arc<dyn LinearOperator + Send + Sync>,
+    pub(crate) shape: OpShape,
+}
+
+/// Keyed store of live operators. Cheap to clone handles out of; writes
+/// (register/deregister) are rare control-plane events, reads are on the
+/// submit hot path, hence the `RwLock`.
+pub struct OperatorRegistry {
+    ops: RwLock<HashMap<String, Arc<RegisteredOp>>>,
+}
+
+impl Default for OperatorRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for OperatorRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OperatorRegistry").field("operators", &self.names()).finish()
+    }
+}
+
+impl OperatorRegistry {
+    /// Empty registry.
+    pub fn new() -> OperatorRegistry {
+        OperatorRegistry { ops: RwLock::new(HashMap::new()) }
+    }
+
+    /// Build the configured [`FftMatvec`](fftmatvec_core::FftMatvec)
+    /// and register it under `id`,
+    /// replacing any previous operator with that id. Construction
+    /// failures surface as [`ServiceError::Shape`] wrapping
+    /// `OpError::Config`.
+    pub fn register_fft(&self, id: &str, builder: FftMatvecBuilder) -> Result<(), ServiceError> {
+        let op = builder.build()?;
+        self.register(id, Arc::new(op));
+        Ok(())
+    }
+
+    /// Register an already-built operator under `id`, replacing any
+    /// previous operator with that id. Accepts any realization of
+    /// [`LinearOperator`] — custom backends plug into the same service.
+    pub fn register(&self, id: &str, op: Arc<dyn LinearOperator + Send + Sync>) {
+        let shape = op.shape();
+        let entry = Arc::new(RegisteredOp { name: id.to_string(), op, shape });
+        self.ops.write().unwrap_or_else(PoisonError::into_inner).insert(id.to_string(), entry);
+    }
+
+    /// Remove the operator under `id`; returns whether one was present.
+    /// In-flight requests against it complete normally (they hold their
+    /// own `Arc`); new submissions see [`ServiceError::UnknownOperator`].
+    pub fn deregister(&self, id: &str) -> bool {
+        self.ops.write().unwrap_or_else(PoisonError::into_inner).remove(id).is_some()
+    }
+
+    /// Is an operator registered under `id`?
+    pub fn contains(&self, id: &str) -> bool {
+        self.ops.read().unwrap_or_else(PoisonError::into_inner).contains_key(id)
+    }
+
+    /// Shape of the operator under `id`, if registered.
+    pub fn shape_of(&self, id: &str) -> Option<OpShape> {
+        self.ops.read().unwrap_or_else(PoisonError::into_inner).get(id).map(|r| r.shape)
+    }
+
+    /// Registered ids, sorted for stable display.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> =
+            self.ops.read().unwrap_or_else(PoisonError::into_inner).keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    pub(crate) fn lookup(&self, id: &str) -> Option<Arc<RegisteredOp>> {
+        self.ops.read().unwrap_or_else(PoisonError::into_inner).get(id).cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fftmatvec_core::{BlockToeplitzOperator, FftMatvec, OpError};
+
+    fn tiny_builder() -> FftMatvecBuilder {
+        let nd = 2;
+        let nm = 3;
+        let nt = 8;
+        let col: Vec<f64> = (0..nt * nd * nm).map(|i| (i % 7) as f64 - 3.0).collect();
+        FftMatvec::builder(
+            BlockToeplitzOperator::from_first_block_column(nd, nm, nt, &col).unwrap(),
+        )
+    }
+
+    #[test]
+    fn register_lookup_deregister_roundtrip() {
+        let reg = OperatorRegistry::new();
+        assert!(!reg.contains("tomo"));
+        reg.register_fft("tomo", tiny_builder()).unwrap();
+        assert!(reg.contains("tomo"));
+        assert_eq!(reg.shape_of("tomo"), Some(OpShape::new(2 * 8, 3 * 8)));
+        assert_eq!(reg.names(), vec!["tomo".to_string()]);
+        assert!(reg.deregister("tomo"));
+        assert!(!reg.deregister("tomo"));
+        assert!(reg.shape_of("tomo").is_none());
+    }
+
+    #[test]
+    fn registered_operator_is_the_live_instance() {
+        let reg = OperatorRegistry::new();
+        reg.register_fft("tomo", tiny_builder()).unwrap();
+        let entry = reg.lookup("tomo").unwrap();
+        let x = vec![1.0; entry.shape.cols];
+        let y = entry.op.apply_forward(&x).unwrap();
+        assert_eq!(y.len(), entry.shape.rows);
+        // Re-registering under the same id replaces the entry.
+        reg.register_fft("tomo", tiny_builder()).unwrap();
+        let replaced = reg.lookup("tomo").unwrap();
+        assert!(!Arc::ptr_eq(&entry, &replaced));
+    }
+
+    // `BlockToeplitzOperator::new` validates eagerly, so exercise the
+    // From chain directly: a ConfigError entering the service layer lands
+    // as Shape(Config(..)).
+    #[test]
+    fn config_error_lifts_to_service_error() {
+        let cfg = fftmatvec_core::ConfigError::ColumnLength { expected: 48, got: 5 };
+        let e: ServiceError = cfg.clone().into();
+        assert_eq!(e, ServiceError::Shape(OpError::Config(cfg)));
+    }
+}

@@ -1,0 +1,588 @@
+//! The batching front-end.
+//!
+//! [`Service`] accepts single-vector requests against registered
+//! operators and coalesces concurrent submissions into flat-strided
+//! [`LinearOperator::apply_many_into`] batches — the same mechanism the
+//! paper uses to keep the accelerator occupied: one warm plan, one
+//! workspace checkout, many right-hand sides. Coalescing is semantically
+//! invisible because the pipeline guarantees the batched path is
+//! bit-identical to applying each vector alone.
+//!
+//! The queue discipline is deliberately simple and fully typed:
+//!
+//! * **Batch window** — a lane (operator id × direction) executes when it
+//!   holds [`ServiceConfig::max_batch`] requests or its oldest request
+//!   has waited [`ServiceConfig::max_delay`], whichever comes first.
+//! * **Admission control** — a lane at [`ServiceConfig::queue_capacity`]
+//!   rejects new work with [`ServiceError::Overloaded`] instead of
+//!   growing without bound.
+//! * **Deadlines** — a request whose deadline lapses while queued is
+//!   completed with [`ServiceError::DeadlineExceeded`]; its computation
+//!   never runs.
+//! * **Fault isolation** — a panic inside an operator's apply is caught;
+//!   that batch fails with [`ServiceError::WorkerPanicked`] and the
+//!   service keeps serving other requests.
+
+use std::collections::{HashMap, VecDeque};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use fftmatvec_core::{LinearOperator, OpDirection, OpError};
+
+use crate::error::ServiceError;
+use crate::registry::{OperatorRegistry, RegisteredOp};
+use crate::ticket::{Ticket, TicketShared};
+
+/// Queue policy knobs. The defaults suit interactive serving of matvecs
+/// in the hundreds-of-microseconds range; latency-sensitive deployments
+/// shrink `max_delay`, throughput-oriented ones grow `max_batch`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Largest coalesced batch per execution (window closes when a lane
+    /// reaches this many requests).
+    pub max_batch: usize,
+    /// Longest a request may wait for co-batchable traffic before its
+    /// window closes anyway.
+    pub max_delay: Duration,
+    /// Per-lane admission bound; a lane at capacity rejects with
+    /// [`ServiceError::Overloaded`].
+    pub queue_capacity: usize,
+    /// Executor threads draining batch windows. One worker already
+    /// exploits intra-batch parallelism (the pipeline fans a large batch
+    /// across the compute pool); more workers overlap independent lanes.
+    pub workers: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            max_batch: 32,
+            max_delay: Duration::from_micros(200),
+            queue_capacity: 1024,
+            workers: 1,
+        }
+    }
+}
+
+/// One queued request.
+struct PendingReq {
+    input: Vec<f64>,
+    ticket: Arc<TicketShared>,
+    submitted: Instant,
+    deadline: Option<Instant>,
+}
+
+type LaneKey = (String, OpDirection);
+
+struct QueueState {
+    lanes: HashMap<LaneKey, VecDeque<PendingReq>>,
+    shutdown: bool,
+}
+
+#[derive(Default)]
+struct StatsInner {
+    submitted: u64,
+    completed: u64,
+    rejected: u64,
+    expired: u64,
+    failed: u64,
+    panicked: u64,
+    batches: u64,
+    batched_requests: u64,
+    latencies_ns: Vec<u64>,
+}
+
+/// Point-in-time counters snapshot; see [`Service::stats`].
+#[derive(Clone, Debug, Default)]
+pub struct ServiceStats {
+    /// Requests admitted to a queue.
+    pub submitted: u64,
+    /// Requests completed successfully.
+    pub completed: u64,
+    /// Requests refused at submission (overload, unknown operator,
+    /// shape, shutdown).
+    pub rejected: u64,
+    /// Requests whose deadline lapsed while queued.
+    pub expired: u64,
+    /// Requests completed with an apply-time [`OpError`].
+    pub failed: u64,
+    /// Requests failed because the operator panicked mid-batch.
+    pub panicked: u64,
+    /// Batch windows executed.
+    pub batches: u64,
+    /// Requests served across those windows (`batched_requests /
+    /// batches` is the mean occupancy).
+    pub batched_requests: u64,
+    /// Per-request queue+execute latencies, nanoseconds, completion
+    /// order.
+    pub latencies_ns: Vec<u64>,
+}
+
+impl ServiceStats {
+    /// Mean requests per executed batch window (the occupancy the
+    /// coalescer achieved); 0 when nothing has executed.
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_requests as f64 / self.batches as f64
+        }
+    }
+
+    /// Latency quantile in microseconds via nearest-rank on the recorded
+    /// samples; `None` until something has completed. `q` in `[0, 1]`.
+    pub fn latency_quantile_us(&self, q: f64) -> Option<f64> {
+        if self.latencies_ns.is_empty() {
+            return None;
+        }
+        let mut sorted = self.latencies_ns.clone();
+        sorted.sort_unstable();
+        let rank =
+            ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        Some(sorted[rank - 1] as f64 / 1e3)
+    }
+}
+
+struct Inner {
+    registry: Arc<OperatorRegistry>,
+    cfg: ServiceConfig,
+    state: Mutex<QueueState>,
+    cv: Condvar,
+    stats: Mutex<StatsInner>,
+    accepting: AtomicBool,
+}
+
+/// The operator-as-a-service front-end. Construction spawns the worker
+/// threads; dropping the service stops admissions, drains every queued
+/// request, and joins the workers.
+pub struct Service {
+    inner: Arc<Inner>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Service {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Service")
+            .field("cfg", &self.inner.cfg)
+            .field("operators", &self.inner.registry.names())
+            .finish()
+    }
+}
+
+impl Service {
+    /// Spawn a service over `registry` with the given queue policy.
+    /// Zero-valued knobs are clamped to their minimum useful values.
+    pub fn new(registry: Arc<OperatorRegistry>, cfg: ServiceConfig) -> Service {
+        let cfg = ServiceConfig {
+            max_batch: cfg.max_batch.max(1),
+            max_delay: cfg.max_delay,
+            queue_capacity: cfg.queue_capacity.max(1),
+            workers: cfg.workers.max(1),
+        };
+        let inner = Arc::new(Inner {
+            registry,
+            cfg,
+            state: Mutex::new(QueueState { lanes: HashMap::new(), shutdown: false }),
+            cv: Condvar::new(),
+            stats: Mutex::new(StatsInner::default()),
+            accepting: AtomicBool::new(true),
+        });
+        let workers = (0..cfg.workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("fftmatvec-serve-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn service worker")
+            })
+            .collect();
+        Service { inner, workers }
+    }
+
+    /// Convenience: service over a fresh registry (register operators
+    /// through [`Service::registry`]).
+    pub fn with_default_registry(cfg: ServiceConfig) -> Service {
+        Service::new(Arc::new(OperatorRegistry::new()), cfg)
+    }
+
+    /// The registry this service serves from. Operators may be
+    /// registered and deregistered while the service is live.
+    pub fn registry(&self) -> &Arc<OperatorRegistry> {
+        &self.inner.registry
+    }
+
+    /// The (clamped) queue policy in effect.
+    pub fn config(&self) -> ServiceConfig {
+        self.inner.cfg
+    }
+
+    /// Submit one vector for `op_id` in direction `dir` with no
+    /// deadline. Returns a [`Ticket`] resolving to the output vector, or
+    /// a typed rejection if the request is not admitted.
+    pub fn submit(
+        &self,
+        op_id: &str,
+        dir: OpDirection,
+        input: Vec<f64>,
+    ) -> Result<Ticket, ServiceError> {
+        self.submit_inner(op_id, dir, input, None)
+    }
+
+    /// [`Service::submit`] with a deadline: if no batch window has
+    /// picked the request up within `deadline` of submission, it
+    /// completes with [`ServiceError::DeadlineExceeded`] and is never
+    /// computed. A deadline of zero expires immediately unless a window
+    /// is already closing.
+    pub fn submit_with_deadline(
+        &self,
+        op_id: &str,
+        dir: OpDirection,
+        input: Vec<f64>,
+        deadline: Duration,
+    ) -> Result<Ticket, ServiceError> {
+        self.submit_inner(op_id, dir, input, Some(deadline))
+    }
+
+    fn submit_inner(
+        &self,
+        op_id: &str,
+        dir: OpDirection,
+        input: Vec<f64>,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket, ServiceError> {
+        let inner = &self.inner;
+        let reject = |e: ServiceError| {
+            let mut stats = inner.stats.lock().unwrap_or_else(PoisonError::into_inner);
+            stats.rejected += 1;
+            Err(e)
+        };
+        if !inner.accepting.load(Ordering::Acquire) {
+            return reject(ServiceError::ShuttingDown);
+        }
+        let Some(entry) = inner.registry.lookup(op_id) else {
+            return reject(ServiceError::UnknownOperator(op_id.to_string()));
+        };
+        let (in_len, _) = entry.shape.io_lens(dir);
+        if input.len() != in_len {
+            return reject(ServiceError::Shape(OpError::InputLength {
+                dir,
+                expected: in_len,
+                got: input.len(),
+            }));
+        }
+
+        let submitted = Instant::now();
+        let shared = TicketShared::new();
+        let req = PendingReq {
+            input,
+            ticket: Arc::clone(&shared),
+            submitted,
+            deadline: deadline.map(|d| submitted + d),
+        };
+
+        let mut state = inner.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if state.shutdown {
+            drop(state);
+            return reject(ServiceError::ShuttingDown);
+        }
+        let lane = state.lanes.entry((op_id.to_string(), dir)).or_default();
+        if lane.len() >= inner.cfg.queue_capacity {
+            let queued = lane.len();
+            drop(state);
+            return reject(ServiceError::Overloaded {
+                operator: op_id.to_string(),
+                queued,
+                capacity: inner.cfg.queue_capacity,
+            });
+        }
+        lane.push_back(req);
+        drop(state);
+        inner.cv.notify_one();
+        let mut stats = inner.stats.lock().unwrap_or_else(PoisonError::into_inner);
+        stats.submitted += 1;
+        drop(stats);
+        Ok(Ticket::new(shared))
+    }
+
+    /// Requests currently queued across all lanes (excludes the batch a
+    /// worker is executing right now).
+    pub fn queued(&self) -> usize {
+        let state = self.inner.state.lock().unwrap_or_else(PoisonError::into_inner);
+        state.lanes.values().map(VecDeque::len).sum()
+    }
+
+    /// Snapshot of the service counters.
+    pub fn stats(&self) -> ServiceStats {
+        let s = self.inner.stats.lock().unwrap_or_else(PoisonError::into_inner);
+        ServiceStats {
+            submitted: s.submitted,
+            completed: s.completed,
+            rejected: s.rejected,
+            expired: s.expired,
+            failed: s.failed,
+            panicked: s.panicked,
+            batches: s.batches,
+            batched_requests: s.batched_requests,
+            latencies_ns: s.latencies_ns.clone(),
+        }
+    }
+
+    /// Stop admitting, drain every queued request (they complete
+    /// normally), and join the workers. `Drop` calls this; explicit
+    /// shutdown is for callers that want the drain to happen at a chosen
+    /// point.
+    pub fn shutdown(&mut self) {
+        self.inner.accepting.store(false, Ordering::Release);
+        {
+            let mut state = self.inner.state.lock().unwrap_or_else(PoisonError::into_inner);
+            state.shutdown = true;
+        }
+        self.inner.cv.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// A carved batch window, ready to execute outside the queue lock.
+struct Window {
+    op: Arc<RegisteredOp>,
+    dir: OpDirection,
+    reqs: Vec<PendingReq>,
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        let mut state = inner.state.lock().unwrap_or_else(PoisonError::into_inner);
+        let now = Instant::now();
+
+        // 1. Expire lapsed deadlines everywhere (completing after the
+        //    lock drops keeps the hold time short).
+        let mut expired: Vec<(String, PendingReq)> = Vec::new();
+        for ((op_id, _), lane) in state.lanes.iter_mut() {
+            let mut kept = VecDeque::with_capacity(lane.len());
+            for req in lane.drain(..) {
+                match req.deadline {
+                    Some(d) if d <= now => expired.push((op_id.clone(), req)),
+                    _ => kept.push_back(req),
+                }
+            }
+            *lane = kept;
+        }
+
+        // 2. Carve the first ready window: a full batch, a stale head,
+        //    or anything at all once draining for shutdown.
+        let shutdown = state.shutdown;
+        let ready_key = state
+            .lanes
+            .iter()
+            .find(|(_, lane)| {
+                if lane.is_empty() {
+                    return false;
+                }
+                lane.len() >= inner.cfg.max_batch
+                    || shutdown
+                    || lane.front().is_some_and(|r| r.submitted + inner.cfg.max_delay <= now)
+            })
+            .map(|(key, _)| key.clone());
+        let window = ready_key.map(|key| {
+            let lane = state.lanes.get_mut(&key).expect("lane exists");
+            let take = lane.len().min(inner.cfg.max_batch);
+            let reqs: Vec<PendingReq> = lane.drain(..take).collect();
+            (key, reqs)
+        });
+
+        // 3. Decide whether to execute, exit, or sleep — and until when.
+        let wake_at = if window.is_some() || !expired.is_empty() {
+            None
+        } else if shutdown {
+            // Queues fully drained.
+            drop(state);
+            return;
+        } else {
+            let mut earliest: Option<Instant> = None;
+            for lane in state.lanes.values() {
+                if let Some(head) = lane.front() {
+                    let window_close = head.submitted + inner.cfg.max_delay;
+                    earliest =
+                        Some(earliest.map_or(window_close, |e: Instant| e.min(window_close)));
+                }
+                for req in lane {
+                    if let Some(d) = req.deadline {
+                        earliest = Some(earliest.map_or(d, |e: Instant| e.min(d)));
+                    }
+                }
+            }
+            Some(earliest)
+        };
+
+        match wake_at {
+            None => drop(state),
+            Some(Some(at)) => {
+                let dur = at.saturating_duration_since(now);
+                let (st, _) =
+                    inner.cv.wait_timeout(state, dur).unwrap_or_else(PoisonError::into_inner);
+                drop(st);
+                continue;
+            }
+            Some(None) => {
+                drop(inner.cv.wait(state).unwrap_or_else(PoisonError::into_inner));
+                continue;
+            }
+        }
+
+        // 4. Complete expirations and execute the window, lock-free.
+        if !expired.is_empty() {
+            let mut stats = inner.stats.lock().unwrap_or_else(PoisonError::into_inner);
+            stats.expired += expired.len() as u64;
+            drop(stats);
+            for (op_id, req) in expired {
+                let waited = now.saturating_duration_since(req.submitted);
+                req.ticket
+                    .complete(Err(ServiceError::DeadlineExceeded { operator: op_id, waited }));
+            }
+        }
+        if let Some(((op_id, dir), reqs)) = window {
+            match inner.registry.lookup(&op_id) {
+                Some(op) => execute_window(inner, Window { op, dir, reqs }),
+                None => {
+                    // Deregistered while queued: reject rather than hang.
+                    for req in reqs {
+                        req.ticket.complete(Err(ServiceError::UnknownOperator(op_id.clone())));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Run one coalesced window through `apply_many_into` and settle every
+/// ticket in it. Inputs were shape-checked at admission, so the flat
+/// buffers are well-formed by construction; any apply error or panic is
+/// fanned back out to all requests in the window.
+fn execute_window(inner: &Inner, window: Window) {
+    let Window { op, dir, reqs } = window;
+    let (in_len, out_len) = op.shape.io_lens(dir);
+    let batch = reqs.len();
+    let mut inputs = Vec::with_capacity(batch * in_len);
+    for req in &reqs {
+        inputs.extend_from_slice(&req.input);
+    }
+    let mut outputs = vec![0.0f64; batch * out_len];
+
+    let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        op.op.apply_many_into(dir, &inputs, &mut outputs)
+    }));
+    let done = Instant::now();
+
+    let mut stats = inner.stats.lock().unwrap_or_else(PoisonError::into_inner);
+    stats.batches += 1;
+    stats.batched_requests += batch as u64;
+    let outcome: Result<(), ServiceError> = match result {
+        Ok(Ok(())) => {
+            stats.completed += batch as u64;
+            for req in &reqs {
+                let ns = done.saturating_duration_since(req.submitted).as_nanos();
+                stats.latencies_ns.push(ns.min(u64::MAX as u128) as u64);
+            }
+            Ok(())
+        }
+        Ok(Err(e)) => {
+            stats.failed += batch as u64;
+            Err(ServiceError::Shape(e))
+        }
+        Err(_panic) => {
+            stats.panicked += batch as u64;
+            Err(ServiceError::WorkerPanicked { operator: op.name.clone() })
+        }
+    };
+    drop(stats);
+
+    match outcome {
+        Ok(()) => {
+            for (req, out) in reqs.into_iter().zip(outputs.chunks_exact(out_len)) {
+                req.ticket.complete(Ok(out.to_vec()));
+            }
+        }
+        Err(e) => {
+            for req in reqs {
+                req.ticket.complete(Err(e.clone()));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fftmatvec_core::{BlockToeplitzOperator, FftMatvec};
+
+    fn registry_with_tiny_op() -> Arc<OperatorRegistry> {
+        let (nd, nm, nt) = (2, 3, 8);
+        let col: Vec<f64> = (0..nt * nd * nm).map(|i| ((i * 13 % 17) as f64) / 7.0).collect();
+        let reg = Arc::new(OperatorRegistry::new());
+        reg.register_fft(
+            "tiny",
+            FftMatvec::builder(
+                BlockToeplitzOperator::from_first_block_column(nd, nm, nt, &col).unwrap(),
+            ),
+        )
+        .unwrap();
+        reg
+    }
+
+    #[test]
+    fn roundtrip_matches_direct_apply() {
+        let reg = registry_with_tiny_op();
+        let service = Service::new(Arc::clone(&reg), ServiceConfig::default());
+        let shape = reg.shape_of("tiny").unwrap();
+        let x: Vec<f64> = (0..shape.cols).map(|i| i as f64 * 0.25 - 1.0).collect();
+        let got = service.submit("tiny", OpDirection::Forward, x.clone()).unwrap().wait().unwrap();
+        let entry = reg.lookup("tiny").unwrap();
+        let want = entry.op.apply_forward(&x).unwrap();
+        assert_eq!(got, want);
+        let stats = service.stats();
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.batches, 1);
+    }
+
+    #[test]
+    fn config_knobs_are_clamped() {
+        let reg = registry_with_tiny_op();
+        let service = Service::new(
+            reg,
+            ServiceConfig { max_batch: 0, queue_capacity: 0, workers: 0, ..Default::default() },
+        );
+        let cfg = service.config();
+        assert_eq!((cfg.max_batch, cfg.queue_capacity, cfg.workers), (1, 1, 1));
+    }
+
+    #[test]
+    fn drop_drains_queued_requests() {
+        let reg = registry_with_tiny_op();
+        let shape = reg.shape_of("tiny").unwrap();
+        // A long max_delay would park these for an hour if drop failed
+        // to force the windows closed.
+        let service = Service::new(
+            Arc::clone(&reg),
+            ServiceConfig { max_delay: Duration::from_secs(3600), ..Default::default() },
+        );
+        let tickets: Vec<Ticket> = (0..5)
+            .map(|i| {
+                service.submit("tiny", OpDirection::Adjoint, vec![i as f64; shape.rows]).unwrap()
+            })
+            .collect();
+        drop(service);
+        for t in tickets {
+            assert!(t.wait().is_ok());
+        }
+    }
+}

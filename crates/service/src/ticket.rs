@@ -1,0 +1,167 @@
+//! The submission handle: a [`Ticket`] is returned by
+//! [`crate::Service::submit`] the moment a request is admitted, and
+//! resolves to the request's output vector (or a typed
+//! [`ServiceError`]) once its batch window executes.
+//!
+//! A ticket is both a [`Future`] (poll it from any executor —
+//! [`crate::executor::block_on`] is the bundled one) and a blocking
+//! handle ([`Ticket::wait`]); both paths consume the same completion
+//! slot, so mixing styles across tickets is fine.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::task::{Context, Poll, Waker};
+
+use crate::error::ServiceError;
+
+/// The service's reply to one request.
+pub type Response = Result<Vec<f64>, ServiceError>;
+
+enum TicketState {
+    /// Not completed yet; holds the waker of the most recent poll.
+    Pending(Option<Waker>),
+    /// Completed, result not yet claimed.
+    Done(Response),
+    /// Result handed to the caller; a ticket is single-shot.
+    Claimed,
+}
+
+/// Shared between the caller's [`Ticket`] and the worker that completes
+/// the request.
+pub(crate) struct TicketShared {
+    state: Mutex<TicketState>,
+    cv: Condvar,
+}
+
+impl TicketShared {
+    pub(crate) fn new() -> Arc<TicketShared> {
+        Arc::new(TicketShared { state: Mutex::new(TicketState::Pending(None)), cv: Condvar::new() })
+    }
+
+    /// Complete the request: store the response, wake the future, notify
+    /// blocking waiters. First completion wins; later calls are ignored
+    /// (a request can race expiry vs. execution only through bugs, and a
+    /// settled response must never change under the caller).
+    pub(crate) fn complete(&self, response: Response) {
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if let TicketState::Pending(waker) = &mut *st {
+            let waker = waker.take();
+            *st = TicketState::Done(response);
+            drop(st);
+            if let Some(w) = waker {
+                w.wake();
+            }
+            self.cv.notify_all();
+        }
+    }
+}
+
+/// Handle to one in-flight request. Await it, [`Ticket::wait`] on it, or
+/// drop it (the computation still runs; the result is discarded).
+pub struct Ticket {
+    shared: Arc<TicketShared>,
+}
+
+impl std::fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.shared.state.lock().unwrap_or_else(PoisonError::into_inner);
+        let name = match &*st {
+            TicketState::Pending(_) => "pending",
+            TicketState::Done(_) => "done",
+            TicketState::Claimed => "claimed",
+        };
+        f.debug_struct("Ticket").field("state", &name).finish()
+    }
+}
+
+impl Ticket {
+    pub(crate) fn new(shared: Arc<TicketShared>) -> Ticket {
+        Ticket { shared }
+    }
+
+    /// Has the service settled this request yet (without claiming the
+    /// result)?
+    pub fn is_done(&self) -> bool {
+        let st = self.shared.state.lock().unwrap_or_else(PoisonError::into_inner);
+        !matches!(&*st, TicketState::Pending(_))
+    }
+
+    /// Block the calling thread until the response arrives and return it.
+    pub fn wait(self) -> Response {
+        let mut st = self.shared.state.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            match std::mem::replace(&mut *st, TicketState::Claimed) {
+                TicketState::Done(resp) => return resp,
+                pending @ TicketState::Pending(_) => {
+                    *st = pending;
+                    st = self.shared.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+                }
+                TicketState::Claimed => unreachable!("wait() consumes the only handle"),
+            }
+        }
+    }
+}
+
+impl Future for Ticket {
+    type Output = Response;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Response> {
+        let mut st = self.shared.state.lock().unwrap_or_else(PoisonError::into_inner);
+        match std::mem::replace(&mut *st, TicketState::Claimed) {
+            TicketState::Done(resp) => Poll::Ready(resp),
+            TicketState::Pending(_) => {
+                *st = TicketState::Pending(Some(cx.waker().clone()));
+                Poll::Pending
+            }
+            TicketState::Claimed => panic!("Ticket polled after completion"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wait_returns_completed_response() {
+        let shared = TicketShared::new();
+        let ticket = Ticket::new(Arc::clone(&shared));
+        shared.complete(Ok(vec![1.0, 2.0]));
+        assert!(ticket.is_done());
+        assert_eq!(ticket.wait().unwrap(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn wait_blocks_until_completion_from_another_thread() {
+        let shared = TicketShared::new();
+        let ticket = Ticket::new(Arc::clone(&shared));
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(15));
+            shared.complete(Err(ServiceError::ShuttingDown));
+        });
+        assert_eq!(ticket.wait().unwrap_err(), ServiceError::ShuttingDown);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn ticket_is_a_future() {
+        let shared = TicketShared::new();
+        let ticket = Ticket::new(Arc::clone(&shared));
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(15));
+            shared.complete(Ok(vec![3.0]));
+        });
+        assert_eq!(crate::executor::block_on(ticket).unwrap(), vec![3.0]);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn first_completion_wins() {
+        let shared = TicketShared::new();
+        let ticket = Ticket::new(Arc::clone(&shared));
+        shared.complete(Ok(vec![1.0]));
+        shared.complete(Err(ServiceError::ShuttingDown));
+        assert_eq!(ticket.wait().unwrap(), vec![1.0]);
+    }
+}

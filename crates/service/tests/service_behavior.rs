@@ -1,0 +1,216 @@
+//! Contract tests for the queue discipline: typed rejections, deadline
+//! expiry, admission control, panic isolation, shutdown drain, and the
+//! counters the load harness gates on.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use fftmatvec_core::{
+    BlockToeplitzOperator, FftMatvec, LinearOperator, OpDirection, OpError, OpShape,
+};
+use fftmatvec_numeric::SplitMix64;
+use fftmatvec_service::{block_on, OperatorRegistry, Service, ServiceConfig, ServiceError};
+
+const ND: usize = 2;
+const NM: usize = 3;
+const NT: usize = 16;
+
+fn registry() -> Arc<OperatorRegistry> {
+    let mut rng = SplitMix64::new(7);
+    let mut col = vec![0.0; NT * ND * NM];
+    rng.fill_uniform(&mut col, -1.0, 1.0);
+    let reg = Arc::new(OperatorRegistry::new());
+    reg.register_fft(
+        "tomo",
+        FftMatvec::builder(
+            BlockToeplitzOperator::from_first_block_column(ND, NM, NT, &col).unwrap(),
+        ),
+    )
+    .unwrap();
+    reg
+}
+
+/// A config whose batch window never closes on its own: deterministic
+/// backdrop for queue-state tests.
+fn frozen_window() -> ServiceConfig {
+    ServiceConfig {
+        max_batch: 64,
+        max_delay: Duration::from_secs(3600),
+        queue_capacity: 1024,
+        workers: 1,
+    }
+}
+
+#[test]
+fn unknown_operator_is_rejected_at_submit() {
+    let service = Service::new(registry(), ServiceConfig::default());
+    let err = service.submit("nope", OpDirection::Forward, vec![0.0; NM * NT]).unwrap_err();
+    assert_eq!(err, ServiceError::UnknownOperator("nope".into()));
+    assert_eq!(service.stats().rejected, 1);
+}
+
+#[test]
+fn wrong_shape_is_rejected_at_submit() {
+    let service = Service::new(registry(), ServiceConfig::default());
+    // Forward expects cols = NM*NT; offer the adjoint length instead.
+    let err = service.submit("tomo", OpDirection::Forward, vec![0.0; ND * NT]).unwrap_err();
+    assert_eq!(
+        err,
+        ServiceError::Shape(OpError::InputLength {
+            dir: OpDirection::Forward,
+            expected: NM * NT,
+            got: ND * NT,
+        })
+    );
+    // The typed chain reaches the OpError for logging.
+    use std::error::Error;
+    assert!(err.source().is_some());
+}
+
+#[test]
+fn zero_deadline_expires_instead_of_computing() {
+    let service = Service::new(registry(), frozen_window());
+    let ticket = service
+        .submit_with_deadline("tomo", OpDirection::Forward, vec![1.0; NM * NT], Duration::ZERO)
+        .unwrap();
+    match ticket.wait().unwrap_err() {
+        ServiceError::DeadlineExceeded { operator, .. } => assert_eq!(operator, "tomo"),
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    let stats = service.stats();
+    assert_eq!(stats.expired, 1);
+    assert_eq!(stats.batches, 0, "an expired request must never execute");
+}
+
+#[test]
+fn generous_deadline_completes_normally() {
+    let service = Service::new(registry(), ServiceConfig::default());
+    let ticket = service
+        .submit_with_deadline(
+            "tomo",
+            OpDirection::Adjoint,
+            vec![1.0; ND * NT],
+            Duration::from_secs(30),
+        )
+        .unwrap();
+    assert_eq!(ticket.wait().unwrap().len(), NM * NT);
+}
+
+#[test]
+fn full_lane_sheds_load_with_overloaded() {
+    let mut cfg = frozen_window();
+    cfg.queue_capacity = 2;
+    let service = Service::new(registry(), cfg);
+    let _t0 = service.submit("tomo", OpDirection::Forward, vec![0.5; NM * NT]).unwrap();
+    let _t1 = service.submit("tomo", OpDirection::Forward, vec![0.5; NM * NT]).unwrap();
+    let err = service.submit("tomo", OpDirection::Forward, vec![0.5; NM * NT]).unwrap_err();
+    assert_eq!(err, ServiceError::Overloaded { operator: "tomo".into(), queued: 2, capacity: 2 });
+    // Capacity is per lane: the adjoint lane still admits.
+    let _t2 = service.submit("tomo", OpDirection::Adjoint, vec![0.5; ND * NT]).unwrap();
+    assert_eq!(service.queued(), 3);
+}
+
+/// Operator whose forward apply panics on demand — the service must
+/// contain the panic to the affected window and keep serving.
+struct Landmine {
+    armed: AtomicUsize,
+}
+
+impl LinearOperator for Landmine {
+    fn shape(&self) -> OpShape {
+        OpShape::new(4, 4)
+    }
+    fn apply_forward_into(&self, input: &[f64], out: &mut [f64]) -> Result<(), OpError> {
+        if self
+            .armed
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |a| Some(a.saturating_sub(1)))
+            .unwrap()
+            > 0
+        {
+            panic!("landmine triggered");
+        }
+        out.copy_from_slice(input);
+        Ok(())
+    }
+    fn apply_adjoint_into(&self, input: &[f64], out: &mut [f64]) -> Result<(), OpError> {
+        out.copy_from_slice(input);
+        Ok(())
+    }
+}
+
+#[test]
+fn worker_survives_operator_panics() {
+    let reg = registry();
+    reg.register("mine", Arc::new(Landmine { armed: AtomicUsize::new(1) }));
+    let service = Service::new(Arc::clone(&reg), ServiceConfig::default());
+
+    let boom = service.submit("mine", OpDirection::Forward, vec![1.0; 4]).unwrap();
+    assert_eq!(boom.wait().unwrap_err(), ServiceError::WorkerPanicked { operator: "mine".into() });
+
+    // The same worker thread keeps serving: the disarmed landmine and
+    // the FFT operator both complete afterwards.
+    let ok = service.submit("mine", OpDirection::Forward, vec![2.0; 4]).unwrap();
+    assert_eq!(ok.wait().unwrap(), vec![2.0; 4]);
+    let fft = service.submit("tomo", OpDirection::Forward, vec![1.0; NM * NT]).unwrap();
+    assert_eq!(fft.wait().unwrap().len(), ND * NT);
+    let stats = service.stats();
+    assert_eq!(stats.panicked, 1);
+    assert_eq!(stats.completed, 2);
+}
+
+#[test]
+fn shutdown_rejects_new_work_and_drains_old() {
+    let mut service = Service::new(registry(), frozen_window());
+    let queued = service.submit("tomo", OpDirection::Forward, vec![1.0; NM * NT]).unwrap();
+    service.shutdown();
+    // Queued work completed during the drain despite the frozen window.
+    assert_eq!(queued.wait().unwrap().len(), ND * NT);
+    // New work is refused.
+    let err = service.submit("tomo", OpDirection::Forward, vec![1.0; NM * NT]).unwrap_err();
+    assert_eq!(err, ServiceError::ShuttingDown);
+}
+
+#[test]
+fn deregistered_operator_fails_queued_requests_typed() {
+    let reg = registry();
+    let mut service = Service::new(Arc::clone(&reg), frozen_window());
+    let ticket = service.submit("tomo", OpDirection::Forward, vec![1.0; NM * NT]).unwrap();
+    assert!(reg.deregister("tomo"));
+    // The drain discovers the operator is gone and rejects rather than
+    // hanging the caller.
+    service.shutdown();
+    assert_eq!(ticket.wait().unwrap_err(), ServiceError::UnknownOperator("tomo".into()));
+}
+
+#[test]
+fn tickets_are_futures() {
+    let service = Service::new(registry(), ServiceConfig::default());
+    let out = block_on(async {
+        let ticket = service.submit("tomo", OpDirection::Forward, vec![1.0; NM * NT]).unwrap();
+        ticket.await
+    })
+    .unwrap();
+    assert_eq!(out.len(), ND * NT);
+}
+
+#[test]
+fn stats_counters_reconcile() {
+    let service = Service::new(registry(), ServiceConfig::default());
+    for i in 0..6 {
+        let x = vec![i as f64; NM * NT];
+        service.submit("tomo", OpDirection::Forward, x).unwrap().wait().unwrap();
+    }
+    let _ = service.submit("missing", OpDirection::Forward, vec![0.0; 4]).unwrap_err();
+    let stats = service.stats();
+    assert_eq!(stats.submitted, 6);
+    assert_eq!(stats.completed, 6);
+    assert_eq!(stats.rejected, 1);
+    assert_eq!(stats.batched_requests, 6);
+    assert_eq!(stats.latencies_ns.len(), 6);
+    assert!(stats.mean_batch() >= 1.0);
+    let p50 = stats.latency_quantile_us(0.5).unwrap();
+    let p99 = stats.latency_quantile_us(0.99).unwrap();
+    assert!(p50 > 0.0 && p99 >= p50, "quantiles must be positive and ordered");
+    assert!(stats.latency_quantile_us(0.0).unwrap() <= p50);
+}

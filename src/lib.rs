@@ -17,6 +17,8 @@
 //!   analysis, Pareto front, and the distributed matvec.
 //! * [`lti`] — linear autonomous dynamical systems and Bayesian inversion.
 //! * [`portability`] — the hipify-on-the-fly translation pipeline.
+//! * [`service`] — operator-as-a-service: a persistent registry plus an
+//!   async batching queue with deadlines and admission control.
 //!
 //! ## Quickstart
 //!
@@ -80,3 +82,4 @@ pub use fftmatvec_gpu as gpu;
 pub use fftmatvec_lti as lti;
 pub use fftmatvec_numeric as numeric;
 pub use fftmatvec_portability as portability;
+pub use fftmatvec_service as service;
