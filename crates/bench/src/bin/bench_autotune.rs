@@ -1,0 +1,230 @@
+//! Autotuner gate: the CI check that budget-driven configuration
+//! selection actually delivers its two promises on real hardware.
+//!
+//! For each `(shape, direction, budget)` row the harness builds the
+//! same well-conditioned operator twice from one shared realization —
+//! once through `FftMatvec::builder(..).error_budget_for(dir, budget)`
+//! (live Eq. 6 pruning + per-tier timing calibration) and once pinned
+//! all-double — then:
+//!
+//! * measures the selected configuration's relative error against the
+//!   all-double baseline (**promise gate**: measured ≤ budget, absolute
+//!   on any host);
+//! * times both pipelines interleaved in one process (**no-slower
+//!   gate**: all-double is always admissible, so the winner may never
+//!   be materially slower than it);
+//! * reports the double/tuned speedup, a same-session machine-
+//!   normalized ratio gated against the committed
+//!   `bench/baseline_autotune.json`. The tolerance is looser than the
+//!   kernel-level gates' because the autotuner's *choice* is
+//!   host-dependent — a runner whose f32 kernels buy less picks a more
+//!   conservative configuration and legitimately lands a smaller
+//!   speedup.
+//!
+//! The tightest row (budget 1e-12, under every narrow configuration's
+//! Eq. 6 floor) must resolve to all-double exactly — the analytic half
+//! of the selection is deterministic and is asserted outright.
+//!
+//! Run: `cargo run --release -p fftmatvec-bench --bin bench_autotune`
+//! Flags:
+//! * `-quick` — shorter timing windows (CI smoke mode)
+//! * `-out <path>` — results document (default `BENCH_autotune.json`)
+//! * `-check <path>` — baseline document to gate against
+//! * `-tol <x>` — allowed relative speedup loss vs the baseline
+//!   (default 1.5)
+//! * `-margin <x>` — the no-slower bar (default 1.10)
+
+use std::sync::Arc;
+
+use fftmatvec_bench::autotunejson::{
+    format_document, gated_count, no_slower_failures, parse_document, promise_failures,
+    regressions, AutotuneResult,
+};
+use fftmatvec_bench::{measure_errors_dir, rule, stuffed_vector, timing, Args};
+use fftmatvec_core::{
+    BlockToeplitzOperator, FftMatvec, LinearOperator, OpDirection, PrecisionConfig,
+};
+use fftmatvec_numeric::SplitMix64;
+
+/// Identity-plus-noise first block: κ(F̂) ≈ 1, so the budget — not the
+/// conditioning — decides which configurations survive the Eq. 6
+/// pruning. A random positive operator would drag a large κ into every
+/// bound and turn the loose-budget rows into all-double no-ops.
+fn well_conditioned(nd: usize, nm: usize, nt: usize, seed: u64) -> BlockToeplitzOperator {
+    let mut rng = SplitMix64::new(seed);
+    let mut col = vec![0.0; nt * nd * nm];
+    let mut noise = vec![0.0; nd * nm];
+    rng.fill_uniform(&mut noise, -0.05, 0.05);
+    for i in 0..nd {
+        for k in 0..nm {
+            col[i * nm + k] = noise[i * nm + k] + if i == k { 1.0 } else { 0.0 };
+        }
+    }
+    BlockToeplitzOperator::from_first_block_column(nd, nm, nt, &col).expect("valid operator dims")
+}
+
+fn dir_name(dir: OpDirection) -> &'static str {
+    match dir {
+        OpDirection::Forward => "forward",
+        OpDirection::Adjoint => "adjoint",
+    }
+}
+
+/// Tune one row and measure it: error via a fresh sweep, cost via
+/// interleaved min-of-samples timing of the tuned and all-double
+/// pipelines over the same operator realization.
+fn run_row(
+    nd: usize,
+    nm: usize,
+    nt: usize,
+    dir: OpDirection,
+    budget: f64,
+    samples: usize,
+    sample_ms: f64,
+) -> AutotuneResult {
+    let base = Arc::new(well_conditioned(nd, nm, nt, 3));
+    let tuned = FftMatvec::builder_arc(Arc::clone(&base))
+        .error_budget_for(dir, budget)
+        .build()
+        .expect("budget resolvable at these shapes");
+    let choice = *tuned.autotuned().expect("budget build records its choice");
+    let double = FftMatvec::builder_arc(Arc::clone(&base)).build().expect("CPU build");
+
+    let measured = measure_errors_dir((*base).clone(), dir, &[choice.config], 5)[0];
+
+    let (in_len, out_len) = tuned.shape().io_lens(dir);
+    let input = stuffed_vector(in_len, 7);
+    let mut out_t = vec![0.0; out_len];
+    let mut out_d = vec![0.0; out_len];
+    let (tuned_ns, double_ns) = timing::time_pair_ns(
+        || tuned.apply_into(dir, &input, &mut out_t).expect("valid shapes"),
+        || double.apply_into(dir, &input, &mut out_d).expect("valid shapes"),
+        samples,
+        sample_ms,
+    );
+
+    AutotuneResult {
+        shape: format!("{nd}x{nm}x{nt}"),
+        direction: dir_name(dir).to_string(),
+        budget,
+        config: choice.config.to_string(),
+        bound: choice.bound.total,
+        measured_error: measured,
+        double_ns,
+        tuned_ns,
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    let quick = args.has("quick");
+    let out_path: String = args.get("out", "BENCH_autotune.json".to_string());
+    let tol: f64 = args.get("tol", 1.5);
+    let margin: f64 = args.get("margin", 1.10);
+    let (samples, sample_ms) = if quick { (5, 20.0) } else { (9, 40.0) };
+
+    // Shapes small enough for CI yet large enough that the f32 SBGEMV
+    // actually dominates; 1e-3 admits f32 work at these `n_local`
+    // (ε_s·128 ≈ 1.5e-5) while staying far above the paper's reported
+    // errors, and 1e-12 undercuts every narrow configuration's floor.
+    let rows: &[(usize, usize, usize, OpDirection, f64)] = &[
+        (2, 64, 64, OpDirection::Forward, 1e-3),
+        (4, 128, 128, OpDirection::Forward, 1e-3),
+        (4, 128, 128, OpDirection::Adjoint, 1e-3),
+        (4, 128, 128, OpDirection::Forward, 1e-12),
+    ];
+
+    let header = format!(
+        "{:<10} {:>8} {:>9} {:>7} {:>11} {:>11} {:>12} {:>12} {:>8}",
+        "shape", "dir", "budget", "config", "bound", "measured", "double_ns", "tuned_ns", "speedup"
+    );
+    println!("{header}");
+    rule(header.len());
+
+    let mut results = Vec::new();
+    for &(nd, nm, nt, dir, budget) in rows {
+        let r = run_row(nd, nm, nt, dir, budget, samples, sample_ms);
+        println!(
+            "{:<10} {:>8} {:>9.0e} {:>7} {:>11.3e} {:>11.3e} {:>12.0} {:>12.0} {:>8.2}",
+            r.shape,
+            r.direction,
+            r.budget,
+            r.config,
+            r.bound,
+            r.measured_error,
+            r.double_ns,
+            r.tuned_ns,
+            r.speedup()
+        );
+        results.push(r);
+    }
+
+    let doc = format_document(if quick { "quick" } else { "full" }, &results);
+    std::fs::write(&out_path, &doc).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    println!("wrote {out_path}");
+
+    let mut failed = false;
+
+    // The analytic half is deterministic: a budget under every narrow
+    // floor must resolve to all-double, on any host.
+    for r in &results {
+        if r.budget <= 1e-12 && r.config != PrecisionConfig::all_double().to_string() {
+            failed = true;
+            eprintln!(
+                "tight-budget gate FAILED: budget {:e} resolved to {} instead of all-double",
+                r.budget, r.config
+            );
+        }
+    }
+
+    let promise = promise_failures(&results);
+    if promise.is_empty() {
+        println!("promise gate: OK (every measured error within its budget)");
+    } else {
+        failed = true;
+        eprintln!("promise gate FAILED:");
+        for f in &promise {
+            eprintln!("  {f}");
+        }
+    }
+
+    let slow = no_slower_failures(&results, margin);
+    if slow.is_empty() {
+        println!("no-slower gate: OK (autotuned within {margin:.2}x of all-double everywhere)");
+    } else {
+        failed = true;
+        eprintln!("no-slower gate FAILED:");
+        for f in &slow {
+            eprintln!("  {f}");
+        }
+    }
+
+    if let Some(baseline_path) =
+        args.has("check").then(|| args.get("check", String::new())).filter(|p| !p.is_empty())
+    {
+        let text = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("reading baseline {baseline_path}: {e}"));
+        let baseline = parse_document(&text);
+        assert!(
+            gated_count(&baseline) > 0,
+            "baseline {baseline_path} gates nothing — regenerate it"
+        );
+        let fails = regressions(&results, &baseline, tol);
+        if fails.is_empty() {
+            println!(
+                "baseline gate: OK ({} row(s) within {tol:.2}x of {baseline_path})",
+                gated_count(&baseline)
+            );
+        } else {
+            failed = true;
+            eprintln!("baseline gate FAILED against {baseline_path}:");
+            for f in &fails {
+                eprintln!("  {f}");
+            }
+        }
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+}

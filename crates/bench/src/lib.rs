@@ -8,7 +8,7 @@
 //! values for side-by-side comparison.
 
 use fftmatvec_core::pareto::error_sweep;
-use fftmatvec_core::{BlockToeplitzOperator, FftMatvec, PrecisionConfig};
+use fftmatvec_core::{BlockToeplitzOperator, FftMatvec, OpDirection, PrecisionConfig};
 use fftmatvec_numeric::SplitMix64;
 
 /// Tiny `-flag value` CLI parser (mirrors the artifact's `-nm 5000 -nd 100
@@ -65,17 +65,31 @@ pub fn stuffed_vector(n: usize, seed: u64) -> Vec<f64> {
 }
 
 /// Measured relative errors of many configurations against the all-double
-/// baseline, reusing one operator (forward matvec). Thin shape-aware
-/// wrapper over [`fftmatvec_core::pareto::error_sweep`], which runs the
-/// same sweep for any `ConfigurableOperator` realization.
+/// baseline, reusing one operator. Thin shape-aware wrapper over
+/// [`fftmatvec_core::pareto::error_sweep`], which runs the same sweep
+/// for any `ConfigurableOperator` realization in either direction.
+pub fn measure_errors_dir(
+    op: BlockToeplitzOperator,
+    dir: OpDirection,
+    configs: &[PrecisionConfig],
+    seed: u64,
+) -> Vec<f64> {
+    let len = match dir {
+        OpDirection::Forward => op.nm() * op.nt(),
+        OpDirection::Adjoint => op.nd() * op.nt(),
+    };
+    let x = stuffed_vector(len, seed);
+    let mut mv = FftMatvec::builder(op).build().expect("CPU build");
+    error_sweep(&mut mv, dir, configs, &x).expect("sweep over a well-shaped input")
+}
+
+/// [`measure_errors_dir`] for the forward matvec.
 pub fn measure_errors(
     op: BlockToeplitzOperator,
     configs: &[PrecisionConfig],
     seed: u64,
 ) -> Vec<f64> {
-    let m = stuffed_vector(op.nm() * op.nt(), seed);
-    let mut mv = FftMatvec::builder(op).build().expect("CPU build");
-    error_sweep(&mut mv, configs, &m).expect("sweep over a well-shaped input")
+    measure_errors_dir(op, OpDirection::Forward, configs, seed)
 }
 
 /// Format seconds as milliseconds with three decimals.
@@ -718,6 +732,190 @@ pub mod servicejson {
 }
 
 /// Print a horizontal rule sized to a header line.
+/// Machine-readable autotuner records: the `BENCH_autotune.json` /
+/// `bench/baseline_autotune.json` format the CI `bench-smoke` job
+/// produces and gates on. Same line-oriented JSON convention as
+/// [`benchjson`]; rows are keyed by `(shape, direction, budget)`.
+///
+/// Three gate statistics per row:
+/// * **promise** (absolute, any host): the measured relative error of
+///   the configuration the autotuner picked must be at or under the
+///   requested budget;
+/// * **no-slower** (intra-run, any host): all-double is always
+///   admissible, so the autotuned configuration may never be materially
+///   slower than all-double — both legs are timed interleaved in one
+///   process;
+/// * **speedup** (baseline-normalized): the double/tuned cost ratio is
+///   a same-session statistic that cancels machine speed, but the
+///   *chosen* configuration is itself host-dependent (the autotuner
+///   measures this host's tiers), so the baseline tolerance is looser
+///   than the kernel-level gates'.
+pub mod autotunejson {
+    /// One autotuned operating point.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct AutotuneResult {
+        /// `"{nd}x{nm}x{nt}"`.
+        pub shape: String,
+        /// `"forward"` or `"adjoint"`.
+        pub direction: String,
+        /// The caller's error budget the row was tuned for.
+        pub budget: f64,
+        /// The configuration the autotuner selected.
+        pub config: String,
+        /// The Eq. 6 bound the selection promised (`bound ≤ budget`).
+        pub bound: f64,
+        /// Measured relative error of the selected configuration.
+        pub measured_error: f64,
+        /// Min-of-samples ns/apply under all-double.
+        pub double_ns: f64,
+        /// Min-of-samples ns/apply under the selected configuration.
+        pub tuned_ns: f64,
+    }
+
+    impl AutotuneResult {
+        /// The gate statistic: how many times faster the autotuned
+        /// configuration runs than all-double.
+        pub fn speedup(&self) -> f64 {
+            self.double_ns / self.tuned_ns
+        }
+    }
+
+    /// Render the full document (`mode` = `"quick"` or `"full"`).
+    pub fn format_document(mode: &str, results: &[AutotuneResult]) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": 1,\n");
+        out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+        out.push_str("  \"unit\": \"ns_per_apply\",\n");
+        out.push_str("  \"results\": [\n");
+        for (i, r) in results.iter().enumerate() {
+            let sep = if i + 1 == results.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"shape\": \"{}\", \"direction\": \"{}\", \"budget\": {:e}, \
+                 \"config\": \"{}\", \"bound\": {:.3e}, \"measured_error\": {:.3e}, \
+                 \"double_ns\": {:.1}, \"tuned_ns\": {:.1}, \"speedup\": {:.3}}}{}\n",
+                r.shape,
+                r.direction,
+                r.budget,
+                r.config,
+                r.bound,
+                r.measured_error,
+                r.double_ns,
+                r.tuned_ns,
+                r.speedup(),
+                sep
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Extract the value following `"key":` on `line`, up to `,` or `}`.
+    fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+        let tag = format!("\"{key}\":");
+        let start = line.find(&tag)? + tag.len();
+        let rest = &line[start..];
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(rest[..end].trim().trim_matches('"'))
+    }
+
+    /// Parse every result line of a document produced by
+    /// [`format_document`] (the redundant `speedup` field is recomputed,
+    /// not trusted).
+    pub fn parse_document(text: &str) -> Vec<AutotuneResult> {
+        text.lines()
+            .filter_map(|line| {
+                Some(AutotuneResult {
+                    shape: field(line, "shape")?.to_string(),
+                    direction: field(line, "direction")?.to_string(),
+                    budget: field(line, "budget")?.parse().ok()?,
+                    config: field(line, "config")?.to_string(),
+                    bound: field(line, "bound")?.parse().ok()?,
+                    measured_error: field(line, "measured_error")?.parse().ok()?,
+                    double_ns: field(line, "double_ns")?.parse().ok()?,
+                    tuned_ns: field(line, "tuned_ns")?.parse().ok()?,
+                })
+            })
+            .collect()
+    }
+
+    /// Number of baseline rows the gate can enforce. 0 means a broken
+    /// baseline — callers should fail on it, not report success.
+    pub fn gated_count(baseline: &[AutotuneResult]) -> usize {
+        baseline.len()
+    }
+
+    /// Rows whose measured error exceeds the budget they were tuned
+    /// for — the promise the autotuner must never break, on any host.
+    pub fn promise_failures(doc: &[AutotuneResult]) -> Vec<String> {
+        doc.iter()
+            .filter(|r| r.measured_error > r.budget || r.measured_error.is_nan())
+            .map(|r| {
+                format!(
+                    "shape={} direction={} budget={:e}: config {} measured {:.3e} \
+                     over its budget",
+                    r.shape, r.direction, r.budget, r.config, r.measured_error
+                )
+            })
+            .collect()
+    }
+
+    /// Rows where the autotuned configuration ran materially slower
+    /// than all-double (`tuned_ns > double_ns · margin`). All-double is
+    /// always admissible, so picking something slower means the cost
+    /// order was wrong.
+    pub fn no_slower_failures(doc: &[AutotuneResult], margin: f64) -> Vec<String> {
+        doc.iter()
+            .filter(|r| r.tuned_ns > r.double_ns * margin)
+            .map(|r| {
+                format!(
+                    "shape={} direction={} budget={:e}: config {} at {:.0} ns/apply is \
+                     slower than all-double at {:.0} ns/apply (margin {:.2}x)",
+                    r.shape, r.direction, r.budget, r.config, r.tuned_ns, r.double_ns, margin
+                )
+            })
+            .collect()
+    }
+
+    /// Compare `current` against `baseline`: every baseline row's
+    /// speedup must be matched within `tol`. Missing rows fail. Returns
+    /// human-readable failure lines; empty = pass.
+    pub fn regressions(
+        current: &[AutotuneResult],
+        baseline: &[AutotuneResult],
+        tol: f64,
+    ) -> Vec<String> {
+        let mut failures = Vec::new();
+        for b in baseline {
+            let Some(c) = current
+                .iter()
+                .find(|c| c.shape == b.shape && c.direction == b.direction && c.budget == b.budget)
+            else {
+                failures.push(format!(
+                    "missing result for shape={} direction={} budget={:e}",
+                    b.shape, b.direction, b.budget
+                ));
+                continue;
+            };
+            let ratio = b.speedup() / c.speedup();
+            if ratio > tol {
+                failures.push(format!(
+                    "shape={} direction={} budget={:e}: speedup {:.2}x vs baseline {:.2}x \
+                     ({:.2}x > {:.2}x budget)",
+                    b.shape,
+                    b.direction,
+                    b.budget,
+                    c.speedup(),
+                    b.speedup(),
+                    ratio,
+                    tol
+                ));
+            }
+        }
+        failures
+    }
+}
+
 pub fn rule(width: usize) {
     println!("{}", "-".repeat(width));
 }

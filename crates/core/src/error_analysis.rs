@@ -14,7 +14,7 @@
 
 use fftmatvec_numeric::{Complex, Precision, C64};
 
-use crate::linop::{ConfigurableOperator, OpError};
+use crate::linop::{ConfigurableOperator, OpDirection, OpError};
 use crate::operator::BlockToeplitzOperator;
 use crate::precision::{MatvecPhase, PrecisionConfig};
 
@@ -29,6 +29,39 @@ pub struct BoundParams {
     pub reduce_ranks: usize,
     /// Condition number (estimate) of `F̂`.
     pub kappa: f64,
+}
+
+impl BoundParams {
+    /// Eq. 6 parameters for the **forward** matvec `d = F·m`: the GEMV
+    /// reduces over `n_m = ⌈N_m/p_c⌉` and phase 5 reduces across the
+    /// `p_c` column ranks.
+    pub fn forward(nt: usize, nm: usize, p_c: usize, kappa: f64) -> Self {
+        let p_c = p_c.max(1);
+        BoundParams { nt, n_local: nm.div_ceil(p_c), reduce_ranks: p_c, kappa }
+    }
+
+    /// Eq. 6 parameters for the **adjoint** matvec `m = F*·d` — the
+    /// documented `n_m → n_d = ⌈N_d/p_r⌉`, `p_c → p_r` swap.
+    pub fn adjoint(nt: usize, nd: usize, p_r: usize, kappa: f64) -> Self {
+        let p_r = p_r.max(1);
+        BoundParams { nt, n_local: nd.div_ceil(p_r), reduce_ranks: p_r, kappa }
+    }
+
+    /// Direction-dispatching constructor over a `p_r × p_c` grid.
+    pub fn for_direction(
+        dir: OpDirection,
+        nt: usize,
+        nd: usize,
+        nm: usize,
+        p_r: usize,
+        p_c: usize,
+        kappa: f64,
+    ) -> Self {
+        match dir {
+            OpDirection::Forward => BoundParams::forward(nt, nm, p_c, kappa),
+            OpDirection::Adjoint => BoundParams::adjoint(nt, nd, p_r, kappa),
+        }
+    }
 }
 
 /// The evaluated bound, with the per-phase contributions kept visible.
@@ -71,19 +104,25 @@ pub fn error_bound(cfg: PrecisionConfig, p: &BoundParams) -> ErrorBound {
     ErrorBound { pad, transforms, gemv, reduction, total }
 }
 
-/// Measured forward-matvec error of `cfg` against the all-double
-/// baseline, next to its Eq. 6 prediction — for **any**
+/// Measured matvec error of `cfg` in direction `dir` against the
+/// all-double baseline, next to its Eq. 6 prediction — for **any**
 /// [`ConfigurableOperator`] realization. The bound-vs-measurement pairing
 /// the paper's §4.2.1 validation plots are built from. Delegates the
 /// measurement (and its restore-config-even-on-error discipline) to
 /// [`crate::pareto::error_sweep`] so that logic lives in one place.
+///
+/// `params` must describe the same side of the operator as `dir`
+/// (use [`BoundParams::forward`]/[`BoundParams::adjoint`]) — the F and
+/// F* bounds differ in their GEMV reduction length, which is exactly why
+/// the measurement direction is explicit here.
 pub fn measured_vs_bound(
     op: &mut dyn ConfigurableOperator,
+    dir: OpDirection,
     cfg: PrecisionConfig,
     params: &BoundParams,
     input: &[f64],
 ) -> Result<(f64, ErrorBound), OpError> {
-    let errors = crate::pareto::error_sweep(op, &[cfg], input)?;
+    let errors = crate::pareto::error_sweep(op, dir, &[cfg], input)?;
     Ok((errors[0], error_bound(cfg, params)))
 }
 
@@ -259,14 +298,105 @@ mod tests {
         let mut mv = FftMatvec::builder(op).build().unwrap();
         let p = BoundParams { nt, n_local: nm, reduce_ranks: 1, kappa: 100.0 };
         let (measured, bound) =
-            measured_vs_bound(&mut mv, "dssdd".parse().unwrap(), &p, &m).unwrap();
+            measured_vs_bound(&mut mv, OpDirection::Forward, "dssdd".parse().unwrap(), &p, &m)
+                .unwrap();
         assert!(measured > 0.0, "stuffed input must measure error");
         assert!(measured <= bound.total, "measured {measured} above bound {}", bound.total);
         // Errors surface as values, not panics — and the operator's own
         // configuration survives the failed sweep.
         mv.set_config("ddssd".parse().unwrap());
-        assert!(measured_vs_bound(&mut mv, PrecisionConfig::all_double(), &p, &m[1..]).is_err());
+        let r = measured_vs_bound(
+            &mut mv,
+            OpDirection::Forward,
+            PrecisionConfig::all_double(),
+            &p,
+            &m[1..],
+        );
+        assert!(r.is_err());
         assert_eq!(mv.config(), "ddssd".parse().unwrap());
+    }
+
+    #[test]
+    fn bound_params_constructors_swap_the_documented_dimensions() {
+        // Forward: n_local = ⌈N_m/p_c⌉, reduce over p_c columns.
+        let f = BoundParams::forward(1000, 5000, 8, 2.0);
+        assert_eq!((f.n_local, f.reduce_ranks), (625, 8));
+        // Adjoint: n_local = ⌈N_d/p_r⌉, reduce over p_r rows.
+        let a = BoundParams::adjoint(1000, 300, 4, 2.0);
+        assert_eq!((a.n_local, a.reduce_ranks), (75, 4));
+        // Dispatch matches the explicit constructors.
+        let viaf = BoundParams::for_direction(OpDirection::Forward, 1000, 300, 5000, 4, 8, 2.0);
+        assert_eq!((viaf.n_local, viaf.reduce_ranks), (f.n_local, f.reduce_ranks));
+        let viaa = BoundParams::for_direction(OpDirection::Adjoint, 1000, 300, 5000, 4, 8, 2.0);
+        assert_eq!((viaa.n_local, viaa.reduce_ranks), (a.n_local, a.reduce_ranks));
+        // Zero ranks clamp to a single rank instead of dividing by zero.
+        assert_eq!(BoundParams::forward(10, 7, 0, 1.0).n_local, 7);
+    }
+
+    #[test]
+    fn adjoint_measured_error_needs_the_adjoint_bound() {
+        // Regression for the direction bug: the sweeps hard-coded
+        // `apply_forward`, so an adjoint budget could only ever be
+        // validated against the forward operator. Construct a tall
+        // single-column operator (nd ≫ nm = 1, block 0 = 1/√nd ones):
+        // every F̂_k is that same unit column, so κ(F̂) = 1 exactly. For
+        // the paper's adjoint-optimal `ddssd`, the adjoint-side Eq. 6
+        // prediction carries `ε₃·n_d = 4096·ε_s` where the forward side
+        // carries `ε₃·n_m = ε_s` — the forward prediction is not a bound
+        // anyone may promise for `F*`. Only the direction-aware pairing
+        // measures the right operator against the right prediction.
+        use crate::pipeline::FftMatvec;
+        let (nd, nm, nt) = (4096usize, 1usize, 16usize);
+        let mut col = vec![0.0; nt * nd * nm];
+        let s = 1.0 / (nd as f64).sqrt();
+        for i in 0..nd {
+            col[i] = s; // block 0: the unit column; later blocks zero
+        }
+        let op = BlockToeplitzOperator::from_first_block_column(nd, nm, nt, &col).unwrap();
+        // κ(F̂) = 1 by construction (each F̂_k has the single singular
+        // value ‖column‖ = 1). `condition_estimate` is not usable here:
+        // it power-iterates the nd × nd Gram matrix, which is rank-1 for
+        // a single-column operator.
+        let kappa = 1.0;
+
+        let mut mv = FftMatvec::builder(op).build().unwrap();
+        let cfg: PrecisionConfig = "ddssd".parse().unwrap();
+        let adj_params = BoundParams::adjoint(nt, nd, 1, kappa);
+        let fwd_params = BoundParams::forward(nt, nm, 1, kappa);
+        let adj_bound_total = error_bound(cfg, &adj_params).total;
+        let fwd_bound_total = error_bound(cfg, &fwd_params).total;
+        assert!(
+            fwd_bound_total < adj_bound_total / 50.0,
+            "the documented n_m→n_d swap must separate the two sides: \
+             fwd {fwd_bound_total} adj {adj_bound_total}"
+        );
+
+        // All-positive data keeps the same-sign accumulation honest.
+        let mut rng = SplitMix64::new(101);
+        let mut d = vec![0.0; nd * nt];
+        rng.fill_uniform_stuffed(&mut d, 0.5, 1.0);
+        let (adj_measured, adj_bound) =
+            measured_vs_bound(&mut mv, OpDirection::Adjoint, cfg, &adj_params, &d).unwrap();
+        assert!(adj_measured > 0.0);
+        assert!(
+            adj_measured <= adj_bound.total,
+            "adjoint measured {adj_measured} must sit under the adjoint bound {}",
+            adj_bound.total
+        );
+        // The old pairing could not even have produced this measurement:
+        // feeding the adjoint-sized data to the forward operator — what
+        // the direction-blind sweep did — is a length error on this
+        // non-square shape.
+        let err =
+            measured_vs_bound(&mut mv, OpDirection::Forward, cfg, &fwd_params, &d).unwrap_err();
+        assert_eq!(
+            err,
+            crate::linop::OpError::InputLength {
+                dir: OpDirection::Forward,
+                expected: nm * nt,
+                got: nd * nt
+            }
+        );
     }
 
     #[test]

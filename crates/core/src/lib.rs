@@ -36,6 +36,7 @@
 //! typed ([`ConfigError`] / [`OpError`]) — no panics on the public
 //! paths.
 
+pub mod autotune;
 pub mod direct;
 pub mod distributed;
 pub mod error_analysis;
@@ -47,9 +48,10 @@ pub mod pipeline;
 pub mod precision;
 pub mod timing;
 
+pub use autotune::{AutotuneChoice, PhaseWeights, TierCalibration};
 pub use direct::DirectMatvec;
 pub use distributed::DistributedFftMatvec;
-pub use error_analysis::ErrorBound;
+pub use error_analysis::{BoundParams, ErrorBound};
 pub use linop::{ConfigError, ConfigurableOperator, LinearOperator, OpDirection, OpError, OpShape};
 pub use operator::BlockToeplitzOperator;
 pub use pareto::{pareto_front, ParetoPoint};

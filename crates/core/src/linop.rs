@@ -76,7 +76,10 @@ impl std::fmt::Display for OpDirection {
 /// (`ServiceError` → `OpError` → [`ConfigError`]): construction failures
 /// convert upward via `From<ConfigError>`, and the service crate wraps
 /// `OpError` in turn, so callers at any layer match one way.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// (`PartialEq` only, not `Eq`: [`ConfigError`]'s budget variants carry
+/// `f64` payloads.)
+#[derive(Clone, Debug, PartialEq)]
 #[non_exhaustive]
 pub enum OpError {
     /// The input slice length does not match the operator shape
@@ -95,6 +98,15 @@ pub enum OpError {
     /// reported as an error rather than a panic so the hot paths stay
     /// panic-free end to end).
     Internal(&'static str),
+    /// An error sweep's all-double reference application produced an
+    /// identically-zero vector, so relative error against it is
+    /// undefined (`0/0`). Surfaced as a typed error instead of letting
+    /// `NaN` points silently fall out of
+    /// [`crate::pareto::optimal_for_tolerance`].
+    DegenerateBaseline {
+        /// The direction whose baseline collapsed to zero.
+        dir: OpDirection,
+    },
     /// An operator could not be constructed. Carries the underlying
     /// [`ConfigError`] (also reachable through
     /// [`std::error::Error::source`]), so paths that build operators on
@@ -118,6 +130,13 @@ impl std::fmt::Display for OpError {
                 write!(f, "{dir} batch output has {got} elements, inputs imply {expected}")
             }
             OpError::Internal(what) => write!(f, "internal operator invariant failed: {what}"),
+            OpError::DegenerateBaseline { dir } => {
+                write!(
+                    f,
+                    "all-double {dir} baseline is identically zero; \
+                     relative error against it is undefined"
+                )
+            }
             OpError::Config(e) => write!(f, "operator construction failed: {e}"),
         }
     }
@@ -145,8 +164,9 @@ impl From<OpError> for String {
 }
 
 /// Typed error for operator/pipeline construction — the bottom layer of
-/// the error hierarchy; see [`OpError`].
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// the error hierarchy; see [`OpError`]. (`PartialEq` only: the budget
+/// variants carry `f64` payloads.)
+#[derive(Clone, Debug, PartialEq)]
 #[non_exhaustive]
 pub enum ConfigError {
     /// A problem dimension (`nd`, `nm`, or `nt`) is zero.
@@ -157,6 +177,23 @@ pub enum ConfigError {
     /// A process-grid axis has more ranks than the problem axis it
     /// partitions has entries.
     GridOversubscribed { axis: &'static str, ranks: usize, extent: usize },
+    /// An error budget is not a positive finite number.
+    InvalidBudget {
+        /// The rejected budget value.
+        budget: f64,
+    },
+    /// No configuration on the 1024-point lattice meets the requested
+    /// error budget — even all-double's Eq. 6 bound (`floor`) exceeds it.
+    BudgetUnsatisfiable {
+        /// The requested budget.
+        budget: f64,
+        /// The smallest achievable bound (all-double's).
+        floor: f64,
+    },
+    /// Online calibration during an autotune pass failed. Carries the
+    /// underlying apply error's message (timing applies use
+    /// correctly-sized buffers, so this is unreachable by construction).
+    Autotune(String),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -171,6 +208,17 @@ impl std::fmt::Display for ConfigError {
             ConfigError::GridOversubscribed { axis, ranks, extent } => {
                 write!(f, "grid {axis} count {ranks} exceeds the partitioned extent {extent}")
             }
+            ConfigError::InvalidBudget { budget } => {
+                write!(f, "error budget {budget} is not a positive finite number")
+            }
+            ConfigError::BudgetUnsatisfiable { budget, floor } => {
+                write!(
+                    f,
+                    "error budget {budget:.3e} is below the all-double bound floor {floor:.3e}; \
+                     no precision configuration can satisfy it"
+                )
+            }
+            ConfigError::Autotune(msg) => write!(f, "autotune calibration failed: {msg}"),
         }
     }
 }
@@ -340,6 +388,29 @@ pub trait ConfigurableOperator: LinearOperator {
     /// Swap the configuration; implementations rebuild only what the new
     /// configuration actually needs.
     fn set_config(&mut self, cfg: PrecisionConfig);
+
+    /// Re-resolve this operator's configuration for an error budget and
+    /// install the winner through [`set_config`](Self::set_config) — the
+    /// paper's tolerance-driven selection (§3.2/§4.2) run online. Prunes
+    /// the 1024-config lattice by Eq. 6 (`params` supplies `κ` and the
+    /// direction-side dimensions), calibrates the cost of each admissible
+    /// tier from timed warm applies through `calib` (reused across calls,
+    /// so repeat retunes only refine), and picks the cheapest admissible
+    /// configuration. See [`crate::autotune`] for the selection rule.
+    ///
+    /// Errors leave the current configuration in place.
+    fn retune(
+        &mut self,
+        dir: OpDirection,
+        budget: f64,
+        params: &crate::error_analysis::BoundParams,
+        weights: &crate::autotune::PhaseWeights,
+        calib: &mut crate::autotune::TierCalibration,
+    ) -> Result<crate::autotune::AutotuneChoice, OpError> {
+        let choice = crate::autotune::autotune(self, dir, budget, params, weights, calib)?;
+        self.set_config(choice.config);
+        Ok(choice)
+    }
 }
 
 #[cfg(test)]

@@ -34,6 +34,24 @@ pub struct BlockToeplitzOperator {
     first_col: Vec<f64>,
 }
 
+impl Clone for BlockToeplitzOperator {
+    /// Deep-copies the double-precision setup (`F̂` and the first block
+    /// column); the lazily-cached narrow copies of `F̂` rematerialize in
+    /// the clone on first use rather than being copied.
+    fn clone(&self) -> Self {
+        BlockToeplitzOperator {
+            nd: self.nd,
+            nm: self.nm,
+            nt: self.nt,
+            fhat: self.fhat.clone(),
+            fhat32: std::sync::OnceLock::new(),
+            fhat16: std::sync::OnceLock::new(),
+            fhatb16: std::sync::OnceLock::new(),
+            first_col: self.first_col.clone(),
+        }
+    }
+}
+
 impl BlockToeplitzOperator {
     /// Build from the first block column.
     ///

@@ -7,7 +7,7 @@
 //! problem context — the optimal configuration is the fastest point on or
 //! under the tolerance.
 
-use crate::linop::{ConfigurableOperator, OpError};
+use crate::linop::{ConfigurableOperator, OpDirection, OpError};
 use crate::precision::PrecisionConfig;
 use fftmatvec_numeric::vecmath::rel_l2_error;
 
@@ -80,24 +80,46 @@ pub fn speedup(baseline_time: f64, p: &ParetoPoint) -> f64 {
     baseline_time / p.time
 }
 
-/// Measured relative forward-matvec errors of `configs` against the
-/// all-double baseline, reusing one operator — for **any**
-/// [`ConfigurableOperator`] realization (the single-rank pipeline, the
-/// distributed matvec, a future GPU backend). The operator's original
-/// configuration is restored afterwards, on the error paths too.
+/// Measured relative matvec errors of `configs` against the all-double
+/// baseline **in the requested direction**, reusing one operator — for
+/// **any** [`ConfigurableOperator`] realization (the single-rank
+/// pipeline, the distributed matvec, a future GPU backend). The
+/// operator's original configuration is restored afterwards, on the
+/// error paths too.
+///
+/// The direction matters: `F` and `F*` see different SBGEMV reduction
+/// lengths (`n_m` vs `n_d`), so a configuration's error differs between
+/// them — an autotuner validating an adjoint budget against forward
+/// measurements would trust the wrong Eq. 6 side.
+///
+/// An identically-zero all-double baseline makes every relative error
+/// `0/0 = NaN`; that degenerate case is reported as
+/// [`OpError::DegenerateBaseline`] instead of producing points that
+/// [`optimal_for_tolerance`] would silently drop.
 pub fn error_sweep(
     op: &mut dyn ConfigurableOperator,
+    dir: OpDirection,
     configs: &[PrecisionConfig],
     input: &[f64],
 ) -> Result<Vec<f64>, OpError> {
     let restore = op.config();
     let run = |op: &mut dyn ConfigurableOperator| -> Result<Vec<f64>, OpError> {
         op.set_config(PrecisionConfig::all_double());
-        let baseline = op.apply_forward(input)?;
+        let baseline = match dir {
+            OpDirection::Forward => op.apply_forward(input)?,
+            OpDirection::Adjoint => op.apply_adjoint(input)?,
+        };
+        if baseline.iter().all(|&x| x == 0.0) {
+            return Err(OpError::DegenerateBaseline { dir });
+        }
         let mut errors = Vec::with_capacity(configs.len());
         for &cfg in configs {
             op.set_config(cfg);
-            errors.push(rel_l2_error(&op.apply_forward(input)?, &baseline));
+            let y = match dir {
+                OpDirection::Forward => op.apply_forward(input)?,
+                OpDirection::Adjoint => op.apply_adjoint(input)?,
+            };
+            errors.push(rel_l2_error(&y, &baseline));
         }
         Ok(errors)
     };
@@ -111,11 +133,12 @@ pub fn error_sweep(
 /// for [`pareto_front`] / [`optimal_for_tolerance`].
 pub fn sweep_points(
     op: &mut dyn ConfigurableOperator,
+    dir: OpDirection,
     candidates: &[(PrecisionConfig, f64)],
     input: &[f64],
 ) -> Result<Vec<ParetoPoint>, OpError> {
     let configs: Vec<PrecisionConfig> = candidates.iter().map(|&(c, _)| c).collect();
-    let errors = error_sweep(op, &configs, input)?;
+    let errors = error_sweep(op, dir, &configs, input)?;
     Ok(candidates
         .iter()
         .zip(errors)
@@ -238,7 +261,7 @@ mod tests {
             (PrecisionConfig::optimal_forward(), 0.55),
             (PrecisionConfig::all_single(), 0.45),
         ];
-        let points = sweep_points(&mut mv, &candidates, &m).unwrap();
+        let points = sweep_points(&mut mv, OpDirection::Forward, &candidates, &m).unwrap();
         assert_eq!(points.len(), 3);
         assert_eq!(points[0].rel_error, 0.0, "all-double baseline has zero error");
         assert!(points[1].rel_error > 0.0 && points[2].rel_error >= points[1].rel_error / 2.0);
@@ -246,7 +269,73 @@ mod tests {
         assert_eq!(mv.config(), PrecisionConfig::optimal_forward());
         // The sweep surfaces apply errors instead of panicking — and still
         // restores the configuration on the way out.
-        assert!(error_sweep(&mut mv, &[PrecisionConfig::all_double()], &m[1..]).is_err());
+        let r =
+            error_sweep(&mut mv, OpDirection::Forward, &[PrecisionConfig::all_double()], &m[1..]);
+        assert!(r.is_err());
+        assert_eq!(mv.config(), PrecisionConfig::optimal_forward());
+    }
+
+    #[test]
+    fn sweep_measures_the_requested_direction() {
+        use crate::operator::BlockToeplitzOperator;
+        use crate::pipeline::FftMatvec;
+        use fftmatvec_numeric::SplitMix64;
+
+        // Regression for the direction bug: the sweep hard-coded
+        // `apply_forward`, so on a non-square operator an adjoint sweep
+        // was *impossible* — the adjoint-sized input went to the forward
+        // operator and bounced with `InputLength`. With nd = 2 ≠ nm = 256
+        // the two sides cannot be confused.
+        let (nd, nm, nt) = (2usize, 256usize, 8usize);
+        let mut rng = SplitMix64::new(33);
+        let mut col = vec![0.0; nt * nd * nm];
+        rng.fill_uniform(&mut col, 0.5, 1.0);
+        let op = BlockToeplitzOperator::from_first_block_column(nd, nm, nt, &col).unwrap();
+        let mut mv = FftMatvec::builder(op).build().unwrap();
+        let restore = mv.config();
+
+        let cfg: PrecisionConfig = "ddsdd".parse().unwrap();
+        let mut d = vec![0.0; nd * nt];
+        rng.fill_uniform_stuffed(&mut d, 0.5, 1.0);
+        // The adjoint sweep accepts the adjoint-sized input (the old
+        // direction-blind sweep rejected this exact call)...
+        let adj = error_sweep(&mut mv, OpDirection::Adjoint, &[cfg], &d).unwrap()[0];
+        assert!(adj > 0.0 && adj.is_finite());
+        // ...and lengths are validated against the *requested* direction,
+        // not forward unconditionally.
+        let err = error_sweep(&mut mv, OpDirection::Forward, &[cfg], &d).unwrap_err();
+        assert_eq!(
+            err,
+            OpError::InputLength { dir: OpDirection::Forward, expected: nm * nt, got: nd * nt }
+        );
+        assert_eq!(mv.config(), restore, "restore discipline on the length-error path");
+
+        let mut m = vec![0.0; nm * nt];
+        rng.fill_uniform_stuffed(&mut m, 0.5, 1.0);
+        let fwd = error_sweep(&mut mv, OpDirection::Forward, &[cfg], &m).unwrap()[0];
+        assert!(fwd > 0.0 && fwd.is_finite());
+    }
+
+    #[test]
+    fn zero_baseline_is_a_typed_error_not_nan_points() {
+        use crate::operator::BlockToeplitzOperator;
+        use crate::pipeline::FftMatvec;
+
+        // An all-zero operator maps every input to zero: the all-double
+        // baseline is degenerate and relative error is undefined.
+        let (nd, nm, nt) = (2usize, 3usize, 4usize);
+        let col = vec![0.0; nt * nd * nm];
+        let op = BlockToeplitzOperator::from_first_block_column(nd, nm, nt, &col).unwrap();
+        let mut mv =
+            FftMatvec::builder(op).precision(PrecisionConfig::optimal_forward()).build().unwrap();
+        let input = vec![1.0; nm * nt];
+        let dinput = vec![1.0; nd * nt];
+        for dir in [OpDirection::Forward, OpDirection::Adjoint] {
+            let x = if dir == OpDirection::Forward { &input } else { &dinput };
+            let err = error_sweep(&mut mv, dir, &[PrecisionConfig::all_single()], x).unwrap_err();
+            assert_eq!(err, OpError::DegenerateBaseline { dir });
+        }
+        // Restore discipline holds on this error path too.
         assert_eq!(mv.config(), PrecisionConfig::optimal_forward());
     }
 }

@@ -20,7 +20,7 @@
 //! configuration perform **zero heap allocations after warm-up** —
 //! verified by the counting-allocator conformance suite.
 
-use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 
 use fftmatvec_blas::{sbgemv, BatchGeometry, GemvOp};
 use fftmatvec_fft::BatchedRealFft;
@@ -28,6 +28,8 @@ use fftmatvec_numeric::{bf16, f16, Complex, ComplexBuffer, Precision, RealBuffer
 #[cfg(feature = "parallel")]
 use rayon::prelude::*;
 
+use crate::autotune::{AutotuneChoice, PhaseWeights, TierCalibration};
+use crate::error_analysis::{condition_estimate, BoundParams};
 use crate::layout;
 use crate::linop::{
     check_apply, check_batch, ConfigError, ConfigurableOperator, LinearOperator, OpDirection,
@@ -309,25 +311,57 @@ impl Drop for PooledWorkspace<'_> {
 /// # let _ = mv;
 /// ```
 pub struct FftMatvecBuilder {
-    op: BlockToeplitzOperator,
+    op: Arc<BlockToeplitzOperator>,
     cfg: PrecisionConfig,
     backend: PipelineBackend,
     workspace_reuse: bool,
+    budget: Option<(OpDirection, f64)>,
+    kappa: Option<f64>,
 }
 
 impl FftMatvecBuilder {
-    fn new(op: BlockToeplitzOperator) -> Self {
+    fn new(op: Arc<BlockToeplitzOperator>) -> Self {
         FftMatvecBuilder {
             op,
             cfg: PrecisionConfig::all_double(),
             backend: PipelineBackend::default(),
             workspace_reuse: true,
+            budget: None,
+            kappa: None,
         }
     }
 
     /// Five-phase precision configuration (default `ddddd`).
     pub fn precision(mut self, cfg: PrecisionConfig) -> Self {
         self.cfg = cfg;
+        self
+    }
+
+    /// Resolve the precision configuration from a **forward-direction
+    /// error budget** at build time instead of fixing it with
+    /// [`precision`](Self::precision): the built pipeline autotunes to
+    /// the cheapest configuration whose Eq. 6 bound is at or under
+    /// `budget` (see [`crate::autotune`]), and records the bound it
+    /// promised ([`FftMatvec::autotuned`]). Overrides any
+    /// `precision(..)` setting.
+    pub fn error_budget(self, budget: f64) -> Self {
+        self.error_budget_for(OpDirection::Forward, budget)
+    }
+
+    /// [`error_budget`](Self::error_budget) for an explicit direction —
+    /// adjoint-heavy callers (Bayesian inversion applies `F*` as often
+    /// as `F`) tune against the F* side of Eq. 6.
+    pub fn error_budget_for(mut self, dir: OpDirection, budget: f64) -> Self {
+        self.budget = Some((dir, budget));
+        self
+    }
+
+    /// Supply a known condition number `κ(F̂)` for the budget pruning
+    /// instead of estimating one at build time (the estimate runs power
+    /// iterations per sampled frequency — cheap, but a caller that
+    /// already knows its operator can skip it).
+    pub fn kappa_override(mut self, kappa: f64) -> Self {
+        self.kappa = Some(kappa);
         self
     }
 
@@ -348,35 +382,77 @@ impl FftMatvecBuilder {
     /// Build the pipeline: resolves the per-tier FFT engines the
     /// configuration needs through the process-wide plan cache and
     /// preallocates nothing else — workspaces fill on first apply.
+    ///
+    /// With an [`error_budget`](Self::error_budget) set, building also
+    /// runs the autotune pass: estimate `κ` (unless
+    /// [`kappa_override`](Self::kappa_override) supplied one), prune the
+    /// lattice by Eq. 6, time the admissible tiers, and install the
+    /// cheapest admissible configuration. An unsatisfiable or invalid
+    /// budget fails construction with the corresponding
+    /// [`ConfigError`].
     pub fn build(self) -> Result<FftMatvec, ConfigError> {
         match self.backend {
             PipelineBackend::Cpu => {
                 let engines = TierEngines::new(2 * self.op.nt());
                 engines.warm(self.cfg);
-                Ok(FftMatvec {
+                let mut mv = FftMatvec {
                     op: self.op,
                     cfg: self.cfg,
                     backend: self.backend,
                     engines,
                     workspace: WorkspacePool::new(self.workspace_reuse),
-                })
+                    autotune: None,
+                };
+                if let Some((dir, budget)) = self.budget {
+                    let kappa = self.kappa.unwrap_or_else(|| {
+                        condition_estimate(&mv.op, default_kappa_stride(mv.op.nfreq()))
+                    });
+                    mv.resolve_budget(dir, budget, kappa).map_err(|e| match e {
+                        OpError::Config(c) => c,
+                        other => ConfigError::Autotune(other.to_string()),
+                    })?;
+                }
+                Ok(mv)
             }
         }
     }
+}
+
+/// Frequency stride for build-time κ estimation: scan everything up to
+/// 32 frequencies, subsample beyond that so construction stays cheap at
+/// large `N_t`.
+fn default_kappa_stride(nfreq: usize) -> usize {
+    (nfreq / 32).max(1)
 }
 
 /// Flat batches above this many `f64` elements split across the pool.
 #[cfg(feature = "parallel")]
 const MANY_PAR_THRESHOLD: usize = 1 << 12;
 
+/// Live autotuning state a budget-built pipeline carries: the `κ`
+/// estimate and tier calibration persist so later
+/// [`FftMatvec::retune_budget`] calls refine timings instead of
+/// restarting them.
+struct AutotuneState {
+    kappa: f64,
+    calib: TierCalibration,
+    last: Option<AutotuneChoice>,
+}
+
 /// A configured FFTMatvec ready to apply `F` and `F*` through the
 /// [`LinearOperator`] trait.
+///
+/// The operator is held behind an `Arc`, so several pipelines — e.g. the
+/// per-configuration variants a budget-routing service keeps — share one
+/// frequency-domain setup (`F̂` and its lazily-cached narrow copies)
+/// instead of duplicating it.
 pub struct FftMatvec {
-    op: BlockToeplitzOperator,
+    op: Arc<BlockToeplitzOperator>,
     cfg: PrecisionConfig,
     backend: PipelineBackend,
     engines: TierEngines,
     workspace: WorkspacePool,
+    autotune: Option<Box<AutotuneState>>,
 }
 
 impl std::fmt::Debug for FftMatvec {
@@ -398,6 +474,15 @@ impl FftMatvec {
     /// including the per-rank pipelines of the distributed matvec —
     /// shares one set of twiddle tables per precision.
     pub fn builder(op: BlockToeplitzOperator) -> FftMatvecBuilder {
+        FftMatvecBuilder::new(Arc::new(op))
+    }
+
+    /// [`builder`](Self::builder) over an already-shared operator: the
+    /// new pipeline reuses `op`'s frequency-domain setup (including any
+    /// narrow `F̂` copies already materialized) instead of cloning it —
+    /// how a budget-routing service builds per-configuration variants of
+    /// one registered operator.
+    pub fn builder_arc(op: Arc<BlockToeplitzOperator>) -> FftMatvecBuilder {
         FftMatvecBuilder::new(op)
     }
 
@@ -447,6 +532,69 @@ impl FftMatvec {
         &self.op
     }
 
+    /// A shared handle to the wrapped operator, for building further
+    /// pipelines over the same setup ([`FftMatvec::builder_arc`]).
+    pub fn operator_shared(&self) -> Arc<BlockToeplitzOperator> {
+        Arc::clone(&self.op)
+    }
+
+    /// The autotuner's latest resolution for this pipeline — the
+    /// installed configuration, the Eq. 6 bound it promised, and the
+    /// budget it was resolved against. `None` unless the pipeline was
+    /// built with [`FftMatvecBuilder::error_budget`] or retuned via
+    /// [`retune_budget`](Self::retune_budget).
+    pub fn autotuned(&self) -> Option<&AutotuneChoice> {
+        self.autotune.as_ref().and_then(|s| s.last.as_ref())
+    }
+
+    /// Re-resolve this pipeline's configuration for a new error budget
+    /// (or direction), reusing the `κ` estimate and tier calibration
+    /// from any previous budget resolution — repeat retunes refine the
+    /// timings by EMA rather than re-measuring from scratch. On success
+    /// the winning configuration is installed through the
+    /// engine-retention path ([`set_config`](Self::set_config)); on
+    /// error the current configuration stays.
+    pub fn retune_budget(
+        &mut self,
+        dir: OpDirection,
+        budget: f64,
+    ) -> Result<AutotuneChoice, OpError> {
+        let kappa = match &self.autotune {
+            Some(state) => state.kappa,
+            None => condition_estimate(&self.op, default_kappa_stride(self.op.nfreq())),
+        };
+        self.resolve_budget(dir, budget, kappa)?;
+        Ok(*self.autotuned().expect("resolve_budget stores the choice on success"))
+    }
+
+    /// Shared budget-resolution path for `build()` and `retune_budget`:
+    /// runs the autotune pass with this pipeline's persistent
+    /// calibration and installs the winner. The autotune state is taken
+    /// out for the duration so the calibration applies can borrow `self`
+    /// mutably.
+    fn resolve_budget(&mut self, dir: OpDirection, budget: f64, kappa: f64) -> Result<(), OpError> {
+        let (nd, nm, nt) = (self.op.nd(), self.op.nm(), self.op.nt());
+        let taken = self.autotune.take();
+        let mut state = taken.unwrap_or_else(|| {
+            Box::new(AutotuneState { kappa, calib: TierCalibration::new(), last: None })
+        });
+        state.kappa = kappa;
+        let params = BoundParams::for_direction(dir, nt, nd, nm, 1, 1, kappa);
+        let weights = PhaseWeights::for_shape(nd, nm, nt, dir);
+        let result =
+            crate::autotune::autotune(self, dir, budget, &params, &weights, &mut state.calib);
+        let result = match result {
+            Ok(choice) => {
+                self.set_config(choice.config);
+                state.last = Some(choice);
+                Ok(())
+            }
+            Err(e) => Err(e),
+        };
+        self.autotune = Some(state);
+        result
+    }
+
     /// Current precision configuration.
     pub fn config(&self) -> PrecisionConfig {
         self.cfg
@@ -469,9 +617,11 @@ impl FftMatvec {
         self.engines.warm(cfg);
     }
 
-    /// Recover the operator.
+    /// Recover the operator. When other pipelines still share it
+    /// (built via [`builder_arc`](Self::builder_arc)), this deep-copies
+    /// the double-precision setup rather than disturbing them.
     pub fn into_operator(self) -> BlockToeplitzOperator {
-        self.op
+        Arc::try_unwrap(self.op).unwrap_or_else(|shared| (*shared).clone())
     }
 
     /// One full five-phase pipeline pass, all intermediates drawn from
@@ -983,5 +1133,156 @@ mod tests {
         assert_eq!(mv.workspaces_in_flight(), 0, "guard returned after the apply");
         assert!(mv.workspaces_peak_in_flight() >= 1);
         assert!(mv.workspaces_pooled() <= workspace_retention_cap());
+    }
+
+    /// Identity-plus-noise operator with κ(F̂) ≈ 1, suitable for budget
+    /// resolution tests (the condition estimate stays well-behaved).
+    fn conditioned_operator(nd: usize, nm: usize, nt: usize, seed: u64) -> BlockToeplitzOperator {
+        let mut rng = SplitMix64::new(seed);
+        let mut col = vec![0.0; nt * nd * nm];
+        let n = nd.min(nm);
+        let mut noise = vec![0.0; nd * nm];
+        rng.fill_uniform(&mut noise, -0.05, 0.05);
+        col[..nd * nm].copy_from_slice(&noise);
+        for i in 0..n {
+            col[i * nm + i] += 1.0;
+        }
+        BlockToeplitzOperator::from_first_block_column(nd, nm, nt, &col).unwrap()
+    }
+
+    #[test]
+    fn builder_budget_resolves_promises_and_meets_the_bound() {
+        use crate::linop::OpDirection;
+        let (nd, nm, nt) = (3usize, 3usize, 16usize);
+        let budget = 1e-6;
+        for dir in [OpDirection::Forward, OpDirection::Adjoint] {
+            let op = conditioned_operator(nd, nm, nt, 5);
+            let mv = FftMatvec::builder(op).error_budget_for(dir, budget).build().unwrap();
+            let choice = *mv.autotuned().expect("budget was resolved at build time");
+            assert_eq!(choice.direction, dir);
+            assert_eq!(choice.budget, budget);
+            assert_eq!(choice.config, mv.config(), "the winner is installed");
+            assert!(choice.bound.total <= budget, "promised {:.3e}", choice.bound.total);
+            assert!(choice.predicted_seconds > 0.0);
+
+            // The promise holds on real arithmetic: measured relative
+            // error in the tuned direction stays under the budget.
+            let mut mv = mv;
+            let in_len = match dir {
+                OpDirection::Forward => nm * nt,
+                OpDirection::Adjoint => nd * nt,
+            };
+            let mut x = vec![0.0; in_len];
+            SplitMix64::new(17).fill_uniform_stuffed(&mut x, -1.0, 1.0);
+            let measured =
+                crate::pareto::error_sweep(&mut mv, dir, &[choice.config], &x).unwrap()[0];
+            assert!(
+                measured <= budget,
+                "{dir}: measured {measured:.3e} over the {budget:.0e} budget"
+            );
+        }
+    }
+
+    #[test]
+    fn builder_budget_failures_are_typed_config_errors() {
+        use crate::linop::ConfigError;
+        let op = conditioned_operator(2, 2, 8, 9);
+        let err = FftMatvec::builder(op).error_budget(0.0).build().unwrap_err();
+        assert!(matches!(err, ConfigError::InvalidBudget { .. }), "got {err:?}");
+        let op = conditioned_operator(2, 2, 8, 9);
+        let err = FftMatvec::builder(op).error_budget(1e-200).build().unwrap_err();
+        match err {
+            ConfigError::BudgetUnsatisfiable { budget, floor } => {
+                assert_eq!(budget, 1e-200);
+                assert!(floor > budget, "the reported floor explains the rejection");
+            }
+            other => panic!("expected BudgetUnsatisfiable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn retune_swaps_configs_and_keeps_them_on_error() {
+        use crate::linop::OpDirection;
+        let op = conditioned_operator(3, 3, 16, 13);
+        let mut mv = FftMatvec::builder(op).error_budget(1e-13).build().unwrap();
+        // 1e-13 sits under every narrow config's ≥ε_s terms at this
+        // shape but above the all-double floor.
+        assert!(mv.config().is_all_double());
+
+        // A loose retune frees the configuration to go narrow; whatever
+        // wins, the promise tightens to the new budget and the installed
+        // config is the choice's.
+        let choice = mv.retune_budget(OpDirection::Forward, 1e-2).unwrap();
+        assert!(choice.bound.total <= 1e-2);
+        assert_eq!(mv.config(), choice.config);
+        assert_eq!(mv.autotuned().unwrap().budget, 1e-2);
+
+        // A failed retune leaves config and last promise untouched.
+        let before = mv.config();
+        assert!(mv.retune_budget(OpDirection::Forward, 1e-200).is_err());
+        assert_eq!(mv.config(), before);
+        assert_eq!(mv.autotuned().unwrap().budget, 1e-2);
+
+        // Retune also works on pipelines built without a budget (κ is
+        // estimated on first use).
+        let op = conditioned_operator(3, 3, 16, 13);
+        let mut plain = FftMatvec::builder(op).build().unwrap();
+        assert!(plain.autotuned().is_none());
+        let choice = plain.retune_budget(OpDirection::Adjoint, 1e-6).unwrap();
+        assert_eq!(choice.direction, OpDirection::Adjoint);
+        assert_eq!(plain.config(), choice.config);
+    }
+
+    #[test]
+    fn arc_shared_operator_and_clone_fallback() {
+        let op = conditioned_operator(2, 3, 8, 21);
+        let shared = Arc::new(op);
+        let a = FftMatvec::builder_arc(Arc::clone(&shared)).build().unwrap();
+        let b = FftMatvec::builder_arc(Arc::clone(&shared))
+            .precision(PrecisionConfig::all_single())
+            .build()
+            .unwrap();
+        // Both pipelines alias the same frequency-domain setup.
+        assert!(Arc::ptr_eq(&a.operator_shared(), &b.operator_shared()));
+
+        // into_operator with co-owners deep-copies instead of disturbing
+        // them; the copy computes identically.
+        let m = vec![1.0; 3 * 8];
+        let via_a = a.apply_forward(&m).unwrap();
+        let recovered = a.into_operator();
+        let rebuilt = FftMatvec::builder(recovered).build().unwrap();
+        assert_eq!(rebuilt.apply_forward(&m).unwrap(), via_a);
+        let via_b = b.apply_forward(&m).unwrap(); // b is undisturbed
+        assert_eq!(via_b.len(), 2 * 8);
+
+        // Sole owner: into_operator hands back the original allocation
+        // (no observable copy — behavior is identical either way).
+        drop(b);
+        drop(shared);
+        let op = conditioned_operator(2, 3, 8, 21);
+        let solo = FftMatvec::builder(op).build().unwrap();
+        let _op = solo.into_operator();
+    }
+
+    #[test]
+    fn retune_through_the_configurable_operator_trait() {
+        use crate::autotune::{PhaseWeights, TierCalibration};
+        use crate::error_analysis::{condition_estimate, BoundParams};
+        use crate::linop::{ConfigurableOperator, OpDirection};
+        // The provided `retune` on the trait works through a trait
+        // object — any ConfigurableOperator realization gains budget
+        // retuning for free.
+        let (nd, nm, nt) = (3usize, 3usize, 8usize);
+        let op = conditioned_operator(nd, nm, nt, 31);
+        let kappa = condition_estimate(&op, 1);
+        let mut mv = FftMatvec::builder(op).build().unwrap();
+        let obj: &mut dyn ConfigurableOperator = &mut mv;
+        let dir = OpDirection::Forward;
+        let params = BoundParams::for_direction(dir, nt, nd, nm, 1, 1, kappa);
+        let weights = PhaseWeights::for_shape(nd, nm, nt, dir);
+        let mut calib = TierCalibration::new();
+        let choice = obj.retune(dir, 1e-6, &params, &weights, &mut calib).unwrap();
+        assert!(choice.bound.total <= 1e-6);
+        assert_eq!(obj.config(), choice.config, "retune installs through set_config");
     }
 }

@@ -5,10 +5,11 @@
 //! measured errors.
 
 use fftmatvec_comm::ProcessGrid;
-use fftmatvec_core::error_analysis::{error_bound, BoundParams};
+use fftmatvec_core::autotune::{admissible_configs, autotune};
+use fftmatvec_core::error_analysis::{condition_estimate, error_bound, BoundParams};
 use fftmatvec_core::{
-    BlockToeplitzOperator, DirectMatvec, DistributedFftMatvec, FftMatvec, LinearOperator,
-    PrecisionConfig,
+    BlockToeplitzOperator, ConfigError, DirectMatvec, DistributedFftMatvec, FftMatvec,
+    LinearOperator, OpDirection, OpError, PhaseWeights, PrecisionConfig, TierCalibration,
 };
 use fftmatvec_numeric::vecmath::rel_l2_error;
 use fftmatvec_numeric::{Precision, SplitMix64};
@@ -26,6 +27,21 @@ fn stuffed(n: usize, seed: u64) -> Vec<f64> {
     let mut v = vec![0.0; n];
     rng.fill_uniform_stuffed(&mut v, 0.0, 1.0);
     v
+}
+
+/// Identity-plus-noise first block: κ(F̂) stays near 1, so the Eq. 6
+/// pruning admits genuinely narrow configurations at loose budgets.
+fn well_conditioned(nd: usize, nm: usize, nt: usize, seed: u64) -> BlockToeplitzOperator {
+    let mut rng = SplitMix64::new(seed);
+    let mut col = vec![0.0; nt * nd * nm];
+    let mut noise = vec![0.0; nd * nm];
+    rng.fill_uniform(&mut noise, -0.05, 0.05);
+    for i in 0..nd {
+        for k in 0..nm {
+            col[i * nm + k] = noise[i * nm + k] + if i == k { 1.0 } else { 0.0 };
+        }
+    }
+    BlockToeplitzOperator::from_first_block_column(nd, nm, nt, &col).unwrap()
 }
 
 proptest! {
@@ -270,6 +286,69 @@ proptest! {
             prop_assert!(err < 1e-13);
         } else {
             prop_assert!(err <= bound, "{cfg}: err {err} > bound {bound}");
+        }
+    }
+
+    /// The autotuner's two promises hold for any shape, direction, and
+    /// budget spanning all four tiers: the measured error of the chosen
+    /// configuration stays at or under the budget, and no admissible
+    /// configuration is strictly cheaper under the calibrated cost order
+    /// (the winner sits within the 1% measurement-tie window of the
+    /// minimum). Unsatisfiable budgets must be rejected with a floor
+    /// that genuinely exceeds them.
+    #[test]
+    fn autotune_meets_budget_and_is_cost_minimal(
+        nd in 2usize..5,
+        nm in 4usize..12,
+        nt in 4usize..12,
+        dir_sel in 0usize..2,
+        exp in -16i32..2,
+        mant in 1.0f64..10.0,
+        seed in 0u64..u64::MAX,
+    ) {
+        let dir = [OpDirection::Forward, OpDirection::Adjoint][dir_sel];
+        let budget = mant * 10f64.powi(exp);
+        let op = well_conditioned(nd, nm, nt, seed);
+        let kappa = condition_estimate(&op, 1);
+        let mut mv = FftMatvec::builder(op).build().unwrap();
+        let params = BoundParams::for_direction(dir, nt, nd, nm, 1, 1, kappa);
+        let weights = PhaseWeights::for_shape(nd, nm, nt, dir);
+        let mut calib = TierCalibration::new();
+        match autotune(&mut mv, dir, budget, &params, &weights, &mut calib) {
+            Err(OpError::Config(ConfigError::BudgetUnsatisfiable { floor, .. })) => {
+                prop_assert!(floor > budget, "rejection floor {floor} ≤ budget {budget}");
+            }
+            Err(e) => prop_assert!(false, "unexpected autotune error: {e:?}"),
+            Ok(choice) => {
+                prop_assert!(choice.bound.total <= budget);
+                prop_assert_eq!(choice.direction, dir);
+                // Cost minimality: every admissible configuration predicts
+                // at least winner/1.01 under the calibration autotune left
+                // behind (all needed tiers are seeded by construction).
+                for (cfg, _) in admissible_configs(budget, &params) {
+                    let cost = calib.predict(cfg, dir, &weights).unwrap();
+                    prop_assert!(
+                        cost >= choice.predicted_seconds / 1.01,
+                        "{cfg} at {cost} undercuts winner {} at {}",
+                        choice.config, choice.predicted_seconds
+                    );
+                }
+                // Install the winner and check the measured error honors
+                // the promise.
+                mv.set_config(choice.config);
+                let in_len = match dir {
+                    OpDirection::Forward => nm * nt,
+                    OpDirection::Adjoint => nd * nt,
+                };
+                let x = stuffed(in_len, seed ^ 9);
+                let measured = fftmatvec_core::pareto::error_sweep(
+                    &mut mv, dir, &[choice.config], &x).unwrap()[0];
+                prop_assert!(
+                    measured <= budget,
+                    "measured {measured} over budget {budget} ({} in {dir})",
+                    choice.config
+                );
+            }
         }
     }
 }

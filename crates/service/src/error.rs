@@ -14,7 +14,7 @@ use fftmatvec_core::{ConfigError, OpError};
 
 /// Why the service rejected (or failed) a request. Each variant is a
 /// distinct caller-visible contract; none of them panic the worker.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 #[non_exhaustive]
 pub enum ServiceError {
     /// No operator is registered under the requested id.
@@ -47,6 +47,19 @@ pub enum ServiceError {
         /// Operator whose apply panicked.
         operator: String,
     },
+    /// A budget-routed submission carried a non-finite or non-positive
+    /// error budget; no configuration can promise it.
+    InvalidBudget {
+        /// The rejected budget.
+        budget: f64,
+    },
+    /// A budget-routed submission targeted an operator that was
+    /// registered without autotune support (`register` / `register_fft`
+    /// rather than `register_fft_tunable`).
+    NotTunable {
+        /// The operator that cannot retune.
+        operator: String,
+    },
     /// The service is shutting down and no longer admits requests.
     ShuttingDown,
 }
@@ -70,6 +83,12 @@ impl std::fmt::Display for ServiceError {
             ServiceError::Shape(e) => write!(f, "request rejected: {e}"),
             ServiceError::WorkerPanicked { operator } => {
                 write!(f, "operator {operator:?} panicked while serving the batch")
+            }
+            ServiceError::InvalidBudget { budget } => {
+                write!(f, "error budget {budget} must be finite and positive")
+            }
+            ServiceError::NotTunable { operator } => {
+                write!(f, "operator {operator:?} was not registered as tunable")
             }
             ServiceError::ShuttingDown => write!(f, "service is shutting down"),
         }

@@ -11,18 +11,159 @@
 //! guarantees windows never alias a workspace).
 
 use std::collections::HashMap;
-use std::sync::{Arc, PoisonError, RwLock};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
 
-use fftmatvec_core::{FftMatvecBuilder, LinearOperator, OpShape};
+use fftmatvec_core::autotune::{AutotuneChoice, PhaseWeights, TierCalibration};
+use fftmatvec_core::error_analysis::{condition_estimate, BoundParams};
+use fftmatvec_core::{
+    BlockToeplitzOperator, FftMatvec, FftMatvecBuilder, LinearOperator, OpDirection, OpShape,
+    PrecisionConfig,
+};
 
 use crate::error::ServiceError;
 
 /// One registered operator: the shared instance plus cached metadata the
 /// admission path reads without touching the operator itself.
 pub(crate) struct RegisteredOp {
-    pub(crate) name: String,
     pub(crate) op: Arc<dyn LinearOperator + Send + Sync>,
     pub(crate) shape: OpShape,
+    /// Present for operators registered via
+    /// [`OperatorRegistry::register_fft_tunable`]: the per-operator
+    /// autotune state budget-routed submissions resolve through.
+    pub(crate) tunable: Option<Arc<TunableState>>,
+}
+
+/// Decade bucket of an error budget: the `k` with `10^k ≤ budget <
+/// 10^(k+1)`. Budget-routed requests are laned per (operator, direction,
+/// bucket), so a coalesced window only ever holds requests that resolved
+/// to the same configuration — batched execution stays bit-deterministic
+/// per caller. Resolution uses the bucket's *lower edge* as the
+/// effective budget, so the promised bound holds for every budget in the
+/// bucket.
+pub(crate) fn budget_bucket(budget: f64) -> i32 {
+    let mut k = budget.log10().floor() as i32;
+    // `log10` rounding can land one decade off right at a power of ten;
+    // correct so the invariant 10^k ≤ budget < 10^(k+1) really holds.
+    if 10f64.powi(k) > budget {
+        k -= 1;
+    } else if 10f64.powi(k + 1) <= budget {
+        k += 1;
+    }
+    k.clamp(-300, 300)
+}
+
+/// The lower edge of a decade bucket — the conservative budget every
+/// request in the bucket satisfies.
+pub(crate) fn bucket_floor(bucket: i32) -> f64 {
+    10f64.powi(bucket)
+}
+
+/// Per-operator autotune state: the shared frequency-domain setup, the
+/// one-time condition estimate, per-direction phase weights, and — under
+/// one lock — the live tier calibration, the resolved
+/// (direction, bucket) → configuration map, and the warm per-config
+/// pipeline variants. Every variant is built through
+/// [`FftMatvec::builder_arc`] over the same operator `Arc`, so the
+/// `F̂` setup is paid once no matter how many configurations traffic
+/// resolves to.
+pub(crate) struct TunableState {
+    base: Arc<BlockToeplitzOperator>,
+    kappa: f64,
+    weights: [PhaseWeights; 2],
+    inner: Mutex<TunableInner>,
+}
+
+struct TunableInner {
+    /// Calibration instrument: a private pipeline whose configuration is
+    /// mutated freely while timing tiers; never serves traffic.
+    tuner: FftMatvec,
+    calib: TierCalibration,
+    resolved: HashMap<(OpDirection, i32), AutotuneChoice>,
+    variants: HashMap<PrecisionConfig, Arc<FftMatvec>>,
+}
+
+impl TunableState {
+    fn dir_idx(dir: OpDirection) -> usize {
+        match dir {
+            OpDirection::Forward => 0,
+            OpDirection::Adjoint => 1,
+        }
+    }
+
+    /// Resolve a budget to its bucket's configuration and warm variant,
+    /// running the autotuner (with lazy tier calibration) on first sight
+    /// of a (direction, bucket) pair and answering from the resolved map
+    /// afterwards.
+    pub(crate) fn resolve(
+        &self,
+        dir: OpDirection,
+        budget: f64,
+    ) -> Result<(AutotuneChoice, Arc<FftMatvec>), ServiceError> {
+        let bucket = budget_bucket(budget);
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        let choice = match inner.resolved.get(&(dir, bucket)) {
+            Some(&c) => c,
+            None => {
+                let op = &self.base;
+                let params =
+                    BoundParams::for_direction(dir, op.nt(), op.nd(), op.nm(), 1, 1, self.kappa);
+                let weights = &self.weights[Self::dir_idx(dir)];
+                let TunableInner { tuner, calib, .. } = &mut *inner;
+                let c = fftmatvec_core::autotune::autotune(
+                    tuner,
+                    dir,
+                    bucket_floor(bucket),
+                    &params,
+                    weights,
+                    calib,
+                )?;
+                inner.resolved.insert((dir, bucket), c);
+                c
+            }
+        };
+        let variant = match inner.variants.get(&choice.config) {
+            Some(v) => Arc::clone(v),
+            None => {
+                let built = FftMatvec::builder_arc(Arc::clone(&self.base))
+                    .precision(choice.config)
+                    .build()?;
+                let v = Arc::new(built);
+                inner.variants.insert(choice.config, Arc::clone(&v));
+                v
+            }
+        };
+        Ok((choice, variant))
+    }
+
+    /// The already-resolved choice for a (direction, bucket), if any —
+    /// a read-only peek with no calibration side effects.
+    pub(crate) fn peek(&self, dir: OpDirection, budget: f64) -> Option<AutotuneChoice> {
+        let bucket = budget_bucket(budget);
+        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        inner.resolved.get(&(dir, bucket)).copied()
+    }
+
+    /// The warm variant serving an already-resolved (direction, bucket)
+    /// lane. Admission resolved the lane before queueing anything on it,
+    /// so this only returns `None` if the operator was re-registered
+    /// underneath queued traffic.
+    pub(crate) fn variant_for_bucket(
+        &self,
+        dir: OpDirection,
+        bucket: i32,
+    ) -> Option<(PrecisionConfig, Arc<FftMatvec>)> {
+        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        let cfg = inner.resolved.get(&(dir, bucket))?.config;
+        inner.variants.get(&cfg).map(|v| (cfg, Arc::clone(v)))
+    }
+
+    /// Fold an executed window's observed per-apply seconds back into
+    /// the tier calibration (EMA, attributed by phase weight).
+    pub(crate) fn observe(&self, dir: OpDirection, cfg: PrecisionConfig, seconds_per_apply: f64) {
+        let weights = self.weights[Self::dir_idx(dir)];
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        inner.calib.observe(cfg, dir, &weights, seconds_per_apply);
+    }
 }
 
 /// Keyed store of live operators. Cheap to clone handles out of; writes
@@ -61,12 +202,56 @@ impl OperatorRegistry {
         Ok(())
     }
 
+    /// [`OperatorRegistry::register_fft`] plus autotune support: the
+    /// operator additionally accepts budget-routed submissions
+    /// ([`crate::Service::submit_with_budget`]). Pays a one-time
+    /// condition estimate at registration (the κ every Eq. 6 pruning
+    /// pass reuses); per-tier timing calibration is lazy — a tier is
+    /// first timed when a budget that could use it shows up.
+    pub fn register_fft_tunable(
+        &self,
+        id: &str,
+        builder: FftMatvecBuilder,
+    ) -> Result<(), ServiceError> {
+        let tuner = builder.build()?;
+        let base = tuner.operator_shared();
+        let base_cfg = tuner.config();
+        let kappa = condition_estimate(&base, (base.nfreq() / 32).max(1));
+        let (nd, nm, nt) = (base.nd(), base.nm(), base.nt());
+        let weights = [
+            PhaseWeights::for_shape(nd, nm, nt, OpDirection::Forward),
+            PhaseWeights::for_shape(nd, nm, nt, OpDirection::Adjoint),
+        ];
+        // The plain-lane instance (non-budget submits) is itself a
+        // variant sharing the frequency-domain setup with every tuned
+        // configuration.
+        let plain =
+            Arc::new(FftMatvec::builder_arc(Arc::clone(&base)).precision(base_cfg).build()?);
+        let mut variants = HashMap::new();
+        variants.insert(base_cfg, Arc::clone(&plain));
+        let tunable = Arc::new(TunableState {
+            base,
+            kappa,
+            weights,
+            inner: Mutex::new(TunableInner {
+                tuner,
+                calib: TierCalibration::new(),
+                resolved: HashMap::new(),
+                variants,
+            }),
+        });
+        let shape = plain.shape();
+        let entry = Arc::new(RegisteredOp { op: plain, shape, tunable: Some(tunable) });
+        self.ops.write().unwrap_or_else(PoisonError::into_inner).insert(id.to_string(), entry);
+        Ok(())
+    }
+
     /// Register an already-built operator under `id`, replacing any
     /// previous operator with that id. Accepts any realization of
     /// [`LinearOperator`] — custom backends plug into the same service.
     pub fn register(&self, id: &str, op: Arc<dyn LinearOperator + Send + Sync>) {
         let shape = op.shape();
-        let entry = Arc::new(RegisteredOp { name: id.to_string(), op, shape });
+        let entry = Arc::new(RegisteredOp { op, shape, tunable: None });
         self.ops.write().unwrap_or_else(PoisonError::into_inner).insert(id.to_string(), entry);
     }
 
@@ -140,6 +325,62 @@ mod tests {
         reg.register_fft("tomo", tiny_builder()).unwrap();
         let replaced = reg.lookup("tomo").unwrap();
         assert!(!Arc::ptr_eq(&entry, &replaced));
+    }
+
+    #[test]
+    fn budget_buckets_are_decades_with_exact_edges() {
+        // 10^k ≤ budget < 10^(k+1), including exactly at powers of ten
+        // (where naive log10 flooring is one ulp from either side).
+        assert_eq!(budget_bucket(1e-6), -6);
+        assert_eq!(budget_bucket(9.99e-6), -6);
+        assert_eq!(budget_bucket(1e-5), -5);
+        assert_eq!(budget_bucket(2.5e-3), -3);
+        assert_eq!(budget_bucket(1.0), 0);
+        assert_eq!(budget_bucket(15.0), 1);
+        for k in -30..30 {
+            let edge = bucket_floor(k);
+            assert_eq!(budget_bucket(edge), k, "edge 1e{k}");
+            assert_eq!(budget_bucket(edge * 0.999_999), k - 1);
+        }
+    }
+
+    #[test]
+    fn tunable_registration_resolves_and_caches_per_bucket() {
+        // Identity-like well-conditioned operator: κ ≈ 1, so generous
+        // budgets admit narrow configurations.
+        let (nd, nm, nt) = (6usize, 6usize, 8usize);
+        let mut col = vec![0.0; nt * nd * nm];
+        for i in 0..nd {
+            col[i * nm + i] = 1.0;
+        }
+        let reg = OperatorRegistry::new();
+        reg.register_fft_tunable(
+            "tuned",
+            FftMatvec::builder(
+                BlockToeplitzOperator::from_first_block_column(nd, nm, nt, &col).unwrap(),
+            ),
+        )
+        .unwrap();
+        let entry = reg.lookup("tuned").unwrap();
+        let tunable = entry.tunable.as_ref().expect("registered as tunable");
+        assert!(tunable.peek(OpDirection::Forward, 1e-6).is_none(), "nothing resolved yet");
+
+        let (choice, variant) = tunable.resolve(OpDirection::Forward, 2e-6).unwrap();
+        assert!(choice.bound.total <= 1e-6, "promise holds at the bucket floor");
+        assert_eq!(variant.config(), choice.config);
+        // Same decade → same cached choice and variant; no re-resolution.
+        let (again, variant2) = tunable.resolve(OpDirection::Forward, 9e-6).unwrap();
+        assert_eq!(again.config, choice.config);
+        assert!(Arc::ptr_eq(&variant, &variant2));
+        assert_eq!(tunable.peek(OpDirection::Forward, 5e-6).map(|c| c.config), Some(choice.config));
+        // A hopeless budget is a typed rejection, not a panic.
+        let err = tunable.resolve(OpDirection::Forward, 1e-200).unwrap_err();
+        assert!(matches!(
+            err,
+            ServiceError::Shape(OpError::Config(
+                fftmatvec_core::ConfigError::BudgetUnsatisfiable { .. }
+            ))
+        ));
     }
 
     // `BlockToeplitzOperator::new` validates eagerly, so exercise the

@@ -29,10 +29,11 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
-use fftmatvec_core::{LinearOperator, OpDirection, OpError};
+use fftmatvec_core::{LinearOperator, OpDirection, OpError, OpShape, PrecisionConfig};
+use fftmatvec_numeric::SplitMix64;
 
 use crate::error::ServiceError;
-use crate::registry::{OperatorRegistry, RegisteredOp};
+use crate::registry::{budget_bucket, OperatorRegistry, TunableState};
 use crate::ticket::{Ticket, TicketShared};
 
 /// Queue policy knobs. The defaults suit interactive serving of matvecs
@@ -74,14 +75,58 @@ struct PendingReq {
     deadline: Option<Instant>,
 }
 
-type LaneKey = (String, OpDirection);
+/// Lane identity: operator × direction × budget bucket (`None` for
+/// plain submits). Budget-routed traffic lanes per decade bucket, so a
+/// coalesced window only ever mixes requests that resolved to the same
+/// precision configuration — per-request results stay bit-identical to
+/// solo applies regardless of what other budgets are in flight.
+type LaneKey = (String, OpDirection, Option<i32>);
 
 struct QueueState {
     lanes: HashMap<LaneKey, VecDeque<PendingReq>>,
     shutdown: bool,
 }
 
-#[derive(Default)]
+/// Bounded deterministic latency sample: Vitter's Algorithm R over a
+/// fixed-capacity reservoir with a fixed-seed [`SplitMix64`]. Memory is
+/// `O(cap)` no matter how long the service runs, every sample ever seen
+/// had an equal chance of being retained, and the retained set is a
+/// deterministic function of the completion order.
+struct LatencyReservoir {
+    cap: usize,
+    samples: Vec<u64>,
+    count: u64,
+    rng: SplitMix64,
+}
+
+/// Retained latency samples per service. 4096 × 8 bytes caps the stats
+/// footprint at 32 KiB while nearest-rank quantiles up to p999 stay
+/// well-resolved.
+const LATENCY_RESERVOIR_CAP: usize = 4096;
+
+impl LatencyReservoir {
+    fn new(cap: usize) -> Self {
+        LatencyReservoir {
+            cap: cap.max(1),
+            samples: Vec::new(),
+            count: 0,
+            rng: SplitMix64::new(0x5ca1e_1a7e0c1e5),
+        }
+    }
+
+    fn push(&mut self, ns: u64) {
+        self.count += 1;
+        if self.samples.len() < self.cap {
+            self.samples.push(ns);
+        } else {
+            let j = self.rng.next_usize(self.count as usize);
+            if j < self.cap {
+                self.samples[j] = ns;
+            }
+        }
+    }
+}
+
 struct StatsInner {
     submitted: u64,
     completed: u64,
@@ -91,7 +136,27 @@ struct StatsInner {
     panicked: u64,
     batches: u64,
     batched_requests: u64,
-    latencies_ns: Vec<u64>,
+    autotuned: u64,
+    configs_served: HashMap<String, u64>,
+    latency: LatencyReservoir,
+}
+
+impl Default for StatsInner {
+    fn default() -> Self {
+        StatsInner {
+            submitted: 0,
+            completed: 0,
+            rejected: 0,
+            expired: 0,
+            failed: 0,
+            panicked: 0,
+            batches: 0,
+            batched_requests: 0,
+            autotuned: 0,
+            configs_served: HashMap::new(),
+            latency: LatencyReservoir::new(LATENCY_RESERVOIR_CAP),
+        }
+    }
 }
 
 /// Point-in-time counters snapshot; see [`Service::stats`].
@@ -115,9 +180,18 @@ pub struct ServiceStats {
     /// Requests served across those windows (`batched_requests /
     /// batches` is the mean occupancy).
     pub batched_requests: u64,
-    /// Per-request queue+execute latencies, nanoseconds, completion
-    /// order.
+    /// Requests served through budget-routed (autotuned) lanes.
+    pub autotuned: u64,
+    /// Requests completed per precision configuration (config string →
+    /// count), sorted by config string for stable display.
+    pub configs_served: Vec<(String, u64)>,
+    /// Retained queue+execute latency samples, nanoseconds — a bounded
+    /// uniform reservoir (capacity 4096) over everything completed, not
+    /// the full history.
     pub latencies_ns: Vec<u64>,
+    /// Total latency samples ever observed (≥ `latencies_ns.len()`; the
+    /// excess was reservoir-evicted).
+    pub latency_count: u64,
 }
 
 impl ServiceStats {
@@ -131,10 +205,13 @@ impl ServiceStats {
         }
     }
 
-    /// Latency quantile in microseconds via nearest-rank on the recorded
-    /// samples; `None` until something has completed. `q` in `[0, 1]`.
+    /// Latency quantile in microseconds via nearest-rank on the retained
+    /// samples; `None` until something has completed **or when `q` is
+    /// NaN** (a NaN quantile is a caller bug, not a request for the
+    /// minimum). `q` is clamped to `[0, 1]`: `q = 0` is the retained
+    /// minimum, `q = 1` the retained maximum.
     pub fn latency_quantile_us(&self, q: f64) -> Option<f64> {
-        if self.latencies_ns.is_empty() {
+        if self.latencies_ns.is_empty() || q.is_nan() {
             return None;
         }
         let mut sorted = self.latencies_ns.clone();
@@ -227,7 +304,52 @@ impl Service {
         dir: OpDirection,
         input: Vec<f64>,
     ) -> Result<Ticket, ServiceError> {
-        self.submit_inner(op_id, dir, input, None)
+        self.submit_inner(op_id, dir, input, None, None)
+    }
+
+    /// Submit one vector with an **error budget** instead of a fixed
+    /// configuration: the request is routed to the (operator, direction,
+    /// budget-decade) lane whose autotuned precision configuration
+    /// promises an Eq. 6 bound at or under the budget. First sight of a
+    /// (direction, decade) pair resolves the configuration — pruning the
+    /// 1024-config lattice by the bound, lazily calibrating the needed
+    /// precision tiers on this machine, and picking the cheapest
+    /// admissible configuration — and later requests in the decade reuse
+    /// it. Lanes are config-homogeneous, so coalescing never mixes
+    /// configurations and every result is bit-identical to a solo apply
+    /// under the resolved configuration.
+    ///
+    /// Requires the operator to have been registered with
+    /// [`OperatorRegistry::register_fft_tunable`]; rejects with
+    /// [`ServiceError::NotTunable`] otherwise, and with
+    /// [`ServiceError::InvalidBudget`] for non-finite or non-positive
+    /// budgets. An unsatisfiable budget (below the all-double Eq. 6
+    /// floor) rejects at submission with the typed
+    /// `ConfigError::BudgetUnsatisfiable` wrapped in
+    /// [`ServiceError::Shape`].
+    pub fn submit_with_budget(
+        &self,
+        op_id: &str,
+        dir: OpDirection,
+        budget: f64,
+        input: Vec<f64>,
+    ) -> Result<Ticket, ServiceError> {
+        self.submit_inner(op_id, dir, input, None, Some(budget))
+    }
+
+    /// The configuration a (operator, direction, budget) triple has
+    /// resolved to, if that budget's decade has been seen; `None` for
+    /// unknown/untunable operators or yet-unseen decades. Read-only — no
+    /// resolution or calibration side effects.
+    pub fn resolved_config(
+        &self,
+        op_id: &str,
+        dir: OpDirection,
+        budget: f64,
+    ) -> Option<PrecisionConfig> {
+        let entry = self.inner.registry.lookup(op_id)?;
+        let tunable = entry.tunable.as_ref()?;
+        tunable.peek(dir, budget).map(|c| c.config)
     }
 
     /// [`Service::submit`] with a deadline: if no batch window has
@@ -242,7 +364,7 @@ impl Service {
         input: Vec<f64>,
         deadline: Duration,
     ) -> Result<Ticket, ServiceError> {
-        self.submit_inner(op_id, dir, input, Some(deadline))
+        self.submit_inner(op_id, dir, input, Some(deadline), None)
     }
 
     fn submit_inner(
@@ -251,6 +373,7 @@ impl Service {
         dir: OpDirection,
         input: Vec<f64>,
         deadline: Option<Duration>,
+        budget: Option<f64>,
     ) -> Result<Ticket, ServiceError> {
         let inner = &self.inner;
         let reject = |e: ServiceError| {
@@ -263,6 +386,25 @@ impl Service {
         }
         let Some(entry) = inner.registry.lookup(op_id) else {
             return reject(ServiceError::UnknownOperator(op_id.to_string()));
+        };
+        // Budget routing resolves synchronously at admission: the caller
+        // learns about an invalid/unsatisfiable budget (or an untunable
+        // operator) here, and the lane's variant is warm before its
+        // first window executes.
+        let bucket = match budget {
+            None => None,
+            Some(b) => {
+                if !(b.is_finite() && b > 0.0) {
+                    return reject(ServiceError::InvalidBudget { budget: b });
+                }
+                let Some(tunable) = entry.tunable.as_ref() else {
+                    return reject(ServiceError::NotTunable { operator: op_id.to_string() });
+                };
+                if let Err(e) = tunable.resolve(dir, b) {
+                    return reject(e);
+                }
+                Some(budget_bucket(b))
+            }
         };
         let (in_len, _) = entry.shape.io_lens(dir);
         if input.len() != in_len {
@@ -287,7 +429,7 @@ impl Service {
             drop(state);
             return reject(ServiceError::ShuttingDown);
         }
-        let lane = state.lanes.entry((op_id.to_string(), dir)).or_default();
+        let lane = state.lanes.entry((op_id.to_string(), dir, bucket)).or_default();
         if lane.len() >= inner.cfg.queue_capacity {
             let queued = lane.len();
             drop(state);
@@ -316,6 +458,9 @@ impl Service {
     /// Snapshot of the service counters.
     pub fn stats(&self) -> ServiceStats {
         let s = self.inner.stats.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut configs_served: Vec<(String, u64)> =
+            s.configs_served.iter().map(|(k, &v)| (k.clone(), v)).collect();
+        configs_served.sort();
         ServiceStats {
             submitted: s.submitted,
             completed: s.completed,
@@ -325,7 +470,10 @@ impl Service {
             panicked: s.panicked,
             batches: s.batches,
             batched_requests: s.batched_requests,
-            latencies_ns: s.latencies_ns.clone(),
+            autotuned: s.autotuned,
+            configs_served,
+            latencies_ns: s.latency.samples.clone(),
+            latency_count: s.latency.count,
         }
     }
 
@@ -354,9 +502,14 @@ impl Drop for Service {
 
 /// A carved batch window, ready to execute outside the queue lock.
 struct Window {
-    op: Arc<RegisteredOp>,
+    name: String,
+    op: Arc<dyn LinearOperator + Send + Sync>,
+    shape: OpShape,
     dir: OpDirection,
     reqs: Vec<PendingReq>,
+    /// For budget-routed windows: the autotune state to feed observed
+    /// timings back into, and the configuration that served the window.
+    tuned: Option<(Arc<TunableState>, PrecisionConfig)>,
 }
 
 fn worker_loop(inner: &Inner) {
@@ -367,7 +520,7 @@ fn worker_loop(inner: &Inner) {
         // 1. Expire lapsed deadlines everywhere (completing after the
         //    lock drops keeps the hold time short).
         let mut expired: Vec<(String, PendingReq)> = Vec::new();
-        for ((op_id, _), lane) in state.lanes.iter_mut() {
+        for ((op_id, _, _), lane) in state.lanes.iter_mut() {
             let mut kept = VecDeque::with_capacity(lane.len());
             for req in lane.drain(..) {
                 match req.deadline {
@@ -450,9 +603,11 @@ fn worker_loop(inner: &Inner) {
                     .complete(Err(ServiceError::DeadlineExceeded { operator: op_id, waited }));
             }
         }
-        if let Some(((op_id, dir), reqs)) = window {
-            match inner.registry.lookup(&op_id) {
-                Some(op) => execute_window(inner, Window { op, dir, reqs }),
+        if let Some(((op_id, dir, bucket), reqs)) = window {
+            match resolve_window_op(inner, &op_id, dir, bucket) {
+                Some((op, shape, tuned)) => {
+                    execute_window(inner, Window { name: op_id, op, shape, dir, reqs, tuned })
+                }
                 None => {
                     // Deregistered while queued: reject rather than hang.
                     for req in reqs {
@@ -464,13 +619,38 @@ fn worker_loop(inner: &Inner) {
     }
 }
 
+/// Pick the operator instance a carved window executes on: the plain
+/// registered instance for `bucket == None`, the lane's resolved
+/// autotuned variant otherwise.
+#[allow(clippy::type_complexity)]
+fn resolve_window_op(
+    inner: &Inner,
+    op_id: &str,
+    dir: OpDirection,
+    bucket: Option<i32>,
+) -> Option<(
+    Arc<dyn LinearOperator + Send + Sync>,
+    OpShape,
+    Option<(Arc<TunableState>, PrecisionConfig)>,
+)> {
+    let entry = inner.registry.lookup(op_id)?;
+    match bucket {
+        None => Some((Arc::clone(&entry.op), entry.shape, None)),
+        Some(b) => {
+            let tunable = entry.tunable.as_ref()?;
+            let (cfg, variant) = tunable.variant_for_bucket(dir, b)?;
+            Some((variant, entry.shape, Some((Arc::clone(tunable), cfg))))
+        }
+    }
+}
+
 /// Run one coalesced window through `apply_many_into` and settle every
 /// ticket in it. Inputs were shape-checked at admission, so the flat
 /// buffers are well-formed by construction; any apply error or panic is
 /// fanned back out to all requests in the window.
 fn execute_window(inner: &Inner, window: Window) {
-    let Window { op, dir, reqs } = window;
-    let (in_len, out_len) = op.shape.io_lens(dir);
+    let Window { name, op, shape, dir, reqs, tuned } = window;
+    let (in_len, out_len) = shape.io_lens(dir);
     let batch = reqs.len();
     let mut inputs = Vec::with_capacity(batch * in_len);
     for req in &reqs {
@@ -478,10 +658,19 @@ fn execute_window(inner: &Inner, window: Window) {
     }
     let mut outputs = vec![0.0f64; batch * out_len];
 
+    let started = Instant::now();
     let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
-        op.op.apply_many_into(dir, &inputs, &mut outputs)
+        op.apply_many_into(dir, &inputs, &mut outputs)
     }));
     let done = Instant::now();
+
+    // Successful budget-routed windows refine the operator's tier
+    // calibration: the EMA keeps resolution honest as the machine's
+    // actual per-tier throughput drifts from the first-touch samples.
+    if let (Ok(Ok(())), Some((tunable, cfg))) = (&result, &tuned) {
+        let per_apply = done.saturating_duration_since(started).as_secs_f64() / batch as f64;
+        tunable.observe(dir, *cfg, per_apply);
+    }
 
     let mut stats = inner.stats.lock().unwrap_or_else(PoisonError::into_inner);
     stats.batches += 1;
@@ -489,9 +678,13 @@ fn execute_window(inner: &Inner, window: Window) {
     let outcome: Result<(), ServiceError> = match result {
         Ok(Ok(())) => {
             stats.completed += batch as u64;
+            if let Some((_, cfg)) = &tuned {
+                stats.autotuned += batch as u64;
+                *stats.configs_served.entry(cfg.to_string()).or_default() += batch as u64;
+            }
             for req in &reqs {
                 let ns = done.saturating_duration_since(req.submitted).as_nanos();
-                stats.latencies_ns.push(ns.min(u64::MAX as u128) as u64);
+                stats.latency.push(ns.min(u64::MAX as u128) as u64);
             }
             Ok(())
         }
@@ -501,7 +694,7 @@ fn execute_window(inner: &Inner, window: Window) {
         }
         Err(_panic) => {
             stats.panicked += batch as u64;
-            Err(ServiceError::WorkerPanicked { operator: op.name.clone() })
+            Err(ServiceError::WorkerPanicked { operator: name.clone() })
         }
     };
     drop(stats);
@@ -563,6 +756,82 @@ mod tests {
         );
         let cfg = service.config();
         assert_eq!((cfg.max_batch, cfg.queue_capacity, cfg.workers), (1, 1, 1));
+    }
+
+    #[test]
+    fn latency_reservoir_is_memory_bounded_and_deterministic() {
+        // Push far past capacity: retained storage stays at the cap, the
+        // total count keeps the full history size, and a second run over
+        // the same stream retains the exact same sample set (fixed-seed
+        // Algorithm R).
+        let total = 3 * LATENCY_RESERVOIR_CAP as u64 + 17;
+        let mut a = LatencyReservoir::new(LATENCY_RESERVOIR_CAP);
+        let mut b = LatencyReservoir::new(LATENCY_RESERVOIR_CAP);
+        for i in 0..total {
+            a.push(i);
+            b.push(i);
+        }
+        assert_eq!(a.samples.len(), LATENCY_RESERVOIR_CAP);
+        assert_eq!(a.count, total);
+        assert_eq!(a.samples, b.samples);
+        // Capacity never grows past the cap (no amortized Vec slack
+        // beyond the initial fill).
+        assert!(a.samples.capacity() <= 2 * LATENCY_RESERVOIR_CAP);
+    }
+
+    #[test]
+    fn latency_quantile_edge_cases_are_pinned() {
+        let mut stats = ServiceStats::default();
+        // No samples: every quantile is None.
+        assert_eq!(stats.latency_quantile_us(0.5), None);
+        stats.latencies_ns = vec![3_000, 1_000, 2_000];
+        stats.latency_count = 3;
+        // NaN is a caller bug, not a request for the minimum.
+        assert_eq!(stats.latency_quantile_us(f64::NAN), None);
+        // q = 0 is the minimum, q = 1 the maximum; out-of-range clamps.
+        assert_eq!(stats.latency_quantile_us(0.0), Some(1.0));
+        assert_eq!(stats.latency_quantile_us(1.0), Some(3.0));
+        assert_eq!(stats.latency_quantile_us(-2.0), Some(1.0));
+        assert_eq!(stats.latency_quantile_us(7.0), Some(3.0));
+        assert_eq!(stats.latency_quantile_us(0.5), Some(2.0));
+        // A single sample answers every (non-NaN) quantile.
+        stats.latencies_ns = vec![5_000];
+        stats.latency_count = 1;
+        assert_eq!(stats.latency_quantile_us(0.0), Some(5.0));
+        assert_eq!(stats.latency_quantile_us(0.5), Some(5.0));
+        assert_eq!(stats.latency_quantile_us(1.0), Some(5.0));
+        assert_eq!(stats.latency_quantile_us(f64::NAN), None);
+    }
+
+    #[test]
+    fn budget_submissions_are_validated_at_admission() {
+        let reg = registry_with_tiny_op();
+        let service = Service::new(Arc::clone(&reg), ServiceConfig::default());
+        let shape = reg.shape_of("tiny").unwrap();
+        let input = vec![1.0; shape.cols];
+        // Non-finite / non-positive budgets are typed rejections.
+        for bad in [f64::NAN, f64::INFINITY, 0.0, -1e-6] {
+            let err = service
+                .submit_with_budget("tiny", OpDirection::Forward, bad, input.clone())
+                .unwrap_err();
+            // NaN != NaN, so compare through the variant's payload.
+            match err {
+                ServiceError::InvalidBudget { budget } => {
+                    assert!(budget == bad || (budget.is_nan() && bad.is_nan()))
+                }
+                other => panic!("expected InvalidBudget for {bad}, got {other:?}"),
+            }
+        }
+        // "tiny" was registered without autotune support.
+        let err = service
+            .submit_with_budget("tiny", OpDirection::Forward, 1e-6, input.clone())
+            .unwrap_err();
+        assert_eq!(err, ServiceError::NotTunable { operator: "tiny".into() });
+        // Unknown id still dominates.
+        let err =
+            service.submit_with_budget("nope", OpDirection::Forward, 1e-6, input).unwrap_err();
+        assert_eq!(err, ServiceError::UnknownOperator("nope".into()));
+        assert_eq!(service.stats().rejected, 6);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use fftmatvec::core::pareto::{optimal_for_tolerance, pareto_front, sweep_points};
 use fftmatvec::core::timing::{simulate_phases, MatvecDims};
-use fftmatvec::core::{BlockToeplitzOperator, FftMatvec, OpError, PrecisionConfig};
+use fftmatvec::core::{BlockToeplitzOperator, FftMatvec, OpDirection, OpError, PrecisionConfig};
 use fftmatvec::gpu::DeviceSpec;
 use fftmatvec::numeric::SplitMix64;
 
@@ -35,7 +35,7 @@ fn main() -> Result<(), OpError> {
         .into_iter()
         .map(|cfg| (cfg, simulate_phases(timing_dims, cfg, false, &dev).total()))
         .collect();
-    let points = sweep_points(&mut mv, &candidates, &m)?;
+    let points = sweep_points(&mut mv, OpDirection::Forward, &candidates, &m)?;
     let baseline_time = points.iter().find(|p| p.config.is_all_double()).unwrap().time;
 
     println!(
@@ -69,5 +69,20 @@ fn main() -> Result<(), OpError> {
     println!();
     println!("the application picks its tolerance from sensor precision and noise floor,");
     println!("then reads the configuration off the front (Section 3.2).");
+
+    // Or skip the manual sweep entirely: hand the builder an error
+    // budget and let the autotuner prune the lattice by the Eq. 6 bound,
+    // calibrate the surviving precision tiers on this machine, and pick
+    // the cheapest admissible configuration.
+    println!();
+    let tuned =
+        FftMatvec::builder(mv.into_operator()).error_budget(1e-6).build().expect("autotune");
+    let choice = tuned.autotuned().expect("budget was resolved at build time");
+    println!(
+        "autotuner at budget 1e-6: picked {} (promised bound {:.2e}, predicted {:.3} ms/apply)",
+        choice.config,
+        choice.bound.total,
+        choice.predicted_seconds * 1e3
+    );
     Ok(())
 }

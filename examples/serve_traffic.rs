@@ -62,6 +62,34 @@ fn main() -> Result<(), ServiceError> {
     let d = service.submit("tomo", OpDirection::Adjoint, vec![1.0; nd * nt])?.wait()?;
     println!("blocking adjoint request: output length {}", d.len());
 
+    // --- Budget routing: precision autotuning per request ------------
+    // A *tunable* registration carries a live calibration pipeline;
+    // requests may then name an error budget instead of a configuration
+    // and the service installs the cheapest configuration whose Eq. 6
+    // bound meets it, one lane per budget decade so coalesced windows
+    // stay config-homogeneous (and therefore bit-deterministic). The
+    // operator here is identity-plus-noise: κ ≈ 1, so the budget — not
+    // the conditioning — decides what is admissible.
+    let mut noise = vec![0.0; nd * nm];
+    rng.fill_uniform(&mut noise, -0.05, 0.05);
+    let mut eye_col = vec![0.0; nt * nd * nm];
+    for i in 0..nd {
+        for k in 0..nm {
+            eye_col[i * nm + k] = noise[i * nm + k] + if i == k { 1.0 } else { 0.0 };
+        }
+    }
+    let mri = BlockToeplitzOperator::from_first_block_column(nd, nm, nt, &eye_col)
+        .map_err(ServiceError::from)?;
+    registry.register_fft_tunable("mri", FftMatvec::builder(mri))?;
+
+    for budget in [1e-3, 1e-12] {
+        let out = service
+            .submit_with_budget("mri", OpDirection::Forward, budget, vec![0.5; nm * nt])?
+            .wait()?;
+        let cfg = service.resolved_config("mri", OpDirection::Forward, budget).unwrap();
+        println!("budget {budget:>5.0e} -> config {cfg} (output length {})", out.len());
+    }
+
     // --- Typed rejections --------------------------------------------
     // Unknown id: rejected at submission, nothing queued.
     let err = service.submit("seismo", OpDirection::Forward, vec![0.0; nm * nt]).unwrap_err();
@@ -70,6 +98,18 @@ fn main() -> Result<(), ServiceError> {
     // Wrong shape: the error hierarchy surfaces the OpError cause.
     let err = service.submit("tomo", OpDirection::Forward, vec![0.0; 3]).unwrap_err();
     println!("wrong shape       -> {err}");
+
+    // A budget below the all-double Eq. 6 floor is unsatisfiable, and a
+    // plainly-registered operator has no calibration to tune with; both
+    // are rejected at submission.
+    let err = service
+        .submit_with_budget("mri", OpDirection::Forward, 1e-20, vec![0.0; nm * nt])
+        .unwrap_err();
+    println!("hopeless budget   -> {err}");
+    let err = service
+        .submit_with_budget("tomo", OpDirection::Forward, 1e-6, vec![0.0; nm * nt])
+        .unwrap_err();
+    println!("not tunable       -> {err}");
 
     // Hopeless deadline: expires in the queue, never computed.
     let err = service
@@ -91,6 +131,7 @@ fn main() -> Result<(), ServiceError> {
         stats.latency_quantile_us(0.50).unwrap_or(0.0),
         stats.latency_quantile_us(0.99).unwrap_or(0.0),
     );
+    println!("autotuned: {} requests via {:?}", stats.autotuned, stats.configs_served);
 
     // Shutdown stops admissions and drains anything still queued.
     service.shutdown();
