@@ -916,6 +916,194 @@ pub mod autotunejson {
     }
 }
 
+/// Machine-readable multi-level Toeplitz records: the
+/// `BENCH_toeplitz.json` / `bench/baseline_toeplitz.json` format the CI
+/// `bench-smoke` job produces and gates on. Same line-oriented JSON
+/// convention as [`benchjson`]; rows are keyed by `(shape, direction)`
+/// where `shape` is the two-level extents
+/// `"{or}x{oc}x{ir}x{ic}"`.
+///
+/// Three gate statistics per row:
+/// * **scratch** (absolute, any host): the split-FFT path's peak
+///   workspace bytes must be at most `max_ratio` (shipped bar `0.75`)
+///   of the full embedding's — the whole point of the memory-optimized
+///   construction, measured from the operators' own pool diagnostics,
+///   so it cannot drift with timing noise;
+/// * **speedup** (baseline-normalized): dense ns divided by FFT-path ns
+///   is a same-session ratio — machine speed cancels, so a CI runner
+///   gates against a baseline committed from different hardware;
+/// * the differential check itself (FFT within ulp budget of dense)
+///   lives in the binary, not the document — a row only exists if it
+///   passed.
+pub mod toeplitzjson {
+    /// One measured two-level operating point.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct ToeplitzResult {
+        /// Two-level extents as `"{or}x{oc}x{ir}x{ic}"`.
+        pub shape: String,
+        /// `"forward"` or `"adjoint"`.
+        pub direction: String,
+        /// Min-of-samples ns/apply of the full-embedding path.
+        pub full_ns: f64,
+        /// Min-of-samples ns/apply of the split-FFT path.
+        pub split_ns: f64,
+        /// Min-of-samples ns/apply of the dense reference matvec.
+        pub dense_ns: f64,
+        /// Peak single-workspace bytes of the full-embedding path.
+        pub full_peak_bytes: usize,
+        /// Peak single-workspace bytes of the split-FFT path.
+        pub split_peak_bytes: usize,
+    }
+
+    impl ToeplitzResult {
+        /// The baseline gate statistic: how many times faster the full
+        /// embedding runs than the dense reference.
+        pub fn full_speedup(&self) -> f64 {
+            self.dense_ns / self.full_ns
+        }
+
+        /// Dense-vs-split speedup (the split path trades one extra FFT
+        /// pass for half the peak scratch, so this is allowed to trail
+        /// [`ToeplitzResult::full_speedup`]).
+        pub fn split_speedup(&self) -> f64 {
+            self.dense_ns / self.split_ns
+        }
+
+        /// Split peak scratch as a fraction of full peak scratch.
+        pub fn scratch_ratio(&self) -> f64 {
+            self.split_peak_bytes as f64 / self.full_peak_bytes as f64
+        }
+    }
+
+    /// Render the full document (`mode` = `"quick"` or `"full"`).
+    pub fn format_document(mode: &str, results: &[ToeplitzResult]) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": 1,\n");
+        out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+        out.push_str("  \"unit\": \"ns_per_apply\",\n");
+        out.push_str("  \"results\": [\n");
+        for (i, r) in results.iter().enumerate() {
+            let sep = if i + 1 == results.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"shape\": \"{}\", \"direction\": \"{}\", \"full_ns\": {:.1}, \
+                 \"split_ns\": {:.1}, \"dense_ns\": {:.1}, \"full_peak_bytes\": {}, \
+                 \"split_peak_bytes\": {}, \"full_speedup\": {:.3}, \
+                 \"scratch_ratio\": {:.3}}}{}\n",
+                r.shape,
+                r.direction,
+                r.full_ns,
+                r.split_ns,
+                r.dense_ns,
+                r.full_peak_bytes,
+                r.split_peak_bytes,
+                r.full_speedup(),
+                r.scratch_ratio(),
+                sep
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Extract the value following `"key":` on `line`, up to `,` or `}`.
+    fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+        let tag = format!("\"{key}\":");
+        let start = line.find(&tag)? + tag.len();
+        let rest = &line[start..];
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(rest[..end].trim().trim_matches('"'))
+    }
+
+    /// Parse every result line of a document produced by
+    /// [`format_document`] (the redundant derived fields are recomputed,
+    /// not trusted).
+    pub fn parse_document(text: &str) -> Vec<ToeplitzResult> {
+        text.lines()
+            .filter_map(|line| {
+                Some(ToeplitzResult {
+                    shape: field(line, "shape")?.to_string(),
+                    direction: field(line, "direction")?.to_string(),
+                    full_ns: field(line, "full_ns")?.parse().ok()?,
+                    split_ns: field(line, "split_ns")?.parse().ok()?,
+                    dense_ns: field(line, "dense_ns")?.parse().ok()?,
+                    full_peak_bytes: field(line, "full_peak_bytes")?.parse().ok()?,
+                    split_peak_bytes: field(line, "split_peak_bytes")?.parse().ok()?,
+                })
+            })
+            .collect()
+    }
+
+    /// Number of baseline rows the gate can enforce. 0 means a broken
+    /// baseline — callers should fail on it, not report success.
+    pub fn gated_count(baseline: &[ToeplitzResult]) -> usize {
+        baseline.len()
+    }
+
+    /// The absolute memory gate: rows where the split-FFT path's peak
+    /// workspace exceeds `max_ratio` of the full embedding's. This is
+    /// the split path's reason to exist, and it is measured from pool
+    /// diagnostics (deterministic byte counts), so the shipped bar of
+    /// `0.75` holds on any host.
+    pub fn scratch_failures(doc: &[ToeplitzResult], max_ratio: f64) -> Vec<String> {
+        doc.iter()
+            .filter(|r| {
+                let ratio = r.scratch_ratio();
+                ratio.is_nan() || ratio > max_ratio
+            })
+            .map(|r| {
+                format!(
+                    "shape={} direction={}: split peak {} B is {:.2}x the full peak {} B \
+                     (> {:.2}x budget)",
+                    r.shape,
+                    r.direction,
+                    r.split_peak_bytes,
+                    r.scratch_ratio(),
+                    r.full_peak_bytes,
+                    max_ratio
+                )
+            })
+            .collect()
+    }
+
+    /// Compare `current` against `baseline`: every baseline row's
+    /// dense/full speedup must be matched within `tol` (e.g. `1.5` =
+    /// the current speedup may be at most 33% below the committed one).
+    /// Missing rows fail. Returns human-readable failure lines; empty =
+    /// pass.
+    pub fn regressions(
+        current: &[ToeplitzResult],
+        baseline: &[ToeplitzResult],
+        tol: f64,
+    ) -> Vec<String> {
+        let mut failures = Vec::new();
+        for b in baseline {
+            let Some(c) = current.iter().find(|c| c.shape == b.shape && c.direction == b.direction)
+            else {
+                failures.push(format!(
+                    "missing result for shape={} direction={}",
+                    b.shape, b.direction
+                ));
+                continue;
+            };
+            let ratio = b.full_speedup() / c.full_speedup();
+            if ratio > tol {
+                failures.push(format!(
+                    "shape={} direction={}: dense/full speedup {:.2}x vs baseline {:.2}x \
+                     ({:.2}x > {:.2}x budget)",
+                    b.shape,
+                    b.direction,
+                    c.full_speedup(),
+                    b.full_speedup(),
+                    ratio,
+                    tol
+                ));
+            }
+        }
+        failures
+    }
+}
+
 pub fn rule(width: usize) {
     println!("{}", "-".repeat(width));
 }
@@ -1256,6 +1444,50 @@ mod tests {
         assert!(occupancy_failures(&doc, 0.25).is_empty());
         let trickle = vec![row("coalesced", 32, 5400.0, 5.0), row("batch1", 1, 2700.0, 1.0)];
         assert_eq!(occupancy_failures(&trickle, 0.25).len(), 1);
+    }
+
+    #[test]
+    fn toeplitzjson_roundtrip_and_gates() {
+        use crate::toeplitzjson::*;
+        let row =
+            |dir: &str, full: f64, split: f64, dense: f64, fp: usize, sp: usize| ToeplitzResult {
+                shape: "16x16x16x16".into(),
+                direction: dir.into(),
+                full_ns: full,
+                split_ns: split,
+                dense_ns: dense,
+                full_peak_bytes: fp,
+                split_peak_bytes: sp,
+            };
+        let doc = vec![
+            row("forward", 1000.0, 1400.0, 8000.0, 32768, 16384),
+            row("adjoint", 1100.0, 1500.0, 8000.0, 32768, 16384),
+        ];
+        let text = format_document("quick", &doc);
+        assert!(text.contains("\"full_speedup\": 8.000"));
+        assert!(text.contains("\"scratch_ratio\": 0.500"));
+        assert_eq!(parse_document(&text), doc);
+        assert_eq!(gated_count(&doc), 2);
+        // Half the scratch clears the 0.75 bar; parity does not.
+        assert!(scratch_failures(&doc, 0.75).is_empty());
+        let bloated = vec![row("forward", 1000.0, 1400.0, 8000.0, 32768, 32768)];
+        assert_eq!(scratch_failures(&bloated, 0.75).len(), 1);
+        // Identical run passes; a uniformly slower machine passes too
+        // (the speedup is a same-session ratio).
+        assert!(regressions(&doc, &doc, 1.5).is_empty());
+        let slower = vec![
+            row("forward", 3000.0, 4200.0, 24000.0, 32768, 16384),
+            row("adjoint", 3300.0, 4500.0, 24000.0, 32768, 16384),
+        ];
+        assert!(regressions(&slower, &doc, 1.5).is_empty());
+        // Losing more than the budget of the committed speedup fails.
+        let faded = vec![
+            row("forward", 2000.0, 1400.0, 8000.0, 32768, 16384),
+            row("adjoint", 1100.0, 1500.0, 8000.0, 32768, 16384),
+        ];
+        assert_eq!(regressions(&faded, &doc, 1.5).len(), 1);
+        // Missing rows fail.
+        assert_eq!(regressions(&doc[..1], &doc, 1.5).len(), 1);
     }
 
     #[test]

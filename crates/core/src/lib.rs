@@ -52,7 +52,10 @@ pub use autotune::{AutotuneChoice, PhaseWeights, TierCalibration};
 pub use direct::DirectMatvec;
 pub use distributed::DistributedFftMatvec;
 pub use error_analysis::{BoundParams, ErrorBound};
-pub use linop::{ConfigError, ConfigurableOperator, LinearOperator, OpDirection, OpError, OpShape};
+pub use linop::{
+    check_apply, check_batch, ConfigError, ConfigurableOperator, LinearOperator, OpDirection,
+    OpError, OpShape,
+};
 pub use operator::BlockToeplitzOperator;
 pub use pareto::{pareto_front, ParetoPoint};
 pub use pipeline::{workspace_retention_cap, FftMatvec, FftMatvecBuilder, PipelineBackend};

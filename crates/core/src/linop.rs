@@ -231,8 +231,12 @@ impl From<ConfigError> for String {
     }
 }
 
-/// Validate one apply call's slice lengths against `shape`.
-pub(crate) fn check_apply(
+/// Validate one apply call's slice lengths against `shape`, producing
+/// the typed [`OpError`] every realization is expected to return. Public
+/// so out-of-crate realizations of [`LinearOperator`] (e.g. the
+/// multi-level Toeplitz operators) report identical errors to the
+/// built-in pipelines.
+pub fn check_apply(
     shape: OpShape,
     dir: OpDirection,
     input: &[f64],
@@ -248,8 +252,11 @@ pub(crate) fn check_apply(
     Ok(())
 }
 
-/// Validate a flat-strided batch and return its item count.
-pub(crate) fn check_batch(
+/// Validate a flat-strided batch and return its item count. Public for
+/// the same reason as [`check_apply`]: external realizations must
+/// produce the same typed batch errors the shared conformance suite
+/// asserts on.
+pub fn check_batch(
     shape: OpShape,
     dir: OpDirection,
     inputs: &[f64],

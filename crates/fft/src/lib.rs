@@ -24,6 +24,11 @@
 //!   arena ([`scratch`]), parallelized across the batch dimension on the
 //!   rayon work-stealing pool, standing in for
 //!   `cufftPlanMany`/`hipfftPlanMany`.
+//! * [`ndfft`] — separable N-dimensional transforms over nested cached
+//!   1-D plans (outer `planWhole` / inner `planBlock` in the fastmat
+//!   naming), transposing one axis at a time so every axis pass runs the
+//!   contiguous batched driver. Built for the multi-level Toeplitz
+//!   operators.
 //! * [`dft`] — a naive O(n²) reference DFT used by tests and by the
 //!   Bluestein implementation's own validation.
 //! * [`recursive`] — the seed's recursive engine, kept as a differential
@@ -41,6 +46,7 @@ pub mod bluestein;
 pub mod cache;
 pub mod dft;
 mod iterative;
+pub mod ndfft;
 pub mod plan;
 pub mod real;
 pub mod recursive;
@@ -49,6 +55,7 @@ mod simd;
 
 pub use batch::{BatchedFft, BatchedRealFft};
 pub use cache::{PlanHandle, RealPlanHandle};
+pub use ndfft::NdFft;
 pub use plan::{FftDirection, FftPlan};
 pub use real::RealFftPlan;
 pub use recursive::RecursiveFftPlan;

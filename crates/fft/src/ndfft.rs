@@ -1,0 +1,213 @@
+//! N-dimensional FFT driver over nested cached 1-D plans.
+//!
+//! A separable N-d transform is a batched 1-D transform per axis. The
+//! driver keeps one [`BatchedFft`] per axis — in the fastmat two-level
+//! naming, the innermost axis engine is `planBlock` and the outermost is
+//! `planWhole` — and every per-axis plan is resolved through the
+//! process-wide `(n, precision, kind)` [`crate::cache`], so nested plans
+//! share twiddle tables with each other and with every 1-D call site in
+//! the process (asserted via `Arc::ptr_eq` in tests).
+//!
+//! Execution transforms the contiguous last axis in place, then rotates
+//! that axis to the front ([`fftmatvec_numeric::ndindex`]) so the next
+//! axis becomes contiguous; after `dims.len()` rounds the grid is back
+//! in row-major layout with every axis transformed. The rotation
+//! ping-pongs between the caller's grid and a caller-supplied partner
+//! buffer of equal length, so the driver performs no allocation of its
+//! own after the per-axis scratch arenas warm up.
+
+use fftmatvec_numeric::ndindex::{rotate_last_to_front, total_len};
+use fftmatvec_numeric::{Complex, Real};
+
+use crate::batch::BatchedFft;
+use crate::cache::PlanHandle;
+use crate::plan::FftDirection;
+
+/// Separable N-dimensional FFT over a dense row-major complex grid.
+///
+/// Forward is unscaled; inverse scales by `1/dims[i]` per axis, i.e.
+/// `1/len()` overall, matching the 1-D convention, so
+/// `process(Inverse)` ∘ `process(Forward)` is the identity up to
+/// roundoff.
+pub struct NdFft<T: Real> {
+    dims: Vec<usize>,
+    /// `axes[i]` transforms original axis `i` (length `dims[i]`).
+    axes: Vec<BatchedFft<T>>,
+}
+
+impl<T: Real> NdFft<T> {
+    /// Build the per-axis engines for a row-major grid of extents
+    /// `dims`. Every extent must be non-zero (a zero-extent grid has no
+    /// data to transform); panics otherwise, mirroring
+    /// [`BatchedFft::new`] on length 0.
+    pub fn new(dims: &[usize]) -> Self {
+        assert!(!dims.is_empty(), "NdFft needs at least one axis");
+        assert!(dims.iter().all(|&d| d > 0), "NdFft axis extents must be non-zero");
+        let axes = dims.iter().map(|&d| BatchedFft::new(d)).collect();
+        NdFft { dims: dims.to_vec(), axes }
+    }
+
+    /// The grid extents, outermost first.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Flat grid length (`∏ dims`).
+    pub fn len(&self) -> usize {
+        total_len(&self.dims)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The shared cache handle of axis `i`'s plan — clone to share, or
+    /// `Arc::ptr_eq` against another handle to observe cache dedup.
+    pub fn axis_plan(&self, i: usize) -> &PlanHandle<T> {
+        self.axes[i].plan_handle()
+    }
+
+    /// Scratch buffers currently parked across all per-axis arenas
+    /// (diagnostic: observes engine identity/reuse across reconfigures).
+    pub fn scratch_pooled(&self) -> usize {
+        self.axes.iter().map(BatchedFft::scratch_pooled).sum()
+    }
+
+    /// Transform the grid in `data` along every axis. `partner` is the
+    /// rotation ping-pong buffer; both must have length [`len`](Self::len).
+    /// The result always lands back in `data` (buffers are swapped, not
+    /// copied, when a round ends in the partner), and the layout is the
+    /// original row-major order. Allocation-free after warm-up.
+    pub fn process(
+        &self,
+        data: &mut Vec<Complex<T>>,
+        partner: &mut Vec<Complex<T>>,
+        dir: FftDirection,
+    ) {
+        let n = self.len();
+        assert_eq!(data.len(), n, "NdFft grid length");
+        assert_eq!(partner.len(), n, "NdFft partner length");
+        let rank = self.dims.len();
+        if rank == 1 {
+            self.axes[0].process_batch_inplace(data, dir);
+            return;
+        }
+        for step in 0..rank {
+            // After `step` rotations the original axis `rank-1-step` is
+            // the contiguous last axis.
+            let axis = rank - 1 - step;
+            let last = self.dims[axis];
+            self.axes[axis].process_batch_inplace(data, dir);
+            rotate_last_to_front(n / last, last, data, partner);
+            std::mem::swap(data, partner);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft;
+    use fftmatvec_numeric::ndindex::strides_row_major;
+    use fftmatvec_numeric::SplitMix64;
+    use std::sync::Arc;
+
+    type C64 = Complex<f64>;
+
+    /// Reference: transform axis-by-axis with the naive DFT, gathering
+    /// strided pencils explicitly.
+    fn nd_dft_reference(dims: &[usize], data: &[C64], dir: FftDirection) -> Vec<C64> {
+        let strides = strides_row_major(dims);
+        let n = total_len(dims);
+        let mut cur = data.to_vec();
+        for (axis, &len) in dims.iter().enumerate() {
+            let stride = strides[axis];
+            let mut next = cur.clone();
+            // Every pencil along `axis` starts at an offset whose axis
+            // coordinate is zero.
+            for base in 0..n {
+                let coord = (base / stride) % len;
+                if coord != 0 {
+                    continue;
+                }
+                let pencil: Vec<C64> = (0..len).map(|k| cur[base + k * stride]).collect();
+                let mut spec = vec![C64::new(0.0, 0.0); len];
+                dft::naive_dft(&pencil, &mut spec, dir);
+                for (k, v) in spec.into_iter().enumerate() {
+                    next[base + k * stride] = v;
+                }
+            }
+            cur = next;
+        }
+        cur
+    }
+
+    fn random_grid(dims: &[usize], seed: u64) -> Vec<C64> {
+        let mut rng = SplitMix64::new(seed);
+        (0..total_len(dims))
+            .map(|_| C64::new(rng.next_f64() * 2.0 - 1.0, rng.next_f64() * 2.0 - 1.0))
+            .collect()
+    }
+
+    fn assert_close(a: &[C64], b: &[C64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            let d = ((x.re - y.re).powi(2) + (x.im - y.im).powi(2)).sqrt();
+            assert!(d < tol, "grid mismatch at {i}: {x:?} vs {y:?} (|Δ| = {d:.3e})");
+        }
+    }
+
+    #[test]
+    fn matches_reference_dft_2d_and_3d() {
+        for dims in [vec![4usize, 6], vec![5, 3], vec![2, 3, 4]] {
+            let grid = random_grid(&dims, 7 + dims.len() as u64);
+            let nd = NdFft::<f64>::new(&dims);
+            let mut a = grid.clone();
+            let mut b = vec![C64::new(0.0, 0.0); a.len()];
+            nd.process(&mut a, &mut b, FftDirection::Forward);
+            let want = nd_dft_reference(&dims, &grid, FftDirection::Forward);
+            assert_close(&a, &want, 1e-9);
+        }
+    }
+
+    #[test]
+    fn inverse_undoes_forward_with_unit_scaling() {
+        let dims = [3usize, 8, 5];
+        let grid = random_grid(&dims, 99);
+        let nd = NdFft::<f64>::new(&dims);
+        let mut a = grid.clone();
+        let mut b = vec![C64::new(0.0, 0.0); a.len()];
+        nd.process(&mut a, &mut b, FftDirection::Forward);
+        nd.process(&mut a, &mut b, FftDirection::Inverse);
+        assert_close(&a, &grid, 1e-10);
+    }
+
+    #[test]
+    fn one_dimensional_grid_matches_plain_batched_fft() {
+        let dims = [16usize];
+        let grid = random_grid(&dims, 3);
+        let nd = NdFft::<f64>::new(&dims);
+        let mut a = grid.clone();
+        let mut b = vec![C64::new(0.0, 0.0); a.len()];
+        nd.process(&mut a, &mut b, FftDirection::Forward);
+        let engine = BatchedFft::<f64>::new(16);
+        let mut want = grid;
+        engine.process_batch_inplace(&mut want, FftDirection::Forward);
+        assert_close(&a, &want, 1e-12);
+    }
+
+    #[test]
+    fn nested_plans_come_from_the_shared_cache() {
+        // planBlock/planWhole style nesting: the inner axis of one grid,
+        // the outer axis of another, and a direct 1-D driver must all
+        // share one cached plan per (n, precision).
+        let a = NdFft::<f64>::new(&[12, 30]);
+        let b = NdFft::<f64>::new(&[30, 12]);
+        let direct = BatchedFft::<f64>::new(30);
+        assert!(Arc::ptr_eq(a.axis_plan(1), b.axis_plan(0)));
+        assert!(Arc::ptr_eq(a.axis_plan(1), direct.plan_handle()));
+        assert!(Arc::ptr_eq(a.axis_plan(0), b.axis_plan(1)));
+        // Distinct lengths stay distinct.
+        assert!(!Arc::ptr_eq(a.axis_plan(0), a.axis_plan(1)));
+    }
+}

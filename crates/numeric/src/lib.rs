@@ -23,6 +23,7 @@ pub mod buffer;
 pub mod complex;
 pub mod dtype;
 pub mod half;
+pub mod ndindex;
 pub mod precision;
 pub mod real;
 pub mod rng;

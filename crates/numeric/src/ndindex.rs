@@ -1,0 +1,117 @@
+//! Row-major N-dimensional index arithmetic and axis-rotation layout
+//! kernels.
+//!
+//! The multi-level Toeplitz operators work on dense row-major grids
+//! (last axis contiguous) and transform one axis at a time: FFT the
+//! contiguous last axis, then rotate that axis to the front so the next
+//! axis becomes contiguous. After `dims.len()` rotations the grid is
+//! back in its original layout with every axis visited exactly once.
+//! These helpers are the index math for that scheme; they are kept in
+//! the numeric crate so the FFT driver and the operator layer agree on
+//! one definition of the layout.
+
+/// Product of all extents — the flat length of a row-major grid.
+/// Returns 1 for an empty dims list (the 0-d grid holds one scalar).
+pub fn total_len(dims: &[usize]) -> usize {
+    dims.iter().product()
+}
+
+/// Row-major strides for `dims`: `strides[i]` is the flat distance
+/// between neighbours along axis `i` (last axis has stride 1).
+pub fn strides_row_major(dims: &[usize]) -> Vec<usize> {
+    let mut strides = vec![1usize; dims.len()];
+    for i in (0..dims.len().saturating_sub(1)).rev() {
+        strides[i] = strides[i + 1] * dims[i + 1];
+    }
+    strides
+}
+
+/// Flat offset of a multi-index under row-major strides.
+pub fn compose(idx: &[usize], strides: &[usize]) -> usize {
+    debug_assert_eq!(idx.len(), strides.len());
+    idx.iter().zip(strides).map(|(i, s)| i * s).sum()
+}
+
+/// Decompose a flat row-major offset into a multi-index (written into
+/// `out`, which must have `dims.len()` entries).
+pub fn decompose(flat: usize, dims: &[usize], out: &mut [usize]) {
+    debug_assert_eq!(dims.len(), out.len());
+    let mut rem = flat;
+    for i in (0..dims.len()).rev() {
+        out[i] = rem % dims[i];
+        rem /= dims[i];
+    }
+    debug_assert_eq!(rem, 0, "flat index out of range");
+}
+
+/// Rotate the last axis to the front: for a source grid with `last` as
+/// its final extent (flat length `lead * last`), write
+/// `dst[j, r] = src[r, j]` where `r` ranges over the `lead` leading
+/// positions. This is a `(lead × last) → (last × lead)` transpose; on a
+/// row-major N-d grid it moves the contiguous last axis to the slowest
+/// position while preserving the relative order of the other axes.
+/// Allocation-free; `src` and `dst` must both have length `lead * last`.
+pub fn rotate_last_to_front<T: Copy>(lead: usize, last: usize, src: &[T], dst: &mut [T]) {
+    assert_eq!(src.len(), lead * last, "rotate: src length");
+    assert_eq!(dst.len(), lead * last, "rotate: dst length");
+    // Walk the source contiguously; scatter into the destination. For
+    // the grid sizes the operators use, the simple loop is bandwidth
+    // bound either way and keeps the kernel obviously correct.
+    for r in 0..lead {
+        let row = &src[r * last..(r + 1) * last];
+        for (j, &v) in row.iter().enumerate() {
+            dst[j * lead + r] = v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_and_compose_roundtrip() {
+        let dims = [3usize, 4, 5];
+        let strides = strides_row_major(&dims);
+        assert_eq!(strides, vec![20, 5, 1]);
+        assert_eq!(total_len(&dims), 60);
+        let mut idx = [0usize; 3];
+        for flat in 0..60 {
+            decompose(flat, &dims, &mut idx);
+            assert!(idx.iter().zip(&dims).all(|(i, d)| i < d));
+            assert_eq!(compose(&idx, &strides), flat);
+        }
+    }
+
+    #[test]
+    fn zero_dim_grid_is_a_scalar() {
+        assert_eq!(total_len(&[]), 1);
+        assert_eq!(strides_row_major(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn rotation_is_a_transpose() {
+        // 2×3 grid: [[0,1,2],[3,4,5]] → rotating the last axis to the
+        // front gives the 3×2 transpose [[0,3],[1,4],[2,5]].
+        let src = [0, 1, 2, 3, 4, 5];
+        let mut dst = [0; 6];
+        rotate_last_to_front(2, 3, &src, &mut dst);
+        assert_eq!(dst, [0, 3, 1, 4, 2, 5]);
+    }
+
+    #[test]
+    fn n_rotations_restore_the_layout() {
+        // Rotating last-to-front dims.len() times must be the identity.
+        let dims = [2usize, 3, 4];
+        let n = total_len(&dims);
+        let src: Vec<u32> = (0..n as u32).collect();
+        let mut a = src.clone();
+        let mut b = vec![0u32; n];
+        for step in 0..dims.len() {
+            let last = dims[dims.len() - 1 - step];
+            rotate_last_to_front(n / last, last, &a, &mut b);
+            std::mem::swap(&mut a, &mut b);
+        }
+        assert_eq!(a, src);
+    }
+}

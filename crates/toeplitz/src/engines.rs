@@ -1,0 +1,102 @@
+//! Per-tier N-d FFT engine bank, mirroring the 1-level pipeline's
+//! `TierEngines`: one lazily built [`NdFft`] per precision that any
+//! phase of the current configuration actually runs in. Engines survive
+//! reconfiguration when their tier is still used
+//! ([`NdTierEngines::retain`]), keeping warmed scratch arenas alive; the
+//! per-axis plans always resolve through the process-wide cache, so
+//! rebuilds only re-link shared twiddle tables.
+
+use std::sync::OnceLock;
+
+use fftmatvec_core::{MatvecPhase, PrecisionConfig};
+use fftmatvec_fft::NdFft;
+use fftmatvec_numeric::{bf16, f16, Precision};
+
+pub(crate) struct NdTierEngines {
+    dims: Vec<usize>,
+    pub(crate) h: OnceLock<NdFft<f16>>,
+    pub(crate) b: OnceLock<NdFft<bf16>>,
+    pub(crate) s: OnceLock<NdFft<f32>>,
+    pub(crate) d: OnceLock<NdFft<f64>>,
+}
+
+impl NdTierEngines {
+    pub(crate) fn new(dims: Vec<usize>) -> Self {
+        NdTierEngines {
+            dims,
+            h: OnceLock::new(),
+            b: OnceLock::new(),
+            s: OnceLock::new(),
+            d: OnceLock::new(),
+        }
+    }
+
+    /// Does `cfg` run either transform phase in tier `p`?
+    pub(crate) fn uses(cfg: PrecisionConfig, p: Precision) -> bool {
+        cfg.phase(MatvecPhase::Fft) == p || cfg.phase(MatvecPhase::Ifft) == p
+    }
+
+    /// Build every engine `cfg` needs (plan resolution + twiddle tables
+    /// now, not on the first apply).
+    pub(crate) fn warm(&self, cfg: PrecisionConfig) {
+        for p in Precision::ALL {
+            if Self::uses(cfg, p) {
+                match p {
+                    Precision::Half => {
+                        self.fft16();
+                    }
+                    Precision::BFloat16 => {
+                        self.fftb16();
+                    }
+                    Precision::Single => {
+                        self.fft32();
+                    }
+                    Precision::Double => {
+                        self.fft64();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drop engines whose tier `cfg` no longer uses; keep the rest.
+    pub(crate) fn retain(&mut self, cfg: PrecisionConfig) {
+        if !Self::uses(cfg, Precision::Half) {
+            self.h.take();
+        }
+        if !Self::uses(cfg, Precision::BFloat16) {
+            self.b.take();
+        }
+        if !Self::uses(cfg, Precision::Single) {
+            self.s.take();
+        }
+        if !Self::uses(cfg, Precision::Double) {
+            self.d.take();
+        }
+    }
+
+    pub(crate) fn fft16(&self) -> &NdFft<f16> {
+        self.h.get_or_init(|| NdFft::new(&self.dims))
+    }
+
+    pub(crate) fn fftb16(&self) -> &NdFft<bf16> {
+        self.b.get_or_init(|| NdFft::new(&self.dims))
+    }
+
+    pub(crate) fn fft32(&self) -> &NdFft<f32> {
+        self.s.get_or_init(|| NdFft::new(&self.dims))
+    }
+
+    pub(crate) fn fft64(&self) -> &NdFft<f64> {
+        self.d.get_or_init(|| NdFft::new(&self.dims))
+    }
+
+    pub(crate) fn scratch_pooled(&self, p: Precision) -> Option<usize> {
+        match p {
+            Precision::Half => self.h.get().map(NdFft::scratch_pooled),
+            Precision::BFloat16 => self.b.get().map(NdFft::scratch_pooled),
+            Precision::Single => self.s.get().map(NdFft::scratch_pooled),
+            Precision::Double => self.d.get().map(NdFft::scratch_pooled),
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Pooled per-apply workspaces for the multi-level pipelines.
+//!
+//! Same discipline as the 1-level pipeline's pool (checkout ledger,
+//! bounded retention), plus a **peak-bytes high-water mark**: every
+//! returned workspace reports the bytes its buffers currently hold, and
+//! the pool records the largest single-workspace footprint it has seen.
+//! That diagnostic is how the bench gate proves the split-FFT path's
+//! scratch stays measurably below the full embedding's.
+
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+use fftmatvec_core::workspace_retention_cap;
+use fftmatvec_numeric::ComplexBuffer;
+
+/// One apply's worth of grid buffers. Under a fixed configuration each
+/// buffer keeps a stable tier across applies, so `reset_for_overwrite`
+/// reuses the allocation every time: `spec`/`specb` are the forward
+/// grid and its rotation partner in the Fft tier, `mid` materializes
+/// only when the Sbgemv tier differs, and `ispec`/`ispecb` only when
+/// the Ifft tier differs from its predecessor.
+pub(crate) struct Workspace {
+    pub(crate) id: u64,
+    pub(crate) spec: ComplexBuffer,
+    pub(crate) specb: ComplexBuffer,
+    pub(crate) mid: ComplexBuffer,
+    pub(crate) ispec: ComplexBuffer,
+    pub(crate) ispecb: ComplexBuffer,
+}
+
+impl Workspace {
+    /// All-empty workspace; `Vec::new()` does not allocate.
+    fn empty(id: u64) -> Self {
+        Workspace {
+            id,
+            spec: ComplexBuffer::C64(Vec::new()),
+            specb: ComplexBuffer::C64(Vec::new()),
+            mid: ComplexBuffer::C64(Vec::new()),
+            ispec: ComplexBuffer::C64(Vec::new()),
+            ispecb: ComplexBuffer::C64(Vec::new()),
+        }
+    }
+
+    /// Bytes currently held across all buffers — the scratch footprint
+    /// of one pipeline pass under the configuration that last ran.
+    fn bytes(&self) -> usize {
+        self.spec.bytes()
+            + self.specb.bytes()
+            + self.mid.bytes()
+            + self.ispec.bytes()
+            + self.ispecb.bytes()
+    }
+}
+
+struct PoolLedger {
+    parked: Vec<Workspace>,
+    /// Ids currently checked out; small, linear scan beats hashing.
+    checked_out: Vec<u64>,
+    next_id: u64,
+    peak_out: usize,
+    /// Largest single-workspace byte footprint observed at return time.
+    peak_bytes: usize,
+}
+
+/// Pool of [`Workspace`]s with the 1-level pipeline's hardening:
+/// checkout ledger (returning a workspace the ledger does not list is a
+/// loud panic, never silent aliasing) and retention bounded by
+/// [`workspace_retention_cap`].
+pub(crate) struct WorkspacePool {
+    reuse: bool,
+    state: Mutex<PoolLedger>,
+}
+
+impl WorkspacePool {
+    pub(crate) fn new(reuse: bool) -> Arc<WorkspacePool> {
+        Arc::new(WorkspacePool {
+            reuse,
+            state: Mutex::new(PoolLedger {
+                parked: Vec::new(),
+                checked_out: Vec::new(),
+                next_id: 0,
+                peak_out: 0,
+                peak_bytes: 0,
+            }),
+        })
+    }
+
+    fn lock(&self) -> MutexGuard<'_, PoolLedger> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub(crate) fn checkout(&self) -> PooledWorkspace<'_> {
+        let mut st = self.lock();
+        let ws = match st.parked.pop() {
+            Some(ws) => ws,
+            None => {
+                let id = st.next_id;
+                st.next_id += 1;
+                Workspace::empty(id)
+            }
+        };
+        st.checked_out.push(ws.id);
+        st.peak_out = st.peak_out.max(st.checked_out.len());
+        PooledWorkspace { pool: self, ws: Some(ws) }
+    }
+
+    pub(crate) fn pooled(&self) -> usize {
+        self.lock().parked.len()
+    }
+
+    pub(crate) fn in_flight(&self) -> usize {
+        self.lock().checked_out.len()
+    }
+
+    pub(crate) fn peak_in_flight(&self) -> usize {
+        self.lock().peak_out
+    }
+
+    pub(crate) fn peak_bytes(&self) -> usize {
+        self.lock().peak_bytes
+    }
+}
+
+pub(crate) struct PooledWorkspace<'a> {
+    pool: &'a WorkspacePool,
+    /// Always `Some` until `drop` takes it back.
+    ws: Option<Workspace>,
+}
+
+impl PooledWorkspace<'_> {
+    #[inline]
+    pub(crate) fn ws(&mut self) -> &mut Workspace {
+        self.ws.as_mut().expect("workspace held until drop")
+    }
+}
+
+impl Drop for PooledWorkspace<'_> {
+    fn drop(&mut self) {
+        let ws = self.ws.take().expect("workspace held until drop");
+        let mut st = self.pool.lock();
+        let idx = st
+            .checked_out
+            .iter()
+            .position(|&id| id == ws.id)
+            .expect("workspace returned twice or to a foreign pool: aliased checkout");
+        st.checked_out.swap_remove(idx);
+        st.peak_bytes = st.peak_bytes.max(ws.bytes());
+        if self.pool.reuse && st.parked.len() < workspace_retention_cap() {
+            st.parked.push(ws);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fftmatvec_numeric::Precision;
+
+    #[test]
+    fn checkout_parks_and_tracks_peaks() {
+        let pool = WorkspacePool::new(true);
+        {
+            let mut a = pool.checkout();
+            a.ws().spec.reset_for_overwrite(Precision::Double, 16);
+            let _b = pool.checkout();
+            assert_eq!(pool.in_flight(), 2);
+        }
+        assert_eq!(pool.in_flight(), 0);
+        assert_eq!(pool.pooled(), 2);
+        assert_eq!(pool.peak_in_flight(), 2);
+        // 16 complex f64 = 256 bytes in one buffer.
+        assert_eq!(pool.peak_bytes(), 256);
+    }
+
+    #[test]
+    fn no_reuse_pool_frees_returns() {
+        let pool = WorkspacePool::new(false);
+        drop(pool.checkout());
+        assert_eq!(pool.pooled(), 0);
+        assert_eq!(pool.peak_in_flight(), 1);
+    }
+}

@@ -1,0 +1,197 @@
+//! Property-based tests for the multi-level Toeplitz operators, across
+//! randomly drawn two-level shapes, all four precision tiers, and batch
+//! sizes 1–8:
+//!
+//! * full embedding and split-FFT both match the dense reference
+//!   assembly in double, any shape, both directions;
+//! * mixed-tier configurations stay within the documented per-tier
+//!   relative budgets ([`fftmatvec_toeplitz::tier_rel_budget`]);
+//! * the batched apply is bit-identical to per-item applies;
+//! * nested FFT plans (`planWhole`/`planBlock`) resolve through the
+//!   process-wide cache, so independently built operators share handles
+//!   (`Arc::ptr_eq`).
+
+use std::sync::Arc;
+
+use fftmatvec_core::{LinearOperator, OpDirection, PrecisionConfig};
+use fftmatvec_numeric::vecmath::rel_l2_error;
+use fftmatvec_numeric::SplitMix64;
+use fftmatvec_toeplitz::{
+    narrowest_tier, tier_rel_budget, NdCirculantEmbedding, ToeplitzGenerator, TwoLevelToeplitz,
+};
+use proptest::prelude::*;
+
+/// Two-level generator with the main diagonal lifted, keeping the dense
+/// reference well scaled so relative-error comparisons are meaningful.
+fn two_level_gen(outer: (usize, usize), inner: (usize, usize), seed: u64) -> ToeplitzGenerator {
+    let inner_diags = inner.0 + inner.1 - 1;
+    let n = (outer.0 + outer.1 - 1) * inner_diags;
+    let mut diags = vec![0.0; n];
+    SplitMix64::new(seed).fill_uniform(&mut diags, -1.0, 1.0);
+    diags[(outer.1 - 1) * inner_diags + (inner.1 - 1)] += 4.0;
+    ToeplitzGenerator::two_level(outer, inner, diags).unwrap()
+}
+
+/// Dense oracle apply in the requested direction (`y = A·x` or
+/// `y = Aᵀ·x` — the generator is real, so adjoint is transpose).
+fn dense_apply(gen: &ToeplitzGenerator, dir: OpDirection, x: &[f64]) -> Vec<f64> {
+    let a = gen.dense();
+    let (rows, cols) = (gen.rows(), gen.cols());
+    match dir {
+        OpDirection::Forward => {
+            let mut y = vec![0.0; rows];
+            for r in 0..rows {
+                y[r] = (0..cols).map(|c| a[r * cols + c] * x[c]).sum();
+            }
+            y
+        }
+        OpDirection::Adjoint => {
+            let mut y = vec![0.0; cols];
+            for c in 0..cols {
+                y[c] = (0..rows).map(|r| a[r * cols + c] * x[r]).sum();
+            }
+            y
+        }
+    }
+}
+
+fn random_vec(n: usize, seed: u64) -> Vec<f64> {
+    let mut v = vec![0.0; n];
+    SplitMix64::new(seed).fill_uniform(&mut v, -1.0, 1.0);
+    v
+}
+
+/// The tier sweep: one configuration per tier (pad/unpad held in double
+/// so the grid tiers dominate the error), plus the paper's mixed shape.
+const TIER_CONFIGS: [&str; 5] = ["ddddd", "sssss", "dssdd", "dhhdd", "dbbdd"];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Full embedding == dense reference in double, both directions, any
+    /// two-level shape — including degenerate extents of 1.
+    #[test]
+    fn full_matches_dense(
+        or in 1usize..5, oc in 1usize..5,
+        ir in 1usize..7, ic in 1usize..7,
+        seed in 0u64..u64::MAX,
+    ) {
+        let gen = two_level_gen((or, oc), (ir, ic), seed);
+        let op = TwoLevelToeplitz::builder(gen.clone()).build().unwrap();
+        for dir in [OpDirection::Forward, OpDirection::Adjoint] {
+            let (in_len, out_len) = op.shape().io_lens(dir);
+            let x = random_vec(in_len, seed ^ 1);
+            let mut y = vec![0.0; out_len];
+            op.apply_into(dir, &x, &mut y).unwrap();
+            prop_assert!(rel_l2_error(&y, &dense_apply(&gen, dir, &x)) < 1e-12);
+        }
+    }
+
+    /// Split-FFT == dense reference in double, both directions, any
+    /// two-level shape — the memory-optimized path is exact algebra.
+    #[test]
+    fn split_matches_dense(
+        or in 1usize..5, oc in 1usize..5,
+        ir in 1usize..7, ic in 1usize..7,
+        seed in 0u64..u64::MAX,
+    ) {
+        let gen = two_level_gen((or, oc), (ir, ic), seed);
+        let op = TwoLevelToeplitz::builder(gen.clone()).split_fft(true).build().unwrap();
+        prop_assert!(op.is_split());
+        for dir in [OpDirection::Forward, OpDirection::Adjoint] {
+            let (in_len, out_len) = op.shape().io_lens(dir);
+            let x = random_vec(in_len, seed ^ 2);
+            let mut y = vec![0.0; out_len];
+            op.apply_into(dir, &x, &mut y).unwrap();
+            prop_assert!(rel_l2_error(&y, &dense_apply(&gen, dir, &x)) < 1e-12);
+        }
+    }
+
+    /// Every tier configuration stays within its documented relative
+    /// budget against the dense oracle, on both paths, both directions.
+    #[test]
+    fn tiers_within_budget(
+        or in 1usize..4, oc in 1usize..4,
+        ir in 2usize..6, ic in 2usize..6,
+        cfg_idx in 0usize..TIER_CONFIGS.len(),
+        split_idx in 0usize..2,
+        seed in 0u64..u64::MAX,
+    ) {
+        let cfg: PrecisionConfig = TIER_CONFIGS[cfg_idx].parse().unwrap();
+        let split = split_idx == 1;
+        let gen = two_level_gen((or, oc), (ir, ic), seed);
+        let op = TwoLevelToeplitz::builder(gen.clone())
+            .precision(cfg)
+            .split_fft(split)
+            .build()
+            .unwrap();
+        let budget = tier_rel_budget(narrowest_tier(cfg));
+        for dir in [OpDirection::Forward, OpDirection::Adjoint] {
+            let (in_len, out_len) = op.shape().io_lens(dir);
+            let x = random_vec(in_len, seed ^ 3);
+            let mut y = vec![0.0; out_len];
+            op.apply_into(dir, &x, &mut y).unwrap();
+            let err = rel_l2_error(&y, &dense_apply(&gen, dir, &x));
+            prop_assert!(err < budget, "{cfg} {dir:?} err {err:e} vs budget {budget:e}");
+        }
+    }
+
+    /// Batched apply is bit-identical to per-item applies for any batch
+    /// size 1–8, on both paths, under any tier configuration.
+    #[test]
+    fn batch_matches_singles(
+        or in 1usize..4, oc in 1usize..4,
+        ir in 1usize..6, ic in 1usize..6,
+        batch in 1usize..9,
+        cfg_idx in 0usize..TIER_CONFIGS.len(),
+        split_idx in 0usize..2,
+        seed in 0u64..u64::MAX,
+    ) {
+        let cfg: PrecisionConfig = TIER_CONFIGS[cfg_idx].parse().unwrap();
+        let split = split_idx == 1;
+        let gen = two_level_gen((or, oc), (ir, ic), seed);
+        let op = TwoLevelToeplitz::builder(gen)
+            .precision(cfg)
+            .split_fft(split)
+            .build()
+            .unwrap();
+        for dir in [OpDirection::Forward, OpDirection::Adjoint] {
+            let (in_len, out_len) = op.shape().io_lens(dir);
+            let inputs = random_vec(batch * in_len, seed ^ 4);
+            let mut outputs = vec![f64::NAN; batch * out_len];
+            op.apply_many_into(dir, &inputs, &mut outputs).unwrap();
+            for b in 0..batch {
+                let mut single = vec![0.0; out_len];
+                op.apply_into(dir, &inputs[b * in_len..(b + 1) * in_len], &mut single).unwrap();
+                prop_assert_eq!(&outputs[b * out_len..(b + 1) * out_len], &single[..]);
+            }
+        }
+    }
+
+    /// Nested plans resolve through the process-wide cache: two
+    /// independently built operators over the same shape share their
+    /// `planWhole`/`planBlock` handles, and the N-d realization over the
+    /// same generator shares them too.
+    #[test]
+    fn nested_plans_are_cache_shared(
+        or in 1usize..5, oc in 1usize..5,
+        ir in 1usize..7, ic in 1usize..7,
+        seed in 0u64..u64::MAX,
+    ) {
+        let gen = two_level_gen((or, oc), (ir, ic), seed);
+        let a = TwoLevelToeplitz::builder(gen.clone()).build().unwrap();
+        let b = TwoLevelToeplitz::builder(gen.clone()).build().unwrap();
+        prop_assert!(Arc::ptr_eq(&a.plan_whole(), &b.plan_whole()));
+        prop_assert!(Arc::ptr_eq(&a.plan_block(), &b.plan_block()));
+        // The split path halves the outer transform but keeps the inner
+        // block plan — planBlock is shared across paths.
+        let s = TwoLevelToeplitz::builder(gen.clone()).split_fft(true).build().unwrap();
+        prop_assert!(Arc::ptr_eq(&a.plan_block(), &s.plan_block()));
+        let s2 = TwoLevelToeplitz::builder(gen.clone()).split_fft(true).build().unwrap();
+        prop_assert!(Arc::ptr_eq(&s.plan_whole(), &s2.plan_whole()));
+        // The general N-d realization runs the same embedding grid.
+        let nd = NdCirculantEmbedding::builder(gen).build().unwrap();
+        let y = nd.apply_forward(&vec![1.0; oc * ic]).unwrap();
+        prop_assert_eq!(y.len(), or * ir);
+    }
+}

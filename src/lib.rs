@@ -15,6 +15,10 @@
 //! * [`comm`] — 2-D process grids, collectives, and the comm cost model.
 //! * [`core`] — the FFTMatvec pipeline, mixed-precision framework, error
 //!   analysis, Pareto front, and the distributed matvec.
+//! * [`toeplitz`] — multi-level Toeplitz operators (`TwoLevelToeplitz`,
+//!   `NdCirculantEmbedding`) via circulant embedding, including the
+//!   memory-optimized split-FFT path; nested plans share the process-wide
+//!   FFT plan cache in the `planWhole`/`planBlock` style.
 //! * [`lti`] — linear autonomous dynamical systems and Bayesian inversion.
 //! * [`portability`] — the hipify-on-the-fly translation pipeline.
 //! * [`service`] — operator-as-a-service: a persistent registry plus an
@@ -83,3 +87,4 @@ pub use fftmatvec_lti as lti;
 pub use fftmatvec_numeric as numeric;
 pub use fftmatvec_portability as portability;
 pub use fftmatvec_service as service;
+pub use fftmatvec_toeplitz as toeplitz;

@@ -1,6 +1,8 @@
-//! Shared `LinearOperator` conformance suite, run against all three
-//! realizations — the FFT pipeline, the direct `O(N_t²)` oracle, and the
-//! distributed matvec. One problem, one contract:
+//! Shared `LinearOperator` conformance suite, run against every
+//! realization — the FFT pipeline, the direct `O(N_t²)` oracle, the
+//! distributed matvec, and the multi-level Toeplitz operators
+//! (`NdCirculantEmbedding`, `TwoLevelToeplitz` on both the full-embedding
+//! and the split-FFT path). One contract:
 //!
 //! * `shape()` matches the operator's `(N_d·N_t, N_m·N_t)`;
 //! * the adjoint identity `⟨F·m, d⟩ == ⟨m, F*·d⟩` holds;
@@ -22,6 +24,7 @@ use fftmatvec::core::{
     OpDirection, OpError, OpShape, PrecisionConfig,
 };
 use fftmatvec::numeric::SplitMix64;
+use fftmatvec::toeplitz::{NdCirculantEmbedding, ToeplitzGenerator, TwoLevelToeplitz};
 
 /// Counts allocations made by the current thread.
 struct CountingAllocator;
@@ -64,10 +67,13 @@ fn operator(seed: u64) -> BlockToeplitzOperator {
     BlockToeplitzOperator::from_first_block_column(ND, NM, NT, &col).unwrap()
 }
 
-fn vectors(seed: u64) -> (Vec<f64>, Vec<f64>) {
+/// Input/output-sized random vectors for whatever shape `op` exposes —
+/// the suite is realization- and shape-generic.
+fn vectors(op: &dyn LinearOperator, seed: u64) -> (Vec<f64>, Vec<f64>) {
+    let shape = op.shape();
     let mut rng = SplitMix64::new(seed);
-    let mut m = vec![0.0; NM * NT];
-    let mut d = vec![0.0; ND * NT];
+    let mut m = vec![0.0; shape.cols];
+    let mut d = vec![0.0; shape.rows];
     rng.fill_uniform(&mut m, -1.0, 1.0);
     rng.fill_uniform(&mut d, -1.0, 1.0);
     (m, d)
@@ -77,11 +83,12 @@ fn vectors(seed: u64) -> (Vec<f64>, Vec<f64>) {
 /// realization must match its own allocating path bitwise); only the
 /// adjoint identity carries a roundoff budget, sized for the distributed
 /// reduction's reassociation.
-fn conformance(op: &dyn LinearOperator, name: &str) {
-    let (m, d) = vectors(42);
+fn conformance(op: &dyn LinearOperator, expected: OpShape, name: &str) {
+    let (m, d) = vectors(op, 42);
+    let (rows, cols) = (expected.rows, expected.cols);
 
     // Shape.
-    assert_eq!(op.shape(), OpShape::new(ND * NT, NM * NT), "{name}: shape");
+    assert_eq!(op.shape(), expected, "{name}: shape");
 
     // Adjoint identity.
     let fm = op.apply_forward(&m).unwrap();
@@ -94,22 +101,22 @@ fn conformance(op: &dyn LinearOperator, name: &str) {
     );
 
     // apply vs apply_into bit-equality (both directions).
-    let mut out = vec![f64::NAN; ND * NT];
+    let mut out = vec![f64::NAN; rows];
     op.apply_forward_into(&m, &mut out).unwrap();
     assert_eq!(out, fm, "{name}: forward into != alloc");
-    let mut back = vec![f64::NAN; NM * NT];
+    let mut back = vec![f64::NAN; cols];
     op.apply_adjoint_into(&d, &mut back).unwrap();
     assert_eq!(back, fsd, "{name}: adjoint into != alloc");
 
     // Flat strided batch equals per-item applies.
     let batch = 4;
-    let mut inputs = vec![0.0; batch * NM * NT];
+    let mut inputs = vec![0.0; batch * cols];
     SplitMix64::new(7).fill_uniform(&mut inputs, -1.0, 1.0);
-    let mut outputs = vec![0.0; batch * ND * NT];
+    let mut outputs = vec![0.0; batch * rows];
     op.apply_forward_many_into(&inputs, &mut outputs).unwrap();
     for b in 0..batch {
-        let single = op.apply_forward(&inputs[b * NM * NT..(b + 1) * NM * NT]).unwrap();
-        assert_eq!(&outputs[b * ND * NT..(b + 1) * ND * NT], &single[..], "{name}: batch b={b}");
+        let single = op.apply_forward(&inputs[b * cols..(b + 1) * cols]).unwrap();
+        assert_eq!(&outputs[b * rows..(b + 1) * rows], &single[..], "{name}: batch b={b}");
     }
 
     // Typed errors, not panics.
@@ -126,7 +133,7 @@ fn conformance(op: &dyn LinearOperator, name: &str) {
         matches!(op.apply_adjoint(&d[1..]), Err(OpError::InputLength { .. })),
         "{name}: short adjoint input"
     );
-    let mut ragged_out = vec![0.0; ND * NT];
+    let mut ragged_out = vec![0.0; rows];
     assert!(
         matches!(
             op.apply_many_into(OpDirection::Forward, &inputs[1..], &mut ragged_out),
@@ -146,9 +153,10 @@ fn conformance(op: &dyn LinearOperator, name: &str) {
 /// Assert `op` allocates nothing across repeated `_into` applies once
 /// warmed up.
 fn assert_zero_alloc(op: &dyn LinearOperator, name: &str) {
-    let (m, d) = vectors(13);
-    let mut fwd = vec![0.0; ND * NT];
-    let mut adj = vec![0.0; NM * NT];
+    let (m, d) = vectors(op, 13);
+    let shape = op.shape();
+    let mut fwd = vec![0.0; shape.rows];
+    let mut adj = vec![0.0; shape.cols];
     // Warm-up: fills workspace pools, scratch arenas, and any lazily
     // materialized precision casts of F̂.
     for _ in 0..3 {
@@ -172,7 +180,7 @@ fn assert_zero_alloc(op: &dyn LinearOperator, name: &str) {
 #[test]
 fn fft_matvec_conforms() {
     let mv = FftMatvec::builder(operator(1)).build().unwrap();
-    conformance(&mv, "FftMatvec[ddddd]");
+    conformance(&mv, OpShape::new(ND * NT, NM * NT), "FftMatvec[ddddd]");
     assert_zero_alloc(&mv, "FftMatvec[ddddd]");
 }
 
@@ -188,7 +196,7 @@ fn fft_matvec_conforms_mixed_precision() {
     // conformance applies — the adjoint identity tolerance would need the
     // FP32 budget. Run the double-precision suite pieces that transfer:
     assert_eq!(mv.shape(), OpShape::new(ND * NT, NM * NT));
-    let (m, _) = vectors(3);
+    let (m, _) = vectors(&mv, 3);
     let alloc = mv.apply_forward(&m).unwrap();
     let mut into = vec![0.0; ND * NT];
     mv.apply_forward_into(&m, &mut into).unwrap();
@@ -200,7 +208,7 @@ fn fft_matvec_conforms_mixed_precision() {
 fn direct_matvec_conforms() {
     let op = operator(4);
     let dm = DirectMatvec::new(&op);
-    conformance(&dm, "DirectMatvec");
+    conformance(&dm, OpShape::new(ND * NT, NM * NT), "DirectMatvec");
     assert_zero_alloc(&dm, "DirectMatvec");
 }
 
@@ -216,8 +224,75 @@ fn distributed_matvec_conforms() {
         PrecisionConfig::all_double(),
     )
     .unwrap();
-    conformance(&dist, "DistributedFftMatvec[2x3]");
+    conformance(&dist, OpShape::new(ND * NT, NM * NT), "DistributedFftMatvec[2x3]");
     assert_zero_alloc(&dist, "DistributedFftMatvec[2x3]");
+}
+
+/// Two-level generator with a lifted main diagonal, so the adjoint
+/// identity's relative tolerance is meaningful.
+fn toeplitz_gen(outer: (usize, usize), inner: (usize, usize), seed: u64) -> ToeplitzGenerator {
+    let diags_len = (outer.0 + outer.1 - 1) * (inner.0 + inner.1 - 1);
+    let mut diags = vec![0.0; diags_len];
+    SplitMix64::new(seed).fill_uniform(&mut diags, -1.0, 1.0);
+    diags[(outer.1 - 1) * (inner.0 + inner.1 - 1) + (inner.1 - 1)] += 4.0;
+    ToeplitzGenerator::two_level(outer, inner, diags).unwrap()
+}
+
+#[test]
+fn nd_circulant_embedding_conforms() {
+    // Three levels with rectangular extents — the general N-d case.
+    let mut diags = vec![0.0; 4 * 6 * 5];
+    SplitMix64::new(17).fill_uniform(&mut diags, -1.0, 1.0);
+    let gen = ToeplitzGenerator::new(&[(2, 3), (4, 3), (3, 3)], diags).unwrap();
+    let op = NdCirculantEmbedding::builder(gen).build().unwrap();
+    conformance(&op, OpShape::new(2 * 4 * 3, 3 * 3 * 3), "NdCirculantEmbedding[ddddd]");
+    assert_zero_alloc(&op, "NdCirculantEmbedding[ddddd]");
+}
+
+#[test]
+fn two_level_toeplitz_conforms() {
+    let op = TwoLevelToeplitz::builder(toeplitz_gen((3, 4), (5, 3), 23)).build().unwrap();
+    conformance(&op, OpShape::new(3 * 5, 4 * 3), "TwoLevelToeplitz[full,ddddd]");
+    assert_zero_alloc(&op, "TwoLevelToeplitz[full,ddddd]");
+}
+
+#[test]
+fn two_level_toeplitz_split_conforms() {
+    // Odd, non-square extents on the split-FFT path.
+    let op = TwoLevelToeplitz::builder(toeplitz_gen((5, 3), (3, 7), 29))
+        .split_fft(true)
+        .build()
+        .unwrap();
+    assert!(op.is_split());
+    conformance(&op, OpShape::new(5 * 3, 3 * 7), "TwoLevelToeplitz[split,ddddd]");
+    assert_zero_alloc(&op, "TwoLevelToeplitz[split,ddddd]");
+}
+
+#[test]
+fn toeplitz_conforms_mixed_precision() {
+    // Mixed tiers change values, so (as for the FFT pipeline above) only
+    // the value-independent suite pieces transfer: into-vs-alloc bit
+    // equality and the zero-allocation contract, on both paths.
+    let gen = toeplitz_gen((4, 4), (6, 5), 31);
+    for (split, name) in
+        [(false, "TwoLevelToeplitz[full,dssdd]"), (true, "TwoLevelToeplitz[split,dssdd]")]
+    {
+        let op = TwoLevelToeplitz::builder(gen.clone())
+            .precision("dssdd".parse().unwrap())
+            .split_fft(split)
+            .build()
+            .unwrap();
+        let (m, d) = vectors(&op, 37);
+        let fwd = op.apply_forward(&m).unwrap();
+        let mut fwd_into = vec![f64::NAN; op.shape().rows];
+        op.apply_forward_into(&m, &mut fwd_into).unwrap();
+        assert_eq!(fwd, fwd_into, "{name}: forward into != alloc");
+        let adj = op.apply_adjoint(&d).unwrap();
+        let mut adj_into = vec![f64::NAN; op.shape().cols];
+        op.apply_adjoint_into(&d, &mut adj_into).unwrap();
+        assert_eq!(adj, adj_into, "{name}: adjoint into != alloc");
+        assert_zero_alloc(&op, name);
+    }
 }
 
 #[test]
@@ -235,7 +310,7 @@ fn trait_objects_interchange() {
         PrecisionConfig::all_double(),
     )
     .unwrap();
-    let (m, _) = vectors(9);
+    let (m, _) = vectors(&fft, 9);
     let realizations: [&dyn LinearOperator; 3] = [&fft, &direct, &dist];
     let outputs: Vec<Vec<f64>> =
         realizations.iter().map(|r| r.apply_forward(&m).unwrap()).collect();
