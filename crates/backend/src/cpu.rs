@@ -1,0 +1,547 @@
+//! [`CpuPool`] — the default backend: the rayon-pool batched FFTs and
+//! SIMD kernels the workspace has always executed, behind the
+//! [`DeviceBackend`] trait.
+//!
+//! Every primitive here is the same code path the pre-trait pipeline ran
+//! (batched FFTs through [`fftmatvec_fft::BatchedRealFft`], casts
+//! elementwise through `f64`, the deterministic tree reduction from
+//! `fftmatvec-comm`), so results are **bit-identical** to the direct call
+//! path — the determinism gate pins this. Transfer accounting is a pair
+//! of relaxed atomic counters; no copies are added to the hot path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use fftmatvec_comm::collectives::tree_reduce_sum_in_place;
+use fftmatvec_fft::{BatchedRealFft, RealPlanHandle};
+use fftmatvec_numeric::{bf16, f16, Complex, ComplexBuffer, Precision, Real, RealBuffer};
+
+use crate::error::BackendError;
+use crate::kind::BackendKind;
+use crate::traits::{BatchFft, DeviceBackend, TransferStats};
+
+/// The CPU-pool backend (default). Cheap to construct; each operator
+/// build gets a fresh instance so transfer ledgers never alias.
+#[derive(Debug, Default)]
+pub struct CpuPool {
+    uploads: AtomicU64,
+    downloads: AtomicU64,
+    bytes_up: AtomicU64,
+    bytes_down: AtomicU64,
+}
+
+impl CpuPool {
+    /// A fresh CPU backend with a zeroed transfer ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// One planned tier of the CPU batched real FFT. Fresh per
+/// [`DeviceBackend::real_fft`] call (each handle owns its scratch arena);
+/// the plan itself is deduplicated by the process-wide plan cache, so
+/// same-length handles share twiddle tables.
+struct CpuFft<T: Real> {
+    tier: Precision,
+    n: usize,
+    engine: BatchedRealFft<T>,
+}
+
+impl<T: Real> std::fmt::Debug for CpuFft<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CpuFft").field("tier", &self.tier).field("n", &self.n).finish()
+    }
+}
+
+impl<T: Real> CpuFft<T> {
+    fn new(tier: Precision, n: usize) -> Self {
+        CpuFft { tier, n, engine: BatchedRealFft::new(n) }
+    }
+}
+
+macro_rules! impl_cpu_fft {
+    ($ty:ty, $rvar:ident, $cvar:ident, $handle:expr) => {
+        impl BatchFft for CpuFft<$ty> {
+            fn tier(&self) -> Precision {
+                self.tier
+            }
+
+            fn transform_len(&self) -> usize {
+                self.n
+            }
+
+            fn forward(
+                &self,
+                input: &RealBuffer,
+                output: &mut ComplexBuffer,
+            ) -> Result<(), BackendError> {
+                let v = match input {
+                    RealBuffer::$rvar(v) => v,
+                    other => {
+                        return Err(BackendError::TierMismatch {
+                            what: "batched FFT forward input",
+                            expected: self.tier,
+                            got: other.precision(),
+                        })
+                    }
+                };
+                let s = match output {
+                    ComplexBuffer::$cvar(s) => s,
+                    other => {
+                        return Err(BackendError::TierMismatch {
+                            what: "batched FFT forward output",
+                            expected: self.tier,
+                            got: other.precision(),
+                        })
+                    }
+                };
+                check_batch_lens(self.n, self.spectrum_len(), v.len(), s.len())?;
+                self.engine.forward_batch(v, s);
+                Ok(())
+            }
+
+            fn inverse(
+                &self,
+                spectrum: &ComplexBuffer,
+                output: &mut RealBuffer,
+            ) -> Result<(), BackendError> {
+                let s = match spectrum {
+                    ComplexBuffer::$cvar(s) => s,
+                    other => {
+                        return Err(BackendError::TierMismatch {
+                            what: "batched FFT inverse input",
+                            expected: self.tier,
+                            got: other.precision(),
+                        })
+                    }
+                };
+                let v = match output {
+                    RealBuffer::$rvar(v) => v,
+                    other => {
+                        return Err(BackendError::TierMismatch {
+                            what: "batched FFT inverse output",
+                            expected: self.tier,
+                            got: other.precision(),
+                        })
+                    }
+                };
+                check_batch_lens(self.n, self.spectrum_len(), v.len(), s.len())?;
+                self.engine.inverse_batch(s, v);
+                Ok(())
+            }
+
+            fn scratch_pooled(&self) -> usize {
+                self.engine.scratch_pooled()
+            }
+
+            fn plan_handle_f64(&self) -> Option<RealPlanHandle<f64>> {
+                #[allow(clippy::redundant_closure_call)]
+                ($handle)(self)
+            }
+        }
+    };
+}
+
+impl_cpu_fft!(f16, F16, C16, |_s: &CpuFft<f16>| None);
+impl_cpu_fft!(bf16, BF16, CB16, |_s: &CpuFft<bf16>| None);
+impl_cpu_fft!(f32, F32, C32, |_s: &CpuFft<f32>| None);
+impl_cpu_fft!(f64, F64, C64, |s: &CpuFft<f64>| Some(s.engine.plan_handle().clone()));
+
+/// Validate the batched-FFT length contract: `time` holds whole
+/// transforms and `spec` the matching packed spectra.
+fn check_batch_lens(
+    n: usize,
+    nfreq: usize,
+    time_len: usize,
+    spec_len: usize,
+) -> Result<(), BackendError> {
+    if n == 0 || time_len % n != 0 {
+        return Err(BackendError::LengthMismatch {
+            what: "batched FFT time buffer (whole transforms required)",
+            expected: n,
+            got: time_len,
+        });
+    }
+    let batch = time_len / n;
+    if spec_len != batch * nfreq {
+        return Err(BackendError::LengthMismatch {
+            what: "batched FFT spectrum buffer",
+            expected: batch * nfreq,
+            got: spec_len,
+        });
+    }
+    Ok(())
+}
+
+/// Construct the tier-matched CPU FFT handle.
+pub(crate) fn new_cpu_fft(p: Precision, n: usize) -> Arc<dyn BatchFft> {
+    match p {
+        Precision::Half => Arc::new(CpuFft::<f16>::new(p, n)),
+        Precision::BFloat16 => Arc::new(CpuFft::<bf16>::new(p, n)),
+        Precision::Single => Arc::new(CpuFft::<f32>::new(p, n)),
+        Precision::Double => Arc::new(CpuFft::<f64>::new(p, n)),
+    }
+}
+
+/// Upload: host `f64` into tier `p` — one rounding per element.
+pub(crate) fn upload_impl(src: &[f64], p: Precision, dst: &mut RealBuffer) {
+    dst.reset_for_overwrite(p, src.len());
+    fn fill<T: Real>(src: &[f64], v: &mut [T]) {
+        for (o, &x) in v.iter_mut().zip(src) {
+            *o = T::from_f64(x);
+        }
+    }
+    match dst {
+        RealBuffer::F16(v) => fill(src, v),
+        RealBuffer::BF16(v) => fill(src, v),
+        RealBuffer::F32(v) => fill(src, v),
+        RealBuffer::F64(v) => fill(src, v),
+    }
+}
+
+/// Download: tier buffer back to host `f64` — exact widening.
+pub(crate) fn download_impl(src: &RealBuffer, dst: &mut [f64]) -> Result<(), BackendError> {
+    if src.len() != dst.len() {
+        return Err(BackendError::LengthMismatch {
+            what: "download destination",
+            expected: src.len(),
+            got: dst.len(),
+        });
+    }
+    for (i, o) in dst.iter_mut().enumerate() {
+        *o = src.get(i);
+    }
+    Ok(())
+}
+
+/// Pointwise `io ⊙= sym` (`⊙= conj(sym)` when `conj`), both in the same
+/// tier — the multi-level pipelines' Sbgemv phase.
+pub(crate) fn pointwise_impl(
+    io: &mut ComplexBuffer,
+    sym: &ComplexBuffer,
+    conj: bool,
+) -> Result<(), BackendError> {
+    if io.len() != sym.len() {
+        return Err(BackendError::LengthMismatch {
+            what: "pointwise symbol multiply",
+            expected: sym.len(),
+            got: io.len(),
+        });
+    }
+    fn go<T: Real>(grid: &mut [Complex<T>], sym: &[Complex<T>], conj: bool) {
+        if conj {
+            for (g, s) in grid.iter_mut().zip(sym) {
+                *g *= s.conj();
+            }
+        } else {
+            for (g, s) in grid.iter_mut().zip(sym) {
+                *g *= *s;
+            }
+        }
+    }
+    match (io, sym) {
+        (ComplexBuffer::C16(g), ComplexBuffer::C16(s)) => go(g, s, conj),
+        (ComplexBuffer::CB16(g), ComplexBuffer::CB16(s)) => go(g, s, conj),
+        (ComplexBuffer::C32(g), ComplexBuffer::C32(s)) => go(g, s, conj),
+        (ComplexBuffer::C64(g), ComplexBuffer::C64(s)) => go(g, s, conj),
+        (io, sym) => {
+            return Err(BackendError::TierMismatch {
+                what: "pointwise symbol multiply",
+                expected: sym.precision(),
+                got: io.precision(),
+            })
+        }
+    }
+    Ok(())
+}
+
+/// Phase-boundary real cast into tier `p`, elementwise through `f64`
+/// (exact widening, a single correct rounding on narrowing). Both
+/// variants resolve once; the inner loop is a monomorphized
+/// slice-to-slice cast.
+pub(crate) fn cast_real_impl(src: &RealBuffer, p: Precision, dst: &mut RealBuffer) {
+    dst.reset_for_overwrite(p, src.len());
+    fn fill<Tin: Real, Tout: Real>(src: &[Tin], out: &mut [Tout]) {
+        for (o, &x) in out.iter_mut().zip(src) {
+            *o = Tout::from_f64(x.to_f64());
+        }
+    }
+    macro_rules! arms {
+        ($s:expr, $($var:ident),+) => {
+            match dst {
+                $(RealBuffer::$var(o) => fill($s, o),)+
+            }
+        };
+    }
+    match src {
+        RealBuffer::F16(s) => arms!(s, F16, BF16, F32, F64),
+        RealBuffer::BF16(s) => arms!(s, F16, BF16, F32, F64),
+        RealBuffer::F32(s) => arms!(s, F16, BF16, F32, F64),
+        RealBuffer::F64(s) => arms!(s, F16, BF16, F32, F64),
+    }
+}
+
+/// Phase-boundary complex cast into tier `p`, elementwise through `f64`
+/// (exact widening, a single correct rounding per component on
+/// narrowing). Both variants resolve once, like [`cast_real_impl`] — a
+/// per-element enum match here costs ~3x on the pipeline's phase
+/// boundaries, which the `bench_backend` dispatch gate would flag.
+pub(crate) fn cast_complex_impl(src: &ComplexBuffer, p: Precision, dst: &mut ComplexBuffer) {
+    dst.reset_for_overwrite(p, src.len());
+    fn fill<Tin: Real, Tout: Real>(src: &[Complex<Tin>], out: &mut [Complex<Tout>]) {
+        for (o, z) in out.iter_mut().zip(src) {
+            *o = Complex::new(Tout::from_f64(z.re.to_f64()), Tout::from_f64(z.im.to_f64()));
+        }
+    }
+    macro_rules! arms {
+        ($s:expr, $($var:ident),+) => {
+            match dst {
+                $(ComplexBuffer::$var(o) => fill($s, o),)+
+            }
+        };
+    }
+    match src {
+        ComplexBuffer::C16(s) => arms!(s, C16, CB16, C32, C64),
+        ComplexBuffer::CB16(s) => arms!(s, C16, CB16, C32, C64),
+        ComplexBuffer::C32(s) => arms!(s, C16, CB16, C32, C64),
+        ComplexBuffer::C64(s) => arms!(s, C16, CB16, C32, C64),
+    }
+}
+
+/// Deterministic tree reduction of the `flat.len()/len` parts into
+/// `flat[..len]`.
+pub(crate) fn tree_reduce_impl(flat: &mut RealBuffer, len: usize) -> Result<(), BackendError> {
+    if len == 0 || flat.len() % len != 0 {
+        return Err(BackendError::LengthMismatch {
+            what: "tree-reduce buffer (whole parts required)",
+            expected: len,
+            got: flat.len(),
+        });
+    }
+    match flat {
+        RealBuffer::F16(v) => tree_reduce_sum_in_place(v, len),
+        RealBuffer::BF16(v) => tree_reduce_sum_in_place(v, len),
+        RealBuffer::F32(v) => tree_reduce_sum_in_place(v, len),
+        RealBuffer::F64(v) => tree_reduce_sum_in_place(v, len),
+    }
+    Ok(())
+}
+
+impl DeviceBackend for CpuPool {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Cpu
+    }
+
+    fn name(&self) -> &'static str {
+        "cpu-pool"
+    }
+
+    fn upload_f64(
+        &self,
+        src: &[f64],
+        p: Precision,
+        dst: &mut RealBuffer,
+    ) -> Result<(), BackendError> {
+        upload_impl(src, p, dst);
+        self.record_upload(std::mem::size_of_val(src));
+        Ok(())
+    }
+
+    fn download_f64(&self, src: &RealBuffer, dst: &mut [f64]) -> Result<(), BackendError> {
+        download_impl(src, dst)?;
+        self.record_download(std::mem::size_of_val(dst));
+        Ok(())
+    }
+
+    fn record_upload(&self, bytes: usize) {
+        self.uploads.fetch_add(1, Ordering::Relaxed);
+        self.bytes_up.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    fn record_download(&self, bytes: usize) {
+        self.downloads.fetch_add(1, Ordering::Relaxed);
+        self.bytes_down.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    fn transfers(&self) -> TransferStats {
+        TransferStats {
+            uploads: self.uploads.load(Ordering::Relaxed),
+            downloads: self.downloads.load(Ordering::Relaxed),
+            bytes_up: self.bytes_up.load(Ordering::Relaxed),
+            bytes_down: self.bytes_down.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset_transfers(&self) {
+        self.uploads.store(0, Ordering::Relaxed);
+        self.downloads.store(0, Ordering::Relaxed);
+        self.bytes_up.store(0, Ordering::Relaxed);
+        self.bytes_down.store(0, Ordering::Relaxed);
+    }
+
+    fn real_fft(&self, p: Precision, n: usize) -> Result<Arc<dyn BatchFft>, BackendError> {
+        Ok(new_cpu_fft(p, n))
+    }
+
+    fn pointwise_multiply(
+        &self,
+        io: &mut ComplexBuffer,
+        sym: &ComplexBuffer,
+        conj: bool,
+    ) -> Result<(), BackendError> {
+        pointwise_impl(io, sym, conj)
+    }
+
+    fn cast_real(
+        &self,
+        src: &RealBuffer,
+        p: Precision,
+        dst: &mut RealBuffer,
+    ) -> Result<(), BackendError> {
+        cast_real_impl(src, p, dst);
+        Ok(())
+    }
+
+    fn cast_complex(
+        &self,
+        src: &ComplexBuffer,
+        p: Precision,
+        dst: &mut ComplexBuffer,
+    ) -> Result<(), BackendError> {
+        cast_complex_impl(src, p, dst);
+        Ok(())
+    }
+
+    fn tree_reduce(&self, flat: &mut RealBuffer, len: usize) -> Result<(), BackendError> {
+        tree_reduce_impl(flat, len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fftmatvec_numeric::C64;
+
+    #[test]
+    fn forward_inverse_roundtrip_f64() {
+        let pool = CpuPool::new();
+        let n = 16;
+        let fft = pool.real_fft(Precision::Double, n).unwrap();
+        assert_eq!(fft.tier(), Precision::Double);
+        assert_eq!(fft.transform_len(), n);
+        assert_eq!(fft.spectrum_len(), n / 2 + 1);
+        let x: Vec<f64> = (0..2 * n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let input = RealBuffer::from_f64(Precision::Double, &x);
+        let mut spec = ComplexBuffer::zeros(Precision::Double, 2 * (n / 2 + 1));
+        fft.forward(&input, &mut spec).unwrap();
+        let mut back = RealBuffer::zeros(Precision::Double, 2 * n);
+        fft.inverse(&spec, &mut back).unwrap();
+        for i in 0..2 * n {
+            assert!((back.get(i) - x[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn tier_and_length_mismatches_are_typed() {
+        let pool = CpuPool::new();
+        let fft = pool.real_fft(Precision::Double, 8).unwrap();
+        let wrong_tier = RealBuffer::zeros(Precision::Single, 8);
+        let mut spec = ComplexBuffer::zeros(Precision::Double, 5);
+        assert!(matches!(
+            fft.forward(&wrong_tier, &mut spec),
+            Err(BackendError::TierMismatch { .. })
+        ));
+        let ragged = RealBuffer::zeros(Precision::Double, 9);
+        assert!(matches!(
+            fft.forward(&ragged, &mut spec),
+            Err(BackendError::LengthMismatch { .. })
+        ));
+        let ok_in = RealBuffer::zeros(Precision::Double, 8);
+        let mut short = ComplexBuffer::zeros(Precision::Double, 4);
+        assert!(matches!(
+            fft.forward(&ok_in, &mut short),
+            Err(BackendError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn pointwise_matches_scalar_reference() {
+        let pool = CpuPool::new();
+        let a: Vec<C64> = (0..6).map(|i| C64::new(i as f64, 1.0 - i as f64)).collect();
+        let b: Vec<C64> = (0..6).map(|i| C64::new(0.5 * i as f64, 0.25)).collect();
+        let mut io = ComplexBuffer::from_c64(Precision::Double, &a);
+        let sym = ComplexBuffer::from_c64(Precision::Double, &b);
+        pool.pointwise_multiply(&mut io, &sym, false).unwrap();
+        for i in 0..6 {
+            let want = a[i] * b[i];
+            let got = io.get(i);
+            assert_eq!(got.re.to_bits(), want.re.to_bits());
+            assert_eq!(got.im.to_bits(), want.im.to_bits());
+        }
+        let mut io = ComplexBuffer::from_c64(Precision::Double, &a);
+        pool.pointwise_multiply(&mut io, &sym, true).unwrap();
+        for i in 0..6 {
+            let want = a[i] * b[i].conj();
+            assert_eq!(io.get(i), want);
+        }
+    }
+
+    #[test]
+    fn casts_single_round_through_f64() {
+        let pool = CpuPool::new();
+        let src = RealBuffer::from_f64(Precision::Double, &[1.0 + 2f64.powi(-30), -2.0]);
+        let mut dst = RealBuffer::zeros(Precision::Single, 0);
+        pool.cast_real(&src, Precision::Single, &mut dst).unwrap();
+        assert_eq!(dst.len(), 2);
+        assert_eq!(dst.precision(), Precision::Single);
+        assert_eq!(dst.get(0), 1.0);
+        let csrc =
+            ComplexBuffer::from_c64(Precision::Double, &[C64::new(1.0 + 2f64.powi(-30), -2.0)]);
+        let mut cdst = ComplexBuffer::zeros(Precision::Half, 0);
+        pool.cast_complex(&csrc, Precision::Single, &mut cdst).unwrap();
+        assert_eq!(cdst.precision(), Precision::Single);
+        assert_eq!(cdst.get(0), C64::new(1.0, -2.0));
+    }
+
+    #[test]
+    fn tree_reduce_sums_parts_deterministically() {
+        let pool = CpuPool::new();
+        let mut flat =
+            RealBuffer::from_f64(Precision::Double, &[1.0, 2.0, 10.0, 20.0, 100.0, 200.0]);
+        pool.tree_reduce(&mut flat, 2).unwrap();
+        assert_eq!(flat.get(0), 111.0);
+        assert_eq!(flat.get(1), 222.0);
+        let mut bad = RealBuffer::zeros(Precision::Double, 5);
+        assert!(matches!(pool.tree_reduce(&mut bad, 2), Err(BackendError::LengthMismatch { .. })));
+    }
+
+    #[test]
+    fn transfer_ledger_counts_events_and_bytes() {
+        let pool = CpuPool::new();
+        let host = [1.0f64, 2.0, 3.0];
+        let mut dev = RealBuffer::zeros(Precision::Half, 0);
+        pool.upload_f64(&host, Precision::Half, &mut dev).unwrap();
+        let mut back = [0.0f64; 3];
+        pool.download_f64(&dev, &mut back).unwrap();
+        assert_eq!(back, [1.0, 2.0, 3.0]);
+        let t = pool.transfers();
+        assert_eq!(t.uploads, 1);
+        assert_eq!(t.downloads, 1);
+        assert_eq!(t.bytes_up, 24);
+        assert_eq!(t.bytes_down, 24);
+        assert_eq!(t.total_bytes(), 48);
+        pool.reset_transfers();
+        assert_eq!(pool.transfers(), TransferStats::default());
+        assert!(pool.modeled_times().is_none());
+    }
+
+    #[test]
+    fn f64_handle_exposes_the_shared_plan() {
+        let pool = CpuPool::new();
+        let a = pool.real_fft(Precision::Double, 24).unwrap();
+        let b = pool.real_fft(Precision::Double, 24).unwrap();
+        let (ha, hb) = (a.plan_handle_f64().unwrap(), b.plan_handle_f64().unwrap());
+        assert!(Arc::ptr_eq(&ha, &hb), "same-length f64 handles must share the cached plan");
+        assert!(pool.real_fft(Precision::Single, 24).unwrap().plan_handle_f64().is_none());
+    }
+}

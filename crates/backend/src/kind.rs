@@ -1,0 +1,115 @@
+//! Backend identity and selection.
+//!
+//! [`BackendKind`] names the registered backends; [`BackendKind::resolve`]
+//! implements the selection precedence **builder > environment > default**.
+//! The environment override [`BACKEND_ENV`] mirrors `FFTMATVEC_SIMD` and is
+//! read on every resolution (never cached), so test harnesses — the
+//! determinism gate in particular — can set it per child process.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::BackendError;
+
+/// Environment variable selecting the default backend when the builder
+/// does not name one explicitly. Accepted values: `cpu`, `simulated`,
+/// `portability` (case-insensitive). Unknown values are a typed
+/// [`BackendError::UnknownBackend`] at build time.
+pub const BACKEND_ENV: &str = "FFTMATVEC_BACKEND";
+
+/// Which device backend executes the pipeline primitives.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum BackendKind {
+    /// The rayon-pool + SIMD CPU kernels — bit-identical to the direct
+    /// call path and the default.
+    #[default]
+    Cpu,
+    /// CPU execution (same bits as [`BackendKind::Cpu`]) plus modeled
+    /// device timings from the `fftmatvec-gpu` cost model.
+    Simulated,
+    /// The CUDA/hipify kernel sources from `fftmatvec-portability`;
+    /// validates offline, returns `Unavailable` at execution time.
+    Portability,
+}
+
+impl BackendKind {
+    /// Stable lowercase name (the value accepted by [`BACKEND_ENV`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Cpu => "cpu",
+            BackendKind::Simulated => "simulated",
+            BackendKind::Portability => "portability",
+        }
+    }
+
+    /// Read (and validate) the [`BACKEND_ENV`] override. `Ok(None)` when
+    /// unset or blank; `Err` when set to an unknown name.
+    pub fn from_env() -> Result<Option<Self>, BackendError> {
+        match std::env::var(BACKEND_ENV) {
+            Ok(s) if !s.trim().is_empty() => s.parse().map(Some),
+            _ => Ok(None),
+        }
+    }
+
+    /// Resolve the effective backend: an explicit builder choice wins,
+    /// then the environment override, then [`BackendKind::Cpu`].
+    pub fn resolve(explicit: Option<BackendKind>) -> Result<BackendKind, BackendError> {
+        if let Some(kind) = explicit {
+            return Ok(kind);
+        }
+        Ok(Self::from_env()?.unwrap_or_default())
+    }
+}
+
+impl FromStr for BackendKind {
+    type Err = BackendError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "cpu" => Ok(BackendKind::Cpu),
+            "simulated" => Ok(BackendKind::Simulated),
+            "portability" => Ok(BackendKind::Portability),
+            _ => Err(BackendError::UnknownBackend { name: s.trim().to_string() }),
+        }
+    }
+}
+
+impl fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip_through_parse() {
+        for kind in [BackendKind::Cpu, BackendKind::Simulated, BackendKind::Portability] {
+            assert_eq!(kind.name().parse::<BackendKind>().unwrap(), kind);
+            assert_eq!(kind.to_string(), kind.name());
+        }
+        assert_eq!("  Simulated ".parse::<BackendKind>().unwrap(), BackendKind::Simulated);
+    }
+
+    #[test]
+    fn unknown_name_is_a_typed_error() {
+        let err = "tpu".parse::<BackendKind>().unwrap_err();
+        assert_eq!(err, BackendError::UnknownBackend { name: "tpu".into() });
+    }
+
+    #[test]
+    fn explicit_choice_beats_everything() {
+        assert_eq!(
+            BackendKind::resolve(Some(BackendKind::Simulated)).unwrap(),
+            BackendKind::Simulated
+        );
+    }
+
+    #[test]
+    fn default_is_cpu() {
+        assert_eq!(BackendKind::default(), BackendKind::Cpu);
+    }
+}

@@ -1,0 +1,53 @@
+//! # fftmatvec-backend — the device-dispatch seam
+//!
+//! The paper's claim is *performance portability*: the same FFT-based
+//! block-Toeplitz algorithms running across CPU and GPU device tiers.
+//! This crate is the seam that makes the claim structural instead of
+//! aspirational: one object-safe [`DeviceBackend`] trait exposing exactly
+//! the five primitives every matvec path in the workspace actually uses —
+//!
+//! 1. **typed device buffers** — alloc / upload / download with explicit
+//!    transfer accounting ([`TransferStats`]);
+//! 2. **batched real FFT execution** — [`BatchFft`] handles returned by
+//!    [`DeviceBackend::real_fft`], one per precision tier;
+//! 3. **pointwise complex multiply** — the degenerate 1×1 frequency-domain
+//!    product the multi-level circulant pipelines run instead of SBGEMV;
+//! 4. **batched cast** — the phase-boundary tier changes
+//!    (double-rounding-safe, elementwise through `f64`);
+//! 5. **tree-reduce** — the bit-deterministic partial-sum reduction the
+//!    distributed matvec performs in its output precision.
+//!
+//! Three backends ship:
+//!
+//! * [`CpuPool`] — the rayon-pool + SIMD kernels the workspace has always
+//!   run on, **bit-identical** to the direct call path and the default;
+//! * [`SimulatedDevice`] — the `fftmatvec-gpu` analytical cost model
+//!   recast as a backend: arithmetic executes on the CPU (same bits as
+//!   [`CpuPool`]), but every primitive also books modeled device time
+//!   into a [`fftmatvec_gpu::PhaseTimes`] ledger, and transfers are
+//!   charged against a host-link bandwidth model;
+//! * a **portability** backend registered by `fftmatvec-portability`
+//!   (see [`registry::register_portability`]) that validates the real
+//!   CUDA/HIP kernel sources as far as an offline environment allows and
+//!   returns [`BackendError::Unavailable`] at execution time — the
+//!   landing pad for real GPU execution.
+//!
+//! Selection precedence is **builder > environment > default**: an
+//! explicit `.backend(..)` wins, otherwise the `FFTMATVEC_BACKEND`
+//! environment variable (mirroring `FFTMATVEC_SIMD`; read per build, not
+//! cached) is consulted, otherwise [`BackendKind::Cpu`]. Unknown or
+//! unregistered selections are typed [`BackendError`]s, never panics.
+
+pub mod cpu;
+pub mod error;
+pub mod kind;
+pub mod registry;
+pub mod simulated;
+pub mod traits;
+
+pub use cpu::CpuPool;
+pub use error::BackendError;
+pub use kind::{BackendKind, BACKEND_ENV};
+pub use registry::{create, register_portability};
+pub use simulated::SimulatedDevice;
+pub use traits::{BatchFft, DeviceBackend, TransferStats};

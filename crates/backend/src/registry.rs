@@ -1,0 +1,86 @@
+//! Backend construction and the portability registration hook.
+//!
+//! [`create`] maps a resolved [`BackendKind`] to a live backend. The CPU
+//! and simulated backends are constructed here directly. The portability
+//! backend lives *above* this crate in the dependency DAG
+//! (`fftmatvec-portability` needs the hipify pipeline), so it registers a
+//! factory through [`register_portability`]; selecting
+//! [`BackendKind::Portability`] before that registration is a typed
+//! [`BackendError::Unavailable`], never a panic.
+
+use std::sync::{Arc, OnceLock};
+
+use crate::cpu::CpuPool;
+use crate::error::BackendError;
+use crate::kind::BackendKind;
+use crate::simulated::SimulatedDevice;
+use crate::traits::DeviceBackend;
+
+/// Factory signature for externally registered backends.
+pub type BackendFactory = fn() -> Result<Arc<dyn DeviceBackend>, BackendError>;
+
+static PORTABILITY: OnceLock<BackendFactory> = OnceLock::new();
+
+/// Register the portability backend factory (called by
+/// `fftmatvec_portability::install()`). Returns `false` if a factory was
+/// already registered (the first registration wins; re-installs are
+/// harmless no-ops).
+pub fn register_portability(factory: BackendFactory) -> bool {
+    PORTABILITY.set(factory).is_ok()
+}
+
+/// Whether a portability factory has been registered in this process.
+pub fn portability_registered() -> bool {
+    PORTABILITY.get().is_some()
+}
+
+/// Construct a live backend for `kind`. Each call returns a fresh
+/// instance (fresh transfer ledger / modeled clock) so operators never
+/// alias accounting state.
+pub fn create(kind: BackendKind) -> Result<Arc<dyn DeviceBackend>, BackendError> {
+    match kind {
+        BackendKind::Cpu => Ok(Arc::new(CpuPool::new())),
+        BackendKind::Simulated => Ok(Arc::new(SimulatedDevice::default())),
+        BackendKind::Portability => match PORTABILITY.get() {
+            Some(factory) => factory(),
+            None => Err(BackendError::Unavailable {
+                backend: "portability",
+                reason: "no portability backend registered in this process; call \
+                         fftmatvec_portability::install() first"
+                    .into(),
+            }),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_and_simulated_construct_fresh_instances() {
+        let a = create(BackendKind::Cpu).unwrap();
+        let b = create(BackendKind::Cpu).unwrap();
+        assert_eq!(a.kind(), BackendKind::Cpu);
+        a.record_upload(64);
+        assert_eq!(a.transfers().bytes_up, 64);
+        assert_eq!(b.transfers().bytes_up, 0, "ledgers must not alias");
+        let sim = create(BackendKind::Simulated).unwrap();
+        assert_eq!(sim.kind(), BackendKind::Simulated);
+        assert!(sim.modeled_times().is_some());
+    }
+
+    #[test]
+    fn unregistered_portability_is_a_typed_error() {
+        // This test must not race with a registration from another test
+        // binary: within this crate nothing registers, so the factory is
+        // absent and selection fails typed.
+        if portability_registered() {
+            return;
+        }
+        match create(BackendKind::Portability) {
+            Err(BackendError::Unavailable { backend, .. }) => assert_eq!(backend, "portability"),
+            other => panic!("expected Unavailable, got {other:?}"),
+        }
+    }
+}

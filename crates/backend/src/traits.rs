@@ -1,0 +1,185 @@
+//! The [`DeviceBackend`] and [`BatchFft`] traits plus the transfer
+//! accounting type.
+//!
+//! Both traits are object-safe: the pipeline crates hold
+//! `Arc<dyn DeviceBackend>` / `Arc<dyn BatchFft>` and never name a
+//! concrete backend. Buffers are the workspace's tier-tagged
+//! [`RealBuffer`]/[`ComplexBuffer`] enums — a backend that keeps device
+//! memory would mirror them into device allocations behind the same
+//! handle types; the shipping backends execute host-side, so the
+//! "device buffer" *is* the host buffer and uploads/downloads are casts
+//! plus accounting.
+
+use std::fmt::Debug;
+use std::sync::Arc;
+
+use fftmatvec_fft::RealPlanHandle;
+use fftmatvec_gpu::PhaseTimes;
+use fftmatvec_numeric::{ComplexBuffer, Precision, RealBuffer};
+
+use crate::error::BackendError;
+use crate::kind::BackendKind;
+
+/// Explicit host↔device transfer accounting.
+///
+/// `uploads`/`downloads` count *logical* transfer events (one per pipeline
+/// edge crossing), `bytes_up`/`bytes_down` the payload they moved. The CPU
+/// backend keeps the ledger at zero cost (relaxed atomics); the simulated
+/// backend additionally charges modeled host-link time to `Phase::Comm`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TransferStats {
+    /// Host→device transfer events.
+    pub uploads: u64,
+    /// Device→host transfer events.
+    pub downloads: u64,
+    /// Bytes moved host→device.
+    pub bytes_up: u64,
+    /// Bytes moved device→host.
+    pub bytes_down: u64,
+}
+
+impl TransferStats {
+    /// Total bytes crossing the link in either direction.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_up + self.bytes_down
+    }
+}
+
+/// A planned batched real-to-complex FFT on one backend, pinned to one
+/// precision tier and one transform length.
+///
+/// Handles are created by [`DeviceBackend::real_fft`] and own their
+/// scratch (plans themselves are shared through the process-wide plan
+/// cache, so same-length handles alias the same twiddle tables). The
+/// forward transform maps `batch` contiguous length-`n` real series to
+/// `batch` packed spectra of `n/2 + 1` bins; the inverse is its scaled
+/// adjoint.
+pub trait BatchFft: Send + Sync + Debug {
+    /// The precision tier this handle was planned for.
+    fn tier(&self) -> Precision;
+
+    /// Transform length `n` (the padded series length `2·N_t`).
+    fn transform_len(&self) -> usize;
+
+    /// Packed spectrum bins per transform: `n/2 + 1`.
+    fn spectrum_len(&self) -> usize {
+        self.transform_len() / 2 + 1
+    }
+
+    /// Batched R2C forward. `input.len()` must be a multiple of
+    /// [`Self::transform_len`]; `output` must hold `batch ·
+    /// spectrum_len()` bins in the handle's tier.
+    fn forward(&self, input: &RealBuffer, output: &mut ComplexBuffer) -> Result<(), BackendError>;
+
+    /// Batched C2R inverse (scaled by `1/n`), the adjoint layout of
+    /// [`Self::forward`].
+    fn inverse(
+        &self,
+        spectrum: &ComplexBuffer,
+        output: &mut RealBuffer,
+    ) -> Result<(), BackendError>;
+
+    /// Scratch buffers currently parked in this handle's arena (the
+    /// zero-alloc steady-state observable the workspace tests assert on).
+    fn scratch_pooled(&self) -> usize;
+
+    /// The shared `f64` plan handle, when this handle is the `f64` tier —
+    /// callers use pointer equality to verify plan-cache sharing.
+    fn plan_handle_f64(&self) -> Option<RealPlanHandle<f64>>;
+}
+
+/// One device backend: the five primitives every matvec path uses.
+///
+/// Implementations must be `Send + Sync` — one backend instance is shared
+/// by every workspace of an operator and by the batched `apply_many`
+/// rayon tasks.
+pub trait DeviceBackend: Send + Sync + Debug {
+    /// Which registered backend this is.
+    fn kind(&self) -> BackendKind;
+
+    /// Human-readable name for reports (device model for simulated
+    /// backends).
+    fn name(&self) -> &'static str;
+
+    /// Allocate a zeroed device-resident real buffer.
+    fn alloc_real(&self, p: Precision, n: usize) -> RealBuffer {
+        RealBuffer::zeros(p, n)
+    }
+
+    /// Allocate a zeroed device-resident complex buffer.
+    fn alloc_complex(&self, p: Precision, n: usize) -> ComplexBuffer {
+        ComplexBuffer::zeros(p, n)
+    }
+
+    /// Copy host `f64` data into a device buffer in tier `p` (one rounding
+    /// per element), recording the transfer.
+    fn upload_f64(
+        &self,
+        src: &[f64],
+        p: Precision,
+        dst: &mut RealBuffer,
+    ) -> Result<(), BackendError>;
+
+    /// Copy a device buffer back to host `f64` (exact widening), recording
+    /// the transfer.
+    fn download_f64(&self, src: &RealBuffer, dst: &mut [f64]) -> Result<(), BackendError>;
+
+    /// Account a host→device crossing of `bytes` that the pipeline
+    /// performed in place (the CPU path's "upload" is the fused pad cast —
+    /// no copy happens, but the edge is still a transfer on a real
+    /// device).
+    fn record_upload(&self, bytes: usize);
+
+    /// Account a device→host crossing of `bytes` (the unpad edge).
+    fn record_download(&self, bytes: usize);
+
+    /// Snapshot of the transfer ledger.
+    fn transfers(&self) -> TransferStats;
+
+    /// Reset the transfer ledger (and modeled times, where kept).
+    fn reset_transfers(&self);
+
+    /// Plan a batched real FFT of length `n` in tier `p`.
+    fn real_fft(&self, p: Precision, n: usize) -> Result<Arc<dyn BatchFft>, BackendError>;
+
+    /// Pointwise frequency-domain symbol multiply `io ⊙= sym` (or
+    /// `⊙= conj(sym)` for the adjoint). Tiers of `io` and `sym` must
+    /// match.
+    fn pointwise_multiply(
+        &self,
+        io: &mut ComplexBuffer,
+        sym: &ComplexBuffer,
+        conj: bool,
+    ) -> Result<(), BackendError>;
+
+    /// Batched phase-boundary cast of a real buffer into tier `p`
+    /// (elementwise through `f64`: exact widening, a single correct
+    /// rounding on narrowing). Resets `dst` to `(p, src.len())`.
+    fn cast_real(
+        &self,
+        src: &RealBuffer,
+        p: Precision,
+        dst: &mut RealBuffer,
+    ) -> Result<(), BackendError>;
+
+    /// Batched phase-boundary cast of a complex buffer into tier `p`,
+    /// same rounding contract as [`Self::cast_real`].
+    fn cast_complex(
+        &self,
+        src: &ComplexBuffer,
+        p: Precision,
+        dst: &mut ComplexBuffer,
+    ) -> Result<(), BackendError>;
+
+    /// Bit-deterministic tree reduction: sum the `flat.len()/len` parts of
+    /// `flat` into `flat[..len]` with a fixed association order
+    /// (independent of thread count).
+    fn tree_reduce(&self, flat: &mut RealBuffer, len: usize) -> Result<(), BackendError>;
+
+    /// Modeled device phase times accumulated since the last reset, for
+    /// backends that keep a clock ([`crate::SimulatedDevice`]); `None`
+    /// for backends that execute for real.
+    fn modeled_times(&self) -> Option<PhaseTimes> {
+        None
+    }
+}

@@ -10,7 +10,10 @@
 //! `bench_matvec`-shaped workloads plus the batched-FFT and
 //! tree-reduction hot paths and prints an order- and bit-sensitive
 //! FNV-1a digest of every output vector; the parent fails on any
-//! difference between the children's reports.
+//! difference between the children's reports. Two extra legs pin the
+//! other process-global dispatch switches: SIMD forced portable
+//! (`FFTMATVEC_SIMD=portable`) and the simulated device backend
+//! (`FFTMATVEC_BACKEND=simulated`) must both be byte-identical too.
 //!
 //! Run: `cargo run --release -p fftmatvec-bench --bin determinism_gate`
 //! Flags:
@@ -148,8 +151,8 @@ fn main() {
     assert!(counts.len() >= 2, "need at least two thread counts to compare");
 
     println!(
-        "Determinism gate: byte-identical outputs at RAYON_NUM_THREADS = {spec} \
-         and with SIMD dispatch forced portable"
+        "Determinism gate: byte-identical outputs at RAYON_NUM_THREADS = {spec}, \
+         with SIMD dispatch forced portable, and through the simulated device backend"
     );
     let mut reports: Vec<(String, String)> = counts
         .iter()
@@ -164,6 +167,16 @@ fn main() {
     std::env::set_var("FFTMATVEC_SIMD", "portable");
     reports.push((format!("{wide}t-portable-simd"), respawn::child_stdout(CHILD_ENV, wide, false)));
     std::env::remove_var("FFTMATVEC_SIMD");
+
+    // Backend leg: the simulated device is the CPU pool plus a modeled
+    // clock, so routing every pipeline primitive through it must not
+    // change a single output bit. One more child runs the widest thread
+    // count with `FFTMATVEC_BACKEND=simulated` (the builders in the
+    // workloads never pass an explicit backend, so the env override is
+    // what selects it) and its digests join the same comparison.
+    std::env::set_var(fftmatvec_backend::BACKEND_ENV, "simulated");
+    reports.push((format!("{wide}t-simulated"), respawn::child_stdout(CHILD_ENV, wide, false)));
+    std::env::remove_var(fftmatvec_backend::BACKEND_ENV);
 
     let (base_label, base) = &reports[0];
     let base_digests = digest_lines(base);

@@ -1104,6 +1104,166 @@ pub mod toeplitzjson {
     }
 }
 
+/// Machine-readable backend-dispatch records: the `BENCH_backend.json` /
+/// `bench/baseline_backend.json` format the CI `bench-smoke` job
+/// produces and gates on. Same line-oriented JSON convention as
+/// [`benchjson`]; rows are keyed by `(primitive, precision)`. Both legs
+/// of every row are measured interleaved in one session — the direct
+/// call path (concrete types, no virtual dispatch) against the same
+/// kernel reached through `Arc<dyn DeviceBackend>` / `Arc<dyn BatchFft>`
+/// — so the gate statistic, the trait/direct overhead ratio, cancels
+/// machine speed like the other gates' normalized costs.
+///
+/// Two checks, mirroring `bench_simd`:
+/// * **ceiling** (absolute, any host): every row's overhead must stay
+///   under `-max` (the shipped bar is `1.05` — the trait boundary adds
+///   one vtable hop plus enum tier/length validation per *batched*
+///   call, which real workloads amortize to noise);
+/// * **baseline**: every row's overhead must stay within `-tol` of the
+///   committed `bench/baseline_backend.json`.
+pub mod backendjson {
+    /// One measured dispatch data point.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct BackendResult {
+        /// Primitive under test: `"fft_forward"`, `"fft_inverse"`,
+        /// `"cast_real"`, `"cast_complex"`, `"pointwise_multiply"`, or
+        /// `"tree_reduce"`.
+        pub primitive: String,
+        /// Element type of the device-side buffers.
+        pub precision: String,
+        /// Min-of-samples ns/call on the direct path (concrete types).
+        pub direct_ns: f64,
+        /// Min-of-samples ns/call through the `DeviceBackend` trait.
+        pub trait_ns: f64,
+    }
+
+    impl BackendResult {
+        /// The gate statistic: the cost of the trait boundary as a
+        /// multiple of the direct path (1.0 = free dispatch).
+        pub fn overhead(&self) -> f64 {
+            self.trait_ns / self.direct_ns
+        }
+    }
+
+    /// Render the full document (`mode` = `"quick"` or `"full"`).
+    pub fn format_document(mode: &str, results: &[BackendResult]) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": 1,\n");
+        out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+        out.push_str("  \"unit\": \"ns_per_call\",\n");
+        out.push_str("  \"results\": [\n");
+        for (i, r) in results.iter().enumerate() {
+            let sep = if i + 1 == results.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"primitive\": \"{}\", \"precision\": \"{}\", \
+                 \"direct_ns\": {:.1}, \"trait_ns\": {:.1}, \"overhead\": {:.4}}}{}\n",
+                r.primitive,
+                r.precision,
+                r.direct_ns,
+                r.trait_ns,
+                r.overhead(),
+                sep
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Extract the value following `"key":` on `line`, up to `,` or `}`.
+    fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+        let tag = format!("\"{key}\":");
+        let start = line.find(&tag)? + tag.len();
+        let rest = &line[start..];
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(rest[..end].trim().trim_matches('"'))
+    }
+
+    /// Parse every result line of a document produced by
+    /// [`format_document`] (the redundant `overhead` field is recomputed,
+    /// not trusted).
+    pub fn parse_document(text: &str) -> Vec<BackendResult> {
+        text.lines()
+            .filter_map(|line| {
+                Some(BackendResult {
+                    primitive: field(line, "primitive")?.to_string(),
+                    precision: field(line, "precision")?.to_string(),
+                    direct_ns: field(line, "direct_ns")?.parse().ok()?,
+                    trait_ns: field(line, "trait_ns")?.parse().ok()?,
+                })
+            })
+            .collect()
+    }
+
+    /// Number of baseline rows the gate can enforce. 0 means a broken
+    /// baseline — callers should fail on it, not report success.
+    pub fn gated_count(baseline: &[BackendResult]) -> usize {
+        baseline.len()
+    }
+
+    /// The absolute ceiling gate: rows whose trait-dispatch overhead
+    /// exceeds `max_overhead`. Returns failure lines; empty = pass.
+    pub fn overhead_failures(doc: &[BackendResult], max_overhead: f64) -> Vec<String> {
+        doc.iter()
+            // NaN-safe: an incomparable (NaN) overhead must fail the gate,
+            // so only a definite <= passes.
+            .filter(|r| {
+                !matches!(
+                    r.overhead().partial_cmp(&max_overhead),
+                    Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
+                )
+            })
+            .map(|r| {
+                format!(
+                    "primitive={} precision={}: trait path {:.3}x the direct path \
+                     (> {:.2}x ceiling)",
+                    r.primitive,
+                    r.precision,
+                    r.overhead(),
+                    max_overhead
+                )
+            })
+            .collect()
+    }
+
+    /// Compare `current` against `baseline`: every baseline row's
+    /// overhead must be matched within `tol` (e.g. `1.05` = the current
+    /// overhead may exceed the committed one by at most 5%). Missing
+    /// rows fail. Returns human-readable failure lines; empty = pass.
+    pub fn regressions(
+        current: &[BackendResult],
+        baseline: &[BackendResult],
+        tol: f64,
+    ) -> Vec<String> {
+        let mut failures = Vec::new();
+        for b in baseline {
+            let Some(c) =
+                current.iter().find(|c| c.primitive == b.primitive && c.precision == b.precision)
+            else {
+                failures.push(format!(
+                    "missing result for primitive={} precision={}",
+                    b.primitive, b.precision
+                ));
+                continue;
+            };
+            let ratio = c.overhead() / b.overhead();
+            if ratio > tol {
+                failures.push(format!(
+                    "primitive={} precision={}: overhead {:.3}x vs baseline {:.3}x \
+                     ({:.2}x > {:.2}x budget)",
+                    b.primitive,
+                    b.precision,
+                    c.overhead(),
+                    b.overhead(),
+                    ratio,
+                    tol
+                ));
+            }
+        }
+        failures
+    }
+}
+
 pub fn rule(width: usize) {
     println!("{}", "-".repeat(width));
 }

@@ -24,7 +24,7 @@ use rayon::prelude::*;
 
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
-use fftmatvec_comm::collectives::tree_reduce_sum_in_place;
+use fftmatvec_backend::DeviceBackend;
 use fftmatvec_comm::{NetworkModel, ProcessGrid};
 use fftmatvec_gpu::{DeviceSpec, Phase, PhaseTimes};
 use fftmatvec_numeric::{Precision, Real, RealBuffer};
@@ -178,6 +178,19 @@ impl DistributedFftMatvec {
         self.ranks[0].config()
     }
 
+    /// The execution backend the per-rank pipelines were built for
+    /// (every rank resolves the same selection, so rank 0 speaks for
+    /// all).
+    pub fn backend(&self) -> crate::pipeline::PipelineBackend {
+        self.ranks[0].backend()
+    }
+
+    /// Rank 0's device handle — the one the phase-5 tree reductions
+    /// dispatch through.
+    fn device(&self) -> &dyn DeviceBackend {
+        self.ranks[0].device().as_ref()
+    }
+
     fn pool(&self) -> MutexGuard<'_, Vec<DistWorkspace>> {
         self.workspace.lock().unwrap_or_else(PoisonError::into_inner)
     }
@@ -287,13 +300,14 @@ impl LinearOperator for DistributedFftMatvec {
             let ndl = ri.len();
             let len = ndl * self.nt;
             reduce_in_precision(
+                self.device(),
                 &ws.partials,
                 |c| self.grid.rank_of(r, c),
                 self.grid.cols,
                 len,
                 p5,
                 &mut ws.reduce,
-            );
+            )?;
             place_reduced(&ws.reduce, self.nt, ndl, self.nd, ri.start, d);
         }
         Ok(())
@@ -323,13 +337,14 @@ impl LinearOperator for DistributedFftMatvec {
             let nml = ci.len();
             let len = nml * self.nt;
             reduce_in_precision(
+                self.device(),
                 &ws.partials,
                 |r| self.grid.rank_of(r, c),
                 self.grid.rows,
                 len,
                 p5,
                 &mut ws.reduce,
-            );
+            )?;
             place_reduced(&ws.reduce, self.nt, nml, self.nm, ci.start, m);
         }
         Ok(())
@@ -388,21 +403,23 @@ fn place_reduced(
 /// precision the inputs are rounded first (the cast fused into the
 /// communication buffers), summed pairwise in the tier's storage
 /// rounding — exactly the arithmetic a reduced-precision RCCL reduction
-/// performs. The summation tree is
-/// [`fftmatvec_comm::collectives::tree_reduce_sum_in_place`] — the
+/// performs. The summation tree runs through the pipeline's
+/// [`DeviceBackend::tree_reduce`] primitive, whose CPU implementations
+/// use `fftmatvec_comm::collectives::tree_reduce_sum_in_place` — the
 /// in-place sibling of `tree_reduce_sum`, so the association matches the
 /// collective exactly while running in a flat reused buffer that
 /// allocates nothing after warm-up.
 fn reduce_in_precision(
+    device: &dyn DeviceBackend,
     partials: &[Vec<f64>],
     rank_of: impl Fn(usize) -> usize,
     nparts: usize,
     len: usize,
     p: Precision,
     scratch: &mut RealBuffer,
-) {
+) -> Result<(), OpError> {
     scratch.reset_for_overwrite(p, nparts * len);
-    fn inner<T: Real>(
+    fn stage<T: Real>(
         partials: &[Vec<f64>],
         rank_of: &dyn Fn(usize) -> usize,
         nparts: usize,
@@ -415,14 +432,15 @@ fn reduce_in_precision(
                 *dst = T::from_f64(x);
             }
         }
-        tree_reduce_sum_in_place(flat, len);
     }
     match scratch {
-        RealBuffer::F16(v) => inner(partials, &rank_of, nparts, len, v),
-        RealBuffer::BF16(v) => inner(partials, &rank_of, nparts, len, v),
-        RealBuffer::F32(v) => inner(partials, &rank_of, nparts, len, v),
-        RealBuffer::F64(v) => inner(partials, &rank_of, nparts, len, v),
+        RealBuffer::F16(v) => stage(partials, &rank_of, nparts, len, v),
+        RealBuffer::BF16(v) => stage(partials, &rank_of, nparts, len, v),
+        RealBuffer::F32(v) => stage(partials, &rank_of, nparts, len, v),
+        RealBuffer::F64(v) => stage(partials, &rank_of, nparts, len, v),
     }
+    device.tree_reduce(scratch, len)?;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -467,7 +485,17 @@ mod tests {
                 (0..nparts).map(|_| (0..len).map(|_| rng.uniform(-1.0, 1.0)).collect()).collect();
             let want = tree_reduce_sum(&parts);
             let mut scratch = RealBuffer::F64(Vec::new());
-            reduce_in_precision(&parts, |i| i, nparts, len, Precision::Double, &mut scratch);
+            let device = fftmatvec_backend::CpuPool::new();
+            reduce_in_precision(
+                &device,
+                &parts,
+                |i| i,
+                nparts,
+                len,
+                Precision::Double,
+                &mut scratch,
+            )
+            .unwrap();
             for (i, &w) in want.iter().enumerate() {
                 assert_eq!(scratch.get(i), w, "nparts={nparts} i={i}");
             }

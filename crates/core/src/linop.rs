@@ -112,6 +112,12 @@ pub enum OpError {
     /// [`std::error::Error::source`]), so paths that build operators on
     /// demand can report failures through one error type.
     Config(ConfigError),
+    /// A device-backend primitive failed during execution — e.g. the
+    /// portability backend's kernels are validated but not runnable in
+    /// this environment. Carries the underlying
+    /// [`fftmatvec_backend::BackendError`] (also reachable through
+    /// [`std::error::Error::source`]).
+    Backend(fftmatvec_backend::BackendError),
 }
 
 impl std::fmt::Display for OpError {
@@ -138,6 +144,7 @@ impl std::fmt::Display for OpError {
                 )
             }
             OpError::Config(e) => write!(f, "operator construction failed: {e}"),
+            OpError::Backend(e) => write!(f, "device backend failed: {e}"),
         }
     }
 }
@@ -146,6 +153,7 @@ impl std::error::Error for OpError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             OpError::Config(e) => Some(e),
+            OpError::Backend(e) => Some(e),
             _ => None,
         }
     }
@@ -154,6 +162,12 @@ impl std::error::Error for OpError {
 impl From<ConfigError> for OpError {
     fn from(e: ConfigError) -> OpError {
         OpError::Config(e)
+    }
+}
+
+impl From<fftmatvec_backend::BackendError> for OpError {
+    fn from(e: fftmatvec_backend::BackendError) -> OpError {
+        OpError::Backend(e)
     }
 }
 
@@ -194,6 +208,11 @@ pub enum ConfigError {
     /// underlying apply error's message (timing applies use
     /// correctly-sized buffers, so this is unreachable by construction).
     Autotune(String),
+    /// Backend selection or warm-up failed at build time: the requested
+    /// backend is unknown, unregistered, or cannot run here. Carries the
+    /// underlying [`fftmatvec_backend::BackendError`] (also reachable
+    /// through [`std::error::Error::source`]).
+    Backend(fftmatvec_backend::BackendError),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -219,11 +238,25 @@ impl std::fmt::Display for ConfigError {
                 )
             }
             ConfigError::Autotune(msg) => write!(f, "autotune calibration failed: {msg}"),
+            ConfigError::Backend(e) => write!(f, "backend selection failed: {e}"),
         }
     }
 }
 
-impl std::error::Error for ConfigError {}
+impl std::error::Error for ConfigError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ConfigError::Backend(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<fftmatvec_backend::BackendError> for ConfigError {
+    fn from(e: fftmatvec_backend::BackendError) -> ConfigError {
+        ConfigError::Backend(e)
+    }
+}
 
 impl From<ConfigError> for String {
     fn from(e: ConfigError) -> String {

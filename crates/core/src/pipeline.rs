@@ -22,9 +22,9 @@
 
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 
+use fftmatvec_backend::{BackendError, BackendKind, BatchFft, DeviceBackend};
 use fftmatvec_blas::{sbgemv, BatchGeometry, GemvOp};
-use fftmatvec_fft::BatchedRealFft;
-use fftmatvec_numeric::{bf16, f16, Complex, ComplexBuffer, Precision, RealBuffer};
+use fftmatvec_numeric::{Complex, ComplexBuffer, Precision, RealBuffer};
 #[cfg(feature = "parallel")]
 use rayon::prelude::*;
 
@@ -38,20 +38,15 @@ use crate::linop::{
 use crate::operator::BlockToeplitzOperator;
 use crate::precision::{MatvecPhase, PrecisionConfig};
 
-/// Execution backend a built pipeline computes on. `Cpu` is the only
-/// backend that executes today; the GPU tensor-core tier the cost model
-/// already credits plugs in here as a new variant, behind the same
-/// builder and `LinearOperator` surface.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-#[non_exhaustive]
-pub enum PipelineBackend {
-    /// Real CPU arithmetic (software-emulated 16-bit tiers).
-    #[default]
-    Cpu,
-}
+/// Execution backend a built pipeline computes on — re-exported from
+/// `fftmatvec-backend` under the name this crate has always used. `Cpu`
+/// executes for real (software-emulated 16-bit tiers), `Simulated` adds
+/// modeled device timings, `Portability` is the GPU landing pad.
+pub use fftmatvec_backend::BackendKind as PipelineBackend;
 
-/// Per-tier batched real-FFT engines, built lazily and retained only for
-/// the tiers the current configuration's FFT/IFFT phases actually use.
+/// Per-tier batched real-FFT engines, planned through the pipeline's
+/// [`DeviceBackend`], built lazily and retained only for the tiers the
+/// current configuration's FFT/IFFT phases actually use.
 ///
 /// A configuration switch keeps every engine whose tier is still in use
 /// (its plan handle *and* its warmed scratch arena survive) and drops
@@ -59,10 +54,10 @@ pub enum PipelineBackend {
 /// drop-everything reconfigure this replaces.
 struct TierEngines {
     n2: usize,
-    h: OnceLock<BatchedRealFft<f16>>,
-    b: OnceLock<BatchedRealFft<bf16>>,
-    s: OnceLock<BatchedRealFft<f32>>,
-    d: OnceLock<BatchedRealFft<f64>>,
+    h: OnceLock<Arc<dyn BatchFft>>,
+    b: OnceLock<Arc<dyn BatchFft>>,
+    s: OnceLock<Arc<dyn BatchFft>>,
+    d: OnceLock<Arc<dyn BatchFft>>,
 }
 
 impl TierEngines {
@@ -82,21 +77,42 @@ impl TierEngines {
         cfg.phase(MatvecPhase::Fft) == p || cfg.phase(MatvecPhase::Ifft) == p
     }
 
+    fn slot(&self, p: Precision) -> &OnceLock<Arc<dyn BatchFft>> {
+        match p {
+            Precision::Half => &self.h,
+            Precision::BFloat16 => &self.b,
+            Precision::Single => &self.s,
+            Precision::Double => &self.d,
+        }
+    }
+
+    /// The resident engine for tier `p`, planning one through `device` on
+    /// first use. On a plan race the first stored engine wins (same
+    /// semantics as `get_or_init`; the spare handle is dropped).
+    fn engine(
+        &self,
+        device: &dyn DeviceBackend,
+        p: Precision,
+    ) -> Result<&Arc<dyn BatchFft>, BackendError> {
+        let slot = self.slot(p);
+        if let Some(engine) = slot.get() {
+            return Ok(engine);
+        }
+        let built = device.real_fft(p, self.n2)?;
+        Ok(slot.get_or_init(|| built))
+    }
+
     /// Eagerly build the engines `cfg` needs (plans come from the
     /// process-wide cache, so this is cheap and mostly a cache lookup).
-    fn warm(&self, cfg: PrecisionConfig) {
-        if Self::uses(cfg, Precision::Half) {
-            self.fft16();
+    /// Fails typed when the backend cannot plan — the portability stub's
+    /// `Unavailable` surfaces here at build time.
+    fn warm(&self, device: &dyn DeviceBackend, cfg: PrecisionConfig) -> Result<(), BackendError> {
+        for p in [Precision::Half, Precision::BFloat16, Precision::Single, Precision::Double] {
+            if Self::uses(cfg, p) {
+                self.engine(device, p)?;
+            }
         }
-        if Self::uses(cfg, Precision::BFloat16) {
-            self.fftb16();
-        }
-        if Self::uses(cfg, Precision::Single) {
-            self.fft32();
-        }
-        if Self::uses(cfg, Precision::Double) {
-            self.fft64();
-        }
+        Ok(())
     }
 
     /// Drop engines whose tier `cfg` no longer uses; keep the rest.
@@ -115,29 +131,8 @@ impl TierEngines {
         }
     }
 
-    fn fft16(&self) -> &BatchedRealFft<f16> {
-        self.h.get_or_init(|| BatchedRealFft::new(self.n2))
-    }
-
-    fn fftb16(&self) -> &BatchedRealFft<bf16> {
-        self.b.get_or_init(|| BatchedRealFft::new(self.n2))
-    }
-
-    fn fft32(&self) -> &BatchedRealFft<f32> {
-        self.s.get_or_init(|| BatchedRealFft::new(self.n2))
-    }
-
-    fn fft64(&self) -> &BatchedRealFft<f64> {
-        self.d.get_or_init(|| BatchedRealFft::new(self.n2))
-    }
-
     fn scratch_pooled(&self, p: Precision) -> Option<usize> {
-        match p {
-            Precision::Half => self.h.get().map(BatchedRealFft::scratch_pooled),
-            Precision::BFloat16 => self.b.get().map(BatchedRealFft::scratch_pooled),
-            Precision::Single => self.s.get().map(BatchedRealFft::scratch_pooled),
-            Precision::Double => self.d.get().map(BatchedRealFft::scratch_pooled),
-        }
+        self.slot(p).get().map(|e| e.scratch_pooled())
     }
 }
 
@@ -313,7 +308,7 @@ impl Drop for PooledWorkspace<'_> {
 pub struct FftMatvecBuilder {
     op: Arc<BlockToeplitzOperator>,
     cfg: PrecisionConfig,
-    backend: PipelineBackend,
+    backend: Option<PipelineBackend>,
     workspace_reuse: bool,
     budget: Option<(OpDirection, f64)>,
     kappa: Option<f64>,
@@ -324,7 +319,7 @@ impl FftMatvecBuilder {
         FftMatvecBuilder {
             op,
             cfg: PrecisionConfig::all_double(),
-            backend: PipelineBackend::default(),
+            backend: None,
             workspace_reuse: true,
             budget: None,
             kappa: None,
@@ -365,9 +360,11 @@ impl FftMatvecBuilder {
         self
     }
 
-    /// Execution backend (default [`PipelineBackend::Cpu`]).
+    /// Execution backend. An explicit choice here wins over the
+    /// `FFTMATVEC_BACKEND` environment override; when neither is set the
+    /// pipeline runs on [`PipelineBackend::Cpu`].
     pub fn backend(mut self, backend: PipelineBackend) -> Self {
-        self.backend = backend;
+        self.backend = Some(backend);
         self
     }
 
@@ -391,30 +388,29 @@ impl FftMatvecBuilder {
     /// budget fails construction with the corresponding
     /// [`ConfigError`].
     pub fn build(self) -> Result<FftMatvec, ConfigError> {
-        match self.backend {
-            PipelineBackend::Cpu => {
-                let engines = TierEngines::new(2 * self.op.nt());
-                engines.warm(self.cfg);
-                let mut mv = FftMatvec {
-                    op: self.op,
-                    cfg: self.cfg,
-                    backend: self.backend,
-                    engines,
-                    workspace: WorkspacePool::new(self.workspace_reuse),
-                    autotune: None,
-                };
-                if let Some((dir, budget)) = self.budget {
-                    let kappa = self.kappa.unwrap_or_else(|| {
-                        condition_estimate(&mv.op, default_kappa_stride(mv.op.nfreq()))
-                    });
-                    mv.resolve_budget(dir, budget, kappa).map_err(|e| match e {
-                        OpError::Config(c) => c,
-                        other => ConfigError::Autotune(other.to_string()),
-                    })?;
-                }
-                Ok(mv)
-            }
+        let kind = BackendKind::resolve(self.backend)?;
+        let device = fftmatvec_backend::create(kind)?;
+        let engines = TierEngines::new(2 * self.op.nt());
+        engines.warm(device.as_ref(), self.cfg)?;
+        let mut mv = FftMatvec {
+            op: self.op,
+            cfg: self.cfg,
+            backend: kind,
+            device,
+            engines,
+            workspace: WorkspacePool::new(self.workspace_reuse),
+            autotune: None,
+        };
+        if let Some((dir, budget)) = self.budget {
+            let kappa = self
+                .kappa
+                .unwrap_or_else(|| condition_estimate(&mv.op, default_kappa_stride(mv.op.nfreq())));
+            mv.resolve_budget(dir, budget, kappa).map_err(|e| match e {
+                OpError::Config(c) => c,
+                other => ConfigError::Autotune(other.to_string()),
+            })?;
         }
+        Ok(mv)
     }
 }
 
@@ -450,6 +446,7 @@ pub struct FftMatvec {
     op: Arc<BlockToeplitzOperator>,
     cfg: PrecisionConfig,
     backend: PipelineBackend,
+    device: Arc<dyn DeviceBackend>,
     engines: TierEngines,
     workspace: WorkspacePool,
     autotune: Option<Box<AutotuneState>>,
@@ -494,8 +491,8 @@ impl FftMatvec {
     /// exercises the engine's plan, not just two cache lookups), and
     /// falls back to the process-wide cache otherwise.
     pub fn fft64_plan_handle(&self) -> fftmatvec_fft::RealPlanHandle<f64> {
-        match self.engines.d.get() {
-            Some(engine) => engine.plan_handle().clone(),
+        match self.engines.d.get().and_then(|e| e.plan_handle_f64()) {
+            Some(handle) => handle,
             None => fftmatvec_fft::cache::real_plan::<f64>(2 * self.op.nt()),
         }
     }
@@ -605,6 +602,13 @@ impl FftMatvec {
         self.backend
     }
 
+    /// The device backend handle the pipeline dispatches through —
+    /// transfer accounting ([`fftmatvec_backend::TransferStats`]) and,
+    /// for the simulated device, modeled phase timings hang off it.
+    pub fn device(&self) -> &Arc<dyn DeviceBackend> {
+        &self.device
+    }
+
     /// Swap the precision configuration at runtime (the paper's dynamic
     /// reconfiguration — no operator rebuild). Only the FFT engines whose
     /// tier actually changed are touched: engines still used by the new
@@ -614,7 +618,9 @@ impl FftMatvec {
     pub fn set_config(&mut self, cfg: PrecisionConfig) {
         self.engines.retain(cfg);
         self.cfg = cfg;
-        self.engines.warm(cfg);
+        // Best-effort warm: a backend that cannot plan here (portability
+        // stub) surfaces the same typed error on the next apply instead.
+        let _ = self.engines.warm(self.device.as_ref(), cfg);
     }
 
     /// Recover the operator. When other pipelines still share it
@@ -641,7 +647,10 @@ impl FftMatvec {
         };
         let Workspace { padded, casted, spectrum, xhat, yhat, dspec, time, .. } = ws;
 
-        // Phase 1 — broadcast + zero-pad (TOSI → SOTI), in cfg[Pad].
+        // Phase 1 — broadcast + zero-pad (TOSI → SOTI), in cfg[Pad]. The
+        // input crosses the host→device boundary here; the ledger books
+        // it (the CPU backends alias host memory, so no copy happens).
+        self.device.record_upload(std::mem::size_of_val(input));
         let p_pad = self.cfg.phase(MatvecPhase::Pad);
         layout::pad_input_into(input, n_in, nt, p_pad, padded);
 
@@ -651,19 +660,11 @@ impl FftMatvec {
         let fft_in: &RealBuffer = if p_fft == p_pad {
             padded
         } else {
-            layout::cast_real_into(padded, p_fft, casted);
+            self.device.cast_real(padded, p_fft, casted)?;
             casted
         };
         spectrum.reset_for_overwrite(p_fft, n_in * nfreq);
-        match (fft_in, &mut *spectrum) {
-            (RealBuffer::F16(v), ComplexBuffer::C16(s)) => self.engines.fft16().forward_batch(v, s),
-            (RealBuffer::BF16(v), ComplexBuffer::CB16(s)) => {
-                self.engines.fftb16().forward_batch(v, s)
-            }
-            (RealBuffer::F32(v), ComplexBuffer::C32(s)) => self.engines.fft32().forward_batch(v, s),
-            (RealBuffer::F64(v), ComplexBuffer::C64(s)) => self.engines.fft64().forward_batch(v, s),
-            _ => return Err(OpError::Internal("phase-2 tier mismatch")),
-        }
+        self.engines.engine(self.device.as_ref(), p_fft)?.forward(fft_in, spectrum)?;
 
         // Phase 3 — SOTI→TOSI reorder (fused cast), then the strided
         // batched GEMV in cfg[Sbgemv].
@@ -691,20 +692,13 @@ impl FftMatvec {
         let p_ifft = self.cfg.phase(MatvecPhase::Ifft);
         layout::batch_to_spectrum_into(yhat, n_out, nfreq, p_ifft, dspec);
         time.reset_for_overwrite(p_ifft, n_out * 2 * nt);
-        match (&*dspec, &mut *time) {
-            (ComplexBuffer::C16(s), RealBuffer::F16(t)) => self.engines.fft16().inverse_batch(s, t),
-            (ComplexBuffer::CB16(s), RealBuffer::BF16(t)) => {
-                self.engines.fftb16().inverse_batch(s, t)
-            }
-            (ComplexBuffer::C32(s), RealBuffer::F32(t)) => self.engines.fft32().inverse_batch(s, t),
-            (ComplexBuffer::C64(s), RealBuffer::F64(t)) => self.engines.fft64().inverse_batch(s, t),
-            _ => return Err(OpError::Internal("phase-4 tier mismatch")),
-        }
+        self.engines.engine(self.device.as_ref(), p_ifft)?.inverse(dspec, time)?;
 
         // Phase 5 — unpad + reduce (SOTI → TOSI) through cfg[Unpad];
-        // output is always double.
+        // output is always double and crosses back to the host.
         let p_unpad = self.cfg.phase(MatvecPhase::Unpad);
         layout::unpad_output_into(time, n_out, nt, p_unpad, out);
+        self.device.record_download(std::mem::size_of_val(out));
         Ok(())
     }
 

@@ -26,6 +26,13 @@
 //!
 //! Numerical results never come from this crate — arithmetic runs for real
 //! on the CPU; only *times* are modeled.
+//!
+//! This crate is the cost-model *substrate*: device specs, kernel
+//! profiles, and the phase clock. The executable front door is
+//! `fftmatvec_backend::SimulatedDevice`, the device backend that runs
+//! every primitive on the CPU while booking these modeled timings — use
+//! it (via `.backend(..)` or `FFTMATVEC_BACKEND=simulated`) instead of
+//! assembling [`KernelProfile`]s by hand.
 
 pub mod clock;
 pub mod device;
@@ -33,4 +40,4 @@ pub mod kernel;
 
 pub use clock::{Phase, PhaseTimes};
 pub use device::{CdnaGeneration, DeviceSpec};
-pub use kernel::{KernelClass, KernelProfile};
+pub use kernel::{dtype_for, KernelClass, KernelProfile};

@@ -19,7 +19,11 @@
 //!   hipification, and a custom-kernel fallback registry that plugs the
 //!   cuTENSOR gap exactly as Section 3.1 does.
 //! * [`backend`] — the dispatch layer pairing each logical kernel with a
-//!   per-vendor artifact and simulated device.
+//!   per-vendor artifact and simulated device, exposed as the workspace's
+//!   [`fftmatvec_backend::DeviceBackend`] portability backend (call
+//!   [`install`] to register it for `FFTMATVEC_BACKEND=portability`
+//!   selection; its execution primitives are typed-unavailable until a
+//!   real GPU runtime exists).
 
 pub mod backend;
 pub mod hipify;
@@ -27,7 +31,7 @@ pub mod kernels_cuda;
 pub mod pipeline;
 pub mod report;
 
-pub use backend::{Backend, BackendDispatch};
+pub use backend::{install, GpuVendor, PortabilityBackend};
 pub use hipify::{hipify_source, HipifyResult, UnsupportedApi};
 pub use pipeline::{BuildError, HipifyPipeline};
 pub use report::{report_for, TranslationReport};

@@ -11,7 +11,7 @@
 
 use std::collections::HashMap;
 
-use crate::backend::Backend;
+use crate::backend::GpuVendor;
 use crate::hipify::{hipify_source, UnsupportedApi};
 
 /// Build failure modes.
@@ -50,8 +50,8 @@ impl std::error::Error for BuildError {}
 pub struct Artifact {
     /// Logical source name.
     pub name: String,
-    /// Target backend.
-    pub backend: Backend,
+    /// Target vendor.
+    pub vendor: GpuVendor,
     /// The source text handed to the (simulated) compiler.
     pub source: String,
     /// Rewrites performed (0 for CUDA pass-through).
@@ -75,8 +75,8 @@ pub struct HipifyPipeline {
     sources: HashMap<String, String>,
     /// API name → replacement source appended to units using it.
     fallbacks: HashMap<String, FallbackKernel>,
-    /// (name, backend) → (source hash, artifact).
-    cache: HashMap<(String, Backend), (u64, Artifact)>,
+    /// (name, vendor) → (source hash, artifact).
+    cache: HashMap<(String, GpuVendor), (u64, Artifact)>,
 }
 
 /// A custom kernel registered to replace an unsupported API.
@@ -137,15 +137,15 @@ impl HipifyPipeline {
         );
     }
 
-    /// Build one source for a backend.
-    pub fn build_one(&mut self, name: &str, backend: Backend) -> Result<Artifact, BuildError> {
+    /// Build one source for a vendor target.
+    pub fn build_one(&mut self, name: &str, vendor: GpuVendor) -> Result<Artifact, BuildError> {
         let src = self
             .sources
             .get(name)
             .ok_or_else(|| BuildError::UnknownSource(name.to_string()))?
             .clone();
         let hash = fnv1a(&src);
-        if let Some((cached_hash, artifact)) = self.cache.get(&(name.to_string(), backend)) {
+        if let Some((cached_hash, artifact)) = self.cache.get(&(name.to_string(), vendor)) {
             if *cached_hash == hash {
                 let mut hit = artifact.clone();
                 hit.rebuilt = false;
@@ -153,15 +153,15 @@ impl HipifyPipeline {
             }
         }
 
-        let artifact = match backend {
-            Backend::Cuda => Artifact {
+        let artifact = match vendor {
+            GpuVendor::Cuda => Artifact {
                 name: name.to_string(),
-                backend,
+                vendor,
                 source: src.clone(),
                 replacements: 0,
                 rebuilt: true,
             },
-            Backend::Hip => {
+            GpuVendor::Hip => {
                 let mut result = hipify_source(&src);
                 let mut remaining = Vec::new();
                 for u in result.unsupported {
@@ -186,21 +186,21 @@ impl HipifyPipeline {
                 }
                 Artifact {
                     name: name.to_string(),
-                    backend,
+                    vendor,
                     source: result.source,
                     replacements: result.replacements,
                     rebuilt: true,
                 }
             }
         };
-        self.cache.insert((name.to_string(), backend), (hash, artifact.clone()));
+        self.cache.insert((name.to_string(), vendor), (hash, artifact.clone()));
         Ok(artifact)
     }
 
-    /// Build every registered source for a backend.
-    pub fn build_all(&mut self, backend: Backend) -> Result<Vec<Artifact>, BuildError> {
+    /// Build every registered source for a vendor target.
+    pub fn build_all(&mut self, vendor: GpuVendor) -> Result<Vec<Artifact>, BuildError> {
         let names = self.source_names();
-        names.into_iter().map(|n| self.build_one(&n, backend)).collect()
+        names.into_iter().map(|n| self.build_one(&n, vendor)).collect()
     }
 }
 
@@ -211,7 +211,7 @@ mod tests {
     #[test]
     fn cuda_build_is_passthrough() {
         let mut p = HipifyPipeline::fftmatvec_app();
-        let arts = p.build_all(Backend::Cuda).unwrap();
+        let arts = p.build_all(GpuVendor::Cuda).unwrap();
         assert_eq!(arts.len(), 6);
         for a in &arts {
             assert_eq!(a.replacements, 0, "{}", a.name);
@@ -226,7 +226,7 @@ mod tests {
     #[test]
     fn hip_build_translates_everything_with_fallback() {
         let mut p = HipifyPipeline::fftmatvec_app();
-        let arts = p.build_all(Backend::Hip).unwrap();
+        let arts = p.build_all(GpuVendor::Hip).unwrap();
         assert_eq!(arts.len(), 6);
         for a in &arts {
             assert!(a.replacements > 0, "{} had no rewrites", a.name);
@@ -245,7 +245,7 @@ mod tests {
     fn hip_build_without_fallback_reports_not_supported() {
         let mut p = HipifyPipeline::new();
         p.add_source("complex_permute.cu", crate::kernels_cuda::COMPLEX_PERMUTE);
-        let err = p.build_one("complex_permute.cu", Backend::Hip).unwrap_err();
+        let err = p.build_one("complex_permute.cu", GpuVendor::Hip).unwrap_err();
         match err {
             BuildError::NotSupported { file, apis } => {
                 assert_eq!(file, "complex_permute.cu");
@@ -254,27 +254,27 @@ mod tests {
             other => panic!("wrong error {other:?}"),
         }
         // The display form carries the paper's wording.
-        let msg = p.build_one("complex_permute.cu", Backend::Hip).unwrap_err().to_string();
+        let msg = p.build_one("complex_permute.cu", GpuVendor::Hip).unwrap_err().to_string();
         assert!(msg.contains("Not Supported"));
     }
 
     #[test]
     fn cache_serves_unmodified_sources_and_rebuilds_edits() {
         let mut p = HipifyPipeline::fftmatvec_app();
-        let first = p.build_one("pad_kernel.cu", Backend::Hip).unwrap();
+        let first = p.build_one("pad_kernel.cu", GpuVendor::Hip).unwrap();
         assert!(first.rebuilt);
-        let second = p.build_one("pad_kernel.cu", Backend::Hip).unwrap();
+        let second = p.build_one("pad_kernel.cu", GpuVendor::Hip).unwrap();
         assert!(!second.rebuilt, "unchanged source must come from cache");
         assert_eq!(first.source, second.source);
         // Edit the CUDA source: recompilation re-hipifies just that file.
         let edited = crate::kernels_cuda::PAD_KERNEL.replace("256", "128");
         p.add_source("pad_kernel.cu", &edited);
-        let third = p.build_one("pad_kernel.cu", Backend::Hip).unwrap();
+        let third = p.build_one("pad_kernel.cu", GpuVendor::Hip).unwrap();
         assert!(third.rebuilt);
         assert!(third.source.contains("128"));
         // Other files remain cached.
-        let other = p.build_one("unpad_kernel.cu", Backend::Hip).unwrap();
-        let other2 = p.build_one("unpad_kernel.cu", Backend::Hip).unwrap();
+        let other = p.build_one("unpad_kernel.cu", GpuVendor::Hip).unwrap();
+        let other2 = p.build_one("unpad_kernel.cu", GpuVendor::Hip).unwrap();
         assert!(other.rebuilt);
         assert!(!other2.rebuilt);
     }
@@ -283,7 +283,7 @@ mod tests {
     fn unknown_source_errors() {
         let mut p = HipifyPipeline::new();
         assert_eq!(
-            p.build_one("nope.cu", Backend::Hip).unwrap_err(),
+            p.build_one("nope.cu", GpuVendor::Hip).unwrap_err(),
             BuildError::UnknownSource("nope.cu".into())
         );
     }
@@ -291,7 +291,7 @@ mod tests {
     #[test]
     fn nccl_unit_translates_header_only() {
         let mut p = HipifyPipeline::fftmatvec_app();
-        let art = p.build_one("nccl_reduce.cu", Backend::Hip).unwrap();
+        let art = p.build_one("nccl_reduce.cu", GpuVendor::Hip).unwrap();
         assert!(art.source.contains("<rccl/rccl.h>"));
         assert!(art.source.contains("ncclReduce"), "RCCL keeps NCCL symbols");
         assert!(art.source.contains("hipStreamSynchronize"));

@@ -394,6 +394,23 @@ mod tests {
     }
 
     #[test]
+    fn registry_threads_backend_selection_through_the_builder() {
+        // A service that wants modeled device timings registers with the
+        // simulated backend; the operator serves bit-identical results
+        // while its device handle accumulates transfer accounting.
+        let reg = OperatorRegistry::new();
+        reg.register_fft("cpu", tiny_builder()).unwrap();
+        reg.register_fft("sim", tiny_builder().backend(fftmatvec_core::PipelineBackend::Simulated))
+            .unwrap();
+        let cpu = reg.lookup("cpu").unwrap();
+        let sim = reg.lookup("sim").unwrap();
+        let x: Vec<f64> = (0..cpu.shape.cols).map(|i| (i % 5) as f64 - 2.0).collect();
+        let a = cpu.op.apply_forward(&x).unwrap();
+        let b = sim.op.apply_forward(&x).unwrap();
+        assert_eq!(a, b, "simulated backend must be bit-identical to the CPU pool");
+    }
+
+    #[test]
     fn registered_operator_is_the_live_instance() {
         let reg = OperatorRegistry::new();
         reg.register_fft("tomo", tiny_builder()).unwrap();

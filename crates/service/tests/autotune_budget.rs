@@ -11,7 +11,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use fftmatvec_core::{
-    BlockToeplitzOperator, FftMatvec, LinearOperator, OpDirection, PrecisionConfig,
+    BlockToeplitzOperator, FftMatvec, LinearOperator, OpDirection, PipelineBackend, PrecisionConfig,
 };
 use fftmatvec_numeric::SplitMix64;
 use fftmatvec_service::{block_on, join_all, OperatorRegistry, Service, ServiceConfig};
@@ -43,20 +43,6 @@ fn assert_bits_eq(got: &[f64], want: &[f64], what: &str) {
 #[test]
 fn mixed_budget_traffic_is_config_routed_and_bit_deterministic() {
     let (nd, nm, nt) = (4usize, 4usize, 32usize);
-    let op = well_conditioned(nd, nm, nt, 7);
-    let base = Arc::new(op.clone());
-
-    let registry = Arc::new(OperatorRegistry::new());
-    registry.register_fft_tunable("tuned", FftMatvec::builder(op)).unwrap();
-    let service = Service::new(
-        Arc::clone(&registry),
-        ServiceConfig {
-            max_batch: 8,
-            max_delay: Duration::from_millis(1),
-            queue_capacity: 256,
-            workers: 2,
-        },
-    );
 
     // Two budget classes far enough apart that they cannot resolve to
     // the same configuration: 1e-13 sits between the all-double Eq. 6
@@ -66,42 +52,83 @@ fn mixed_budget_traffic_is_config_routed_and_bit_deterministic() {
     let dir = OpDirection::Forward;
     let in_len = nm * nt;
 
-    let mut inputs: Vec<Vec<f64>> = Vec::new();
-    let mut tickets = Vec::new();
-    let mut which = Vec::new();
-    for i in 0..24 {
-        let mut rng = SplitMix64::new(1000 + i as u64);
-        let mut x = vec![0.0; in_len];
-        rng.fill_uniform_stuffed(&mut x, -1.0, 1.0);
-        let budget = budgets[i % 2];
-        tickets.push(service.submit_with_budget("tuned", dir, budget, x.clone()).unwrap());
-        inputs.push(x);
-        which.push(budget);
+    // Tier calibration is a live measurement, so a noisy scheduler
+    // window on a loaded host can legitimately tie the narrow tiers
+    // against double — the tie-break then lands every budget on
+    // all-double. Retry with a fresh registration (fresh calibration)
+    // instead of flaking: the contract is that a clean measurement
+    // routes the loose decade off all-double, and several consecutive
+    // dirty windows is vanishingly unlikely. The bit-determinism
+    // contract is unconditional and checked on every attempt.
+    let mut routed = false;
+    for attempt in 0..5 {
+        let op = well_conditioned(nd, nm, nt, 7);
+        let base = Arc::new(op.clone());
+
+        // Pinned to the CPU backend: the test asserts a routing outcome
+        // of the live timing calibration, not backend dispatch, and the
+        // simulated device's modeled-clock booking on every primitive
+        // call only adds measurement noise at this tiny shape. Builder
+        // beats the `FFTMATVEC_BACKEND` env override, so the simulated
+        // CI leg still runs everything else through the env backend.
+        let registry = Arc::new(OperatorRegistry::new());
+        registry
+            .register_fft_tunable("tuned", FftMatvec::builder(op).backend(PipelineBackend::Cpu))
+            .unwrap();
+        let service = Service::new(
+            Arc::clone(&registry),
+            ServiceConfig {
+                max_batch: 8,
+                max_delay: Duration::from_millis(1),
+                queue_capacity: 256,
+                workers: 2,
+            },
+        );
+
+        let mut inputs: Vec<Vec<f64>> = Vec::new();
+        let mut tickets = Vec::new();
+        let mut which = Vec::new();
+        for i in 0..24 {
+            let mut rng = SplitMix64::new(1000 + i as u64);
+            let mut x = vec![0.0; in_len];
+            rng.fill_uniform_stuffed(&mut x, -1.0, 1.0);
+            let budget = budgets[i % 2];
+            tickets.push(service.submit_with_budget("tuned", dir, budget, x.clone()).unwrap());
+            inputs.push(x);
+            which.push(budget);
+        }
+        let outputs = block_on(join_all(tickets));
+
+        let tight =
+            service.resolved_config("tuned", dir, budgets[0]).expect("tight decade resolved");
+        let loose =
+            service.resolved_config("tuned", dir, budgets[1]).expect("loose decade resolved");
+        assert_eq!(tight, PrecisionConfig::all_double(), "1e-13 is under every narrow floor");
+
+        // Every request's result is bit-identical to a solo apply under
+        // its budget's resolved configuration — coalescing and
+        // lane-mates with other budgets are invisible.
+        for ((x, budget), out) in inputs.iter().zip(&which).zip(&outputs) {
+            let cfg = service.resolved_config("tuned", dir, *budget).unwrap();
+            let solo = FftMatvec::builder_arc(Arc::clone(&base)).precision(cfg).build().unwrap();
+            let want = solo.apply_forward(x).unwrap();
+            let got = out.as_ref().expect("budget-routed request served");
+            assert_bits_eq(got, &want, &format!("budget {budget:e} via {cfg}"));
+        }
+
+        let stats = service.stats();
+        assert_eq!(stats.autotuned, 24);
+        assert_eq!(stats.configs_served.iter().map(|(_, n)| n).sum::<u64>(), 24);
+        assert_eq!(stats.latency_count, stats.completed);
+
+        if tight != loose {
+            assert!(stats.configs_served.len() >= 2, "served configs: {:?}", stats.configs_served);
+            routed = true;
+            break;
+        }
+        eprintln!("attempt {attempt}: loose decade tied to all-double, recalibrating");
     }
-    let outputs = block_on(join_all(tickets));
-
-    // Both decades resolved, to distinct configurations.
-    let tight = service.resolved_config("tuned", dir, budgets[0]).expect("tight decade resolved");
-    let loose = service.resolved_config("tuned", dir, budgets[1]).expect("loose decade resolved");
-    assert_eq!(tight, PrecisionConfig::all_double(), "1e-13 is under every narrow floor");
-    assert_ne!(tight, loose, "mixed budgets must land on ≥ 2 distinct configs");
-
-    // Every request's result is bit-identical to a solo apply under its
-    // budget's resolved configuration — coalescing and lane-mates with
-    // other budgets are invisible.
-    for ((x, budget), out) in inputs.iter().zip(&which).zip(&outputs) {
-        let cfg = service.resolved_config("tuned", dir, *budget).unwrap();
-        let solo = FftMatvec::builder_arc(Arc::clone(&base)).precision(cfg).build().unwrap();
-        let want = solo.apply_forward(x).unwrap();
-        let got = out.as_ref().expect("budget-routed request served");
-        assert_bits_eq(got, &want, &format!("budget {budget:e} via {cfg}"));
-    }
-
-    let stats = service.stats();
-    assert_eq!(stats.autotuned, 24);
-    assert!(stats.configs_served.len() >= 2, "served configs: {:?}", stats.configs_served);
-    assert_eq!(stats.configs_served.iter().map(|(_, n)| n).sum::<u64>(), 24);
-    assert_eq!(stats.latency_count, stats.completed);
+    assert!(routed, "mixed budgets never resolved to ≥ 2 distinct configs in 5 calibrations");
 }
 
 #[test]

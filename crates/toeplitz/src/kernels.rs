@@ -8,7 +8,7 @@
 //! `pad_input_into` + `cast_real_into`), and a value leaving the grid is
 //! rounded through the Unpad tier on its way to the `f64` output.
 
-use fftmatvec_numeric::{Complex, ComplexBuffer, Precision, Real, C64};
+use fftmatvec_numeric::{Complex, Precision, Real, C64};
 
 /// Zero the whole grid (embedding slack must be zero before the head
 /// block is written).
@@ -77,23 +77,6 @@ pub(crate) fn extract_head<T: Real>(
             p_unpad,
             &mut out[i * out_block..(i + 1) * out_block],
         );
-    }
-}
-
-/// Pointwise symbol multiply in tier `T` — the Sbgemv phase of the
-/// multi-level pipeline (the per-frequency blocks are 1×1 here, so the
-/// batched GEMV degenerates to a Hadamard product). `conj` selects the
-/// adjoint (`⊙ conj(ĉ)`).
-pub(crate) fn pointwise<T: Real>(grid: &mut [Complex<T>], sym: &[Complex<T>], conj: bool) {
-    debug_assert_eq!(grid.len(), sym.len());
-    if conj {
-        for (g, s) in grid.iter_mut().zip(sym) {
-            *g *= s.conj();
-        }
-    } else {
-        for (g, s) in grid.iter_mut().zip(sym) {
-            *g *= *s;
-        }
     }
 }
 
@@ -170,26 +153,6 @@ pub(crate) fn extract_split<T: Real>(
     }
 }
 
-/// Phase-boundary cast between grid tiers: elementwise through `f64`
-/// (exact widening, a single correct rounding on narrowing — the
-/// double-rounding-safe route). `dst` must already be reset to the
-/// target tier and length.
-pub(crate) fn cast_complex_into(src: &ComplexBuffer, dst: &mut ComplexBuffer) {
-    debug_assert_eq!(src.len(), dst.len());
-    fn fill<T: Real>(src: &ComplexBuffer, v: &mut [Complex<T>]) {
-        for (i, o) in v.iter_mut().enumerate() {
-            let z = src.get(i);
-            *o = Complex::new(T::from_f64(z.re), T::from_f64(z.im));
-        }
-    }
-    match dst {
-        ComplexBuffer::C16(v) => fill(src, v),
-        ComplexBuffer::CB16(v) => fill(src, v),
-        ComplexBuffer::C32(v) => fill(src, v),
-        ComplexBuffer::C64(v) => fill(src, v),
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -232,15 +195,5 @@ mod tests {
         extract_split(1, 1, 1, &grid, Precision::Double, Some(&w), true, &mut out);
         let expect = 1.0 + 0.5 * (w[0] * h).re;
         assert!((out[0] - expect).abs() < 1e-15);
-    }
-
-    #[test]
-    fn cast_complex_into_single_rounds() {
-        let src = ComplexBuffer::C64(vec![C64::new(1.0 + 2f64.powi(-30), -2.0)]);
-        let mut dst = ComplexBuffer::C32(vec![Complex::new(0.0f32, 0.0)]);
-        cast_complex_into(&src, &mut dst);
-        let v = dst.as_c32().unwrap();
-        assert_eq!(v[0].re, 1.0f32);
-        assert_eq!(v[0].im, -2.0f32);
     }
 }

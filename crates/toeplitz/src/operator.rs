@@ -12,6 +12,7 @@
 
 use std::sync::Arc;
 
+use fftmatvec_backend::{BackendKind, DeviceBackend};
 use fftmatvec_core::{
     autotune, check_apply, check_batch, AutotuneChoice, BoundParams, ConfigError,
     ConfigurableOperator, LinearOperator, MatvecPhase, OpDirection, OpError, OpShape, PhaseWeights,
@@ -26,7 +27,7 @@ use rayon::prelude::*;
 use crate::engines::NdTierEngines;
 use crate::generator::{ToeplitzGenerator, MAX_LEVELS};
 use crate::kernels;
-use crate::symbol::{SpectraSet, TierSpectra, ToeplitzSymbol};
+use crate::symbol::{SpectraSet, ToeplitzSymbol};
 use crate::workspace::{Workspace, WorkspacePool};
 
 /// Flat batches above this many `f64` elements split across the pool
@@ -48,6 +49,8 @@ struct AutotuneState {
 pub(crate) struct Core {
     sym: Arc<ToeplitzSymbol>,
     cfg: PrecisionConfig,
+    backend: BackendKind,
+    device: Arc<dyn DeviceBackend>,
     engines: NdTierEngines,
     pool: Arc<WorkspacePool>,
     shape: OpShape,
@@ -100,15 +103,6 @@ fn extract_full_dispatch(
         ComplexBuffer::CB16(v) => kernels::extract_head(out_dims, grid_dims, v, p_unpad, out),
         ComplexBuffer::C32(v) => kernels::extract_head(out_dims, grid_dims, v, p_unpad, out),
         ComplexBuffer::C64(v) => kernels::extract_head(out_dims, grid_dims, v, p_unpad, out),
-    }
-}
-
-fn pointwise_dispatch(buf: &mut ComplexBuffer, sp: &TierSpectra, conj: bool) {
-    match buf {
-        ComplexBuffer::C16(v) => kernels::pointwise(v, sp.c16(), conj),
-        ComplexBuffer::CB16(v) => kernels::pointwise(v, sp.cb16(), conj),
-        ComplexBuffer::C32(v) => kernels::pointwise(v, sp.c32(), conj),
-        ComplexBuffer::C64(v) => kernels::pointwise(v, sp.c64(), conj),
     }
 }
 
@@ -179,9 +173,12 @@ impl Core {
     fn new(
         sym: Arc<ToeplitzSymbol>,
         cfg: PrecisionConfig,
+        backend: Option<BackendKind>,
         reuse: bool,
         kappa_override: Option<f64>,
-    ) -> Core {
+    ) -> Result<Core, ConfigError> {
+        let kind = BackendKind::resolve(backend)?;
+        let device = fftmatvec_backend::create(kind)?;
         let shape = OpShape::new(sym.generator().rows(), sym.generator().cols());
         let kappa = kappa_override.unwrap_or_else(|| sym.condition_estimate());
         let core = Core {
@@ -190,11 +187,13 @@ impl Core {
             shape,
             kappa,
             cfg,
+            backend: kind,
+            device,
             sym,
             autotune: None,
         };
         core.warm_for(cfg);
-        core
+        Ok(core)
     }
 
     /// Materialize everything `cfg` touches: FFT engines and the Sbgemv
@@ -326,13 +325,14 @@ impl Core {
         pad_full_dispatch(in_dims, grid_dims, input, p_pad, spec);
         fftn_dispatch(&self.engines, spec, specb, FftDirection::Forward)?;
 
-        // Phase 3 — pointwise symbol multiply in cfg[Sbgemv].
+        // Phase 3 — pointwise symbol multiply in cfg[Sbgemv], through the
+        // device backend's cast and Hadamard primitives.
         let use_mid = p_gemv != p_fft;
         if use_mid {
-            mid.reset_for_overwrite(p_gemv, n);
-            kernels::cast_complex_into(spec, mid);
+            self.device.cast_complex(spec, p_gemv, mid)?;
         }
-        pointwise_dispatch(if use_mid { &mut *mid } else { &mut *spec }, sp, conj);
+        let io = if use_mid { &mut *mid } else { &mut *spec };
+        self.device.pointwise_multiply(io, sp.buffer(p_gemv), conj)?;
 
         // Phase 4 — inverse N-d FFT in cfg[Ifft]. The operand must sit
         // in an Ifft-tier buffer with a same-tier rotation partner; each
@@ -341,8 +341,7 @@ impl Core {
         // allocation).
         let use_ispec = p_ifft != p_gemv;
         let (inv, partner): (&mut ComplexBuffer, &mut ComplexBuffer) = if use_ispec {
-            ispec.reset_for_overwrite(p_ifft, n);
-            kernels::cast_complex_into(if use_mid { &*mid } else { &*spec }, ispec);
+            self.device.cast_complex(if use_mid { &*mid } else { &*spec }, p_ifft, ispec)?;
             ispecb.reset_for_overwrite(p_ifft, n);
             (ispec, ispecb)
         } else if use_mid {
@@ -412,20 +411,20 @@ impl Core {
             );
             fftn_dispatch(&self.engines, spec, specb, FftDirection::Forward)?;
 
-            // Phase 3 — this channel's symbol spectrum.
+            // Phase 3 — this channel's symbol spectrum, through the
+            // device backend's cast and Hadamard primitives.
             let use_mid = p_gemv != p_fft;
             if use_mid {
-                mid.reset_for_overwrite(p_gemv, n);
-                kernels::cast_complex_into(spec, mid);
+                self.device.cast_complex(spec, p_gemv, mid)?;
             }
             let sp = if odd_channel { odd } else { even };
-            pointwise_dispatch(if use_mid { &mut *mid } else { &mut *spec }, sp, conj);
+            let io = if use_mid { &mut *mid } else { &mut *spec };
+            self.device.pointwise_multiply(io, sp.buffer(p_gemv), conj)?;
 
             // Phase 4 — inverse transform on the half grid.
             let use_ispec = p_ifft != p_gemv;
             let (inv, partner): (&mut ComplexBuffer, &mut ComplexBuffer) = if use_ispec {
-                ispec.reset_for_overwrite(p_ifft, n);
-                kernels::cast_complex_into(if use_mid { &*mid } else { &*spec }, ispec);
+                self.device.cast_complex(if use_mid { &*mid } else { &*spec }, p_ifft, ispec)?;
                 ispecb.reset_for_overwrite(p_ifft, n);
                 (&mut *ispec, &mut *ispecb)
             } else if use_mid {
@@ -531,6 +530,7 @@ enum SymbolSource {
 struct BuilderInner {
     source: SymbolSource,
     cfg: PrecisionConfig,
+    backend: Option<BackendKind>,
     reuse: bool,
     budget: Option<(OpDirection, f64)>,
     kappa: Option<f64>,
@@ -541,6 +541,7 @@ impl BuilderInner {
         BuilderInner {
             source,
             cfg: PrecisionConfig::all_double(),
+            backend: None,
             reuse: true,
             budget: None,
             kappa: None,
@@ -579,7 +580,7 @@ impl BuilderInner {
                 sym
             }
         };
-        let mut core = Core::new(sym, self.cfg, self.reuse, self.kappa);
+        let mut core = Core::new(sym, self.cfg, self.backend, self.reuse, self.kappa)?;
         if let Some((dir, budget)) = self.budget {
             core.resolve_budget(dir, budget).map_err(|e| match e {
                 OpError::Config(c) => c,
@@ -601,6 +602,14 @@ macro_rules! builder_setters {
         /// Keep workspaces pooled between applies (default `true`).
         pub fn workspace_reuse(mut self, reuse: bool) -> Self {
             self.inner.reuse = reuse;
+            self
+        }
+
+        /// Execution backend. An explicit choice here wins over the
+        /// `FFTMATVEC_BACKEND` environment override; when neither is set
+        /// the operator runs on the CPU pool.
+        pub fn backend(mut self, backend: fftmatvec_core::PipelineBackend) -> Self {
+            self.inner.backend = Some(backend);
             self
         }
 
@@ -763,6 +772,17 @@ macro_rules! operator_common {
             /// (`None` when no engine of that tier is resident).
             pub fn fft_scratch_pooled(&self, p: Precision) -> Option<usize> {
                 self.core.engines.scratch_pooled(p)
+            }
+
+            /// The execution backend this operator was built for.
+            pub fn backend(&self) -> fftmatvec_core::PipelineBackend {
+                self.core.backend
+            }
+
+            /// The device backend handle the pointwise multiply and
+            /// boundary casts dispatch through.
+            pub fn device(&self) -> &Arc<dyn fftmatvec_backend::DeviceBackend> {
+                &self.core.device
             }
         }
 

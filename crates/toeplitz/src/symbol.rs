@@ -31,55 +31,65 @@ use std::sync::OnceLock;
 use fftmatvec_core::ConfigError;
 use fftmatvec_fft::{FftDirection, NdFft};
 use fftmatvec_numeric::ndindex::total_len;
-use fftmatvec_numeric::{bf16, f16, Complex, Precision, C64};
+use fftmatvec_numeric::{ComplexBuffer, Precision, C64};
 
 use crate::generator::{LevelDims, ToeplitzGenerator};
 
 /// One spectrum stored in double precision with lazily materialized
-/// per-tier casts — the `F̂`-style cache of the 1-level pipeline.
+/// per-tier casts — the `F̂`-style cache of the 1-level pipeline. Every
+/// tier is held as a [`ComplexBuffer`] so the pointwise multiply can
+/// hand the spectrum straight to a
+/// [`DeviceBackend`](fftmatvec_backend::DeviceBackend) primitive.
 pub(crate) struct TierSpectra {
-    d: Vec<C64>,
-    s: OnceLock<Vec<Complex<f32>>>,
-    h: OnceLock<Vec<Complex<f16>>>,
-    b: OnceLock<Vec<Complex<bf16>>>,
+    d: ComplexBuffer,
+    s: OnceLock<ComplexBuffer>,
+    h: OnceLock<ComplexBuffer>,
+    b: OnceLock<ComplexBuffer>,
+}
+
+/// Narrow a double spectrum into tier `p` (same rounding as the 1-level
+/// pipeline's `F̂` casts).
+fn narrowed(d: &[C64], p: Precision) -> ComplexBuffer {
+    match p {
+        Precision::Half => ComplexBuffer::C16(d.iter().map(|z| z.cast()).collect()),
+        Precision::BFloat16 => ComplexBuffer::CB16(d.iter().map(|z| z.cast()).collect()),
+        Precision::Single => ComplexBuffer::C32(d.iter().map(|z| z.cast()).collect()),
+        Precision::Double => ComplexBuffer::C64(d.to_vec()),
+    }
 }
 
 impl TierSpectra {
     fn new(d: Vec<C64>) -> Self {
-        TierSpectra { d, s: OnceLock::new(), h: OnceLock::new(), b: OnceLock::new() }
+        TierSpectra {
+            d: ComplexBuffer::C64(d),
+            s: OnceLock::new(),
+            h: OnceLock::new(),
+            b: OnceLock::new(),
+        }
     }
 
     pub(crate) fn c64(&self) -> &[C64] {
-        &self.d
+        match &self.d {
+            ComplexBuffer::C64(v) => v,
+            _ => unreachable!("TierSpectra base spectrum is always double"),
+        }
     }
 
-    pub(crate) fn c32(&self) -> &[Complex<f32>] {
-        self.s.get_or_init(|| self.d.iter().map(|z| z.cast()).collect())
-    }
-
-    pub(crate) fn c16(&self) -> &[Complex<f16>] {
-        self.h.get_or_init(|| self.d.iter().map(|z| z.cast()).collect())
-    }
-
-    pub(crate) fn cb16(&self) -> &[Complex<bf16>] {
-        self.b.get_or_init(|| self.d.iter().map(|z| z.cast()).collect())
+    /// The spectrum as a device buffer in tier `p`, narrowing lazily on
+    /// first request.
+    pub(crate) fn buffer(&self, p: Precision) -> &ComplexBuffer {
+        match p {
+            Precision::Double => &self.d,
+            Precision::Single => self.s.get_or_init(|| narrowed(self.c64(), p)),
+            Precision::Half => self.h.get_or_init(|| narrowed(self.c64(), p)),
+            Precision::BFloat16 => self.b.get_or_init(|| narrowed(self.c64(), p)),
+        }
     }
 
     /// Materialize the cast for `p` (warm-up; keeps applies
     /// allocation-free).
     pub(crate) fn warm(&self, p: Precision) {
-        match p {
-            Precision::Half => {
-                self.c16();
-            }
-            Precision::BFloat16 => {
-                self.cb16();
-            }
-            Precision::Single => {
-                self.c32();
-            }
-            Precision::Double => {}
-        }
+        let _ = self.buffer(p);
     }
 }
 

@@ -6,7 +6,7 @@
 
 use fftmatvec::gpu::DeviceSpec;
 use fftmatvec::portability::kernels_cuda;
-use fftmatvec::portability::{Backend, BackendDispatch, HipifyPipeline};
+use fftmatvec::portability::{GpuVendor, HipifyPipeline, PortabilityBackend};
 
 fn main() {
     // The application's maintained sources are pure CUDA.
@@ -15,16 +15,16 @@ fn main() {
     println!();
 
     // NVIDIA build: pass-through, exactly as the paper's CMake toggle.
-    let cuda = pipeline.build_all(Backend::Cuda).unwrap();
+    let cuda = pipeline.build_all(GpuVendor::Cuda).unwrap();
     println!(
         "CUDA build ({}) — {} units, 0 rewrites (source of truth)",
-        Backend::Cuda.compiler(),
+        GpuVendor::Cuda.compiler(),
         cuda.len()
     );
 
     // AMD build: hipify on the fly.
-    let hip = pipeline.build_all(Backend::Hip).unwrap();
-    println!("HIP build ({}):", Backend::Hip.compiler());
+    let hip = pipeline.build_all(GpuVendor::Hip).unwrap();
+    println!("HIP build ({}):", GpuVendor::Hip.compiler());
     for a in &hip {
         println!("  {:<22} {} rewrites", a.name, a.replacements);
     }
@@ -34,7 +34,7 @@ fn main() {
     // fails with the paper's "Not Supported" error.
     let mut bare = HipifyPipeline::new();
     bare.add_source("complex_permute.cu", kernels_cuda::COMPLEX_PERMUTE);
-    match bare.build_one("complex_permute.cu", Backend::Hip) {
+    match bare.build_one("complex_permute.cu", GpuVendor::Hip) {
         Err(e) => println!("without fallback: {e}"),
         Ok(_) => unreachable!("cuTENSOR permutation must not translate"),
     }
@@ -43,33 +43,33 @@ fn main() {
         "permute_setup_tensor_custom",
         kernels_cuda::COMPLEX_PERMUTE_FALLBACK,
     );
-    let fixed = bare.build_one("complex_permute.cu", Backend::Hip).unwrap();
+    let fixed = bare.build_one("complex_permute.cu", GpuVendor::Hip).unwrap();
     println!("with fallback: builds, custom kernel spliced ({} rewrites)", fixed.replacements);
     println!();
 
     // Editing a CUDA source re-triggers hipification of just that unit.
-    let cached = pipeline.build_one("pad_kernel.cu", Backend::Hip).unwrap();
+    let cached = pipeline.build_one("pad_kernel.cu", GpuVendor::Hip).unwrap();
     println!("unmodified pad_kernel.cu: rebuilt = {}", cached.rebuilt);
     pipeline.add_source("pad_kernel.cu", &kernels_cuda::PAD_KERNEL.replace("256", "512"));
-    let rebuilt = pipeline.build_one("pad_kernel.cu", Backend::Hip).unwrap();
+    let rebuilt = pipeline.build_one("pad_kernel.cu", GpuVendor::Hip).unwrap();
     println!("after editing the CUDA source: rebuilt = {}", rebuilt.rebuilt);
     println!();
 
     // Backend dispatch binds the built artifacts to simulated devices.
     for dev in DeviceSpec::paper_lineup() {
-        let d = BackendDispatch::build(Backend::Hip, dev).unwrap();
+        let d = PortabilityBackend::build(GpuVendor::Hip, dev).unwrap();
         println!(
             "dispatch: {:<22} <- {} units via {}",
             d.device().name,
             d.artifacts().len(),
-            d.backend().compiler()
+            d.vendor().compiler()
         );
     }
-    let nv = BackendDispatch::cuda_reference().unwrap();
+    let nv = PortabilityBackend::cuda_reference().unwrap();
     println!(
         "dispatch: {:<22} <- {} units via {}",
         nv.device().name,
         nv.artifacts().len(),
-        nv.backend().compiler()
+        nv.vendor().compiler()
     );
 }

@@ -78,6 +78,7 @@
 //! # }
 //! ```
 
+pub use fftmatvec_backend as backend;
 pub use fftmatvec_blas as blas;
 pub use fftmatvec_comm as comm;
 pub use fftmatvec_core as core;

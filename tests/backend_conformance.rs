@@ -1,0 +1,306 @@
+//! Device-backend conformance suite, run against every registered
+//! [`BackendKind`] — the contract of the PR that made `.backend(..)`
+//! real:
+//!
+//! * every backend that executes serves **bit-identical** results to the
+//!   CPU pool (the simulated device is the CPU pool plus a clock);
+//! * the adjoint identity and typed-error contracts hold through the
+//!   trait exactly as they do on the direct path;
+//! * the CPU backend stays **zero-allocation** in the steady state when
+//!   dispatched through `dyn DeviceBackend`;
+//! * the simulated device accounts one logical upload and one download
+//!   per pipeline pass and books modeled phase times;
+//! * selecting the portability backend is a typed build-time error,
+//!   never a panic, with and without the hipify factory installed;
+//! * selection precedence is builder > `FFTMATVEC_BACKEND` > default.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use fftmatvec::backend::{BackendError, BackendKind, BACKEND_ENV};
+use fftmatvec::core::{
+    BlockToeplitzOperator, ConfigError, FftMatvec, LinearOperator, OpError, PipelineBackend,
+};
+use fftmatvec::gpu::Phase;
+use fftmatvec::numeric::{Precision, RealBuffer, SplitMix64};
+use fftmatvec::toeplitz::{ToeplitzGenerator, TwoLevelToeplitz};
+
+/// Counts allocations made by the current thread (same pattern as
+/// `operator_conformance.rs`; thread-local so parallel tests in this
+/// binary cannot perturb each other's counts).
+struct CountingAllocator;
+
+thread_local! {
+    static ALLOCATIONS: Cell<usize> = const { Cell::new(0) };
+}
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn thread_allocations() -> usize {
+    ALLOCATIONS.with(Cell::get)
+}
+
+const ND: usize = 3;
+const NM: usize = 10;
+const NT: usize = 8;
+
+fn operator(seed: u64) -> BlockToeplitzOperator {
+    let mut rng = SplitMix64::new(seed);
+    let mut col = vec![0.0; NT * ND * NM];
+    rng.fill_uniform(&mut col, -1.0, 1.0);
+    BlockToeplitzOperator::from_first_block_column(ND, NM, NT, &col).unwrap()
+}
+
+fn pipeline(seed: u64, cfg: &str, backend: BackendKind) -> FftMatvec {
+    FftMatvec::builder(operator(seed))
+        .precision(cfg.parse().unwrap())
+        .backend(backend)
+        .build()
+        .unwrap()
+}
+
+fn input(n: usize, seed: u64) -> Vec<f64> {
+    let mut v = vec![0.0; n];
+    SplitMix64::new(seed).fill_uniform(&mut v, -1.0, 1.0);
+    v
+}
+
+/// Every executing backend must be bit-identical to the CPU pool, in
+/// every precision configuration, both directions, including the batch
+/// path.
+#[test]
+fn executing_backends_are_bit_identical_to_cpu_pool() {
+    for cfg in ["ddddd", "dssdd", "hbsdd", "sssss"] {
+        let cpu = pipeline(1, cfg, BackendKind::Cpu);
+        let sim = pipeline(1, cfg, BackendKind::Simulated);
+        let m = input(NM * NT, 2);
+        let d = input(ND * NT, 3);
+        assert_eq!(
+            cpu.apply_forward(&m).unwrap(),
+            sim.apply_forward(&m).unwrap(),
+            "[{cfg}] forward"
+        );
+        assert_eq!(
+            cpu.apply_adjoint(&d).unwrap(),
+            sim.apply_adjoint(&d).unwrap(),
+            "[{cfg}] adjoint"
+        );
+        let batch = input(4 * NM * NT, 5);
+        let mut out_cpu = vec![0.0; 4 * ND * NT];
+        let mut out_sim = vec![0.0; 4 * ND * NT];
+        cpu.apply_forward_many_into(&batch, &mut out_cpu).unwrap();
+        sim.apply_forward_many_into(&batch, &mut out_sim).unwrap();
+        assert_eq!(out_cpu, out_sim, "[{cfg}] batch");
+    }
+}
+
+/// The adjoint identity holds through the trait on every executing
+/// backend.
+#[test]
+fn adjoint_identity_holds_per_backend() {
+    for kind in [BackendKind::Cpu, BackendKind::Simulated] {
+        let mv = pipeline(7, "ddddd", kind);
+        let m = input(NM * NT, 8);
+        let d = input(ND * NT, 9);
+        let fm = mv.apply_forward(&m).unwrap();
+        let fsd = mv.apply_adjoint(&d).unwrap();
+        let lhs: f64 = fm.iter().zip(&d).map(|(a, b)| a * b).sum();
+        let rhs: f64 = m.iter().zip(&fsd).map(|(a, b)| a * b).sum();
+        assert!(
+            (lhs - rhs).abs() <= 1e-11 * lhs.abs().max(rhs.abs()).max(1.0),
+            "{kind:?}: adjoint identity {lhs} vs {rhs}"
+        );
+        assert_eq!(mv.backend(), kind);
+        assert_eq!(mv.device().kind(), kind);
+    }
+}
+
+/// The CPU pool through `dyn DeviceBackend` keeps the zero-allocation
+/// steady state the direct path had.
+#[test]
+fn cpu_backend_is_zero_alloc_when_warm() {
+    for cfg in ["ddddd", "dssdd"] {
+        let mv = pipeline(11, cfg, BackendKind::Cpu);
+        let m = input(NM * NT, 12);
+        let d = input(ND * NT, 13);
+        let mut fwd = vec![0.0; ND * NT];
+        let mut adj = vec![0.0; NM * NT];
+        for _ in 0..3 {
+            mv.apply_forward_into(&m, &mut fwd).unwrap();
+            mv.apply_adjoint_into(&d, &mut adj).unwrap();
+        }
+        let before = thread_allocations();
+        for _ in 0..10 {
+            mv.apply_forward_into(&m, &mut fwd).unwrap();
+            mv.apply_adjoint_into(&d, &mut adj).unwrap();
+        }
+        assert_eq!(
+            thread_allocations() - before,
+            0,
+            "[{cfg}] allocations across 20 warmed-up applies via CpuPool"
+        );
+    }
+}
+
+/// The simulated device accounts exactly one logical upload (the pad
+/// edge) and one download (the unpad edge) per pipeline pass, with the
+/// right byte counts, and books modeled FFT phase time.
+#[test]
+fn simulated_device_accounts_transfers_and_phases() {
+    let mv = pipeline(17, "dssdd", BackendKind::Simulated);
+    let device = mv.device().clone();
+    let m = input(NM * NT, 18);
+    let applies = 5u64;
+    for _ in 0..applies {
+        mv.apply_forward(&m).unwrap();
+    }
+    let stats = device.transfers();
+    assert_eq!(stats.uploads, applies);
+    assert_eq!(stats.downloads, applies);
+    assert_eq!(stats.bytes_up, applies * (NM * NT * 8) as u64);
+    assert_eq!(stats.bytes_down, applies * (ND * NT * 8) as u64);
+
+    let times = device.modeled_times().expect("simulated device keeps a clock");
+    assert!(times.get(Phase::Fft) > 0.0, "forward FFT time booked");
+    assert!(times.get(Phase::Ifft) > 0.0, "inverse FFT time booked");
+    assert!(times.get(Phase::Pad) > 0.0, "dssdd boundary cast booked to Pad");
+    assert!(times.get(Phase::Comm) > 0.0, "host-link transfer time booked");
+
+    device.reset_transfers();
+    assert_eq!(device.transfers().uploads, 0);
+    assert_eq!(device.modeled_times().unwrap().total(), 0.0);
+}
+
+/// The CPU backend's ledger also counts pipeline-edge crossings (logical
+/// accounting only — no copies, no modeled clock).
+#[test]
+fn cpu_backend_keeps_a_transfer_ledger_but_no_clock() {
+    let mv = pipeline(19, "ddddd", BackendKind::Cpu);
+    let m = input(NM * NT, 20);
+    mv.apply_forward(&m).unwrap();
+    let stats = mv.device().transfers();
+    assert_eq!(stats.uploads, 1);
+    assert_eq!(stats.downloads, 1);
+    assert!(mv.device().modeled_times().is_none());
+}
+
+/// The multi-level Toeplitz operators thread the same backend selection:
+/// simulated stays bit-identical on both the full-embedding and
+/// split-FFT paths.
+#[test]
+fn toeplitz_backends_are_bit_identical_too() {
+    let diags_len = (3 + 4 - 1) * (5 + 3 - 1);
+    let mut diags = vec![0.0; diags_len];
+    SplitMix64::new(23).fill_uniform(&mut diags, -1.0, 1.0);
+    diags[(4 - 1) * (5 + 3 - 1) + (3 - 1)] += 4.0;
+    let gen = ToeplitzGenerator::two_level((3, 4), (5, 3), diags).unwrap();
+    for split in [false, true] {
+        for cfg in ["ddddd", "dssdd"] {
+            let cpu = TwoLevelToeplitz::builder(gen.clone())
+                .precision(cfg.parse().unwrap())
+                .split_fft(split)
+                .backend(PipelineBackend::Cpu)
+                .build()
+                .unwrap();
+            let sim = TwoLevelToeplitz::builder(gen.clone())
+                .precision(cfg.parse().unwrap())
+                .split_fft(split)
+                .backend(PipelineBackend::Simulated)
+                .build()
+                .unwrap();
+            assert_eq!(sim.backend(), PipelineBackend::Simulated);
+            let m = input(cpu.shape().cols, 29);
+            assert_eq!(
+                cpu.apply_forward(&m).unwrap(),
+                sim.apply_forward(&m).unwrap(),
+                "[split={split},{cfg}] forward"
+            );
+            // The pointwise multiply runs through the simulated device,
+            // so Sbgemv phase time accumulates.
+            assert!(sim.device().modeled_times().unwrap().get(Phase::Sbgemv) > 0.0);
+        }
+    }
+}
+
+/// Unknown and unavailable backend selections are typed build-time
+/// errors with a `source()` chain down to the `BackendError`.
+#[test]
+fn backend_selection_failures_are_typed() {
+    // Portability before the factory is installed: typed Unavailable.
+    let err = FftMatvec::builder(operator(31)).backend(BackendKind::Portability).build();
+    match err {
+        Err(ConfigError::Backend(BackendError::Unavailable { backend, .. })) => {
+            assert_eq!(backend, "portability");
+        }
+        other => panic!("expected typed Unavailable, got {other:?}"),
+    }
+
+    // After installing the hipify factory the build gets further —
+    // sources hipify and validate — but planning an FFT is still typed
+    // Unavailable (no GPU runtime here), not a panic.
+    let _freshly_installed = fftmatvec::portability::install();
+    let err = FftMatvec::builder(operator(31)).backend(BackendKind::Portability).build();
+    match err {
+        Err(ConfigError::Backend(BackendError::Unavailable { backend, reason })) => {
+            assert_eq!(backend, "portability");
+            assert!(!reason.is_empty());
+        }
+        other => panic!("expected typed Unavailable after install, got {other:?}"),
+    }
+
+    // The error chain threads source() down to the BackendError.
+    let op_err: OpError =
+        BackendError::Unavailable { backend: "portability", reason: "x".into() }.into();
+    let src = std::error::Error::source(&op_err).expect("OpError::Backend has a source");
+    assert!(src.downcast_ref::<BackendError>().is_some());
+
+    // A portability device created directly also refuses primitives with
+    // typed errors.
+    let device = fftmatvec::backend::create(BackendKind::Portability).unwrap();
+    let mut buf = RealBuffer::zeros(Precision::Double, 8);
+    assert!(matches!(device.tree_reduce(&mut buf, 4), Err(BackendError::Unavailable { .. })));
+}
+
+/// Selection precedence: builder wins over the environment, the
+/// environment wins over the default, and an unknown name in the
+/// environment is a typed error. Env manipulation stays inside this one
+/// test (other tests in this binary always pass an explicit backend).
+#[test]
+fn selection_precedence_is_builder_env_default() {
+    std::env::set_var(BACKEND_ENV, "simulated");
+    let from_env = FftMatvec::builder(operator(37)).build().unwrap();
+    assert_eq!(from_env.backend(), BackendKind::Simulated, "env override selects simulated");
+
+    let explicit = FftMatvec::builder(operator(37)).backend(BackendKind::Cpu).build().unwrap();
+    assert_eq!(explicit.backend(), BackendKind::Cpu, "builder beats env");
+
+    std::env::set_var(BACKEND_ENV, "tpu");
+    match FftMatvec::builder(operator(37)).build() {
+        Err(ConfigError::Backend(BackendError::UnknownBackend { name })) => {
+            assert_eq!(name, "tpu");
+        }
+        other => panic!("expected typed UnknownBackend, got {other:?}"),
+    }
+
+    std::env::remove_var(BACKEND_ENV);
+    let default = FftMatvec::builder(operator(37)).build().unwrap();
+    assert_eq!(default.backend(), BackendKind::Cpu, "default is the CPU pool");
+    assert_eq!(default.backend(), PipelineBackend::default());
+}

@@ -14,7 +14,7 @@ use fftmatvec::gpu::{DeviceSpec, Phase};
 use fftmatvec::lti::{HeatEquation1D, LtiSystem, P2oMap};
 use fftmatvec::numeric::vecmath::rel_l2_error;
 use fftmatvec::numeric::SplitMix64;
-use fftmatvec::portability::{Backend, BackendDispatch};
+use fftmatvec::portability::{GpuVendor, PortabilityBackend};
 
 fn random_operator(nd: usize, nm: usize, nt: usize, seed: u64) -> BlockToeplitzOperator {
     let mut rng = SplitMix64::new(seed);
@@ -177,7 +177,7 @@ fn distributed_simulation_combines_compute_and_comm() {
 fn hipified_application_and_compute_pipeline_share_kernel_names() {
     // The portability layer's artifact set covers the pipeline's phases:
     // pad, unpad, SBGEMV dispatch, FFT plans, reduction.
-    let d = BackendDispatch::build(Backend::Hip, DeviceSpec::mi300x()).unwrap();
+    let d = PortabilityBackend::build(GpuVendor::Hip, DeviceSpec::mi300x()).unwrap();
     for needed in
         ["pad_kernel.cu", "unpad_kernel.cu", "sbgemv_host.cu", "fft_host.cu", "nccl_reduce.cu"]
     {
